@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Paper §4.4.1's quantitative claim: the RDP-guided peak-outward memory
+ * plan needs ~1.05x the *optimal* (exhaustive-search) peak on
+ * ConvNet-AIG sub-graphs, versus ~1.16x for the greedy best-fit
+ * strategy used by MNN-like planners. We reproduce it on the real
+ * ConvNet-AIG sub-graph lifetime sets plus randomized instances.
+ */
+
+#include "harness.h"
+#include "memory/lifetime.h"
+#include "memory/planners.h"
+#include "support/string_util.h"
+
+using namespace sod2;
+using namespace sod2::bench;
+
+namespace {
+
+/** Splits @p intervals into per-window chunks of <= 8 tensors (the
+ *  exhaustive planner's feasibility bound), mirroring SEP's sub-graphs. */
+std::vector<std::vector<Interval>>
+chunked(const std::vector<Interval>& intervals)
+{
+    std::vector<std::vector<Interval>> out;
+    for (size_t i = 0; i < intervals.size(); i += 8) {
+        std::vector<Interval> chunk(
+            intervals.begin() + i,
+            intervals.begin() + std::min(intervals.size(), i + 8));
+        out.push_back(std::move(chunk));
+    }
+    return out;
+}
+
+}  // namespace
+
+int
+main()
+{
+    Rng rng(1234);
+    ModelSpec spec = buildModel("ConvNet-AIG", rng);
+    auto rdp = runRdp(*spec.graph, spec.rdp);
+
+    // Concrete lifetimes for one representative input.
+    Rng s(3);
+    auto inputs = spec.sample(s, 320);
+    std::vector<Shape> shapes;
+    for (const auto& t : inputs)
+        shapes.push_back(t.shape());
+    auto bindings = bindInputSymbols(*spec.graph, spec.rdp, shapes);
+    auto intervals = computeLifetimes(*spec.graph, rdp,
+                                      spec.graph->topoOrder(), bindings);
+
+    double ours_sum = 0, greedy_sum = 0;
+    int n = 0;
+    for (const auto& chunk : chunked(intervals)) {
+        MemPlan opt = planOptimalExhaustive(chunk);
+        if (opt.arenaBytes == 0)
+            continue;
+        ours_sum += static_cast<double>(planPeakOutward(chunk).arenaBytes) /
+                    opt.arenaBytes;
+        greedy_sum +=
+            static_cast<double>(planGreedyBestFit(chunk).arenaBytes) /
+            opt.arenaBytes;
+        ++n;
+    }
+
+    // Randomized sub-graph-sized instances broaden the sample.
+    Rng r2(77);
+    int rand_n = 0;
+    double rand_ours = 0, rand_greedy = 0;
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<Interval> ivs;
+        int count = static_cast<int>(r2.uniformInt(4, 8));
+        for (int i = 0; i < count; ++i) {
+            Interval iv;
+            iv.defStep = static_cast<int>(r2.uniformInt(0, 8));
+            iv.lastUse = iv.defStep + static_cast<int>(r2.uniformInt(0, 5));
+            iv.bytes = static_cast<size_t>(r2.uniformInt(1, 64)) * 1024;
+            ivs.push_back(iv);
+        }
+        MemPlan opt = planOptimalExhaustive(ivs);
+        rand_ours += static_cast<double>(planPeakOutward(ivs).arenaBytes) /
+                     opt.arenaBytes;
+        rand_greedy +=
+            static_cast<double>(planGreedyBestFit(ivs).arenaBytes) /
+            opt.arenaBytes;
+        ++rand_n;
+    }
+
+    printHeader("Ablation (paper §4.4.1): memory plan vs optimal",
+                {"Instance set", "RDP peak-outward", "greedy best-fit"});
+    printRow({"ConvNet-AIG sub-graphs",
+              strFormat("%.3fx", ours_sum / n),
+              strFormat("%.3fx", greedy_sum / n)});
+    printRow({"random sub-graphs",
+              strFormat("%.3fx", rand_ours / rand_n),
+              strFormat("%.3fx", rand_greedy / rand_n)});
+    std::printf("(paper: RDP-guided plan 1.05x of optimal, greedy "
+                "(MNN-style) 1.16x)\n");
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Paper Figure 13: portability — the same engines on the (simulated)
+ * Snapdragon-835 CPU/GPU profiles, five models (SDE, YOLO-V6, SkipNet,
+ * ConvNet-AIG, BlockDrop), latency normalized by MNN as in the paper.
+ * SoD2's advantage grows on the more constrained SoC because its
+ * memory-footprint reductions matter more there.
+ */
+
+#include "harness.h"
+#include "support/string_util.h"
+
+using namespace sod2;
+using namespace sod2::bench;
+
+namespace {
+
+void
+runDevice(const char* title, const DeviceProfile& device)
+{
+    int samples = sampleCount();
+    printHeader(title,
+                {"Model", "ORT", "MNN", "TVM-N", "SoD2 (speedup/MNN)"});
+    for (const char* model_name :
+         {"SDE", "YOLO-V6", "SkipNet", "ConvNet-AIG", "BlockDrop"}) {
+        Rng rng(1234);
+        ModelSpec spec = buildModel(model_name, rng);
+        std::map<std::string, double> avg;
+        for (const std::string& engine_name : kEngineNames) {
+            auto engine = makeEngine(engine_name, spec, device);
+            avg[engine_name] =
+                sweep(*engine, spec, samples, 55).avgSeconds;
+        }
+        double mnn = avg["MNN"];
+        printRow({spec.name, strFormat("%.2f", avg["ORT"] / mnn), "1.00",
+                  strFormat("%.2f", avg["TVM-N"] / mnn),
+                  strFormat("%.2f (%.2fx)", avg["SoD2"] / mnn,
+                            mnn / avg["SoD2"])});
+    }
+}
+
+}  // namespace
+
+int
+main()
+{
+    runDevice("Figure 13a: Snapdragon-835 CPU profile (simulated), "
+              "normalized by MNN",
+              DeviceProfile::sd835Cpu());
+    runDevice("Figure 13b: Snapdragon-835 GPU profile (simulated), "
+              "normalized by MNN",
+              DeviceProfile::sd835Gpu());
+    std::printf("(paper: similar speedup trends, larger on the older "
+                "SoC's constrained resources)\n");
+    return 0;
+}

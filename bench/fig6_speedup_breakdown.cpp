@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Paper Figure 6: execution speedup of the RDP-enabled optimizations
+ * (Fusion, SEP, DMP, MVC) over the "No opt." configuration on SDE,
+ * CodeBERT, RaNet, BlockDrop — mobile CPU and simulated mobile GPU.
+ */
+
+#include "harness.h"
+#include "support/string_util.h"
+
+using namespace sod2;
+using namespace sod2::bench;
+
+namespace {
+
+void
+runDevice(const char* title, const DeviceProfile& device)
+{
+    int samples = sampleCount();
+    struct Config
+    {
+        const char* label;
+        FusionMode fusion;
+        bool sep, dmp, mvc;
+    };
+    const Config configs[] = {
+        {"No opt.", FusionMode::kStatic, false, false, false},
+        {"+Fusion", FusionMode::kRdp, false, false, false},
+        {"+SEP", FusionMode::kRdp, true, false, false},
+        {"+DMP", FusionMode::kRdp, true, true, false},
+        {"+MVC", FusionMode::kRdp, true, true, true},
+    };
+
+    printHeader(title, {"Model", "No opt.", "+Fusion", "+SEP", "+DMP",
+                        "+MVC"});
+    for (const char* model_name :
+         {"SDE", "CodeBERT", "RaNet", "BlockDrop"}) {
+        Rng rng(1234);
+        ModelSpec spec = buildModel(model_name, rng);
+        double base = 0;
+        std::vector<std::string> row = {spec.name};
+        for (const Config& cfg : configs) {
+            auto engine = makeSod2(spec, device, cfg.fusion, cfg.sep,
+                                   cfg.dmp, cfg.mvc);
+            SweepResult r = sweep(*engine, spec, samples, 13);
+            if (base == 0)
+                base = r.avgSeconds;
+            row.push_back(strFormat("%.2fx", base / r.avgSeconds));
+        }
+        printRow(row);
+    }
+}
+
+}  // namespace
+
+int
+main()
+{
+    runDevice("Figure 6a: speedup over No opt., mobile CPU",
+              DeviceProfile::mobileCpu());
+    runDevice("Figure 6b: speedup over No opt., mobile GPU (simulated)",
+              DeviceProfile::mobileGpu());
+    std::printf("(paper CPU: fusion 1.3-1.9x, SEP +1.1-1.3x, DMP "
+                "+1.04-1.1x, MVC +1.3-1.6x)\n");
+    return 0;
+}

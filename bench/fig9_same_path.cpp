@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Paper Figure 9: apples-to-apples comparison with control flow
+ * disabled — SoD2 adopts MNN's "execute-all, strip-invalid" strategy so
+ * both engines run the identical operator set; remaining gains isolate
+ * RDP fusion + execution/memory planning. Models: SkipNet, ConvNet-AIG,
+ * RaNet, BlockDrop. (paper: 1.5-2.0x speedup, 1.2-1.5x memory)
+ */
+
+#include "harness.h"
+#include "support/string_util.h"
+
+using namespace sod2;
+using namespace sod2::bench;
+
+namespace {
+
+void
+runDevice(const char* title, const DeviceProfile& device)
+{
+    int samples = sampleCount();
+    printHeader(title, {"Model", "MNN ms", "SoD2 ms", "speedup",
+                        "MNN MiB", "SoD2 MiB", "mem ratio"});
+    for (const char* model_name :
+         {"SkipNet", "ConvNet-AIG", "RaNet", "BlockDrop"}) {
+        Rng rng(1234);
+        ModelSpec spec = buildModel(model_name, rng);
+
+        auto mnn = makeEngine("MNN", spec, device);
+        SweepResult rm = sweep(*mnn, spec, samples, 21);
+
+        // SoD2 with <Switch, Combine> support disabled: all branches
+        // execute, Combine strips (paper §5's fairness mode).
+        auto sod2 = makeSod2(spec, device, FusionMode::kRdp, true, true,
+                             true, /*all_branches=*/true);
+        SweepResult rs = sweep(*sod2, spec, samples, 21);
+
+        printRow({spec.name, fmtMs(rm.avgSeconds), fmtMs(rs.avgSeconds),
+                  strFormat("%.2fx", rm.avgSeconds / rs.avgSeconds),
+                  fmtMb(rm.avgMemory), fmtMb(rs.avgMemory),
+                  strFormat("%.2fx", rm.avgMemory / rs.avgMemory)});
+    }
+}
+
+}  // namespace
+
+int
+main()
+{
+    runDevice("Figure 9: same-execution-path comparison vs MNN, host CPU",
+              DeviceProfile::mobileCpu());
+    // The host CPU's large caches hide the memory-traffic savings the
+    // paper measures on mobile silicon; the constrained-device cost
+    // model makes them visible.
+    runDevice("Figure 9 (suppl.): same-execution-path, constrained "
+              "mobile profile (simulated)",
+              DeviceProfile::sd835Cpu());
+    std::printf("(paper: SoD2 1.5-2.0x faster, 1.2-1.5x less memory "
+                "even without branch selection)\n");
+    return 0;
+}

@@ -1,0 +1,165 @@
+#include "harness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/logging.h"
+#include "support/string_util.h"
+
+namespace sod2 {
+namespace bench {
+
+int
+sampleCount()
+{
+    if (const char* env = std::getenv("SOD2_BENCH_SAMPLES")) {
+        int n = std::atoi(env);
+        if (n > 0)
+            return n;
+    }
+    return 8;
+}
+
+std::unique_ptr<InferenceEngine>
+makeEngine(const std::string& name, const ModelSpec& spec,
+           const DeviceProfile& device)
+{
+    BaselineOptions bopts;
+    bopts.rdp = spec.rdp;
+    bopts.maxInputShapes = spec.maxInputShapes;
+    bopts.device = device;
+
+    if (name == "ORT")
+        return std::make_unique<OrtLikeEngine>(spec.graph.get(), bopts);
+    if (name == "MNN")
+        return std::make_unique<MnnLikeEngine>(spec.graph.get(), bopts);
+    if (name == "TVM-N")
+        return std::make_unique<TvmNimbleLikeEngine>(spec.graph.get(),
+                                                     bopts);
+    if (name == "TFLite")
+        return std::make_unique<TfliteLikeEngine>(spec.graph.get(), bopts);
+    if (name == "SoD2") {
+        Sod2Options sopts;
+        sopts.rdp = spec.rdp;
+        sopts.device = device;
+        return std::make_unique<Sod2EngineAdapter>(spec.graph.get(),
+                                                   std::move(sopts));
+    }
+    SOD2_THROW << "unknown engine '" << name << "'";
+}
+
+std::unique_ptr<InferenceEngine>
+makeSod2(const ModelSpec& spec, const DeviceProfile& device,
+         FusionMode fusion, bool sep, bool dmp, bool mvc,
+         bool all_branches)
+{
+    Sod2Options sopts;
+    sopts.rdp = spec.rdp;
+    sopts.device = device;
+    sopts.fusion = fusion;
+    sopts.enableSep = sep;
+    sopts.enableDmp = dmp;
+    sopts.enableMvc = mvc;
+    sopts.executeAllBranches = all_branches;
+    return std::make_unique<Sod2EngineAdapter>(spec.graph.get(),
+                                               std::move(sopts));
+}
+
+SweepResult
+sweep(InferenceEngine& engine, const ModelSpec& spec, int samples,
+      uint64_t seed, int64_t size_hint)
+{
+    SweepResult result;
+    // Warm-up run (arena growth, caches) excluded from aggregates, as
+    // the paper reports averages of repeated timed runs.
+    {
+        Rng warm(seed);
+        RunStats stats;
+        engine.run(spec.sample(warm, size_hint), &stats);
+    }
+    double total_s = 0, total_mem = 0;
+    for (int i = 0; i < samples; ++i) {
+        Rng rng(seed + 1 + i);  // identical stream for every engine
+        auto inputs = spec.sample(rng, size_hint);
+        RunStats stats;
+        engine.run(inputs, &stats);
+        double s = stats.seconds;
+        size_t mem = stats.peakMemoryBytes;
+        if (i == 0) {
+            result.minSeconds = result.maxSeconds = s;
+            result.minMemory = result.maxMemory = mem;
+        }
+        result.minSeconds = std::min(result.minSeconds, s);
+        result.maxSeconds = std::max(result.maxSeconds, s);
+        result.minMemory = std::min(result.minMemory, mem);
+        result.maxMemory = std::max(result.maxMemory, mem);
+        total_s += s;
+        total_mem += static_cast<double>(mem);
+    }
+    result.avgSeconds = total_s / samples;
+    result.avgMemory = total_mem / samples;
+    return result;
+}
+
+namespace {
+std::vector<size_t> g_widths;
+}
+
+void
+printHeader(const std::string& title, const std::vector<std::string>& cols)
+{
+    std::printf("\n== %s ==\n", title.c_str());
+    g_widths.clear();
+    for (const auto& c : cols)
+        g_widths.push_back(std::max<size_t>(c.size() + 2, 12));
+    printRow(cols);
+    printSeparator();
+}
+
+void
+printRow(const std::vector<std::string>& cells)
+{
+    std::string line;
+    for (size_t i = 0; i < cells.size(); ++i) {
+        size_t w = i < g_widths.size() ? g_widths[i] : 12;
+        line += padTo(cells[i], w);
+    }
+    std::printf("%s\n", line.c_str());
+}
+
+void
+printSeparator()
+{
+    size_t total = 0;
+    for (size_t w : g_widths)
+        total += w;
+    std::printf("%s\n", std::string(std::max<size_t>(total, 20), '-').c_str());
+}
+
+std::string
+fmtMs(double seconds)
+{
+    return strFormat("%.2f", seconds * 1e3);
+}
+
+std::string
+fmtMb(double bytes)
+{
+    return strFormat("%.2f", bytes / (1024.0 * 1024.0));
+}
+
+double
+geoMean(const std::vector<double>& values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / values.size());
+}
+
+}  // namespace bench
+}  // namespace sod2

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Paper Table 5: memory consumption (intermediate results) for ONNX
+ * Runtime, MNN, TVM-N, and SoD2 across the ten dynamic models on the
+ * mobile-CPU profile. Prints Min/Max MiB per engine plus the geo-mean
+ * footprint of each baseline normalized by SoD2 (paper: ORT 3.64x,
+ * MNN 1.37x, TVM-N 8.62x).
+ */
+
+#include <map>
+
+#include "harness.h"
+#include "support/string_util.h"
+
+using namespace sod2;
+using namespace sod2::bench;
+
+int
+main()
+{
+    int samples = sampleCount();
+    DeviceProfile device = DeviceProfile::mobileCpu();
+
+    printHeader("Table 5: memory consumption (MiB), mobile CPU",
+                {"Model", "Dyn", "ORT min", "ORT max", "MNN min",
+                 "MNN max", "TVM-N min", "TVM-N max", "SoD2 min",
+                 "SoD2 max"});
+
+    std::map<std::string, std::vector<double>> avg_mem;
+    for (const std::string& model_name : allModelNames()) {
+        Rng rng(1234);
+        ModelSpec spec = buildModel(model_name, rng);
+
+        std::vector<std::string> row = {spec.name, spec.dynamism};
+        for (const std::string& engine_name : kEngineNames) {
+            auto engine = makeEngine(engine_name, spec, device);
+            SweepResult r = sweep(*engine, spec, samples, 42);
+            row.push_back(fmtMb(r.minMemory));
+            row.push_back(fmtMb(r.maxMemory));
+            avg_mem[engine_name].push_back(r.avgMemory);
+        }
+        printRow(row);
+    }
+    printSeparator();
+
+    double sod2_geo = geoMean(avg_mem["SoD2"]);
+    printRow({"geo-mean /SoD2", "",
+              strFormat("%.2fx", geoMean(avg_mem["ORT"]) / sod2_geo), "",
+              strFormat("%.2fx", geoMean(avg_mem["MNN"]) / sod2_geo), "",
+              strFormat("%.2fx", geoMean(avg_mem["TVM-N"]) / sod2_geo), "",
+              "1.00x", ""});
+    std::printf("(paper: ORT 3.64x, MNN 1.37x, TVM-N 8.62x, SoD2 1x; "
+                "%d samples/model)\n", samples);
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Dynamic shapes end to end: a BERT-style encoder whose sequence length
+ * varies per input. Shows what RDP infers symbolically, what the fuser
+ * could prove from it, and how latency/memory behave across lengths —
+ * contrasted with an MNN-style engine that re-initializes per shape.
+ */
+
+#include <cstdio>
+
+#include "baselines/mnn_like.h"
+#include "models/model_zoo.h"
+
+using namespace sod2;
+
+int
+main()
+{
+    Rng rng(7);
+    ModelSpec spec = buildCodeBert(rng);
+
+    // Inspect the RDP result: intermediate shapes as expressions of the
+    // symbolic sequence length "s".
+    auto rdp = runRdp(*spec.graph, spec.rdp);
+    std::printf("RDP converged in %d iterations; sample shapes:\n",
+                rdp.iterations());
+    int shown = 0;
+    for (ValueId v = 0; v < spec.graph->numValues() && shown < 6; ++v) {
+        const Value& val = spec.graph->value(v);
+        if (val.isConstant() || val.isGraphInput)
+            continue;
+        if (rdp.categoryOf(v) == ShapeCategory::kSymbolic ||
+            rdp.categoryOf(v) == ShapeCategory::kOpInferred) {
+            std::printf("  %-22s : %s\n", val.name.c_str(),
+                        rdp.shapeOf(v).toString().c_str());
+            ++shown;
+        }
+    }
+
+    Sod2Options sopts;
+    sopts.rdp = spec.rdp;
+    Sod2Engine sod2(spec.graph.get(), sopts);
+
+    BaselineOptions bopts;
+    bopts.rdp = spec.rdp;
+    bopts.maxInputShapes = spec.maxInputShapes;
+    MnnLikeEngine mnn(spec.graph.get(), bopts);
+
+    std::printf("\nseq len |  SoD2 ms  |  MNN infer ms  | MNN re-init ms\n");
+    for (int64_t s : {32, 96, 160, 224, 288, 384}) {
+        Rng sr(100 + s);
+        auto inputs = spec.sample(sr, s);
+        RunStats ss, ms;
+        sod2.run(inputs, &ss);
+        mnn.run(inputs, &ms);
+        std::printf("  %4ld  |  %7.2f  |  %9.2f     |  %7.2f\n",
+                    static_cast<long>(s), ss.seconds * 1e3,
+                    ms.seconds * 1e3, ms.phaseSeconds["Reinit"] * 1e3);
+    }
+    std::printf("\nSoD2 compiled once; the MNN-style engine re-ran shape "
+                "propagation, tuning,\nand memory allocation for every "
+                "new length (paper Table 1).\n");
+    return 0;
+}

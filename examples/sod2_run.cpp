@@ -1,0 +1,196 @@
+/**
+ * @file
+ * sod2_run — CLI driver: load a .sod2 model, execute it on a chosen
+ * engine/device with randomly generated inputs of given shapes, and
+ * report latency and memory.
+ *
+ *   sod2_run <model.sod2> --engine SoD2|ORT|MNN|TVM-N
+ *            --input name=1x3x224x224[:f32|i64] ... [--runs N]
+ *            [--device cpu|gpu|sd835-cpu|sd835-gpu]
+ *
+ * Symbolic dims are inferred automatically: every input dim is declared
+ * symbolic unless pinned with --static.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/mnn_like.h"
+#include "baselines/ort_like.h"
+#include "baselines/tvm_nimble_like.h"
+#include "graph/serializer.h"
+#include "support/logging.h"
+
+using namespace sod2;
+
+namespace {
+
+struct InputSpec
+{
+    std::string name;
+    std::vector<int64_t> dims;
+    DType dtype = DType::kFloat32;
+};
+
+InputSpec
+parseInput(const std::string& arg)
+{
+    InputSpec spec;
+    size_t eq = arg.find('=');
+    SOD2_CHECK(eq != std::string::npos)
+        << "--input expects name=DxDx...[:dtype], got '" << arg << "'";
+    spec.name = arg.substr(0, eq);
+    std::string rest = arg.substr(eq + 1);
+    size_t colon = rest.find(':');
+    if (colon != std::string::npos) {
+        std::string dt = rest.substr(colon + 1);
+        if (dt == "i64")
+            spec.dtype = DType::kInt64;
+        else if (dt == "bool")
+            spec.dtype = DType::kBool;
+        else
+            SOD2_CHECK(dt == "f32") << "unknown dtype '" << dt << "'";
+        rest = rest.substr(0, colon);
+    }
+    size_t pos = 0;
+    while (pos < rest.size()) {
+        size_t x = rest.find('x', pos);
+        std::string tok =
+            rest.substr(pos, x == std::string::npos ? x : x - pos);
+        spec.dims.push_back(std::strtoll(tok.c_str(), nullptr, 10));
+        if (x == std::string::npos)
+            break;
+        pos = x + 1;
+    }
+    return spec;
+}
+
+Tensor
+makeInput(const InputSpec& spec, Rng& rng)
+{
+    Shape shape(spec.dims);
+    switch (spec.dtype) {
+      case DType::kInt64: {
+        Tensor t(DType::kInt64, shape);
+        for (int64_t i = 0; i < t.numElements(); ++i)
+            t.data<int64_t>()[i] = rng.uniformInt(0, 31);
+        return t;
+      }
+      case DType::kBool:
+        return Tensor::full(DType::kBool, shape, 1);
+      default:
+        return Tensor::randomUniform(shape, rng);
+    }
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2) {
+        std::printf("usage: %s <model.sod2> [--engine E] [--runs N] "
+                    "[--device D] --input name=1x3x224x224[:dtype] ...\n",
+                    argv[0]);
+        return 1;
+    }
+    std::string path = argv[1];
+    std::string engine_name = "SoD2";
+    std::string device_name = "cpu";
+    int runs = 5;
+    std::vector<InputSpec> inputs;
+    for (int i = 2; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&] {
+            SOD2_CHECK(i + 1 < argc) << a << " needs a value";
+            return std::string(argv[++i]);
+        };
+        if (a == "--engine")
+            engine_name = next();
+        else if (a == "--runs")
+            runs = std::atoi(next().c_str());
+        else if (a == "--device")
+            device_name = next();
+        else if (a == "--input")
+            inputs.push_back(parseInput(next()));
+        else
+            SOD2_THROW << "unknown argument '" << a << "'";
+    }
+
+    auto graph = loadGraph(path);
+    std::printf("loaded %s: %d nodes, %d values\n", path.c_str(),
+                graph->numNodes(), graph->numValues());
+
+    DeviceProfile device = DeviceProfile::mobileCpu();
+    if (device_name == "gpu")
+        device = DeviceProfile::mobileGpu();
+    else if (device_name == "sd835-cpu")
+        device = DeviceProfile::sd835Cpu();
+    else if (device_name == "sd835-gpu")
+        device = DeviceProfile::sd835Gpu();
+    else
+        SOD2_CHECK(device_name == "cpu")
+            << "unknown device '" << device_name << "'";
+
+    // Declare every provided input fully symbolic (rank from the dims).
+    BaselineOptions bopts;
+    bopts.device = device;
+    std::map<std::string, InputSpec> by_name;
+    for (const auto& spec : inputs)
+        by_name[spec.name] = spec;
+    for (ValueId in : graph->inputIds()) {
+        const Value& v = graph->value(in);
+        auto it = by_name.find(v.name);
+        SOD2_CHECK(it != by_name.end())
+            << "missing --input for graph input '" << v.name << "'";
+        bopts.rdp.inputRanks[v.name] =
+            static_cast<int>(it->second.dims.size());
+        bopts.maxInputShapes[v.name] = Shape(it->second.dims);
+    }
+
+    std::unique_ptr<InferenceEngine> engine;
+    if (engine_name == "SoD2") {
+        Sod2Options sopts;
+        sopts.rdp = bopts.rdp;
+        sopts.device = device;
+        engine = std::make_unique<Sod2EngineAdapter>(graph.get(),
+                                                     std::move(sopts));
+    } else if (engine_name == "ORT") {
+        engine = std::make_unique<OrtLikeEngine>(graph.get(), bopts);
+    } else if (engine_name == "MNN") {
+        engine = std::make_unique<MnnLikeEngine>(graph.get(), bopts);
+    } else if (engine_name == "TVM-N") {
+        engine = std::make_unique<TvmNimbleLikeEngine>(graph.get(), bopts);
+    } else {
+        SOD2_THROW << "unknown engine '" << engine_name << "'";
+    }
+
+    Rng rng(2024);
+    std::vector<Tensor> feed;
+    for (ValueId in : graph->inputIds())
+        feed.push_back(makeInput(by_name[graph->value(in).name], rng));
+
+    double best = 1e30, total = 0;
+    size_t peak = 0;
+    for (int r = 0; r < runs; ++r) {
+        RunStats stats;
+        auto out = engine->run(feed, &stats);
+        best = std::min(best, stats.seconds);
+        total += stats.seconds;
+        peak = std::max(peak, stats.peakMemoryBytes);
+        if (r == 0) {
+            std::printf("outputs:");
+            for (const auto& t : out)
+                std::printf(" %s", t.shape().toString().c_str());
+            std::printf("\n");
+        }
+    }
+    std::printf("%s on %s: best %.3f ms, avg %.3f ms over %d runs, "
+                "peak intermediates %.2f MiB\n",
+                engine->name().c_str(), device.name.c_str(), best * 1e3,
+                (total / runs) * 1e3, runs, peak / (1024.0 * 1024.0));
+    return 0;
+}

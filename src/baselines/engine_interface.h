@@ -1,0 +1,86 @@
+#ifndef SOD2_BASELINES_ENGINE_INTERFACE_H_
+#define SOD2_BASELINES_ENGINE_INTERFACE_H_
+
+/**
+ * @file
+ * Common interface over SoD2 and the four baseline engines so the
+ * benchmark harnesses can sweep them uniformly.
+ *
+ * Each baseline re-implements, on top of our shared kernel substrate,
+ * the *strategy* the corresponding product framework uses for dynamic
+ * DNNs (paper §2, §5.1):
+ *   - OrtLike       : per-input runtime shape inference + BFC-style
+ *                     pooling arena; executes all branches;
+ *   - MnnLike       : full execution re-initialization whenever the
+ *                     input-shape signature changes (shape propagation +
+ *                     layout selection, kernel schedule tuning, arena
+ *                     allocation), then fast static execution;
+ *   - TvmNimbleLike : VM-style — per-dispatch shape functions and
+ *                     per-tensor dynamic allocation, no cross-op plan;
+ *   - TfliteLike    : static plan with conservative *maximum-shape*
+ *                     memory allocation, re-initialization on shape
+ *                     change, and optional rematerialization under a
+ *                     fixed memory budget (Figure 11).
+ *
+ * Kernel parity across engines isolates strategy effects, mirroring the
+ * paper's same-execution-path study (§5.4).
+ */
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sod2_engine.h"
+
+namespace sod2 {
+
+/** Shared configuration for baseline engines. */
+struct BaselineOptions
+{
+    /** Input declarations (symbolic shapes/ranks) as given to SoD2 —
+     *  baselines use them only for rank checks and max-shape bounds. */
+    RdpOptions rdp;
+    /** Declared maximum input shapes (for conservative allocation).
+     *  Key: graph input name. */
+    std::map<std::string, Shape> maxInputShapes;
+    DeviceProfile device = DeviceProfile::mobileCpu();
+    /** TfliteLike only: arena byte budget; 0 = unlimited. */
+    size_t memoryBudget = 0;
+};
+
+/** Uniform engine interface for the benchmark harness. */
+class InferenceEngine
+{
+  public:
+    virtual ~InferenceEngine() = default;
+    virtual std::string name() const = 0;
+    virtual std::vector<Tensor> run(const std::vector<Tensor>& inputs,
+                                    RunStats* stats) = 0;
+};
+
+/** Adapter exposing Sod2Engine through the common interface. */
+class Sod2EngineAdapter : public InferenceEngine
+{
+  public:
+    Sod2EngineAdapter(const Graph* graph, Sod2Options options)
+        : engine_(graph, std::move(options))
+    {}
+
+    std::string name() const override { return "SoD2"; }
+
+    std::vector<Tensor>
+    run(const std::vector<Tensor>& inputs, RunStats* stats) override
+    {
+        return engine_.run(inputs, stats);
+    }
+
+    Sod2Engine& engine() { return engine_; }
+
+  private:
+    Sod2Engine engine_;
+};
+
+}  // namespace sod2
+
+#endif  // SOD2_BASELINES_ENGINE_INTERFACE_H_

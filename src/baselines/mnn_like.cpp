@@ -1,0 +1,243 @@
+#include "baselines/mnn_like.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "memory/lifetime.h"
+#include "rdp/rdp_analysis.h"
+#include "runtime/op_executor.h"
+#include "support/logging.h"
+
+namespace sod2 {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+since(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::vector<int64_t>
+signatureOf(const std::vector<Tensor>& inputs)
+{
+    std::vector<int64_t> sig;
+    for (const Tensor& t : inputs) {
+        sig.push_back(t.shape().rank());
+        for (int64_t d : t.shape().dims())
+            sig.push_back(d);
+    }
+    return sig;
+}
+
+}  // namespace
+
+MnnLikeEngine::MnnLikeEngine(const Graph* graph, BaselineOptions options)
+    : graph_(graph), options_(std::move(options))
+{
+    graph_->validate();
+}
+
+const MnnLikeEngine::CompiledState&
+MnnLikeEngine::compileFor(const std::vector<Tensor>& inputs,
+                          RunStats* stats)
+{
+    auto sig = signatureOf(inputs);
+    auto it = cache_.find(sig);
+    if (it != cache_.end()) {
+        if (stats) {
+            stats->phaseSeconds["SL"] = 0;
+            stats->phaseSeconds["ST"] = 0;
+            stats->phaseSeconds["Alloc"] = 0;
+        }
+        return it->second;
+    }
+    ++reinits_;
+    const Graph& g = *graph_;
+    CompiledState state;
+
+    // --- SL: shape propagation + layout selection ------------------------
+    auto t_sl = Clock::now();
+    RdpOptions concrete;
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        const Value& in = g.value(g.inputIds()[i]);
+        concrete.inputShapes[in.name] =
+            ShapeInfo::fromConcrete(inputs[i].shape().dims());
+    }
+    auto rdp = runRdp(g, concrete);
+    state.order = g.topoOrder();
+    state.value_shapes.resize(g.numValues());
+    for (ValueId v = 0; v < g.numValues(); ++v) {
+        if (rdp.shapeOf(v).isFullyStatic())
+            state.value_shapes[v] = Shape(rdp.shapeOf(v).staticDims());
+    }
+    // Layout selection: one scoring pass over every node's operands (a
+    // stand-in for NCHW/NC4HW4 choice — same asymptotic work).
+    double layout_score = 0;
+    for (NodeId n : state.order) {
+        for (ValueId in : g.node(n).inputs) {
+            const Shape& s = state.value_shapes[in];
+            for (int d = 0; d < s.rank(); ++d)
+                layout_score += static_cast<double>(s.dim(d) % 7);
+        }
+    }
+    (void)layout_score;
+    double sl = since(t_sl);
+
+    // --- ST: kernel schedule search / tuning ----------------------------
+    auto t_st = Clock::now();
+    state.versions = TunedVersions::defaults();
+    if (tuning_enabled_) {
+        // Tune one GEMM version per distinct heavy-op shape (capped),
+        // exactly the per-shape search MNN re-runs on re-init.
+        std::vector<std::vector<int64_t>> tuned_shapes;
+        int budget = 4;
+        for (NodeId n : state.order) {
+            const Node& node = g.node(n);
+            if (node.op != "MatMul" && node.op != "Conv")
+                continue;
+            const Shape& s = state.value_shapes[node.inputs[0]];
+            if (s.rank() < 2)
+                continue;
+            int64_t m = std::min<int64_t>(192, s.dimAt(-2));
+            int64_t k = std::min<int64_t>(192, s.dimAt(-1));
+            std::vector<int64_t> key = {m, k};
+            if (std::find(tuned_shapes.begin(), tuned_shapes.end(), key) !=
+                tuned_shapes.end())
+                continue;
+            tuned_shapes.push_back(key);
+            TunerOptions topts;
+            topts.population = 6;
+            topts.generations = 3;
+            GemmVariant v = tuneGemmVariant(std::max<int64_t>(32, m), 96,
+                                            std::max<int64_t>(32, k),
+                                            topts);
+            state.versions.gemm[classifyGemm(m, 64, k)] = v;
+            if (--budget == 0)
+                break;
+        }
+    }
+    double st = since(t_st);
+
+    // --- Alloc: lifetimes + greedy best-fit arena ------------------------
+    auto t_alloc = Clock::now();
+    auto intervals = computeLifetimes(g, rdp, state.order, {});
+    MemPlan plan = planGreedyBestFit(intervals);
+    SOD2_CHECK(validatePlan(intervals, plan));
+    for (size_t i = 0; i < intervals.size(); ++i)
+        state.offsets[intervals[i].value] = plan.offsets[i];
+    state.arena_bytes = plan.arenaBytes;
+    double alloc = since(t_alloc);
+
+    if (stats) {
+        stats->phaseSeconds["SL"] = sl;
+        stats->phaseSeconds["ST"] = st;
+        stats->phaseSeconds["Alloc"] = alloc;
+    }
+    return cache_.emplace(std::move(sig), std::move(state)).first->second;
+}
+
+std::vector<Tensor>
+MnnLikeEngine::run(const std::vector<Tensor>& inputs, RunStats* stats)
+{
+    const Graph& g = *graph_;
+    auto t0 = Clock::now();
+    const CompiledState& state = compileFor(inputs, stats);
+    double reinit = since(t0);
+
+    CostMeter meter(options_.device);
+    bool simulated = options_.device.simulated;
+    size_t grown = arena_.reserve(state.arena_bytes);
+    if (grown > 0 && simulated)
+        meter.chargeAllocTouch(static_cast<double>(grown));
+
+    auto t_infer = Clock::now();
+    KernelConfig config;
+    config.meter = simulated ? &meter : nullptr;
+
+    std::vector<Tensor> env(g.numValues());
+    for (size_t i = 0; i < inputs.size(); ++i)
+        env[g.inputIds()[i]] = inputs[i];
+
+    int executed = 0;
+    for (NodeId n : state.order) {
+        const Node& node = g.node(n);
+        std::vector<Tensor> ins;
+        ins.reserve(node.inputs.size());
+        for (ValueId in : node.inputs) {
+            const Value& v = g.value(in);
+            ins.push_back(v.isConstant() ? v.constant : env[in]);
+            SOD2_CHECK(ins.back().isValid())
+                << "MNN-like executes all paths; no value may be dead";
+        }
+
+        // Planned-slot allocator (EDO results fall back to the heap).
+        std::vector<ValueId> pending(node.outputs.begin(),
+                                     node.outputs.end());
+        size_t next = 0;
+        TensorAllocator alloc = [&](DType dtype, const Shape& shape) {
+            ValueId v = next < pending.size() ? pending[next++] : kNoNode;
+            auto it = v >= 0 ? state.offsets.find(v)
+                             : state.offsets.end();
+            if (it != state.offsets.end())
+                return arena_.viewAt(it->second, dtype, shape);
+            return Tensor(dtype, shape);
+        };
+
+        std::vector<Tensor> outs;
+        if (node.op == kSwitchOp) {
+            // Execute-all: copy data into every branch's planned slot.
+            int64_t branches = node.attrs.getInt("num_branches");
+            for (int64_t i = 0; i < branches; ++i) {
+                Tensor dst = alloc(ins[0].dtype(), ins[0].shape());
+                std::memcpy(dst.raw(), ins[0].raw(), ins[0].byteSize());
+                outs.push_back(std::move(dst));
+            }
+        } else if (node.op == kCombineOp) {
+            int64_t pred = ins[0].toInt64Vector().at(0);
+            SOD2_CHECK(pred >= 0 &&
+                       pred + 1 < static_cast<int64_t>(ins.size()));
+            const Tensor& chosen = ins[pred + 1];
+            Tensor dst = alloc(chosen.dtype(), chosen.shape());
+            std::memcpy(dst.raw(), chosen.raw(), chosen.byteSize());
+            outs.push_back(std::move(dst));
+        } else {
+            KernelConfig cfg = config;
+            if (node.op == "MatMul") {
+                cfg.gemm = state.versions.gemmFor(
+                    ins[0].shape().dimAt(-2), ins[1].shape().dimAt(-1),
+                    ins[0].shape().dimAt(-1));
+            }
+            outs = executeNode(g, node, ins, alloc, cfg);
+        }
+        ++executed;
+        SOD2_CHECK_EQ(outs.size(), node.outputs.size());
+        for (size_t i = 0; i < outs.size(); ++i)
+            env[node.outputs[i]] = std::move(outs[i]);
+    }
+
+    std::vector<Tensor> results;
+    for (ValueId out : g.outputIds())
+        results.push_back(env[out].isValid() ? env[out]
+                                             : g.value(out).constant);
+
+    if (stats) {
+        double infer = since(t_infer);
+        stats->phaseSeconds["Infer"] =
+            simulated ? meter.seconds() : infer;
+        stats->phaseSeconds["Reinit"] = reinit;
+        // Table 6 of the paper reports steady-state inference latency;
+        // re-initialization is accounted separately (its Table 1 — the
+        // reported MNN GPU numbers are far below its 30s Alloc phase,
+        // so re-init cannot be included there).
+        stats->seconds = simulated ? meter.seconds() : infer;
+        stats->arenaBytes = state.arena_bytes;
+        stats->peakMemoryBytes = state.arena_bytes;
+        stats->executedGroups = executed;
+    }
+    return results;
+}
+
+}  // namespace sod2

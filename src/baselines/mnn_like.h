@@ -1,0 +1,68 @@
+#ifndef SOD2_BASELINES_MNN_LIKE_H_
+#define SOD2_BASELINES_MNN_LIKE_H_
+
+/**
+ * @file
+ * MNN-style baseline: static-model execution extended to dynamic shapes
+ * by *execution re-initialization* (paper §2, Table 1). When the input
+ * shape signature changes the engine re-runs, from scratch:
+ *   SL    — concrete shape propagation + layout selection,
+ *   ST    — kernel schedule search / tuning (the GA auto-tuner),
+ *   Alloc — lifetime analysis + greedy best-fit arena planning,
+ * and only then executes. Control flow runs all branches and strips
+ * invalid results. Repeated signatures hit a compiled-state cache.
+ */
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "baselines/engine_interface.h"
+#include "codegen/kernel_tuner.h"
+#include "memory/planners.h"
+#include "runtime/arena.h"
+
+namespace sod2 {
+
+class MnnLikeEngine : public InferenceEngine
+{
+  public:
+    MnnLikeEngine(const Graph* graph, BaselineOptions options);
+
+    std::string name() const override { return "MNN"; }
+
+    std::vector<Tensor> run(const std::vector<Tensor>& inputs,
+                            RunStats* stats) override;
+
+    /** Number of re-initializations performed so far. */
+    int reinitCount() const { return reinits_; }
+
+    /** Disables the GA tuning stage (for benches where only the alloc
+     *  strategy is under study). */
+    void setTuningEnabled(bool on) { tuning_enabled_ = on; }
+
+  private:
+    /** Everything derived from one input-shape signature. */
+    struct CompiledState
+    {
+        std::vector<Shape> value_shapes;   // concrete, per ValueId
+        std::map<ValueId, size_t> offsets;
+        size_t arena_bytes = 0;
+        TunedVersions versions;
+        std::vector<NodeId> order;
+    };
+
+    const CompiledState& compileFor(const std::vector<Tensor>& inputs,
+                                    RunStats* stats);
+
+    const Graph* graph_;
+    BaselineOptions options_;
+    std::map<std::vector<int64_t>, CompiledState> cache_;
+    Arena arena_;
+    int reinits_ = 0;
+    bool tuning_enabled_ = true;
+};
+
+}  // namespace sod2
+
+#endif  // SOD2_BASELINES_MNN_LIKE_H_

@@ -1,0 +1,55 @@
+#include "baselines/ort_like.h"
+
+#include <chrono>
+
+#include "runtime/interpreter.h"
+#include "support/logging.h"
+
+namespace sod2 {
+
+OrtLikeEngine::OrtLikeEngine(const Graph* graph, BaselineOptions options)
+    : graph_(graph), options_(std::move(options)),
+      pool_(PoolAllocator::create())
+{
+    graph_->validate();
+}
+
+std::vector<Tensor>
+OrtLikeEngine::run(const std::vector<Tensor>& inputs, RunStats* stats)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    CostMeter meter(options_.device);
+    size_t pool_before = pool_->poolBytes();
+
+    InterpreterOptions opts;
+    opts.executeAllBranches = true;  // run-all, strip-invalid
+    opts.allocator = pool_->asAllocator();
+    opts.kernels.meter = options_.device.simulated ? &meter : nullptr;
+    Interpreter interp(graph_, opts);
+    auto outs = interp.run(inputs);
+
+    // Fresh (non-recycled) pool blocks pay the buffer-mapping cost on
+    // simulated GPUs — recycled blocks do not, which is the point of
+    // the BFC arena.
+    if (options_.device.simulated)
+        meter.chargeAllocTouch(
+            static_cast<double>(pool_->poolBytes() - pool_before));
+
+    if (stats) {
+        double wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        stats->seconds = options_.device.simulated
+                             ? meter.seconds()
+                             : wall;
+        // The whole pool counts: ORT keeps its arena for reuse.
+        stats->peakMemoryBytes = pool_->poolBytes();
+        stats->arenaBytes = pool_->poolBytes();
+        stats->dynamicBytes = 0;
+        stats->executedGroups = interp.executedNodeCount();
+    }
+    return outs;
+}
+
+}  // namespace sod2

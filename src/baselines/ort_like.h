@@ -1,0 +1,35 @@
+#ifndef SOD2_BASELINES_ORT_LIKE_H_
+#define SOD2_BASELINES_ORT_LIKE_H_
+
+/**
+ * @file
+ * ONNX-Runtime-style baseline: dynamic per-input shape inference with a
+ * BFC-like pooling arena. No symbolic analysis, no execution-order or
+ * offset planning; control flow runs all branches and strips invalid
+ * results (paper §5.1).
+ */
+
+#include "baselines/engine_interface.h"
+#include "memory/pool_allocator.h"
+
+namespace sod2 {
+
+class OrtLikeEngine : public InferenceEngine
+{
+  public:
+    OrtLikeEngine(const Graph* graph, BaselineOptions options);
+
+    std::string name() const override { return "ORT"; }
+
+    std::vector<Tensor> run(const std::vector<Tensor>& inputs,
+                            RunStats* stats) override;
+
+  private:
+    const Graph* graph_;
+    BaselineOptions options_;
+    std::shared_ptr<PoolAllocator> pool_;
+};
+
+}  // namespace sod2
+
+#endif  // SOD2_BASELINES_ORT_LIKE_H_

@@ -1,0 +1,328 @@
+#include "baselines/tflite_like.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <functional>
+
+#include "memory/lifetime.h"
+#include "rdp/rdp_analysis.h"
+#include "runtime/op_executor.h"
+#include "support/logging.h"
+
+namespace sod2 {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+since(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::vector<int64_t>
+signatureOf(const std::vector<Tensor>& inputs)
+{
+    std::vector<int64_t> sig;
+    for (const Tensor& t : inputs)
+        for (int64_t d : t.shape().dims())
+            sig.push_back(d);
+    return sig;
+}
+
+}  // namespace
+
+TfliteLikeEngine::TfliteLikeEngine(const Graph* graph,
+                                   BaselineOptions options)
+    : graph_(graph), options_(std::move(options))
+{
+    graph_->validate();
+    const Graph& g = *graph_;
+
+    // Conservative plan over the declared *maximum* input shapes.
+    RdpOptions max_opts;
+    for (ValueId in : g.inputIds()) {
+        const Value& v = g.value(in);
+        auto it = options_.maxInputShapes.find(v.name);
+        SOD2_CHECK(it != options_.maxInputShapes.end())
+            << "TFLite-like engine needs a max shape for input '"
+            << v.name << "'";
+        max_opts.inputShapes[v.name] =
+            ShapeInfo::fromConcrete(it->second.dims());
+    }
+    auto rdp = runRdp(g, max_opts);
+    auto order = g.topoOrder();
+    auto intervals = computeLifetimes(g, rdp, order, {});
+    std::vector<size_t> maxima;
+    maxima.reserve(intervals.size());
+    for (const auto& iv : intervals)
+        maxima.push_back(iv.bytes);
+    MemPlan plan = planConservativeMax(intervals, maxima);
+    SOD2_CHECK(validatePlan(intervals, plan));
+    for (size_t i = 0; i < intervals.size(); ++i) {
+        offsets_[intervals[i].value] = plan.offsets[i];
+        max_bytes_[intervals[i].value] = intervals[i].bytes;
+    }
+    arena_bytes_ = plan.arenaBytes;
+}
+
+std::vector<Tensor>
+TfliteLikeEngine::run(const std::vector<Tensor>& inputs, RunStats* stats)
+{
+    if (options_.memoryBudget > 0 &&
+        arena_bytes_ > options_.memoryBudget) {
+        return runBudgeted(inputs, stats);
+    }
+
+    const Graph& g = *graph_;
+    auto t0 = Clock::now();
+    CostMeter meter(options_.device);
+    bool simulated = options_.device.simulated;
+
+    // Re-initialization on signature change: re-run shape propagation.
+    auto sig = signatureOf(inputs);
+    double reinit = 0;
+    if (sig != last_signature_) {
+        auto t_r = Clock::now();
+        RdpOptions concrete;
+        for (size_t i = 0; i < inputs.size(); ++i) {
+            const Value& in = g.value(g.inputIds()[i]);
+            concrete.inputShapes[in.name] =
+                ShapeInfo::fromConcrete(inputs[i].shape().dims());
+        }
+        auto rdp = runRdp(g, concrete);
+        (void)rdp;
+        last_signature_ = sig;
+        reinit = since(t_r);
+    }
+
+    size_t grown = arena_.reserve(arena_bytes_);
+    if (grown > 0 && simulated)
+        meter.chargeAllocTouch(static_cast<double>(grown));
+
+    KernelConfig config;
+    config.meter = simulated ? &meter : nullptr;
+
+    std::vector<Tensor> env(g.numValues());
+    for (size_t i = 0; i < inputs.size(); ++i)
+        env[g.inputIds()[i]] = inputs[i];
+
+    int executed = 0;
+    for (NodeId n : g.topoOrder()) {
+        const Node& node = g.node(n);
+        std::vector<Tensor> ins;
+        for (ValueId in : node.inputs) {
+            const Value& v = g.value(in);
+            ins.push_back(v.isConstant() ? v.constant : env[in]);
+            SOD2_CHECK(ins.back().isValid());
+        }
+        std::vector<ValueId> pending(node.outputs.begin(),
+                                     node.outputs.end());
+        size_t next = 0;
+        TensorAllocator alloc = [&](DType dtype, const Shape& shape) {
+            ValueId v = next < pending.size() ? pending[next++] : kNoNode;
+            auto it = v >= 0 ? offsets_.find(v) : offsets_.end();
+            if (it != offsets_.end()) {
+                size_t need = static_cast<size_t>(shape.numElements()) *
+                              dtypeSize(dtype);
+                if (need <= max_bytes_[v])
+                    return arena_.viewAt(it->second, dtype, shape);
+            }
+            return Tensor(dtype, shape);
+        };
+
+        std::vector<Tensor> outs;
+        if (node.op == kSwitchOp) {
+            int64_t branches = node.attrs.getInt("num_branches");
+            for (int64_t i = 0; i < branches; ++i) {
+                Tensor dst = alloc(ins[0].dtype(), ins[0].shape());
+                std::memcpy(dst.raw(), ins[0].raw(), ins[0].byteSize());
+                outs.push_back(std::move(dst));
+            }
+        } else if (node.op == kCombineOp) {
+            int64_t pred = ins[0].toInt64Vector().at(0);
+            const Tensor& chosen = ins[pred + 1];
+            Tensor dst = alloc(chosen.dtype(), chosen.shape());
+            std::memcpy(dst.raw(), chosen.raw(), chosen.byteSize());
+            outs.push_back(std::move(dst));
+        } else {
+            outs = executeNode(g, node, ins, alloc, config);
+        }
+        ++executed;
+        for (size_t i = 0; i < outs.size(); ++i)
+            env[node.outputs[i]] = std::move(outs[i]);
+    }
+
+    std::vector<Tensor> results;
+    for (ValueId out : g.outputIds())
+        results.push_back(env[out].isValid() ? env[out]
+                                             : g.value(out).constant);
+    if (stats) {
+        stats->seconds =
+            simulated ? meter.seconds() + reinit : since(t0);
+        stats->arenaBytes = arena_bytes_;
+        stats->peakMemoryBytes = arena_bytes_;
+        stats->executedGroups = executed;
+        stats->phaseSeconds["Reinit"] = reinit;
+    }
+    return results;
+}
+
+std::vector<Tensor>
+TfliteLikeEngine::runBudgeted(const std::vector<Tensor>& inputs,
+                              RunStats* stats)
+{
+    const Graph& g = *graph_;
+    auto t0 = Clock::now();
+    CostMeter meter(options_.device);
+    bool simulated = options_.device.simulated;
+    KernelConfig config;
+    config.meter = simulated ? &meter : nullptr;
+
+    // Demand-driven execution with eviction: intermediates live on the
+    // heap; when the live set exceeds the budget, the least-recently
+    // used unpinned tensor is dropped and recomputed if needed again
+    // (XLA rematerialization policy).
+    std::vector<Tensor> env(g.numValues());
+    std::vector<int64_t> last_touch(g.numValues(), -1);
+    std::vector<bool> pinned(g.numValues(), false);
+    int64_t clock = 0;
+    size_t live = 0;
+    size_t peak = 0;
+    recomputes_ = 0;
+    std::vector<int> compute_count(g.numValues(), 0);
+
+    for (size_t i = 0; i < inputs.size(); ++i)
+        env[g.inputIds()[i]] = inputs[i];
+
+    auto evictUntilFits = [&](size_t need) {
+        while (live + need > options_.memoryBudget) {
+            ValueId victim = -1;
+            int64_t oldest = INT64_MAX;
+            for (ValueId v = 0; v < g.numValues(); ++v) {
+                if (!env[v].isValid() || pinned[v] ||
+                    g.value(v).isGraphInput || g.value(v).isGraphOutput)
+                    continue;
+                if (last_touch[v] < oldest) {
+                    oldest = last_touch[v];
+                    victim = v;
+                }
+            }
+            if (victim < 0)
+                return;  // nothing evictable: exceed the budget
+            live -= env[victim].byteSize();
+            env[victim] = Tensor();
+        }
+    };
+
+    std::function<void(ValueId)> ensure = [&](ValueId v) {
+        const Value& val = g.value(v);
+        if (env[v].isValid() || val.isConstant() || val.isGraphInput) {
+            last_touch[v] = ++clock;
+            return;
+        }
+        NodeId n = val.producer;
+        SOD2_CHECK_NE(n, kNoNode);
+        const Node& node = g.node(n);
+
+        // Materialize (possibly recomputing) the operands, pinned for
+        // the duration of this node's execution.
+        std::vector<Tensor> ins;
+        std::vector<ValueId> pins;
+        if (node.op == kCombineOp) {
+            ensure(node.inputs[0]);
+            const Value& pv = g.value(node.inputs[0]);
+            Tensor pred_t =
+                pv.isConstant() ? pv.constant : env[node.inputs[0]];
+            int64_t pred = pred_t.toInt64Vector().at(0);
+            ValueId chosen = node.inputs[1 + pred];
+            ensure(chosen);
+            const Value& cv = g.value(chosen);
+            Tensor src = cv.isConstant() ? cv.constant : env[chosen];
+            size_t need = src.byteSize();
+            evictUntilFits(need);
+            env[v] = src.clone();
+            live += need;
+            peak = std::max(peak, live);
+            last_touch[v] = ++clock;
+            return;
+        }
+        if (node.op == kSwitchOp) {
+            ensure(node.inputs[0]);
+            const Value& dv = g.value(node.inputs[0]);
+            Tensor src =
+                dv.isConstant() ? dv.constant : env[node.inputs[0]];
+            size_t need = src.byteSize();
+            evictUntilFits(need);
+            env[v] = src.clone();
+            live += need;
+            peak = std::max(peak, live);
+            last_touch[v] = ++clock;
+            return;
+        }
+
+        for (ValueId in : node.inputs) {
+            ensure(in);
+            pinned[in] = true;
+            pins.push_back(in);
+            const Value& iv = g.value(in);
+            ins.push_back(iv.isConstant() ? iv.constant : env[in]);
+        }
+
+        // Count heap growth of the outputs against the budget.
+        std::vector<Shape> out_shapes = inferConcreteShapes(g, node, ins);
+        size_t need = 0;
+        for (size_t i = 0; i < out_shapes.size(); ++i)
+            need += static_cast<size_t>(out_shapes[i].numElements()) *
+                    dtypeSize(g.value(node.outputs[i]).dtype);
+        evictUntilFits(need);
+
+        auto outs = executeNode(g, node, ins, heapAllocator(), config);
+        if (++compute_count[v] > 1)
+            ++recomputes_;
+        for (size_t i = 0; i < outs.size(); ++i) {
+            ValueId ov = node.outputs[i];
+            if (env[ov].isValid())
+                live -= env[ov].byteSize();
+            if (outs[i].isValid())
+                live += outs[i].byteSize();
+            env[ov] = std::move(outs[i]);
+            last_touch[ov] = ++clock;
+        }
+        peak = std::max(peak, live);
+        for (ValueId p : pins)
+            pinned[p] = false;
+    };
+
+    // Eager execute-all in topological order (the TFLite strategy):
+    // every node runs; evicted operands are recomputed on demand by
+    // ensure(). Dead Switch branches do not exist under execute-all
+    // semantics here because ensure() materializes whatever is asked;
+    // we ask for every node's outputs.
+    for (NodeId n : g.topoOrder()) {
+        for (ValueId out : g.node(n).outputs)
+            ensure(out);
+    }
+
+    std::vector<Tensor> results;
+    for (ValueId out : g.outputIds()) {
+        ensure(out);
+        const Value& v = g.value(out);
+        results.push_back(v.isConstant() ? v.constant : env[out]);
+        SOD2_CHECK(results.back().isValid());
+    }
+
+    if (stats) {
+        stats->seconds =
+            simulated ? meter.seconds() : since(t0);
+        stats->peakMemoryBytes = peak;
+        stats->arenaBytes = 0;
+        stats->dynamicBytes = peak;
+        stats->phaseSeconds["Recomputes"] =
+            static_cast<double>(recomputes_);
+    }
+    return results;
+}
+
+}  // namespace sod2

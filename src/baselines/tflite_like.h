@@ -1,0 +1,58 @@
+#ifndef SOD2_BASELINES_TFLITE_LIKE_H_
+#define SOD2_BASELINES_TFLITE_LIKE_H_
+
+/**
+ * @file
+ * TFLite-style baseline: a static-model engine stretched over dynamic
+ * shapes by (a) planning its arena once for the *declared maximum*
+ * input shapes (conservative allocation, paper §2) and (b) re-running
+ * shape propagation whenever the input signature changes. Under an
+ * explicit memory budget (Figure 11) it switches to an XLA-style
+ * rematerialization policy: intermediates are evicted when the live set
+ * exceeds the budget and recomputed on demand, trading latency for
+ * memory.
+ */
+
+#include <map>
+#include <vector>
+
+#include "baselines/engine_interface.h"
+#include "memory/planners.h"
+#include "runtime/arena.h"
+
+namespace sod2 {
+
+class TfliteLikeEngine : public InferenceEngine
+{
+  public:
+    /** Requires options.maxInputShapes to cover every graph input. */
+    TfliteLikeEngine(const Graph* graph, BaselineOptions options);
+
+    std::string name() const override { return "TFLite"; }
+
+    std::vector<Tensor> run(const std::vector<Tensor>& inputs,
+                            RunStats* stats) override;
+
+    /** Arena size of the conservative max-shape plan. */
+    size_t conservativeArenaBytes() const { return arena_bytes_; }
+
+    /** Recomputations performed by the last budgeted run. */
+    int lastRecomputeCount() const { return recomputes_; }
+
+  private:
+    std::vector<Tensor> runBudgeted(const std::vector<Tensor>& inputs,
+                                    RunStats* stats);
+
+    const Graph* graph_;
+    BaselineOptions options_;
+    std::map<ValueId, size_t> offsets_;      // max-shape plan
+    std::map<ValueId, size_t> max_bytes_;    // slot capacities
+    size_t arena_bytes_ = 0;
+    Arena arena_;
+    std::vector<int64_t> last_signature_;
+    int recomputes_ = 0;
+};
+
+}  // namespace sod2
+
+#endif  // SOD2_BASELINES_TFLITE_LIKE_H_

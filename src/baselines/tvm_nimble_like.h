@@ -1,0 +1,40 @@
+#ifndef SOD2_BASELINES_TVM_NIMBLE_LIKE_H_
+#define SOD2_BASELINES_TVM_NIMBLE_LIKE_H_
+
+/**
+ * @file
+ * TVM + Nimble-style baseline (paper §2 "Runtime Solutions"): a virtual
+ * machine that, per operator dispatch, (1) evaluates the operator's
+ * *shape function* on the materialized inputs and (2) dynamically
+ * allocates the output tensors from the heap. No cross-operator memory
+ * plan; the VM's register file keeps every intermediate alive until the
+ * end of the run, and the hosting RPC application adds a fixed resident
+ * overhead — together the causes of Table 5's large TVM-N footprints.
+ */
+
+#include "baselines/engine_interface.h"
+
+namespace sod2 {
+
+class TvmNimbleLikeEngine : public InferenceEngine
+{
+  public:
+    /** Resident overhead of the RPC host application, charged to every
+     *  run's footprint (scaled to our model sizes; see DESIGN.md). */
+    static constexpr size_t kRpcResidentBytes = 8ull << 20;
+
+    TvmNimbleLikeEngine(const Graph* graph, BaselineOptions options);
+
+    std::string name() const override { return "TVM-N"; }
+
+    std::vector<Tensor> run(const std::vector<Tensor>& inputs,
+                            RunStats* stats) override;
+
+  private:
+    const Graph* graph_;
+    BaselineOptions options_;
+};
+
+}  // namespace sod2
+
+#endif  // SOD2_BASELINES_TVM_NIMBLE_LIKE_H_

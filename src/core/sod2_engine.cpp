@@ -1,0 +1,423 @@
+#include "core/sod2_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "memory/branch_colors.h"
+#include "memory/lifetime.h"
+#include "memory/planners.h"
+#include "support/logging.h"
+
+namespace sod2 {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+Sod2Engine::Sod2Engine(const Graph* graph, Sod2Options options)
+    : graph_(graph), options_(std::move(options))
+{
+    SOD2_CHECK(graph_ != nullptr);
+    graph_->validate();
+    validateOps(*graph_);
+
+    // (1) RDP analysis.
+    rdp_ = std::make_unique<RdpResult>(runRdp(*graph_, options_.rdp));
+
+    // (1b) Constant folding: execute nodes whose inputs are all
+    // constants once, at compile time (folded results cap at 1 MiB to
+    // avoid trading weights for bloat). Control flow never folds.
+    if (options_.enableConstantFolding) {
+        const Graph& g = *graph_;
+        std::map<ValueId, Tensor> known;
+        for (ValueId v = 0; v < g.numValues(); ++v)
+            if (g.value(v).isConstant())
+                known.emplace(v, g.value(v).constant);
+        KernelConfig fold_config;
+        for (NodeId n : g.topoOrder()) {
+            const Node& node = g.node(n);
+            if (node.op == kSwitchOp || node.op == kCombineOp ||
+                node.op == "If" || node.op == "Loop")
+                continue;
+            bool ready = true;
+            std::vector<Tensor> ins;
+            for (ValueId in : node.inputs) {
+                auto it = known.find(in);
+                if (it == known.end()) {
+                    ready = false;
+                    break;
+                }
+                ins.push_back(it->second);
+            }
+            if (!ready)
+                continue;
+            auto outs = executeNode(g, node, ins, heapAllocator(),
+                                    fold_config);
+            bool keep = true;
+            for (const Tensor& t : outs)
+                if (t.byteSize() > (1u << 20))
+                    keep = false;
+            if (!keep)
+                continue;
+            for (size_t i = 0; i < outs.size(); ++i) {
+                known.emplace(node.outputs[i], outs[i]);
+                folded_.emplace(node.outputs[i], outs[i]);
+            }
+        }
+    }
+
+    // (2) Operator fusion under the configured proof strength.
+    switch (options_.fusion) {
+      case FusionMode::kNone:
+        fusion_ = buildNoFusionPlan(*graph_);
+        break;
+      case FusionMode::kStatic:
+        fusion_ = buildStaticFusionPlan(*graph_, *rdp_);
+        break;
+      case FusionMode::kRdp:
+        fusion_ = buildRdpFusionPlan(*graph_, *rdp_);
+        break;
+    }
+
+    // (3) Static execution planning.
+    SepOptions sep = options_.sep;
+    sep.enable = options_.enableSep;
+    plan_ = buildExecutionPlan(*graph_, *rdp_, fusion_, sep);
+
+    // (4) Fused-group compilation + kernel version table.
+    compiled_ = compilePlan(*graph_, fusion_);
+    versions_ = options_.enableMvc ? TunedVersions::defaults()
+                                   : TunedVersions::singleVersion();
+    if (!options_.enableDmp)
+        fallback_pool_ = PoolAllocator::create();
+
+    step_of_group_.assign(fusion_.numGroups(), 0);
+    for (size_t i = 0; i < plan_.order.size(); ++i)
+        step_of_group_[plan_.order[i]] = static_cast<int>(i);
+    subgraph_of_group_.assign(fusion_.numGroups(), 0);
+    for (size_t si = 0; si < plan_.subgraphs.size(); ++si)
+        for (int gi : plan_.subgraphs[si].groupOrder)
+            subgraph_of_group_[gi] = static_cast<int>(si);
+
+    // A group is skippable when every output of every node is folded.
+    group_folded_.assign(fusion_.numGroups(), false);
+    for (int gi = 0; gi < fusion_.numGroups(); ++gi) {
+        bool all = true;
+        for (NodeId n : fusion_.groups[gi].nodes)
+            for (ValueId v : graph_->node(n).outputs)
+                if (!folded_.count(v))
+                    all = false;
+        group_folded_[gi] = all;
+    }
+
+    // (5) DMP skeleton: intervals with symbolic sizes, computed once.
+    // Each run only evaluates the size expressions under the input's
+    // symbol bindings and replays the placement — the "lightweight"
+    // property §4.4.1 claims for the runtime plan instantiation.
+    if (options_.enableDmp) {
+        const Graph& g = *graph_;
+        std::vector<int> step_of_node(g.numNodes(), 0);
+        for (size_t step = 0; step < plan_.order.size(); ++step)
+            for (NodeId n : fusion_.groups[plan_.order[step]].nodes)
+                step_of_node[n] = static_cast<int>(step);
+
+        std::vector<std::shared_ptr<const BranchColors>> color_of;
+        if (!options_.executeAllBranches) {
+            auto colors = computeBranchColors(g);
+            color_of.resize(colors.size());
+            for (size_t v = 0; v < colors.size(); ++v)
+                if (!colors[v].empty())
+                    color_of[v] = std::make_shared<const BranchColors>(
+                        std::move(colors[v]));
+        }
+
+        for (int gi : plan_.order) {
+            for (NodeId n : fusion_.groups[gi].nodes) {
+                for (ValueId v : g.node(n).outputs) {
+                    if (!fusion_.materialized[v] || folded_.count(v))
+                        continue;
+                    const ShapeInfo& shape = rdp_->shapeOf(v);
+                    SymExprPtr elems = shape.numElementsExpr();
+                    if (!elems)
+                        continue;  // execution-determined: heap fallback
+                    IntervalTemplate t;
+                    t.value = v;
+                    t.defStep = step_of_group_[gi];
+                    t.lastUse = t.defStep;
+                    for (NodeId c : g.value(v).consumers)
+                        t.lastUse =
+                            std::max(t.lastUse, step_of_node[c]);
+                    if (g.value(v).isGraphOutput)
+                        t.lastUse =
+                            static_cast<int>(plan_.order.size()) - 1;
+                    t.bytesExpr =
+                        elems * SymExpr::constant(static_cast<int64_t>(
+                                    dtypeSize(g.value(v).dtype)));
+                    if (v < static_cast<ValueId>(color_of.size()))
+                        t.colors = color_of[v];
+                    interval_templates_.push_back(std::move(t));
+                }
+            }
+        }
+    }
+}
+
+int
+Sod2Engine::materializedValueCount() const
+{
+    int count = 0;
+    for (ValueId v = 0; v < graph_->numValues(); ++v) {
+        const Value& val = graph_->value(v);
+        if (!val.isConstant() && !val.isGraphInput &&
+            fusion_.materialized[v])
+            ++count;
+    }
+    return count;
+}
+
+std::vector<Tensor>
+Sod2Engine::run(const std::vector<Tensor>& inputs, RunStats* stats)
+{
+    const Graph& g = *graph_;
+    auto t_start = Clock::now();
+
+    CostMeter meter(options_.device);
+    bool simulated = options_.device.simulated;
+
+    // --- Bind symbols & instantiate the memory plan ---------------------
+    std::vector<Shape> in_shapes;
+    in_shapes.reserve(inputs.size());
+    for (const Tensor& t : inputs)
+        in_shapes.push_back(t.shape());
+    auto bindings = bindInputSymbols(g, options_.rdp, in_shapes);
+
+    // DMP instantiation: evaluate the cached interval skeletons'
+    // symbolic sizes under this input's bindings and replay the
+    // peak-outward placement. This is the only per-run planning work.
+    std::vector<size_t> offset_of(g.numValues(), SIZE_MAX);
+    size_t arena_bytes = 0;
+    if (options_.enableDmp && !interval_templates_.empty()) {
+        std::vector<Interval> intervals;
+        intervals.reserve(interval_templates_.size());
+        for (const IntervalTemplate& t : interval_templates_) {
+            auto bytes = t.bytesExpr->evaluate(bindings);
+            SOD2_CHECK(bytes.has_value())
+                << "unbound symbol in size of value "
+                << g.value(t.value).name;
+            Interval iv;
+            iv.value = t.value;
+            iv.defStep = t.defStep;
+            iv.lastUse = t.lastUse;
+            iv.bytes = static_cast<size_t>(*bytes);
+            iv.colors = t.colors;
+            intervals.push_back(std::move(iv));
+        }
+        MemPlan mem = planPeakOutward(intervals);
+        for (size_t i = 0; i < intervals.size(); ++i)
+            offset_of[intervals[i].value] = mem.offsets[i];
+        arena_bytes = mem.arenaBytes;
+        size_t grown = arena_.reserve(arena_bytes);
+        if (grown > 0) {
+            // Validate only when the plan actually changed scale; the
+            // planner itself is property-tested for overlap freedom.
+            SOD2_CHECK(validatePlan(intervals, mem))
+                << "DMP produced an overlapping plan";
+            if (simulated)
+                meter.chargeAllocTouch(static_cast<double>(grown));
+        }
+    }
+
+    double plan_seconds = secondsSince(t_start);
+    size_t pool_before = fallback_pool_ ? fallback_pool_->poolBytes() : 0;
+
+    // --- Execute ---------------------------------------------------------
+    TensorAllocStats& heap_stats = TensorAllocStats::instance();
+    size_t heap_before_live = heap_stats.liveBytes();
+    heap_stats.reset();  // track this run's dynamic allocations
+    (void)heap_before_live;
+
+    std::vector<Tensor> env(g.numValues());
+    for (size_t i = 0; i < inputs.size(); ++i)
+        env[g.inputIds()[i]] = inputs[i];
+    for (const auto& [v, t] : folded_)
+        env[v] = t;
+
+    std::vector<int> remaining_uses(g.numValues(), 0);
+    for (ValueId v = 0; v < g.numValues(); ++v)
+        remaining_uses[v] = static_cast<int>(g.value(v).consumers.size());
+
+    int executed = 0;
+    std::vector<double> sg_seconds(plan_.subgraphs.size(), 0.0);
+
+    KernelConfig base_config;
+    base_config.meter = simulated ? &meter : nullptr;
+
+    for (int gi : plan_.order) {
+        if (group_folded_[gi])
+            continue;  // pre-computed at compile time
+        const CompiledGroup& cg = compiled_[gi];
+        const FusionGroup& grp = fusion_.groups[gi];
+        auto t_g = Clock::now();
+        double sim_g = meter.seconds();
+
+        // Gather external inputs; detect dead paths.
+        std::vector<Tensor> ext;
+        ext.reserve(cg.externalInputs().size());
+        bool any_dead = false;
+        for (ValueId in : cg.externalInputs()) {
+            const Value& v = g.value(in);
+            if (v.isConstant()) {
+                ext.push_back(v.constant);
+            } else {
+                ext.push_back(env[in]);
+                if (!env[in].isValid())
+                    any_dead = true;
+            }
+        }
+
+        const Node& head = g.node(grp.nodes[0]);
+        bool is_switch = head.op == kSwitchOp;
+        bool is_combine = head.op == kCombineOp;
+
+        // Copies @p src into @p v's planned arena slot (or the heap when
+        // the slot is unplanned). Routing ops must *materialize* their
+        // result: an alias would outlive the source's planned lifetime.
+        auto materializeInto = [&](ValueId v, const Tensor& src) {
+            Tensor dst;
+            if (offset_of[v] != SIZE_MAX)
+                dst = arena_.viewAt(offset_of[v], src.dtype(),
+                                    src.shape());
+            else if (fallback_pool_)
+                dst = fallback_pool_->allocate(src.dtype(), src.shape());
+            else
+                dst = Tensor(src.dtype(), src.shape());
+            std::memcpy(dst.raw(), src.raw(), src.byteSize());
+            return dst;
+        };
+
+        std::vector<Tensor> outs;
+        if (is_switch) {
+            SOD2_CHECK(ext[1].isValid());
+            int64_t branches = head.attrs.getInt("num_branches");
+            int64_t pred = ext[1].toInt64Vector().at(0);
+            SOD2_CHECK(pred >= 0 && pred < branches);
+            outs.assign(branches, Tensor());
+            if (ext[0].isValid()) {
+                for (int64_t i = 0; i < branches; ++i)
+                    if (i == pred || options_.executeAllBranches)
+                        outs[i] =
+                            materializeInto(head.outputs[i], ext[0]);
+            }
+            ++executed;
+        } else if (is_combine) {
+            SOD2_CHECK(ext[0].isValid());
+            int64_t pred = ext[0].toInt64Vector().at(0);
+            SOD2_CHECK(pred >= 0 &&
+                       pred + 1 < static_cast<int64_t>(ext.size()));
+            SOD2_CHECK(ext[pred + 1].isValid()) << "dead branch selected";
+            outs = {materializeInto(head.outputs[0], ext[pred + 1])};
+            ++executed;
+        } else if (any_dead) {
+            outs.assign(g.node(grp.tail()).outputs.size(), Tensor());
+            if (grp.kind == GroupKind::kSingle)
+                outs.assign(head.outputs.size(), Tensor());
+        } else {
+            // Multi-version kernel selection from concrete shapes.
+            KernelConfig config = base_config;
+            if (head.op == "MatMul") {
+                const Shape& sa = ext[0].shape();
+                const Shape& sb = ext[1].shape();
+                config.gemm = versions_.gemmFor(
+                    sa.dimAt(-2), sb.dimAt(-1), sa.dimAt(-1));
+            } else if (head.op == "Conv") {
+                config.conv = versions_.convFor(
+                    ext[0].shape().dim(0) * ext[1].shape().dim(0));
+            }
+
+            // Arena-aware allocator: planned values take their slot,
+            // everything else (EDO results) falls back to the heap.
+            std::vector<ValueId> pending;
+            if (grp.kind == GroupKind::kSingle) {
+                pending.assign(head.outputs.begin(), head.outputs.end());
+            } else {
+                pending = {cg.outputValue()};
+            }
+            size_t next = 0;
+            TensorAllocator alloc = [&](DType dtype, const Shape& shape) {
+                ValueId v = next < pending.size()
+                                ? pending[next++]
+                                : kNoNode;
+                if (v >= 0 && offset_of[v] != SIZE_MAX)
+                    return arena_.viewAt(offset_of[v], dtype, shape);
+                if (fallback_pool_)
+                    return fallback_pool_->allocate(dtype, shape);
+                return Tensor(dtype, shape);
+            };
+            outs = cg.run(g, ext, alloc, config);
+            ++executed;
+        }
+
+        if (grp.kind == GroupKind::kSingle) {
+            SOD2_CHECK_EQ(outs.size(), head.outputs.size());
+            for (size_t i = 0; i < outs.size(); ++i)
+                env[head.outputs[i]] = std::move(outs[i]);
+        } else {
+            SOD2_CHECK_EQ(outs.size(), 1u);
+            env[cg.outputValue()] = std::move(outs[0]);
+        }
+
+        // Release dead heap tensors (arena views are free anyway).
+        for (NodeId n : grp.nodes) {
+            for (ValueId in : g.node(n).inputs) {
+                if (g.value(in).isConstant())
+                    continue;
+                if (--remaining_uses[in] == 0 &&
+                    !g.value(in).isGraphOutput)
+                    env[in] = Tensor();
+            }
+        }
+
+        int si = subgraph_of_group_[gi];
+        sg_seconds[si] += simulated ? (meter.seconds() - sim_g)
+                                    : secondsSince(t_g);
+    }
+
+    std::vector<Tensor> results;
+    for (ValueId out : g.outputIds()) {
+        SOD2_CHECK(env[out].isValid() || g.value(out).isConstant())
+            << "output '" << g.value(out).name << "' not produced";
+        results.push_back(env[out].isValid() ? env[out]
+                                             : g.value(out).constant);
+    }
+
+    // Fresh pool blocks pay the buffer-mapping cost on simulated GPUs,
+    // mirroring the arena's first-touch charge.
+    if (fallback_pool_ && simulated)
+        meter.chargeAllocTouch(static_cast<double>(
+            fallback_pool_->poolBytes() - pool_before));
+
+    if (stats) {
+        stats->arenaBytes = arena_bytes;
+        stats->dynamicBytes = heap_stats.peakBytes();
+        stats->peakMemoryBytes = arena_bytes + heap_stats.peakBytes() +
+                                 (fallback_pool_
+                                      ? fallback_pool_->poolBytes()
+                                      : 0);
+        stats->planSeconds = plan_seconds;
+        stats->executedGroups = executed;
+        stats->subgraphSeconds = std::move(sg_seconds);
+        stats->seconds = simulated ? meter.seconds() + plan_seconds
+                                   : secondsSince(t_start);
+    }
+    return results;
+}
+
+}  // namespace sod2

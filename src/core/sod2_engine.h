@@ -1,0 +1,146 @@
+#ifndef SOD2_CORE_SOD2_ENGINE_H_
+#define SOD2_CORE_SOD2_ENGINE_H_
+
+/**
+ * @file
+ * Sod2Engine — the end-to-end SoD2 pipeline (paper §4).
+ *
+ * compile time (constructor):  RDP analysis -> operator fusion (RDP or
+ * static) -> static execution planning -> fused-group compilation ->
+ * multi-version kernel table.
+ *
+ * run time (run()): bind symbolic constants against the concrete input
+ * shapes -> instantiate the memory-allocation plan (DMP: peak-outward
+ * placement over the now-known sizes) -> execute groups in the planned
+ * order through one arena, taking only live control-flow branches,
+ * selecting kernel versions per shape class.
+ *
+ * Every optimization can be toggled independently for the Figure 5/6
+ * ablation breakdowns.
+ */
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codegen/kernel_tuner.h"
+#include "fusion/fused_executor.h"
+#include "fusion/fusion_plan.h"
+#include "kernels/device_profile.h"
+#include "memory/branch_colors.h"
+#include "memory/pool_allocator.h"
+#include "planning/execution_plan.h"
+#include "rdp/rdp_analysis.h"
+#include "runtime/arena.h"
+
+namespace sod2 {
+
+/** Which fusion proof strength the engine compiles with. */
+enum class FusionMode { kNone, kStatic, kRdp };
+
+/** Compile-time configuration (the ablation switchboard). */
+struct Sod2Options
+{
+    RdpOptions rdp;
+    FusionMode fusion = FusionMode::kRdp;
+    /** Pre-compute nodes whose inputs are all constants (part of the
+     *  paper's baseline "general static optimizations"). */
+    bool enableConstantFolding = true;
+    bool enableSep = true;   ///< static execution planning (§4.3)
+    bool enableDmp = true;   ///< RDP-guided memory plan (§4.4.1)
+    bool enableMvc = true;   ///< multi-version kernels (§4.4.2)
+    /** Execute all Switch branches and strip (baseline parity mode). */
+    bool executeAllBranches = false;
+    DeviceProfile device = DeviceProfile::mobileCpu();
+    SepOptions sep;
+};
+
+/** Per-run measurements. */
+struct RunStats
+{
+    /** End-to-end latency: wall seconds on real devices, cost-model
+     *  seconds (plus host planning overhead) on simulated profiles. */
+    double seconds = 0.0;
+    /** Arena bytes reserved by the memory plan for this input. */
+    size_t arenaBytes = 0;
+    /** Peak heap bytes for execution-determined tensors. */
+    size_t dynamicBytes = 0;
+    /** Peak total intermediate footprint (arena + dynamic). */
+    size_t peakMemoryBytes = 0;
+    /** Host-side time spent binding symbols + instantiating the plan. */
+    double planSeconds = 0.0;
+    int executedGroups = 0;
+    /** Wall/simulated seconds attributed to each planned sub-graph. */
+    std::vector<double> subgraphSeconds;
+    /** Named phase breakdown (Table 1's SL/ST/Alloc/Infer columns for
+     *  engines that re-initialize). */
+    std::map<std::string, double> phaseSeconds;
+};
+
+/** Compiled engine for one model graph. */
+class Sod2Engine
+{
+  public:
+    /** Compiles @p graph; the graph must outlive the engine. */
+    Sod2Engine(const Graph* graph, Sod2Options options);
+
+    /** Executes one inference. */
+    std::vector<Tensor> run(const std::vector<Tensor>& inputs,
+                            RunStats* stats = nullptr);
+
+    // --- introspection (used by the breakdown benchmarks) ---------------
+    const RdpResult& rdp() const { return *rdp_; }
+    const FusionPlan& fusionPlan() const { return fusion_; }
+    const ExecutionPlan& executionPlan() const { return plan_; }
+    const Sod2Options& options() const { return options_; }
+
+    /** Count of materialized intermediate values (Fig 7 "IR size"
+     *  numerator, in tensors; bytes depend on the input). */
+    int materializedValueCount() const;
+
+    /** Number of node outputs folded to constants at compile time. */
+    int foldedValueCount() const
+    {
+        return static_cast<int>(folded_.size());
+    }
+
+  private:
+    const Graph* graph_;
+    Sod2Options options_;
+    std::unique_ptr<RdpResult> rdp_;
+    FusionPlan fusion_;
+    ExecutionPlan plan_;
+    std::vector<CompiledGroup> compiled_;
+    TunedVersions versions_;
+    Arena arena_;
+    /** Runtime allocator when DMP is disabled (the ablation's default
+     *  greedy pool, standing in for plan-less allocation). */
+    std::shared_ptr<PoolAllocator> fallback_pool_;
+    /** Step (position in plan order) of each group. */
+    std::vector<int> step_of_group_;
+    /** Sub-graph index of each group (for per-subgraph timing). */
+    std::vector<int> subgraph_of_group_;
+
+    /** Compile-time skeleton of one DMP interval: everything except the
+     *  concrete byte size, which binds per run (paper §4.4.1 — plan
+     *  structure is static, sizes arrive with the input). */
+    struct IntervalTemplate
+    {
+        ValueId value;
+        int defStep;
+        int lastUse;
+        SymExprPtr bytesExpr;  ///< bytes as a symbolic expression
+        std::shared_ptr<const BranchColors> colors;
+    };
+    std::vector<IntervalTemplate> interval_templates_;
+
+    /** Compile-time constant-folded values (seeded into every run). */
+    std::map<ValueId, Tensor> folded_;
+    /** Groups whose every output is folded (skipped at runtime). */
+    std::vector<bool> group_folded_;
+};
+
+}  // namespace sod2
+
+#endif  // SOD2_CORE_SOD2_ENGINE_H_

@@ -1,0 +1,304 @@
+#include "fusion/fused_executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "kernels/conv.h"
+#include "kernels/elementwise.h"
+#include "kernels/gemm.h"
+#include "support/logging.h"
+#include "support/threadpool.h"
+#include "tensor/broadcast.h"
+
+namespace sod2 {
+namespace {
+
+FusedOpCode
+opcodeFor(const std::string& name)
+{
+    if (name == "Add") return FusedOpCode::kAdd;
+    if (name == "Sub") return FusedOpCode::kSub;
+    if (name == "Mul") return FusedOpCode::kMul;
+    if (name == "Div") return FusedOpCode::kDiv;
+    if (name == "Pow") return FusedOpCode::kPow;
+    if (name == "Min") return FusedOpCode::kMin;
+    if (name == "Max") return FusedOpCode::kMax;
+    if (name == "Relu") return FusedOpCode::kRelu;
+    if (name == "LeakyRelu") return FusedOpCode::kLeakyRelu;
+    if (name == "Sigmoid") return FusedOpCode::kSigmoid;
+    if (name == "Tanh") return FusedOpCode::kTanh;
+    if (name == "Erf") return FusedOpCode::kErf;
+    if (name == "Exp") return FusedOpCode::kExp;
+    if (name == "Log") return FusedOpCode::kLog;
+    if (name == "Sqrt") return FusedOpCode::kSqrt;
+    if (name == "Neg") return FusedOpCode::kNeg;
+    if (name == "Abs") return FusedOpCode::kAbs;
+    if (name == "Round") return FusedOpCode::kRound;
+    if (name == "Clip") return FusedOpCode::kClip;
+    if (name == "Identity") return FusedOpCode::kIdentity;
+    if (name == "Softplus") return FusedOpCode::kSoftplus;
+    SOD2_THROW << "op '" << name << "' is not fusible";
+}
+
+}  // namespace
+
+CompiledGroup
+CompiledGroup::compile(const Graph& graph, const FusionGroup& group)
+{
+    CompiledGroup cg;
+    cg.kind_ = group.kind;
+    cg.nodes_ = group.nodes;
+    const Node& tail = graph.node(group.tail());
+    cg.output_ = tail.outputs[0];
+
+    if (group.kind == GroupKind::kSingle) {
+        const Node& node = graph.node(group.nodes[0]);
+        cg.inputs_ = node.inputs;
+        cg.output_ = node.outputs[0];
+        return cg;
+    }
+
+    // Register allocation: heavy anchors occupy register 0; every chain
+    // node gets the next register in order.
+    std::map<ValueId, int> reg_of;
+    size_t first_chain = 0;
+    if (group.kind == GroupKind::kHeavyWithEpilogue) {
+        const Node& anchor = graph.node(group.nodes[0]);
+        cg.inputs_ = anchor.inputs;  // anchor reads come first
+        cg.anchorRegister_ = 0;
+        reg_of[anchor.outputs[0]] = 0;
+        first_chain = 1;
+    } else {
+        cg.anchorRegister_ = -1;
+    }
+
+    auto externalIndex = [&](ValueId v) {
+        for (size_t i = 0; i < cg.inputs_.size(); ++i)
+            if (cg.inputs_[i] == v)
+                return static_cast<int>(i);
+        cg.inputs_.push_back(v);
+        return static_cast<int>(cg.inputs_.size()) - 1;
+    };
+
+    int next_reg = cg.anchorRegister_ + 1;
+    for (size_t i = first_chain; i < group.nodes.size(); ++i) {
+        const Node& node = graph.node(group.nodes[i]);
+        SOD2_CHECK_LT(next_reg, kMaxFusedRegisters)
+            << "fusion group too large to compile";
+        FusedInstr ins;
+        ins.op = opcodeFor(node.op);
+        ins.p0 = static_cast<float>(node.attrs.getFloat(
+            node.op == "Clip" ? "min" : "alpha",
+            node.op == "Clip" ? -3.4e38 : 0.01));
+        ins.p1 = static_cast<float>(node.attrs.getFloat("max", 3.4e38));
+
+        auto operand = [&](ValueId v, int which) {
+            auto it = reg_of.find(v);
+            const Value& val = graph.value(v);
+            bool scalar_const = val.isConstant() &&
+                                val.constant.numElements() == 1 &&
+                                val.constant.dtype() == DType::kFloat32;
+            int src;
+            bool is_scalar = false;
+            float imm = 0.0f;
+            if (it != reg_of.end()) {
+                src = it->second;
+            } else if (scalar_const) {
+                is_scalar = true;
+                imm = val.constant.data<float>()[0];
+                src = 0;
+            } else {
+                src = ~externalIndex(v);
+            }
+            if (which == 0) {
+                ins.src0 = src;
+                ins.src0Scalar = is_scalar;
+                ins.imm0 = imm;
+            } else {
+                ins.src1 = src;
+                ins.src1Scalar = is_scalar;
+                ins.imm1 = imm;
+                ins.src1Used = true;
+            }
+        };
+        operand(node.inputs[0], 0);
+        if (node.inputs.size() > 1)
+            operand(node.inputs[1], 1);
+        SOD2_CHECK_LE(node.inputs.size(), 2u)
+            << "fused ops are unary/binary";
+
+        cg.program_.push_back(ins);
+        reg_of[node.outputs[0]] = next_reg++;
+    }
+    for (const FusedInstr& ins : cg.program_) {
+        auto note = [&](int src, bool scalar) {
+            if (!scalar && src < 0)
+                cg.usedExternals_.push_back(~src);
+        };
+        note(ins.src0, ins.src0Scalar);
+        if (ins.src1Used)
+            note(ins.src1, ins.src1Scalar);
+    }
+    return cg;
+}
+
+std::vector<Tensor>
+CompiledGroup::run(const Graph& graph, const std::vector<Tensor>& ext,
+                   const TensorAllocator& alloc,
+                   const KernelConfig& config) const
+{
+    SOD2_CHECK_EQ(ext.size(), inputs_.size())
+        << "fused group input arity mismatch";
+
+    if (kind_ == GroupKind::kSingle) {
+        return executeNode(graph, graph.node(nodes_[0]), ext, alloc, config);
+    }
+
+    if (kind_ == GroupKind::kHeavyWithEpilogue) {
+        const Node& anchor = graph.node(nodes_[0]);
+        size_t n_anchor_inputs = anchor.inputs.size();
+        std::vector<Tensor> anchor_ins(ext.begin(),
+                                       ext.begin() + n_anchor_inputs);
+        std::vector<Shape> out_shapes =
+            inferConcreteShapes(graph, anchor, anchor_ins);
+        SOD2_CHECK_EQ(out_shapes.size(), 1u);
+        Tensor out = alloc(DType::kFloat32, out_shapes[0]);
+
+        // Epilogue externals (residual operands) read at the flat
+        // output index — legal because fusion proved same-shape. They
+        // may alias anchor inputs (residual of the conv's own input).
+        std::vector<const float*> epi_ptr(ext.size(), nullptr);
+        for (int e : usedExternals_) {
+            SOD2_CHECK(ext[e].shape() == out.shape())
+                << "epilogue external shape mismatch (fusion proof "
+                   "violated at runtime)";
+            epi_ptr[e] = ext[e].data<float>();
+        }
+        FusedEpilogue epi;
+        if (!program_.empty()) {
+            epi.program = &program_;
+            epi.anchorRegister = anchorRegister_;
+            epi.externals = epi_ptr.data();
+        }
+
+        if (anchor.op == "Conv") {
+            const Tensor* bias =
+                anchor_ins.size() > 2 ? &anchor_ins[2] : nullptr;
+            conv2d(anchor_ins[0], anchor_ins[1], bias, &out,
+                   anchor.attrs.getInt("stride", 1),
+                   anchor.attrs.getInt("pad", 0),
+                   anchor.attrs.getInt("group", 1), config.conv, epi);
+        } else if (anchor.op == "MatMul") {
+            matmul(anchor_ins[0], anchor_ins[1], &out, config.gemm);
+            if (epi) {
+                float* p = out.data<float>();
+                int64_t n = out.numElements();
+                parallelFor(
+                    n,
+                    [&](int64_t lo, int64_t hi) {
+                        for (int64_t i = lo; i < hi; ++i)
+                            p[i] = epi.apply(p[i], i);
+                    },
+                    1 << 14);
+            }
+        } else {
+            SOD2_THROW << "unsupported heavy anchor " << anchor.op;
+        }
+        if (config.meter) {
+            std::vector<Shape> in_shapes;
+            for (const Tensor& t : anchor_ins)
+                in_shapes.push_back(t.shape());
+            auto [flops, bytes] =
+                nodeCost(anchor, in_shapes, {out.shape()});
+            // The epilogue adds one flop per instruction per element
+            // plus one streaming read per external — still no extra
+            // intermediate materialization.
+            flops += static_cast<double>(program_.size()) *
+                     out.numElements();
+            bytes += 4.0 * out.numElements() *
+                     static_cast<double>(usedExternals_.size());
+            config.meter->chargeKernel(flops, bytes);
+        }
+        return {out};
+    }
+
+    // Elementwise chain: output shape is the broadcast of all externals.
+    std::vector<Shape> shapes;
+    shapes.reserve(ext.size());
+    for (const Tensor& t : ext)
+        shapes.push_back(t.shape());
+    Shape out_shape = broadcastShapes(shapes);
+    Tensor out = alloc(DType::kFloat32, out_shape);
+
+    auto out_strides = out_shape.strides();
+    std::vector<std::vector<int64_t>> ext_strides;
+    std::vector<const float*> ext_ptr;
+    // Fast path: an external covering the whole output space reads at
+    // the flat index directly (broadcastable + equal element count
+    // implies equal extents modulo leading 1s).
+    std::vector<bool> direct;
+    bool all_direct = true;
+    ext_strides.reserve(ext.size());
+    for (const Tensor& t : ext) {
+        SOD2_CHECK(t.dtype() == DType::kFloat32)
+            << "fused chains are f32-only";
+        ext_strides.push_back(broadcastStrides(t.shape(), out_shape));
+        ext_ptr.push_back(t.data<float>());
+        direct.push_back(t.numElements() == out_shape.numElements());
+        all_direct = all_direct && direct.back();
+    }
+
+    float* po = out.data<float>();
+    int64_t n = out_shape.numElements();
+    if (all_direct) {
+        parallelFor(
+            n,
+            [&](int64_t lo, int64_t hi) {
+                for (int64_t i = lo; i < hi; ++i) {
+                    po[i] = evalFusedProgram(program_, 0.0f, anchorRegister_,
+                                        [&](int e) {
+                                            return ext_ptr[e][i];
+                                        });
+                }
+            },
+            1 << 13);
+    } else {
+        parallelFor(
+            n,
+            [&](int64_t lo, int64_t hi) {
+                for (int64_t i = lo; i < hi; ++i) {
+                    po[i] = evalFusedProgram(
+                        program_, 0.0f, anchorRegister_, [&](int e) {
+                            return direct[e]
+                                       ? ext_ptr[e][i]
+                                       : ext_ptr[e][broadcastIndex(
+                                             i, out_strides,
+                                             ext_strides[e])];
+                        });
+                }
+            },
+            1 << 13);
+    }
+
+    if (config.meter) {
+        double bytes = 4.0 * n;
+        for (const Tensor& t : ext)
+            bytes += 4.0 * t.numElements();
+        config.meter->chargeKernel(
+            static_cast<double>(program_.size()) * n, bytes);
+    }
+    return {out};
+}
+
+std::vector<CompiledGroup>
+compilePlan(const Graph& graph, const FusionPlan& plan)
+{
+    std::vector<CompiledGroup> out;
+    out.reserve(plan.groups.size());
+    for (const FusionGroup& grp : plan.groups)
+        out.push_back(CompiledGroup::compile(graph, grp));
+    return out;
+}
+
+}  // namespace sod2

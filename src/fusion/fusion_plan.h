@@ -1,0 +1,73 @@
+#ifndef SOD2_FUSION_FUSION_PLAN_H_
+#define SOD2_FUSION_FUSION_PLAN_H_
+
+/**
+ * @file
+ * Operator fusion for dynamic DNNs (paper §4.2).
+ *
+ * Three plan builders share one greedy chain-growing algorithm and
+ * differ only in the *shape-equality proof* they accept:
+ *
+ *  - buildNoFusionPlan      : every node is its own group ("Original");
+ *  - buildStaticFusionPlan  : DNNFusion-style SFusion — fuse only when
+ *    shapes are fully known constants (what a static-DNN fuser can do);
+ *  - buildRdpFusionPlan     : SoD2 — accepts *symbolic* equality proofs
+ *    from RDP (provablySameShape / provable broadcast relations), which
+ *    is exactly what turns Figure 4's 8-version problem into one fused
+ *    loop.
+ *
+ * Groups are either single nodes, elementwise chains (executed as one
+ * loop over the output index space, internal values never materialized),
+ * or a heavy anchor (Conv/MatMul) with a scalar epilogue chain.
+ */
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "rdp/rdp_analysis.h"
+
+namespace sod2 {
+
+enum class GroupKind {
+    kSingle,             ///< unfused node
+    kElementwiseChain,   ///< one loop over a common index space
+    kHeavyWithEpilogue,  ///< Conv/MatMul + fused scalar epilogue
+};
+
+/** One fusion group; nodes are in topological order, the last node's
+ *  first output is the group's sole escaping value. */
+struct FusionGroup
+{
+    GroupKind kind = GroupKind::kSingle;
+    std::vector<NodeId> nodes;
+
+    NodeId tail() const { return nodes.back(); }
+};
+
+/** Whole-graph fusion plan. */
+struct FusionPlan
+{
+    std::vector<FusionGroup> groups;  ///< topologically ordered
+
+    /** materialized[v]: value v needs a real buffer (group boundaries,
+     *  graph outputs); internal fused values are false. */
+    std::vector<bool> materialized;
+
+    int numGroups() const { return static_cast<int>(groups.size()); }
+    /** Count of values eliminated from the IR by fusion. */
+    int fusedAwayValues(const Graph& g) const;
+};
+
+FusionPlan buildNoFusionPlan(const Graph& graph);
+FusionPlan buildStaticFusionPlan(const Graph& graph, const RdpResult& rdp);
+FusionPlan buildRdpFusionPlan(const Graph& graph, const RdpResult& rdp);
+
+/**
+ * Per-dim provable broadcast check (paper Figure 4): every dim of @p
+ * from is either a known constant 1 or provably equal to @p to's dim.
+ */
+bool provablyBroadcastableTo(const RdpResult& rdp, ValueId from, ValueId to);
+
+}  // namespace sod2
+
+#endif  // SOD2_FUSION_FUSION_PLAN_H_

@@ -1,0 +1,116 @@
+#include "graph/attr.h"
+
+#include <sstream>
+
+#include "support/logging.h"
+#include "support/string_util.h"
+
+namespace sod2 {
+
+const AttrValue&
+AttrMap::at(const std::string& key) const
+{
+    auto it = map_.find(key);
+    SOD2_CHECK(it != map_.end()) << "missing attribute '" << key << "'";
+    return it->second;
+}
+
+int64_t
+AttrMap::getInt(const std::string& key) const
+{
+    const AttrValue& v = at(key);
+    SOD2_CHECK(std::holds_alternative<int64_t>(v))
+        << "attribute '" << key << "' is not an int";
+    return std::get<int64_t>(v);
+}
+
+int64_t
+AttrMap::getInt(const std::string& key, int64_t def) const
+{
+    return has(key) ? getInt(key) : def;
+}
+
+double
+AttrMap::getFloat(const std::string& key) const
+{
+    const AttrValue& v = at(key);
+    if (std::holds_alternative<int64_t>(v))
+        return static_cast<double>(std::get<int64_t>(v));
+    SOD2_CHECK(std::holds_alternative<double>(v))
+        << "attribute '" << key << "' is not a float";
+    return std::get<double>(v);
+}
+
+double
+AttrMap::getFloat(const std::string& key, double def) const
+{
+    return has(key) ? getFloat(key) : def;
+}
+
+const std::string&
+AttrMap::getString(const std::string& key) const
+{
+    const AttrValue& v = at(key);
+    SOD2_CHECK(std::holds_alternative<std::string>(v))
+        << "attribute '" << key << "' is not a string";
+    return std::get<std::string>(v);
+}
+
+std::string
+AttrMap::getString(const std::string& key, const std::string& def) const
+{
+    return has(key) ? getString(key) : def;
+}
+
+const std::vector<int64_t>&
+AttrMap::getInts(const std::string& key) const
+{
+    const AttrValue& v = at(key);
+    SOD2_CHECK(std::holds_alternative<std::vector<int64_t>>(v))
+        << "attribute '" << key << "' is not an int list";
+    return std::get<std::vector<int64_t>>(v);
+}
+
+std::vector<int64_t>
+AttrMap::getInts(const std::string& key,
+                 const std::vector<int64_t>& def) const
+{
+    return has(key) ? getInts(key) : def;
+}
+
+std::shared_ptr<Graph>
+AttrMap::getGraph(const std::string& key) const
+{
+    const AttrValue& v = at(key);
+    SOD2_CHECK(std::holds_alternative<std::shared_ptr<Graph>>(v))
+        << "attribute '" << key << "' is not a graph";
+    return std::get<std::shared_ptr<Graph>>(v);
+}
+
+std::string
+AttrMap::toString() const
+{
+    std::ostringstream out;
+    bool first = true;
+    for (const auto& [key, value] : map_) {
+        if (!first)
+            out << ", ";
+        first = false;
+        out << key << "=";
+        if (std::holds_alternative<int64_t>(value))
+            out << std::get<int64_t>(value);
+        else if (std::holds_alternative<double>(value))
+            out << std::get<double>(value);
+        else if (std::holds_alternative<std::string>(value))
+            out << "'" << std::get<std::string>(value) << "'";
+        else if (std::holds_alternative<std::vector<int64_t>>(value))
+            out << bracketed(std::get<std::vector<int64_t>>(value));
+        else if (std::holds_alternative<std::vector<double>>(value))
+            out << bracketed(std::get<std::vector<double>>(value));
+        else
+            out << "<graph>";
+    }
+    return out.str();
+}
+
+}  // namespace sod2

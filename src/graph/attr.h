@@ -1,0 +1,65 @@
+#ifndef SOD2_GRAPH_ATTR_H_
+#define SOD2_GRAPH_ATTR_H_
+
+/**
+ * @file
+ * Operator attributes (ONNX-style): named scalars, lists, strings, and
+ * nested subgraphs (for If/Loop bodies).
+ */
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace sod2 {
+
+class Graph;
+
+/** One attribute value. Subgraphs are shared (If/Loop bodies). */
+using AttrValue = std::variant<int64_t, double, std::string,
+                               std::vector<int64_t>, std::vector<double>,
+                               std::shared_ptr<Graph>>;
+
+/** Ordered attribute dictionary with typed, defaulted accessors. */
+class AttrMap
+{
+  public:
+    AttrMap() = default;
+
+    bool has(const std::string& key) const { return map_.count(key) > 0; }
+
+    void set(const std::string& key, AttrValue value)
+    {
+        map_[key] = std::move(value);
+    }
+
+    /** Typed getters throw sod2::Error on type mismatch; the defaulted
+     *  forms return @p def when the key is absent. */
+    int64_t getInt(const std::string& key) const;
+    int64_t getInt(const std::string& key, int64_t def) const;
+    double getFloat(const std::string& key) const;
+    double getFloat(const std::string& key, double def) const;
+    const std::string& getString(const std::string& key) const;
+    std::string getString(const std::string& key,
+                          const std::string& def) const;
+    const std::vector<int64_t>& getInts(const std::string& key) const;
+    std::vector<int64_t> getInts(const std::string& key,
+                                 const std::vector<int64_t>& def) const;
+    std::shared_ptr<Graph> getGraph(const std::string& key) const;
+
+    const std::map<std::string, AttrValue>& entries() const { return map_; }
+
+    std::string toString() const;
+
+  private:
+    const AttrValue& at(const std::string& key) const;
+
+    std::map<std::string, AttrValue> map_;
+};
+
+}  // namespace sod2
+
+#endif  // SOD2_GRAPH_ATTR_H_

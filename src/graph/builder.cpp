@@ -1,0 +1,540 @@
+#include "graph/builder.h"
+
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace sod2 {
+
+ValueId
+GraphBuilder::input(const std::string& name, DType dtype)
+{
+    return g_->addInput(name, dtype);
+}
+
+ValueId
+GraphBuilder::constTensor(const std::string& name, Tensor t)
+{
+    return g_->addConstant(name, std::move(t));
+}
+
+ValueId
+GraphBuilder::constI64(const std::vector<int64_t>& values,
+                       const std::string& name)
+{
+    return g_->addConstant(name.empty() ? "ci64" : name,
+                           Tensor::fromInt64(values));
+}
+
+ValueId
+GraphBuilder::constScalarI64(int64_t value, const std::string& name)
+{
+    return g_->addConstant(name.empty() ? "si64" : name,
+                           Tensor::scalarInt64(value));
+}
+
+ValueId
+GraphBuilder::constScalarF32(float value, const std::string& name)
+{
+    return g_->addConstant(name.empty() ? "sf32" : name,
+                           Tensor::scalarFloat(value));
+}
+
+ValueId
+GraphBuilder::weight(const std::string& name, const std::vector<int64_t>& dims,
+                     Rng& rng)
+{
+    // He-style scale keeps activations bounded through deep stacks.
+    int64_t fan_in = 1;
+    for (size_t i = 1; i < dims.size(); ++i)
+        fan_in *= dims[i];
+    if (dims.size() <= 1 && !dims.empty())
+        fan_in = dims[0];
+    float scale = 1.0f / std::sqrt(static_cast<float>(fan_in > 0 ? fan_in : 1));
+    return g_->addConstant(
+        name, Tensor::randomUniform(Shape(dims), rng, -scale, scale));
+}
+
+ValueId
+GraphBuilder::unary(const std::string& op, ValueId x, AttrMap attrs)
+{
+    NodeId n = g_->addNode(op, {x}, 1, std::move(attrs));
+    ValueId out = g_->outputOf(n);
+    g_->value(out).dtype = g_->value(x).dtype;
+    return out;
+}
+
+ValueId
+GraphBuilder::binary(const std::string& op, ValueId a, ValueId b,
+                     AttrMap attrs)
+{
+    NodeId n = g_->addNode(op, {a, b}, 1, std::move(attrs));
+    ValueId out = g_->outputOf(n);
+    g_->value(out).dtype = g_->value(a).dtype;
+    return out;
+}
+
+ValueId GraphBuilder::add(ValueId a, ValueId b) { return binary("Add", a, b); }
+ValueId GraphBuilder::sub(ValueId a, ValueId b) { return binary("Sub", a, b); }
+ValueId GraphBuilder::mul(ValueId a, ValueId b) { return binary("Mul", a, b); }
+ValueId GraphBuilder::div(ValueId a, ValueId b) { return binary("Div", a, b); }
+ValueId GraphBuilder::pow(ValueId a, ValueId b) { return binary("Pow", a, b); }
+
+ValueId
+GraphBuilder::minimum(ValueId a, ValueId b)
+{
+    return binary("Min", a, b);
+}
+
+ValueId
+GraphBuilder::maximum(ValueId a, ValueId b)
+{
+    return binary("Max", a, b);
+}
+
+ValueId GraphBuilder::relu(ValueId x) { return unary("Relu", x); }
+
+ValueId
+GraphBuilder::leakyRelu(ValueId x, double alpha)
+{
+    AttrMap attrs;
+    attrs.set("alpha", alpha);
+    return unary("LeakyRelu", x, std::move(attrs));
+}
+
+ValueId GraphBuilder::sigmoid(ValueId x) { return unary("Sigmoid", x); }
+ValueId GraphBuilder::tanh(ValueId x) { return unary("Tanh", x); }
+ValueId GraphBuilder::erf(ValueId x) { return unary("Erf", x); }
+ValueId GraphBuilder::exp(ValueId x) { return unary("Exp", x); }
+ValueId GraphBuilder::log(ValueId x) { return unary("Log", x); }
+ValueId GraphBuilder::sqrt(ValueId x) { return unary("Sqrt", x); }
+ValueId GraphBuilder::neg(ValueId x) { return unary("Neg", x); }
+ValueId GraphBuilder::abs(ValueId x) { return unary("Abs", x); }
+ValueId GraphBuilder::round(ValueId x) { return unary("Round", x); }
+
+ValueId
+GraphBuilder::clip(ValueId x, double lo, double hi)
+{
+    AttrMap attrs;
+    attrs.set("min", lo);
+    attrs.set("max", hi);
+    return unary("Clip", x, std::move(attrs));
+}
+
+ValueId
+GraphBuilder::gelu(ValueId x)
+{
+    ValueId inv_sqrt2 = constScalarF32(0.70710678f);
+    ValueId half = constScalarF32(0.5f);
+    ValueId one = constScalarF32(1.0f);
+    return mul(mul(x, half), add(one, erf(mul(x, inv_sqrt2))));
+}
+
+ValueId
+GraphBuilder::equal(ValueId a, ValueId b)
+{
+    NodeId n = g_->addNode("Equal", {a, b}, 1, {}, "", {DType::kBool});
+    return g_->outputOf(n);
+}
+
+ValueId
+GraphBuilder::less(ValueId a, ValueId b)
+{
+    NodeId n = g_->addNode("Less", {a, b}, 1, {}, "", {DType::kBool});
+    return g_->outputOf(n);
+}
+
+ValueId
+GraphBuilder::greater(ValueId a, ValueId b)
+{
+    NodeId n = g_->addNode("Greater", {a, b}, 1, {}, "", {DType::kBool});
+    return g_->outputOf(n);
+}
+
+ValueId
+GraphBuilder::where(ValueId cond, ValueId a, ValueId b)
+{
+    NodeId n = g_->addNode("Where", {cond, a, b}, 1);
+    ValueId out = g_->outputOf(n);
+    g_->value(out).dtype = g_->value(a).dtype;
+    return out;
+}
+
+ValueId
+GraphBuilder::matmul(ValueId a, ValueId b)
+{
+    return binary("MatMul", a, b);
+}
+
+ValueId
+GraphBuilder::conv2d(ValueId x, ValueId w, ValueId bias, int stride, int pad,
+                     int group)
+{
+    AttrMap attrs;
+    attrs.set("stride", static_cast<int64_t>(stride));
+    attrs.set("pad", static_cast<int64_t>(pad));
+    attrs.set("group", static_cast<int64_t>(group));
+    std::vector<ValueId> ins = {x, w};
+    if (bias >= 0)
+        ins.push_back(bias);
+    NodeId n = g_->addNode("Conv", ins, 1, std::move(attrs));
+    return g_->outputOf(n);
+}
+
+ValueId
+GraphBuilder::maxPool(ValueId x, int kernel, int stride, int pad)
+{
+    AttrMap attrs;
+    attrs.set("kernel", static_cast<int64_t>(kernel));
+    attrs.set("stride", static_cast<int64_t>(stride));
+    attrs.set("pad", static_cast<int64_t>(pad));
+    return unary("MaxPool", x, std::move(attrs));
+}
+
+ValueId
+GraphBuilder::avgPool(ValueId x, int kernel, int stride, int pad)
+{
+    AttrMap attrs;
+    attrs.set("kernel", static_cast<int64_t>(kernel));
+    attrs.set("stride", static_cast<int64_t>(stride));
+    attrs.set("pad", static_cast<int64_t>(pad));
+    return unary("AveragePool", x, std::move(attrs));
+}
+
+ValueId
+GraphBuilder::globalAvgPool(ValueId x)
+{
+    return unary("GlobalAveragePool", x);
+}
+
+ValueId
+GraphBuilder::softmax(ValueId x, int axis)
+{
+    AttrMap attrs;
+    attrs.set("axis", static_cast<int64_t>(axis));
+    return unary("Softmax", x, std::move(attrs));
+}
+
+ValueId
+GraphBuilder::layerNorm(ValueId x, ValueId scale, ValueId bias, double eps)
+{
+    AttrMap attrs;
+    attrs.set("epsilon", eps);
+    NodeId n = g_->addNode("LayerNormalization", {x, scale, bias}, 1,
+                           std::move(attrs));
+    return g_->outputOf(n);
+}
+
+ValueId
+GraphBuilder::batchNorm(ValueId x, ValueId scale, ValueId bias, ValueId mean,
+                        ValueId var, double eps)
+{
+    AttrMap attrs;
+    attrs.set("epsilon", eps);
+    NodeId n = g_->addNode("BatchNormalization", {x, scale, bias, mean, var},
+                           1, std::move(attrs));
+    return g_->outputOf(n);
+}
+
+namespace {
+
+AttrMap
+reduceAttrs(const std::vector<int64_t>& axes, bool keepdims)
+{
+    AttrMap attrs;
+    attrs.set("axes", axes);
+    attrs.set("keepdims", static_cast<int64_t>(keepdims ? 1 : 0));
+    return attrs;
+}
+
+}  // namespace
+
+ValueId
+GraphBuilder::reduceMean(ValueId x, const std::vector<int64_t>& axes,
+                         bool keepdims)
+{
+    return unary("ReduceMean", x, reduceAttrs(axes, keepdims));
+}
+
+ValueId
+GraphBuilder::reduceSum(ValueId x, const std::vector<int64_t>& axes,
+                        bool keepdims)
+{
+    return unary("ReduceSum", x, reduceAttrs(axes, keepdims));
+}
+
+ValueId
+GraphBuilder::reduceMax(ValueId x, const std::vector<int64_t>& axes,
+                        bool keepdims)
+{
+    return unary("ReduceMax", x, reduceAttrs(axes, keepdims));
+}
+
+ValueId
+GraphBuilder::argMax(ValueId x, int axis, bool keepdims)
+{
+    AttrMap attrs;
+    attrs.set("axis", static_cast<int64_t>(axis));
+    attrs.set("keepdims", static_cast<int64_t>(keepdims ? 1 : 0));
+    NodeId n = g_->addNode("ArgMax", {x}, 1, std::move(attrs), "",
+                           {DType::kInt64});
+    return g_->outputOf(n);
+}
+
+ValueId
+GraphBuilder::shapeOf(ValueId x)
+{
+    NodeId n = g_->addNode("Shape", {x}, 1, {}, "", {DType::kInt64});
+    return g_->outputOf(n);
+}
+
+ValueId
+GraphBuilder::reshape(ValueId x, ValueId shape)
+{
+    NodeId n = g_->addNode("Reshape", {x, shape}, 1);
+    ValueId out = g_->outputOf(n);
+    g_->value(out).dtype = g_->value(x).dtype;
+    return out;
+}
+
+ValueId
+GraphBuilder::reshape(ValueId x, const std::vector<int64_t>& shape)
+{
+    return reshape(x, constI64(shape));
+}
+
+ValueId
+GraphBuilder::transpose(ValueId x, const std::vector<int64_t>& perm)
+{
+    AttrMap attrs;
+    attrs.set("perm", perm);
+    return unary("Transpose", x, std::move(attrs));
+}
+
+ValueId
+GraphBuilder::flatten(ValueId x, int axis)
+{
+    AttrMap attrs;
+    attrs.set("axis", static_cast<int64_t>(axis));
+    return unary("Flatten", x, std::move(attrs));
+}
+
+ValueId
+GraphBuilder::unsqueeze(ValueId x, const std::vector<int64_t>& axes)
+{
+    AttrMap attrs;
+    attrs.set("axes", axes);
+    return unary("Unsqueeze", x, std::move(attrs));
+}
+
+ValueId
+GraphBuilder::squeeze(ValueId x, const std::vector<int64_t>& axes)
+{
+    AttrMap attrs;
+    attrs.set("axes", axes);
+    return unary("Squeeze", x, std::move(attrs));
+}
+
+ValueId
+GraphBuilder::concat(const std::vector<ValueId>& xs, int axis)
+{
+    SOD2_CHECK(!xs.empty());
+    AttrMap attrs;
+    attrs.set("axis", static_cast<int64_t>(axis));
+    NodeId n = g_->addNode("Concat", xs, 1, std::move(attrs));
+    ValueId out = g_->outputOf(n);
+    g_->value(out).dtype = g_->value(xs[0]).dtype;
+    return out;
+}
+
+std::vector<ValueId>
+GraphBuilder::split(ValueId x, int axis, int num_parts)
+{
+    AttrMap attrs;
+    attrs.set("axis", static_cast<int64_t>(axis));
+    attrs.set("num_outputs", static_cast<int64_t>(num_parts));
+    NodeId n = g_->addNode("Split", {x}, num_parts, std::move(attrs));
+    std::vector<ValueId> outs;
+    for (int i = 0; i < num_parts; ++i) {
+        ValueId out = g_->outputOf(n, i);
+        g_->value(out).dtype = g_->value(x).dtype;
+        outs.push_back(out);
+    }
+    return outs;
+}
+
+ValueId
+GraphBuilder::slice(ValueId x, const std::vector<int64_t>& starts,
+                    const std::vector<int64_t>& ends,
+                    const std::vector<int64_t>& axes,
+                    const std::vector<int64_t>& steps)
+{
+    std::vector<ValueId> ins = {x, constI64(starts), constI64(ends),
+                                constI64(axes)};
+    if (!steps.empty())
+        ins.push_back(constI64(steps));
+    NodeId n = g_->addNode("Slice", ins, 1);
+    ValueId out = g_->outputOf(n);
+    g_->value(out).dtype = g_->value(x).dtype;
+    return out;
+}
+
+ValueId
+GraphBuilder::sliceDynamic(ValueId x, ValueId starts, ValueId ends,
+                           ValueId axes)
+{
+    NodeId n = g_->addNode("Slice", {x, starts, ends, axes}, 1);
+    ValueId out = g_->outputOf(n);
+    g_->value(out).dtype = g_->value(x).dtype;
+    return out;
+}
+
+ValueId
+GraphBuilder::gather(ValueId x, ValueId indices, int axis)
+{
+    AttrMap attrs;
+    attrs.set("axis", static_cast<int64_t>(axis));
+    NodeId n = g_->addNode("Gather", {x, indices}, 1, std::move(attrs));
+    ValueId out = g_->outputOf(n);
+    g_->value(out).dtype = g_->value(x).dtype;
+    return out;
+}
+
+ValueId
+GraphBuilder::cast(ValueId x, DType to)
+{
+    AttrMap attrs;
+    attrs.set("to", static_cast<int64_t>(to));
+    NodeId n = g_->addNode("Cast", {x}, 1, std::move(attrs), "", {to});
+    return g_->outputOf(n);
+}
+
+ValueId
+GraphBuilder::expand(ValueId x, ValueId shape)
+{
+    NodeId n = g_->addNode("Expand", {x, shape}, 1);
+    ValueId out = g_->outputOf(n);
+    g_->value(out).dtype = g_->value(x).dtype;
+    return out;
+}
+
+ValueId
+GraphBuilder::range(ValueId start, ValueId limit, ValueId delta)
+{
+    NodeId n = g_->addNode("Range", {start, limit, delta}, 1, {}, "",
+                           {g_->value(start).dtype});
+    return g_->outputOf(n);
+}
+
+ValueId
+GraphBuilder::constantOfShape(ValueId shape, double value)
+{
+    AttrMap attrs;
+    attrs.set("value", value);
+    NodeId n = g_->addNode("ConstantOfShape", {shape}, 1, std::move(attrs));
+    return g_->outputOf(n);
+}
+
+ValueId
+GraphBuilder::pad2d(ValueId x, int pad, double value)
+{
+    AttrMap attrs;
+    attrs.set("pad", static_cast<int64_t>(pad));
+    attrs.set("value", value);
+    return unary("Pad", x, std::move(attrs));
+}
+
+ValueId
+GraphBuilder::resizeNearest(ValueId x, ValueId scales)
+{
+    NodeId n = g_->addNode("Resize", {x, scales}, 1);
+    ValueId out = g_->outputOf(n);
+    g_->value(out).dtype = g_->value(x).dtype;
+    return out;
+}
+
+ValueId
+GraphBuilder::tile(ValueId x, ValueId repeats)
+{
+    NodeId n = g_->addNode("Tile", {x, repeats}, 1);
+    ValueId out = g_->outputOf(n);
+    g_->value(out).dtype = g_->value(x).dtype;
+    return out;
+}
+
+ValueId
+GraphBuilder::eyeLike(ValueId x)
+{
+    return unary("EyeLike", x);
+}
+
+ValueId
+GraphBuilder::oneHot(ValueId indices, int64_t depth)
+{
+    AttrMap attrs;
+    attrs.set("depth", depth);
+    NodeId n = g_->addNode("OneHot", {indices}, 1, std::move(attrs));
+    return g_->outputOf(n);
+}
+
+std::pair<ValueId, ValueId>
+GraphBuilder::topK(ValueId x, ValueId k, int axis)
+{
+    AttrMap attrs;
+    attrs.set("axis", static_cast<int64_t>(axis));
+    NodeId n = g_->addNode("TopK", {x, k}, 2, std::move(attrs), "",
+                           {g_->value(x).dtype, DType::kInt64});
+    return {g_->outputOf(n, 0), g_->outputOf(n, 1)};
+}
+
+ValueId
+GraphBuilder::nonZero(ValueId x)
+{
+    NodeId n = g_->addNode("NonZero", {x}, 1, {}, "", {DType::kInt64});
+    return g_->outputOf(n);
+}
+
+std::vector<ValueId>
+GraphBuilder::switchOp(ValueId data, ValueId pred, int num_branches)
+{
+    SOD2_CHECK_GE(num_branches, 1);
+    AttrMap attrs;
+    attrs.set("num_branches", static_cast<int64_t>(num_branches));
+    NodeId n = g_->addNode(kSwitchOp, {data, pred}, num_branches,
+                           std::move(attrs));
+    std::vector<ValueId> outs;
+    for (int i = 0; i < num_branches; ++i) {
+        ValueId out = g_->outputOf(n, i);
+        g_->value(out).dtype = g_->value(data).dtype;
+        outs.push_back(out);
+    }
+    return outs;
+}
+
+ValueId
+GraphBuilder::combine(ValueId pred, const std::vector<ValueId>& branches)
+{
+    SOD2_CHECK(!branches.empty());
+    std::vector<ValueId> ins = {pred};
+    ins.insert(ins.end(), branches.begin(), branches.end());
+    NodeId n = g_->addNode(kCombineOp, ins, 1);
+    ValueId out = g_->outputOf(n);
+    g_->value(out).dtype = g_->value(branches[0]).dtype;
+    return out;
+}
+
+ValueId
+GraphBuilder::ifOp(ValueId cond, std::shared_ptr<Graph> then_branch,
+                   std::shared_ptr<Graph> else_branch,
+                   const std::vector<ValueId>& captured)
+{
+    AttrMap attrs;
+    attrs.set("then_branch", std::move(then_branch));
+    attrs.set("else_branch", std::move(else_branch));
+    std::vector<ValueId> ins = {cond};
+    ins.insert(ins.end(), captured.begin(), captured.end());
+    NodeId n = g_->addNode("If", ins, 1, std::move(attrs));
+    return g_->outputOf(n);
+}
+
+}  // namespace sod2

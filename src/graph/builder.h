@@ -1,0 +1,166 @@
+#ifndef SOD2_GRAPH_BUILDER_H_
+#define SOD2_GRAPH_BUILDER_H_
+
+/**
+ * @file
+ * Fluent construction API over Graph. All model-zoo builders and tests
+ * use this instead of raw addNode calls. Helper names follow the ONNX
+ * operator they emit.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "support/rng.h"
+
+namespace sod2 {
+
+/** Thin, stateless wrapper adding one method per common operator. */
+class GraphBuilder
+{
+  public:
+    explicit GraphBuilder(Graph* graph) : g_(graph) {}
+
+    Graph* graph() { return g_; }
+
+    // --- leaves ----------------------------------------------------------
+
+    ValueId input(const std::string& name, DType dtype = DType::kFloat32);
+    ValueId constTensor(const std::string& name, Tensor t);
+    ValueId constI64(const std::vector<int64_t>& values,
+                     const std::string& name = "");
+    ValueId constScalarI64(int64_t value, const std::string& name = "");
+    ValueId constScalarF32(float value, const std::string& name = "");
+    /** Random-initialized f32 weight of @p dims. */
+    ValueId weight(const std::string& name, const std::vector<int64_t>& dims,
+                   Rng& rng);
+
+    void output(ValueId v) { g_->markOutput(v); }
+
+    // --- elementwise -----------------------------------------------------
+
+    ValueId add(ValueId a, ValueId b);
+    ValueId sub(ValueId a, ValueId b);
+    ValueId mul(ValueId a, ValueId b);
+    ValueId div(ValueId a, ValueId b);
+    ValueId pow(ValueId a, ValueId b);
+    ValueId minimum(ValueId a, ValueId b);
+    ValueId maximum(ValueId a, ValueId b);
+    ValueId relu(ValueId x);
+    ValueId leakyRelu(ValueId x, double alpha = 0.01);
+    ValueId sigmoid(ValueId x);
+    ValueId tanh(ValueId x);
+    ValueId erf(ValueId x);
+    ValueId exp(ValueId x);
+    ValueId log(ValueId x);
+    ValueId sqrt(ValueId x);
+    ValueId neg(ValueId x);
+    ValueId abs(ValueId x);
+    ValueId round(ValueId x);
+    ValueId clip(ValueId x, double lo, double hi);
+    ValueId gelu(ValueId x);  ///< composite: x*0.5*(1+erf(x/sqrt(2)))
+
+    // --- comparisons (bool outputs) ---------------------------------------
+
+    ValueId equal(ValueId a, ValueId b);
+    ValueId less(ValueId a, ValueId b);
+    ValueId greater(ValueId a, ValueId b);
+    ValueId where(ValueId cond, ValueId a, ValueId b);
+
+    // --- heavy compute -----------------------------------------------------
+
+    ValueId matmul(ValueId a, ValueId b);
+    /** NCHW Conv with OIHW weights. */
+    ValueId conv2d(ValueId x, ValueId w, ValueId bias, int stride = 1,
+                   int pad = 0, int group = 1);
+    ValueId maxPool(ValueId x, int kernel, int stride, int pad = 0);
+    ValueId avgPool(ValueId x, int kernel, int stride, int pad = 0);
+    ValueId globalAvgPool(ValueId x);
+
+    // --- normalization / activation blocks ---------------------------------
+
+    ValueId softmax(ValueId x, int axis = -1);
+    ValueId layerNorm(ValueId x, ValueId scale, ValueId bias,
+                      double eps = 1e-5);
+    /** Inference-mode BatchNormalization (folded running stats). */
+    ValueId batchNorm(ValueId x, ValueId scale, ValueId bias, ValueId mean,
+                      ValueId var, double eps = 1e-5);
+
+    // --- reductions ---------------------------------------------------------
+
+    ValueId reduceMean(ValueId x, const std::vector<int64_t>& axes,
+                       bool keepdims = true);
+    ValueId reduceSum(ValueId x, const std::vector<int64_t>& axes,
+                      bool keepdims = true);
+    ValueId reduceMax(ValueId x, const std::vector<int64_t>& axes,
+                      bool keepdims = true);
+    ValueId argMax(ValueId x, int axis, bool keepdims = false);
+
+    // --- shape / data movement ----------------------------------------------
+
+    ValueId shapeOf(ValueId x);
+    ValueId reshape(ValueId x, ValueId shape);
+    ValueId reshape(ValueId x, const std::vector<int64_t>& shape);
+    /** Braced-list form; without it {-1} would convert to a ValueId. */
+    ValueId
+    reshape(ValueId x, std::initializer_list<int64_t> shape)
+    {
+        return reshape(x, std::vector<int64_t>(shape));
+    }
+    ValueId transpose(ValueId x, const std::vector<int64_t>& perm);
+    ValueId flatten(ValueId x, int axis = 1);
+    ValueId unsqueeze(ValueId x, const std::vector<int64_t>& axes);
+    ValueId squeeze(ValueId x, const std::vector<int64_t>& axes);
+    ValueId concat(const std::vector<ValueId>& xs, int axis);
+    std::vector<ValueId> split(ValueId x, int axis, int num_parts);
+    ValueId slice(ValueId x, const std::vector<int64_t>& starts,
+                  const std::vector<int64_t>& ends,
+                  const std::vector<int64_t>& axes,
+                  const std::vector<int64_t>& steps = {});
+    /** Slice with runtime (value) bounds. */
+    ValueId sliceDynamic(ValueId x, ValueId starts, ValueId ends,
+                         ValueId axes);
+    ValueId gather(ValueId x, ValueId indices, int axis = 0);
+    ValueId cast(ValueId x, DType to);
+    ValueId expand(ValueId x, ValueId shape);
+    ValueId range(ValueId start, ValueId limit, ValueId delta);
+    ValueId constantOfShape(ValueId shape, double value = 0.0);
+    ValueId pad2d(ValueId x, int pad, double value = 0.0);
+    /** Nearest-neighbor Resize by integer scales (H and W). */
+    ValueId resizeNearest(ValueId x, ValueId scales);
+    ValueId tile(ValueId x, ValueId repeats);
+    ValueId eyeLike(ValueId x);
+    ValueId oneHot(ValueId indices, int64_t depth);
+    std::pair<ValueId, ValueId> topK(ValueId x, ValueId k, int axis = -1);
+    ValueId nonZero(ValueId x);
+
+    // --- control flow --------------------------------------------------------
+
+    /**
+     * Switch (paper Figure 1d): routes @p data to one of @p num_branches
+     * outputs selected by the int64 scalar @p pred at runtime.
+     */
+    std::vector<ValueId> switchOp(ValueId data, ValueId pred,
+                                  int num_branches);
+    /** Combine: selects branches[pred]; all branch shapes merge via RDP. */
+    ValueId combine(ValueId pred, const std::vector<ValueId>& branches);
+    /** If with then/else subgraphs, each mapping (data) -> one output. */
+    ValueId ifOp(ValueId cond, std::shared_ptr<Graph> then_branch,
+                 std::shared_ptr<Graph> else_branch,
+                 const std::vector<ValueId>& captured);
+
+    // --- generic escape hatch -------------------------------------------------
+
+    ValueId unary(const std::string& op, ValueId x, AttrMap attrs = {});
+    ValueId binary(const std::string& op, ValueId a, ValueId b,
+                   AttrMap attrs = {});
+
+  private:
+    Graph* g_;
+};
+
+}  // namespace sod2
+
+#endif  // SOD2_GRAPH_BUILDER_H_

@@ -1,0 +1,253 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace sod2 {
+
+ValueId
+Graph::newValue(const std::string& name, DType dtype)
+{
+    Value v;
+    v.id = static_cast<ValueId>(values_.size());
+    v.name = name.empty() ? ("v" + std::to_string(v.id)) : name;
+    v.dtype = dtype;
+    values_.push_back(std::move(v));
+    return values_.back().id;
+}
+
+ValueId
+Graph::addInput(const std::string& name, DType dtype)
+{
+    ValueId id = newValue(name, dtype);
+    values_[id].isGraphInput = true;
+    inputs_.push_back(id);
+    return id;
+}
+
+ValueId
+Graph::addConstant(const std::string& name, Tensor tensor)
+{
+    SOD2_CHECK(tensor.isValid()) << "constant '" << name << "' has no data";
+    ValueId id = newValue(name, tensor.dtype());
+    values_[id].constant = std::move(tensor);
+    return id;
+}
+
+NodeId
+Graph::addNode(const std::string& op, const std::vector<ValueId>& inputs,
+               int num_outputs, AttrMap attrs, const std::string& name,
+               const std::vector<DType>& out_dtypes)
+{
+    SOD2_CHECK_GT(num_outputs, 0);
+    SOD2_CHECK(out_dtypes.empty() ||
+               static_cast<int>(out_dtypes.size()) == num_outputs)
+        << "out_dtypes size mismatch for op " << op;
+
+    Node n;
+    n.id = static_cast<NodeId>(nodes_.size());
+    n.op = op;
+    n.name = name.empty() ? (op + "_" + std::to_string(n.id)) : name;
+    n.attrs = std::move(attrs);
+
+    for (ValueId in : inputs) {
+        SOD2_CHECK_GE(in, 0);
+        SOD2_CHECK_LT(in, numValues());
+        n.inputs.push_back(in);
+        values_[in].consumers.push_back(n.id);
+    }
+    for (int i = 0; i < num_outputs; ++i) {
+        DType dt = out_dtypes.empty() ? DType::kFloat32 : out_dtypes[i];
+        ValueId out = newValue(n.name + ":" + std::to_string(i), dt);
+        values_[out].producer = n.id;
+        values_[out].producerOutputIndex = i;
+        n.outputs.push_back(out);
+    }
+    nodes_.push_back(std::move(n));
+    return nodes_.back().id;
+}
+
+void
+Graph::markOutput(ValueId v)
+{
+    SOD2_CHECK_GE(v, 0);
+    SOD2_CHECK_LT(v, numValues());
+    SOD2_CHECK(!values_[v].isGraphOutput)
+        << "value '" << values_[v].name << "' already marked as output";
+    values_[v].isGraphOutput = true;
+    outputs_.push_back(v);
+}
+
+const Value&
+Graph::value(ValueId id) const
+{
+    SOD2_CHECK(id >= 0 && id < numValues()) << "bad value id " << id;
+    return values_[id];
+}
+
+Value&
+Graph::value(ValueId id)
+{
+    SOD2_CHECK(id >= 0 && id < numValues()) << "bad value id " << id;
+    return values_[id];
+}
+
+const Node&
+Graph::node(NodeId id) const
+{
+    SOD2_CHECK(id >= 0 && id < numNodes()) << "bad node id " << id;
+    return nodes_[id];
+}
+
+Node&
+Graph::node(NodeId id)
+{
+    SOD2_CHECK(id >= 0 && id < numNodes()) << "bad node id " << id;
+    return nodes_[id];
+}
+
+ValueId
+Graph::outputOf(NodeId n, int index) const
+{
+    const Node& nd = node(n);
+    SOD2_CHECK_GE(index, 0);
+    SOD2_CHECK_LT(index, static_cast<int>(nd.outputs.size()));
+    return nd.outputs[index];
+}
+
+std::vector<NodeId>
+Graph::predecessorsOf(NodeId n) const
+{
+    std::vector<NodeId> out;
+    for (ValueId in : node(n).inputs) {
+        NodeId p = values_[in].producer;
+        if (p == kNoNode)
+            continue;
+        if (std::find(out.begin(), out.end(), p) == out.end())
+            out.push_back(p);
+    }
+    return out;
+}
+
+std::vector<NodeId>
+Graph::successorsOf(NodeId n) const
+{
+    std::vector<NodeId> out;
+    for (ValueId ov : node(n).outputs) {
+        for (NodeId c : values_[ov].consumers) {
+            if (std::find(out.begin(), out.end(), c) == out.end())
+                out.push_back(c);
+        }
+    }
+    return out;
+}
+
+std::vector<NodeId>
+Graph::topoOrder() const
+{
+    // Iterative post-order DFS from sinks gives a reverse topological
+    // order; nodes are visited in id order for determinism.
+    std::vector<int> state(nodes_.size(), 0);  // 0=unseen 1=open 2=done
+    std::vector<NodeId> post;
+    post.reserve(nodes_.size());
+
+    for (NodeId root = 0; root < numNodes(); ++root) {
+        if (state[root] != 0)
+            continue;
+        std::vector<std::pair<NodeId, size_t>> stack;
+        stack.emplace_back(root, 0);
+        state[root] = 1;
+        while (!stack.empty()) {
+            auto& [n, next_pred] = stack.back();
+            std::vector<NodeId> preds = predecessorsOf(n);
+            if (next_pred < preds.size()) {
+                NodeId p = preds[next_pred++];
+                if (state[p] == 0) {
+                    state[p] = 1;
+                    stack.emplace_back(p, 0);
+                } else {
+                    SOD2_CHECK(state[p] == 2)
+                        << "cycle in graph through node " << node(p).name;
+                }
+            } else {
+                state[n] = 2;
+                post.push_back(n);
+                stack.pop_back();
+            }
+        }
+    }
+    return post;
+}
+
+void
+Graph::validate() const
+{
+    for (const Value& v : values_) {
+        if (v.producer != kNoNode) {
+            const Node& p = node(v.producer);
+            SOD2_CHECK_LT(v.producerOutputIndex,
+                          static_cast<int>(p.outputs.size()));
+            SOD2_CHECK_EQ(p.outputs[v.producerOutputIndex], v.id);
+            SOD2_CHECK(!v.isConstant())
+                << "value '" << v.name << "' is both produced and constant";
+            SOD2_CHECK(!v.isGraphInput)
+                << "value '" << v.name << "' is both produced and an input";
+        }
+        for (NodeId c : v.consumers) {
+            const Node& cn = node(c);
+            SOD2_CHECK(std::find(cn.inputs.begin(), cn.inputs.end(), v.id) !=
+                       cn.inputs.end())
+                << "consumer list inconsistent for value '" << v.name << "'";
+        }
+    }
+    for (const Node& n : nodes_) {
+        for (ValueId in : n.inputs)
+            SOD2_CHECK(in >= 0 && in < numValues());
+        SOD2_CHECK(!n.outputs.empty());
+    }
+    // topoOrder throws on cycles and must cover every node.
+    SOD2_CHECK_EQ(topoOrder().size(), nodes_.size());
+}
+
+std::string
+Graph::toString() const
+{
+    std::ostringstream out;
+    out << "graph(inputs=[";
+    for (size_t i = 0; i < inputs_.size(); ++i)
+        out << (i ? ", " : "") << values_[inputs_[i]].name;
+    out << "], outputs=[";
+    for (size_t i = 0; i < outputs_.size(); ++i)
+        out << (i ? ", " : "") << values_[outputs_[i]].name;
+    out << "]) {\n";
+    for (NodeId n : topoOrder()) {
+        const Node& nd = nodes_[n];
+        out << "  ";
+        for (size_t i = 0; i < nd.outputs.size(); ++i)
+            out << (i ? ", " : "") << values_[nd.outputs[i]].name;
+        out << " = " << nd.op << "(";
+        for (size_t i = 0; i < nd.inputs.size(); ++i)
+            out << (i ? ", " : "") << values_[nd.inputs[i]].name;
+        out << ")";
+        if (!nd.attrs.entries().empty())
+            out << " {" << nd.attrs.toString() << "}";
+        out << "\n";
+    }
+    out << "}\n";
+    return out.str();
+}
+
+int
+Graph::numNonConstantValues() const
+{
+    int count = 0;
+    for (const Value& v : values_)
+        if (!v.isConstant())
+            ++count;
+    return count;
+}
+
+}  // namespace sod2

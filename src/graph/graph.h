@@ -1,0 +1,147 @@
+#ifndef SOD2_GRAPH_GRAPH_H_
+#define SOD2_GRAPH_GRAPH_H_
+
+/**
+ * @file
+ * The computational-graph IR (the "extended computational graph" G of
+ * paper §4.1): a DAG of operator Nodes connected through Values, with
+ * <Switch, Combine> control-flow operators flattened into the DAG.
+ *
+ * Graphs are append-only: compilation passes never mutate a Graph but
+ * produce side structures (RDP results, fusion plans, execution plans)
+ * keyed by NodeId/ValueId. This keeps every pass independently testable
+ * against the same immutable input.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/attr.h"
+#include "tensor/tensor.h"
+
+namespace sod2 {
+
+using NodeId = int32_t;
+using ValueId = int32_t;
+
+inline constexpr NodeId kNoNode = -1;
+
+/** Names of the customized control-flow operator pair (paper Table 2). */
+inline constexpr const char* kSwitchOp = "Switch";
+inline constexpr const char* kCombineOp = "Combine";
+
+/** One SSA value: a tensor produced by a node, a graph input, or a
+ *  constant (weight). */
+struct Value
+{
+    ValueId id = -1;
+    std::string name;
+    DType dtype = DType::kFloat32;
+
+    /** Valid tensor iff this is a constant/weight. */
+    Tensor constant;
+
+    NodeId producer = kNoNode;     ///< kNoNode for inputs and constants
+    int producerOutputIndex = 0;
+
+    std::vector<NodeId> consumers; ///< in insertion order, may repeat
+
+    bool isGraphInput = false;
+    bool isGraphOutput = false;
+
+    bool isConstant() const { return constant.isValid(); }
+};
+
+/** One operator application. */
+struct Node
+{
+    NodeId id = -1;
+    std::string op;    ///< operator type name, e.g. "Conv", "MatMul"
+    std::string name;  ///< unique instance name for diagnostics
+    std::vector<ValueId> inputs;
+    std::vector<ValueId> outputs;
+    AttrMap attrs;
+};
+
+/** Append-only DAG of Nodes and Values. */
+class Graph
+{
+  public:
+    Graph() = default;
+
+    // Non-copyable (values hold big constant tensors); movable.
+    Graph(const Graph&) = delete;
+    Graph& operator=(const Graph&) = delete;
+    Graph(Graph&&) = default;
+    Graph& operator=(Graph&&) = default;
+
+    /** Declares a graph input. @p name must be unique in the graph. */
+    ValueId addInput(const std::string& name, DType dtype = DType::kFloat32);
+
+    /** Declares a constant (weight) value. */
+    ValueId addConstant(const std::string& name, Tensor tensor);
+
+    /**
+     * Appends a node. All @p inputs must already exist; @p num_outputs
+     * fresh values are created and returned through the node.
+     * @param out_dtypes  optional per-output dtypes (defaults to f32)
+     */
+    NodeId addNode(const std::string& op, const std::vector<ValueId>& inputs,
+                   int num_outputs, AttrMap attrs = {},
+                   const std::string& name = "",
+                   const std::vector<DType>& out_dtypes = {});
+
+    /** Marks @p v as a graph output (in call order). */
+    void markOutput(ValueId v);
+
+    // --- accessors -------------------------------------------------------
+
+    const Value& value(ValueId id) const;
+    Value& value(ValueId id);
+    const Node& node(NodeId id) const;
+    Node& node(NodeId id);
+
+    int numValues() const { return static_cast<int>(values_.size()); }
+    int numNodes() const { return static_cast<int>(nodes_.size()); }
+
+    const std::vector<ValueId>& inputIds() const { return inputs_; }
+    const std::vector<ValueId>& outputIds() const { return outputs_; }
+
+    /** Output value @p index of node @p n. */
+    ValueId outputOf(NodeId n, int index = 0) const;
+
+    /** Distinct producer nodes of @p n's inputs (constants/inputs skipped). */
+    std::vector<NodeId> predecessorsOf(NodeId n) const;
+    /** Distinct consumer nodes across @p n's outputs. */
+    std::vector<NodeId> successorsOf(NodeId n) const;
+
+    /**
+     * Deterministic topological order via iterative DFS from graph inputs
+     * (paper Alg. 1 sorts nodes depth-first before iterating).
+     */
+    std::vector<NodeId> topoOrder() const;
+
+    /** Structural sanity checks: ids, producer/consumer symmetry, DAG-ness.
+     *  Throws sod2::Error on violation. */
+    void validate() const;
+
+    /** Multi-line textual dump (one node per line). */
+    std::string toString() const;
+
+    /** Sum of live (non-constant) value count — used by Fig 7 layer stats. */
+    int numNonConstantValues() const;
+
+  private:
+    ValueId newValue(const std::string& name, DType dtype);
+
+    std::vector<Value> values_;
+    std::vector<Node> nodes_;
+    std::vector<ValueId> inputs_;
+    std::vector<ValueId> outputs_;
+};
+
+}  // namespace sod2
+
+#endif  // SOD2_GRAPH_GRAPH_H_

@@ -1,0 +1,489 @@
+#include "graph/serializer.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace sod2 {
+namespace {
+
+const char*
+dtypeToken(DType t)
+{
+    switch (t) {
+      case DType::kFloat32: return "f32";
+      case DType::kInt64: return "i64";
+      case DType::kInt32: return "i32";
+      case DType::kBool: return "bool";
+    }
+    return "?";
+}
+
+DType
+dtypeFromToken(const std::string& s)
+{
+    if (s == "f32")
+        return DType::kFloat32;
+    if (s == "i64")
+        return DType::kInt64;
+    if (s == "i32")
+        return DType::kInt32;
+    if (s == "bool")
+        return DType::kBool;
+    SOD2_THROW << "unknown dtype token '" << s << "'";
+}
+
+/** Quotes names that may contain spaces/braces. */
+std::string
+quote(const std::string& s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out + "\"";
+}
+
+void
+writeTensorData(std::ostream& os, const Tensor& t)
+{
+    int64_t n = t.numElements();
+    switch (t.dtype()) {
+      case DType::kFloat32: {
+        const float* p = t.data<float>();
+        char buf[48];
+        for (int64_t i = 0; i < n; ++i) {
+            std::snprintf(buf, sizeof buf, " %a", static_cast<double>(p[i]));
+            os << buf;
+        }
+        break;
+      }
+      case DType::kInt64: {
+        const int64_t* p = t.data<int64_t>();
+        for (int64_t i = 0; i < n; ++i)
+            os << ' ' << p[i];
+        break;
+      }
+      case DType::kInt32: {
+        const int32_t* p = t.data<int32_t>();
+        for (int64_t i = 0; i < n; ++i)
+            os << ' ' << p[i];
+        break;
+      }
+      case DType::kBool: {
+        const bool* p = t.data<bool>();
+        for (int64_t i = 0; i < n; ++i)
+            os << ' ' << (p[i] ? 1 : 0);
+        break;
+      }
+    }
+}
+
+void serializeInto(std::ostream& os, const Graph& g, int indent);
+
+void
+writeAttrs(std::ostream& os, const AttrMap& attrs, int indent)
+{
+    os << "attrs {";
+    for (const auto& [key, value] : attrs.entries()) {
+        os << ' ' << key << '=';
+        if (std::holds_alternative<int64_t>(value)) {
+            os << "i:" << std::get<int64_t>(value);
+        } else if (std::holds_alternative<double>(value)) {
+            char buf[48];
+            std::snprintf(buf, sizeof buf, "f:%a",
+                          std::get<double>(value));
+            os << buf;
+        } else if (std::holds_alternative<std::string>(value)) {
+            os << "s:" << quote(std::get<std::string>(value));
+        } else if (std::holds_alternative<std::vector<int64_t>>(value)) {
+            os << "I:[";
+            const auto& v = std::get<std::vector<int64_t>>(value);
+            for (size_t i = 0; i < v.size(); ++i)
+                os << (i ? " " : "") << v[i];
+            os << ']';
+        } else if (std::holds_alternative<std::vector<double>>(value)) {
+            os << "F:[";
+            const auto& v = std::get<std::vector<double>>(value);
+            char buf[48];
+            for (size_t i = 0; i < v.size(); ++i) {
+                std::snprintf(buf, sizeof buf, "%s%a", i ? " " : "",
+                              v[i]);
+                os << buf;
+            }
+            os << ']';
+        } else {
+            os << "g:\n";
+            serializeInto(os,
+                          *std::get<std::shared_ptr<Graph>>(value),
+                          indent + 1);
+            os << std::string(indent * 2, ' ');
+        }
+    }
+    os << " }";
+}
+
+void
+serializeInto(std::ostream& os, const Graph& g, int indent)
+{
+    std::string pad(indent * 2, ' ');
+    os << pad << "graph {\n";
+    std::string inner((indent + 1) * 2, ' ');
+
+    // Inputs and constants first (declaration order by id), then nodes
+    // in topological order, then outputs.
+    for (ValueId v = 0; v < g.numValues(); ++v) {
+        const Value& val = g.value(v);
+        if (val.isGraphInput) {
+            os << inner << "input " << v << ' ' << quote(val.name) << ' '
+               << dtypeToken(val.dtype) << '\n';
+        } else if (val.isConstant()) {
+            os << inner << "const " << v << ' ' << quote(val.name) << ' '
+               << dtypeToken(val.dtype) << " [";
+            const auto& dims = val.constant.shape().dims();
+            for (size_t i = 0; i < dims.size(); ++i)
+                os << (i ? " " : "") << dims[i];
+            os << "] :";
+            writeTensorData(os, val.constant);
+            os << '\n';
+        }
+    }
+    for (NodeId n : g.topoOrder()) {
+        const Node& node = g.node(n);
+        os << inner << "node " << node.op << ' ' << quote(node.name)
+           << " in [";
+        for (size_t i = 0; i < node.inputs.size(); ++i)
+            os << (i ? " " : "") << node.inputs[i];
+        os << "] out [";
+        for (size_t i = 0; i < node.outputs.size(); ++i) {
+            os << (i ? " " : "") << node.outputs[i] << ' '
+               << dtypeToken(g.value(node.outputs[i]).dtype);
+        }
+        os << "] ";
+        writeAttrs(os, node.attrs, indent + 1);
+        os << '\n';
+    }
+    for (ValueId out : g.outputIds())
+        os << inner << "output " << out << '\n';
+    os << pad << "}\n";
+}
+
+/** Whitespace tokenizer aware of quotes and the punctuators [ ] { } : . */
+struct Lexer
+{
+    explicit Lexer(const std::string& text) : text_(text) {}
+
+    std::string
+    next()
+    {
+        skipSpace();
+        SOD2_CHECK(pos_ < text_.size())
+            << "unexpected end of graph text (line " << line_ << ")";
+        char c = text_[pos_];
+        if (c == '[' || c == ']' || c == '{' || c == '}' || c == ':') {
+            ++pos_;
+            return std::string(1, c);
+        }
+        if (c == '"') {
+            ++pos_;
+            std::string out;
+            while (pos_ < text_.size() && text_[pos_] != '"') {
+                if (text_[pos_] == '\\')
+                    ++pos_;
+                out += text_[pos_++];
+            }
+            SOD2_CHECK(pos_ < text_.size()) << "unterminated string";
+            ++pos_;
+            return "\"" + out;  // marker prefix distinguishes strings
+        }
+        size_t start = pos_;
+        while (pos_ < text_.size() && !isDelim(text_[pos_]))
+            ++pos_;
+        return text_.substr(start, pos_ - start);
+    }
+
+    std::string
+    peek()
+    {
+        size_t save_pos = pos_;
+        int save_line = line_;
+        std::string t = next();
+        pos_ = save_pos;
+        line_ = save_line;
+        return t;
+    }
+
+    void
+    expect(const std::string& tok)
+    {
+        std::string got = next();
+        SOD2_CHECK(got == tok) << "expected '" << tok << "', got '" << got
+                               << "' (line " << line_ << ")";
+    }
+
+    int line() const { return line_; }
+
+  private:
+    bool
+    isDelim(char c)
+    {
+        return c == ' ' || c == '\n' || c == '\t' || c == '[' ||
+               c == ']' || c == '{' || c == '}' || c == '"';
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+                text_[pos_] == '\t' || text_[pos_] == '\r')) {
+            if (text_[pos_] == '\n')
+                ++line_;
+            ++pos_;
+        }
+    }
+
+    const std::string& text_;
+    size_t pos_ = 0;
+    int line_ = 1;
+};
+
+int64_t
+toInt(const std::string& s)
+{
+    return std::strtoll(s.c_str(), nullptr, 10);
+}
+
+std::string
+unquote(Lexer& lex)
+{
+    std::string t = lex.next();
+    SOD2_CHECK(!t.empty() && t[0] == '"')
+        << "expected quoted name (line " << lex.line() << ")";
+    return t.substr(1);
+}
+
+std::shared_ptr<Graph> parseGraphBody(Lexer& lex);
+
+AttrMap
+parseAttrs(Lexer& lex)
+{
+    AttrMap attrs;
+    lex.expect("attrs");
+    lex.expect("{");
+    for (;;) {
+        std::string tok = lex.next();
+        if (tok == "}")
+            break;
+        // tok is "key=TAG:payload..." — split at '='.
+        size_t eq = tok.find('=');
+        SOD2_CHECK(eq != std::string::npos)
+            << "malformed attribute '" << tok << "'";
+        std::string key = tok.substr(0, eq);
+        std::string rest = tok.substr(eq + 1);
+        SOD2_CHECK(rest.size() >= 2 && rest[1] == ':')
+            << "malformed attribute payload '" << rest << "'";
+        char tag = rest[0];
+        std::string payload = rest.substr(2);
+        switch (tag) {
+          case 'i':
+            attrs.set(key, toInt(payload));
+            break;
+          case 'f':
+            attrs.set(key, std::strtod(payload.c_str(), nullptr));
+            break;
+          case 's': {
+            // Payload was cut at '='; the quoted string is the next
+            // token when payload is empty.
+            std::string v = payload;
+            if (!v.empty() && v[0] == '"') {
+                v = v.substr(1);
+            } else if (v.empty()) {
+                v = unquote(lex);
+            }
+            attrs.set(key, v);
+            break;
+          }
+          case 'I': {
+            std::vector<int64_t> values;
+            SOD2_CHECK(payload.empty() || payload == "[")
+                << "malformed int list";
+            if (payload.empty())
+                lex.expect("[");
+            for (;;) {
+                std::string t = lex.next();
+                if (t == "]")
+                    break;
+                values.push_back(toInt(t));
+            }
+            attrs.set(key, values);
+            break;
+          }
+          case 'F': {
+            std::vector<double> values;
+            if (payload.empty())
+                lex.expect("[");
+            for (;;) {
+                std::string t = lex.next();
+                if (t == "]")
+                    break;
+                values.push_back(std::strtod(t.c_str(), nullptr));
+            }
+            attrs.set(key, values);
+            break;
+          }
+          case 'g': {
+            attrs.set(key, parseGraphBody(lex));
+            break;
+          }
+          default:
+            SOD2_THROW << "unknown attribute tag '" << tag << "'";
+        }
+    }
+    return attrs;
+}
+
+std::shared_ptr<Graph>
+parseGraphBody(Lexer& lex)
+{
+    lex.expect("graph");
+    lex.expect("{");
+    auto graph = std::make_shared<Graph>();
+    // Serialized value id -> actual id in the rebuilt graph.
+    std::map<int64_t, ValueId> remap;
+
+    for (;;) {
+        std::string tok = lex.next();
+        if (tok == "}")
+            break;
+        if (tok == "input") {
+            int64_t id = toInt(lex.next());
+            std::string name = unquote(lex);
+            DType dt = dtypeFromToken(lex.next());
+            remap[id] = graph->addInput(name, dt);
+        } else if (tok == "const") {
+            int64_t id = toInt(lex.next());
+            std::string name = unquote(lex);
+            DType dt = dtypeFromToken(lex.next());
+            lex.expect("[");
+            std::vector<int64_t> dims;
+            for (;;) {
+                std::string t = lex.next();
+                if (t == "]")
+                    break;
+                dims.push_back(toInt(t));
+            }
+            lex.expect(":");
+            Tensor tensor(dt, Shape(dims));
+            int64_t n = tensor.numElements();
+            for (int64_t i = 0; i < n; ++i) {
+                std::string t = lex.next();
+                switch (dt) {
+                  case DType::kFloat32:
+                    tensor.data<float>()[i] = static_cast<float>(
+                        std::strtod(t.c_str(), nullptr));
+                    break;
+                  case DType::kInt64:
+                    tensor.data<int64_t>()[i] = toInt(t);
+                    break;
+                  case DType::kInt32:
+                    tensor.data<int32_t>()[i] =
+                        static_cast<int32_t>(toInt(t));
+                    break;
+                  case DType::kBool:
+                    tensor.data<bool>()[i] = toInt(t) != 0;
+                    break;
+                }
+            }
+            remap[id] = graph->addConstant(name, std::move(tensor));
+        } else if (tok == "node") {
+            std::string op = lex.next();
+            std::string name = unquote(lex);
+            lex.expect("in");
+            lex.expect("[");
+            std::vector<ValueId> inputs;
+            for (;;) {
+                std::string t = lex.next();
+                if (t == "]")
+                    break;
+                auto it = remap.find(toInt(t));
+                SOD2_CHECK(it != remap.end())
+                    << "node '" << name << "' references undefined value "
+                    << t;
+                inputs.push_back(it->second);
+            }
+            lex.expect("out");
+            lex.expect("[");
+            std::vector<int64_t> out_ids;
+            std::vector<DType> out_dtypes;
+            for (;;) {
+                std::string t = lex.next();
+                if (t == "]")
+                    break;
+                out_ids.push_back(toInt(t));
+                out_dtypes.push_back(dtypeFromToken(lex.next()));
+            }
+            AttrMap attrs = parseAttrs(lex);
+            NodeId node = graph->addNode(
+                op, inputs, static_cast<int>(out_ids.size()),
+                std::move(attrs), name, out_dtypes);
+            for (size_t i = 0; i < out_ids.size(); ++i)
+                remap[out_ids[i]] =
+                    graph->outputOf(node, static_cast<int>(i));
+        } else if (tok == "output") {
+            int64_t id = toInt(lex.next());
+            auto it = remap.find(id);
+            SOD2_CHECK(it != remap.end())
+                << "output references undefined value " << id;
+            graph->markOutput(it->second);
+        } else {
+            SOD2_THROW << "unexpected token '" << tok << "' (line "
+                       << lex.line() << ")";
+        }
+    }
+    return graph;
+}
+
+}  // namespace
+
+std::string
+serializeGraph(const Graph& graph)
+{
+    std::ostringstream os;
+    serializeInto(os, graph, 0);
+    return os.str();
+}
+
+std::shared_ptr<Graph>
+parseGraph(const std::string& text)
+{
+    Lexer lex(text);
+    auto graph = parseGraphBody(lex);
+    graph->validate();
+    return graph;
+}
+
+void
+saveGraph(const Graph& graph, const std::string& path)
+{
+    std::ofstream out(path);
+    SOD2_CHECK(out.good()) << "cannot open '" << path << "' for writing";
+    out << serializeGraph(graph);
+}
+
+std::shared_ptr<Graph>
+loadGraph(const std::string& path)
+{
+    std::ifstream in(path);
+    SOD2_CHECK(in.good()) << "cannot open '" << path << "'";
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return parseGraph(buffer.str());
+}
+
+}  // namespace sod2

@@ -1,0 +1,44 @@
+#ifndef SOD2_GRAPH_SERIALIZER_H_
+#define SOD2_GRAPH_SERIALIZER_H_
+
+/**
+ * @file
+ * Text serialization of Graphs (the ".sod2" format).
+ *
+ * A line-oriented, human-diffable format that round-trips every IR
+ * feature: inputs, constants (exact float bits via hexfloat), nodes
+ * with attributes, nested subgraphs (If/Loop bodies), and outputs.
+ * Values are referenced by their integer ids, so duplicate display
+ * names are harmless.
+ *
+ * Example:
+ *     graph {
+ *       input 0 image f32
+ *       const 1 w f32 [8, 3, 3, 3] : 0x1p-3 ...
+ *       node Conv conv0 in [0, 1] out [2 f32] attrs { stride=i:2 }
+ *       output 2
+ *     }
+ */
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace sod2 {
+
+/** Serializes @p graph (recursively including subgraph attributes). */
+std::string serializeGraph(const Graph& graph);
+
+/** Parses a graph produced by serializeGraph.
+ *  Throws sod2::Error with a line diagnostic on malformed input. */
+std::shared_ptr<Graph> parseGraph(const std::string& text);
+
+/** File convenience wrappers. */
+void saveGraph(const Graph& graph, const std::string& path);
+std::shared_ptr<Graph> loadGraph(const std::string& path);
+
+}  // namespace sod2
+
+#endif  // SOD2_GRAPH_SERIALIZER_H_

@@ -1,0 +1,90 @@
+#include "kernels/conv.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+#include "support/threadpool.h"
+
+namespace sod2 {
+
+void
+conv2d(const Tensor& x, const Tensor& w, const Tensor* bias, Tensor* out,
+       int64_t stride, int64_t pad, int64_t group, const ConvVariant& v,
+       const FusedEpilogue& epilogue)
+{
+    const Shape& xs = x.shape();
+    const Shape& ws = w.shape();
+    const Shape& os = out->shape();
+    SOD2_CHECK_EQ(xs.rank(), 4);
+    SOD2_CHECK_EQ(ws.rank(), 4);
+    int64_t n = xs.dim(0), c = xs.dim(1), h = xs.dim(2), wi = xs.dim(3);
+    int64_t oc = ws.dim(0), icg = ws.dim(1), kh = ws.dim(2), kw = ws.dim(3);
+    int64_t oh = os.dim(2), ow = os.dim(3);
+    SOD2_CHECK_EQ(c, icg * group) << "conv channel/group mismatch";
+    SOD2_CHECK_EQ(oc % group, 0);
+    int64_t ocg = oc / group;
+
+    const float* px = x.data<float>();
+    const float* pw = w.data<float>();
+    const float* pb = bias ? bias->data<float>() : nullptr;
+    float* po = out->data<float>();
+
+    auto task = [&](int64_t t0, int64_t t1) {
+        for (int64_t t = t0; t < t1; ++t) {
+            int64_t ni = t / oc;
+            int64_t oci = t % oc;
+            int64_t g = oci / ocg;
+            const float* wbase = pw + oci * icg * kh * kw;
+            float* obase = po + (ni * oc + oci) * oh * ow;
+            const float* xbase = px + (ni * c + g * icg) * h * wi;
+            float b0 = pb ? pb[oci] : 0.0f;
+            for (int64_t oy = 0; oy < oh; ++oy) {
+                for (int64_t ox = 0; ox < ow; ++ox) {
+                    float acc = b0;
+                    int64_t iy0 = oy * stride - pad;
+                    int64_t ix0 = ox * stride - pad;
+                    for (int64_t ic = 0; ic < icg; ++ic) {
+                        const float* xch = xbase + ic * h * wi;
+                        const float* wch = wbase + ic * kh * kw;
+                        for (int64_t ky = 0; ky < kh; ++ky) {
+                            int64_t iy = iy0 + ky;
+                            if (iy < 0 || iy >= h)
+                                continue;
+                            const float* xrow = xch + iy * wi;
+                            const float* wrow = wch + ky * kw;
+                            for (int64_t kx = 0; kx < kw; ++kx) {
+                                int64_t ix = ix0 + kx;
+                                if (ix < 0 || ix >= wi)
+                                    continue;
+                                acc += xrow[ix] * wrow[kx];
+                            }
+                        }
+                    }
+                    if (epilogue) {
+                        int64_t flat = (ni * oc + oci) * oh * ow +
+                                       oy * ow + ox;
+                        acc = epilogue.apply(acc, flat);
+                    }
+                    obase[oy * ow + ox] = acc;
+                }
+            }
+        }
+    };
+
+    int64_t tasks = n * oc;
+    if (v.parallel && tasks > 1) {
+        parallelFor(tasks, task, std::max<int64_t>(1, v.ocBlock));
+    } else {
+        task(0, tasks);
+    }
+}
+
+double
+convFlops(const Shape& x, const Shape& w, const Shape& out, int64_t group)
+{
+    double macs = static_cast<double>(out.numElements()) *
+                  (x.dim(1) / group) * w.dim(2) * w.dim(3);
+    return 2.0 * macs;
+}
+
+}  // namespace sod2

@@ -1,0 +1,432 @@
+#include "kernels/data_movement.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "support/logging.h"
+
+namespace sod2 {
+namespace {
+
+/** Copies one element of @p elem_size bytes. */
+inline void
+copyElem(uint8_t* dst, const uint8_t* src, size_t elem_size)
+{
+    std::memcpy(dst, src, elem_size);
+}
+
+}  // namespace
+
+void
+transpose(const Tensor& in, const std::vector<int64_t>& perm, Tensor* out)
+{
+    const Shape& is = in.shape();
+    int rank = is.rank();
+    SOD2_CHECK_EQ(static_cast<int>(perm.size()), rank);
+    auto in_strides = is.strides();
+    auto out_strides = out->shape().strides();
+    size_t esz = dtypeSize(in.dtype());
+    const uint8_t* src = static_cast<const uint8_t*>(in.raw());
+    uint8_t* dst = static_cast<uint8_t*>(out->raw());
+
+    // Map output coordinate d to input stride of perm[d].
+    std::vector<int64_t> gather_strides(rank);
+    for (int d = 0; d < rank; ++d)
+        gather_strides[d] = in_strides[normalizeAxis(
+            static_cast<int>(perm[d]), rank)];
+
+    int64_t n = is.numElements();
+    for (int64_t i = 0; i < n; ++i) {
+        int64_t rem = i, si = 0;
+        for (int d = 0; d < rank; ++d) {
+            int64_t coord = out_strides[d] ? rem / out_strides[d] : 0;
+            rem -= coord * out_strides[d];
+            si += coord * gather_strides[d];
+        }
+        copyElem(dst + i * esz, src + si * esz, esz);
+    }
+}
+
+void
+slice(const Tensor& in, const std::vector<int64_t>& starts,
+      const std::vector<int64_t>& ends, const std::vector<int64_t>& axes,
+      const std::vector<int64_t>& steps, Tensor* out)
+{
+    const Shape& is = in.shape();
+    int rank = is.rank();
+    std::vector<int64_t> start(rank, 0), step(rank, 1);
+    for (size_t i = 0; i < starts.size(); ++i) {
+        int axis = axes.empty() ? static_cast<int>(i)
+                                : normalizeAxis(
+                                      static_cast<int>(axes[i]), rank);
+        int64_t d = is.dim(axis);
+        int64_t s = starts[i];
+        if (s < 0)
+            s += d;
+        start[axis] = std::clamp<int64_t>(s, 0, d);
+        step[axis] = steps.empty() ? 1 : steps[i];
+        (void)ends;  // out's shape already encodes the extent
+    }
+
+    auto in_strides = is.strides();
+    auto out_strides = out->shape().strides();
+    size_t esz = dtypeSize(in.dtype());
+    const uint8_t* src = static_cast<const uint8_t*>(in.raw());
+    uint8_t* dst = static_cast<uint8_t*>(out->raw());
+    int64_t n = out->numElements();
+    for (int64_t i = 0; i < n; ++i) {
+        int64_t rem = i, si = 0;
+        for (int d = 0; d < rank; ++d) {
+            int64_t coord = out_strides[d] ? rem / out_strides[d] : 0;
+            rem -= coord * out_strides[d];
+            si += (start[d] + coord * step[d]) * in_strides[d];
+        }
+        copyElem(dst + i * esz, src + si * esz, esz);
+    }
+}
+
+void
+concat(const std::vector<Tensor>& ins, int axis, Tensor* out)
+{
+    SOD2_CHECK(!ins.empty());
+    int rank = ins[0].shape().rank();
+    axis = normalizeAxis(axis, rank);
+    int64_t outer = 1, inner = 1;
+    for (int i = 0; i < axis; ++i)
+        outer *= out->shape().dim(i);
+    for (int i = axis + 1; i < rank; ++i)
+        inner *= out->shape().dim(i);
+    size_t esz = dtypeSize(out->dtype());
+    uint8_t* dst = static_cast<uint8_t*>(out->raw());
+    int64_t out_axis = out->shape().dim(axis);
+
+    int64_t offset = 0;
+    for (const Tensor& t : ins) {
+        int64_t ext = t.shape().dim(axis);
+        const uint8_t* src = static_cast<const uint8_t*>(t.raw());
+        for (int64_t o = 0; o < outer; ++o) {
+            std::memcpy(dst + ((o * out_axis + offset) * inner) * esz,
+                        src + (o * ext * inner) * esz,
+                        ext * inner * esz);
+        }
+        offset += ext;
+    }
+}
+
+void
+split(const Tensor& in, int axis, std::vector<Tensor>* outs)
+{
+    int rank = in.shape().rank();
+    axis = normalizeAxis(axis, rank);
+    int64_t outer = 1, inner = 1;
+    for (int i = 0; i < axis; ++i)
+        outer *= in.shape().dim(i);
+    for (int i = axis + 1; i < rank; ++i)
+        inner *= in.shape().dim(i);
+    size_t esz = dtypeSize(in.dtype());
+    const uint8_t* src = static_cast<const uint8_t*>(in.raw());
+    int64_t in_axis = in.shape().dim(axis);
+
+    int64_t offset = 0;
+    for (Tensor& t : *outs) {
+        int64_t ext = t.shape().dim(axis);
+        uint8_t* dst = static_cast<uint8_t*>(t.raw());
+        for (int64_t o = 0; o < outer; ++o) {
+            std::memcpy(dst + (o * ext * inner) * esz,
+                        src + ((o * in_axis + offset) * inner) * esz,
+                        ext * inner * esz);
+        }
+        offset += ext;
+    }
+    SOD2_CHECK_LE(offset, in_axis);
+}
+
+void
+gather(const Tensor& in, const Tensor& indices, int axis, Tensor* out)
+{
+    const Shape& is = in.shape();
+    axis = normalizeAxis(axis, is.rank());
+    int64_t outer = 1, inner = 1;
+    for (int i = 0; i < axis; ++i)
+        outer *= is.dim(i);
+    for (int i = axis + 1; i < is.rank(); ++i)
+        inner *= is.dim(i);
+    int64_t ext = is.dim(axis);
+    std::vector<int64_t> idx = indices.toInt64Vector();
+    size_t esz = dtypeSize(in.dtype());
+    const uint8_t* src = static_cast<const uint8_t*>(in.raw());
+    uint8_t* dst = static_cast<uint8_t*>(out->raw());
+    int64_t k = static_cast<int64_t>(idx.size());
+    for (int64_t o = 0; o < outer; ++o) {
+        for (int64_t j = 0; j < k; ++j) {
+            int64_t sel = idx[j];
+            if (sel < 0)
+                sel += ext;
+            SOD2_CHECK(sel >= 0 && sel < ext)
+                << "gather index " << idx[j] << " out of range " << ext;
+            std::memcpy(dst + ((o * k + j) * inner) * esz,
+                        src + ((o * ext + sel) * inner) * esz,
+                        inner * esz);
+        }
+    }
+}
+
+void
+expandTo(const Tensor& in, Tensor* out)
+{
+    const Shape& os = out->shape();
+    auto out_strides = os.strides();
+    std::vector<int64_t> in_strides(os.rank(), 0);
+    {
+        auto is = in.shape().strides();
+        for (int i = 0; i < in.shape().rank(); ++i) {
+            int d = os.rank() - in.shape().rank() + i;
+            in_strides[d] = in.shape().dim(i) == 1 ? 0 : is[i];
+        }
+    }
+    size_t esz = dtypeSize(in.dtype());
+    const uint8_t* src = static_cast<const uint8_t*>(in.raw());
+    uint8_t* dst = static_cast<uint8_t*>(out->raw());
+    int64_t n = os.numElements();
+    for (int64_t i = 0; i < n; ++i) {
+        int64_t rem = i, si = 0;
+        for (int d = 0; d < os.rank(); ++d) {
+            int64_t coord = out_strides[d] ? rem / out_strides[d] : 0;
+            rem -= coord * out_strides[d];
+            si += coord * in_strides[d];
+        }
+        copyElem(dst + i * esz, src + si * esz, esz);
+    }
+}
+
+void
+pad2d(const Tensor& in, int64_t pad, float value, Tensor* out)
+{
+    const Shape& is = in.shape();
+    int64_t nc = is.dim(0) * is.dim(1);
+    int64_t h = is.dim(2), w = is.dim(3);
+    int64_t oh = h + 2 * pad, ow = w + 2 * pad;
+    const float* src = in.data<float>();
+    float* dst = out->data<float>();
+    for (int64_t t = 0; t < nc; ++t) {
+        float* obase = dst + t * oh * ow;
+        const float* ibase = src + t * h * w;
+        for (int64_t i = 0; i < oh * ow; ++i)
+            obase[i] = value;
+        for (int64_t y = 0; y < h; ++y)
+            std::memcpy(obase + (y + pad) * ow + pad, ibase + y * w,
+                        w * sizeof(float));
+    }
+}
+
+void
+tile(const Tensor& in, const std::vector<int64_t>& repeats, Tensor* out)
+{
+    const Shape& is = in.shape();
+    const Shape& os = out->shape();
+    auto in_strides = is.strides();
+    auto out_strides = os.strides();
+    size_t esz = dtypeSize(in.dtype());
+    const uint8_t* src = static_cast<const uint8_t*>(in.raw());
+    uint8_t* dst = static_cast<uint8_t*>(out->raw());
+    SOD2_CHECK_EQ(repeats.size(), static_cast<size_t>(is.rank()));
+    int64_t n = os.numElements();
+    for (int64_t i = 0; i < n; ++i) {
+        int64_t rem = i, si = 0;
+        for (int d = 0; d < os.rank(); ++d) {
+            int64_t coord = out_strides[d] ? rem / out_strides[d] : 0;
+            rem -= coord * out_strides[d];
+            si += (coord % is.dim(d)) * in_strides[d];
+        }
+        copyElem(dst + i * esz, src + si * esz, esz);
+    }
+}
+
+void
+resizeNearest(const Tensor& in, int64_t sh, int64_t sw, Tensor* out)
+{
+    const Shape& is = in.shape();
+    int64_t nc = is.dim(0) * is.dim(1);
+    int64_t h = is.dim(2), w = is.dim(3);
+    int64_t oh = h * sh, ow = w * sw;
+    const float* src = in.data<float>();
+    float* dst = out->data<float>();
+    for (int64_t t = 0; t < nc; ++t) {
+        const float* ibase = src + t * h * w;
+        float* obase = dst + t * oh * ow;
+        for (int64_t y = 0; y < oh; ++y) {
+            const float* irow = ibase + (y / sh) * w;
+            float* orow = obase + y * ow;
+            for (int64_t x = 0; x < ow; ++x)
+                orow[x] = irow[x / sw];
+        }
+    }
+}
+
+void
+eyeLike(const Tensor& in, Tensor* out)
+{
+    const Shape& s = in.shape();
+    SOD2_CHECK_EQ(s.rank(), 2);
+    float* dst = out->data<float>();
+    std::memset(dst, 0, out->byteSize());
+    int64_t d = std::min(s.dim(0), s.dim(1));
+    for (int64_t i = 0; i < d; ++i)
+        dst[i * s.dim(1) + i] = 1.0f;
+}
+
+void
+oneHot(const Tensor& indices, int64_t depth, Tensor* out)
+{
+    std::vector<int64_t> idx = indices.toInt64Vector();
+    float* dst = out->data<float>();
+    std::memset(dst, 0, out->byteSize());
+    for (size_t i = 0; i < idx.size(); ++i) {
+        int64_t v = idx[i];
+        if (v < 0)
+            v += depth;
+        if (v >= 0 && v < depth)
+            dst[i * depth + v] = 1.0f;
+    }
+}
+
+void
+rangeFill(double start, double delta, Tensor* out)
+{
+    int64_t n = out->numElements();
+    if (out->dtype() == DType::kInt64) {
+        int64_t* p = out->data<int64_t>();
+        for (int64_t i = 0; i < n; ++i)
+            p[i] = static_cast<int64_t>(start + i * delta);
+    } else {
+        float* p = out->data<float>();
+        for (int64_t i = 0; i < n; ++i)
+            p[i] = static_cast<float>(start + i * delta);
+    }
+}
+
+void
+topK(const Tensor& in, int64_t k, int axis, Tensor* values, Tensor* indices)
+{
+    const Shape& is = in.shape();
+    axis = normalizeAxis(axis, is.rank());
+    int64_t outer = 1, inner = 1;
+    for (int i = 0; i < axis; ++i)
+        outer *= is.dim(i);
+    for (int i = axis + 1; i < is.rank(); ++i)
+        inner *= is.dim(i);
+    int64_t ext = is.dim(axis);
+    SOD2_CHECK_LE(k, ext) << "TopK k exceeds axis extent";
+    const float* src = in.data<float>();
+    float* pv = values->data<float>();
+    int64_t* pi = indices->data<int64_t>();
+
+    std::vector<int64_t> order(ext);
+    for (int64_t o = 0; o < outer; ++o) {
+        for (int64_t i = 0; i < inner; ++i) {
+            const float* base = src + o * ext * inner + i;
+            std::iota(order.begin(), order.end(), 0);
+            std::partial_sort(
+                order.begin(), order.begin() + k, order.end(),
+                [&](int64_t a, int64_t b) {
+                    float va = base[a * inner], vb = base[b * inner];
+                    return va > vb || (va == vb && a < b);
+                });
+            for (int64_t j = 0; j < k; ++j) {
+                pv[(o * k + j) * inner + i] = base[order[j] * inner];
+                pi[(o * k + j) * inner + i] = order[j];
+            }
+        }
+    }
+}
+
+Tensor
+nonZero(const Tensor& in)
+{
+    const Shape& s = in.shape();
+    int rank = std::max(1, s.rank());
+    auto strides = s.strides();
+    std::vector<int64_t> hits;
+    int64_t n = in.numElements();
+    auto isNonZero = [&](int64_t i) {
+        switch (in.dtype()) {
+          case DType::kFloat32: return in.data<float>()[i] != 0.0f;
+          case DType::kInt64: return in.data<int64_t>()[i] != 0;
+          case DType::kInt32: return in.data<int32_t>()[i] != 0;
+          case DType::kBool: return in.data<bool>()[i];
+        }
+        return false;
+    };
+    for (int64_t i = 0; i < n; ++i)
+        if (isNonZero(i))
+            hits.push_back(i);
+
+    Tensor out(DType::kInt64,
+               Shape({rank, static_cast<int64_t>(hits.size())}));
+    int64_t* p = out.data<int64_t>();
+    for (size_t j = 0; j < hits.size(); ++j) {
+        int64_t rem = hits[j];
+        if (s.rank() == 0) {
+            p[j] = 0;
+            continue;
+        }
+        for (int d = 0; d < s.rank(); ++d) {
+            int64_t coord = strides[d] ? rem / strides[d] : 0;
+            rem -= coord * strides[d];
+            p[d * hits.size() + j] = coord;
+        }
+    }
+    return out;
+}
+
+Tensor
+nonMaxSuppression(const Tensor& boxes, const Tensor& scores,
+                  float iou_threshold, float score_threshold)
+{
+    const Shape& bs = boxes.shape();
+    SOD2_CHECK_EQ(bs.rank(), 2);
+    SOD2_CHECK_EQ(bs.dim(1), 4);
+    int64_t n = bs.dim(0);
+    SOD2_CHECK_EQ(scores.numElements(), n);
+    const float* pb = boxes.data<float>();
+    const float* ps = scores.data<float>();
+
+    std::vector<int64_t> order;
+    for (int64_t i = 0; i < n; ++i)
+        if (ps[i] >= score_threshold)
+            order.push_back(i);
+    std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+        return ps[a] > ps[b] || (ps[a] == ps[b] && a < b);
+    });
+
+    auto iou = [&](int64_t a, int64_t b) {
+        const float* ba = pb + a * 4;
+        const float* bb = pb + b * 4;
+        float x0 = std::max(ba[0], bb[0]);
+        float y0 = std::max(ba[1], bb[1]);
+        float x1 = std::min(ba[2], bb[2]);
+        float y1 = std::min(ba[3], bb[3]);
+        float inter = std::max(0.0f, x1 - x0) * std::max(0.0f, y1 - y0);
+        float area_a = (ba[2] - ba[0]) * (ba[3] - ba[1]);
+        float area_b = (bb[2] - bb[0]) * (bb[3] - bb[1]);
+        float uni = area_a + area_b - inter;
+        return uni > 0.0f ? inter / uni : 0.0f;
+    };
+
+    std::vector<int64_t> keep;
+    for (int64_t cand : order) {
+        bool ok = true;
+        for (int64_t sel : keep) {
+            if (iou(cand, sel) > iou_threshold) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok)
+            keep.push_back(cand);
+    }
+    return Tensor::fromInt64(keep);
+}
+
+}  // namespace sod2

@@ -1,0 +1,372 @@
+#include "kernels/elementwise.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <set>
+
+#include "support/logging.h"
+#include "support/threadpool.h"
+#include "tensor/broadcast.h"
+
+namespace sod2 {
+
+float
+applyUnaryScalar(const std::string& name, float x, const AttrMap& attrs)
+{
+    switch (name[0]) {
+      case 'R':
+        if (name == "Relu")
+            return x > 0.0f ? x : 0.0f;
+        if (name == "Round")
+            return std::nearbyint(x);
+        break;
+      case 'S':
+        if (name == "Sigmoid")
+            return 1.0f / (1.0f + std::exp(-x));
+        if (name == "Sqrt")
+            return std::sqrt(x);
+        if (name == "Softplus")
+            return std::log1p(std::exp(x));
+        break;
+      case 'T':
+        if (name == "Tanh")
+            return std::tanh(x);
+        break;
+      case 'E':
+        if (name == "Erf")
+            return std::erf(x);
+        if (name == "Exp")
+            return std::exp(x);
+        break;
+      case 'L':
+        if (name == "LeakyRelu") {
+            float alpha = static_cast<float>(attrs.getFloat("alpha", 0.01));
+            return x > 0.0f ? x : alpha * x;
+        }
+        if (name == "Log")
+            return std::log(x);
+        break;
+      case 'N':
+        if (name == "Neg")
+            return -x;
+        if (name == "Not")
+            return x == 0.0f ? 1.0f : 0.0f;
+        break;
+      case 'A':
+        if (name == "Abs")
+            return std::fabs(x);
+        break;
+      case 'C':
+        if (name == "Clip") {
+            float lo = static_cast<float>(
+                attrs.getFloat("min", -3.4e38));
+            float hi = static_cast<float>(attrs.getFloat("max", 3.4e38));
+            return std::clamp(x, lo, hi);
+        }
+        break;
+      case 'I':
+        if (name == "Identity")
+            return x;
+        break;
+      default:
+        break;
+    }
+    SOD2_THROW << "no scalar unary implementation for op '" << name << "'";
+}
+
+float
+applyBinaryScalar(const std::string& name, float a, float b)
+{
+    if (name == "Add")
+        return a + b;
+    if (name == "Sub")
+        return a - b;
+    if (name == "Mul")
+        return a * b;
+    if (name == "Div")
+        return a / b;
+    if (name == "Pow")
+        return std::pow(a, b);
+    if (name == "Min")
+        return std::min(a, b);
+    if (name == "Max")
+        return std::max(a, b);
+    if (name == "Mod")
+        return std::fmod(a, b);
+    if (name == "Equal")
+        return a == b ? 1.0f : 0.0f;
+    if (name == "Less")
+        return a < b ? 1.0f : 0.0f;
+    if (name == "Greater")
+        return a > b ? 1.0f : 0.0f;
+    if (name == "And")
+        return (a != 0.0f && b != 0.0f) ? 1.0f : 0.0f;
+    if (name == "Or")
+        return (a != 0.0f || b != 0.0f) ? 1.0f : 0.0f;
+    SOD2_THROW << "no scalar binary implementation for op '" << name << "'";
+}
+
+bool
+isUnaryElementwise(const std::string& name)
+{
+    static const std::set<std::string> kOps = {
+        "Relu", "LeakyRelu", "Sigmoid", "Tanh", "Erf", "Exp", "Log",
+        "Sqrt", "Neg", "Abs", "Round", "Clip", "Identity", "Softplus",
+        "Not"};
+    return kOps.count(name) > 0;
+}
+
+bool
+isBinaryElementwise(const std::string& name)
+{
+    static const std::set<std::string> kOps = {
+        "Add", "Sub", "Mul", "Div", "Pow", "Min", "Max", "Mod",
+        "Equal", "Less", "Greater", "And", "Or"};
+    return kOps.count(name) > 0;
+}
+
+bool
+isComparison(const std::string& name)
+{
+    static const std::set<std::string> kOps = {"Equal", "Less", "Greater",
+                                               "And", "Or"};
+    return kOps.count(name) > 0;
+}
+
+void
+ewUnary(const std::string& name, const Tensor& in, Tensor* out,
+        const AttrMap& attrs)
+{
+    SOD2_CHECK(in.shape() == out->shape());
+    int64_t n = in.numElements();
+    if (in.dtype() == DType::kFloat32) {
+        const float* src = in.data<float>();
+        float* dst = out->data<float>();
+        parallelFor(
+            n,
+            [&](int64_t b, int64_t e) {
+                for (int64_t i = b; i < e; ++i)
+                    dst[i] = applyUnaryScalar(name, src[i], attrs);
+            },
+            1 << 14);
+        return;
+    }
+    if (name == "Identity") {
+        std::memcpy(out->raw(), in.raw(), in.byteSize());
+        return;
+    }
+    if (in.dtype() == DType::kInt64) {
+        const int64_t* src = in.data<int64_t>();
+        int64_t* dst = out->data<int64_t>();
+        for (int64_t i = 0; i < n; ++i) {
+            if (name == "Neg")
+                dst[i] = -src[i];
+            else if (name == "Abs")
+                dst[i] = std::abs(src[i]);
+            else if (name == "Relu")
+                dst[i] = std::max<int64_t>(0, src[i]);
+            else
+                SOD2_THROW << "unary op '" << name << "' unsupported on i64";
+        }
+        return;
+    }
+    SOD2_THROW << "unary op '" << name << "' on dtype "
+               << dtypeName(in.dtype());
+}
+
+namespace {
+
+template <typename T, typename OutT, typename Fn>
+void
+broadcastBinaryLoop(const Tensor& a, const Tensor& b, Tensor* out, Fn fn)
+{
+    const Shape& os = out->shape();
+    auto out_strides = os.strides();
+    auto as = broadcastStrides(a.shape(), os);
+    auto bs = broadcastStrides(b.shape(), os);
+    const T* pa = a.data<T>();
+    const T* pb = b.data<T>();
+    OutT* po = out->data<OutT>();
+    int64_t n = os.numElements();
+
+    // Fast path: identical shapes (no index translation needed).
+    if (a.shape() == os && b.shape() == os) {
+        parallelFor(
+            n,
+            [&](int64_t lo, int64_t hi) {
+                for (int64_t i = lo; i < hi; ++i)
+                    po[i] = fn(pa[i], pb[i]);
+            },
+            1 << 14);
+        return;
+    }
+    parallelFor(
+        n,
+        [&](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i) {
+                int64_t ia = broadcastIndex(i, out_strides, as);
+                int64_t ib = broadcastIndex(i, out_strides, bs);
+                po[i] = fn(pa[ia], pb[ib]);
+            }
+        },
+        1 << 12);
+}
+
+int64_t
+applyBinaryScalarI64(const std::string& name, int64_t a, int64_t b)
+{
+    if (name == "Add")
+        return a + b;
+    if (name == "Sub")
+        return a - b;
+    if (name == "Mul")
+        return a * b;
+    if (name == "Div") {
+        SOD2_CHECK_NE(b, 0);
+        int64_t q = a / b;
+        if ((a % b != 0) && ((a < 0) != (b < 0)))
+            --q;
+        return q;
+    }
+    if (name == "Min")
+        return std::min(a, b);
+    if (name == "Max")
+        return std::max(a, b);
+    if (name == "Mod") {
+        SOD2_CHECK_NE(b, 0);
+        int64_t m = a % b;
+        if (m != 0 && ((a < 0) != (b < 0)))
+            m += b;
+        return m;
+    }
+    if (name == "Equal")
+        return a == b;
+    if (name == "Less")
+        return a < b;
+    if (name == "Greater")
+        return a > b;
+    SOD2_THROW << "binary op '" << name << "' unsupported on i64";
+}
+
+}  // namespace
+
+void
+ewBinary(const std::string& name, const Tensor& a, const Tensor& b,
+         Tensor* out)
+{
+    if (a.dtype() == DType::kFloat32) {
+        if (isComparison(name) && out->dtype() == DType::kBool) {
+            broadcastBinaryLoop<float, bool>(
+                a, b, out, [&](float x, float y) {
+                    return applyBinaryScalar(name, x, y) != 0.0f;
+                });
+        } else {
+            broadcastBinaryLoop<float, float>(
+                a, b, out, [&](float x, float y) {
+                    return applyBinaryScalar(name, x, y);
+                });
+        }
+        return;
+    }
+    if (a.dtype() == DType::kInt64) {
+        if (isComparison(name) && out->dtype() == DType::kBool) {
+            broadcastBinaryLoop<int64_t, bool>(
+                a, b, out, [&](int64_t x, int64_t y) {
+                    return applyBinaryScalarI64(name, x, y) != 0;
+                });
+        } else {
+            broadcastBinaryLoop<int64_t, int64_t>(
+                a, b, out, [&](int64_t x, int64_t y) {
+                    return applyBinaryScalarI64(name, x, y);
+                });
+        }
+        return;
+    }
+    if (a.dtype() == DType::kBool) {
+        broadcastBinaryLoop<bool, bool>(a, b, out, [&](bool x, bool y) {
+            if (name == "And")
+                return x && y;
+            if (name == "Or")
+                return x || y;
+            if (name == "Equal")
+                return x == y;
+            SOD2_THROW << "binary op '" << name << "' unsupported on bool";
+        });
+        return;
+    }
+    SOD2_THROW << "binary op '" << name << "' on dtype "
+               << dtypeName(a.dtype());
+}
+
+void
+ewWhere(const Tensor& cond, const Tensor& a, const Tensor& b, Tensor* out)
+{
+    SOD2_CHECK(cond.dtype() == DType::kBool);
+    const Shape& os = out->shape();
+    auto out_strides = os.strides();
+    auto cs = broadcastStrides(cond.shape(), os);
+    auto as = broadcastStrides(a.shape(), os);
+    auto bs = broadcastStrides(b.shape(), os);
+    const bool* pc = cond.data<bool>();
+    const float* pa = a.data<float>();
+    const float* pb = b.data<float>();
+    float* po = out->data<float>();
+    int64_t n = os.numElements();
+    for (int64_t i = 0; i < n; ++i) {
+        bool c = pc[broadcastIndex(i, out_strides, cs)];
+        po[i] = c ? pa[broadcastIndex(i, out_strides, as)]
+                  : pb[broadcastIndex(i, out_strides, bs)];
+    }
+}
+
+void
+castTo(const Tensor& in, Tensor* out)
+{
+    SOD2_CHECK(in.shape() == out->shape());
+    int64_t n = in.numElements();
+    auto convert = [&](auto read, auto write) {
+        for (int64_t i = 0; i < n; ++i)
+            write(i, read(i));
+    };
+    (void)convert;
+
+    auto readAsDouble = [&](int64_t i) -> double {
+        switch (in.dtype()) {
+          case DType::kFloat32: return in.data<float>()[i];
+          case DType::kInt64: return static_cast<double>(
+              in.data<int64_t>()[i]);
+          case DType::kInt32: return in.data<int32_t>()[i];
+          case DType::kBool: return in.data<bool>()[i] ? 1.0 : 0.0;
+        }
+        return 0.0;
+    };
+    switch (out->dtype()) {
+      case DType::kFloat32: {
+        float* p = out->data<float>();
+        for (int64_t i = 0; i < n; ++i)
+            p[i] = static_cast<float>(readAsDouble(i));
+        break;
+      }
+      case DType::kInt64: {
+        int64_t* p = out->data<int64_t>();
+        for (int64_t i = 0; i < n; ++i)
+            p[i] = static_cast<int64_t>(readAsDouble(i));
+        break;
+      }
+      case DType::kInt32: {
+        int32_t* p = out->data<int32_t>();
+        for (int64_t i = 0; i < n; ++i)
+            p[i] = static_cast<int32_t>(readAsDouble(i));
+        break;
+      }
+      case DType::kBool: {
+        bool* p = out->data<bool>();
+        for (int64_t i = 0; i < n; ++i)
+            p[i] = readAsDouble(i) != 0.0;
+        break;
+      }
+    }
+}
+
+}  // namespace sod2

@@ -1,0 +1,54 @@
+#ifndef SOD2_KERNELS_ELEMENTWISE_H_
+#define SOD2_KERNELS_ELEMENTWISE_H_
+
+/**
+ * @file
+ * Elementwise kernels: typed unary/binary application with NumPy
+ * broadcasting, plus the scalar functor table the fused-group
+ * interpreter reuses (fusion executes chains of these per element,
+ * never materializing intermediates — paper Figure 4's green box).
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "graph/attr.h"
+#include "tensor/tensor.h"
+
+namespace sod2 {
+
+/** Scalar unary f32 function for op @p name ("Relu", "Sigmoid", ...).
+ *  @p attrs supplies op parameters (LeakyRelu alpha, Clip bounds). */
+float applyUnaryScalar(const std::string& name, float x,
+                       const AttrMap& attrs);
+
+/** Scalar binary f32 function for op @p name ("Add", "Mul", ...). */
+float applyBinaryScalar(const std::string& name, float a, float b);
+
+/** True when @p name is a registered unary elementwise op. */
+bool isUnaryElementwise(const std::string& name);
+/** True when @p name is a registered binary elementwise op
+ *  (including comparisons, which produce bool). */
+bool isBinaryElementwise(const std::string& name);
+/** True when @p name is a comparison/logical op with bool output. */
+bool isComparison(const std::string& name);
+
+/** out = op(in) elementwise; shapes must match. */
+void ewUnary(const std::string& name, const Tensor& in, Tensor* out,
+             const AttrMap& attrs);
+
+/** out = op(a, b) with broadcasting; @p out pre-sized to the broadcast
+ *  shape. Supports f32 and (for arithmetic) int64 operands. */
+void ewBinary(const std::string& name, const Tensor& a, const Tensor& b,
+              Tensor* out);
+
+/** out = cond ? a : b with broadcasting. */
+void ewWhere(const Tensor& cond, const Tensor& a, const Tensor& b,
+             Tensor* out);
+
+/** dtype conversion. */
+void castTo(const Tensor& in, Tensor* out);
+
+}  // namespace sod2
+
+#endif  // SOD2_KERNELS_ELEMENTWISE_H_

@@ -1,0 +1,135 @@
+#ifndef SOD2_KERNELS_FUSED_PROGRAM_H_
+#define SOD2_KERNELS_FUSED_PROGRAM_H_
+
+/**
+ * @file
+ * The scalar register program fused groups compile to, shared between
+ * the fusion layer (which builds programs) and the kernels (which
+ * inline them into their inner loops as epilogues). Keeping the
+ * interpreter header-only and callback-free lets heavy kernels run the
+ * epilogue per element without indirect-call overhead.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace sod2 {
+
+/** Scalar opcodes the fused program interpreter understands. */
+enum class FusedOpCode : uint8_t {
+    kAdd, kSub, kMul, kDiv, kPow, kMin, kMax,
+    kRelu, kLeakyRelu, kSigmoid, kTanh, kErf, kExp, kLog, kSqrt,
+    kNeg, kAbs, kRound, kClip, kIdentity, kSoftplus,
+};
+
+/** One instruction: dst register implicit (instruction index). */
+struct FusedInstr
+{
+    FusedOpCode op = FusedOpCode::kIdentity;
+    /** Operand source: >=0 register id; <0 external input ~(idx). */
+    int src0 = 0;
+    int src1 = 0;
+    bool src1Used = false;
+    bool src0Scalar = false;  ///< src0 replaced by imm0
+    bool src1Scalar = false;  ///< src1 replaced by imm1
+    float imm0 = 0.0f;
+    float imm1 = 0.0f;
+    float p0 = 0.0f;  ///< op parameter (LeakyRelu alpha / Clip lo)
+    float p1 = 0.0f;  ///< op parameter (Clip hi)
+};
+
+inline constexpr int kMaxFusedRegisters = 64;
+
+inline float
+applyFusedOpcode(const FusedInstr& ins, float a, float b)
+{
+    switch (ins.op) {
+      case FusedOpCode::kAdd: return a + b;
+      case FusedOpCode::kSub: return a - b;
+      case FusedOpCode::kMul: return a * b;
+      case FusedOpCode::kDiv: return a / b;
+      case FusedOpCode::kPow: return std::pow(a, b);
+      case FusedOpCode::kMin: return std::min(a, b);
+      case FusedOpCode::kMax: return std::max(a, b);
+      case FusedOpCode::kRelu: return a > 0.0f ? a : 0.0f;
+      case FusedOpCode::kLeakyRelu: return a > 0.0f ? a : ins.p0 * a;
+      case FusedOpCode::kSigmoid: return 1.0f / (1.0f + std::exp(-a));
+      case FusedOpCode::kTanh: return std::tanh(a);
+      case FusedOpCode::kErf: return std::erf(a);
+      case FusedOpCode::kExp: return std::exp(a);
+      case FusedOpCode::kLog: return std::log(a);
+      case FusedOpCode::kSqrt: return std::sqrt(a);
+      case FusedOpCode::kNeg: return -a;
+      case FusedOpCode::kAbs: return std::fabs(a);
+      case FusedOpCode::kRound: return std::nearbyint(a);
+      case FusedOpCode::kClip: return std::clamp(a, ins.p0, ins.p1);
+      case FusedOpCode::kIdentity: return a;
+      case FusedOpCode::kSoftplus: return std::log1p(std::exp(a));
+    }
+    return a;
+}
+
+/**
+ * Evaluates the register program. @p fetch maps an external input
+ * index to the operand value for the current element; it is a template
+ * parameter so kernels can inline direct pointer reads.
+ */
+template <typename Fetch>
+inline float
+evalFusedProgram(const std::vector<FusedInstr>& program, float anchor,
+                 int anchor_register, Fetch&& fetch)
+{
+    float regs[kMaxFusedRegisters];
+    if (anchor_register >= 0)
+        regs[anchor_register] = anchor;
+    float result = anchor;
+    int reg = anchor_register + 1;
+    for (const FusedInstr& ins : program) {
+        float a = ins.src0Scalar
+                      ? ins.imm0
+                      : (ins.src0 >= 0 ? regs[ins.src0] : fetch(~ins.src0));
+        float b = 0.0f;
+        if (ins.src1Used) {
+            b = ins.src1Scalar
+                    ? ins.imm1
+                    : (ins.src1 >= 0 ? regs[ins.src1] : fetch(~ins.src1));
+        }
+        result = applyFusedOpcode(ins, a, b);
+        regs[reg++] = result;
+    }
+    return result;
+}
+
+/**
+ * Epilogue handle heavy kernels accept: a program plus per-external
+ * base pointers (same-shape operands, indexed by the flat output
+ * element). Null program means "no epilogue".
+ */
+struct FusedEpilogue
+{
+    const std::vector<FusedInstr>* program = nullptr;
+    int anchorRegister = 0;
+    /** Base pointers indexed by external id (entries the program does
+     *  not reference may be null). */
+    const float* const* externals = nullptr;
+
+    explicit operator bool() const
+    {
+        return program != nullptr && !program->empty();
+    }
+
+    float
+    apply(float x, int64_t flat_index) const
+    {
+        return evalFusedProgram(*program, x, anchorRegister,
+                                [&](int e) {
+                                    return externals[e][flat_index];
+                                });
+    }
+};
+
+}  // namespace sod2
+
+#endif  // SOD2_KERNELS_FUSED_PROGRAM_H_

@@ -1,0 +1,123 @@
+#include "kernels/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/logging.h"
+#include "support/string_util.h"
+#include "support/threadpool.h"
+#include "tensor/broadcast.h"
+
+namespace sod2 {
+
+std::string
+GemmVariant::toString() const
+{
+    return strFormat("gemm[%ldx%ldx%ld%s]", static_cast<long>(tileM),
+                     static_cast<long>(tileN), static_cast<long>(tileK),
+                     parallel ? ",par" : "");
+}
+
+namespace {
+
+/** One M-panel of the blocked GEMM. */
+void
+gemmPanel(const float* a, const float* b, float* c, int64_t m0, int64_t m1,
+          int64_t n, int64_t k, const GemmVariant& v, const float* bias)
+{
+    for (int64_t i = m0; i < m1; ++i) {
+        float* crow = c + i * n;
+        if (bias) {
+            std::memcpy(crow, bias, n * sizeof(float));
+        } else {
+            std::memset(crow, 0, n * sizeof(float));
+        }
+    }
+    for (int64_t kk = 0; kk < k; kk += v.tileK) {
+        int64_t kend = std::min(k, kk + v.tileK);
+        for (int64_t jj = 0; jj < n; jj += v.tileN) {
+            int64_t jend = std::min(n, jj + v.tileN);
+            for (int64_t i = m0; i < m1; ++i) {
+                const float* arow = a + i * k;
+                float* crow = c + i * n;
+                for (int64_t p = kk; p < kend; ++p) {
+                    float av = arow[p];
+                    const float* brow = b + p * n;
+                    for (int64_t j = jj; j < jend; ++j)
+                        crow[j] += av * brow[j];
+                }
+            }
+        }
+    }
+}
+
+}  // namespace
+
+void
+gemmF32(const float* a, const float* b, float* c, int64_t m, int64_t n,
+        int64_t k, const GemmVariant& v, const float* bias)
+{
+    if (!v.parallel || m < 2 * v.tileM) {
+        gemmPanel(a, b, c, 0, m, n, k, v, bias);
+        return;
+    }
+    parallelFor(
+        (m + v.tileM - 1) / v.tileM,
+        [&](int64_t t0, int64_t t1) {
+            for (int64_t t = t0; t < t1; ++t) {
+                int64_t m0 = t * v.tileM;
+                int64_t m1 = std::min(m, m0 + v.tileM);
+                gemmPanel(a, b, c, m0, m1, n, k, v, bias);
+            }
+        });
+}
+
+void
+matmul(const Tensor& a, const Tensor& b, Tensor* out, const GemmVariant& v)
+{
+    const Shape& sa = a.shape();
+    const Shape& sb = b.shape();
+    SOD2_CHECK(sa.rank() >= 2 && sb.rank() >= 2)
+        << "matmul requires rank >= 2";
+    int64_t m = sa.dimAt(-2);
+    int64_t k = sa.dimAt(-1);
+    int64_t k2 = sb.dimAt(-2);
+    int64_t n = sb.dimAt(-1);
+    SOD2_CHECK_EQ(k, k2) << "matmul inner dim mismatch: " << sa.toString()
+                         << " x " << sb.toString();
+
+    // Batch dims broadcast.
+    std::vector<int64_t> ba(sa.dims().begin(), sa.dims().end() - 2);
+    std::vector<int64_t> bb(sb.dims().begin(), sb.dims().end() - 2);
+    Shape batch = broadcastShapes(Shape(ba), Shape(bb));
+    int64_t batches = batch.numElements();
+
+    auto strides_a = broadcastStrides(Shape(ba), batch);
+    auto strides_b = broadcastStrides(Shape(bb), batch);
+    auto batch_strides = batch.strides();
+
+    const float* pa = a.data<float>();
+    const float* pb = b.data<float>();
+    float* pc = out->data<float>();
+    for (int64_t bi = 0; bi < batches; ++bi) {
+        int64_t ia = broadcastIndex(bi, batch_strides, strides_a);
+        int64_t ib = broadcastIndex(bi, batch_strides, strides_b);
+        gemmF32(pa + ia * m * k, pb + ib * k * n, pc + bi * m * n, m, n, k,
+                v);
+    }
+}
+
+double
+matmulFlops(const Shape& a, const Shape& b)
+{
+    int64_t m = a.dimAt(-2);
+    int64_t k = a.dimAt(-1);
+    int64_t n = b.dimAt(-1);
+    std::vector<int64_t> ba(a.dims().begin(), a.dims().end() - 2);
+    std::vector<int64_t> bb(b.dims().begin(), b.dims().end() - 2);
+    int64_t batches =
+        broadcastShapes(Shape(ba), Shape(bb)).numElements();
+    return 2.0 * static_cast<double>(batches) * m * n * k;
+}
+
+}  // namespace sod2

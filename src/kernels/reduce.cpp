@@ -1,0 +1,328 @@
+#include "kernels/reduce.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/logging.h"
+#include "support/threadpool.h"
+
+namespace sod2 {
+namespace {
+
+/** Decomposes @p shape into (outer, axis extent, inner) around @p axis. */
+struct AxisSplit
+{
+    int64_t outer = 1;
+    int64_t extent = 1;
+    int64_t inner = 1;
+};
+
+AxisSplit
+splitAt(const Shape& shape, int axis)
+{
+    AxisSplit s;
+    for (int i = 0; i < axis; ++i)
+        s.outer *= shape.dim(i);
+    s.extent = shape.dim(axis);
+    for (int i = axis + 1; i < shape.rank(); ++i)
+        s.inner *= shape.dim(i);
+    return s;
+}
+
+}  // namespace
+
+void
+reduce(const std::string& op, const Tensor& in,
+       const std::vector<int64_t>& axes, bool keepdims, Tensor* out)
+{
+    (void)keepdims;  // out's shape already encodes it
+    const Shape& shape = in.shape();
+    std::vector<bool> reduced(shape.rank(), axes.empty());
+    for (int64_t a : axes)
+        reduced[normalizeAxis(static_cast<int>(a), shape.rank())] = true;
+
+    int64_t out_n = out->numElements();
+    // Strides mapping input coordinates onto the packed output index.
+    auto in_strides = shape.strides();
+    std::vector<int64_t> out_map(shape.rank(), 0);
+    {
+        int64_t stride = 1;
+        for (int i = shape.rank() - 1; i >= 0; --i) {
+            if (!reduced[i]) {
+                out_map[i] = stride;
+                stride *= shape.dim(i);
+            }
+        }
+    }
+
+    bool is_mean = op == "ReduceMean";
+    bool is_sum = op == "ReduceSum" || is_mean;
+    bool is_max = op == "ReduceMax";
+    bool is_min = op == "ReduceMin";
+    SOD2_CHECK(is_sum || is_max || is_min) << "unknown reduce op " << op;
+
+    const float* src = in.data<float>();
+    float* dst = out->data<float>();
+    float init = is_sum ? 0.0f
+                        : (is_max ? -std::numeric_limits<float>::infinity()
+                                  : std::numeric_limits<float>::infinity());
+    for (int64_t i = 0; i < out_n; ++i)
+        dst[i] = init;
+
+    int64_t n = shape.numElements();
+    int64_t count = out_n > 0 ? n / out_n : 1;
+    for (int64_t i = 0; i < n; ++i) {
+        // Decode the output slot for input element i.
+        int64_t rem = i, oi = 0;
+        for (int d = 0; d < shape.rank(); ++d) {
+            int64_t coord = in_strides[d] ? rem / in_strides[d] : 0;
+            rem -= coord * in_strides[d];
+            oi += coord * out_map[d];
+        }
+        if (is_sum)
+            dst[oi] += src[i];
+        else if (is_max)
+            dst[oi] = std::max(dst[oi], src[i]);
+        else
+            dst[oi] = std::min(dst[oi], src[i]);
+    }
+    if (is_mean) {
+        for (int64_t i = 0; i < out_n; ++i)
+            dst[i] /= static_cast<float>(count);
+    }
+}
+
+void
+argMax(const Tensor& in, int axis, bool keepdims, Tensor* out)
+{
+    (void)keepdims;
+    axis = normalizeAxis(axis, in.shape().rank());
+    AxisSplit s = splitAt(in.shape(), axis);
+    const float* src = in.data<float>();
+    int64_t* dst = out->data<int64_t>();
+    for (int64_t o = 0; o < s.outer; ++o) {
+        for (int64_t i = 0; i < s.inner; ++i) {
+            const float* base = src + o * s.extent * s.inner + i;
+            int64_t best = 0;
+            float bestv = base[0];
+            for (int64_t k = 1; k < s.extent; ++k) {
+                float v = base[k * s.inner];
+                if (v > bestv) {
+                    bestv = v;
+                    best = k;
+                }
+            }
+            dst[o * s.inner + i] = best;
+        }
+    }
+}
+
+void
+softmax(const Tensor& in, int axis, Tensor* out)
+{
+    axis = normalizeAxis(axis, in.shape().rank());
+    AxisSplit s = splitAt(in.shape(), axis);
+    const float* src = in.data<float>();
+    float* dst = out->data<float>();
+    parallelFor(
+        s.outer * s.inner,
+        [&](int64_t lo, int64_t hi) {
+            for (int64_t t = lo; t < hi; ++t) {
+                int64_t o = t / s.inner;
+                int64_t i = t % s.inner;
+                const float* base = src + o * s.extent * s.inner + i;
+                float* obase = dst + o * s.extent * s.inner + i;
+                float maxv = base[0];
+                for (int64_t k = 1; k < s.extent; ++k)
+                    maxv = std::max(maxv, base[k * s.inner]);
+                float sum = 0.0f;
+                for (int64_t k = 0; k < s.extent; ++k) {
+                    float e = std::exp(base[k * s.inner] - maxv);
+                    obase[k * s.inner] = e;
+                    sum += e;
+                }
+                float inv = 1.0f / sum;
+                for (int64_t k = 0; k < s.extent; ++k)
+                    obase[k * s.inner] *= inv;
+            }
+        },
+        16);
+}
+
+void
+layerNorm(const Tensor& x, const Tensor& scale, const Tensor& bias,
+          float eps, Tensor* out)
+{
+    const Shape& shape = x.shape();
+    int64_t d = shape.dimAt(-1);
+    int64_t rows = shape.numElements() / d;
+    SOD2_CHECK_EQ(scale.numElements(), d);
+    SOD2_CHECK_EQ(bias.numElements(), d);
+    const float* px = x.data<float>();
+    const float* pg = scale.data<float>();
+    const float* pb = bias.data<float>();
+    float* po = out->data<float>();
+    parallelFor(
+        rows,
+        [&](int64_t lo, int64_t hi) {
+            for (int64_t r = lo; r < hi; ++r) {
+                const float* row = px + r * d;
+                float* orow = po + r * d;
+                float mean = 0.0f;
+                for (int64_t i = 0; i < d; ++i)
+                    mean += row[i];
+                mean /= static_cast<float>(d);
+                float var = 0.0f;
+                for (int64_t i = 0; i < d; ++i) {
+                    float c = row[i] - mean;
+                    var += c * c;
+                }
+                var /= static_cast<float>(d);
+                float inv = 1.0f / std::sqrt(var + eps);
+                for (int64_t i = 0; i < d; ++i)
+                    orow[i] = (row[i] - mean) * inv * pg[i] + pb[i];
+            }
+        },
+        8);
+}
+
+void
+batchNorm(const Tensor& x, const Tensor& scale, const Tensor& bias,
+          const Tensor& mean, const Tensor& var, float eps, Tensor* out)
+{
+    const Shape& shape = x.shape();
+    SOD2_CHECK_GE(shape.rank(), 2);
+    int64_t n = shape.dim(0);
+    int64_t c = shape.dim(1);
+    int64_t spatial = shape.numElements() / (n * c);
+    const float* px = x.data<float>();
+    const float* pg = scale.data<float>();
+    const float* pb = bias.data<float>();
+    const float* pm = mean.data<float>();
+    const float* pv = var.data<float>();
+    float* po = out->data<float>();
+    parallelFor(n * c, [&](int64_t lo, int64_t hi) {
+        for (int64_t t = lo; t < hi; ++t) {
+            int64_t ch = t % c;
+            float inv = 1.0f / std::sqrt(pv[ch] + eps);
+            float g = pg[ch] * inv;
+            float b0 = pb[ch] - pm[ch] * g;
+            const float* base = px + t * spatial;
+            float* obase = po + t * spatial;
+            for (int64_t i = 0; i < spatial; ++i)
+                obase[i] = base[i] * g + b0;
+        }
+    });
+}
+
+void
+groupNorm(const Tensor& x, const Tensor& scale, const Tensor& bias,
+          int64_t groups, float eps, Tensor* out)
+{
+    const Shape& shape = x.shape();
+    SOD2_CHECK_GE(shape.rank(), 2);
+    int64_t n = shape.dim(0);
+    int64_t c = shape.dim(1);
+    SOD2_CHECK_EQ(c % groups, 0) << "channels not divisible by groups";
+    int64_t spatial = shape.numElements() / (n * c);
+    int64_t cg = c / groups;
+    int64_t group_elems = cg * spatial;
+    const float* px = x.data<float>();
+    const float* pg = scale.data<float>();
+    const float* pb = bias.data<float>();
+    float* po = out->data<float>();
+    parallelFor(n * groups, [&](int64_t lo, int64_t hi) {
+        for (int64_t t = lo; t < hi; ++t) {
+            int64_t ni = t / groups;
+            int64_t gi = t % groups;
+            const float* base =
+                px + (ni * c + gi * cg) * spatial;
+            float* obase = po + (ni * c + gi * cg) * spatial;
+            double mean = 0.0;
+            for (int64_t i = 0; i < group_elems; ++i)
+                mean += base[i];
+            mean /= static_cast<double>(group_elems);
+            double var = 0.0;
+            for (int64_t i = 0; i < group_elems; ++i) {
+                double d = base[i] - mean;
+                var += d * d;
+            }
+            var /= static_cast<double>(group_elems);
+            float inv = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+            for (int64_t ch = 0; ch < cg; ++ch) {
+                float g = pg[gi * cg + ch] * inv;
+                float b0 = pb[gi * cg + ch] -
+                           static_cast<float>(mean) * g;
+                for (int64_t i = 0; i < spatial; ++i)
+                    obase[ch * spatial + i] =
+                        base[ch * spatial + i] * g + b0;
+            }
+        }
+    });
+}
+
+void
+pool2d(const Tensor& x, Tensor* out, int64_t kernel, int64_t stride,
+       int64_t pad, bool is_max)
+{
+    const Shape& xs = x.shape();
+    const Shape& os = out->shape();
+    int64_t n = xs.dim(0), c = xs.dim(1), h = xs.dim(2), w = xs.dim(3);
+    int64_t oh = os.dim(2), ow = os.dim(3);
+    const float* px = x.data<float>();
+    float* po = out->data<float>();
+    parallelFor(n * c, [&](int64_t lo, int64_t hi) {
+        for (int64_t t = lo; t < hi; ++t) {
+            const float* base = px + t * h * w;
+            float* obase = po + t * oh * ow;
+            for (int64_t oy = 0; oy < oh; ++oy) {
+                for (int64_t ox = 0; ox < ow; ++ox) {
+                    float acc = is_max
+                                    ? -std::numeric_limits<float>::infinity()
+                                    : 0.0f;
+                    int64_t cnt = 0;
+                    for (int64_t ky = 0; ky < kernel; ++ky) {
+                        int64_t iy = oy * stride - pad + ky;
+                        if (iy < 0 || iy >= h)
+                            continue;
+                        for (int64_t kx = 0; kx < kernel; ++kx) {
+                            int64_t ix = ox * stride - pad + kx;
+                            if (ix < 0 || ix >= w)
+                                continue;
+                            float v = base[iy * w + ix];
+                            if (is_max)
+                                acc = std::max(acc, v);
+                            else
+                                acc += v;
+                            ++cnt;
+                        }
+                    }
+                    obase[oy * ow + ox] =
+                        is_max ? acc
+                               : (cnt ? acc / static_cast<float>(cnt)
+                                      : 0.0f);
+                }
+            }
+        }
+    });
+}
+
+void
+globalAvgPool(const Tensor& x, Tensor* out)
+{
+    const Shape& xs = x.shape();
+    int64_t nc = xs.dim(0) * xs.dim(1);
+    int64_t spatial = xs.dim(2) * xs.dim(3);
+    const float* px = x.data<float>();
+    float* po = out->data<float>();
+    for (int64_t t = 0; t < nc; ++t) {
+        float sum = 0.0f;
+        const float* base = px + t * spatial;
+        for (int64_t i = 0; i < spatial; ++i)
+            sum += base[i];
+        po[t] = sum / static_cast<float>(spatial);
+    }
+}
+
+}  // namespace sod2

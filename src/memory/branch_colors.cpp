@@ -1,0 +1,68 @@
+#include "memory/branch_colors.h"
+
+#include "support/logging.h"
+
+namespace sod2 {
+
+std::vector<BranchColors>
+computeBranchColors(const Graph& graph)
+{
+    std::vector<BranchColors> colors(graph.numValues());
+
+    for (NodeId n : graph.topoOrder()) {
+        const Node& node = graph.node(n);
+
+        // Merge input colors; conflicting branch indices for the same
+        // switch cancel (the consumer runs on both paths — Combine).
+        BranchColors merged;
+        std::map<NodeId, bool> conflicted;
+        for (ValueId in : node.inputs) {
+            for (const auto& [sw, branch] : colors[in]) {
+                auto it = merged.find(sw);
+                if (it == merged.end()) {
+                    merged.emplace(sw, branch);
+                } else if (it->second != branch) {
+                    conflicted[sw] = true;
+                }
+            }
+        }
+        for (const auto& [sw, _] : conflicted)
+            merged.erase(sw);
+
+        if (node.op == kSwitchOp) {
+            for (size_t i = 0; i < node.outputs.size(); ++i) {
+                BranchColors c = merged;
+                c[n] = static_cast<int>(i);
+                colors[node.outputs[i]] = std::move(c);
+            }
+            continue;
+        }
+        for (ValueId out : node.outputs)
+            colors[out] = merged;
+    }
+    return colors;
+}
+
+bool
+mutuallyExclusive(const BranchColors& a, const BranchColors& b)
+{
+    // Maps are ordered: single linear sweep finds a shared switch with
+    // differing branch indices.
+    auto ia = a.begin();
+    auto ib = b.begin();
+    while (ia != a.end() && ib != b.end()) {
+        if (ia->first < ib->first) {
+            ++ia;
+        } else if (ib->first < ia->first) {
+            ++ib;
+        } else {
+            if (ia->second != ib->second)
+                return true;
+            ++ia;
+            ++ib;
+        }
+    }
+    return false;
+}
+
+}  // namespace sod2

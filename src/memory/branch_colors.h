@@ -1,0 +1,39 @@
+#ifndef SOD2_MEMORY_BRANCH_COLORS_H_
+#define SOD2_MEMORY_BRANCH_COLORS_H_
+
+/**
+ * @file
+ * Branch-exclusivity analysis for control-flow-aware memory planning.
+ *
+ * SoD2 executes only the selected <Switch, Combine> branch, so tensors
+ * on *different branches of the same Switch* are never live together —
+ * their arena slots may overlap even when their schedule intervals do.
+ * This is a large part of the paper's Table 5 memory wins on the
+ * control-flow models (SkipNet, ConvNet-AIG, RaNet, BlockDrop).
+ *
+ * Each value gets a color map {switch node -> branch index}. A value
+ * inherits the colors of its node's inputs; Switch output i adds
+ * {switch: i}; a node merging values from different branches of the same
+ * switch (i.e. Combine) drops that switch's entry, since it executes
+ * regardless of the decision.
+ */
+
+#include <map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace sod2 {
+
+using BranchColors = std::map<NodeId, int>;
+
+/** Per-value color maps (indexed by ValueId). */
+std::vector<BranchColors> computeBranchColors(const Graph& graph);
+
+/** True when @p a and @p b lie on different branches of some switch —
+ *  i.e. at most one of them materializes in any run. */
+bool mutuallyExclusive(const BranchColors& a, const BranchColors& b);
+
+}  // namespace sod2
+
+#endif  // SOD2_MEMORY_BRANCH_COLORS_H_

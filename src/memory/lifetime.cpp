@@ -1,0 +1,85 @@
+#include "memory/lifetime.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace sod2 {
+
+std::vector<Interval>
+computeLifetimes(const Graph& graph, const RdpResult& rdp,
+                 const std::vector<NodeId>& order,
+                 const std::map<std::string, int64_t>& bindings)
+{
+    std::map<NodeId, int> step_of;
+    for (size_t i = 0; i < order.size(); ++i)
+        step_of[order[i]] = static_cast<int>(i);
+    int last_step = static_cast<int>(order.size()) - 1;
+
+    std::vector<Interval> out;
+    for (NodeId n : order) {
+        const Node& node = graph.node(n);
+        for (ValueId v : node.outputs) {
+            const Value& val = graph.value(v);
+            auto dims = rdp.shapeOf(v).evaluate(bindings);
+            if (!dims)
+                continue;  // execution-determined size
+            Interval iv;
+            iv.value = v;
+            iv.defStep = step_of[n];
+            iv.lastUse = iv.defStep;
+            for (NodeId c : val.consumers) {
+                auto it = step_of.find(c);
+                if (it != step_of.end())
+                    iv.lastUse = std::max(iv.lastUse, it->second);
+            }
+            if (val.isGraphOutput)
+                iv.lastUse = last_step;
+            iv.bytes = static_cast<size_t>(
+                           Shape(*dims).numElements()) *
+                       dtypeSize(val.dtype);
+            out.push_back(iv);
+        }
+    }
+    return out;
+}
+
+size_t
+peakLiveBytes(const std::vector<Interval>& intervals)
+{
+    size_t peak = 0;
+    int steps = 0;
+    for (const auto& iv : intervals)
+        steps = std::max(steps, iv.lastUse + 1);
+    for (int s = 0; s < steps; ++s) {
+        size_t live = 0;
+        for (const auto& iv : intervals)
+            if (iv.defStep <= s && s <= iv.lastUse)
+                live += iv.bytes;
+        peak = std::max(peak, live);
+    }
+    return peak;
+}
+
+int
+peakStep(const std::vector<Interval>& intervals)
+{
+    size_t peak = 0;
+    int best = 0;
+    int steps = 0;
+    for (const auto& iv : intervals)
+        steps = std::max(steps, iv.lastUse + 1);
+    for (int s = 0; s < steps; ++s) {
+        size_t live = 0;
+        for (const auto& iv : intervals)
+            if (iv.defStep <= s && s <= iv.lastUse)
+                live += iv.bytes;
+        if (live > peak) {
+            peak = live;
+            best = s;
+        }
+    }
+    return best;
+}
+
+}  // namespace sod2

@@ -1,0 +1,74 @@
+#ifndef SOD2_MEMORY_LIFETIME_H_
+#define SOD2_MEMORY_LIFETIME_H_
+
+/**
+ * @file
+ * Tensor lifetime intervals over an execution order — the common input
+ * to every memory planner (paper §4.4.1).
+ */
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "memory/branch_colors.h"
+#include "rdp/rdp_analysis.h"
+
+namespace sod2 {
+
+/** Liveness of one intermediate tensor across execution steps. */
+struct Interval
+{
+    ValueId value = -1;
+    int defStep = 0;    ///< step producing the tensor
+    int lastUse = 0;    ///< last step reading it (inclusive)
+    size_t bytes = 0;   ///< concrete size (after symbol binding)
+    /** Branch colors for exclusivity-aware planning (may be null). */
+    std::shared_ptr<const BranchColors> colors;
+
+    bool
+    overlaps(const Interval& other) const
+    {
+        return defStep <= other.lastUse && other.defStep <= lastUse;
+    }
+
+    /** Needs disjoint memory from @p other: time-overlapping and not on
+     *  mutually exclusive control-flow branches. */
+    bool
+    conflictsWith(const Interval& other) const
+    {
+        if (!overlaps(other))
+            return false;
+        if (colors && other.colors &&
+            mutuallyExclusive(*colors, *other.colors))
+            return false;
+        return true;
+    }
+};
+
+/**
+ * Computes lifetime intervals for the non-constant, non-input values
+ * produced along @p order, sizing each from RDP shapes evaluated under
+ * @p bindings. Values whose size cannot be resolved are skipped (the
+ * caller accounts for them separately — they are exactly the
+ * execution-determined allocations).
+ *
+ * Graph outputs extend to the final step.
+ */
+std::vector<Interval>
+computeLifetimes(const Graph& graph, const RdpResult& rdp,
+                 const std::vector<NodeId>& order,
+                 const std::map<std::string, int64_t>& bindings);
+
+/** Peak of summed live bytes over steps (the quantity planners bound). */
+size_t peakLiveBytes(const std::vector<Interval>& intervals);
+
+/** Step index at which the live-byte total peaks. */
+int peakStep(const std::vector<Interval>& intervals);
+
+}  // namespace sod2
+
+#endif  // SOD2_MEMORY_LIFETIME_H_

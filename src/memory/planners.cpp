@@ -1,0 +1,180 @@
+#include "memory/planners.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/logging.h"
+
+namespace sod2 {
+namespace {
+
+constexpr size_t kAlign = 64;
+
+size_t
+alignUp(size_t x)
+{
+    return (x + kAlign - 1) & ~(kAlign - 1);
+}
+
+/**
+ * Places intervals one by one in @p order. For each, collects the
+ * already-placed time-overlapping ranges and picks a gap:
+ * best_fit ? smallest adequate gap : lowest-offset adequate gap.
+ */
+MemPlan
+placeInOrder(const std::vector<Interval>& intervals,
+             const std::vector<int>& order, bool best_fit)
+{
+    MemPlan plan;
+    plan.offsets.assign(intervals.size(), 0);
+    std::vector<bool> placed(intervals.size(), false);
+
+    for (int idx : order) {
+        const Interval& iv = intervals[idx];
+        size_t need = alignUp(std::max<size_t>(iv.bytes, 1));
+
+        // Occupied ranges among placed, time-overlapping intervals.
+        std::vector<std::pair<size_t, size_t>> busy;
+        for (size_t j = 0; j < intervals.size(); ++j) {
+            if (!placed[j] || !intervals[j].conflictsWith(iv))
+                continue;
+            busy.emplace_back(plan.offsets[j],
+                              plan.offsets[j] +
+                                  alignUp(std::max<size_t>(
+                                      intervals[j].bytes, 1)));
+        }
+        std::sort(busy.begin(), busy.end());
+
+        size_t chosen = SIZE_MAX;
+        size_t chosen_gap = SIZE_MAX;
+        size_t cursor = 0;
+        for (const auto& [lo, hi] : busy) {
+            if (lo > cursor) {
+                size_t gap = lo - cursor;
+                if (gap >= need) {
+                    if (!best_fit) {
+                        chosen = cursor;
+                        break;
+                    }
+                    if (gap < chosen_gap) {
+                        chosen_gap = gap;
+                        chosen = cursor;
+                    }
+                }
+            }
+            cursor = std::max(cursor, hi);
+        }
+        if (chosen == SIZE_MAX)
+            chosen = cursor;  // extend the arena
+
+        plan.offsets[idx] = chosen;
+        placed[idx] = true;
+        plan.arenaBytes = std::max(plan.arenaBytes, chosen + need);
+    }
+    return plan;
+}
+
+std::vector<int>
+identityOrder(size_t n)
+{
+    std::vector<int> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    return order;
+}
+
+}  // namespace
+
+MemPlan
+planGreedyBestFit(const std::vector<Interval>& intervals)
+{
+    // Allocation-time order (definition step), best-fit gap selection.
+    std::vector<int> order = identityOrder(intervals.size());
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return intervals[a].defStep < intervals[b].defStep;
+    });
+    return placeInOrder(intervals, order, /*best_fit=*/true);
+}
+
+MemPlan
+planPeakOutward(const std::vector<Interval>& intervals)
+{
+    if (intervals.empty())
+        return {};
+    int peak = peakStep(intervals);
+    // Distance of an interval from the peak step (0 when live at peak).
+    auto distance = [&](const Interval& iv) {
+        if (iv.defStep <= peak && peak <= iv.lastUse)
+            return 0;
+        return iv.defStep > peak ? iv.defStep - peak : peak - iv.lastUse;
+    };
+    std::vector<int> order = identityOrder(intervals.size());
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        int da = distance(intervals[a]);
+        int db = distance(intervals[b]);
+        if (da != db)
+            return da < db;
+        // Within a distance class, bigger tensors first packs tighter.
+        return intervals[a].bytes > intervals[b].bytes;
+    });
+    return placeInOrder(intervals, order, /*best_fit=*/true);
+}
+
+MemPlan
+planConservativeMax(const std::vector<Interval>& intervals,
+                    const std::vector<size_t>& max_bytes)
+{
+    SOD2_CHECK_EQ(intervals.size(), max_bytes.size());
+    std::vector<Interval> maxed = intervals;
+    for (size_t i = 0; i < maxed.size(); ++i)
+        maxed[i].bytes = max_bytes[i];
+    std::vector<int> order = identityOrder(maxed.size());
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return maxed[a].defStep < maxed[b].defStep;
+    });
+    return placeInOrder(maxed, order, /*best_fit=*/true);
+}
+
+MemPlan
+planOptimalExhaustive(const std::vector<Interval>& intervals, size_t limit)
+{
+    SOD2_CHECK_LE(intervals.size(), limit)
+        << "exhaustive memory planning limited to " << limit << " tensors";
+    std::vector<int> order = identityOrder(intervals.size());
+    std::sort(order.begin(), order.end());
+    MemPlan best;
+    best.arenaBytes = SIZE_MAX;
+    do {
+        MemPlan p = placeInOrder(intervals, order, /*best_fit=*/false);
+        if (p.arenaBytes < best.arenaBytes)
+            best = p;
+    } while (std::next_permutation(order.begin(), order.end()));
+    if (intervals.empty())
+        best.arenaBytes = 0;
+    return best;
+}
+
+bool
+validatePlan(const std::vector<Interval>& intervals, const MemPlan& plan)
+{
+    if (plan.offsets.size() != intervals.size())
+        return false;
+    for (size_t i = 0; i < intervals.size(); ++i) {
+        size_t ei = plan.offsets[i] + std::max<size_t>(intervals[i].bytes, 1);
+        if (ei > plan.arenaBytes)
+            return false;
+        for (size_t j = i + 1; j < intervals.size(); ++j) {
+            if (!intervals[i].conflictsWith(intervals[j]))
+                continue;
+            size_t ej =
+                plan.offsets[j] + std::max<size_t>(intervals[j].bytes, 1);
+            bool disjoint =
+                ei <= plan.offsets[j] || ej <= plan.offsets[i];
+            if (!disjoint)
+                return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace sod2

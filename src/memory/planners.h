@@ -1,0 +1,61 @@
+#ifndef SOD2_MEMORY_PLANNERS_H_
+#define SOD2_MEMORY_PLANNERS_H_
+
+/**
+ * @file
+ * Arena memory planners (paper §4.4.1). All take lifetime Intervals and
+ * return non-overlapping offsets inside one linear arena:
+ *
+ *  - planGreedyBestFit: allocation-time order, best-fit gap — the
+ *    strategy of existing dynamic-DNN planners (MNN / Nimble, [51]);
+ *  - planPeakOutward: SoD2's RDP-guided plan — place the tensors live at
+ *    the peak-memory step first, then sweep outward in both directions
+ *    (the paper's monotonicity insight), first-fit lowest offset;
+ *  - planConservativeMax: TFLite-style, sizes taken at declared maxima;
+ *  - planOptimalExhaustive: minimum arena over all placement orders
+ *    (small inputs only) — the "optimal" yardstick for the 1.05x claim.
+ */
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "memory/lifetime.h"
+
+namespace sod2 {
+
+/** Result of planning: per-interval arena offsets. */
+struct MemPlan
+{
+    /** offsets[i] corresponds to intervals[i] handed to the planner. */
+    std::vector<size_t> offsets;
+    size_t arenaBytes = 0;
+};
+
+MemPlan planGreedyBestFit(const std::vector<Interval>& intervals);
+
+MemPlan planPeakOutward(const std::vector<Interval>& intervals);
+
+/**
+ * Conservative plan: every interval is sized by @p max_bytes (its
+ * declared maximum over all possible input shapes), placed best-fit.
+ * @p max_bytes aligns with @p intervals by index.
+ */
+MemPlan planConservativeMax(const std::vector<Interval>& intervals,
+                            const std::vector<size_t>& max_bytes);
+
+/**
+ * Exhaustive minimum over placement permutations with first-fit.
+ * Requires intervals.size() <= @p limit (throws otherwise).
+ */
+MemPlan planOptimalExhaustive(const std::vector<Interval>& intervals,
+                              size_t limit = 9);
+
+/** Checks that no two time-overlapping intervals overlap in memory and
+ *  every interval fits in the arena. */
+bool validatePlan(const std::vector<Interval>& intervals,
+                  const MemPlan& plan);
+
+}  // namespace sod2
+
+#endif  // SOD2_MEMORY_PLANNERS_H_

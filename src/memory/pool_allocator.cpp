@@ -1,0 +1,81 @@
+#include "memory/pool_allocator.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace sod2 {
+
+std::shared_ptr<PoolAllocator>
+PoolAllocator::create()
+{
+    return std::shared_ptr<PoolAllocator>(new PoolAllocator());
+}
+
+Tensor
+PoolAllocator::allocate(DType dtype, const Shape& shape)
+{
+    size_t need = std::max<size_t>(
+        1, static_cast<size_t>(shape.numElements()) * dtypeSize(dtype));
+
+    // Best-fit search over the free list; tolerate up to 2x slack so a
+    // recycled block isn't comically oversized (mirrors BFC bucketing).
+    int best = -1;
+    for (size_t i = 0; i < free_.size(); ++i) {
+        if (free_[i].size >= need && free_[i].size <= 2 * need) {
+            if (best < 0 || free_[i].size < free_[best].size)
+                best = static_cast<int>(i);
+        }
+    }
+
+    Block block;
+    if (best >= 0) {
+        block = std::move(free_[best]);
+        free_.erase(free_.begin() + best);
+    } else {
+        block.data = std::make_unique<uint8_t[]>(need);
+        block.size = need;
+        pool_bytes_ += need;
+        ++fresh_allocs_;
+    }
+    in_use_ += block.size;
+
+    uint8_t* raw = block.data.get();
+    // The deleter returns the block to the pool; shared_from_this keeps
+    // the pool alive as long as any tensor does.
+    auto self = shared_from_this();
+    auto holder = std::shared_ptr<uint8_t[]>(
+        raw, [self, blk = std::make_shared<Block>(std::move(block))](
+                 uint8_t*) mutable {
+            self->in_use_ -= blk->size;
+            self->free_.push_back(std::move(*blk));
+        });
+
+    // Wrap as a borrowed view and attach the holder through a cloneable
+    // tensor trick: create the view, then keep holder alive by capture.
+    // Tensor::view does not own, so stash the holder in a wrapper.
+    Tensor t = Tensor::view(dtype, shape, raw);
+    // Keep the pooled block alive for the lifetime of the tensor by
+    // pairing it with the tensor's buffer through a side table is
+    // avoided: instead we copy the holder into a lambda-held tensor.
+    // Simplest correct approach: return a Tensor that owns the holder.
+    return Tensor::adopt(dtype, shape, raw, holder);
+}
+
+TensorAllocator
+PoolAllocator::asAllocator()
+{
+    auto self = shared_from_this();
+    return [self](DType dtype, const Shape& shape) {
+        return self->allocate(dtype, shape);
+    };
+}
+
+void
+PoolAllocator::releaseAll()
+{
+    free_.clear();
+    pool_bytes_ = in_use_;
+}
+
+}  // namespace sod2

@@ -1,0 +1,60 @@
+#ifndef SOD2_MEMORY_POOL_ALLOCATOR_H_
+#define SOD2_MEMORY_POOL_ALLOCATOR_H_
+
+/**
+ * @file
+ * Size-bucketed pooling allocator — models the ONNX-Runtime-style
+ * arena/free-list strategy: blocks are recycled by best-fit size match,
+ * the pool only grows. Peak pool size is the baseline's reported memory
+ * consumption in Table 5.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runtime/op_executor.h"
+#include "tensor/tensor.h"
+
+namespace sod2 {
+
+/** Best-fit recycling pool; not thread-safe (single-stream execution). */
+class PoolAllocator : public std::enable_shared_from_this<PoolAllocator>
+{
+  public:
+    static std::shared_ptr<PoolAllocator> create();
+
+    /** Allocates (or recycles) a block and wraps it as a Tensor whose
+     *  destruction returns the block to the pool. */
+    Tensor allocate(DType dtype, const Shape& shape);
+
+    /** TensorAllocator adapter keeping the pool alive via shared_ptr. */
+    TensorAllocator asAllocator();
+
+    /** Total bytes ever held by the pool (the reported footprint). */
+    size_t poolBytes() const { return pool_bytes_; }
+    /** Bytes currently handed out. */
+    size_t inUseBytes() const { return in_use_; }
+    /** Number of fresh (non-recycled) block allocations. */
+    size_t freshAllocs() const { return fresh_allocs_; }
+
+    void releaseAll();
+
+  private:
+    PoolAllocator() = default;
+
+    struct Block
+    {
+        std::unique_ptr<uint8_t[]> data;
+        size_t size = 0;
+    };
+
+    std::vector<Block> free_;
+    size_t pool_bytes_ = 0;
+    size_t in_use_ = 0;
+    size_t fresh_allocs_ = 0;
+};
+
+}  // namespace sod2
+
+#endif  // SOD2_MEMORY_POOL_ALLOCATOR_H_

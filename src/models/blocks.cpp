@@ -1,0 +1,184 @@
+#include "models/blocks.h"
+
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace sod2 {
+
+ValueId
+convAct(GraphBuilder& b, Rng& rng, const std::string& prefix, ValueId x,
+        int64_t in_ch, int64_t out_ch, int kernel, int stride, int pad,
+        const std::string& act)
+{
+    ValueId w = b.weight(prefix + "_w", {out_ch, in_ch, kernel, kernel},
+                         rng);
+    ValueId bias = b.weight(prefix + "_b", {out_ch}, rng);
+    ValueId y = b.conv2d(x, w, bias, stride, pad);
+    if (act == "Relu")
+        return b.relu(y);
+    if (act == "Sigmoid")
+        return b.sigmoid(y);
+    if (act == "LeakyRelu")
+        return b.leakyRelu(y, 0.1);
+    if (act == "Silu")
+        return b.mul(y, b.sigmoid(y));
+    if (act == "Gelu")
+        return b.gelu(y);
+    SOD2_CHECK(act.empty()) << "unknown activation " << act;
+    return y;
+}
+
+ValueId
+residualBlock(GraphBuilder& b, Rng& rng, const std::string& prefix,
+              ValueId x, int64_t ch)
+{
+    ValueId h = convAct(b, rng, prefix + "_c1", x, ch, ch, 3, 1, 1);
+    ValueId h2 = convAct(b, rng, prefix + "_c2", h, ch, ch, 3, 1, 1, "");
+    return b.relu(b.add(h2, x));
+}
+
+ValueId
+featureGate(GraphBuilder& b, Rng& rng, const std::string& prefix, ValueId x,
+            int64_t ch, int num_choices)
+{
+    (void)ch;
+    // Gate head reads a raw activation patch (one pixel, 4 columns):
+    // averaged features concentrate (CLT) and would freeze the gate to
+    // one path; individual activations keep it input-dependent.
+    ValueId patch = b.slice(x, {0, 0, 0, 0}, {1, 1, 1, 4}, {0, 1, 2, 3});
+    ValueId flat = b.reshape(patch, {1, 4});             // [1, 4]
+    ValueId w = b.weight(prefix + "_gate_w", {4, num_choices}, rng);
+    ValueId logits = b.matmul(flat, w);                  // [1, k]
+    return b.argMax(logits, 1, /*keepdims=*/false);      // [1] int64
+}
+
+ValueId
+gatedResidualBlock(GraphBuilder& b, Rng& rng, const std::string& prefix,
+                   ValueId x, int64_t ch)
+{
+    ValueId pred = featureGate(b, rng, prefix, x, ch);
+    auto branches = b.switchOp(x, pred, 2);
+    // Branch 0: full residual computation; branch 1: skip (identity).
+    ValueId heavy = residualBlock(b, rng, prefix + "_res", branches[0], ch);
+    ValueId skip = b.unary("Identity", branches[1]);
+    return b.combine(pred, {heavy, skip});
+}
+
+namespace {
+
+/** Scaled dot-product attention core: q,k,v are [1, s*, d]. */
+ValueId
+attentionCore(GraphBuilder& b, ValueId q, ValueId k, ValueId v, int64_t d)
+{
+    ValueId kt = b.transpose(k, {0, 2, 1});          // [1, d, sk]
+    ValueId scores = b.matmul(q, kt);                // [1, sq, sk]
+    ValueId scale =
+        b.constScalarF32(1.0f / std::sqrt(static_cast<float>(d)));
+    ValueId probs = b.softmax(b.mul(scores, scale), -1);
+    return b.matmul(probs, v);                       // [1, sq, d]
+}
+
+/** Multi-head core: split d into heads via ONNX Reshape-with-zeros
+ *  (dims stay symbolic in s), run batched rank-4 attention, merge. */
+ValueId
+multiHeadCore(GraphBuilder& b, ValueId q, ValueId k, ValueId v, int64_t d,
+              int64_t heads)
+{
+    int64_t dh = d / heads;
+    auto split = [&](ValueId t) {
+        // [1, s, d] -> [1, s, h, dh] -> [1, h, s, dh]
+        return b.transpose(b.reshape(t, {0, 0, heads, dh}), {0, 2, 1, 3});
+    };
+    ValueId qh = split(q);
+    ValueId kh = split(k);
+    ValueId vh = split(v);
+    ValueId kt = b.transpose(kh, {0, 1, 3, 2});      // [1, h, dh, sk]
+    ValueId scores = b.matmul(qh, kt);               // [1, h, sq, sk]
+    ValueId scale =
+        b.constScalarF32(1.0f / std::sqrt(static_cast<float>(dh)));
+    ValueId probs = b.softmax(b.mul(scores, scale), -1);
+    ValueId att = b.matmul(probs, vh);               // [1, h, sq, dh]
+    // [1, h, sq, dh] -> [1, sq, h, dh] -> [1, sq, d]
+    return b.reshape(b.transpose(att, {0, 2, 1, 3}), {0, 0, d});
+}
+
+ValueId
+layerNormed(GraphBuilder& b, Rng& rng, const std::string& prefix,
+            ValueId x, int64_t d)
+{
+    ValueId scale = b.weight(prefix + "_ln_g", {d}, rng);
+    ValueId bias = b.weight(prefix + "_ln_b", {d}, rng);
+    return b.layerNorm(x, scale, bias);
+}
+
+}  // namespace
+
+ValueId
+attentionBlock(GraphBuilder& b, Rng& rng, const std::string& prefix,
+               ValueId x, int64_t d, int64_t heads)
+{
+    SOD2_CHECK_EQ(d % heads, 0) << "heads must divide the model dim";
+    ValueId wq = b.weight(prefix + "_wq", {d, d}, rng);
+    ValueId wk = b.weight(prefix + "_wk", {d, d}, rng);
+    ValueId wv = b.weight(prefix + "_wv", {d, d}, rng);
+    ValueId wo = b.weight(prefix + "_wo", {d, d}, rng);
+    ValueId q = b.matmul(x, wq);
+    ValueId k = b.matmul(x, wk);
+    ValueId v = b.matmul(x, wv);
+    ValueId core = heads > 1 ? multiHeadCore(b, q, k, v, d, heads)
+                             : attentionCore(b, q, k, v, d);
+    ValueId att = b.matmul(core, wo);
+    return layerNormed(b, rng, prefix, b.add(att, x), d);
+}
+
+ValueId
+crossAttentionBlock(GraphBuilder& b, Rng& rng, const std::string& prefix,
+                    ValueId x, ValueId ctx, int64_t d)
+{
+    ValueId wq = b.weight(prefix + "_wq", {d, d}, rng);
+    ValueId wk = b.weight(prefix + "_wk", {d, d}, rng);
+    ValueId wv = b.weight(prefix + "_wv", {d, d}, rng);
+    ValueId q = b.matmul(x, wq);
+    ValueId k = b.matmul(ctx, wk);
+    ValueId v = b.matmul(ctx, wv);
+    ValueId att = attentionCore(b, q, k, v, d);
+    return layerNormed(b, rng, prefix, b.add(att, x), d);
+}
+
+ValueId
+ffnBlock(GraphBuilder& b, Rng& rng, const std::string& prefix, ValueId x,
+         int64_t d, int64_t hidden)
+{
+    ValueId w1 = b.weight(prefix + "_w1", {d, hidden}, rng);
+    ValueId w2 = b.weight(prefix + "_w2", {hidden, d}, rng);
+    ValueId h = b.gelu(b.matmul(x, w1));
+    ValueId out = b.matmul(h, w2);
+    return layerNormed(b, rng, prefix, b.add(out, x), d);
+}
+
+ValueId
+embedding(GraphBuilder& b, Rng& rng, const std::string& prefix,
+          ValueId tokens, int64_t vocab, int64_t d, int64_t max_len)
+{
+    ValueId table = b.weight(prefix + "_emb", {vocab, d}, rng);
+    ValueId tok_emb = b.gather(table, tokens, 0);       // [1, s, d]
+    // Positional embedding sliced to the *dynamic* sequence length:
+    // Shape -> Gather -> Slice is the ISDO -> ISVDOS chain of Fig 1(a).
+    ValueId pos_table = b.weight(prefix + "_pos", {max_len, d}, rng);
+    ValueId shp = b.shapeOf(tokens);                    // value {1, s}
+    ValueId seq_len = b.gather(shp, b.constI64({1}));   // value {s}
+    ValueId pos = b.sliceDynamic(pos_table, b.constI64({0}), seq_len,
+                                 b.constI64({0}));      // [s, d]
+    return b.add(tok_emb, pos);                         // broadcast
+}
+
+ValueId
+imageToTokens(GraphBuilder& b, ValueId x, int64_t ch)
+{
+    // [1, c, h, w] -> [1, c, h*w] -> [1, h*w, c]
+    ValueId flat = b.reshape(x, {1, ch, -1});
+    return b.transpose(flat, {0, 2, 1});
+}
+
+}  // namespace sod2

@@ -1,0 +1,67 @@
+#ifndef SOD2_MODELS_BLOCKS_H_
+#define SOD2_MODELS_BLOCKS_H_
+
+/**
+ * @file
+ * Shared building blocks for the model zoo: conv stacks, residual
+ * blocks, single-head attention, feed-forward blocks, embeddings, and
+ * the data-dependent gates that drive <Switch, Combine> control flow.
+ */
+
+#include "graph/builder.h"
+
+namespace sod2 {
+
+/** Conv(+bias) followed by an activation ("Relu"/"Sigmoid"/"Gelu"/""). */
+ValueId convAct(GraphBuilder& b, Rng& rng, const std::string& prefix,
+                ValueId x, int64_t in_ch, int64_t out_ch, int kernel,
+                int stride, int pad, const std::string& act = "Relu");
+
+/** Residual block: x + conv(conv(x)) with matching channels. */
+ValueId residualBlock(GraphBuilder& b, Rng& rng, const std::string& prefix,
+                      ValueId x, int64_t ch);
+
+/**
+ * Data-dependent scalar gate in [0, num_choices): a tiny head
+ * (GlobalAveragePool -> MatMul -> ArgMax) whose decision depends on the
+ * activations — the SkipNet/ConvNet-AIG/BlockDrop gating pattern.
+ * @return int64 tensor of one element.
+ */
+ValueId featureGate(GraphBuilder& b, Rng& rng, const std::string& prefix,
+                    ValueId x, int64_t ch, int num_choices = 2);
+
+/**
+ * Gated residual block (Figure 1d): Switch routes the input either
+ * through the residual computation or an identity path; Combine merges.
+ */
+ValueId gatedResidualBlock(GraphBuilder& b, Rng& rng,
+                           const std::string& prefix, ValueId x,
+                           int64_t ch);
+
+/** Multi-head self-attention over [1, s, d] with residual + layernorm.
+ *  @p heads must divide @p d; heads == 1 degenerates to single-head. */
+ValueId attentionBlock(GraphBuilder& b, Rng& rng, const std::string& prefix,
+                       ValueId x, int64_t d, int64_t heads = 1);
+
+/** Cross-attention: queries from @p x [1, sq, d], keys/values from
+ *  @p ctx [1, sk, d]; residual + layernorm. */
+ValueId crossAttentionBlock(GraphBuilder& b, Rng& rng,
+                            const std::string& prefix, ValueId x,
+                            ValueId ctx, int64_t d);
+
+/** Transformer FFN (matmul -> gelu -> matmul) with residual + norm. */
+ValueId ffnBlock(GraphBuilder& b, Rng& rng, const std::string& prefix,
+                 ValueId x, int64_t d, int64_t hidden);
+
+/** Token embedding + dynamically-sliced positional embedding:
+ *  tokens [1, s] (int64) -> [1, s, d]. Exercises ISDO + ISVDOS. */
+ValueId embedding(GraphBuilder& b, Rng& rng, const std::string& prefix,
+                  ValueId tokens, int64_t vocab, int64_t d,
+                  int64_t max_len);
+
+/** Flattens NCHW features to [1, hw, c] token form (for ViT stages). */
+ValueId imageToTokens(GraphBuilder& b, ValueId x, int64_t ch);
+
+}  // namespace sod2
+
+#endif  // SOD2_MODELS_BLOCKS_H_

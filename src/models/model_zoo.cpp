@@ -1,0 +1,52 @@
+#include "models/model_zoo.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace sod2 {
+
+int64_t
+ModelSpec::legalizeSize(int64_t s) const
+{
+    s = std::clamp(s, minSize, maxSize);
+    if (sizeMultiple > 1)
+        s = (s / sizeMultiple) * sizeMultiple;
+    return std::max(s, minSize);
+}
+
+ModelSpec
+buildModel(const std::string& name, Rng& rng)
+{
+    if (name == "SDE")
+        return buildStableDiffusionEncoder(rng);
+    if (name == "SegmentAnything")
+        return buildSegmentAnything(rng);
+    if (name == "Conformer")
+        return buildConformer(rng);
+    if (name == "CodeBERT")
+        return buildCodeBert(rng);
+    if (name == "YOLO-V6")
+        return buildYoloV6(rng);
+    if (name == "SkipNet")
+        return buildSkipNet(rng);
+    if (name == "DGNet")
+        return buildDgNet(rng);
+    if (name == "ConvNet-AIG")
+        return buildConvNetAig(rng);
+    if (name == "RaNet")
+        return buildRaNet(rng);
+    if (name == "BlockDrop")
+        return buildBlockDrop(rng);
+    SOD2_THROW << "unknown model '" << name << "'";
+}
+
+std::vector<std::string>
+allModelNames()
+{
+    return {"SDE",     "SegmentAnything", "Conformer", "CodeBERT",
+            "YOLO-V6", "SkipNet",         "DGNet",     "ConvNet-AIG",
+            "RaNet",   "BlockDrop"};
+}
+
+}  // namespace sod2

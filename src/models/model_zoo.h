@@ -1,0 +1,72 @@
+#ifndef SOD2_MODELS_MODEL_ZOO_H_
+#define SOD2_MODELS_MODEL_ZOO_H_
+
+/**
+ * @file
+ * The ten dynamic-DNN analogs of the paper's evaluation (Table 5):
+ * structurally faithful, scaled-down stand-ins built from the same
+ * operator mix and exhibiting the same *kind* of dynamism. Input-size
+ * ranges follow the paper (§5.1): images 224-640 (multiples of 32 for
+ * YOLO-V6; 64-224 for SDE/SegmentAnything; fixed 224 for DGNet),
+ * sequences 32-384. Channel widths and depths are scaled so 50-sample
+ * sweeps finish in seconds on a host CPU (see DESIGN.md §2).
+ */
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "rdp/rdp_analysis.h"
+#include "support/rng.h"
+
+namespace sod2 {
+
+/** A model plus everything an engine/benchmark needs to drive it. */
+struct ModelSpec
+{
+    std::string name;
+    std::string dynamism;  ///< "S", "C", or "S+C" (Table 5 column)
+    std::shared_ptr<Graph> graph;
+    /** Symbolic input declarations for SoD2's RDP. */
+    RdpOptions rdp;
+    /** Declared maxima (for TFLite-style conservative allocation). */
+    std::map<std::string, Shape> maxInputShapes;
+
+    /**
+     * Samples one random input set. @p size_hint, when >= 0, pins the
+     * primary size dimension (image side / sequence length) — used by
+     * the percentile and size-sweep experiments (Table 7, Figure 10).
+     */
+    std::function<std::vector<Tensor>(Rng&, int64_t size_hint)> sample;
+
+    /** Valid primary-size range {min, max, multiple}. */
+    int64_t minSize = 0, maxSize = 0, sizeMultiple = 1;
+
+    /** Clamps/rounds @p s into the valid primary-size set. */
+    int64_t legalizeSize(int64_t s) const;
+};
+
+/** Builders (weights randomized from @p rng; deterministic per seed). */
+ModelSpec buildStableDiffusionEncoder(Rng& rng);
+ModelSpec buildSegmentAnything(Rng& rng);
+ModelSpec buildConformer(Rng& rng);
+ModelSpec buildCodeBert(Rng& rng);
+ModelSpec buildYoloV6(Rng& rng);
+ModelSpec buildSkipNet(Rng& rng);
+ModelSpec buildDgNet(Rng& rng);
+ModelSpec buildConvNetAig(Rng& rng);
+ModelSpec buildRaNet(Rng& rng);
+ModelSpec buildBlockDrop(Rng& rng);
+
+/** Builds one model by its Table 5 name ("SDE", "CodeBERT", ...). */
+ModelSpec buildModel(const std::string& name, Rng& rng);
+
+/** All ten, in Table 5 order. */
+std::vector<std::string> allModelNames();
+
+}  // namespace sod2
+
+#endif  // SOD2_MODELS_MODEL_ZOO_H_

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Control-flow-dynamism models (paper Table 5 "C" and "S+C" rows):
+ * SkipNet, DGNet, ConvNet-AIG, RaNet, BlockDrop. All use the
+ * <Switch, Combine> pair with data-dependent gates, so different inputs
+ * execute different operator subsets.
+ */
+
+#include <algorithm>
+
+#include "models/blocks.h"
+#include "models/model_zoo.h"
+#include "support/logging.h"
+
+namespace sod2 {
+namespace {
+
+ShapeInfo
+imageDecl()
+{
+    return ShapeInfo::ranked({DimValue::known(1), DimValue::known(3),
+                              DimValue::symbol("h"),
+                              DimValue::symbol("w")});
+}
+
+std::function<int64_t(int64_t)>
+legalizer(const ModelSpec& spec)
+{
+    int64_t mn = spec.minSize, mx = spec.maxSize, mult = spec.sizeMultiple;
+    return [mn, mx, mult](int64_t s) {
+        s = std::clamp(s, mn, mx);
+        if (mult > 1)
+            s = (s / mult) * mult;
+        return std::max(s, mn);
+    };
+}
+
+void
+imageSampler(ModelSpec* spec, int64_t lo, int64_t hi)
+{
+    spec->sample = [legal = legalizer(*spec), lo, hi](Rng& r,
+                                                      int64_t hint) {
+        int64_t side = legal(hint >= 0 ? hint : r.uniformInt(lo, hi));
+        return std::vector<Tensor>{
+            Tensor::randomUniform(Shape({1, 3, side, side}), r)};
+    };
+}
+
+/** GAP head: features [1, ch, ., .] -> softmax over @p classes. */
+ValueId
+classifierHead(GraphBuilder& b, Rng& rng, const std::string& prefix,
+               ValueId x, int64_t ch, int64_t classes)
+{
+    ValueId flat = b.reshape(b.globalAvgPool(x), {1, ch});
+    ValueId w = b.weight(prefix + "_fc", {ch, classes}, rng);
+    return b.softmax(b.matmul(flat, w), -1);
+}
+
+}  // namespace
+
+ModelSpec
+buildSkipNet(Rng& rng)
+{
+    ModelSpec spec;
+    spec.name = "SkipNet";
+    spec.dynamism = "S+C";
+    spec.graph = std::make_shared<Graph>();
+    GraphBuilder b(spec.graph.get());
+
+    constexpr int64_t kCh = 16;
+    ValueId img = b.input("image");
+    ValueId x = convAct(b, rng, "sn_stem", img, 3, kCh, 8, 8, 0);
+    // Five skippable residual blocks, each with its own per-input gate
+    // computed from the current features (SkipNet's recurrent gate
+    // simplified to a feed-forward one).
+    for (int i = 0; i < 5; ++i)
+        x = gatedResidualBlock(b, rng, "sn_b" + std::to_string(i), x, kCh);
+    b.output(classifierHead(b, rng, "sn", x, kCh, 10));
+
+    spec.rdp.inputShapes["image"] = imageDecl();
+    spec.maxInputShapes["image"] = Shape({1, 3, 640, 640});
+    spec.minSize = 224;
+    spec.maxSize = 640;
+    spec.sizeMultiple = 32;
+    imageSampler(&spec, 224, 640);
+    return spec;
+}
+
+ModelSpec
+buildDgNet(Rng& rng)
+{
+    ModelSpec spec;
+    spec.name = "DGNet";
+    spec.dynamism = "C";
+    spec.graph = std::make_shared<Graph>();
+    GraphBuilder b(spec.graph.get());
+
+    constexpr int64_t kCh = 16;
+    ValueId img = b.input("image");
+    ValueId x = convAct(b, rng, "dg_stem", img, 3, kCh, 8, 8, 0);
+    // Dynamic dual gating: each stage routes through one of two
+    // different-width transform paths selected per input.
+    for (int i = 0; i < 4; ++i) {
+        std::string p = "dg_b" + std::to_string(i);
+        ValueId pred = featureGate(b, rng, p, x, kCh);
+        auto brs = b.switchOp(x, pred, 2);
+        // Wide path: full residual block.
+        ValueId wide = residualBlock(b, rng, p + "_wide", brs[0], kCh);
+        // Narrow path: bottlenecked 1x1 path (cheaper).
+        ValueId nw = convAct(b, rng, p + "_nar1", brs[1], kCh, kCh / 2,
+                             1, 1, 0);
+        ValueId narrow = convAct(b, rng, p + "_nar2", nw, kCh / 2, kCh,
+                                 1, 1, 0, "");
+        narrow = b.relu(b.add(narrow, brs[1]));
+        x = b.combine(pred, {wide, narrow});
+    }
+    b.output(classifierHead(b, rng, "dg", x, kCh, 10));
+
+    // DGNet takes fixed 224x224 input (paper §5.1).
+    spec.rdp.inputShapes["image"] = ShapeInfo::fromConcrete(
+        {1, 3, 224, 224});
+    spec.maxInputShapes["image"] = Shape({1, 3, 224, 224});
+    spec.minSize = 224;
+    spec.maxSize = 224;
+    imageSampler(&spec, 224, 224);
+    return spec;
+}
+
+ModelSpec
+buildConvNetAig(Rng& rng)
+{
+    ModelSpec spec;
+    spec.name = "ConvNet-AIG";
+    spec.dynamism = "S+C";
+    spec.graph = std::make_shared<Graph>();
+    GraphBuilder b(spec.graph.get());
+
+    constexpr int64_t kCh = 16;
+    ValueId img = b.input("image");
+    ValueId x = convAct(b, rng, "aig_stem", img, 3, kCh, 8, 8, 0);
+    // AIG: each layer's gate is a two-layer MLP on pooled features.
+    for (int i = 0; i < 5; ++i) {
+        std::string p = "aig_b" + std::to_string(i);
+        ValueId patch =
+            b.slice(x, {0, 0, 0, 0}, {1, 1, 1, 8}, {0, 1, 2, 3});
+        ValueId feats = b.reshape(patch, {1, 8});
+        ValueId w1 = b.weight(p + "_g1", {8, 8}, rng);
+        ValueId w2 = b.weight(p + "_g2", {8, 2}, rng);
+        ValueId logits = b.matmul(b.relu(b.matmul(feats, w1)), w2);
+        ValueId pred = b.argMax(logits, 1, false);
+        auto brs = b.switchOp(x, pred, 2);
+        ValueId heavy = residualBlock(b, rng, p + "_res", brs[0], kCh);
+        ValueId skip = b.unary("Identity", brs[1]);
+        x = b.combine(pred, {heavy, skip});
+    }
+    b.output(classifierHead(b, rng, "aig", x, kCh, 10));
+
+    spec.rdp.inputShapes["image"] = imageDecl();
+    spec.maxInputShapes["image"] = Shape({1, 3, 640, 640});
+    spec.minSize = 224;
+    spec.maxSize = 640;
+    spec.sizeMultiple = 32;
+    imageSampler(&spec, 224, 640);
+    return spec;
+}
+
+ModelSpec
+buildRaNet(Rng& rng)
+{
+    ModelSpec spec;
+    spec.name = "RaNet";
+    spec.dynamism = "S+C";
+    spec.graph = std::make_shared<Graph>();
+    GraphBuilder b(spec.graph.get());
+
+    constexpr int64_t kCh = 16;
+    ValueId img = b.input("image");
+
+    // Always-on low-resolution subnet (cheap): pool x4, small convs.
+    ValueId low = b.avgPool(img, 4, 4);
+    ValueId lf = convAct(b, rng, "ra_low1", low, 3, kCh, 8, 8, 0);
+    lf = residualBlock(b, rng, "ra_low2", lf, kCh);
+
+    // Confidence gate decides whether the low-res result suffices
+    // (early exit) or the high-resolution subnet must run.
+    ValueId pred = featureGate(b, rng, "ra_gate", lf, kCh);
+    auto brs = b.switchOp(img, pred, 2);
+
+    // Branch 0: early exit — classify from (re-derived) low-res
+    // features of the routed image.
+    ValueId e_low = b.avgPool(brs[0], 4, 4);
+    ValueId e_f = convAct(b, rng, "ra_exit", e_low, 3, kCh, 8, 8, 0);
+    ValueId exit_feat = b.globalAvgPool(e_f);  // [1, ch, 1, 1]
+
+    // Branch 1: full-resolution subnet (two stages + fusion).
+    ValueId hf = convAct(b, rng, "ra_hi1", brs[1], 3, kCh, 8, 8, 0);
+    hf = residualBlock(b, rng, "ra_hi2", hf, kCh);
+    hf = convAct(b, rng, "ra_hi3", hf, kCh, kCh, 3, 2, 1);
+    hf = residualBlock(b, rng, "ra_hi4", hf, kCh);
+    ValueId full_feat = b.globalAvgPool(hf);   // [1, ch, 1, 1]
+
+    ValueId feat = b.combine(pred, {exit_feat, full_feat});
+    ValueId flat = b.reshape(feat, {1, kCh});
+    ValueId w = b.weight("ra_fc", {kCh, 10}, rng);
+    b.output(b.softmax(b.matmul(flat, w), -1));
+
+    spec.rdp.inputShapes["image"] = imageDecl();
+    spec.maxInputShapes["image"] = Shape({1, 3, 640, 640});
+    spec.minSize = 224;
+    spec.maxSize = 640;
+    spec.sizeMultiple = 32;
+    imageSampler(&spec, 224, 640);
+    return spec;
+}
+
+ModelSpec
+buildBlockDrop(Rng& rng)
+{
+    ModelSpec spec;
+    spec.name = "BlockDrop";
+    spec.dynamism = "S+C";
+    spec.graph = std::make_shared<Graph>();
+    GraphBuilder b(spec.graph.get());
+
+    constexpr int64_t kCh = 16;
+    constexpr int kBlocks = 4;
+    ValueId img = b.input("image");
+
+    // Policy network: decides *upfront* which residual blocks to run
+    // (BlockDrop's distinctive one-shot policy, vs SkipNet's per-block
+    // gates).
+    ValueId pol_in = b.avgPool(img, 8, 8);
+    ValueId pol = convAct(b, rng, "bd_pol", pol_in, 3, 8, 8, 8, 0);
+    ValueId pol_patch =
+        b.slice(pol, {0, 0, 0, 0}, {1, 8, 1, 1}, {0, 1, 2, 3});
+    ValueId pol_flat = b.reshape(pol_patch, {1, 8});
+    ValueId wpol = b.weight("bd_pol_fc", {8, kBlocks}, rng);
+    ValueId policy = b.matmul(pol_flat, wpol);  // [1, kBlocks] logits
+
+    ValueId x = convAct(b, rng, "bd_stem", img, 3, kCh, 8, 8, 0);
+    for (int i = 0; i < kBlocks; ++i) {
+        std::string p = "bd_b" + std::to_string(i);
+        // decision_i = logit_i > 0 (cast to int64 for Switch).
+        ValueId col = b.slice(policy, {i}, {i + 1}, {1});  // [1, 1]
+        ValueId keep =
+            b.greater(col, b.constScalarF32(0.0f));        // bool [1,1]
+        ValueId pred = b.cast(b.reshape(keep, {1}), DType::kInt64);
+        auto brs = b.switchOp(x, pred, 2);
+        // pred==0: drop the block (identity); pred==1: run it.
+        ValueId skip = b.unary("Identity", brs[0]);
+        ValueId run = residualBlock(b, rng, p + "_res", brs[1], kCh);
+        x = b.combine(pred, {skip, run});
+    }
+    b.output(classifierHead(b, rng, "bd", x, kCh, 10));
+
+    spec.rdp.inputShapes["image"] = imageDecl();
+    spec.maxInputShapes["image"] = Shape({1, 3, 640, 640});
+    spec.minSize = 224;
+    spec.maxSize = 640;
+    spec.sizeMultiple = 32;
+    imageSampler(&spec, 224, 640);
+    return spec;
+}
+
+}  // namespace sod2

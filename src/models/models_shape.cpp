@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Shape-dynamism models (paper Table 5 "S" rows): StableDiffusion
+ * encoder, SegmentAnything, Conformer, CodeBERT, YOLO-V6.
+ */
+
+#include <algorithm>
+
+#include "models/blocks.h"
+#include "models/model_zoo.h"
+#include "support/logging.h"
+
+namespace sod2 {
+namespace {
+
+/** Symbolic NCHW image declaration [1, c, h, w]. */
+ShapeInfo
+imageDecl(int64_t channels, const std::string& hs, const std::string& ws)
+{
+    return ShapeInfo::ranked({DimValue::known(1),
+                              DimValue::known(channels),
+                              DimValue::symbol(hs), DimValue::symbol(ws)});
+}
+
+Tensor
+randomImage(Rng& rng, int64_t c, int64_t h, int64_t w)
+{
+    return Tensor::randomUniform(Shape({1, c, h, w}), rng);
+}
+
+Tensor
+randomTokens(Rng& rng, int64_t s, int64_t vocab)
+{
+    Tensor t(DType::kInt64, Shape({1, s}));
+    int64_t* p = t.data<int64_t>();
+    for (int64_t i = 0; i < s; ++i)
+        p[i] = rng.uniformInt(0, vocab - 1);
+    return t;
+}
+
+/** Value-capturing size legalizer (the spec itself is moved around). */
+std::function<int64_t(int64_t)>
+legalizer(const ModelSpec& spec)
+{
+    int64_t mn = spec.minSize, mx = spec.maxSize, mult = spec.sizeMultiple;
+    return [mn, mx, mult](int64_t s) {
+        s = std::clamp(s, mn, mx);
+        if (mult > 1)
+            s = (s / mult) * mult;
+        return std::max(s, mn);
+    };
+}
+
+}  // namespace
+
+ModelSpec
+buildStableDiffusionEncoder(Rng& rng)
+{
+    ModelSpec spec;
+    spec.name = "SDE";
+    spec.dynamism = "S";
+    spec.graph = std::make_shared<Graph>();
+    GraphBuilder b(spec.graph.get());
+
+    constexpr int64_t kDim = 32;
+    constexpr int64_t kVocab = 128;
+
+    ValueId img = b.input("image");
+    ValueId tokens = b.input("tokens", DType::kInt64);
+
+    // VAE-encoder-ish conv downstack with SiLU activations.
+    ValueId h = convAct(b, rng, "sde_stem", img, 3, 8, 4, 4, 0, "Silu");
+    h = convAct(b, rng, "sde_down1", h, 8, 16, 3, 2, 1, "Silu");
+    h = convAct(b, rng, "sde_down2", h, 16, kDim, 3, 2, 1, "Silu");
+
+    // Text branch: embedding + one self-attention block.
+    ValueId ctx = embedding(b, rng, "sde_text", tokens, kVocab, kDim, 64);
+    ctx = attentionBlock(b, rng, "sde_text_att", ctx, kDim);
+
+    // Latent tokens: self attention, cross attention to text, FFN.
+    ValueId lat = imageToTokens(b, h, kDim);
+    lat = attentionBlock(b, rng, "sde_self", lat, kDim, 4);
+    lat = crossAttentionBlock(b, rng, "sde_cross", lat, ctx, kDim);
+    lat = ffnBlock(b, rng, "sde_ffn", lat, kDim, 2 * kDim);
+    b.output(lat);
+
+    spec.rdp.inputShapes["image"] = imageDecl(3, "h", "w");
+    spec.rdp.inputShapes["tokens"] = ShapeInfo::ranked(
+        {DimValue::known(1), DimValue::symbol("t")});
+    spec.maxInputShapes["image"] = Shape({1, 3, 224, 224});
+    spec.maxInputShapes["tokens"] = Shape({1, 32});
+    spec.minSize = 64;
+    spec.maxSize = 224;
+    spec.sizeMultiple = 16;
+
+    spec.sample = [legal = legalizer(spec)](Rng& r, int64_t hint) {
+        int64_t side = legal(hint >= 0 ? hint : r.uniformInt(64, 224));
+        int64_t t = r.uniformInt(8, 32);
+        return std::vector<Tensor>{randomImage(r, 3, side, side),
+                                   randomTokens(r, t, 128)};
+    };
+    return spec;
+}
+
+ModelSpec
+buildSegmentAnything(Rng& rng)
+{
+    ModelSpec spec;
+    spec.name = "SegmentAnything";
+    spec.dynamism = "S";
+    spec.graph = std::make_shared<Graph>();
+    GraphBuilder b(spec.graph.get());
+
+    constexpr int64_t kDim = 32;
+    ValueId img = b.input("image");
+    ValueId points = b.input("points");  // [1, k, 2] prompt points
+
+    // ViT image encoder: 8x8 patchify + 2 transformer blocks.
+    ValueId patches =
+        convAct(b, rng, "sam_patch", img, 3, kDim, 8, 8, 0, "");
+    ValueId toks = imageToTokens(b, patches, kDim);
+    toks = attentionBlock(b, rng, "sam_vit1", toks, kDim, 4);
+    toks = ffnBlock(b, rng, "sam_vit1_ffn", toks, kDim, 2 * kDim);
+    toks = attentionBlock(b, rng, "sam_vit2", toks, kDim);
+
+    // Prompt encoder: linear lift + self attention over the points.
+    ValueId wp = b.weight("sam_prompt_w", {2, kDim}, rng);
+    ValueId prompt = b.matmul(points, wp);  // [1, k, 32]
+    prompt = attentionBlock(b, rng, "sam_prompt_att", prompt, kDim);
+
+    // Mask decoder: cross attention, fold tokens back to the (dynamic)
+    // spatial grid via Shape arithmetic, upsample, predict one mask.
+    ValueId dec = crossAttentionBlock(b, rng, "sam_dec", toks, prompt,
+                                      kDim);
+    ValueId shp = b.shapeOf(img);  // {1, 3, h, w}
+    ValueId hw = b.gather(shp, b.constI64({2, 3}));
+    ValueId grid = b.div(hw, b.constI64({8, 8}));  // {h/8, w/8}
+    ValueId target =
+        b.concat({b.constI64({1, kDim}), grid}, 0);  // {1,32,h/8,w/8}
+    ValueId fold = b.reshape(b.transpose(dec, {0, 2, 1}), target);
+    ValueId up = b.resizeNearest(fold, b.constI64({4, 4}));
+    ValueId mask = convAct(b, rng, "sam_mask", up, kDim, 1, 1, 1, 0,
+                           "Sigmoid");
+    b.output(mask);
+
+    spec.rdp.inputShapes["image"] = imageDecl(3, "h", "w");
+    spec.rdp.inputShapes["points"] = ShapeInfo::ranked(
+        {DimValue::known(1), DimValue::symbol("k"), DimValue::known(2)});
+    spec.maxInputShapes["image"] = Shape({1, 3, 224, 224});
+    spec.maxInputShapes["points"] = Shape({1, 8, 2});
+    spec.minSize = 64;
+    spec.maxSize = 224;
+    spec.sizeMultiple = 8;
+
+    spec.sample = [legal = legalizer(spec)](Rng& r, int64_t hint) {
+        int64_t side = legal(hint >= 0 ? hint : r.uniformInt(64, 224));
+        int64_t k = r.uniformInt(1, 8);
+        return std::vector<Tensor>{
+            randomImage(r, 3, side, side),
+            Tensor::randomUniform(Shape({1, k, 2}), r, 0.0f, 1.0f)};
+    };
+    return spec;
+}
+
+ModelSpec
+buildConformer(Rng& rng)
+{
+    ModelSpec spec;
+    spec.name = "Conformer";
+    spec.dynamism = "S";
+    spec.graph = std::make_shared<Graph>();
+    GraphBuilder b(spec.graph.get());
+
+    constexpr int64_t kMel = 40;
+    constexpr int64_t kDim = 48;
+
+    ValueId audio = b.input("audio");  // [1, s, 40]
+
+    // Convolutional subsampling: [1,1,s,40] -> stride-2 twice.
+    ValueId img = b.unsqueeze(audio, {1});
+    ValueId c1 = convAct(b, rng, "conf_sub1", img, 1, 8, 3, 2, 1);
+    ValueId c2 = convAct(b, rng, "conf_sub2", c1, 8, 8, 3, 2, 1);
+    // [1, 8, s/4, 10] -> [1, s/4, 80] -> linear to kDim.
+    ValueId t1 = b.transpose(c2, {0, 2, 1, 3});
+    ValueId toks = b.reshape(t1, {1, -1, 8 * (kMel / 4)});
+    ValueId win = b.weight("conf_in_w", {8 * (kMel / 4), kDim}, rng);
+    ValueId x = b.matmul(toks, win);
+
+    // Two conformer blocks: FFN -> MHSA -> depthwise conv -> FFN.
+    for (int blk = 0; blk < 2; ++blk) {
+        std::string p = "conf_b" + std::to_string(blk);
+        x = ffnBlock(b, rng, p + "_ffn1", x, kDim, 2 * kDim);
+        x = attentionBlock(b, rng, p + "_mhsa", x, kDim, 4);
+        // Depthwise temporal conv: [1, t, d] -> [1, d, t, 1], k3/p1
+        // (the padded dummy W axis leaves only the kernel's center
+        // column in-bounds, yielding a pure temporal k3).
+        ValueId spatial =
+            b.unsqueeze(b.transpose(x, {0, 2, 1}), {3});
+        ValueId dw = b.weight(p + "_dw", {kDim, 1, 3, 3}, rng);
+        ValueId conv = b.conv2d(spatial, dw, -1, 1, 1, kDim);
+        ValueId back = b.transpose(b.squeeze(conv, {3}), {0, 2, 1});
+        x = ffnBlock(b, rng, p + "_ffn2", b.add(x, back), kDim,
+                     2 * kDim);
+    }
+
+    // Utterance classifier head.
+    ValueId pooled = b.reduceMean(x, {1}, false);  // [1, d]
+    ValueId wout = b.weight("conf_out_w", {kDim, 16}, rng);
+    b.output(b.softmax(b.matmul(pooled, wout), -1));
+
+    spec.rdp.inputShapes["audio"] = ShapeInfo::ranked(
+        {DimValue::known(1), DimValue::symbol("s"), DimValue::known(kMel)});
+    spec.maxInputShapes["audio"] = Shape({1, 384, kMel});
+    spec.minSize = 32;
+    spec.maxSize = 384;
+    spec.sizeMultiple = 4;
+
+    spec.sample = [legal = legalizer(spec)](Rng& r, int64_t hint) {
+        int64_t s = legal(hint >= 0 ? hint : r.uniformInt(32, 384));
+        return std::vector<Tensor>{
+            Tensor::randomUniform(Shape({1, s, kMel}), r)};
+    };
+    return spec;
+}
+
+ModelSpec
+buildCodeBert(Rng& rng)
+{
+    ModelSpec spec;
+    spec.name = "CodeBERT";
+    spec.dynamism = "S";
+    spec.graph = std::make_shared<Graph>();
+    GraphBuilder b(spec.graph.get());
+
+    constexpr int64_t kDim = 48;
+    constexpr int64_t kVocab = 256;
+
+    ValueId tokens = b.input("tokens", DType::kInt64);
+    ValueId x = embedding(b, rng, "cb", tokens, kVocab, kDim, 384);
+    for (int blk = 0; blk < 3; ++blk) {
+        std::string p = "cb_b" + std::to_string(blk);
+        x = attentionBlock(b, rng, p + "_att", x, kDim, 4);
+        x = ffnBlock(b, rng, p + "_ffn", x, kDim, 2 * kDim);
+    }
+    // CLS pooling: first token -> classifier.
+    ValueId cls = b.slice(x, {0}, {1}, {1});  // [1, 1, d]
+    ValueId flat = b.reshape(cls, {1, kDim});
+    ValueId w = b.weight("cb_cls_w", {kDim, 2}, rng);
+    b.output(b.softmax(b.matmul(flat, w), -1));
+
+    spec.rdp.inputShapes["tokens"] = ShapeInfo::ranked(
+        {DimValue::known(1), DimValue::symbol("s")});
+    spec.maxInputShapes["tokens"] = Shape({1, 384});
+    spec.minSize = 32;
+    spec.maxSize = 384;
+
+    spec.sample = [legal = legalizer(spec)](Rng& r, int64_t hint) {
+        int64_t s = legal(hint >= 0 ? hint : r.uniformInt(32, 384));
+        return std::vector<Tensor>{randomTokens(r, s, kVocab)};
+    };
+    return spec;
+}
+
+ModelSpec
+buildYoloV6(Rng& rng)
+{
+    ModelSpec spec;
+    spec.name = "YOLO-V6";
+    spec.dynamism = "S";
+    spec.graph = std::make_shared<Graph>();
+    GraphBuilder b(spec.graph.get());
+
+    ValueId img = b.input("image");
+
+    // EfficientRep-ish backbone with aggressive early downsampling.
+    ValueId s1 = convAct(b, rng, "y_stem", img, 3, 8, 8, 8, 0,
+                         "LeakyRelu");                      // /8
+    ValueId s2 = convAct(b, rng, "y_s2", s1, 8, 16, 3, 2, 1,
+                         "LeakyRelu");                      // /16
+    s2 = residualBlock(b, rng, "y_s2r", s2, 16);
+    ValueId s3 = convAct(b, rng, "y_s3", s2, 16, 32, 3, 2, 1,
+                         "LeakyRelu");                      // /32
+    s3 = residualBlock(b, rng, "y_s3r", s3, 32);
+
+    // Detection head at /16: 5 channels = [x0, y0, x1, y1, score].
+    ValueId head = convAct(b, rng, "y_head", s2, 16, 5, 1, 1, 0, "");
+    ValueId hw_first = b.transpose(b.reshape(head, {5, -1}), {1, 0});
+    ValueId boxes = b.slice(hw_first, {0}, {4}, {1});       // [N, 4]
+    ValueId score_col = b.slice(hw_first, {4}, {5}, {1});   // [N, 1]
+    ValueId scores = b.sigmoid(b.reshape(score_col, {-1})); // [N]
+
+    // NMS: execution-determined output (the EDO tail of the model).
+    AttrMap nms_attrs;
+    nms_attrs.set("iou_threshold", 0.5);
+    nms_attrs.set("score_threshold", 0.55);
+    NodeId nms = spec.graph->addNode("NonMaxSuppression", {boxes, scores},
+                                     1, std::move(nms_attrs), "y_nms",
+                                     {DType::kInt64});
+    ValueId selected = spec.graph->outputOf(nms);
+    b.output(b.gather(boxes, selected, 0));  // selected boxes
+    // Auxiliary raw head at /32 (second scale).
+    b.output(convAct(b, rng, "y_head2", s3, 32, 5, 1, 1, 0, ""));
+
+    spec.rdp.inputShapes["image"] = ShapeInfo::ranked(
+        {DimValue::known(1), DimValue::known(3), DimValue::symbol("h"),
+         DimValue::symbol("w")});
+    spec.maxInputShapes["image"] = Shape({1, 3, 640, 640});
+    spec.minSize = 224;
+    spec.maxSize = 640;
+    spec.sizeMultiple = 32;
+
+    spec.sample = [legal = legalizer(spec)](Rng& r, int64_t hint) {
+        int64_t side = legal(hint >= 0 ? hint : r.uniformInt(224, 640));
+        return std::vector<Tensor>{randomImage(r, 3, side, side)};
+    };
+    return spec;
+}
+
+}  // namespace sod2

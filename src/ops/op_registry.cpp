@@ -1,0 +1,167 @@
+#include "ops/op_registry.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace sod2 {
+
+// Implemented in the register_*.cpp files.
+void registerElementwiseOps(OpRegistry* r);
+void registerNnOps(OpRegistry* r);
+void registerShapeOps(OpRegistry* r);
+void registerControlFlowOps(OpRegistry* r);
+
+const char*
+dynamismClassName(DynamismClass c)
+{
+    switch (c) {
+      case DynamismClass::kISDO: return "ISDO";
+      case DynamismClass::kISDOS: return "ISDOS";
+      case DynamismClass::kISVDOS: return "ISVDOS";
+      case DynamismClass::kEDO: return "EDO";
+    }
+    return "?";
+}
+
+OpRegistry::OpRegistry()
+{
+    registerElementwiseOps(this);
+    registerNnOps(this);
+    registerShapeOps(this);
+    registerControlFlowOps(this);
+}
+
+OpRegistry&
+OpRegistry::instance()
+{
+    static OpRegistry registry;
+    return registry;
+}
+
+void
+OpRegistry::add(OpDef def)
+{
+    SOD2_CHECK(!def.name.empty());
+    SOD2_CHECK(def.forward) << "op '" << def.name << "' missing forward";
+    SOD2_CHECK(ops_.find(def.name) == ops_.end())
+        << "duplicate op registration: " << def.name;
+    ops_.emplace(def.name, std::move(def));
+}
+
+const OpDef&
+OpRegistry::get(const std::string& name) const
+{
+    const OpDef* def = find(name);
+    SOD2_CHECK(def != nullptr) << "unknown operator '" << name << "'";
+    return *def;
+}
+
+const OpDef*
+OpRegistry::find(const std::string& name) const
+{
+    auto it = ops_.find(name);
+    return it == ops_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string>
+OpRegistry::allOps() const
+{
+    std::vector<std::string> names;
+    names.reserve(ops_.size());
+    for (const auto& [name, def] : ops_)
+        names.push_back(name);
+    return names;
+}
+
+DynamismClass
+effectiveClass(const Graph& graph, const Node& node)
+{
+    const OpDef& def = OpRegistry::instance().get(node.op);
+    if (def.cls != DynamismClass::kISVDOS)
+        return def.cls;
+    // Paper §3 Discussion: an ISVDOS operator whose shape-determining
+    // inputs are all constants is effectively ISDOS.
+    for (int idx : def.shapeInputs) {
+        if (idx >= static_cast<int>(node.inputs.size()))
+            continue;  // optional input absent
+        if (!graph.value(node.inputs[idx]).isConstant())
+            return DynamismClass::kISVDOS;
+    }
+    return DynamismClass::kISDOS;
+}
+
+ValueInfo
+valueInfoFromTensor(const Tensor& t, int64_t max_elems)
+{
+    if (!t.isValid())
+        return ValueInfo::unknown();
+    if (t.dtype() != DType::kInt64 && t.dtype() != DType::kInt32 &&
+        t.dtype() != DType::kBool) {
+        return ValueInfo::unknown();
+    }
+    if (t.numElements() > max_elems)
+        return ValueInfo::unknown();
+    return ValueInfo::fromConcrete(t.toInt64Vector());
+}
+
+void
+validateOps(const Graph& graph)
+{
+    const OpRegistry& registry = OpRegistry::instance();
+    for (NodeId n = 0; n < graph.numNodes(); ++n) {
+        const Node& node = graph.node(n);
+        const OpDef* def = registry.find(node.op);
+        SOD2_CHECK(def != nullptr)
+            << "node '" << node.name << "' uses unregistered operator '"
+            << node.op << "'";
+        int nin = static_cast<int>(node.inputs.size());
+        SOD2_CHECK_GE(nin, def->minInputs)
+            << "node '" << node.name << "' (" << node.op << ") has "
+            << nin << " inputs, needs at least " << def->minInputs;
+        if (def->maxInputs >= 0) {
+            SOD2_CHECK_LE(nin, def->maxInputs)
+                << "node '" << node.name << "' (" << node.op << ") has "
+                << nin << " inputs, at most " << def->maxInputs
+                << " allowed";
+        }
+        if (def->numOutputs >= 0) {
+            SOD2_CHECK_EQ(static_cast<int>(node.outputs.size()),
+                          def->numOutputs)
+                << "node '" << node.name << "' (" << node.op
+                << ") output arity mismatch";
+        }
+    }
+}
+
+std::vector<Shape>
+inferConcreteShapes(const Graph& graph, const Node& node,
+                    const std::vector<Tensor>& inputs)
+{
+    const OpDef& def = OpRegistry::instance().get(node.op);
+    InferContext ctx;
+    ctx.graph = &graph;
+    ctx.node = &node;
+    ctx.inShapes.reserve(inputs.size());
+    ctx.inValues.reserve(inputs.size());
+    for (const Tensor& t : inputs) {
+        SOD2_CHECK(t.isValid())
+            << "null input to " << node.name << " during shape inference";
+        ctx.inShapes.push_back(ShapeInfo::fromConcrete(t.shape().dims()));
+        ctx.inValues.push_back(valueInfoFromTensor(t));
+    }
+    ctx.outShapes.assign(node.outputs.size(), ShapeInfo::undef());
+    ctx.outValues.assign(node.outputs.size(), ValueInfo::undef());
+    def.forward(ctx);
+
+    std::vector<Shape> out;
+    out.reserve(ctx.outShapes.size());
+    for (const ShapeInfo& s : ctx.outShapes) {
+        if (!s.isFullyStatic())
+            return {};  // execution-determined: caller must run the kernel
+        out.emplace_back(s.staticDims());
+    }
+    return out;
+}
+
+}  // namespace sod2

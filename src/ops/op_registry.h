@@ -1,0 +1,148 @@
+#ifndef SOD2_OPS_OP_REGISTRY_H_
+#define SOD2_OPS_OP_REGISTRY_H_
+
+/**
+ * @file
+ * Operator registry: dynamism classification (paper §3, Table 2) and the
+ * per-operator forward/backward shape & value transfer functions used by
+ * RDP (paper Table 3: 16 transfer-function kinds = 4 classes x
+ * {forward, backward} x {shape, value}).
+ *
+ * Every registered operator provides:
+ *  - a static DynamismClass (the Table 2 column), plus the instance-level
+ *    refinement of §3's Discussion: an ISVDOS op whose shape-determining
+ *    inputs are constants is *effectively* ISDOS (effectiveClass());
+ *  - a forward transfer: abstract input shapes/values -> abstract output
+ *    shapes/values over the RDP lattice;
+ *  - an optional backward transfer: abstract output shapes -> refinements
+ *    of abstract input shapes (only unambiguous deductions are emitted);
+ *  - structural metadata (arity, which inputs are shape-determining).
+ *
+ * The same forward transfers double as the *runtime* shape functions used
+ * by the baseline engines: feeding concrete shapes/values through the
+ * abstract transfer yields concrete output shapes (inferConcreteShapes).
+ */
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "symbolic/shape_info.h"
+#include "tensor/tensor.h"
+
+namespace sod2 {
+
+/** The four dynamism degrees of paper §3. */
+enum class DynamismClass {
+    kISDO,    ///< Input Shape Determined Output (value too), e.g. Shape
+    kISDOS,   ///< Input Shape Determined Output Shape, e.g. Conv, Add
+    kISVDOS,  ///< Input Shape & Value Determined Output Shape, e.g. Reshape
+    kEDO,     ///< Execution Determined Output, e.g. NonZero, If, Switch
+};
+
+/** Printable name ("ISDO", ...). */
+const char* dynamismClassName(DynamismClass c);
+
+/**
+ * Inputs/outputs of a forward transfer application. The analysis driver
+ * fills the input vectors; the transfer fills the output vectors (which
+ * arrive pre-sized with undef entries).
+ */
+struct InferContext
+{
+    const Graph* graph = nullptr;
+    const Node* node = nullptr;
+    std::vector<ShapeInfo> inShapes;
+    std::vector<ValueInfo> inValues;
+    std::vector<ShapeInfo> outShapes;
+    std::vector<ValueInfo> outValues;
+};
+
+/**
+ * Inputs/outputs of a backward transfer application: given what is known
+ * about the node's outputs (and inputs so far), propose refinements for
+ * input shapes. Entries left undef propose nothing.
+ */
+struct BackwardContext
+{
+    const Graph* graph = nullptr;
+    const Node* node = nullptr;
+    std::vector<ShapeInfo> inShapes;   ///< current knowledge (read)
+    std::vector<ShapeInfo> outShapes;  ///< current knowledge (read)
+    std::vector<ValueInfo> outValues;  ///< current knowledge (read)
+    std::vector<ShapeInfo> proposed;   ///< shape refinements to inputs (write)
+};
+
+/** Transfer function signatures. */
+using ForwardTransferFn = std::function<void(InferContext&)>;
+using BackwardTransferFn = std::function<void(BackwardContext&)>;
+
+/** Static description of one operator type. */
+struct OpDef
+{
+    std::string name;
+    DynamismClass cls = DynamismClass::kISDOS;
+    int minInputs = 1;
+    int maxInputs = 1;      ///< -1 for variadic
+    int numOutputs = 1;     ///< -1 when attr-dependent (Split, Switch)
+    /** Input indices whose *values* determine output shapes (ISVDOS). */
+    std::vector<int> shapeInputs;
+    ForwardTransferFn forward;
+    BackwardTransferFn backward;  ///< may be null
+};
+
+/** Singleton registry; all built-in ops register at first use. */
+class OpRegistry
+{
+  public:
+    static OpRegistry& instance();
+
+    /** Registers @p def; duplicate names are an error. */
+    void add(OpDef def);
+
+    /** Lookup; throws sod2::Error for unknown operators. */
+    const OpDef& get(const std::string& name) const;
+    /** Lookup; nullptr for unknown operators. */
+    const OpDef* find(const std::string& name) const;
+
+    /** Names of all registered operators (sorted). */
+    std::vector<std::string> allOps() const;
+
+  private:
+    OpRegistry();
+    std::map<std::string, OpDef> ops_;
+};
+
+/**
+ * Instance-level dynamism (paper §3 Discussion): ISVDOS ops whose
+ * shape-determining inputs are all graph constants degrade to ISDOS;
+ * an Upsample/Reshape fed by a constant is statically analyzable.
+ */
+DynamismClass effectiveClass(const Graph& graph, const Node& node);
+
+/**
+ * Runs @p node's forward transfer on concrete inputs and returns concrete
+ * output shapes. Returns an empty vector when shapes cannot be determined
+ * without executing the node (EDO ops). This is the "shape function" the
+ * runtime-solution baselines (TVM-Nimble style) evaluate per dispatch.
+ */
+std::vector<Shape> inferConcreteShapes(const Graph& graph, const Node& node,
+                                       const std::vector<Tensor>& inputs);
+
+/** Builds the abstract ValueInfo for a constant tensor: integer tensors
+ *  up to @p max_elems become element-wise known constants. */
+ValueInfo valueInfoFromTensor(const Tensor& t, int64_t max_elems = 256);
+
+/**
+ * Semantic validation on top of Graph::validate(): every node's
+ * operator is registered and its input/output arity matches the OpDef.
+ * Engines run this at compile time so malformed graphs fail fast with
+ * an actionable message instead of deep inside a kernel.
+ */
+void validateOps(const Graph& graph);
+
+}  // namespace sod2
+
+#endif  // SOD2_OPS_OP_REGISTRY_H_

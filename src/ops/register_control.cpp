@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Registration of control-flow operators: the customized
+ * <Switch, Combine> pair (paper Figure 1d / Table 2) plus ONNX If.
+ * All are Execution Determined Output: *which* output materializes is
+ * decided at runtime. Their shapes, however, still propagate through
+ * RDP — Switch forwards its data shape to every branch output, and
+ * Combine applies the Merge transfer function (lattice meet) over the
+ * branch shapes, exactly as Alg. 1 lines 9-12 prescribe.
+ */
+
+#include "ops/op_registry.h"
+#include "ops/transfer_util.h"
+#include "support/logging.h"
+
+namespace sod2 {
+
+void
+registerControlFlowOps(OpRegistry* r)
+{
+    {
+        OpDef def;
+        def.name = kSwitchOp;
+        def.cls = DynamismClass::kEDO;
+        def.minInputs = 2;
+        def.maxInputs = 2;
+        def.numOutputs = -1;
+        def.forward = [](InferContext& ctx) {
+            // Every branch output carries the data tensor's shape; only
+            // one will be live at runtime.
+            for (auto& s : ctx.outShapes)
+                s = ctx.inShapes[0];
+            for (auto& v : ctx.outValues)
+                v = ValueInfo::unknown();
+        };
+        def.backward = [](BackwardContext& ctx) {
+            // All outputs alias the data input's shape.
+            ShapeInfo merged = ShapeInfo::undef();
+            for (const auto& s : ctx.outShapes)
+                merged = merged.meet(s);
+            ctx.proposed[0] = merged;
+        };
+        r->add(std::move(def));
+    }
+    {
+        OpDef def;
+        def.name = kCombineOp;
+        def.cls = DynamismClass::kEDO;
+        def.minInputs = 2;
+        def.maxInputs = -1;
+        def.forward = [](InferContext& ctx) {
+            // Merge transfer function: meet over the branch inputs
+            // (input 0 is the predicate and does not participate).
+            ShapeInfo merged = ShapeInfo::undef();
+            for (size_t i = 1; i < ctx.inShapes.size(); ++i)
+                merged = merged.meet(ctx.inShapes[i]);
+            ctx.outShapes[0] = merged;
+            ValueInfo mergedv = ValueInfo::undef();
+            for (size_t i = 1; i < ctx.inValues.size(); ++i)
+                mergedv = mergedv.meet(ctx.inValues[i]);
+            ctx.outValues[0] = mergedv;
+        };
+        def.backward = [](BackwardContext& ctx) {
+            // Each branch must produce the merged shape where that merge
+            // is exact (all branches agreeing); propagating the met shape
+            // back is sound because meet only keeps agreeing components.
+            for (size_t i = 1; i < ctx.inShapes.size(); ++i)
+                ctx.proposed[i] = ctx.outShapes[0];
+        };
+        r->add(std::move(def));
+    }
+    {
+        OpDef def;
+        def.name = "Loop";
+        def.cls = DynamismClass::kEDO;
+        def.minInputs = 2;
+        def.maxInputs = -1;
+        def.numOutputs = -1;
+        def.forward = [](InferContext& ctx) {
+            // Loop-carried values keep their incoming abstract shape
+            // only if the body provably preserves it; statically we
+            // do not analyze the body, so outputs are nac (the trip
+            // count is execution-determined anyway).
+            for (auto& s : ctx.outShapes)
+                s = ShapeInfo::nac();
+            for (auto& v : ctx.outValues)
+                v = ValueInfo::unknown();
+        };
+        r->add(std::move(def));
+    }
+    {
+        OpDef def;
+        def.name = "If";
+        def.cls = DynamismClass::kEDO;
+        def.minInputs = 1;
+        def.maxInputs = -1;
+        def.forward = [](InferContext& ctx) {
+            // Branch bodies are analyzed when executed; statically we
+            // only know the output exists. (SoD2 lowers hot control flow
+            // to <Switch, Combine>, where shapes do propagate.)
+            for (auto& s : ctx.outShapes)
+                s = ShapeInfo::nac();
+            for (auto& v : ctx.outValues)
+                v = ValueInfo::unknown();
+        };
+        r->add(std::move(def));
+    }
+}
+
+}  // namespace sod2

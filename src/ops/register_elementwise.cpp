@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Registration of elementwise operators (paper Table 2: all are Input
+ * Shape Determined Output Shape). Binary ops follow ONNX/NumPy
+ * multidirectional broadcasting; the symbolic side of broadcasting is
+ * what makes RDP-enabled fusion possible (paper Figure 4).
+ */
+
+#include "ops/op_registry.h"
+#include "ops/transfer_util.h"
+#include "support/logging.h"
+
+namespace sod2 {
+namespace {
+
+void
+setAllValuesUnknown(InferContext& ctx)
+{
+    for (auto& v : ctx.outValues)
+        v = ValueInfo::unknown();
+}
+
+/** Forward for rank/shape-preserving unary ops. */
+void
+unaryForward(InferContext& ctx)
+{
+    ctx.outShapes[0] = ctx.inShapes[0];
+    setAllValuesUnknown(ctx);
+}
+
+/** Backward for shape-preserving unary ops: input shape == output shape. */
+void
+unaryBackward(BackwardContext& ctx)
+{
+    ctx.proposed[0] = ctx.outShapes[0];
+}
+
+/** Integer value arithmetic over tracked small tensors (shape math). */
+ValueInfo
+binaryValueTransfer(SymOp op, const ValueInfo& a, const ValueInfo& b)
+{
+    if (!a.hasElems() || !b.hasElems())
+        return ValueInfo::unknown();
+    int64_t na = a.numElements();
+    int64_t nb = b.numElements();
+    if (na != nb && na != 1 && nb != 1)
+        return ValueInfo::unknown();
+    int64_t n = std::max(na, nb);
+    std::vector<DimValue> out;
+    out.reserve(n);
+    for (int64_t i = 0; i < n; ++i) {
+        const DimValue& da = a.elements()[na == 1 ? 0 : i];
+        const DimValue& db = b.elements()[nb == 1 ? 0 : i];
+        out.push_back(dimBinary(op, da, db));
+    }
+    return ValueInfo::elems(std::move(out));
+}
+
+/** Forward for broadcasting binary ops; @p value_op enables symbolic
+ *  integer value tracking (e.g. shape arithmetic via Add/Mul). */
+ForwardTransferFn
+binaryForward(std::optional<SymOp> value_op)
+{
+    return [value_op](InferContext& ctx) {
+        ctx.outShapes[0] =
+            broadcastShapeInfo(ctx.inShapes[0], ctx.inShapes[1]);
+        if (value_op) {
+            ctx.outValues[0] = binaryValueTransfer(*value_op, ctx.inValues[0],
+                                                   ctx.inValues[1]);
+        } else {
+            ctx.outValues[0] = ValueInfo::unknown();
+        }
+    };
+}
+
+/**
+ * Backward for broadcasting binary ops. Broadcasting makes the general
+ * case ambiguous (an input dim may be 1 or equal, the "8 versions"
+ * problem of Figure 4); we emit only the unambiguous deduction: when the
+ * other operand is a scalar (or all-known-1s), this operand's shape must
+ * equal the output's.
+ */
+bool
+definitelyScalarLike(const ShapeInfo& s)
+{
+    if (!s.isRanked())
+        return false;
+    for (const auto& d : s.dims())
+        if (!(d.isKnownConst() && d.knownValue() == 1))
+            return false;
+    return true;
+}
+
+void
+binaryBackward(BackwardContext& ctx)
+{
+    for (int i = 0; i < 2; ++i) {
+        const ShapeInfo& other = ctx.inShapes[1 - i];
+        if (other.isRanked() &&
+            (other.rank() == 0 || definitelyScalarLike(other))) {
+            ctx.proposed[i] = ctx.outShapes[0];
+        }
+    }
+}
+
+OpDef
+makeUnary(const std::string& name)
+{
+    OpDef def;
+    def.name = name;
+    def.cls = DynamismClass::kISDOS;
+    def.minInputs = 1;
+    def.maxInputs = 1;
+    def.forward = unaryForward;
+    def.backward = unaryBackward;
+    return def;
+}
+
+OpDef
+makeBinary(const std::string& name, std::optional<SymOp> value_op)
+{
+    OpDef def;
+    def.name = name;
+    def.cls = DynamismClass::kISDOS;
+    def.minInputs = 2;
+    def.maxInputs = 2;
+    def.forward = binaryForward(value_op);
+    def.backward = binaryBackward;
+    return def;
+}
+
+}  // namespace
+
+void
+registerElementwiseOps(OpRegistry* r)
+{
+    for (const char* name :
+         {"Relu", "LeakyRelu", "Sigmoid", "Tanh", "Erf", "Exp", "Log",
+          "Sqrt", "Abs", "Round", "Clip", "Identity", "Softplus", "Not"}) {
+        r->add(makeUnary(name));
+    }
+
+    // Neg tracks integer values (negation shows up in shape arithmetic).
+    {
+        OpDef def = makeUnary("Neg");
+        def.forward = [](InferContext& ctx) {
+            ctx.outShapes[0] = ctx.inShapes[0];
+            if (ctx.inValues[0].hasElems()) {
+                std::vector<DimValue> out;
+                for (const auto& e : ctx.inValues[0].elements())
+                    out.push_back(dimSub(DimValue::known(0), e));
+                ctx.outValues[0] = ValueInfo::elems(std::move(out));
+            } else {
+                ctx.outValues[0] = ValueInfo::unknown();
+            }
+        };
+        r->add(std::move(def));
+    }
+
+    // Cast preserves shape *and* tracked integer contents.
+    {
+        OpDef def = makeUnary("Cast");
+        def.forward = [](InferContext& ctx) {
+            ctx.outShapes[0] = ctx.inShapes[0];
+            ctx.outValues[0] = ctx.inValues[0].hasElems()
+                                   ? ctx.inValues[0]
+                                   : ValueInfo::unknown();
+        };
+        r->add(std::move(def));
+    }
+
+    r->add(makeBinary("Add", SymOp::kAdd));
+    r->add(makeBinary("Sub", SymOp::kSub));
+    r->add(makeBinary("Mul", SymOp::kMul));
+    r->add(makeBinary("Div", SymOp::kFloorDiv));
+    r->add(makeBinary("Pow", std::nullopt));
+    r->add(makeBinary("Min", SymOp::kMin));
+    r->add(makeBinary("Max", SymOp::kMax));
+    r->add(makeBinary("Mod", SymOp::kMod));
+    r->add(makeBinary("Equal", std::nullopt));
+    r->add(makeBinary("Less", std::nullopt));
+    r->add(makeBinary("Greater", std::nullopt));
+    r->add(makeBinary("And", std::nullopt));
+    r->add(makeBinary("Or", std::nullopt));
+
+    // Where: three-way broadcast.
+    {
+        OpDef def;
+        def.name = "Where";
+        def.cls = DynamismClass::kISDOS;
+        def.minInputs = 3;
+        def.maxInputs = 3;
+        def.forward = [](InferContext& ctx) {
+            ctx.outShapes[0] = broadcastShapeInfo(
+                broadcastShapeInfo(ctx.inShapes[0], ctx.inShapes[1]),
+                ctx.inShapes[2]);
+            ctx.outValues[0] = ValueInfo::unknown();
+        };
+        r->add(std::move(def));
+    }
+}
+
+}  // namespace sod2

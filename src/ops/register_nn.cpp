@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Registration of compute-heavy / NN-structural operators: Conv, MatMul,
+ * pooling, normalization, softmax, reductions. All are Input Shape
+ * Determined Output Shape (paper Table 2): output shape follows from
+ * input shapes alone, so symbolic propagation flows straight through.
+ */
+
+#include <algorithm>
+
+#include "ops/op_registry.h"
+#include "ops/transfer_util.h"
+#include "support/logging.h"
+
+namespace sod2 {
+namespace {
+
+void
+setAllValuesUnknown(InferContext& ctx)
+{
+    for (auto& v : ctx.outValues)
+        v = ValueInfo::unknown();
+}
+
+void
+matmulForward(InferContext& ctx)
+{
+    const ShapeInfo& a = ctx.inShapes[0];
+    const ShapeInfo& b = ctx.inShapes[1];
+    setAllValuesUnknown(ctx);
+    if (a.isNac() || b.isNac()) {
+        ctx.outShapes[0] = ShapeInfo::nac();
+        return;
+    }
+    if (!a.isRanked() || !b.isRanked())
+        return;  // stay undef until ranks are known
+    SOD2_CHECK(a.rank() >= 2 && b.rank() >= 2)
+        << "MatMul requires rank >= 2 operands (got " << a.toString()
+        << " x " << b.toString() << ")";
+
+    int rank = std::max(a.rank(), b.rank());
+    std::vector<DimValue> out;
+    DimValue one = DimValue::known(1);
+    // Batch dimensions broadcast.
+    for (int i = 0; i < rank - 2; ++i) {
+        int ia = a.rank() - rank + i;
+        int ib = b.rank() - rank + i;
+        const DimValue& da = ia >= 0 ? a.dim(ia) : one;
+        const DimValue& db = ib >= 0 ? b.dim(ib) : one;
+        out.push_back(broadcastDim(da, db));
+    }
+    out.push_back(a.dim(a.rank() - 2));  // m
+    out.push_back(b.dim(b.rank() - 1));  // n
+    ctx.outShapes[0] = ShapeInfo::ranked(std::move(out));
+}
+
+void
+matmulBackward(BackwardContext& ctx)
+{
+    const ShapeInfo& out = ctx.outShapes[0];
+    const ShapeInfo& a = ctx.inShapes[0];
+    const ShapeInfo& b = ctx.inShapes[1];
+    // m and n are never broadcast, and k is shared; propagate those
+    // three when the corresponding rank is known.
+    if (a.isRanked() && out.isRanked()) {
+        std::vector<DimValue> prop(a.rank(), DimValue::undef());
+        prop[a.rank() - 2] = out.dim(out.rank() - 2);
+        if (b.isRanked())
+            prop[a.rank() - 1] = b.dim(b.rank() - 2);
+        ctx.proposed[0] = ShapeInfo::ranked(std::move(prop));
+    }
+    if (b.isRanked() && out.isRanked()) {
+        std::vector<DimValue> prop(b.rank(), DimValue::undef());
+        prop[b.rank() - 1] = out.dim(out.rank() - 1);
+        if (a.isRanked())
+            prop[b.rank() - 2] = a.dim(a.rank() - 1);
+        ctx.proposed[1] = ShapeInfo::ranked(std::move(prop));
+    }
+}
+
+void
+convForward(InferContext& ctx)
+{
+    const ShapeInfo& x = ctx.inShapes[0];
+    const ShapeInfo& w = ctx.inShapes[1];
+    setAllValuesUnknown(ctx);
+    if (x.isNac() || w.isNac()) {
+        ctx.outShapes[0] = ShapeInfo::nac();
+        return;
+    }
+    if (!x.isRanked() || !w.isRanked())
+        return;
+    SOD2_CHECK_EQ(x.rank(), 4) << "Conv expects NCHW input";
+    SOD2_CHECK_EQ(w.rank(), 4) << "Conv expects OIHW weights";
+    int64_t stride = ctx.node->attrs.getInt("stride", 1);
+    int64_t pad = ctx.node->attrs.getInt("pad", 0);
+
+    std::vector<DimValue> out(4, DimValue::undef());
+    out[0] = x.dim(0);
+    out[1] = w.dim(0);
+    // Kernel extents come from the (almost always constant) weight shape.
+    for (int s = 0; s < 2; ++s) {
+        const DimValue& in_d = x.dim(2 + s);
+        const DimValue& k_d = w.dim(2 + s);
+        if (k_d.isKnownConst()) {
+            out[2 + s] = pooledExtent(in_d, k_d.knownValue(), stride, pad);
+        } else if (in_d.isNac() || k_d.isNac()) {
+            out[2 + s] = DimValue::nac();
+        }
+    }
+    ctx.outShapes[0] = ShapeInfo::ranked(std::move(out));
+}
+
+void
+convBackward(BackwardContext& ctx)
+{
+    const ShapeInfo& out = ctx.outShapes[0];
+    const ShapeInfo& w = ctx.inShapes[1];
+    if (!out.isRanked() || out.rank() != 4)
+        return;
+    std::vector<DimValue> prop(4, DimValue::undef());
+    prop[0] = out.dim(0);  // batch passes straight through
+    if (w.isRanked() && w.rank() == 4) {
+        int64_t group = ctx.node->attrs.getInt("group", 1);
+        prop[1] = dimMul(w.dim(1), DimValue::known(group));
+    }
+    ctx.proposed[0] = ShapeInfo::ranked(std::move(prop));
+}
+
+ForwardTransferFn
+poolForward(bool global)
+{
+    return [global](InferContext& ctx) {
+        const ShapeInfo& x = ctx.inShapes[0];
+        setAllValuesUnknown(ctx);
+        if (x.isNac()) {
+            ctx.outShapes[0] = ShapeInfo::nac();
+            return;
+        }
+        if (!x.isRanked())
+            return;
+        SOD2_CHECK_EQ(x.rank(), 4) << "pooling expects NCHW input";
+        std::vector<DimValue> out(4);
+        out[0] = x.dim(0);
+        out[1] = x.dim(1);
+        if (global) {
+            out[2] = DimValue::known(1);
+            out[3] = DimValue::known(1);
+        } else {
+            int64_t kernel = ctx.node->attrs.getInt("kernel");
+            int64_t stride = ctx.node->attrs.getInt("stride", 1);
+            int64_t pad = ctx.node->attrs.getInt("pad", 0);
+            out[2] = pooledExtent(x.dim(2), kernel, stride, pad);
+            out[3] = pooledExtent(x.dim(3), kernel, stride, pad);
+        }
+        ctx.outShapes[0] = ShapeInfo::ranked(std::move(out));
+    };
+}
+
+void
+poolBackward(BackwardContext& ctx)
+{
+    const ShapeInfo& out = ctx.outShapes[0];
+    if (!out.isRanked() || out.rank() != 4)
+        return;
+    std::vector<DimValue> prop(4, DimValue::undef());
+    prop[0] = out.dim(0);
+    prop[1] = out.dim(1);
+    ctx.proposed[0] = ShapeInfo::ranked(std::move(prop));
+}
+
+ForwardTransferFn
+reduceForward()
+{
+    return [](InferContext& ctx) {
+        setAllValuesUnknown(ctx);
+        std::vector<int64_t> axes = ctx.node->attrs.getInts("axes", {});
+        bool keepdims = ctx.node->attrs.getInt("keepdims", 1) != 0;
+        if (axes.empty() && ctx.inShapes[0].isRanked()) {
+            // Reduce over all axes.
+            for (int i = 0; i < ctx.inShapes[0].rank(); ++i)
+                axes.push_back(i);
+        }
+        ctx.outShapes[0] = reduceShape(ctx.inShapes[0], axes, keepdims);
+    };
+}
+
+void
+reduceBackward(BackwardContext& ctx)
+{
+    const ShapeInfo& out = ctx.outShapes[0];
+    const ShapeInfo& in = ctx.inShapes[0];
+    bool keepdims = ctx.node->attrs.getInt("keepdims", 1) != 0;
+    if (!keepdims || !out.isRanked() || !in.isRanked())
+        return;
+    if (out.rank() != in.rank())
+        return;
+    std::vector<int64_t> axes = ctx.node->attrs.getInts("axes", {});
+    std::vector<bool> reduced(in.rank(), axes.empty());
+    for (int64_t a : axes)
+        reduced[normalizeAxis(static_cast<int>(a), in.rank())] = true;
+    std::vector<DimValue> prop(in.rank(), DimValue::undef());
+    for (int i = 0; i < in.rank(); ++i)
+        if (!reduced[i])
+            prop[i] = out.dim(i);
+    ctx.proposed[0] = ShapeInfo::ranked(std::move(prop));
+}
+
+}  // namespace
+
+void
+registerNnOps(OpRegistry* r)
+{
+    {
+        OpDef def;
+        def.name = "MatMul";
+        def.cls = DynamismClass::kISDOS;
+        def.minInputs = 2;
+        def.maxInputs = 2;
+        def.forward = matmulForward;
+        def.backward = matmulBackward;
+        r->add(std::move(def));
+    }
+    {
+        OpDef def;
+        def.name = "Conv";
+        def.cls = DynamismClass::kISDOS;
+        def.minInputs = 2;
+        def.maxInputs = 3;
+        def.forward = convForward;
+        def.backward = convBackward;
+        r->add(std::move(def));
+    }
+    {
+        OpDef def;
+        def.name = "MaxPool";
+        def.cls = DynamismClass::kISDOS;
+        def.forward = poolForward(false);
+        def.backward = poolBackward;
+        r->add(std::move(def));
+    }
+    {
+        OpDef def;
+        def.name = "AveragePool";
+        def.cls = DynamismClass::kISDOS;
+        def.forward = poolForward(false);
+        def.backward = poolBackward;
+        r->add(std::move(def));
+    }
+    {
+        OpDef def;
+        def.name = "GlobalAveragePool";
+        def.cls = DynamismClass::kISDOS;
+        def.forward = poolForward(true);
+        def.backward = poolBackward;
+        r->add(std::move(def));
+    }
+
+    // Shape-preserving normalization/activation blocks over input 0.
+    for (const char* name : {"Softmax", "LayerNormalization",
+                             "BatchNormalization", "GroupNormalization"}) {
+        OpDef def;
+        def.name = name;
+        def.cls = DynamismClass::kISDOS;
+        def.minInputs = 1;
+        def.maxInputs = 5;
+        def.forward = [](InferContext& ctx) {
+            ctx.outShapes[0] = ctx.inShapes[0];
+            setAllValuesUnknown(ctx);
+        };
+        def.backward = [](BackwardContext& ctx) {
+            ctx.proposed[0] = ctx.outShapes[0];
+        };
+        r->add(std::move(def));
+    }
+
+    for (const char* name : {"ReduceMean", "ReduceSum", "ReduceMax",
+                             "ReduceMin"}) {
+        OpDef def;
+        def.name = name;
+        def.cls = DynamismClass::kISDOS;
+        def.forward = reduceForward();
+        def.backward = reduceBackward;
+        r->add(std::move(def));
+    }
+
+    {
+        OpDef def;
+        def.name = "ArgMax";
+        def.cls = DynamismClass::kISDOS;
+        def.forward = [](InferContext& ctx) {
+            setAllValuesUnknown(ctx);
+            int64_t axis = ctx.node->attrs.getInt("axis", 0);
+            bool keepdims = ctx.node->attrs.getInt("keepdims", 1) != 0;
+            ctx.outShapes[0] = reduceShape(ctx.inShapes[0], {axis}, keepdims);
+        };
+        r->add(std::move(def));
+    }
+}
+
+}  // namespace sod2

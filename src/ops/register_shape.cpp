@@ -1,0 +1,906 @@
+/**
+ * @file
+ * Registration of shape-manipulating operators. This file covers all
+ * four dynamism classes:
+ *   - ISDO: Shape, ConstantOfShape, EyeLike — outputs depend on input
+ *     *shapes* only, so their (symbolic) values are statically known;
+ *   - ISDOS: Transpose, Flatten, Squeeze/Unsqueeze, Concat, Split, Pad,
+ *     Gather, OneHot;
+ *   - ISVDOS: Reshape, Slice, Expand, Range, Resize, Tile, TopK — output
+ *     shapes additionally depend on the *values* of specific inputs
+ *     (OpDef::shapeInputs), which RDP tracks symbolically;
+ *   - EDO: NonZero, NonMaxSuppression — output shape is only known after
+ *     executing the operator.
+ */
+
+#include <algorithm>
+#include <limits>
+
+#include "ops/op_registry.h"
+#include "ops/transfer_util.h"
+#include "support/logging.h"
+
+namespace sod2 {
+namespace {
+
+constexpr int64_t kHugeEnd = std::numeric_limits<int64_t>::max() / 2;
+
+void
+setAllValuesUnknown(InferContext& ctx)
+{
+    for (auto& v : ctx.outValues)
+        v = ValueInfo::unknown();
+}
+
+/** Unifies two dims that must be equal (Concat non-axis dims). */
+DimValue
+unifyEqualDim(const DimValue& a, const DimValue& b)
+{
+    if (a.isUndef())
+        return b;
+    if (b.isUndef())
+        return a;
+    if (a.isNac())
+        return b;  // the other side may know more
+    if (b.isNac())
+        return a;
+    if (a.expr()->equals(*b.expr()))
+        return a;
+    // Prefer a known constant over a symbol (they must be equal at
+    // runtime in any valid model).
+    return a.isKnownConst() ? a : b;
+}
+
+// --- ISDO ------------------------------------------------------------------
+
+void
+shapeOpForward(InferContext& ctx)
+{
+    const ShapeInfo& in = ctx.inShapes[0];
+    if (!in.isRanked()) {
+        ctx.outValues[0] = ValueInfo::unknown();
+        return;
+    }
+    ctx.outShapes[0] = ShapeInfo::fromConcrete({in.rank()});
+    // The *value* of Shape's output is the input's (symbolic) shape —
+    // this is the key ISDO property (paper Alg. 1 lines 16-18).
+    ctx.outValues[0] = ValueInfo::elems(in.dims());
+}
+
+void
+shapeOpBackward(BackwardContext& ctx)
+{
+    // If downstream analysis pinned the output *value*, that value is
+    // the producer's shape.
+    if (!ctx.outValues.empty() && ctx.outValues[0].hasElems())
+        ctx.proposed[0] = ShapeInfo::ranked(ctx.outValues[0].elements());
+}
+
+void
+constantOfShapeForward(InferContext& ctx)
+{
+    const ValueInfo& shape_val = ctx.inValues[0];
+    setAllValuesUnknown(ctx);
+    if (shape_val.hasElems()) {
+        ctx.outShapes[0] = ShapeInfo::ranked(shape_val.elements());
+        return;
+    }
+    // Rank is still known from the shape input's own extent.
+    const ShapeInfo& in = ctx.inShapes[0];
+    if (in.isRanked() && in.rank() == 1 && in.dim(0).isKnownConst())
+        ctx.outShapes[0] = allNacShape(static_cast<int>(in.dim(0).knownValue()));
+    else if (in.isNac())
+        ctx.outShapes[0] = ShapeInfo::nac();
+}
+
+// --- ISVDOS ----------------------------------------------------------------
+
+void
+reshapeForward(InferContext& ctx)
+{
+    const ShapeInfo& in = ctx.inShapes[0];
+    const ValueInfo& target = ctx.inValues[1];
+    ctx.outValues[0] = ctx.inValues[0];  // contents pass through
+    if (!target.hasElems()) {
+        // Rank may still be recoverable from the shape tensor's extent.
+        const ShapeInfo& ts = ctx.inShapes[1];
+        if (ts.isRanked() && ts.rank() == 1 && ts.dim(0).isKnownConst()) {
+            ctx.outShapes[0] =
+                allNacShape(static_cast<int>(ts.dim(0).knownValue()));
+        } else if (ts.isNac() || in.isNac()) {
+            ctx.outShapes[0] = ShapeInfo::nac();
+        }
+        return;
+    }
+    const auto& elems = target.elements();
+    std::vector<DimValue> out(elems.size(), DimValue::undef());
+    int infer_at = -1;
+    SymExprPtr known_prod = SymExpr::constant(1);
+    bool prod_ok = true;
+    for (size_t i = 0; i < elems.size(); ++i) {
+        const DimValue& e = elems[i];
+        if (e.isKnownConst() && e.knownValue() == 0) {
+            // ONNX: 0 copies the corresponding input dimension.
+            if (in.isRanked() && static_cast<int>(i) < in.rank())
+                out[i] = in.dim(i);
+            else
+                out[i] = DimValue::nac();
+        } else if (e.isKnownConst() && e.knownValue() == -1) {
+            infer_at = static_cast<int>(i);
+            continue;
+        } else {
+            out[i] = e;
+        }
+        if (out[i].hasExpr())
+            known_prod = known_prod * out[i].expr();
+        else
+            prod_ok = false;
+    }
+    if (infer_at >= 0) {
+        SymExprPtr total = in.numElementsExpr();
+        if (total && prod_ok)
+            out[infer_at] = DimValue::of(symFloorDiv(total, known_prod));
+        else
+            out[infer_at] = DimValue::nac();
+    }
+    ctx.outShapes[0] = ShapeInfo::ranked(std::move(out));
+}
+
+void
+sliceForward(InferContext& ctx)
+{
+    const ShapeInfo& in = ctx.inShapes[0];
+    ctx.outValues[0] = ValueInfo::unknown();
+    if (in.isNac()) {
+        ctx.outShapes[0] = ShapeInfo::nac();
+        return;
+    }
+    if (!in.isRanked())
+        return;
+    const ValueInfo& starts = ctx.inValues[1];
+    const ValueInfo& ends = ctx.inValues[2];
+    const ValueInfo& axes = ctx.inValues.size() > 3 ? ctx.inValues[3]
+                                                    : ValueInfo::undef();
+    const ValueInfo& steps = ctx.inValues.size() > 4 ? ctx.inValues[4]
+                                                     : ValueInfo::undef();
+    if (!starts.hasElems() || !ends.hasElems() ||
+        (ctx.node->inputs.size() > 3 && !axes.hasElems())) {
+        ctx.outShapes[0] = allNacShape(in.rank());
+        return;
+    }
+
+    std::vector<DimValue> out = in.dims();
+    int64_t n = starts.numElements();
+    for (int64_t i = 0; i < n; ++i) {
+        int axis = i < axes.numElements() && axes.hasElems() &&
+                           axes.elements()[i].isKnownConst()
+                       ? static_cast<int>(axes.elements()[i].knownValue())
+                       : static_cast<int>(i);
+        axis = normalizeAxis(axis, in.rank());
+        const DimValue& dim = in.dim(axis);
+        const DimValue& s = starts.elements()[i];
+        const DimValue& e = ends.elements()[i];
+        int64_t step = 1;
+        if (steps.hasElems() && i < steps.numElements()) {
+            if (!steps.elements()[i].isKnownConst()) {
+                out[axis] = DimValue::nac();
+                continue;
+            }
+            step = steps.elements()[i].knownValue();
+        }
+        SOD2_CHECK_GT(step, 0) << "negative Slice steps unsupported";
+
+        if (!s.isKnownConst() || dim.isNac() || dim.isUndef()) {
+            // Symbolic starts: extent = ceil((end - start)/step) when both
+            // are expressions; otherwise unknown.
+            if (s.hasExpr() && e.hasExpr() && !e.isUndef() &&
+                !s.isUndef()) {
+                out[axis] = dimCeilDiv(dimSub(DimValue::of(e.expr()),
+                                              DimValue::of(s.expr())),
+                                       DimValue::known(step));
+            } else {
+                out[axis] = dim.isUndef() ? DimValue::undef()
+                                          : DimValue::nac();
+            }
+            continue;
+        }
+        int64_t start_c = s.knownValue();
+        if (e.isKnownConst()) {
+            int64_t end_c = e.knownValue();
+            if (dim.isKnownConst()) {
+                int64_t d = dim.knownValue();
+                int64_t lo = start_c < 0 ? start_c + d : start_c;
+                int64_t hi = end_c >= kHugeEnd
+                                 ? d
+                                 : (end_c < 0 ? end_c + d : end_c);
+                lo = std::clamp<int64_t>(lo, 0, d);
+                hi = std::clamp<int64_t>(hi, 0, d);
+                out[axis] = DimValue::known(
+                    std::max<int64_t>(0, (hi - lo + step - 1) / step));
+            } else if (end_c >= kHugeEnd) {
+                // "slice to the end": a negative start measures from
+                // the end, so the extent is -start regardless of dim.
+                out[axis] =
+                    start_c < 0
+                        ? dimCeilDiv(DimValue::known(-start_c),
+                                     DimValue::known(step))
+                        : dimCeilDiv(
+                              dimSub(dim, DimValue::known(start_c)),
+                              DimValue::known(step));
+            } else if (end_c < 0 && start_c < 0) {
+                // both from the end: extent = end - start.
+                out[axis] = dimCeilDiv(
+                    DimValue::known(std::max<int64_t>(0, end_c - start_c)),
+                    DimValue::known(step));
+            } else if (end_c < 0) {
+                // extent = (dim + end) - start.
+                out[axis] = dimCeilDiv(
+                    dimAdd(dim, DimValue::known(end_c - start_c)),
+                    DimValue::known(step));
+            } else if (start_c < 0) {
+                // extent = min(end, dim) - (dim + start).
+                DimValue hi = dimBinary(SymOp::kMin, dim,
+                                        DimValue::known(end_c));
+                DimValue lo = dimAdd(dim, DimValue::known(start_c));
+                out[axis] = dimCeilDiv(
+                    dimMax(dimSub(hi, lo), DimValue::known(0)),
+                    DimValue::known(step));
+            } else {
+                // extent = max(0, min(end, dim) - start) symbolically.
+                DimValue hi = dimBinary(SymOp::kMin, dim,
+                                        DimValue::known(end_c));
+                DimValue ext = dimSub(hi, DimValue::known(start_c));
+                out[axis] = dimCeilDiv(dimMax(ext, DimValue::known(0)),
+                                       DimValue::known(step));
+            }
+        } else if (e.hasExpr()) {
+            out[axis] = dimCeilDiv(
+                dimSub(DimValue::of(e.expr()), DimValue::known(start_c)),
+                DimValue::known(step));
+        } else {
+            out[axis] = DimValue::nac();
+        }
+    }
+    ctx.outShapes[0] = ShapeInfo::ranked(std::move(out));
+
+    // Value tracking for 1-D integer slices with fully known bounds.
+    const ValueInfo& inv = ctx.inValues[0];
+    if (inv.hasElems() && in.rank() == 1 && n == 1 &&
+        starts.isFullyStatic() && ends.isFullyStatic()) {
+        int64_t len = inv.numElements();
+        int64_t s0 = starts.staticElements()[0];
+        int64_t e0 = std::min(ends.staticElements()[0], len);
+        if (s0 < 0)
+            s0 += len;
+        if (e0 < 0)
+            e0 += len;
+        s0 = std::clamp<int64_t>(s0, 0, len);
+        e0 = std::clamp<int64_t>(e0, 0, len);
+        std::vector<DimValue> sel;
+        for (int64_t i = s0; i < e0; ++i)
+            sel.push_back(inv.elements()[i]);
+        ctx.outValues[0] = ValueInfo::elems(std::move(sel));
+    }
+}
+
+void
+expandForward(InferContext& ctx)
+{
+    const ShapeInfo& in = ctx.inShapes[0];
+    const ValueInfo& target = ctx.inValues[1];
+    setAllValuesUnknown(ctx);
+    if (!target.hasElems()) {
+        const ShapeInfo& ts = ctx.inShapes[1];
+        if (ts.isRanked() && ts.rank() == 1 && ts.dim(0).isKnownConst() &&
+            in.isRanked()) {
+            int out_rank = std::max(
+                in.rank(), static_cast<int>(ts.dim(0).knownValue()));
+            ctx.outShapes[0] = allNacShape(out_rank);
+        }
+        return;
+    }
+    ctx.outShapes[0] =
+        broadcastShapeInfo(in, ShapeInfo::ranked(target.elements()));
+}
+
+void
+rangeForward(InferContext& ctx)
+{
+    const ValueInfo& start = ctx.inValues[0];
+    const ValueInfo& limit = ctx.inValues[1];
+    const ValueInfo& delta = ctx.inValues[2];
+    setAllValuesUnknown(ctx);
+    auto scalar = [](const ValueInfo& v) -> DimValue {
+        if (v.hasElems() && v.numElements() == 1)
+            return v.elements()[0];
+        return v.isUndef() ? DimValue::undef() : DimValue::nac();
+    };
+    DimValue s = scalar(start);
+    DimValue l = scalar(limit);
+    DimValue d = scalar(delta);
+    DimValue count = dimCeilDiv(dimSub(l, s), d);
+    ctx.outShapes[0] = ShapeInfo::ranked({count});
+    // Enumerate contents when everything is a small known constant.
+    if (s.isKnownConst() && l.isKnownConst() && d.isKnownConst() &&
+        d.knownValue() != 0) {
+        std::vector<DimValue> elems;
+        for (int64_t v = s.knownValue();
+             d.knownValue() > 0 ? v < l.knownValue() : v > l.knownValue();
+             v += d.knownValue()) {
+            if (elems.size() > 256)
+                break;
+            elems.push_back(DimValue::known(v));
+        }
+        if (elems.size() <= 256)
+            ctx.outValues[0] = ValueInfo::elems(std::move(elems));
+    }
+}
+
+void
+resizeForward(InferContext& ctx)
+{
+    // Simplified Resize: integer H/W multipliers in input 1 (see DESIGN.md).
+    const ShapeInfo& in = ctx.inShapes[0];
+    const ValueInfo& scales = ctx.inValues[1];
+    setAllValuesUnknown(ctx);
+    if (in.isNac()) {
+        ctx.outShapes[0] = ShapeInfo::nac();
+        return;
+    }
+    if (!in.isRanked())
+        return;
+    SOD2_CHECK_EQ(in.rank(), 4) << "Resize expects NCHW";
+    if (!scales.hasElems() || scales.numElements() != 2) {
+        ctx.outShapes[0] = ShapeInfo::ranked({in.dim(0), in.dim(1),
+                                              DimValue::nac(),
+                                              DimValue::nac()});
+        return;
+    }
+    ctx.outShapes[0] = ShapeInfo::ranked(
+        {in.dim(0), in.dim(1), dimMul(in.dim(2), scales.elements()[0]),
+         dimMul(in.dim(3), scales.elements()[1])});
+}
+
+void
+tileForward(InferContext& ctx)
+{
+    const ShapeInfo& in = ctx.inShapes[0];
+    const ValueInfo& reps = ctx.inValues[1];
+    setAllValuesUnknown(ctx);
+    if (!in.isRanked())
+        return;
+    if (!reps.hasElems() || reps.numElements() != in.rank()) {
+        ctx.outShapes[0] = reps.isUndef() ? ShapeInfo::undef()
+                                          : allNacShape(in.rank());
+        return;
+    }
+    std::vector<DimValue> out;
+    for (int i = 0; i < in.rank(); ++i)
+        out.push_back(dimMul(in.dim(i), reps.elements()[i]));
+    ctx.outShapes[0] = ShapeInfo::ranked(std::move(out));
+}
+
+void
+topkForward(InferContext& ctx)
+{
+    const ShapeInfo& in = ctx.inShapes[0];
+    const ValueInfo& k = ctx.inValues[1];
+    setAllValuesUnknown(ctx);
+    if (!in.isRanked())
+        return;
+    int axis = normalizeAxis(
+        static_cast<int>(ctx.node->attrs.getInt("axis", -1)), in.rank());
+    std::vector<DimValue> out = in.dims();
+    if (k.hasElems() && k.numElements() == 1)
+        out[axis] = k.elements()[0];
+    else
+        out[axis] = k.isUndef() ? DimValue::undef() : DimValue::nac();
+    ctx.outShapes[0] = ShapeInfo::ranked(out);
+    ctx.outShapes[1] = ShapeInfo::ranked(out);
+}
+
+// --- ISDOS data movement ----------------------------------------------------
+
+void
+concatForward(InferContext& ctx)
+{
+    setAllValuesUnknown(ctx);
+    int n = static_cast<int>(ctx.inShapes.size());
+    // Determine rank from any ranked input.
+    int rank = -1;
+    for (const auto& s : ctx.inShapes) {
+        if (s.isRanked()) {
+            rank = s.rank();
+            break;
+        }
+        if (s.isNac()) {
+            ctx.outShapes[0] = ShapeInfo::nac();
+            return;
+        }
+    }
+    if (rank < 0)
+        return;
+    int axis = normalizeAxis(
+        static_cast<int>(ctx.node->attrs.getInt("axis")), rank);
+
+    std::vector<DimValue> out(rank, DimValue::undef());
+    DimValue axis_sum = DimValue::known(0);
+    for (int i = 0; i < n; ++i) {
+        const ShapeInfo& s = ctx.inShapes[i];
+        if (!s.isRanked()) {
+            axis_sum = s.isNac() ? DimValue::nac() : DimValue::undef();
+            if (s.isUndef()) {
+                // Can't finish the axis sum, but non-axis dims may still
+                // come from other inputs.
+                axis_sum = DimValue::undef();
+            }
+            continue;
+        }
+        for (int d = 0; d < rank; ++d) {
+            if (d == axis)
+                continue;
+            out[d] = unifyEqualDim(out[d], s.dim(d));
+        }
+        if (!axis_sum.isUndef())
+            axis_sum = dimAdd(axis_sum, s.dim(axis));
+    }
+    bool all_ranked = true;
+    for (const auto& s : ctx.inShapes)
+        if (!s.isRanked())
+            all_ranked = false;
+    out[axis] = all_ranked ? axis_sum : DimValue::undef();
+    ctx.outShapes[0] = ShapeInfo::ranked(std::move(out));
+
+    // 1-D integer concat merges tracked contents (shape vectors).
+    if (rank == 1) {
+        std::vector<DimValue> elems;
+        bool ok = true;
+        for (const auto& v : ctx.inValues) {
+            if (!v.hasElems()) {
+                ok = false;
+                break;
+            }
+            elems.insert(elems.end(), v.elements().begin(),
+                         v.elements().end());
+        }
+        if (ok)
+            ctx.outValues[0] = ValueInfo::elems(std::move(elems));
+    }
+}
+
+void
+concatBackward(BackwardContext& ctx)
+{
+    const ShapeInfo& out = ctx.outShapes[0];
+    if (!out.isRanked())
+        return;
+    int rank = out.rank();
+    int axis = normalizeAxis(
+        static_cast<int>(ctx.node->attrs.getInt("axis")), rank);
+    int n = static_cast<int>(ctx.inShapes.size());
+
+    // Non-axis dims flow back to every input; the axis dim flows back to
+    // input i when all other inputs' axis extents are known.
+    for (int i = 0; i < n; ++i) {
+        std::vector<DimValue> prop(rank, DimValue::undef());
+        for (int d = 0; d < rank; ++d)
+            if (d != axis)
+                prop[d] = out.dim(d);
+        DimValue residue = out.dim(axis);
+        bool ok = residue.hasExpr();
+        for (int j = 0; j < n && ok; ++j) {
+            if (j == i)
+                continue;
+            const ShapeInfo& sj = ctx.inShapes[j];
+            if (sj.isRanked() && sj.dim(axis).hasExpr())
+                residue = dimSub(residue, sj.dim(axis));
+            else
+                ok = false;
+        }
+        if (ok)
+            prop[axis] = residue;
+        ctx.proposed[i] = ShapeInfo::ranked(std::move(prop));
+    }
+}
+
+void
+splitForward(InferContext& ctx)
+{
+    setAllValuesUnknown(ctx);
+    const ShapeInfo& in = ctx.inShapes[0];
+    if (!in.isRanked()) {
+        if (in.isNac())
+            for (auto& s : ctx.outShapes)
+                s = ShapeInfo::nac();
+        return;
+    }
+    int axis = normalizeAxis(
+        static_cast<int>(ctx.node->attrs.getInt("axis")), in.rank());
+    int64_t parts = ctx.node->attrs.getInt(
+        "num_outputs", static_cast<int64_t>(ctx.outShapes.size()));
+    std::vector<DimValue> out = in.dims();
+    out[axis] = dimFloorDiv(in.dim(axis), DimValue::known(parts));
+    for (auto& s : ctx.outShapes)
+        s = ShapeInfo::ranked(out);
+}
+
+void
+gatherForward(InferContext& ctx)
+{
+    const ShapeInfo& in = ctx.inShapes[0];
+    const ShapeInfo& idx = ctx.inShapes[1];
+    setAllValuesUnknown(ctx);
+    if (!in.isRanked() || !idx.isRanked()) {
+        if (in.isNac() || idx.isNac())
+            ctx.outShapes[0] = ShapeInfo::nac();
+        return;
+    }
+    int axis = normalizeAxis(
+        static_cast<int>(ctx.node->attrs.getInt("axis", 0)), in.rank());
+    std::vector<DimValue> out;
+    for (int d = 0; d < axis; ++d)
+        out.push_back(in.dim(d));
+    for (int d = 0; d < idx.rank(); ++d)
+        out.push_back(idx.dim(d));
+    for (int d = axis + 1; d < in.rank(); ++d)
+        out.push_back(in.dim(d));
+    ctx.outShapes[0] = ShapeInfo::ranked(std::move(out));
+
+    // Selecting from a tracked 1-D integer vector with constant indices
+    // keeps the symbolic contents (e.g. picking one dim out of Shape).
+    const ValueInfo& inv = ctx.inValues[0];
+    const ValueInfo& idv = ctx.inValues[1];
+    if (inv.hasElems() && idv.hasElems() && in.rank() == 1 &&
+        idv.isFullyStatic()) {
+        std::vector<DimValue> sel;
+        for (int64_t i : idv.staticElements()) {
+            if (i < 0)
+                i += inv.numElements();
+            if (i < 0 || i >= inv.numElements())
+                return;  // out of bounds: leave unknown, kernel will throw
+            sel.push_back(inv.elements()[i]);
+        }
+        ctx.outValues[0] = ValueInfo::elems(std::move(sel));
+    }
+}
+
+void
+padForward(InferContext& ctx)
+{
+    const ShapeInfo& in = ctx.inShapes[0];
+    setAllValuesUnknown(ctx);
+    if (!in.isRanked()) {
+        if (in.isNac())
+            ctx.outShapes[0] = ShapeInfo::nac();
+        return;
+    }
+    SOD2_CHECK_EQ(in.rank(), 4) << "Pad expects NCHW";
+    int64_t pad = ctx.node->attrs.getInt("pad");
+    DimValue two_pad = DimValue::known(2 * pad);
+    ctx.outShapes[0] = ShapeInfo::ranked(
+        {in.dim(0), in.dim(1), dimAdd(in.dim(2), two_pad),
+         dimAdd(in.dim(3), two_pad)});
+}
+
+}  // namespace
+
+void
+registerShapeOps(OpRegistry* r)
+{
+    {
+        OpDef def;
+        def.name = "Shape";
+        def.cls = DynamismClass::kISDO;
+        def.forward = shapeOpForward;
+        def.backward = shapeOpBackward;
+        r->add(std::move(def));
+    }
+    {
+        OpDef def;
+        def.name = "ConstantOfShape";
+        def.cls = DynamismClass::kISDO;
+        def.forward = constantOfShapeForward;
+        r->add(std::move(def));
+    }
+    {
+        OpDef def;
+        def.name = "EyeLike";
+        def.cls = DynamismClass::kISDO;
+        def.forward = [](InferContext& ctx) {
+            ctx.outShapes[0] = ctx.inShapes[0];
+            ctx.outValues[0] = ValueInfo::unknown();
+        };
+        r->add(std::move(def));
+    }
+    {
+        OpDef def;
+        def.name = "Reshape";
+        def.cls = DynamismClass::kISVDOS;
+        def.minInputs = 2;
+        def.maxInputs = 2;
+        def.shapeInputs = {1};
+        def.forward = reshapeForward;
+        r->add(std::move(def));
+    }
+    {
+        OpDef def;
+        def.name = "Slice";
+        def.cls = DynamismClass::kISVDOS;
+        def.minInputs = 3;
+        def.maxInputs = 5;
+        def.shapeInputs = {1, 2, 3, 4};
+        def.forward = sliceForward;
+        r->add(std::move(def));
+    }
+    {
+        OpDef def;
+        def.name = "Expand";
+        def.cls = DynamismClass::kISVDOS;
+        def.minInputs = 2;
+        def.maxInputs = 2;
+        def.shapeInputs = {1};
+        def.forward = expandForward;
+        r->add(std::move(def));
+    }
+    {
+        OpDef def;
+        def.name = "Range";
+        def.cls = DynamismClass::kISVDOS;
+        def.minInputs = 3;
+        def.maxInputs = 3;
+        def.shapeInputs = {0, 1, 2};
+        def.forward = rangeForward;
+        r->add(std::move(def));
+    }
+    {
+        OpDef def;
+        def.name = "Resize";
+        def.cls = DynamismClass::kISVDOS;
+        def.minInputs = 2;
+        def.maxInputs = 2;
+        def.shapeInputs = {1};
+        def.forward = resizeForward;
+        r->add(std::move(def));
+    }
+    {
+        OpDef def;
+        def.name = "Tile";
+        def.cls = DynamismClass::kISVDOS;
+        def.minInputs = 2;
+        def.maxInputs = 2;
+        def.shapeInputs = {1};
+        def.forward = tileForward;
+        r->add(std::move(def));
+    }
+    {
+        OpDef def;
+        def.name = "TopK";
+        def.cls = DynamismClass::kISVDOS;
+        def.minInputs = 2;
+        def.maxInputs = 2;
+        def.numOutputs = 2;
+        def.shapeInputs = {1};
+        def.forward = topkForward;
+        r->add(std::move(def));
+    }
+
+    {
+        OpDef def;
+        def.name = "Transpose";
+        def.cls = DynamismClass::kISDOS;
+        def.forward = [](InferContext& ctx) {
+            setAllValuesUnknown(ctx);
+            std::vector<int64_t> perm = ctx.node->attrs.getInts("perm");
+            ctx.outShapes[0] = transposeShape(ctx.inShapes[0], perm);
+        };
+        def.backward = [](BackwardContext& ctx) {
+            const ShapeInfo& out = ctx.outShapes[0];
+            if (!out.isRanked())
+                return;
+            std::vector<int64_t> perm = ctx.node->attrs.getInts("perm");
+            if (static_cast<int>(perm.size()) != out.rank())
+                return;
+            std::vector<DimValue> prop(out.rank(), DimValue::undef());
+            for (int i = 0; i < out.rank(); ++i)
+                prop[normalizeAxis(static_cast<int>(perm[i]), out.rank())] =
+                    out.dim(i);
+            ctx.proposed[0] = ShapeInfo::ranked(std::move(prop));
+        };
+        r->add(std::move(def));
+    }
+    {
+        OpDef def;
+        def.name = "Flatten";
+        def.cls = DynamismClass::kISDOS;
+        def.forward = [](InferContext& ctx) {
+            setAllValuesUnknown(ctx);
+            const ShapeInfo& in = ctx.inShapes[0];
+            if (!in.isRanked()) {
+                if (in.isNac())
+                    ctx.outShapes[0] = ShapeInfo::nac();
+                return;
+            }
+            int axis = static_cast<int>(ctx.node->attrs.getInt("axis", 1));
+            if (axis < 0)
+                axis += in.rank();
+            DimValue head = DimValue::known(1);
+            DimValue tail = DimValue::known(1);
+            for (int i = 0; i < axis; ++i)
+                head = dimMul(head, in.dim(i));
+            for (int i = axis; i < in.rank(); ++i)
+                tail = dimMul(tail, in.dim(i));
+            ctx.outShapes[0] = ShapeInfo::ranked({head, tail});
+        };
+        r->add(std::move(def));
+    }
+    {
+        OpDef def;
+        def.name = "Unsqueeze";
+        def.cls = DynamismClass::kISDOS;
+        def.forward = [](InferContext& ctx) {
+            const ShapeInfo& in = ctx.inShapes[0];
+            ctx.outValues[0] = ctx.inValues[0].hasElems()
+                                   ? ctx.inValues[0]
+                                   : ValueInfo::unknown();
+            if (!in.isRanked()) {
+                if (in.isNac())
+                    ctx.outShapes[0] = ShapeInfo::nac();
+                return;
+            }
+            std::vector<int64_t> axes = ctx.node->attrs.getInts("axes");
+            int out_rank = in.rank() + static_cast<int>(axes.size());
+            std::vector<bool> is_new(out_rank, false);
+            for (int64_t a : axes)
+                is_new[normalizeAxis(static_cast<int>(a), out_rank)] = true;
+            std::vector<DimValue> out;
+            int src = 0;
+            for (int i = 0; i < out_rank; ++i)
+                out.push_back(is_new[i] ? DimValue::known(1)
+                                        : in.dim(src++));
+            ctx.outShapes[0] = ShapeInfo::ranked(std::move(out));
+        };
+        def.backward = [](BackwardContext& ctx) {
+            const ShapeInfo& out = ctx.outShapes[0];
+            if (!out.isRanked())
+                return;
+            std::vector<int64_t> axes = ctx.node->attrs.getInts("axes");
+            std::vector<bool> is_new(out.rank(), false);
+            for (int64_t a : axes)
+                is_new[normalizeAxis(static_cast<int>(a), out.rank())] = true;
+            std::vector<DimValue> prop;
+            for (int i = 0; i < out.rank(); ++i)
+                if (!is_new[i])
+                    prop.push_back(out.dim(i));
+            ctx.proposed[0] = ShapeInfo::ranked(std::move(prop));
+        };
+        r->add(std::move(def));
+    }
+    {
+        OpDef def;
+        def.name = "Squeeze";
+        def.cls = DynamismClass::kISDOS;
+        def.forward = [](InferContext& ctx) {
+            const ShapeInfo& in = ctx.inShapes[0];
+            ctx.outValues[0] = ctx.inValues[0].hasElems()
+                                   ? ctx.inValues[0]
+                                   : ValueInfo::unknown();
+            if (!in.isRanked()) {
+                if (in.isNac())
+                    ctx.outShapes[0] = ShapeInfo::nac();
+                return;
+            }
+            std::vector<int64_t> axes = ctx.node->attrs.getInts("axes");
+            std::vector<bool> drop(in.rank(), false);
+            for (int64_t a : axes)
+                drop[normalizeAxis(static_cast<int>(a), in.rank())] = true;
+            std::vector<DimValue> out;
+            for (int i = 0; i < in.rank(); ++i)
+                if (!drop[i])
+                    out.push_back(in.dim(i));
+            ctx.outShapes[0] = ShapeInfo::ranked(std::move(out));
+        };
+        def.backward = [](BackwardContext& ctx) {
+            const ShapeInfo& out = ctx.outShapes[0];
+            const ShapeInfo& in = ctx.inShapes[0];
+            if (!out.isRanked() || !in.isRanked())
+                return;
+            std::vector<int64_t> axes = ctx.node->attrs.getInts("axes");
+            std::vector<bool> drop(in.rank(), false);
+            for (int64_t a : axes)
+                drop[normalizeAxis(static_cast<int>(a), in.rank())] = true;
+            std::vector<DimValue> prop(in.rank(), DimValue::known(1));
+            int src = 0;
+            for (int i = 0; i < in.rank(); ++i)
+                if (!drop[i])
+                    prop[i] = out.dim(src++);
+            ctx.proposed[0] = ShapeInfo::ranked(std::move(prop));
+        };
+        r->add(std::move(def));
+    }
+    {
+        OpDef def;
+        def.name = "Concat";
+        def.cls = DynamismClass::kISDOS;
+        def.minInputs = 1;
+        def.maxInputs = -1;
+        def.forward = concatForward;
+        def.backward = concatBackward;
+        r->add(std::move(def));
+    }
+    {
+        OpDef def;
+        def.name = "Split";
+        def.cls = DynamismClass::kISDOS;
+        def.numOutputs = -1;
+        def.forward = splitForward;
+        r->add(std::move(def));
+    }
+    {
+        OpDef def;
+        def.name = "Gather";
+        def.cls = DynamismClass::kISDOS;
+        def.minInputs = 2;
+        def.maxInputs = 2;
+        def.forward = gatherForward;
+        r->add(std::move(def));
+    }
+    {
+        OpDef def;
+        def.name = "Pad";
+        def.cls = DynamismClass::kISDOS;
+        def.forward = padForward;
+        r->add(std::move(def));
+    }
+    {
+        OpDef def;
+        def.name = "OneHot";
+        def.cls = DynamismClass::kISDOS;
+        def.forward = [](InferContext& ctx) {
+            setAllValuesUnknown(ctx);
+            const ShapeInfo& in = ctx.inShapes[0];
+            if (!in.isRanked()) {
+                if (in.isNac())
+                    ctx.outShapes[0] = ShapeInfo::nac();
+                return;
+            }
+            std::vector<DimValue> out = in.dims();
+            out.push_back(DimValue::known(ctx.node->attrs.getInt("depth")));
+            ctx.outShapes[0] = ShapeInfo::ranked(std::move(out));
+        };
+        r->add(std::move(def));
+    }
+
+    // --- EDO: shape known only after execution ------------------------------
+    {
+        OpDef def;
+        def.name = "NonZero";
+        def.cls = DynamismClass::kEDO;
+        def.forward = [](InferContext& ctx) {
+            const ShapeInfo& in = ctx.inShapes[0];
+            ctx.outValues[0] = ValueInfo::unknown();
+            if (in.isRanked()) {
+                // [rank, count]: rank is static, count execution-determined.
+                ctx.outShapes[0] = ShapeInfo::ranked(
+                    {DimValue::known(in.rank()), DimValue::nac()});
+            } else {
+                ctx.outShapes[0] = ShapeInfo::nac();
+            }
+        };
+        r->add(std::move(def));
+    }
+    {
+        OpDef def;
+        def.name = "NonMaxSuppression";
+        def.cls = DynamismClass::kEDO;
+        def.minInputs = 2;
+        def.maxInputs = 2;
+        def.forward = [](InferContext& ctx) {
+            ctx.outValues[0] = ValueInfo::unknown();
+            ctx.outShapes[0] =
+                ShapeInfo::ranked({DimValue::nac()});  // selected indices
+        };
+        r->add(std::move(def));
+    }
+}
+
+}  // namespace sod2

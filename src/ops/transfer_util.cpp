@@ -1,0 +1,156 @@
+#include "ops/transfer_util.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+#include "tensor/shape.h"
+
+namespace sod2 {
+
+DimValue
+dimBinary(SymOp op, const DimValue& a, const DimValue& b)
+{
+    if (a.isNac() || b.isNac())
+        return DimValue::nac();
+    if (a.isUndef() || b.isUndef())
+        return DimValue::undef();
+    return DimValue::of(SymExpr::binary(op, a.expr(), b.expr()));
+}
+
+DimValue
+dimAdd(const DimValue& a, const DimValue& b)
+{
+    return dimBinary(SymOp::kAdd, a, b);
+}
+
+DimValue
+dimSub(const DimValue& a, const DimValue& b)
+{
+    return dimBinary(SymOp::kSub, a, b);
+}
+
+DimValue
+dimMul(const DimValue& a, const DimValue& b)
+{
+    return dimBinary(SymOp::kMul, a, b);
+}
+
+DimValue
+dimFloorDiv(const DimValue& a, const DimValue& b)
+{
+    return dimBinary(SymOp::kFloorDiv, a, b);
+}
+
+DimValue
+dimCeilDiv(const DimValue& a, const DimValue& b)
+{
+    return dimBinary(SymOp::kCeilDiv, a, b);
+}
+
+DimValue
+dimMax(const DimValue& a, const DimValue& b)
+{
+    return dimBinary(SymOp::kMax, a, b);
+}
+
+DimValue
+broadcastDim(const DimValue& a, const DimValue& b)
+{
+    // Structural equality first: covers equal symbols/expressions.
+    if (a.hasExpr() && b.hasExpr() && a.expr()->equals(*b.expr()))
+        return a;
+    // Known 1 broadcasts to the other side (even if that side is undef —
+    // the result then equals whatever the other side becomes).
+    if (a.isKnownConst() && a.knownValue() == 1)
+        return b;
+    if (b.isKnownConst() && b.knownValue() == 1)
+        return a;
+    // A known constant > 1 wins: in any *valid* broadcast the other
+    // side is 1 or equal, so the result is that constant.
+    if (a.isKnownConst() && a.knownValue() > 1)
+        return a;
+    if (b.isKnownConst() && b.knownValue() > 1)
+        return b;
+    // Undef could still refine either way later.
+    if (a.isUndef() || b.isUndef())
+        return DimValue::undef();
+    // Two distinct symbolic expressions: cannot prove the relation.
+    return DimValue::nac();
+}
+
+ShapeInfo
+broadcastShapeInfo(const ShapeInfo& a, const ShapeInfo& b)
+{
+    if (a.isNac() || b.isNac())
+        return ShapeInfo::nac();
+    if (a.isUndef() || b.isUndef())
+        return ShapeInfo::undef();
+    int rank = std::max(a.rank(), b.rank());
+    std::vector<DimValue> out(rank);
+    DimValue one = DimValue::known(1);
+    for (int i = 0; i < rank; ++i) {
+        int ia = a.rank() - rank + i;
+        int ib = b.rank() - rank + i;
+        const DimValue& da = ia >= 0 ? a.dim(ia) : one;
+        const DimValue& db = ib >= 0 ? b.dim(ib) : one;
+        out[i] = broadcastDim(da, db);
+    }
+    return ShapeInfo::ranked(std::move(out));
+}
+
+DimValue
+pooledExtent(const DimValue& in, int64_t kernel, int64_t stride, int64_t pad)
+{
+    if (in.isNac())
+        return DimValue::nac();
+    if (in.isUndef())
+        return DimValue::undef();
+    SymExprPtr e = in.expr() + SymExpr::constant(2 * pad - kernel);
+    e = symFloorDiv(e, SymExpr::constant(stride)) + SymExpr::constant(1);
+    return DimValue::of(e);
+}
+
+ShapeInfo
+reduceShape(const ShapeInfo& in, const std::vector<int64_t>& axes,
+            bool keepdims)
+{
+    if (!in.isRanked())
+        return in;
+    int rank = in.rank();
+    std::vector<bool> reduced(rank, false);
+    for (int64_t a : axes)
+        reduced[normalizeAxis(static_cast<int>(a), rank)] = true;
+    std::vector<DimValue> out;
+    for (int i = 0; i < rank; ++i) {
+        if (reduced[i]) {
+            if (keepdims)
+                out.push_back(DimValue::known(1));
+        } else {
+            out.push_back(in.dim(i));
+        }
+    }
+    return ShapeInfo::ranked(std::move(out));
+}
+
+ShapeInfo
+transposeShape(const ShapeInfo& in, const std::vector<int64_t>& perm)
+{
+    if (!in.isRanked())
+        return in;
+    SOD2_CHECK_EQ(static_cast<int>(perm.size()), in.rank())
+        << "transpose perm rank mismatch";
+    std::vector<DimValue> out;
+    out.reserve(perm.size());
+    for (int64_t p : perm)
+        out.push_back(in.dim(normalizeAxis(static_cast<int>(p), in.rank())));
+    return ShapeInfo::ranked(std::move(out));
+}
+
+ShapeInfo
+allNacShape(int rank)
+{
+    return ShapeInfo::ranked(
+        std::vector<DimValue>(static_cast<size_t>(rank), DimValue::nac()));
+}
+
+}  // namespace sod2

@@ -1,0 +1,57 @@
+#ifndef SOD2_OPS_TRANSFER_UTIL_H_
+#define SOD2_OPS_TRANSFER_UTIL_H_
+
+/**
+ * @file
+ * Shared symbolic-shape arithmetic used by the operator transfer
+ * functions: DimValue arithmetic, symbolic broadcasting, pooled-extent
+ * formulas, and reduce/transpose shape helpers.
+ */
+
+#include <vector>
+
+#include "symbolic/shape_info.h"
+
+namespace sod2 {
+
+/** Lifts a binary SymExpr operation over the DimValue lattice:
+ *  nac poisons, undef dominates otherwise. */
+DimValue dimBinary(SymOp op, const DimValue& a, const DimValue& b);
+
+DimValue dimAdd(const DimValue& a, const DimValue& b);
+DimValue dimSub(const DimValue& a, const DimValue& b);
+DimValue dimMul(const DimValue& a, const DimValue& b);
+DimValue dimFloorDiv(const DimValue& a, const DimValue& b);
+DimValue dimCeilDiv(const DimValue& a, const DimValue& b);
+DimValue dimMax(const DimValue& a, const DimValue& b);
+
+/**
+ * Symbolic broadcast of one dimension pair (paper Figure 4 discussion).
+ * Exploits the ONNX validity guarantee: when one side is a known
+ * constant > 1 the result equals it regardless of the other side.
+ * Ambiguous symbolic-vs-symbolic pairs yield nac; pairs still involving
+ * undef stay undef so later iterations can refine them.
+ */
+DimValue broadcastDim(const DimValue& a, const DimValue& b);
+
+/** Symbolic multidirectional broadcast over whole abstract shapes. */
+ShapeInfo broadcastShapeInfo(const ShapeInfo& a, const ShapeInfo& b);
+
+/** Pooled/convolved spatial extent: floor((in + 2*pad - kernel)/stride)+1. */
+DimValue pooledExtent(const DimValue& in, int64_t kernel, int64_t stride,
+                      int64_t pad);
+
+/** Shape after reducing @p axes of @p in (keepdims semantics). */
+ShapeInfo reduceShape(const ShapeInfo& in, const std::vector<int64_t>& axes,
+                      bool keepdims);
+
+/** Shape after permuting @p in by @p perm. */
+ShapeInfo transposeShape(const ShapeInfo& in,
+                         const std::vector<int64_t>& perm);
+
+/** All-nac ranked shape of @p rank (rank known, dims unknown). */
+ShapeInfo allNacShape(int rank);
+
+}  // namespace sod2
+
+#endif  // SOD2_OPS_TRANSFER_UTIL_H_

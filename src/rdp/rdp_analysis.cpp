@@ -1,0 +1,269 @@
+#include "rdp/rdp_analysis.h"
+
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace sod2 {
+namespace {
+
+/** Generated symbol name for dim @p d of input value @p name. */
+std::string
+autoSymbolName(const std::string& name, int d)
+{
+    return name + "_d" + std::to_string(d);
+}
+
+ShapeInfo
+autoSymbolicShape(const std::string& name, int rank)
+{
+    std::vector<DimValue> dims;
+    dims.reserve(rank);
+    for (int d = 0; d < rank; ++d)
+        dims.push_back(DimValue::symbol(autoSymbolName(name, d)));
+    return ShapeInfo::ranked(std::move(dims));
+}
+
+}  // namespace
+
+const char*
+shapeCategoryName(ShapeCategory c)
+{
+    switch (c) {
+      case ShapeCategory::kAllKnown: return "all-known";
+      case ShapeCategory::kSymbolic: return "symbolic";
+      case ShapeCategory::kOpInferred: return "op-inferred";
+      case ShapeCategory::kNac: return "nac";
+    }
+    return "?";
+}
+
+ShapeCategory
+RdpResult::categoryOf(ValueId v) const
+{
+    const ShapeInfo& s = shapes_.at(v);
+    if (!s.isRanked())
+        return s.isNac() ? ShapeCategory::kNac : ShapeCategory::kNac;
+    bool has_symbol = false;
+    bool has_compound = false;
+    for (const auto& d : s.dims()) {
+        if (d.isUndef() || d.isNac())
+            return ShapeCategory::kNac;
+        if (d.expr()->isSymbol())
+            has_symbol = true;
+        else if (!d.expr()->isConst())
+            has_compound = true;
+    }
+    if (has_compound)
+        return ShapeCategory::kOpInferred;
+    if (has_symbol)
+        return ShapeCategory::kSymbolic;
+    return ShapeCategory::kAllKnown;
+}
+
+bool
+RdpResult::provablySameShape(ValueId a, ValueId b) const
+{
+    const ShapeInfo& sa = shapes_.at(a);
+    const ShapeInfo& sb = shapes_.at(b);
+    if (!sa.isRanked() || !sb.isRanked() || sa.rank() != sb.rank())
+        return false;
+    for (int i = 0; i < sa.rank(); ++i) {
+        const DimValue& da = sa.dim(i);
+        const DimValue& db = sb.dim(i);
+        if (!da.hasExpr() || !db.hasExpr() || !da.expr()->equals(*db.expr()))
+            return false;
+    }
+    return true;
+}
+
+std::vector<std::string>
+RdpResult::symbolNames() const
+{
+    std::vector<std::string> out;
+    for (const auto& s : shapes_) {
+        if (!s.isRanked())
+            continue;
+        for (const auto& d : s.dims())
+            if (d.hasExpr())
+                d.expr()->collectSymbols(&out);
+    }
+    return out;
+}
+
+std::string
+RdpResult::toString(const Graph& g) const
+{
+    std::ostringstream out;
+    for (ValueId v = 0; v < g.numValues(); ++v) {
+        out << "  " << g.value(v).name << ": " << shapes_[v].toString();
+        if (values_[v].hasElems())
+            out << " | " << values_[v].toString();
+        out << "\n";
+    }
+    return out.str();
+}
+
+ShapeInfo
+inputShapeInfo(const Graph& graph, const RdpOptions& options, int idx)
+{
+    const Value& in = graph.value(graph.inputIds().at(idx));
+    auto it = options.inputShapes.find(in.name);
+    if (it != options.inputShapes.end())
+        return it->second;
+    auto rit = options.inputRanks.find(in.name);
+    SOD2_CHECK(rit != options.inputRanks.end())
+        << "no shape or rank declared for graph input '" << in.name << "'";
+    return autoSymbolicShape(in.name, rit->second);
+}
+
+RdpResult
+runRdp(const Graph& graph, const RdpOptions& options)
+{
+    const OpRegistry& registry = OpRegistry::instance();
+
+    // --- Initialization (Alg. 1 lines 1-3) --------------------------------
+    std::vector<ShapeInfo> shapes(graph.numValues(), ShapeInfo::undef());
+    std::vector<ValueInfo> values(graph.numValues(), ValueInfo::undef());
+
+    for (ValueId v = 0; v < graph.numValues(); ++v) {
+        const Value& val = graph.value(v);
+        if (val.isConstant()) {
+            shapes[v] = ShapeInfo::fromConcrete(val.constant.shape().dims());
+            values[v] = valueInfoFromTensor(val.constant);
+        }
+    }
+    for (size_t i = 0; i < graph.inputIds().size(); ++i) {
+        ValueId v = graph.inputIds()[i];
+        shapes[v] = inputShapeInfo(graph, options, static_cast<int>(i));
+        values[v] = ValueInfo::unknown();
+    }
+
+    std::vector<NodeId> order = graph.topoOrder();
+
+    // --- Optimized chaos iteration (Alg. 1 lines 4-19) --------------------
+    int iterations = 0;
+    bool changed = true;
+    while (changed) {
+        SOD2_CHECK_LT(iterations, options.maxIterations)
+            << "RDP failed to converge (non-monotone transfer function?)";
+        ++iterations;
+        changed = false;
+
+        for (NodeId n : order) {
+            const Node& node = graph.node(n);
+            const OpDef& def = registry.get(node.op);
+
+            // (1) Forward transfer to the current node. The Merge for
+            // Combine and the pass-through for Switch are those ops'
+            // registered forward transfers.
+            InferContext fwd;
+            fwd.graph = &graph;
+            fwd.node = &node;
+            for (ValueId in : node.inputs) {
+                fwd.inShapes.push_back(shapes[in]);
+                fwd.inValues.push_back(values[in]);
+            }
+            fwd.outShapes.assign(node.outputs.size(), ShapeInfo::undef());
+            fwd.outValues.assign(node.outputs.size(), ValueInfo::undef());
+            def.forward(fwd);
+            for (size_t i = 0; i < node.outputs.size(); ++i) {
+                ValueId out = node.outputs[i];
+                changed |= shapes[out].refineWith(fwd.outShapes[i]);
+                changed |= values[out].refineWith(fwd.outValues[i]);
+            }
+
+            // (2) Backward transfer to predecessors: only profitable when
+            // some input still has undef knowledge.
+            if (!options.enableBackward || !def.backward)
+                continue;
+            bool any_unknown = false;
+            for (ValueId in : node.inputs) {
+                const ShapeInfo& s = shapes[in];
+                if (s.isUndef()) {
+                    any_unknown = true;
+                    break;
+                }
+                if (s.isRanked()) {
+                    for (const auto& d : s.dims()) {
+                        if (d.isUndef()) {
+                            any_unknown = true;
+                            break;
+                        }
+                    }
+                }
+                if (any_unknown)
+                    break;
+            }
+            if (!any_unknown)
+                continue;
+
+            BackwardContext bwd;
+            bwd.graph = &graph;
+            bwd.node = &node;
+            for (ValueId in : node.inputs)
+                bwd.inShapes.push_back(shapes[in]);
+            for (ValueId out : node.outputs) {
+                bwd.outShapes.push_back(shapes[out]);
+                bwd.outValues.push_back(values[out]);
+            }
+            bwd.proposed.assign(node.inputs.size(), ShapeInfo::undef());
+            def.backward(bwd);
+            for (size_t i = 0; i < node.inputs.size(); ++i) {
+                if (bwd.proposed[i].isUndef())
+                    continue;
+                ValueId in = node.inputs[i];
+                // Constants are already fully known; refinement is a no-op
+                // but running it validates consistency in debug runs.
+                changed |= shapes[in].refineWith(bwd.proposed[i]);
+            }
+        }
+    }
+
+    return RdpResult(std::move(shapes), std::move(values), iterations);
+}
+
+std::map<std::string, int64_t>
+bindInputSymbols(const Graph& graph, const RdpOptions& options,
+                 const std::vector<Shape>& concrete_inputs)
+{
+    SOD2_CHECK_EQ(concrete_inputs.size(), graph.inputIds().size())
+        << "wrong number of inputs";
+    std::map<std::string, int64_t> bindings;
+    for (size_t i = 0; i < concrete_inputs.size(); ++i) {
+        ShapeInfo decl = inputShapeInfo(graph, options, static_cast<int>(i));
+        const Shape& actual = concrete_inputs[i];
+        const Value& in = graph.value(graph.inputIds()[i]);
+        SOD2_CHECK(decl.isRanked() && decl.rank() == actual.rank())
+            << "input '" << in.name << "' rank mismatch: declared "
+            << decl.toString() << ", got " << actual.toString();
+        for (int d = 0; d < actual.rank(); ++d) {
+            const DimValue& dv = decl.dim(d);
+            SOD2_CHECK(dv.hasExpr())
+                << "input '" << in.name << "' dim " << d
+                << " declared as nac";
+            const SymExprPtr& e = dv.expr();
+            if (e->isConst()) {
+                SOD2_CHECK_EQ(e->constValue(), actual.dim(d))
+                    << "input '" << in.name << "' dim " << d
+                    << " violates declared constant";
+            } else if (e->isSymbol()) {
+                auto [it, inserted] =
+                    bindings.emplace(e->symbolName(), actual.dim(d));
+                SOD2_CHECK(inserted || it->second == actual.dim(d))
+                    << "symbol '" << e->symbolName()
+                    << "' bound inconsistently: " << it->second << " vs "
+                    << actual.dim(d);
+            } else {
+                // Compound declaration (e.g. 2*s): verify after binding.
+                auto v = e->evaluate(bindings);
+                SOD2_CHECK(v && *v == actual.dim(d))
+                    << "input '" << in.name << "' dim " << d
+                    << " violates declared expression " << e->toString();
+            }
+        }
+    }
+    return bindings;
+}
+
+}  // namespace sod2

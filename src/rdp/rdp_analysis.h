@@ -1,0 +1,122 @@
+#ifndef SOD2_RDP_RDP_ANALYSIS_H_
+#define SOD2_RDP_RDP_ANALYSIS_H_
+
+/**
+ * @file
+ * RDP — operator Rank and Dimension Propagation (paper §4.1, Alg. 1).
+ *
+ * RDP is a data-flow analysis over the four-tuple <G, D, L', F>:
+ *   G  the extended computational graph (Graph, with <Switch, Combine>),
+ *   D  both FORWARD and BACKWARD directions, iterated to fixpoint,
+ *   L' the lattice of known/symbolic/op-inferred constants with undef
+ *      top and nac bottom (DimValue / ShapeInfo / ValueInfo),
+ *   F  the per-operator transfer functions in the OpRegistry.
+ *
+ * The result maps every Value in the graph to an abstract shape (S-map)
+ * and abstract contents (V-map). Everything downstream — fusion legality,
+ * execution planning, memory planning, multi-version codegen — consumes
+ * this result.
+ */
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "ops/op_registry.h"
+#include "symbolic/shape_info.h"
+
+namespace sod2 {
+
+/** Analysis configuration. */
+struct RdpOptions
+{
+    /**
+     * Abstract shapes for graph inputs, keyed by input value name.
+     * Unlisted inputs get fully symbolic shapes with generated symbol
+     * names "<input>_d<i>" — i.e. rank must be discoverable from the
+     * first concrete input the engine sees (Sod2Engine handles that).
+     */
+    std::map<std::string, ShapeInfo> inputShapes;
+
+    /** Ranks for inputs not listed in inputShapes (by input name). */
+    std::map<std::string, int> inputRanks;
+
+    /** Iteration cap; the lattice guarantees convergence well below it. */
+    int maxIterations = 64;
+
+    /** Disable the backward direction (ablation / tests). */
+    bool enableBackward = true;
+};
+
+/** Category of one tensor's RDP outcome (used by Figure 8's breakdown). */
+enum class ShapeCategory {
+    kAllKnown,     ///< every dim a known constant
+    kSymbolic,     ///< all dims exprs, at least one a bare symbol
+    kOpInferred,   ///< all dims exprs, at least one a compound expression
+    kNac,          ///< some dim (or the rank) unknown until runtime
+};
+
+const char* shapeCategoryName(ShapeCategory c);
+
+/** Fixpoint result of the analysis. */
+class RdpResult
+{
+  public:
+    RdpResult(std::vector<ShapeInfo> shapes, std::vector<ValueInfo> values,
+              int iterations)
+        : shapes_(std::move(shapes)), values_(std::move(values)),
+          iterations_(iterations)
+    {}
+
+    const ShapeInfo& shapeOf(ValueId v) const { return shapes_.at(v); }
+    const ValueInfo& valueOf(ValueId v) const { return values_.at(v); }
+
+    const std::vector<ShapeInfo>& shapes() const { return shapes_; }
+    const std::vector<ValueInfo>& values() const { return values_; }
+
+    /** Number of chaotic-iteration sweeps until fixpoint. */
+    int iterations() const { return iterations_; }
+
+    /** Categorizes one value's abstract shape. */
+    ShapeCategory categoryOf(ValueId v) const;
+
+    /** True when the two values' shapes are provably identical —
+     *  the fusion-legality predicate of paper §4.2. */
+    bool provablySameShape(ValueId a, ValueId b) const;
+
+    /** Distinct symbol names appearing anywhere in the result. */
+    std::vector<std::string> symbolNames() const;
+
+    /** Multi-line dump "value: shape | value" for debugging. */
+    std::string toString(const Graph& g) const;
+
+  private:
+    std::vector<ShapeInfo> shapes_;
+    std::vector<ValueInfo> values_;
+    int iterations_ = 0;
+};
+
+/**
+ * Runs RDP to fixpoint (Alg. 1's optimized chaos iteration) and returns
+ * the converged S-/V-maps. Throws sod2::Error if the graph references
+ * unregistered operators or the iteration cap is exceeded.
+ */
+RdpResult runRdp(const Graph& graph, const RdpOptions& options);
+
+/**
+ * Binds the symbolic constants of @p options' input declarations against
+ * concrete input shapes (by graph-input order). Throws when a symbol
+ * would be bound to two different extents or a known constant mismatches.
+ */
+std::map<std::string, int64_t>
+bindInputSymbols(const Graph& graph, const RdpOptions& options,
+                 const std::vector<Shape>& concrete_inputs);
+
+/** The effective abstract shape RDP assumed for input @p idx. */
+ShapeInfo inputShapeInfo(const Graph& graph, const RdpOptions& options,
+                         int idx);
+
+}  // namespace sod2
+
+#endif  // SOD2_RDP_RDP_ANALYSIS_H_

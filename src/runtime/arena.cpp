@@ -1,0 +1,31 @@
+#include "runtime/arena.h"
+
+#include "support/logging.h"
+
+namespace sod2 {
+
+size_t
+Arena::reserve(size_t bytes)
+{
+    if (bytes <= capacity_)
+        return 0;
+    size_t grown = bytes - capacity_;
+    // for_overwrite skips zero-initialization: every slot is written by
+    // its producing kernel before any read (the planner guarantees it).
+    buffer_ = std::make_unique_for_overwrite<uint8_t[]>(bytes);
+    capacity_ = bytes;
+    return grown;
+}
+
+Tensor
+Arena::viewAt(size_t offset, DType dtype, const Shape& shape)
+{
+    size_t need = static_cast<size_t>(shape.numElements()) *
+                  dtypeSize(dtype);
+    SOD2_CHECK_LE(offset + need, capacity_)
+        << "arena slot [" << offset << ", " << offset + need
+        << ") exceeds capacity " << capacity_;
+    return Tensor::view(dtype, shape, buffer_.get() + offset);
+}
+
+}  // namespace sod2

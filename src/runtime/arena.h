@@ -1,0 +1,43 @@
+#ifndef SOD2_RUNTIME_ARENA_H_
+#define SOD2_RUNTIME_ARENA_H_
+
+/**
+ * @file
+ * Linear memory arena. A memory-allocation plan (paper §4.4.1) assigns
+ * every intermediate tensor an (offset, size) slot inside one arena;
+ * executing through arena views avoids per-tensor malloc entirely —
+ * the contrast with the TVM-Nimble-style baseline's dynamic allocation.
+ */
+
+#include <cstdint>
+#include <memory>
+
+#include "tensor/tensor.h"
+
+namespace sod2 {
+
+/** One contiguous, reusable buffer for intermediate tensors. */
+class Arena
+{
+  public:
+    Arena() = default;
+
+    /** Grows the backing buffer to at least @p bytes (never shrinks).
+     *  @return the number of freshly mapped bytes (0 when no growth). */
+    size_t reserve(size_t bytes);
+
+    size_t capacity() const { return capacity_; }
+
+    /** Tensor view at byte @p offset; [offset, offset+size) must fit. */
+    Tensor viewAt(size_t offset, DType dtype, const Shape& shape);
+
+    uint8_t* base() { return buffer_.get(); }
+
+  private:
+    std::unique_ptr<uint8_t[]> buffer_;
+    size_t capacity_ = 0;
+};
+
+}  // namespace sod2
+
+#endif  // SOD2_RUNTIME_ARENA_H_

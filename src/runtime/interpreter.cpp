@@ -1,0 +1,119 @@
+#include "runtime/interpreter.h"
+
+#include "support/logging.h"
+
+namespace sod2 {
+
+Interpreter::Interpreter(const Graph* graph, InterpreterOptions options)
+    : graph_(graph), options_(std::move(options))
+{
+    SOD2_CHECK(graph_ != nullptr);
+    if (!options_.allocator)
+        options_.allocator = heapAllocator();
+}
+
+std::vector<Tensor>
+Interpreter::run(const std::vector<Tensor>& inputs)
+{
+    const Graph& g = *graph_;
+    SOD2_CHECK_EQ(inputs.size(), g.inputIds().size())
+        << "wrong number of graph inputs";
+
+    std::vector<Tensor> env(g.numValues());
+    std::vector<int> remaining_uses(g.numValues(), 0);
+    for (ValueId v = 0; v < g.numValues(); ++v)
+        remaining_uses[v] =
+            static_cast<int>(g.value(v).consumers.size());
+
+    for (size_t i = 0; i < inputs.size(); ++i)
+        env[g.inputIds()[i]] = inputs[i];
+
+    executed_ = 0;
+    for (NodeId n : g.topoOrder()) {
+        const Node& node = g.node(n);
+
+        // Materialize inputs (constants lazily).
+        std::vector<Tensor> ins;
+        ins.reserve(node.inputs.size());
+        bool any_dead = false;
+        for (ValueId in : node.inputs) {
+            const Value& v = g.value(in);
+            if (v.isConstant()) {
+                ins.push_back(v.constant);
+            } else {
+                ins.push_back(env[in]);
+                if (!env[in].isValid())
+                    any_dead = true;
+            }
+        }
+
+        std::vector<Tensor> outs;
+        if (node.op == kSwitchOp) {
+            // Routing: only the selected branch is live unless the
+            // execute-all policy is on.
+            SOD2_CHECK(ins[1].isValid()) << "Switch predicate dead";
+            int64_t branches = node.attrs.getInt("num_branches");
+            int64_t pred = ins[1].toInt64Vector().at(0);
+            SOD2_CHECK(pred >= 0 && pred < branches)
+                << "Switch predicate " << pred << " out of range "
+                << branches;
+            outs.assign(branches, Tensor());
+            if (ins[0].isValid()) {
+                for (int64_t i = 0; i < branches; ++i) {
+                    if (i == pred || options_.executeAllBranches)
+                        outs[i] = ins[0];
+                }
+            }
+            ++executed_;
+        } else if (node.op == kCombineOp) {
+            SOD2_CHECK(ins[0].isValid()) << "Combine predicate dead";
+            int64_t pred = ins[0].toInt64Vector().at(0);
+            SOD2_CHECK_GE(pred, 0);
+            SOD2_CHECK_LT(pred + 1, static_cast<int64_t>(ins.size()));
+            outs = {ins[pred + 1]};
+            SOD2_CHECK(outs[0].isValid())
+                << "Combine selected dead branch " << pred << " at "
+                << node.name;
+            ++executed_;
+        } else if (any_dead) {
+            // Node on a dead path: propagate deadness.
+            outs.assign(node.outputs.size(), Tensor());
+        } else {
+            outs = executeNode(g, node, ins, options_.allocator,
+                               options_.kernels);
+            ++executed_;
+        }
+
+        SOD2_CHECK_EQ(outs.size(), node.outputs.size());
+        for (size_t i = 0; i < outs.size(); ++i)
+            env[node.outputs[i]] = std::move(outs[i]);
+
+        // Release inputs whose last consumer has now run.
+        if (options_.releaseDeadValues) {
+            for (ValueId in : node.inputs) {
+                if (g.value(in).isConstant())
+                    continue;
+                if (--remaining_uses[in] == 0 &&
+                    !g.value(in).isGraphOutput) {
+                    env[in] = Tensor();
+                }
+            }
+        }
+    }
+
+    std::vector<Tensor> results;
+    results.reserve(g.outputIds().size());
+    for (ValueId out : g.outputIds()) {
+        const Value& v = g.value(out);
+        if (v.isConstant()) {
+            results.push_back(v.constant);
+            continue;
+        }
+        SOD2_CHECK(env[out].isValid())
+            << "graph output '" << v.name << "' was never produced";
+        results.push_back(env[out]);
+    }
+    return results;
+}
+
+}  // namespace sod2

@@ -1,0 +1,64 @@
+#ifndef SOD2_RUNTIME_INTERPRETER_H_
+#define SOD2_RUNTIME_INTERPRETER_H_
+
+/**
+ * @file
+ * Reference interpreter: unfused, unplanned, per-node heap allocation.
+ *
+ * Serves three roles: (1) the semantic ground truth every optimized
+ * engine is tested against, (2) the execution core the baseline engines
+ * customize (allocation policy, branch policy), and (3) the "No opt."
+ * configuration of the paper's Figure 5/6 breakdowns.
+ */
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "runtime/op_executor.h"
+
+namespace sod2 {
+
+/** Interpreter policy knobs. */
+struct InterpreterOptions
+{
+    /**
+     * Execute *all* Switch branches and let Combine strip invalid
+     * results — the static-solution strategy for control flow the paper
+     * attributes to TFLite/MNN/ORT (§2, §5). SoD2 leaves this off and
+     * runs only the selected branch.
+     */
+    bool executeAllBranches = false;
+
+    /** Kernel variants + optional cost meter. */
+    KernelConfig kernels;
+
+    /** Free intermediates as soon as their last consumer ran (on by
+     *  default; off approximates keep-everything VM execution). */
+    bool releaseDeadValues = true;
+
+    /** Allocator for intermediates (defaults to owned heap tensors). */
+    TensorAllocator allocator;
+};
+
+/** Executes a Graph directly, node by node in topological order. */
+class Interpreter
+{
+  public:
+    Interpreter(const Graph* graph, InterpreterOptions options);
+
+    /** Runs the graph; @p inputs in graph-input declaration order. */
+    std::vector<Tensor> run(const std::vector<Tensor>& inputs);
+
+    /** Number of nodes actually executed in the last run (dead Switch
+     *  branches are skipped unless executeAllBranches). */
+    int executedNodeCount() const { return executed_; }
+
+  private:
+    const Graph* graph_;
+    InterpreterOptions options_;
+    int executed_ = 0;
+};
+
+}  // namespace sod2
+
+#endif  // SOD2_RUNTIME_INTERPRETER_H_

@@ -1,0 +1,298 @@
+#include "runtime/op_executor.h"
+
+#include <cstring>
+
+#include "kernels/data_movement.h"
+#include "kernels/elementwise.h"
+#include "kernels/reduce.h"
+#include "ops/op_registry.h"
+#include "runtime/interpreter.h"
+#include "support/logging.h"
+
+namespace sod2 {
+
+TensorAllocator
+heapAllocator()
+{
+    return [](DType dtype, const Shape& shape) {
+        return Tensor(dtype, shape);
+    };
+}
+
+std::pair<double, double>
+nodeCost(const Node& node, const std::vector<Shape>& in_shapes,
+         const std::vector<Shape>& out_shapes)
+{
+    double in_bytes = 0.0, out_bytes = 0.0, out_elems = 0.0;
+    for (const Shape& s : in_shapes)
+        in_bytes += 4.0 * s.numElements();
+    for (const Shape& s : out_shapes) {
+        out_bytes += 4.0 * s.numElements();
+        out_elems += static_cast<double>(s.numElements());
+    }
+    double bytes = in_bytes + out_bytes;
+
+    if (node.op == "MatMul" && in_shapes.size() >= 2)
+        return {matmulFlops(in_shapes[0], in_shapes[1]), bytes};
+    if (node.op == "Conv" && in_shapes.size() >= 2 && !out_shapes.empty()) {
+        return {convFlops(in_shapes[0], in_shapes[1], out_shapes[0],
+                          node.attrs.getInt("group", 1)),
+                bytes};
+    }
+    if (node.op == "MaxPool" || node.op == "AveragePool") {
+        int64_t k = node.attrs.getInt("kernel", 2);
+        return {out_elems * k * k, bytes};
+    }
+    if (node.op == "Softmax" || node.op == "LayerNormalization")
+        return {4.0 * out_elems, bytes};
+    // Default: one op per output element.
+    return {out_elems, bytes};
+}
+
+std::vector<Tensor>
+executeNode(const Graph& graph, const Node& node,
+            const std::vector<Tensor>& inputs, const TensorAllocator& alloc,
+            const KernelConfig& config)
+{
+    const std::string& op = node.op;
+
+    // --- control flow first: inputs may contain dead (invalid) tensors ---
+    if (op == kSwitchOp) {
+        int64_t branches = node.attrs.getInt("num_branches");
+        std::vector<Tensor> outs(branches);
+        SOD2_CHECK_EQ(inputs.size(), 2u);
+        for (int64_t i = 0; i < branches; ++i)
+            outs[i] = inputs[0];  // shared view; liveness is caller policy
+        return outs;
+    }
+    if (op == kCombineOp) {
+        SOD2_CHECK_GE(inputs.size(), 2u);
+        SOD2_CHECK(inputs[0].isValid()) << "Combine predicate not computed";
+        int64_t pred = inputs[0].toInt64Vector().at(0);
+        SOD2_CHECK(pred >= 0 &&
+                   pred + 1 < static_cast<int64_t>(inputs.size()))
+            << "Combine predicate " << pred << " out of range";
+        const Tensor& chosen = inputs[pred + 1];
+        SOD2_CHECK(chosen.isValid())
+            << "Combine selected a dead branch (" << pred << ")";
+        return {chosen};
+    }
+    if (op == "If") {
+        SOD2_CHECK(!inputs.empty() && inputs[0].isValid());
+        bool cond = inputs[0].toInt64Vector().at(0) != 0;
+        auto branch = node.attrs.getGraph(cond ? "then_branch"
+                                               : "else_branch");
+        std::vector<Tensor> captured(inputs.begin() + 1, inputs.end());
+        Interpreter sub(branch.get(), InterpreterOptions{});
+        auto outs = sub.run(captured);
+        return outs;
+    }
+    if (op == "Loop") {
+        // ONNX-style Loop: inputs [max_trip_count, cond, carried...];
+        // body maps (iter, cond, carried...) -> (cond, carried...).
+        SOD2_CHECK_GE(inputs.size(), 2u);
+        SOD2_CHECK(inputs[0].isValid() && inputs[1].isValid());
+        int64_t max_trips = inputs[0].toInt64Vector().at(0);
+        bool cond = inputs[1].toInt64Vector().at(0) != 0;
+        auto body = node.attrs.getGraph("body");
+        std::vector<Tensor> carried(inputs.begin() + 2, inputs.end());
+        Interpreter sub(body.get(), InterpreterOptions{});
+        for (int64_t iter = 0; iter < max_trips && cond; ++iter) {
+            std::vector<Tensor> body_in;
+            body_in.push_back(Tensor::scalarInt64(iter));
+            body_in.push_back(Tensor::full(DType::kBool, Shape(), cond));
+            body_in.insert(body_in.end(), carried.begin(), carried.end());
+            auto body_out = sub.run(body_in);
+            SOD2_CHECK_EQ(body_out.size(), carried.size() + 1)
+                << "Loop body must return (cond, carried...)";
+            cond = body_out[0].toInt64Vector().at(0) != 0;
+            carried.assign(body_out.begin() + 1, body_out.end());
+        }
+        return carried;
+    }
+
+    for (const Tensor& t : inputs)
+        SOD2_CHECK(t.isValid()) << "dead input to live node " << node.name;
+
+    // Concrete output shapes via the (shared) forward transfer.
+    std::vector<Shape> out_shapes = inferConcreteShapes(graph, node, inputs);
+
+    auto outDType = [&](int i) { return graph.value(node.outputs[i]).dtype; };
+
+    std::vector<Tensor> outs;
+    auto makeOuts = [&]() {
+        SOD2_CHECK_EQ(out_shapes.size(), node.outputs.size())
+            << "op " << op << " failed static shape inference at runtime";
+        outs.reserve(out_shapes.size());
+        for (size_t i = 0; i < out_shapes.size(); ++i)
+            outs.push_back(alloc(outDType(static_cast<int>(i)),
+                                 out_shapes[i]));
+    };
+
+    if (op == "NonZero") {
+        outs.push_back(nonZero(inputs[0]));
+    } else if (op == "NonMaxSuppression") {
+        outs.push_back(nonMaxSuppression(
+            inputs[0], inputs[1],
+            static_cast<float>(node.attrs.getFloat("iou_threshold", 0.5)),
+            static_cast<float>(
+                node.attrs.getFloat("score_threshold", 0.0))));
+    } else if (isUnaryElementwise(op)) {
+        makeOuts();
+        ewUnary(op, inputs[0], &outs[0], node.attrs);
+    } else if (op == "Cast") {
+        makeOuts();
+        castTo(inputs[0], &outs[0]);
+    } else if (isBinaryElementwise(op)) {
+        makeOuts();
+        ewBinary(op, inputs[0], inputs[1], &outs[0]);
+    } else if (op == "Where") {
+        makeOuts();
+        ewWhere(inputs[0], inputs[1], inputs[2], &outs[0]);
+    } else if (op == "MatMul") {
+        makeOuts();
+        matmul(inputs[0], inputs[1], &outs[0], config.gemm);
+    } else if (op == "Conv") {
+        makeOuts();
+        const Tensor* bias = inputs.size() > 2 ? &inputs[2] : nullptr;
+        conv2d(inputs[0], inputs[1], bias, &outs[0],
+               node.attrs.getInt("stride", 1), node.attrs.getInt("pad", 0),
+               node.attrs.getInt("group", 1), config.conv);
+    } else if (op == "MaxPool" || op == "AveragePool") {
+        makeOuts();
+        pool2d(inputs[0], &outs[0], node.attrs.getInt("kernel"),
+               node.attrs.getInt("stride", 1), node.attrs.getInt("pad", 0),
+               op == "MaxPool");
+    } else if (op == "GlobalAveragePool") {
+        makeOuts();
+        globalAvgPool(inputs[0], &outs[0]);
+    } else if (op == "Softmax") {
+        makeOuts();
+        softmax(inputs[0],
+                static_cast<int>(node.attrs.getInt("axis", -1)), &outs[0]);
+    } else if (op == "LayerNormalization") {
+        makeOuts();
+        layerNorm(inputs[0], inputs[1], inputs[2],
+                  static_cast<float>(node.attrs.getFloat("epsilon", 1e-5)),
+                  &outs[0]);
+    } else if (op == "GroupNormalization") {
+        makeOuts();
+        groupNorm(inputs[0], inputs[1], inputs[2],
+                  node.attrs.getInt("groups", 1),
+                  static_cast<float>(node.attrs.getFloat("epsilon", 1e-5)),
+                  &outs[0]);
+    } else if (op == "BatchNormalization") {
+        makeOuts();
+        batchNorm(inputs[0], inputs[1], inputs[2], inputs[3], inputs[4],
+                  static_cast<float>(node.attrs.getFloat("epsilon", 1e-5)),
+                  &outs[0]);
+    } else if (op == "ReduceMean" || op == "ReduceSum" ||
+               op == "ReduceMax" || op == "ReduceMin") {
+        makeOuts();
+        reduce(op, inputs[0], node.attrs.getInts("axes", {}),
+               node.attrs.getInt("keepdims", 1) != 0, &outs[0]);
+    } else if (op == "ArgMax") {
+        makeOuts();
+        argMax(inputs[0], static_cast<int>(node.attrs.getInt("axis", 0)),
+               node.attrs.getInt("keepdims", 1) != 0, &outs[0]);
+    } else if (op == "Shape") {
+        makeOuts();
+        const auto& dims = inputs[0].shape().dims();
+        std::memcpy(outs[0].raw(), dims.data(),
+                    dims.size() * sizeof(int64_t));
+    } else if (op == "ConstantOfShape") {
+        makeOuts();
+        double v = node.attrs.getFloat("value", 0.0);
+        float* p = outs[0].data<float>();
+        for (int64_t i = 0; i < outs[0].numElements(); ++i)
+            p[i] = static_cast<float>(v);
+    } else if (op == "EyeLike") {
+        makeOuts();
+        eyeLike(inputs[0], &outs[0]);
+    } else if (op == "Reshape" || op == "Flatten" || op == "Squeeze" ||
+               op == "Unsqueeze") {
+        makeOuts();
+        SOD2_CHECK_EQ(outs[0].byteSize(), inputs[0].byteSize());
+        std::memcpy(outs[0].raw(), inputs[0].raw(), inputs[0].byteSize());
+    } else if (op == "Transpose") {
+        makeOuts();
+        transpose(inputs[0], node.attrs.getInts("perm"), &outs[0]);
+    } else if (op == "Concat") {
+        makeOuts();
+        concat(inputs, static_cast<int>(node.attrs.getInt("axis")),
+               &outs[0]);
+    } else if (op == "Split") {
+        makeOuts();
+        split(inputs[0], static_cast<int>(node.attrs.getInt("axis")),
+              &outs);
+    } else if (op == "Slice") {
+        makeOuts();
+        std::vector<int64_t> starts = inputs[1].toInt64Vector();
+        std::vector<int64_t> ends = inputs[2].toInt64Vector();
+        std::vector<int64_t> axes =
+            inputs.size() > 3 ? inputs[3].toInt64Vector()
+                              : std::vector<int64_t>{};
+        std::vector<int64_t> steps =
+            inputs.size() > 4 ? inputs[4].toInt64Vector()
+                              : std::vector<int64_t>{};
+        slice(inputs[0], starts, ends, axes, steps, &outs[0]);
+    } else if (op == "Gather") {
+        makeOuts();
+        gather(inputs[0], inputs[1],
+               static_cast<int>(node.attrs.getInt("axis", 0)), &outs[0]);
+    } else if (op == "Expand") {
+        makeOuts();
+        expandTo(inputs[0], &outs[0]);
+    } else if (op == "Pad") {
+        makeOuts();
+        pad2d(inputs[0], node.attrs.getInt("pad"),
+              static_cast<float>(node.attrs.getFloat("value", 0.0)),
+              &outs[0]);
+    } else if (op == "Tile") {
+        makeOuts();
+        tile(inputs[0], inputs[1].toInt64Vector(), &outs[0]);
+    } else if (op == "Resize") {
+        makeOuts();
+        auto scales = inputs[1].toInt64Vector();
+        SOD2_CHECK_EQ(scales.size(), 2u);
+        resizeNearest(inputs[0], scales[0], scales[1], &outs[0]);
+    } else if (op == "OneHot") {
+        makeOuts();
+        oneHot(inputs[0], node.attrs.getInt("depth"), &outs[0]);
+    } else if (op == "Range") {
+        makeOuts();
+        double start, delta;
+        if (inputs[0].dtype() == DType::kFloat32) {
+            start = inputs[0].data<float>()[0];
+            delta = inputs[2].data<float>()[0];
+        } else {
+            start = static_cast<double>(inputs[0].toInt64Vector()[0]);
+            delta = static_cast<double>(inputs[2].toInt64Vector()[0]);
+        }
+        rangeFill(start, delta, &outs[0]);
+    } else if (op == "TopK") {
+        makeOuts();
+        topK(inputs[0], inputs[1].toInt64Vector()[0],
+             static_cast<int>(node.attrs.getInt("axis", -1)), &outs[0],
+             &outs[1]);
+    } else {
+        SOD2_THROW << "no kernel for operator '" << op << "'";
+    }
+
+    if (config.meter) {
+        std::vector<Shape> in_shapes;
+        in_shapes.reserve(inputs.size());
+        for (const Tensor& t : inputs)
+            in_shapes.push_back(t.shape());
+        std::vector<Shape> real_out;
+        real_out.reserve(outs.size());
+        for (const Tensor& t : outs)
+            if (t.isValid())
+                real_out.push_back(t.shape());
+        auto [flops, bytes] = nodeCost(node, in_shapes, real_out);
+        config.meter->chargeKernel(flops, bytes);
+    }
+    return outs;
+}
+
+}  // namespace sod2

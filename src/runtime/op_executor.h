@@ -1,0 +1,66 @@
+#ifndef SOD2_RUNTIME_OP_EXECUTOR_H_
+#define SOD2_RUNTIME_OP_EXECUTOR_H_
+
+/**
+ * @file
+ * Single-node execution: dispatches a Node to the matching kernel.
+ *
+ * The executor separates *where outputs live* (TensorAllocator — owned
+ * heap tensors for baselines, arena views for planned execution) from
+ * *what is computed*. Execution-determined ops (NonZero, NMS) ignore the
+ * allocator and return kernel-allocated tensors, exactly the behaviour
+ * that forces dynamic allocation in runtime-solution frameworks.
+ */
+
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "kernels/conv.h"
+#include "kernels/device_profile.h"
+#include "kernels/gemm.h"
+#include "tensor/tensor.h"
+
+namespace sod2 {
+
+/** Produces an output tensor of the given type/shape. */
+using TensorAllocator = std::function<Tensor(DType, const Shape&)>;
+
+/** Default allocator: fresh owned (heap, stats-tracked) tensors. */
+TensorAllocator heapAllocator();
+
+/** Per-run kernel configuration (multi-version codegen plugs in here). */
+struct KernelConfig
+{
+    GemmVariant gemm;
+    ConvVariant conv;
+    /** When set, every kernel charges flops/bytes to this meter. */
+    CostMeter* meter = nullptr;
+};
+
+/**
+ * Executes @p node on @p inputs, allocating outputs via @p alloc.
+ *
+ * Control flow contract:
+ *  - Switch returns num_branches copies of the data tensor; callers
+ *    decide which branches to treat as live (SoD2 executes only the
+ *    selected one; "execute-all" baselines run all of them).
+ *  - Combine reads the int64 predicate (input 0) and returns branch
+ *    input [1 + pred]; dead inputs may be invalid tensors.
+ *  - If recursively executes the selected subgraph.
+ *
+ * @return one tensor per node output (invalid tensors for dead branches)
+ */
+std::vector<Tensor> executeNode(const Graph& graph, const Node& node,
+                                const std::vector<Tensor>& inputs,
+                                const TensorAllocator& alloc,
+                                const KernelConfig& config);
+
+/** Estimated (flops, bytes) of running @p node — the cost-model hook. */
+std::pair<double, double> nodeCost(const Node& node,
+                                   const std::vector<Shape>& in_shapes,
+                                   const std::vector<Shape>& out_shapes);
+
+}  // namespace sod2
+
+#endif  // SOD2_RUNTIME_OP_EXECUTOR_H_

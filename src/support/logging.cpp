@@ -1,0 +1,53 @@
+#include "support/logging.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace sod2 {
+
+Logger&
+Logger::instance()
+{
+    static Logger logger;
+    return logger;
+}
+
+void
+Logger::log(LogLevel level, const std::string& msg)
+{
+    if (level < threshold_)
+        return;
+    static std::mutex mu;
+    static const char* names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+    std::lock_guard<std::mutex> lock(mu);
+    std::fprintf(stderr, "[sod2 %s] %s\n",
+                 names[static_cast<int>(level)], msg.c_str());
+}
+
+namespace detail {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level)
+{
+    stream_ << file << ":" << line << ": ";
+}
+
+LogMessage::~LogMessage()
+{
+    Logger::instance().log(level_, stream_.str());
+}
+
+ThrowMessage::ThrowMessage(const char* file, int line, const char* cond)
+{
+    stream_ << file << ":" << line << ": ";
+    if (cond)
+        stream_ << "check failed: " << cond << " ";
+}
+
+ThrowMessage::~ThrowMessage() noexcept(false)
+{
+    throw Error(stream_.str());
+}
+
+}  // namespace detail
+}  // namespace sod2

@@ -1,0 +1,118 @@
+#ifndef SOD2_SUPPORT_LOGGING_H_
+#define SOD2_SUPPORT_LOGGING_H_
+
+/**
+ * @file
+ * Logging and runtime-check facilities used throughout SoD2.
+ *
+ * The library reports unrecoverable internal errors by throwing
+ * sod2::Error (see SOD2_CHECK / SOD2_THROW). Informational logging goes
+ * through the Logger singleton and can be silenced per severity level.
+ */
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sod2 {
+
+/** Exception type thrown on all SoD2 error paths. */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/** Severity levels accepted by the Logger. */
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/**
+ * Process-wide logger. Writes to stderr; threshold defaults to kWarn so
+ * library users are not spammed, benchmarks raise it as needed.
+ */
+class Logger
+{
+  public:
+    static Logger& instance();
+
+    void setThreshold(LogLevel level) { threshold_ = level; }
+    LogLevel threshold() const { return threshold_; }
+
+    /** Emit one message if @p level passes the threshold. */
+    void log(LogLevel level, const std::string& msg);
+
+  private:
+    Logger() = default;
+    LogLevel threshold_ = LogLevel::kWarn;
+};
+
+namespace detail {
+
+/** Stream-style message collector backing the SOD2_LOG macro. */
+class LogMessage
+{
+  public:
+    LogMessage(LogLevel level, const char* file, int line);
+    ~LogMessage();
+
+    template <typename T>
+    LogMessage&
+    operator<<(const T& value)
+    {
+        stream_ << value;
+        return *this;
+    }
+
+  private:
+    LogLevel level_;
+    std::ostringstream stream_;
+};
+
+/** Stream collector that throws sod2::Error at end of statement. */
+class ThrowMessage
+{
+  public:
+    ThrowMessage(const char* file, int line, const char* cond);
+    [[noreturn]] ~ThrowMessage() noexcept(false);
+
+    template <typename T>
+    ThrowMessage&
+    operator<<(const T& value)
+    {
+        stream_ << value;
+        return *this;
+    }
+
+  private:
+    std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace sod2
+
+#define SOD2_LOG(level) \
+    ::sod2::detail::LogMessage(::sod2::LogLevel::level, __FILE__, __LINE__)
+
+/** Unconditional error: SOD2_THROW << "message"; */
+#define SOD2_THROW ::sod2::detail::ThrowMessage(__FILE__, __LINE__, nullptr)
+
+/** Invariant check: throws sod2::Error with context when @p cond is false. */
+#define SOD2_CHECK(cond)                                              \
+    if (cond) {                                                       \
+    } else                                                            \
+        ::sod2::detail::ThrowMessage(__FILE__, __LINE__, #cond)
+
+#define SOD2_CHECK_EQ(a, b) \
+    SOD2_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define SOD2_CHECK_NE(a, b) \
+    SOD2_CHECK((a) != (b)) << " (" << (a) << " vs " << (b) << ") "
+#define SOD2_CHECK_LT(a, b) \
+    SOD2_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define SOD2_CHECK_LE(a, b) \
+    SOD2_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define SOD2_CHECK_GT(a, b) \
+    SOD2_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define SOD2_CHECK_GE(a, b) \
+    SOD2_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+#endif  // SOD2_SUPPORT_LOGGING_H_

@@ -1,0 +1,64 @@
+#ifndef SOD2_SUPPORT_RNG_H_
+#define SOD2_SUPPORT_RNG_H_
+
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All randomized components (weight init, input samplers, the GA
+ * auto-tuner) take an explicit Rng so experiments are reproducible
+ * run-to-run and engine-to-engine.
+ */
+
+#include <cstdint>
+
+namespace sod2 {
+
+/** splitmix64-based generator: tiny, fast, and good enough for workloads. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x5eed50d2ULL) : state_(seed) {}
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive; requires lo <= hi. */
+    int64_t
+    uniformInt(int64_t lo, int64_t hi)
+    {
+        uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+        return lo + static_cast<int64_t>(next() % span);
+    }
+
+    /** Uniform float in [0, 1). */
+    float
+    uniformFloat()
+    {
+        return static_cast<float>(next() >> 40) / static_cast<float>(1 << 24);
+    }
+
+    /** Uniform float in [lo, hi). */
+    float
+    uniformFloat(float lo, float hi)
+    {
+        return lo + (hi - lo) * uniformFloat();
+    }
+
+    /** Bernoulli draw with probability @p p of returning true. */
+    bool bernoulli(float p) { return uniformFloat() < p; }
+
+  private:
+    uint64_t state_;
+};
+
+}  // namespace sod2
+
+#endif  // SOD2_SUPPORT_RNG_H_

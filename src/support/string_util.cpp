@@ -1,0 +1,32 @@
+#include "support/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace sod2 {
+
+std::string
+strFormat(const char* fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    std::string out(needed > 0 ? needed : 0, '\0');
+    if (needed > 0)
+        std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+    va_end(args_copy);
+    return out;
+}
+
+std::string
+padTo(const std::string& s, size_t width)
+{
+    if (s.size() >= width)
+        return s.substr(0, width);
+    return s + std::string(width - s.size(), ' ');
+}
+
+}  // namespace sod2

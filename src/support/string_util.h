@@ -1,0 +1,47 @@
+#ifndef SOD2_SUPPORT_STRING_UTIL_H_
+#define SOD2_SUPPORT_STRING_UTIL_H_
+
+/**
+ * @file
+ * Small string helpers shared by IR printing and benchmark tables.
+ */
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace sod2 {
+
+/** Joins the elements of @p items with @p sep using operator<<. */
+template <typename T>
+std::string
+join(const std::vector<T>& items, const std::string& sep)
+{
+    std::ostringstream out;
+    for (size_t i = 0; i < items.size(); ++i) {
+        if (i)
+            out << sep;
+        out << items[i];
+    }
+    return out.str();
+}
+
+/** Formats a vector like "[2, 3, 4]". */
+template <typename T>
+std::string
+bracketed(const std::vector<T>& items)
+{
+    return "[" + join(items, ", ") + "]";
+}
+
+/** printf-style formatting into a std::string. */
+std::string strFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Left-pads/truncates @p s to exactly @p width characters. */
+std::string padTo(const std::string& s, size_t width);
+
+}  // namespace sod2
+
+#endif  // SOD2_SUPPORT_STRING_UTIL_H_

@@ -1,0 +1,130 @@
+#include "support/threadpool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#include "support/logging.h"
+
+namespace sod2 {
+
+ThreadPool::ThreadPool(int num_threads)
+{
+    if (num_threads <= 0) {
+        num_threads = static_cast<int>(std::thread::hardware_concurrency());
+        if (num_threads <= 0)
+            num_threads = 4;
+    }
+    // The caller participates in parallelFor, so spawn one fewer worker.
+    int workers = std::max(1, num_threads - 1);
+    workers_.reserve(workers);
+    for (int i = 0; i < workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : workers_)
+        t.join();
+}
+
+ThreadPool&
+ThreadPool::global()
+{
+    // SOD2_NUM_THREADS pins the pool size (the paper's "8 threads on
+    // mobile CPU" setup knob); defaults to hardware concurrency.
+    static ThreadPool pool([] {
+        if (const char* env = std::getenv("SOD2_NUM_THREADS")) {
+            int n = std::atoi(env);
+            if (n > 0)
+                return n;
+        }
+        return 0;
+    }());
+    return pool;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+            if (stop_ && jobs_.empty())
+                return;
+            job = std::move(jobs_.front());
+            jobs_.pop();
+        }
+        job();
+    }
+}
+
+void
+ThreadPool::enqueue(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        jobs_.push(std::move(job));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::parallelFor(int64_t total,
+                        const std::function<void(int64_t, int64_t)>& fn,
+                        int64_t grain_size)
+{
+    if (total <= 0)
+        return;
+    int64_t max_chunks = numThreads() + 1;
+    int64_t chunks =
+        std::min<int64_t>(max_chunks,
+                          (total + std::max<int64_t>(1, grain_size) - 1) /
+                              std::max<int64_t>(1, grain_size));
+    if (chunks <= 1) {
+        fn(0, total);
+        return;
+    }
+
+    std::atomic<int64_t> remaining(chunks - 1);
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+
+    int64_t per = (total + chunks - 1) / chunks;
+    for (int64_t c = 1; c < chunks; ++c) {
+        int64_t begin = c * per;
+        int64_t end = std::min(total, begin + per);
+        if (begin >= end) {
+            remaining.fetch_sub(1);
+            continue;
+        }
+        enqueue([&, begin, end] {
+            fn(begin, end);
+            if (remaining.fetch_sub(1) == 1) {
+                std::lock_guard<std::mutex> lock(done_mu);
+                done_cv.notify_one();
+            }
+        });
+    }
+    // Calling thread runs the first chunk.
+    fn(0, std::min(total, per));
+
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return remaining.load() == 0; });
+}
+
+void
+parallelFor(int64_t total, const std::function<void(int64_t, int64_t)>& fn,
+            int64_t grain_size)
+{
+    ThreadPool::global().parallelFor(total, fn, grain_size);
+}
+
+}  // namespace sod2

@@ -1,0 +1,72 @@
+#ifndef SOD2_SUPPORT_THREADPOOL_H_
+#define SOD2_SUPPORT_THREADPOOL_H_
+
+/**
+ * @file
+ * A small work-stealing-free thread pool with a blocking parallelFor.
+ *
+ * Kernels use ThreadPool::global() to parallelize over the outermost
+ * loop dimension; the pool size stands in for the "8 threads on mobile
+ * CPU" configuration in the paper's evaluation setup.
+ */
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace sod2 {
+
+/** Fixed-size thread pool executing void() jobs. */
+class ThreadPool
+{
+  public:
+    /** Creates @p num_threads workers (defaults to hardware concurrency). */
+    explicit ThreadPool(int num_threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** The process-wide pool used by kernels. */
+    static ThreadPool& global();
+
+    int numThreads() const { return static_cast<int>(workers_.size()); }
+
+    /**
+     * Runs fn(begin..end) partitioned into roughly equal contiguous chunks
+     * across the pool (plus the calling thread), blocking until done.
+     * Degenerates to a serial call when the range is small.
+     *
+     * @param total       iteration count; fn receives [chunk_begin, chunk_end)
+     * @param fn          callable of signature void(int64_t begin, int64_t end)
+     * @param grain_size  minimum iterations per chunk before splitting
+     */
+    void parallelFor(int64_t total,
+                     const std::function<void(int64_t, int64_t)>& fn,
+                     int64_t grain_size = 1);
+
+  private:
+    void workerLoop();
+    void enqueue(std::function<void()> job);
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> jobs_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+/**
+ * Convenience wrapper over ThreadPool::global().parallelFor.
+ */
+void parallelFor(int64_t total,
+                 const std::function<void(int64_t, int64_t)>& fn,
+                 int64_t grain_size = 1);
+
+}  // namespace sod2
+
+#endif  // SOD2_SUPPORT_THREADPOOL_H_

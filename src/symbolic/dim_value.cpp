@@ -1,0 +1,74 @@
+#include "symbolic/dim_value.h"
+
+#include "support/logging.h"
+
+namespace sod2 {
+
+int64_t
+DimValue::knownValue() const
+{
+    SOD2_CHECK(isKnownConst()) << "knownValue on " << toString();
+    return expr_->constValue();
+}
+
+const SymExprPtr&
+DimValue::expr() const
+{
+    SOD2_CHECK(hasExpr()) << "expr on " << toString();
+    return expr_;
+}
+
+DimValue
+DimValue::meet(const DimValue& other) const
+{
+    if (isUndef())
+        return other;
+    if (other.isUndef())
+        return *this;
+    if (isNac() || other.isNac())
+        return nac();
+    if (expr_->equals(*other.expr_))
+        return *this;
+    return nac();
+}
+
+bool
+DimValue::refineWith(const DimValue& incoming)
+{
+    DimValue next = meet(incoming);
+    if (equals(next))
+        return false;
+    *this = next;
+    return true;
+}
+
+bool
+DimValue::equals(const DimValue& other) const
+{
+    if (kind_ != other.kind_)
+        return false;
+    if (kind_ != Kind::kExpr)
+        return true;
+    return expr_->equals(*other.expr_);
+}
+
+std::optional<int64_t>
+DimValue::evaluate(const std::map<std::string, int64_t>& bindings) const
+{
+    if (kind_ != Kind::kExpr)
+        return std::nullopt;
+    return expr_->evaluate(bindings);
+}
+
+std::string
+DimValue::toString() const
+{
+    switch (kind_) {
+      case Kind::kUndef: return "undef";
+      case Kind::kNac: return "nac";
+      case Kind::kExpr: return expr_->toString();
+    }
+    return "?";
+}
+
+}  // namespace sod2

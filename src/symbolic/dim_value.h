@@ -1,0 +1,97 @@
+#ifndef SOD2_SYMBOLIC_DIM_VALUE_H_
+#define SOD2_SYMBOLIC_DIM_VALUE_H_
+
+/**
+ * @file
+ * DimValue: one element of the RDP lattice (paper Figure 2).
+ *
+ * The lattice is
+ *
+ *           undef (T)
+ *       /      |       \
+ *   known   symbolic  op-inferred      <- all represented as SymExpr
+ *       \      |       /
+ *            nac (_|_)
+ *
+ * A DimValue abstracts one integer quantity — a tensor dimension, or one
+ * element of a small integer tensor (such as the output of Shape). RDP
+ * cells only ever descend this lattice, which guarantees termination of
+ * the chaotic iteration in Alg. 1.
+ */
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "symbolic/expr.h"
+
+namespace sod2 {
+
+/** Lattice element: undef | expression (known/symbolic/op-inferred) | nac. */
+class DimValue
+{
+  public:
+    /** Default-constructed cells start at top (undef). */
+    DimValue() = default;
+
+    static DimValue undef() { return DimValue(); }
+    static DimValue nac() { DimValue v; v.kind_ = Kind::kNac; return v; }
+    static DimValue known(int64_t c) { return of(SymExpr::constant(c)); }
+    static DimValue symbol(const std::string& name)
+    {
+        return of(SymExpr::symbol(name));
+    }
+    /** Wraps an expression; a null expression maps to nac. */
+    static DimValue
+    of(SymExprPtr e)
+    {
+        if (!e)
+            return nac();
+        DimValue v;
+        v.kind_ = Kind::kExpr;
+        v.expr_ = std::move(e);
+        return v;
+    }
+
+    bool isUndef() const { return kind_ == Kind::kUndef; }
+    bool isNac() const { return kind_ == Kind::kNac; }
+    bool hasExpr() const { return kind_ == Kind::kExpr; }
+    /** True when this is a known (literal) constant. */
+    bool isKnownConst() const { return hasExpr() && expr_->isConst(); }
+
+    /** Literal value; requires isKnownConst(). */
+    int64_t knownValue() const;
+    /** Underlying expression; requires hasExpr(). */
+    const SymExprPtr& expr() const;
+
+    /** Lattice meet: undef is identity, nac absorbing, unequal exprs
+     *  collapse to nac. */
+    DimValue meet(const DimValue& other) const;
+
+    /**
+     * Destructive meet with change reporting; this is the single update
+     * primitive RDP uses, so every cell moves monotonically down the
+     * lattice.
+     * @return true when the stored value changed.
+     */
+    bool refineWith(const DimValue& incoming);
+
+    bool equals(const DimValue& other) const;
+
+    /** Evaluates under symbol @p bindings; nullopt for undef/nac/unbound. */
+    std::optional<int64_t>
+    evaluate(const std::map<std::string, int64_t>& bindings) const;
+
+    std::string toString() const;
+
+  private:
+    enum class Kind { kUndef, kExpr, kNac };
+
+    Kind kind_ = Kind::kUndef;
+    SymExprPtr expr_;
+};
+
+}  // namespace sod2
+
+#endif  // SOD2_SYMBOLIC_DIM_VALUE_H_

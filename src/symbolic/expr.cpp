@@ -1,0 +1,351 @@
+#include "symbolic/expr.h"
+
+#include <functional>
+
+#include "support/logging.h"
+
+namespace sod2 {
+namespace {
+
+bool
+isCommutative(SymOp op)
+{
+    return op == SymOp::kAdd || op == SymOp::kMul || op == SymOp::kMin ||
+           op == SymOp::kMax;
+}
+
+int64_t
+floorDiv(int64_t a, int64_t b)
+{
+    SOD2_CHECK_NE(b, 0) << "symbolic division by zero";
+    int64_t q = a / b;
+    if ((a % b != 0) && ((a < 0) != (b < 0)))
+        --q;
+    return q;
+}
+
+int64_t
+ceilDiv(int64_t a, int64_t b)
+{
+    return -floorDiv(-a, b);
+}
+
+int64_t
+foldConst(SymOp op, int64_t a, int64_t b)
+{
+    switch (op) {
+      case SymOp::kAdd: return a + b;
+      case SymOp::kSub: return a - b;
+      case SymOp::kMul: return a * b;
+      case SymOp::kFloorDiv: return floorDiv(a, b);
+      case SymOp::kCeilDiv: return ceilDiv(a, b);
+      case SymOp::kMod:
+        SOD2_CHECK_NE(b, 0) << "symbolic modulo by zero";
+        return a - floorDiv(a, b) * b;
+      case SymOp::kMin: return a < b ? a : b;
+      case SymOp::kMax: return a > b ? a : b;
+      default:
+        SOD2_THROW << "foldConst on non-binary op";
+    }
+}
+
+uint64_t
+hashCombine(uint64_t h, uint64_t v)
+{
+    return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+}
+
+}  // namespace
+
+const char*
+symOpName(SymOp op)
+{
+    switch (op) {
+      case SymOp::kConst: return "const";
+      case SymOp::kSym: return "sym";
+      case SymOp::kAdd: return "+";
+      case SymOp::kSub: return "-";
+      case SymOp::kMul: return "*";
+      case SymOp::kFloorDiv: return "//";
+      case SymOp::kCeilDiv: return "ceildiv";
+      case SymOp::kMod: return "%";
+      case SymOp::kMin: return "min";
+      case SymOp::kMax: return "max";
+    }
+    return "?";
+}
+
+SymExpr::SymExpr(SymOp op, int64_t value, std::string name, SymExprPtr lhs,
+                 SymExprPtr rhs)
+    : op_(op), value_(value), name_(std::move(name)), lhs_(std::move(lhs)),
+      rhs_(std::move(rhs))
+{
+    uint64_t h = static_cast<uint64_t>(op_) * 0x100000001b3ULL;
+    switch (op_) {
+      case SymOp::kConst:
+        h = hashCombine(h, static_cast<uint64_t>(value_));
+        break;
+      case SymOp::kSym:
+        h = hashCombine(h, std::hash<std::string>()(name_));
+        break;
+      default:
+        h = hashCombine(h, lhs_->hash());
+        h = hashCombine(h, rhs_->hash());
+        break;
+    }
+    hash_ = h;
+}
+
+SymExprPtr
+SymExpr::constant(int64_t value)
+{
+    return SymExprPtr(new SymExpr(SymOp::kConst, value, "", nullptr, nullptr));
+}
+
+SymExprPtr
+SymExpr::symbol(const std::string& name)
+{
+    SOD2_CHECK(!name.empty()) << "symbol name must be non-empty";
+    return SymExprPtr(new SymExpr(SymOp::kSym, 0, name, nullptr, nullptr));
+}
+
+SymExprPtr
+SymExpr::binary(SymOp op, SymExprPtr lhs, SymExprPtr rhs)
+{
+    SOD2_CHECK(lhs && rhs) << "binary operands must be non-null";
+    SOD2_CHECK(op != SymOp::kConst && op != SymOp::kSym);
+
+    // Constant folding.
+    if (lhs->isConst() && rhs->isConst())
+        return constant(foldConst(op, lhs->constValue(), rhs->constValue()));
+
+    // Canonical operand order for commutative ops: constants to the right,
+    // otherwise order by hash so equal expressions get equal trees.
+    if (isCommutative(op)) {
+        bool swap = false;
+        if (lhs->isConst() && !rhs->isConst())
+            swap = true;
+        else if (!lhs->isConst() && !rhs->isConst() &&
+                 lhs->hash() > rhs->hash())
+            swap = true;
+        if (swap)
+            std::swap(lhs, rhs);
+    }
+
+    // Identity / absorbing elements.
+    if (rhs->isConst()) {
+        int64_t c = rhs->constValue();
+        switch (op) {
+          case SymOp::kAdd:
+          case SymOp::kSub:
+            if (c == 0)
+                return lhs;
+            break;
+          case SymOp::kMul:
+            if (c == 1)
+                return lhs;
+            if (c == 0)
+                return constant(0);
+            break;
+          case SymOp::kFloorDiv:
+          case SymOp::kCeilDiv:
+            if (c == 1)
+                return lhs;
+            break;
+          case SymOp::kMod:
+            if (c == 1)
+                return constant(0);
+            break;
+          default:
+            break;
+        }
+    }
+
+    // x op x simplifications.
+    if (lhs->equals(*rhs)) {
+        switch (op) {
+          case SymOp::kMin:
+          case SymOp::kMax:
+            return lhs;
+          case SymOp::kSub:
+            return constant(0);
+          case SymOp::kFloorDiv:
+          case SymOp::kCeilDiv:
+            return constant(1);
+          case SymOp::kMod:
+            return constant(0);
+          default:
+            break;
+        }
+    }
+
+    // Re-associate constants: (x + c1) + c2 -> x + (c1+c2); same for mul.
+    if ((op == SymOp::kAdd || op == SymOp::kMul) && rhs->isConst() &&
+        lhs->op() == op && lhs->rhs() && lhs->rhs()->isConst()) {
+        int64_t folded =
+            foldConst(op, lhs->rhs()->constValue(), rhs->constValue());
+        return binary(op, lhs->lhs(), constant(folded));
+    }
+    // (x - c1) + c2 and (x + c1) - c2 -> x + (c2 - c1) / x + (c1 - c2).
+    if (op == SymOp::kAdd && rhs->isConst() && lhs->op() == SymOp::kSub &&
+        lhs->rhs() && lhs->rhs()->isConst()) {
+        return binary(SymOp::kAdd, lhs->lhs(),
+                      constant(rhs->constValue() - lhs->rhs()->constValue()));
+    }
+    if (op == SymOp::kSub && rhs->isConst() && lhs->op() == SymOp::kAdd &&
+        lhs->rhs() && lhs->rhs()->isConst()) {
+        return binary(SymOp::kAdd, lhs->lhs(),
+                      constant(lhs->rhs()->constValue() - rhs->constValue()));
+    }
+
+    return SymExprPtr(new SymExpr(op, 0, "", std::move(lhs), std::move(rhs)));
+}
+
+int64_t
+SymExpr::constValue() const
+{
+    SOD2_CHECK(isConst()) << "constValue on non-constant " << toString();
+    return value_;
+}
+
+const std::string&
+SymExpr::symbolName() const
+{
+    SOD2_CHECK(isSymbol()) << "symbolName on non-symbol " << toString();
+    return name_;
+}
+
+bool
+SymExpr::equals(const SymExpr& other) const
+{
+    if (this == &other)
+        return true;
+    if (op_ != other.op_ || hash_ != other.hash_)
+        return false;
+    switch (op_) {
+      case SymOp::kConst:
+        return value_ == other.value_;
+      case SymOp::kSym:
+        return name_ == other.name_;
+      default:
+        return lhs_->equals(*other.lhs_) && rhs_->equals(*other.rhs_);
+    }
+}
+
+std::optional<int64_t>
+SymExpr::evaluate(const std::map<std::string, int64_t>& bindings) const
+{
+    switch (op_) {
+      case SymOp::kConst:
+        return value_;
+      case SymOp::kSym: {
+        auto it = bindings.find(name_);
+        if (it == bindings.end())
+            return std::nullopt;
+        return it->second;
+      }
+      default: {
+        auto l = lhs_->evaluate(bindings);
+        auto r = rhs_->evaluate(bindings);
+        if (!l || !r)
+            return std::nullopt;
+        return foldConst(op_, *l, *r);
+      }
+    }
+}
+
+void
+SymExpr::collectSymbols(std::vector<std::string>* out) const
+{
+    switch (op_) {
+      case SymOp::kConst:
+        return;
+      case SymOp::kSym: {
+        for (const auto& s : *out)
+            if (s == name_)
+                return;
+        out->push_back(name_);
+        return;
+      }
+      default:
+        lhs_->collectSymbols(out);
+        rhs_->collectSymbols(out);
+    }
+}
+
+std::string
+SymExpr::toString() const
+{
+    switch (op_) {
+      case SymOp::kConst:
+        return std::to_string(value_);
+      case SymOp::kSym:
+        return name_;
+      case SymOp::kMin:
+      case SymOp::kMax:
+      case SymOp::kCeilDiv:
+        return std::string(symOpName(op_)) + "(" + lhs_->toString() + ", " +
+               rhs_->toString() + ")";
+      default:
+        return "(" + lhs_->toString() + " " + symOpName(op_) + " " +
+               rhs_->toString() + ")";
+    }
+}
+
+bool
+symEqual(const SymExprPtr& a, const SymExprPtr& b)
+{
+    if (!a || !b)
+        return !a && !b;
+    return a->equals(*b);
+}
+
+SymExprPtr
+operator+(const SymExprPtr& a, const SymExprPtr& b)
+{
+    return SymExpr::binary(SymOp::kAdd, a, b);
+}
+
+SymExprPtr
+operator-(const SymExprPtr& a, const SymExprPtr& b)
+{
+    return SymExpr::binary(SymOp::kSub, a, b);
+}
+
+SymExprPtr
+operator*(const SymExprPtr& a, const SymExprPtr& b)
+{
+    return SymExpr::binary(SymOp::kMul, a, b);
+}
+
+SymExprPtr
+symFloorDiv(const SymExprPtr& a, const SymExprPtr& b)
+{
+    return SymExpr::binary(SymOp::kFloorDiv, a, b);
+}
+
+SymExprPtr
+symCeilDiv(const SymExprPtr& a, const SymExprPtr& b)
+{
+    return SymExpr::binary(SymOp::kCeilDiv, a, b);
+}
+
+SymExprPtr
+symMod(const SymExprPtr& a, const SymExprPtr& b)
+{
+    return SymExpr::binary(SymOp::kMod, a, b);
+}
+
+SymExprPtr
+symMin(const SymExprPtr& a, const SymExprPtr& b)
+{
+    return SymExpr::binary(SymOp::kMin, a, b);
+}
+
+SymExprPtr
+symMax(const SymExprPtr& a, const SymExprPtr& b)
+{
+    return SymExpr::binary(SymOp::kMax, a, b);
+}
+
+}  // namespace sod2

@@ -1,0 +1,124 @@
+#ifndef SOD2_SYMBOLIC_EXPR_H_
+#define SOD2_SYMBOLIC_EXPR_H_
+
+/**
+ * @file
+ * Symbolic integer expressions over tensor dimensions.
+ *
+ * RDP (paper §4.1) propagates three kinds of constants: known constants,
+ * symbolic constants (e.g. the unknown sequence length "s"), and
+ * op-inferred constants (expressions over the other two, e.g. "2*s+1").
+ * SymExpr uniformly represents all three: a known constant is a kConst
+ * node, a symbolic constant a kSym node, and op-inferred constants are
+ * interior nodes. Construction applies light canonicalization (constant
+ * folding, identity elimination, commutative-operand ordering, constant
+ * re-association) so that structural equality is a usable proxy for
+ * semantic equality — that equality test is what enables the RDP fuser
+ * to prove "these two tensors have the same (unknown) extent".
+ */
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sod2 {
+
+class SymExpr;
+/** Expressions are immutable and shared; all APIs traffic in this alias. */
+using SymExprPtr = std::shared_ptr<const SymExpr>;
+
+/** Node kinds of a symbolic integer expression tree. */
+enum class SymOp {
+    kConst,     ///< integer literal
+    kSym,       ///< named symbolic constant
+    kAdd,
+    kSub,
+    kMul,
+    kFloorDiv,  ///< floor division (C-style for non-negative operands)
+    kCeilDiv,
+    kMod,
+    kMin,
+    kMax,
+};
+
+/** Returns a printable spelling ("+", "min", ...) for @p op. */
+const char* symOpName(SymOp op);
+
+/**
+ * Immutable symbolic integer expression.
+ *
+ * Use the static factories (constant / symbol / binary) or the free
+ * operator overloads; both run the canonicalizing simplifier.
+ */
+class SymExpr : public std::enable_shared_from_this<SymExpr>
+{
+  public:
+    /** Literal integer. */
+    static SymExprPtr constant(int64_t value);
+    /** Named symbolic constant; equal names denote the same unknown. */
+    static SymExprPtr symbol(const std::string& name);
+    /** Canonicalized binary node over @p lhs and @p rhs. */
+    static SymExprPtr binary(SymOp op, SymExprPtr lhs, SymExprPtr rhs);
+
+    SymOp op() const { return op_; }
+    bool isConst() const { return op_ == SymOp::kConst; }
+    bool isSymbol() const { return op_ == SymOp::kSym; }
+
+    /** Literal value; requires isConst(). */
+    int64_t constValue() const;
+    /** Symbol name; requires isSymbol(). */
+    const std::string& symbolName() const;
+
+    const SymExprPtr& lhs() const { return lhs_; }
+    const SymExprPtr& rhs() const { return rhs_; }
+
+    /** Content hash, computed once at construction. */
+    uint64_t hash() const { return hash_; }
+
+    /** Structural equality (valid semantic equality after canonicalization
+     *  for the expression forms RDP produces). */
+    bool equals(const SymExpr& other) const;
+
+    /**
+     * Evaluates the expression under @p bindings (symbol name -> value).
+     * @return std::nullopt when some symbol is unbound.
+     */
+    std::optional<int64_t>
+    evaluate(const std::map<std::string, int64_t>& bindings) const;
+
+    /** Collects the distinct symbol names referenced by this expression. */
+    void collectSymbols(std::vector<std::string>* out) const;
+
+    /** Human-readable rendering, e.g. "(2 * s) + 1". */
+    std::string toString() const;
+
+  private:
+    SymExpr(SymOp op, int64_t value, std::string name, SymExprPtr lhs,
+            SymExprPtr rhs);
+
+    SymOp op_;
+    int64_t value_ = 0;       // kConst payload
+    std::string name_;        // kSym payload
+    SymExprPtr lhs_, rhs_;    // interior payload
+    uint64_t hash_ = 0;
+};
+
+/** True when both are null or both non-null and structurally equal. */
+bool symEqual(const SymExprPtr& a, const SymExprPtr& b);
+
+// Arithmetic sugar; all canonicalize via SymExpr::binary.
+SymExprPtr operator+(const SymExprPtr& a, const SymExprPtr& b);
+SymExprPtr operator-(const SymExprPtr& a, const SymExprPtr& b);
+SymExprPtr operator*(const SymExprPtr& a, const SymExprPtr& b);
+SymExprPtr symFloorDiv(const SymExprPtr& a, const SymExprPtr& b);
+SymExprPtr symCeilDiv(const SymExprPtr& a, const SymExprPtr& b);
+SymExprPtr symMod(const SymExprPtr& a, const SymExprPtr& b);
+SymExprPtr symMin(const SymExprPtr& a, const SymExprPtr& b);
+SymExprPtr symMax(const SymExprPtr& a, const SymExprPtr& b);
+
+}  // namespace sod2
+
+#endif  // SOD2_SYMBOLIC_EXPR_H_

@@ -1,0 +1,318 @@
+#include "symbolic/shape_info.h"
+
+#include "support/logging.h"
+#include "support/string_util.h"
+
+namespace sod2 {
+
+ShapeInfo
+ShapeInfo::ranked(std::vector<DimValue> dims)
+{
+    ShapeInfo s;
+    s.kind_ = Kind::kRanked;
+    s.dims_ = std::move(dims);
+    return s;
+}
+
+ShapeInfo
+ShapeInfo::fromConcrete(const std::vector<int64_t>& dims)
+{
+    std::vector<DimValue> d;
+    d.reserve(dims.size());
+    for (int64_t x : dims)
+        d.push_back(DimValue::known(x));
+    return ranked(std::move(d));
+}
+
+int
+ShapeInfo::rank() const
+{
+    SOD2_CHECK(isRanked()) << "rank() on " << toString();
+    return static_cast<int>(dims_.size());
+}
+
+const std::vector<DimValue>&
+ShapeInfo::dims() const
+{
+    SOD2_CHECK(isRanked()) << "dims() on " << toString();
+    return dims_;
+}
+
+const DimValue&
+ShapeInfo::dim(int i) const
+{
+    SOD2_CHECK(isRanked());
+    SOD2_CHECK_GE(i, 0);
+    SOD2_CHECK_LT(i, static_cast<int>(dims_.size()));
+    return dims_[i];
+}
+
+bool
+ShapeInfo::isFullyStatic() const
+{
+    if (!isRanked())
+        return false;
+    for (const auto& d : dims_)
+        if (!d.isKnownConst())
+            return false;
+    return true;
+}
+
+bool
+ShapeInfo::hasAllExprs() const
+{
+    if (!isRanked())
+        return false;
+    for (const auto& d : dims_)
+        if (!d.hasExpr())
+            return false;
+    return true;
+}
+
+bool
+ShapeInfo::hasNac() const
+{
+    if (isNac())
+        return true;
+    if (!isRanked())
+        return false;
+    for (const auto& d : dims_)
+        if (d.isNac())
+            return true;
+    return false;
+}
+
+SymExprPtr
+ShapeInfo::numElementsExpr() const
+{
+    if (!hasAllExprs())
+        return nullptr;
+    SymExprPtr total = SymExpr::constant(1);
+    for (const auto& d : dims_)
+        total = total * d.expr();
+    return total;
+}
+
+std::optional<std::vector<int64_t>>
+ShapeInfo::evaluate(const std::map<std::string, int64_t>& bindings) const
+{
+    if (!isRanked())
+        return std::nullopt;
+    std::vector<int64_t> out;
+    out.reserve(dims_.size());
+    for (const auto& d : dims_) {
+        auto v = d.evaluate(bindings);
+        if (!v)
+            return std::nullopt;
+        out.push_back(*v);
+    }
+    return out;
+}
+
+std::vector<int64_t>
+ShapeInfo::staticDims() const
+{
+    SOD2_CHECK(isFullyStatic()) << "staticDims on " << toString();
+    std::vector<int64_t> out;
+    out.reserve(dims_.size());
+    for (const auto& d : dims_)
+        out.push_back(d.knownValue());
+    return out;
+}
+
+ShapeInfo
+ShapeInfo::meet(const ShapeInfo& other) const
+{
+    if (isUndef())
+        return other;
+    if (other.isUndef())
+        return *this;
+    if (isNac() || other.isNac())
+        return nac();
+    if (dims_.size() != other.dims_.size())
+        return nac();
+    std::vector<DimValue> merged;
+    merged.reserve(dims_.size());
+    for (size_t i = 0; i < dims_.size(); ++i)
+        merged.push_back(dims_[i].meet(other.dims_[i]));
+    return ranked(std::move(merged));
+}
+
+bool
+ShapeInfo::refineWith(const ShapeInfo& incoming)
+{
+    ShapeInfo next = meet(incoming);
+    if (equals(next))
+        return false;
+    *this = next;
+    return true;
+}
+
+bool
+ShapeInfo::equals(const ShapeInfo& other) const
+{
+    if (kind_ != other.kind_)
+        return false;
+    if (kind_ != Kind::kRanked)
+        return true;
+    if (dims_.size() != other.dims_.size())
+        return false;
+    for (size_t i = 0; i < dims_.size(); ++i)
+        if (!dims_[i].equals(other.dims_[i]))
+            return false;
+    return true;
+}
+
+std::string
+ShapeInfo::toString() const
+{
+    switch (kind_) {
+      case Kind::kUndef:
+        return "undef";
+      case Kind::kNac:
+        return "nac";
+      case Kind::kRanked: {
+        std::vector<std::string> parts;
+        parts.reserve(dims_.size());
+        for (const auto& d : dims_)
+            parts.push_back(d.toString());
+        return bracketed(parts);
+      }
+    }
+    return "?";
+}
+
+ValueInfo
+ValueInfo::elems(std::vector<DimValue> e)
+{
+    ValueInfo v;
+    v.kind_ = Kind::kElems;
+    v.elems_ = std::move(e);
+    return v;
+}
+
+ValueInfo
+ValueInfo::fromConcrete(const std::vector<int64_t>& e)
+{
+    std::vector<DimValue> cells;
+    cells.reserve(e.size());
+    for (int64_t x : e)
+        cells.push_back(DimValue::known(x));
+    return elems(std::move(cells));
+}
+
+const std::vector<DimValue>&
+ValueInfo::elements() const
+{
+    SOD2_CHECK(hasElems()) << "elements() on " << toString();
+    return elems_;
+}
+
+int64_t
+ValueInfo::numElements() const
+{
+    SOD2_CHECK(hasElems());
+    return static_cast<int64_t>(elems_.size());
+}
+
+bool
+ValueInfo::isFullyStatic() const
+{
+    if (!hasElems())
+        return false;
+    for (const auto& e : elems_)
+        if (!e.isKnownConst())
+            return false;
+    return true;
+}
+
+std::vector<int64_t>
+ValueInfo::staticElements() const
+{
+    SOD2_CHECK(isFullyStatic()) << "staticElements on " << toString();
+    std::vector<int64_t> out;
+    out.reserve(elems_.size());
+    for (const auto& e : elems_)
+        out.push_back(e.knownValue());
+    return out;
+}
+
+std::optional<std::vector<int64_t>>
+ValueInfo::evaluate(const std::map<std::string, int64_t>& bindings) const
+{
+    if (!hasElems())
+        return std::nullopt;
+    std::vector<int64_t> out;
+    out.reserve(elems_.size());
+    for (const auto& e : elems_) {
+        auto v = e.evaluate(bindings);
+        if (!v)
+            return std::nullopt;
+        out.push_back(*v);
+    }
+    return out;
+}
+
+ValueInfo
+ValueInfo::meet(const ValueInfo& other) const
+{
+    if (isUndef())
+        return other;
+    if (other.isUndef())
+        return *this;
+    if (isUnknown() || other.isUnknown())
+        return unknown();
+    if (elems_.size() != other.elems_.size())
+        return unknown();
+    std::vector<DimValue> merged;
+    merged.reserve(elems_.size());
+    for (size_t i = 0; i < elems_.size(); ++i)
+        merged.push_back(elems_[i].meet(other.elems_[i]));
+    return elems(std::move(merged));
+}
+
+bool
+ValueInfo::refineWith(const ValueInfo& incoming)
+{
+    ValueInfo next = meet(incoming);
+    if (equals(next))
+        return false;
+    *this = next;
+    return true;
+}
+
+bool
+ValueInfo::equals(const ValueInfo& other) const
+{
+    if (kind_ != other.kind_)
+        return false;
+    if (kind_ != Kind::kElems)
+        return true;
+    if (elems_.size() != other.elems_.size())
+        return false;
+    for (size_t i = 0; i < elems_.size(); ++i)
+        if (!elems_[i].equals(other.elems_[i]))
+            return false;
+    return true;
+}
+
+std::string
+ValueInfo::toString() const
+{
+    switch (kind_) {
+      case Kind::kUndef:
+        return "undef";
+      case Kind::kUnknown:
+        return "unknown";
+      case Kind::kElems: {
+        std::vector<std::string> parts;
+        parts.reserve(elems_.size());
+        for (const auto& e : elems_)
+            parts.push_back(e.toString());
+        return "{" + join(parts, ", ") + "}";
+      }
+    }
+    return "?";
+}
+
+}  // namespace sod2

@@ -1,0 +1,140 @@
+#ifndef SOD2_SYMBOLIC_SHAPE_INFO_H_
+#define SOD2_SYMBOLIC_SHAPE_INFO_H_
+
+/**
+ * @file
+ * Abstract shapes and abstract (small integer) values for RDP.
+ *
+ * ShapeInfo abstracts a tensor's rank and per-dimension extents; it is
+ * the "S-map" of the paper's analysis. ValueInfo abstracts the *contents*
+ * of small integer tensors (outputs of Shape, axes arguments, Range
+ * bounds, ...); it is the "V-map". Both form product lattices of
+ * DimValue cells plus explicit top (undef: nothing known, not even the
+ * rank) and bottom (nac) elements.
+ */
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "symbolic/dim_value.h"
+
+namespace sod2 {
+
+/** Abstract tensor shape: undef | (known rank, per-dim DimValue) | nac. */
+class ShapeInfo
+{
+  public:
+    ShapeInfo() = default;
+
+    static ShapeInfo undef() { return ShapeInfo(); }
+    static ShapeInfo
+    nac()
+    {
+        ShapeInfo s;
+        s.kind_ = Kind::kNac;
+        return s;
+    }
+    /** Shape with known rank; dims may individually be undef/expr/nac. */
+    static ShapeInfo ranked(std::vector<DimValue> dims);
+    /** Fully known constant shape. */
+    static ShapeInfo fromConcrete(const std::vector<int64_t>& dims);
+
+    bool isUndef() const { return kind_ == Kind::kUndef; }
+    bool isNac() const { return kind_ == Kind::kNac; }
+    bool isRanked() const { return kind_ == Kind::kRanked; }
+
+    /** Number of dimensions; requires isRanked(). */
+    int rank() const;
+    const std::vector<DimValue>& dims() const;
+    const DimValue& dim(int i) const;
+
+    /** True when every dim is a known literal constant. */
+    bool isFullyStatic() const;
+    /** True when every dim has an expression (known or symbolic). */
+    bool hasAllExprs() const;
+    /** True when some dim is nac. */
+    bool hasNac() const;
+
+    /** Product of all dims as a symbolic expression; null unless
+     *  hasAllExprs(). Rank-0 yields the constant 1. */
+    SymExprPtr numElementsExpr() const;
+
+    /** Concrete dims under @p bindings; nullopt if any dim unresolved. */
+    std::optional<std::vector<int64_t>>
+    evaluate(const std::map<std::string, int64_t>& bindings) const;
+
+    /** Concrete dims; requires isFullyStatic(). */
+    std::vector<int64_t> staticDims() const;
+
+    /** Lattice meet (used at control-flow merges). Rank mismatch -> nac. */
+    ShapeInfo meet(const ShapeInfo& other) const;
+
+    /** Destructive meet with change reporting (the RDP update primitive). */
+    bool refineWith(const ShapeInfo& incoming);
+
+    bool equals(const ShapeInfo& other) const;
+
+    std::string toString() const;
+
+  private:
+    enum class Kind { kUndef, kRanked, kNac };
+
+    Kind kind_ = Kind::kUndef;
+    std::vector<DimValue> dims_;
+};
+
+/** Abstract contents of a small integer tensor: undef | elems | unknown. */
+class ValueInfo
+{
+  public:
+    ValueInfo() = default;
+
+    static ValueInfo undef() { return ValueInfo(); }
+    /** Bottom: the value is not statically tracked. */
+    static ValueInfo
+    unknown()
+    {
+        ValueInfo v;
+        v.kind_ = Kind::kUnknown;
+        return v;
+    }
+    /** Element-wise abstract contents (flattened, row-major). */
+    static ValueInfo elems(std::vector<DimValue> e);
+    /** Concrete integer contents. */
+    static ValueInfo fromConcrete(const std::vector<int64_t>& e);
+
+    bool isUndef() const { return kind_ == Kind::kUndef; }
+    bool isUnknown() const { return kind_ == Kind::kUnknown; }
+    bool hasElems() const { return kind_ == Kind::kElems; }
+
+    const std::vector<DimValue>& elements() const;
+    int64_t numElements() const;
+
+    /** True when every element is a known literal constant. */
+    bool isFullyStatic() const;
+    /** Concrete contents; requires isFullyStatic(). */
+    std::vector<int64_t> staticElements() const;
+
+    /** Concrete contents under @p bindings; nullopt if unresolved. */
+    std::optional<std::vector<int64_t>>
+    evaluate(const std::map<std::string, int64_t>& bindings) const;
+
+    ValueInfo meet(const ValueInfo& other) const;
+    bool refineWith(const ValueInfo& incoming);
+    bool equals(const ValueInfo& other) const;
+
+    std::string toString() const;
+
+  private:
+    enum class Kind { kUndef, kElems, kUnknown };
+
+    Kind kind_ = Kind::kUndef;
+    std::vector<DimValue> elems_;
+};
+
+}  // namespace sod2
+
+#endif  // SOD2_SYMBOLIC_SHAPE_INFO_H_

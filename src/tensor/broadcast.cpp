@@ -1,0 +1,85 @@
+#include "tensor/broadcast.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace sod2 {
+
+Shape
+broadcastShapes(const Shape& a, const Shape& b)
+{
+    int rank = std::max(a.rank(), b.rank());
+    std::vector<int64_t> out(rank);
+    for (int i = 0; i < rank; ++i) {
+        int ia = a.rank() - rank + i;
+        int ib = b.rank() - rank + i;
+        int64_t da = ia >= 0 ? a.dim(ia) : 1;
+        int64_t db = ib >= 0 ? b.dim(ib) : 1;
+        if (da == db) {
+            out[i] = da;
+        } else if (da == 1) {
+            out[i] = db;
+        } else if (db == 1) {
+            out[i] = da;
+        } else {
+            SOD2_THROW << "shapes not broadcastable: " << a.toString()
+                       << " vs " << b.toString();
+        }
+    }
+    return Shape(std::move(out));
+}
+
+Shape
+broadcastShapes(const std::vector<Shape>& shapes)
+{
+    SOD2_CHECK(!shapes.empty());
+    Shape out = shapes[0];
+    for (size_t i = 1; i < shapes.size(); ++i)
+        out = broadcastShapes(out, shapes[i]);
+    return out;
+}
+
+bool
+broadcastableTo(const Shape& from, const Shape& to)
+{
+    if (from.rank() > to.rank())
+        return false;
+    for (int i = 0; i < from.rank(); ++i) {
+        int64_t df = from.dim(from.rank() - 1 - i);
+        int64_t dt = to.dim(to.rank() - 1 - i);
+        if (df != dt && df != 1)
+            return false;
+    }
+    return true;
+}
+
+std::vector<int64_t>
+broadcastStrides(const Shape& from, const Shape& to)
+{
+    SOD2_CHECK(broadcastableTo(from, to))
+        << from.toString() << " -> " << to.toString();
+    std::vector<int64_t> from_strides = from.strides();
+    std::vector<int64_t> out(to.rank(), 0);
+    for (int i = 0; i < from.rank(); ++i) {
+        int ti = to.rank() - from.rank() + i;
+        out[ti] = from.dim(i) == 1 ? 0 : from_strides[i];
+    }
+    return out;
+}
+
+int64_t
+broadcastIndex(int64_t flat, const std::vector<int64_t>& to_strides,
+               const std::vector<int64_t>& from_strides)
+{
+    int64_t idx = 0;
+    for (size_t d = 0; d < to_strides.size(); ++d) {
+        int64_t coord = to_strides[d] > 0 ? flat / to_strides[d] : 0;
+        if (to_strides[d] > 0)
+            flat %= to_strides[d];
+        idx += coord * from_strides[d];
+    }
+    return idx;
+}
+
+}  // namespace sod2

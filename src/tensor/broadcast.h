@@ -1,0 +1,49 @@
+#ifndef SOD2_TENSOR_BROADCAST_H_
+#define SOD2_TENSOR_BROADCAST_H_
+
+/**
+ * @file
+ * NumPy/ONNX multidirectional broadcasting.
+ *
+ * Broadcasting is central to the paper's fusion discussion (Figure 4):
+ * whether an elementwise op can be fused hinges on proving which operand
+ * dims are 1 versus equal. These helpers implement the concrete-shape
+ * side; the symbolic side lives in the ops transfer functions.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/shape.h"
+
+namespace sod2 {
+
+/**
+ * Result shape of broadcasting @p a with @p b.
+ * Throws sod2::Error when the shapes are incompatible.
+ */
+Shape broadcastShapes(const Shape& a, const Shape& b);
+
+/** Broadcast of an arbitrary list of shapes (associative fold). */
+Shape broadcastShapes(const std::vector<Shape>& shapes);
+
+/** True when @p from can be broadcast to exactly @p to. */
+bool broadcastableTo(const Shape& from, const Shape& to);
+
+/**
+ * Strides (in elements) to iterate @p from as if it had shape @p to:
+ * broadcast dimensions get stride 0. Requires broadcastableTo(from, to).
+ */
+std::vector<int64_t> broadcastStrides(const Shape& from, const Shape& to);
+
+/**
+ * Maps flat row-major index @p flat in @p to onto the flat index in a
+ * tensor of shape @p from (with @p strides from broadcastStrides).
+ * @param to_strides row-major strides of @p to
+ */
+int64_t broadcastIndex(int64_t flat, const std::vector<int64_t>& to_strides,
+                       const std::vector<int64_t>& from_strides);
+
+}  // namespace sod2
+
+#endif  // SOD2_TENSOR_BROADCAST_H_

@@ -1,0 +1,60 @@
+#ifndef SOD2_TENSOR_DTYPE_H_
+#define SOD2_TENSOR_DTYPE_H_
+
+/**
+ * @file
+ * Element types supported by the tensor substrate.
+ *
+ * The evaluation platform in the paper runs fp32 on CPU and fp16 on
+ * GPU; our simulated GPU profile models fp16 in the cost model only, so
+ * storage types are fp32/int64/int32/bool.
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sod2 {
+
+enum class DType : uint8_t {
+    kFloat32 = 0,
+    kInt64 = 1,
+    kInt32 = 2,
+    kBool = 3,
+};
+
+/** Size in bytes of one element of @p t. */
+constexpr size_t
+dtypeSize(DType t)
+{
+    switch (t) {
+      case DType::kFloat32: return 4;
+      case DType::kInt64: return 8;
+      case DType::kInt32: return 4;
+      case DType::kBool: return 1;
+    }
+    return 0;
+}
+
+/** Printable name, e.g. "f32". */
+constexpr const char*
+dtypeName(DType t)
+{
+    switch (t) {
+      case DType::kFloat32: return "f32";
+      case DType::kInt64: return "i64";
+      case DType::kInt32: return "i32";
+      case DType::kBool: return "bool";
+    }
+    return "?";
+}
+
+/** Maps a C++ type to its DType tag at compile time. */
+template <typename T> struct DTypeOf;
+template <> struct DTypeOf<float> { static constexpr DType value = DType::kFloat32; };
+template <> struct DTypeOf<int64_t> { static constexpr DType value = DType::kInt64; };
+template <> struct DTypeOf<int32_t> { static constexpr DType value = DType::kInt32; };
+template <> struct DTypeOf<bool> { static constexpr DType value = DType::kBool; };
+
+}  // namespace sod2
+
+#endif  // SOD2_TENSOR_DTYPE_H_

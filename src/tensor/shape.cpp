@@ -1,0 +1,57 @@
+#include "tensor/shape.h"
+
+#include "support/logging.h"
+#include "support/string_util.h"
+
+namespace sod2 {
+
+int64_t
+Shape::dim(int i) const
+{
+    SOD2_CHECK_GE(i, 0);
+    SOD2_CHECK_LT(i, rank());
+    return dims_[i];
+}
+
+int64_t
+Shape::dimAt(int axis) const
+{
+    return dims_[normalizeAxis(axis, rank())];
+}
+
+int64_t
+Shape::numElements() const
+{
+    int64_t n = 1;
+    for (int64_t d : dims_)
+        n *= d;
+    return n;
+}
+
+std::vector<int64_t>
+Shape::strides() const
+{
+    std::vector<int64_t> s(dims_.size(), 1);
+    for (int i = static_cast<int>(dims_.size()) - 2; i >= 0; --i)
+        s[i] = s[i + 1] * dims_[i + 1];
+    return s;
+}
+
+std::string
+Shape::toString() const
+{
+    return bracketed(dims_);
+}
+
+int
+normalizeAxis(int axis, int rank)
+{
+    int a = axis;
+    if (a < 0)
+        a += rank;
+    SOD2_CHECK(a >= 0 && a < rank)
+        << "axis " << axis << " out of range for rank " << rank;
+    return a;
+}
+
+}  // namespace sod2

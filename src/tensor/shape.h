@@ -1,0 +1,52 @@
+#ifndef SOD2_TENSOR_SHAPE_H_
+#define SOD2_TENSOR_SHAPE_H_
+
+/**
+ * @file
+ * Concrete (fully known) tensor shape. Symbolic shapes live in
+ * symbolic/shape_info.h; this type is what kernels and the runtime see
+ * once all symbols are bound.
+ */
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace sod2 {
+
+/** Row-major concrete shape; rank 0 denotes a scalar. */
+class Shape
+{
+  public:
+    Shape() = default;
+    Shape(std::initializer_list<int64_t> dims) : dims_(dims) {}
+    explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {}
+
+    int rank() const { return static_cast<int>(dims_.size()); }
+    const std::vector<int64_t>& dims() const { return dims_; }
+    int64_t dim(int i) const;
+    /** Like dim() but accepts negative (from-the-end) axes. */
+    int64_t dimAt(int axis) const;
+
+    /** Total element count (1 for scalars). */
+    int64_t numElements() const;
+
+    /** Row-major strides in *elements* (not bytes). */
+    std::vector<int64_t> strides() const;
+
+    bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+    bool operator!=(const Shape& other) const { return !(*this == other); }
+
+    std::string toString() const;
+
+  private:
+    std::vector<int64_t> dims_;
+};
+
+/** Canonicalizes @p axis into [0, rank); accepts negatives per ONNX. */
+int normalizeAxis(int axis, int rank);
+
+}  // namespace sod2
+
+#endif  // SOD2_TENSOR_SHAPE_H_

@@ -1,0 +1,137 @@
+#ifndef SOD2_TENSOR_TENSOR_H_
+#define SOD2_TENSOR_TENSOR_H_
+
+/**
+ * @file
+ * Reference-counted dense tensor.
+ *
+ * A Tensor is a (dtype, shape, buffer) triple. Buffers are either owned
+ * (heap allocation tracked for the memory-accounting benchmarks) or
+ * borrowed views into a runtime arena — the latter is how the SoD2
+ * executor materializes intermediates inside its planned linear memory
+ * space without copies.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "support/rng.h"
+#include "tensor/dtype.h"
+#include "tensor/shape.h"
+
+namespace sod2 {
+
+/**
+ * Process-wide allocation accounting for owned tensor buffers.
+ * Baseline engines that malloc per-tensor (TVM-Nimble style) report
+ * their footprint through these counters.
+ */
+class TensorAllocStats
+{
+  public:
+    static TensorAllocStats& instance();
+
+    void recordAlloc(size_t bytes);
+    void recordFree(size_t bytes);
+    void reset();
+
+    /** Bytes currently allocated in owned tensor buffers. */
+    size_t liveBytes() const { return live_; }
+    /** High-water mark since the last reset(). */
+    size_t peakBytes() const { return peak_; }
+    /** Number of allocations since the last reset(). */
+    size_t allocCount() const { return allocs_; }
+
+  private:
+    size_t live_ = 0;
+    size_t peak_ = 0;
+    size_t allocs_ = 0;
+};
+
+/** Dense row-major tensor; cheap to copy (shares the buffer). */
+class Tensor
+{
+  public:
+    /** Null tensor (no buffer); isValid() is false. */
+    Tensor() = default;
+
+    /** Allocates an uninitialized owned buffer. */
+    Tensor(DType dtype, Shape shape);
+
+    /** Wraps external memory (e.g. an arena slot); does not own it. */
+    static Tensor view(DType dtype, Shape shape, void* data);
+
+    /** Wraps external memory while keeping @p owner alive — used by
+     *  pooling allocators whose deleters recycle the block. */
+    static Tensor adopt(DType dtype, Shape shape, void* data,
+                        std::shared_ptr<uint8_t[]> owner);
+
+    /** Allocated + zero-filled. */
+    static Tensor zeros(DType dtype, const Shape& shape);
+    /** Allocated + constant-filled (value cast per dtype). */
+    static Tensor full(DType dtype, const Shape& shape, double value);
+    /** f32 tensor filled from Rng, uniform in [lo, hi). */
+    static Tensor randomUniform(const Shape& shape, Rng& rng,
+                                float lo = -1.0f, float hi = 1.0f);
+    /** 1-D int64 tensor from @p values. */
+    static Tensor fromInt64(const std::vector<int64_t>& values);
+    /** Scalar (rank-0) int64 tensor. */
+    static Tensor scalarInt64(int64_t value);
+    /** Scalar (rank-0) f32 tensor. */
+    static Tensor scalarFloat(float value);
+
+    bool isValid() const { return data_ != nullptr; }
+    DType dtype() const { return dtype_; }
+    const Shape& shape() const { return shape_; }
+    int64_t numElements() const { return shape_.numElements(); }
+    size_t byteSize() const
+    {
+        return static_cast<size_t>(numElements()) * dtypeSize(dtype_);
+    }
+
+    /** Typed element pointer; checks T against dtype(). */
+    template <typename T>
+    T*
+    data()
+    {
+        checkType(DTypeOf<T>::value);
+        return reinterpret_cast<T*>(data_);
+    }
+
+    template <typename T>
+    const T*
+    data() const
+    {
+        checkType(DTypeOf<T>::value);
+        return reinterpret_cast<const T*>(data_);
+    }
+
+    void* raw() { return data_; }
+    const void* raw() const { return data_; }
+
+    /** Deep copy into a freshly owned buffer. */
+    Tensor clone() const;
+
+    /** Same buffer reinterpreted with @p shape (element counts must match). */
+    Tensor reshaped(Shape shape) const;
+
+    /** Reads integral contents as int64 (int64/int32/bool dtypes). */
+    std::vector<int64_t> toInt64Vector() const;
+
+    /** Max |a-b| comparison for float tensors of identical shape. */
+    static bool allClose(const Tensor& a, const Tensor& b,
+                         float atol = 1e-4f, float rtol = 1e-4f);
+
+  private:
+    void checkType(DType expected) const;
+
+    DType dtype_ = DType::kFloat32;
+    Shape shape_;
+    uint8_t* data_ = nullptr;
+    std::shared_ptr<uint8_t[]> owner_;  // null for borrowed views
+};
+
+}  // namespace sod2
+
+#endif  // SOD2_TENSOR_TENSOR_H_

@@ -1,0 +1,201 @@
+/** Tests for the baseline engines' *strategies*: MNN's re-init cache,
+ *  TFLite's conservative plan and budgeted rematerialization, TVM-N's
+ *  dynamic allocation accounting, and ORT's pooling arena. */
+
+#include <gtest/gtest.h>
+
+#include "baselines/mnn_like.h"
+#include "baselines/ort_like.h"
+#include "baselines/tflite_like.h"
+#include "baselines/tvm_nimble_like.h"
+#include "graph/builder.h"
+#include "runtime/interpreter.h"
+#include "support/logging.h"
+
+namespace sod2 {
+namespace {
+
+/** Small dynamic conv model shared by the baseline tests. */
+struct Fixture
+{
+    Graph graph;
+    BaselineOptions opts;
+
+    Fixture()
+    {
+        GraphBuilder b(&graph);
+        Rng rng(61);
+        ValueId x = b.input("x");
+        ValueId w = b.weight("w", {4, 3, 3, 3}, rng);
+        ValueId c = b.relu(b.conv2d(x, w, -1, 2, 1));
+        ValueId g = b.globalAvgPool(c);
+        b.output(b.reshape(g, {1, 4}));
+
+        opts.rdp.inputShapes["x"] = ShapeInfo::ranked(
+            {DimValue::known(1), DimValue::known(3), DimValue::symbol("h"),
+             DimValue::symbol("w")});
+        opts.maxInputShapes["x"] = Shape({1, 3, 64, 64});
+    }
+
+    Tensor
+    input(int64_t side)
+    {
+        Rng rng(side);
+        return Tensor::randomUniform(Shape({1, 3, side, side}), rng);
+    }
+};
+
+TEST(MnnLike, ReinitializesOncePerSignature)
+{
+    Fixture f;
+    MnnLikeEngine engine(&f.graph, f.opts);
+    engine.setTuningEnabled(false);
+
+    RunStats s;
+    engine.run({f.input(16)}, &s);
+    EXPECT_EQ(engine.reinitCount(), 1);
+    EXPECT_GE(s.phaseSeconds.at("SL"), 0.0);
+
+    engine.run({f.input(16)}, &s);  // cached signature
+    EXPECT_EQ(engine.reinitCount(), 1);
+    EXPECT_EQ(s.phaseSeconds.at("SL"), 0.0);
+
+    engine.run({f.input(32)}, &s);  // new signature
+    EXPECT_EQ(engine.reinitCount(), 2);
+}
+
+TEST(MnnLike, MatchesReferenceOutput)
+{
+    Fixture f;
+    MnnLikeEngine engine(&f.graph, f.opts);
+    engine.setTuningEnabled(false);
+    Interpreter ref(&f.graph, {});
+    Tensor in = f.input(24);
+    auto expect = ref.run({in});
+    auto got = engine.run({in}, nullptr);
+    EXPECT_TRUE(Tensor::allClose(got[0], expect[0]));
+}
+
+TEST(TfliteLike, ConservativeArenaIndependentOfInput)
+{
+    Fixture f;
+    TfliteLikeEngine engine(&f.graph, f.opts);
+    size_t planned = engine.conservativeArenaBytes();
+    EXPECT_GT(planned, 0u);
+    RunStats s1, s2;
+    engine.run({f.input(16)}, &s1);
+    engine.run({f.input(48)}, &s2);
+    // Max-shape plan: the footprint never depends on the actual input.
+    EXPECT_EQ(s1.peakMemoryBytes, planned);
+    EXPECT_EQ(s2.peakMemoryBytes, planned);
+}
+
+TEST(TfliteLike, RejectsMissingMaxShape)
+{
+    Fixture f;
+    f.opts.maxInputShapes.clear();
+    EXPECT_THROW(TfliteLikeEngine(&f.graph, f.opts), Error);
+}
+
+TEST(TfliteLike, BudgetedRematerializationStaysUnderBudget)
+{
+    // Long unary chain with a fan-in at the end: under a tight budget
+    // early values must be evicted and recomputed.
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId x = b.input("x");
+    ValueId first = b.sigmoid(x);
+    ValueId h = first;
+    for (int i = 0; i < 10; ++i)
+        h = b.sigmoid(h);
+    b.output(b.add(h, first));  // first must survive (or be recomputed)
+
+    BaselineOptions opts;
+    opts.rdp.inputShapes["x"] = ShapeInfo::fromConcrete({1, 1024});
+    opts.maxInputShapes["x"] = Shape({1, 1024});
+    // 1 tensor = 4 KiB; the conservative plan needs ~8 KiB, so a
+    // 6 KiB budget forces the rematerialization path.
+    opts.memoryBudget = 6 * 1024;
+    TfliteLikeEngine engine(&g, opts);
+
+    Interpreter ref(&g, {});
+    Rng rng(3);
+    Tensor in = Tensor::randomUniform(Shape({1, 1024}), rng);
+    auto expect = ref.run({in});
+    RunStats stats;
+    auto got = engine.run({in}, &stats);
+
+    EXPECT_TRUE(Tensor::allClose(got[0], expect[0]));
+    // Pinned operands may transiently exceed the budget by one tensor.
+    EXPECT_LE(stats.peakMemoryBytes, opts.memoryBudget + 2 * 4096);
+    EXPECT_GT(engine.lastRecomputeCount(), 0);
+}
+
+TEST(TfliteLike, BudgetedControlFlowSelectsLazily)
+{
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId x = b.input("x");
+    ValueId pred = b.input("pred", DType::kInt64);
+    auto brs = b.switchOp(x, pred, 2);
+    ValueId heavy = b.relu(brs[0]);
+    ValueId light = b.neg(brs[1]);
+    b.output(b.combine(pred, {heavy, light}));
+
+    BaselineOptions opts;
+    opts.rdp.inputShapes["x"] = ShapeInfo::fromConcrete({4});
+    opts.rdp.inputShapes["pred"] = ShapeInfo::fromConcrete({});
+    opts.maxInputShapes["x"] = Shape({4});
+    opts.maxInputShapes["pred"] = Shape();
+    opts.memoryBudget = 1;  // force the remat path
+    TfliteLikeEngine engine(&g, opts);
+
+    Tensor in = Tensor::full(DType::kFloat32, Shape({4}), -2.0);
+    auto r0 = engine.run({in, Tensor::scalarInt64(0)}, nullptr);
+    EXPECT_EQ(r0[0].data<float>()[0], 0.0f);  // relu(-2)
+    auto r1 = engine.run({in, Tensor::scalarInt64(1)}, nullptr);
+    EXPECT_EQ(r1[0].data<float>()[0], 2.0f);  // neg(-2)
+}
+
+TEST(TvmNimbleLike, FootprintIncludesRpcOverheadAndAllTensors)
+{
+    Fixture f;
+    TvmNimbleLikeEngine engine(&f.graph, f.opts);
+    RunStats s;
+    engine.run({f.input(32)}, &s);
+    EXPECT_GE(s.peakMemoryBytes, TvmNimbleLikeEngine::kRpcResidentBytes);
+    EXPECT_GT(s.dynamicBytes, 0u);
+    EXPECT_GT(s.phaseSeconds.at("ShapeFn"), 0.0);
+}
+
+TEST(OrtLike, PoolGrowsOnceForRepeatedShapes)
+{
+    Fixture f;
+    OrtLikeEngine engine(&f.graph, f.opts);
+    RunStats s1, s2;
+    engine.run({f.input(32)}, &s1);
+    engine.run({f.input(32)}, &s2);
+    // Second identical run recycles every block.
+    EXPECT_EQ(s1.peakMemoryBytes, s2.peakMemoryBytes);
+}
+
+TEST(AllBaselines, SimulatedGpuProducesFiniteTimes)
+{
+    Fixture f;
+    f.opts.device = DeviceProfile::mobileGpu();
+    OrtLikeEngine ort(&f.graph, f.opts);
+    MnnLikeEngine mnn(&f.graph, f.opts);
+    mnn.setTuningEnabled(false);
+    TvmNimbleLikeEngine tvm(&f.graph, f.opts);
+    TfliteLikeEngine tflite(&f.graph, f.opts);
+    for (InferenceEngine* e :
+         std::vector<InferenceEngine*>{&ort, &mnn, &tvm, &tflite}) {
+        RunStats s;
+        e->run({f.input(32)}, &s);
+        EXPECT_GT(s.seconds, 0.0) << e->name();
+        EXPECT_LT(s.seconds, 10.0) << e->name();
+    }
+}
+
+}  // namespace
+}  // namespace sod2

@@ -1,0 +1,76 @@
+/** Tests for multi-version code generation: shape classification, the
+ *  version tables, and the GA auto-tuner. */
+
+#include <gtest/gtest.h>
+
+#include "codegen/kernel_tuner.h"
+#include "support/logging.h"
+
+namespace sod2 {
+namespace {
+
+TEST(ShapeClass, GemmClassification)
+{
+    EXPECT_EQ(classifyGemm(1, 512, 64), ShapeClass::kSkinny);
+    EXPECT_EQ(classifyGemm(16, 512, 64), ShapeClass::kSkinny);
+    EXPECT_EQ(classifyGemm(256, 256, 64), ShapeClass::kRegular);
+    EXPECT_EQ(classifyGemm(4096, 32, 64), ShapeClass::kFat);
+}
+
+TEST(TunedVersions, DefaultsCoverEveryClass)
+{
+    TunedVersions v = TunedVersions::defaults();
+    EXPECT_NE(v.gemmFor(4, 256, 64).toString(),
+              v.gemmFor(256, 256, 64).toString());
+    // convFor returns something for any size.
+    EXPECT_GT(v.convFor(1).ocBlock, 0);
+    EXPECT_GT(v.convFor(1024).ocBlock, 0);
+}
+
+TEST(TunedVersions, SingleVersionFallsBackToRegular)
+{
+    TunedVersions v = TunedVersions::singleVersion();
+    // Any query maps onto the sole registered version.
+    EXPECT_EQ(v.gemmFor(1, 64, 64).toString(),
+              v.gemmFor(512, 64, 64).toString());
+}
+
+TEST(Tuner, ProducesValidVariant)
+{
+    TunerOptions opts;
+    opts.population = 4;
+    opts.generations = 1;
+    GemmVariant v = tuneGemmVariant(32, 32, 32, opts);
+    EXPECT_GT(v.tileM, 0);
+    EXPECT_GT(v.tileN, 0);
+    EXPECT_GT(v.tileK, 0);
+}
+
+TEST(Tuner, DeterministicForFixedSeed)
+{
+    TunerOptions opts;
+    opts.population = 4;
+    opts.generations = 1;
+    opts.seed = 123;
+    // The GA's candidate *set* is seed-deterministic; measured times
+    // vary, so only structural sanity is asserted across runs.
+    GemmVariant a = tuneGemmVariant(48, 48, 48, opts);
+    GemmVariant b = tuneGemmVariant(48, 48, 48, opts);
+    EXPECT_GT(a.tileM, 0);
+    EXPECT_GT(b.tileM, 0);
+}
+
+TEST(Tuner, TuneAllCoversThreeClasses)
+{
+    TunerOptions opts;
+    opts.population = 3;
+    opts.generations = 1;
+    opts.probeM = 32;
+    opts.probeN = 32;
+    opts.probeK = 32;
+    TunedVersions v = tuneAllVersions(opts);
+    EXPECT_EQ(v.gemm.size(), 3u);
+}
+
+}  // namespace
+}  // namespace sod2

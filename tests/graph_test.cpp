@@ -1,0 +1,185 @@
+/** Tests for the Graph IR, builder, ordering, and validation. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/builder.h"
+#include "graph/graph.h"
+#include "support/logging.h"
+
+namespace sod2 {
+namespace {
+
+TEST(Graph, BuildSmallChain)
+{
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId x = b.input("x");
+    ValueId y = b.relu(b.add(x, x));
+    b.output(y);
+
+    EXPECT_EQ(g.numNodes(), 2);
+    g.validate();
+    EXPECT_EQ(g.inputIds().size(), 1u);
+    EXPECT_EQ(g.outputIds().size(), 1u);
+    EXPECT_TRUE(g.value(y).isGraphOutput);
+}
+
+TEST(Graph, ProducerConsumerLinks)
+{
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId x = b.input("x");
+    ValueId s = b.sigmoid(x);
+    ValueId t = b.tanh(x);
+    ValueId o = b.add(s, t);
+    b.output(o);
+
+    // x feeds two nodes.
+    EXPECT_EQ(g.value(x).consumers.size(), 2u);
+    NodeId add_node = g.value(o).producer;
+    auto preds = g.predecessorsOf(add_node);
+    EXPECT_EQ(preds.size(), 2u);
+    NodeId sig_node = g.value(s).producer;
+    auto succs = g.successorsOf(sig_node);
+    ASSERT_EQ(succs.size(), 1u);
+    EXPECT_EQ(succs[0], add_node);
+}
+
+TEST(Graph, TopoOrderRespectsDependencies)
+{
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId x = b.input("x");
+    ValueId a = b.relu(x);
+    ValueId c = b.sigmoid(a);
+    ValueId d = b.add(a, c);
+    b.output(d);
+
+    auto order = g.topoOrder();
+    EXPECT_EQ(order.size(), 3u);
+    auto pos = [&](NodeId n) {
+        return std::find(order.begin(), order.end(), n) - order.begin();
+    };
+    for (NodeId n : order) {
+        for (NodeId p : g.predecessorsOf(n))
+            EXPECT_LT(pos(p), pos(n));
+    }
+}
+
+TEST(Graph, ValidateCatchesDoubleOutputMark)
+{
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId x = b.input("x");
+    ValueId y = b.relu(x);
+    b.output(y);
+    EXPECT_THROW(b.output(y), Error);
+}
+
+TEST(Graph, ConstantsCarryTensors)
+{
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId c = b.constI64({4, 5});
+    EXPECT_TRUE(g.value(c).isConstant());
+    EXPECT_EQ(g.value(c).constant.toInt64Vector(),
+              (std::vector<int64_t>{4, 5}));
+    EXPECT_EQ(g.value(c).dtype, DType::kInt64);
+}
+
+TEST(Graph, MultiOutputNodes)
+{
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId x = b.input("x");
+    auto parts = b.split(x, 1, 2);
+    ASSERT_EQ(parts.size(), 2u);
+    EXPECT_NE(parts[0], parts[1]);
+    EXPECT_EQ(g.value(parts[0]).producer, g.value(parts[1]).producer);
+    EXPECT_EQ(g.value(parts[1]).producerOutputIndex, 1);
+}
+
+TEST(Graph, SwitchCombineStructure)
+{
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId x = b.input("x");
+    ValueId pred = b.input("pred", DType::kInt64);
+    auto branches = b.switchOp(x, pred, 3);
+    ASSERT_EQ(branches.size(), 3u);
+    std::vector<ValueId> outs;
+    for (ValueId br : branches)
+        outs.push_back(b.relu(br));
+    ValueId merged = b.combine(pred, outs);
+    b.output(merged);
+    g.validate();
+
+    const Node& sw = g.node(g.value(branches[0]).producer);
+    EXPECT_EQ(sw.op, kSwitchOp);
+    EXPECT_EQ(sw.attrs.getInt("num_branches"), 3);
+    const Node& cb = g.node(g.value(merged).producer);
+    EXPECT_EQ(cb.op, kCombineOp);
+    EXPECT_EQ(cb.inputs.size(), 4u);  // pred + 3 branches
+}
+
+TEST(Graph, SubgraphAttribute)
+{
+    auto sub = std::make_shared<Graph>();
+    {
+        GraphBuilder sb(sub.get());
+        ValueId sx = sb.input("sx");
+        sb.output(sb.relu(sx));
+    }
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId x = b.input("x");
+    ValueId cond = b.input("cond", DType::kBool);
+    ValueId y = b.ifOp(cond, sub, sub, {x});
+    b.output(y);
+    const Node& n = g.node(g.value(y).producer);
+    EXPECT_EQ(n.attrs.getGraph("then_branch")->numNodes(), 1);
+}
+
+TEST(Graph, ToStringContainsOpsAndNames)
+{
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId x = b.input("img");
+    b.output(b.relu(x));
+    std::string s = g.toString();
+    EXPECT_NE(s.find("Relu"), std::string::npos);
+    EXPECT_NE(s.find("img"), std::string::npos);
+}
+
+TEST(Graph, GeluCompositeExpansion)
+{
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId x = b.input("x");
+    b.output(b.gelu(x));
+    // gelu = 2 Mul + Add + Erf + Mul = 4-5 nodes; verify it expanded.
+    EXPECT_GE(g.numNodes(), 4);
+    g.validate();
+}
+
+TEST(AttrMap, TypedAccessorsAndDefaults)
+{
+    AttrMap m;
+    m.set("i", static_cast<int64_t>(4));
+    m.set("f", 2.5);
+    m.set("s", std::string("hi"));
+    m.set("v", std::vector<int64_t>{1, 2});
+    EXPECT_EQ(m.getInt("i"), 4);
+    EXPECT_EQ(m.getFloat("f"), 2.5);
+    EXPECT_EQ(m.getFloat("i"), 4.0);  // int promotes to float
+    EXPECT_EQ(m.getString("s"), "hi");
+    EXPECT_EQ(m.getInts("v"), (std::vector<int64_t>{1, 2}));
+    EXPECT_EQ(m.getInt("missing", 9), 9);
+    EXPECT_THROW(m.getInt("missing"), Error);
+    EXPECT_THROW(m.getInt("s"), Error);
+}
+
+}  // namespace
+}  // namespace sod2

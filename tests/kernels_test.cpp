@@ -1,0 +1,332 @@
+/** Direct kernel tests: data-movement ops against naive references,
+ *  parameterized over shapes (property-style sweeps). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/data_movement.h"
+#include "kernels/device_profile.h"
+#include "kernels/conv.h"
+#include "kernels/elementwise.h"
+#include "kernels/reduce.h"
+#include "support/logging.h"
+#include "support/rng.h"
+
+namespace sod2 {
+namespace {
+
+Tensor
+sequential(const Shape& s)
+{
+    Tensor t(DType::kFloat32, s);
+    float* p = t.data<float>();
+    for (int64_t i = 0; i < t.numElements(); ++i)
+        p[i] = static_cast<float>(i);
+    return t;
+}
+
+TEST(DataMovement, Transpose2D)
+{
+    Tensor in = sequential(Shape({2, 3}));
+    Tensor out(DType::kFloat32, Shape({3, 2}));
+    transpose(in, {1, 0}, &out);
+    // in = [[0,1,2],[3,4,5]] -> out[i][j] = in[j][i]
+    EXPECT_EQ(out.data<float>()[0], 0.0f);
+    EXPECT_EQ(out.data<float>()[1], 3.0f);
+    EXPECT_EQ(out.data<float>()[2], 1.0f);
+    EXPECT_EQ(out.data<float>()[5], 5.0f);
+}
+
+/** Property: transpose(transpose(x, p), inverse(p)) == x. */
+class TransposeRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(TransposeRoundTrip, InverseRestores)
+{
+    Rng rng(GetParam());
+    int rank = static_cast<int>(rng.uniformInt(2, 4));
+    std::vector<int64_t> dims, perm(rank);
+    for (int i = 0; i < rank; ++i) {
+        dims.push_back(rng.uniformInt(1, 5));
+        perm[i] = i;
+    }
+    // Random permutation.
+    for (int i = rank - 1; i > 0; --i)
+        std::swap(perm[i], perm[rng.uniformInt(0, i)]);
+    std::vector<int64_t> inverse(rank);
+    for (int i = 0; i < rank; ++i)
+        inverse[perm[i]] = i;
+
+    Tensor in = sequential(Shape(dims));
+    std::vector<int64_t> permuted_dims;
+    for (int64_t p : perm)
+        permuted_dims.push_back(dims[p]);
+    Tensor mid(DType::kFloat32, Shape(permuted_dims));
+    transpose(in, perm, &mid);
+    Tensor back(DType::kFloat32, Shape(dims));
+    transpose(mid, inverse, &back);
+    EXPECT_TRUE(Tensor::allClose(in, back));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransposeRoundTrip, ::testing::Range(0, 10));
+
+TEST(DataMovement, SliceStrided)
+{
+    Tensor in = sequential(Shape({8}));
+    Tensor out(DType::kFloat32, Shape({3}));
+    slice(in, {1}, {7}, {0}, {2}, &out);
+    EXPECT_EQ(out.data<float>()[0], 1.0f);
+    EXPECT_EQ(out.data<float>()[1], 3.0f);
+    EXPECT_EQ(out.data<float>()[2], 5.0f);
+}
+
+TEST(DataMovement, SliceNegativeStart)
+{
+    Tensor in = sequential(Shape({8}));
+    Tensor out(DType::kFloat32, Shape({2}));
+    slice(in, {-2}, {8}, {0}, {}, &out);
+    EXPECT_EQ(out.data<float>()[0], 6.0f);
+    EXPECT_EQ(out.data<float>()[1], 7.0f);
+}
+
+TEST(DataMovement, ConcatSplitRoundTrip)
+{
+    Tensor a = sequential(Shape({2, 3}));
+    Tensor b = sequential(Shape({2, 2}));
+    Tensor merged(DType::kFloat32, Shape({2, 5}));
+    concat({a, b}, 1, &merged);
+    EXPECT_EQ(merged.data<float>()[3], 0.0f);  // b[0,0]
+    EXPECT_EQ(merged.data<float>()[5], 3.0f);  // a[1,0]
+
+    // Split back along an evenly divisible axis.
+    Tensor big = sequential(Shape({4, 6}));
+    std::vector<Tensor> parts = {Tensor(DType::kFloat32, Shape({4, 3})),
+                                 Tensor(DType::kFloat32, Shape({4, 3}))};
+    split(big, 1, &parts);
+    EXPECT_EQ(parts[0].data<float>()[0], 0.0f);
+    EXPECT_EQ(parts[1].data<float>()[0], 3.0f);
+    Tensor rejoined(DType::kFloat32, Shape({4, 6}));
+    concat(parts, 1, &rejoined);
+    EXPECT_TRUE(Tensor::allClose(big, rejoined));
+}
+
+TEST(DataMovement, GatherRows)
+{
+    Tensor table = sequential(Shape({4, 3}));
+    Tensor idx = Tensor::fromInt64({2, 0});
+    Tensor out(DType::kFloat32, Shape({2, 3}));
+    gather(table, idx, 0, &out);
+    EXPECT_EQ(out.data<float>()[0], 6.0f);
+    EXPECT_EQ(out.data<float>()[3], 0.0f);
+    // Negative and out-of-range indices.
+    Tensor neg = Tensor::fromInt64({-1});
+    Tensor out2(DType::kFloat32, Shape({1, 3}));
+    gather(table, neg, 0, &out2);
+    EXPECT_EQ(out2.data<float>()[0], 9.0f);
+    Tensor bad = Tensor::fromInt64({7});
+    EXPECT_THROW(gather(table, bad, 0, &out2), Error);
+}
+
+TEST(DataMovement, ExpandBroadcasts)
+{
+    Tensor in = sequential(Shape({1, 3}));
+    Tensor out(DType::kFloat32, Shape({2, 3}));
+    expandTo(in, &out);
+    EXPECT_EQ(out.data<float>()[3], 0.0f);
+    EXPECT_EQ(out.data<float>()[5], 2.0f);
+}
+
+TEST(DataMovement, Pad2dAndResize)
+{
+    Tensor in = sequential(Shape({1, 1, 2, 2}));
+    Tensor padded(DType::kFloat32, Shape({1, 1, 4, 4}));
+    pad2d(in, 1, -1.0f, &padded);
+    EXPECT_EQ(padded.data<float>()[0], -1.0f);
+    EXPECT_EQ(padded.data<float>()[5], 0.0f);  // (1,1) = in(0,0)
+
+    Tensor up(DType::kFloat32, Shape({1, 1, 4, 4}));
+    resizeNearest(in, 2, 2, &up);
+    EXPECT_EQ(up.data<float>()[0], 0.0f);
+    EXPECT_EQ(up.data<float>()[1], 0.0f);
+    EXPECT_EQ(up.data<float>()[2], 1.0f);
+    EXPECT_EQ(up.data<float>()[15], 3.0f);
+}
+
+TEST(DataMovement, TileRepeats)
+{
+    Tensor in = sequential(Shape({1, 2}));
+    Tensor out(DType::kFloat32, Shape({2, 4}));
+    tile(in, {2, 2}, &out);
+    EXPECT_EQ(out.data<float>()[0], 0.0f);
+    EXPECT_EQ(out.data<float>()[2], 0.0f);
+    EXPECT_EQ(out.data<float>()[3], 1.0f);
+    EXPECT_EQ(out.data<float>()[4], 0.0f);
+}
+
+TEST(DataMovement, EyeLikeAndOneHot)
+{
+    Tensor in(DType::kFloat32, Shape({2, 3}));
+    Tensor eye(DType::kFloat32, Shape({2, 3}));
+    eyeLike(in, &eye);
+    EXPECT_EQ(eye.data<float>()[0], 1.0f);
+    EXPECT_EQ(eye.data<float>()[4], 1.0f);
+    EXPECT_EQ(eye.data<float>()[1], 0.0f);
+
+    Tensor idx = Tensor::fromInt64({1, 0, -1});
+    Tensor hot(DType::kFloat32, Shape({3, 3}));
+    oneHot(idx, 3, &hot);
+    EXPECT_EQ(hot.data<float>()[1], 1.0f);
+    EXPECT_EQ(hot.data<float>()[3], 1.0f);
+    EXPECT_EQ(hot.data<float>()[8], 1.0f);  // -1 wraps to depth-1
+}
+
+TEST(DataMovement, NonMaxSuppressionGreedy)
+{
+    // Two heavily overlapping boxes + one disjoint; keep best of the
+    // pair and the disjoint one.
+    Tensor boxes(DType::kFloat32, Shape({3, 4}));
+    float bx[] = {0, 0, 10, 10, 1, 1, 11, 11, 50, 50, 60, 60};
+    std::copy(bx, bx + 12, boxes.data<float>());
+    Tensor scores(DType::kFloat32, Shape({3}));
+    float sc[] = {0.9f, 0.8f, 0.7f};
+    std::copy(sc, sc + 3, scores.data<float>());
+    Tensor keep = nonMaxSuppression(boxes, scores, 0.5f, 0.0f);
+    EXPECT_EQ(keep.toInt64Vector(), (std::vector<int64_t>{0, 2}));
+    // Score threshold filters.
+    Tensor keep2 = nonMaxSuppression(boxes, scores, 0.5f, 0.75f);
+    EXPECT_EQ(keep2.toInt64Vector(), (std::vector<int64_t>{0}));
+}
+
+TEST(Reduce, SumMeanMaxAgainstNaive)
+{
+    Tensor in = sequential(Shape({2, 3}));
+    Tensor sum(DType::kFloat32, Shape({2, 1}));
+    reduce("ReduceSum", in, {1}, true, &sum);
+    EXPECT_EQ(sum.data<float>()[0], 3.0f);
+    EXPECT_EQ(sum.data<float>()[1], 12.0f);
+
+    Tensor mean(DType::kFloat32, Shape({3}));
+    reduce("ReduceMean", in, {0}, false, &mean);
+    EXPECT_EQ(mean.data<float>()[0], 1.5f);
+
+    Tensor mx(DType::kFloat32, Shape());
+    reduce("ReduceMax", in, {}, false, &mx);
+    EXPECT_EQ(mx.data<float>()[0], 5.0f);
+}
+
+TEST(Reduce, ArgMaxInnerAxis)
+{
+    Tensor in(DType::kFloat32, Shape({2, 3}));
+    float vals[] = {1, 5, 2, 9, 0, 3};
+    std::copy(vals, vals + 6, in.data<float>());
+    Tensor out(DType::kInt64, Shape({2}));
+    argMax(in, 1, false, &out);
+    EXPECT_EQ(out.toInt64Vector(), (std::vector<int64_t>{1, 0}));
+}
+
+TEST(Elementwise, ScalarTableMatchesStd)
+{
+    AttrMap attrs;
+    EXPECT_FLOAT_EQ(applyUnaryScalar("Sigmoid", 0.0f, attrs), 0.5f);
+    EXPECT_FLOAT_EQ(applyUnaryScalar("Tanh", 1.0f, attrs),
+                    std::tanh(1.0f));
+    EXPECT_FLOAT_EQ(applyUnaryScalar("Erf", 0.5f, attrs),
+                    std::erf(0.5f));
+    EXPECT_FLOAT_EQ(applyBinaryScalar("Pow", 2.0f, 10.0f), 1024.0f);
+    EXPECT_THROW(applyUnaryScalar("Nope", 1.0f, attrs), Error);
+}
+
+TEST(CostModel, RooflineBehaviour)
+{
+    CostMeter meter(DeviceProfile::mobileGpu());
+    meter.chargeKernel(/*flops=*/1e9, /*bytes=*/1e3);  // compute bound
+    double compute_bound = meter.seconds();
+    meter.reset();
+    meter.chargeKernel(/*flops=*/1e3, /*bytes=*/1e9);  // memory bound
+    double memory_bound = meter.seconds();
+    EXPECT_GT(compute_bound, 0.0);
+    EXPECT_GT(memory_bound, 0.0);
+    // fp16 halves traffic: memory-bound time below fp32 equivalent.
+    CostMeter fp32(DeviceProfile::mobileCpu());
+    fp32.chargeKernel(1e3, 1e9);
+    EXPECT_LT(memory_bound, fp32.seconds() * 2.0);
+
+    meter.reset();
+    EXPECT_EQ(meter.seconds(), 0.0);
+    meter.chargeAllocTouch(1e6);
+    EXPECT_GT(meter.seconds(), 0.0);
+}
+
+
+/** Conv correctness sweep: direct kernel vs a naive reference across
+ *  stride/pad/group combinations (parameterized property test). */
+class ConvSweep : public ::testing::TestWithParam<
+                      std::tuple<int, int, int, int>> {};
+
+TEST_P(ConvSweep, MatchesNaiveReference)
+{
+    auto [stride, pad, group, kernel] = GetParam();
+    const int64_t n = 2, c = 4, h = 9, w = 11;
+    const int64_t oc = 6;
+    if (c % group != 0 || oc % group != 0)
+        GTEST_SKIP();
+    int64_t oh = (h + 2 * pad - kernel) / stride + 1;
+    int64_t ow = (w + 2 * pad - kernel) / stride + 1;
+    if (oh <= 0 || ow <= 0)
+        GTEST_SKIP();
+
+    Rng rng(17);
+    Tensor x = Tensor::randomUniform(Shape({n, c, h, w}), rng);
+    Tensor wt = Tensor::randomUniform(
+        Shape({oc, c / group, kernel, kernel}), rng);
+    Tensor bias = Tensor::randomUniform(Shape({oc}), rng);
+    Tensor out(DType::kFloat32, Shape({n, oc, oh, ow}));
+    conv2d(x, wt, &bias, &out, stride, pad, group, ConvVariant{});
+
+    // Naive reference.
+    const float* px = x.data<float>();
+    const float* pw = wt.data<float>();
+    const float* pb = bias.data<float>();
+    int64_t icg = c / group;
+    int64_t ocg = oc / group;
+    for (int64_t ni = 0; ni < n; ++ni) {
+        for (int64_t o = 0; o < oc; ++o) {
+            int64_t g = o / ocg;
+            for (int64_t oy = 0; oy < oh; ++oy) {
+                for (int64_t ox = 0; ox < ow; ++ox) {
+                    double acc = pb[o];
+                    for (int64_t ic = 0; ic < icg; ++ic) {
+                        for (int64_t ky = 0; ky < kernel; ++ky) {
+                            for (int64_t kx = 0; kx < kernel; ++kx) {
+                                int64_t iy = oy * stride - pad + ky;
+                                int64_t ix = ox * stride - pad + kx;
+                                if (iy < 0 || iy >= h || ix < 0 ||
+                                    ix >= w)
+                                    continue;
+                                acc += px[((ni * c + g * icg + ic) * h +
+                                           iy) * w + ix] *
+                                       pw[((o * icg + ic) * kernel + ky) *
+                                              kernel + kx];
+                            }
+                        }
+                    }
+                    float got = out.data<float>()[
+                        ((ni * oc + o) * oh + oy) * ow + ox];
+                    ASSERT_NEAR(got, acc, 1e-3)
+                        << "at n=" << ni << " o=" << o << " y=" << oy
+                        << " x=" << ox;
+                }
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StridePadGroupKernel, ConvSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3),   // stride
+                       ::testing::Values(0, 1, 2),   // pad
+                       ::testing::Values(1, 2),      // group
+                       ::testing::Values(1, 3)));    // kernel
+
+}  // namespace
+}  // namespace sod2

@@ -1,0 +1,177 @@
+/** Tests for lifetime analysis and the four memory planners, including
+ *  the property that every plan is overlap-free and the SoD2 planner's
+ *  near-optimality on random instances (paper §4.4.1). */
+
+#include <gtest/gtest.h>
+
+#include "memory/planners.h"
+#include "memory/pool_allocator.h"
+#include "support/logging.h"
+#include "support/rng.h"
+
+namespace sod2 {
+namespace {
+
+Interval
+iv(int def, int last, size_t bytes)
+{
+    Interval i;
+    i.defStep = def;
+    i.lastUse = last;
+    i.bytes = bytes;
+    return i;
+}
+
+TEST(Lifetime, OverlapPredicate)
+{
+    EXPECT_TRUE(iv(0, 2, 1).overlaps(iv(2, 3, 1)));
+    EXPECT_TRUE(iv(2, 3, 1).overlaps(iv(0, 2, 1)));
+    EXPECT_FALSE(iv(0, 1, 1).overlaps(iv(2, 3, 1)));
+    EXPECT_TRUE(iv(0, 9, 1).overlaps(iv(3, 4, 1)));
+}
+
+TEST(Lifetime, PeakLiveBytes)
+{
+    std::vector<Interval> ivs = {iv(0, 1, 100), iv(1, 2, 200),
+                                 iv(2, 3, 50)};
+    EXPECT_EQ(peakLiveBytes(ivs), 300u);
+    EXPECT_EQ(peakStep(ivs), 1);
+}
+
+TEST(Planners, DisjointIntervalsShareMemory)
+{
+    std::vector<Interval> ivs = {iv(0, 1, 1000), iv(2, 3, 1000)};
+    MemPlan p = planGreedyBestFit(ivs);
+    EXPECT_TRUE(validatePlan(ivs, p));
+    EXPECT_LE(p.arenaBytes, 1024u);  // aligned single slot
+    EXPECT_EQ(p.offsets[0], p.offsets[1]);
+}
+
+TEST(Planners, OverlappingIntervalsDisjointMemory)
+{
+    std::vector<Interval> ivs = {iv(0, 2, 1000), iv(1, 3, 1000)};
+    MemPlan p = planPeakOutward(ivs);
+    EXPECT_TRUE(validatePlan(ivs, p));
+    EXPECT_GE(p.arenaBytes, 2000u);
+}
+
+TEST(Planners, PeakOutwardNeverBelowPeakLive)
+{
+    Rng rng(21);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<Interval> ivs;
+        int n = static_cast<int>(rng.uniformInt(2, 12));
+        for (int i = 0; i < n; ++i) {
+            int def = static_cast<int>(rng.uniformInt(0, 20));
+            ivs.push_back(iv(def, def + rng.uniformInt(0, 8),
+                             rng.uniformInt(1, 64) * 64));
+        }
+        MemPlan p = planPeakOutward(ivs);
+        ASSERT_TRUE(validatePlan(ivs, p));
+        EXPECT_GE(p.arenaBytes, peakLiveBytes(ivs));
+    }
+}
+
+TEST(Planners, GreedyValidOnRandomInstances)
+{
+    Rng rng(22);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<Interval> ivs;
+        int n = static_cast<int>(rng.uniformInt(1, 15));
+        for (int i = 0; i < n; ++i) {
+            int def = static_cast<int>(rng.uniformInt(0, 10));
+            ivs.push_back(iv(def, def + rng.uniformInt(0, 5),
+                             rng.uniformInt(1, 100) * 16));
+        }
+        MemPlan p = planGreedyBestFit(ivs);
+        EXPECT_TRUE(validatePlan(ivs, p));
+    }
+}
+
+TEST(Planners, OptimalIsLowerBoundForHeuristics)
+{
+    // The paper's §4.4.1 claim: RDP-guided planning lands close to the
+    // exhaustive optimum, and at least never beats it.
+    Rng rng(23);
+    double ratio_sum = 0;
+    int trials = 20;
+    for (int trial = 0; trial < trials; ++trial) {
+        std::vector<Interval> ivs;
+        int n = static_cast<int>(rng.uniformInt(3, 7));
+        for (int i = 0; i < n; ++i) {
+            int def = static_cast<int>(rng.uniformInt(0, 6));
+            ivs.push_back(iv(def, def + rng.uniformInt(0, 4),
+                             rng.uniformInt(1, 32) * 64));
+        }
+        MemPlan opt = planOptimalExhaustive(ivs);
+        MemPlan ours = planPeakOutward(ivs);
+        MemPlan greedy = planGreedyBestFit(ivs);
+        ASSERT_TRUE(validatePlan(ivs, opt));
+        EXPECT_GE(ours.arenaBytes, opt.arenaBytes);
+        EXPECT_GE(greedy.arenaBytes, opt.arenaBytes);
+        ratio_sum += static_cast<double>(ours.arenaBytes) /
+                     static_cast<double>(opt.arenaBytes);
+    }
+    // On small random instances our planner stays near-optimal.
+    EXPECT_LE(ratio_sum / trials, 1.25);
+}
+
+TEST(Planners, ConservativeMaxUsesDeclaredMaxima)
+{
+    std::vector<Interval> ivs = {iv(0, 1, 100), iv(1, 2, 100)};
+    std::vector<size_t> maxima = {1000, 1000};
+    MemPlan p = planConservativeMax(ivs, maxima);
+    EXPECT_TRUE(p.arenaBytes >= 2000u);
+}
+
+TEST(Planners, ExhaustiveRejectsLargeInstances)
+{
+    std::vector<Interval> ivs(12, iv(0, 1, 64));
+    EXPECT_THROW(planOptimalExhaustive(ivs, 9), Error);
+}
+
+TEST(Planners, EmptyInput)
+{
+    EXPECT_EQ(planGreedyBestFit({}).arenaBytes, 0u);
+    EXPECT_EQ(planPeakOutward({}).arenaBytes, 0u);
+    EXPECT_EQ(planOptimalExhaustive({}).arenaBytes, 0u);
+}
+
+TEST(PoolAllocator, RecyclesBlocks)
+{
+    auto pool = PoolAllocator::create();
+    {
+        Tensor a = pool->allocate(DType::kFloat32, Shape({256}));
+        EXPECT_EQ(pool->poolBytes(), 1024u);
+        EXPECT_EQ(pool->inUseBytes(), 1024u);
+    }
+    EXPECT_EQ(pool->inUseBytes(), 0u);
+    // Same-size request reuses the freed block.
+    Tensor b = pool->allocate(DType::kFloat32, Shape({256}));
+    EXPECT_EQ(pool->poolBytes(), 1024u);
+    EXPECT_EQ(pool->freshAllocs(), 1u);
+}
+
+TEST(PoolAllocator, OversizedBlocksNotReusedBeyondSlack)
+{
+    auto pool = PoolAllocator::create();
+    { Tensor a = pool->allocate(DType::kFloat32, Shape({1024})); }
+    // A tiny request must not grab the 4 KiB block (>2x slack).
+    Tensor b = pool->allocate(DType::kFloat32, Shape({16}));
+    EXPECT_EQ(pool->freshAllocs(), 2u);
+}
+
+TEST(PoolAllocator, PoolOutlivesTensors)
+{
+    Tensor escaped;
+    {
+        auto pool = PoolAllocator::create();
+        escaped = pool->allocate(DType::kFloat32, Shape({64}));
+        escaped.data<float>()[0] = 42.0f;
+    }
+    // The shared_ptr chain keeps the pool (and block) alive.
+    EXPECT_EQ(escaped.data<float>()[0], 42.0f);
+}
+
+}  // namespace
+}  // namespace sod2

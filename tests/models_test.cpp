@@ -1,0 +1,165 @@
+/** Tests for the model zoo: every model builds, validates, runs on the
+ *  reference interpreter across its input range, and produces identical
+ *  outputs on every engine (the cross-engine consistency net). */
+
+#include <gtest/gtest.h>
+
+#include "baselines/mnn_like.h"
+#include "baselines/ort_like.h"
+#include "baselines/tflite_like.h"
+#include "baselines/tvm_nimble_like.h"
+#include "models/model_zoo.h"
+#include "runtime/interpreter.h"
+#include "support/logging.h"
+
+namespace sod2 {
+namespace {
+
+/** Cheap sizes so the full matrix stays fast. */
+int64_t
+smallSizeFor(const ModelSpec& spec)
+{
+    return spec.legalizeSize(spec.minSize);
+}
+
+class ModelZooTest : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    ModelSpec
+    build()
+    {
+        Rng rng(123);
+        return buildModel(GetParam(), rng);
+    }
+};
+
+TEST_P(ModelZooTest, BuildsAndValidates)
+{
+    ModelSpec spec = build();
+    spec.graph->validate();
+    EXPECT_GT(spec.graph->numNodes(), 10);
+    EXPECT_FALSE(spec.dynamism.empty());
+    EXPECT_FALSE(spec.maxInputShapes.empty());
+}
+
+TEST_P(ModelZooTest, RdpAnalyzesWithoutError)
+{
+    ModelSpec spec = build();
+    auto rdp = runRdp(*spec.graph, spec.rdp);
+    EXPECT_GT(rdp.iterations(), 0);
+    // Graph outputs must at least have known rank or be EDO-tails.
+    int resolved = 0;
+    for (ValueId v : spec.graph->outputIds())
+        if (rdp.shapeOf(v).isRanked())
+            ++resolved;
+    EXPECT_GT(resolved, 0);
+}
+
+TEST_P(ModelZooTest, ReferenceRunsAcrossSizes)
+{
+    ModelSpec spec = build();
+    Interpreter interp(spec.graph.get(), {});
+    Rng rng(7);
+    for (int64_t size : {spec.minSize, (spec.minSize + spec.maxSize) / 2}) {
+        auto inputs = spec.sample(rng, spec.legalizeSize(size));
+        auto outs = interp.run(inputs);
+        ASSERT_FALSE(outs.empty());
+        for (const Tensor& t : outs)
+            EXPECT_TRUE(t.isValid());
+    }
+}
+
+TEST_P(ModelZooTest, AllEnginesAgree)
+{
+    ModelSpec spec = build();
+    Rng rng(99);
+    auto inputs = spec.sample(rng, smallSizeFor(spec));
+
+    Interpreter ref(spec.graph.get(), {});
+    auto expect = ref.run(inputs);
+
+    BaselineOptions bopts;
+    bopts.rdp = spec.rdp;
+    bopts.maxInputShapes = spec.maxInputShapes;
+
+    Sod2Options sopts;
+    sopts.rdp = spec.rdp;
+    Sod2EngineAdapter sod2(spec.graph.get(), sopts);
+    OrtLikeEngine ort(spec.graph.get(), bopts);
+    MnnLikeEngine mnn(spec.graph.get(), bopts);
+    mnn.setTuningEnabled(false);  // keep the test fast
+    TvmNimbleLikeEngine tvm(spec.graph.get(), bopts);
+    TfliteLikeEngine tflite(spec.graph.get(), bopts);
+
+    std::vector<InferenceEngine*> engines = {&sod2, &ort, &mnn, &tvm,
+                                             &tflite};
+    for (InferenceEngine* engine : engines) {
+        RunStats stats;
+        auto got = engine->run(inputs, &stats);
+        ASSERT_EQ(got.size(), expect.size()) << engine->name();
+        for (size_t i = 0; i < got.size(); ++i) {
+            EXPECT_TRUE(Tensor::allClose(got[i], expect[i], 1e-3f, 1e-3f))
+                << engine->name() << " output " << i << " diverges for "
+                << spec.name;
+        }
+        EXPECT_GT(stats.seconds, 0.0) << engine->name();
+    }
+}
+
+TEST_P(ModelZooTest, Sod2StatsAreSane)
+{
+    ModelSpec spec = build();
+    Rng rng(5);
+    Sod2Options sopts;
+    sopts.rdp = spec.rdp;
+    Sod2EngineAdapter sod2(spec.graph.get(), sopts);
+    RunStats stats;
+    sod2.run(spec.sample(rng, smallSizeFor(spec)), &stats);
+    EXPECT_GT(stats.peakMemoryBytes, 0u);
+    EXPECT_GT(stats.executedGroups, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ModelZooTest,
+                         ::testing::ValuesIn(allModelNames()),
+                         [](const auto& info) {
+                             std::string n = info.param;
+                             for (char& c : n)
+                                 if (!isalnum(static_cast<unsigned char>(c)))
+                                     c = '_';
+                             return n;
+                         });
+
+TEST(ModelZoo, ControlFlowModelsTakeDifferentPaths)
+{
+    // Across many inputs a gated model must exercise more than one
+    // execution path (otherwise the gates are degenerate).
+    Rng rng(321);
+    ModelSpec spec = buildSkipNet(rng);
+    Interpreter interp(spec.graph.get(), {});
+    Rng sample_rng(17);
+    std::set<int> executed_counts;
+    for (int i = 0; i < 8; ++i) {
+        auto inputs = spec.sample(sample_rng, spec.minSize);
+        interp.run(inputs);
+        executed_counts.insert(interp.executedNodeCount());
+    }
+    EXPECT_GT(executed_counts.size(), 1u)
+        << "every input took the identical path";
+}
+
+TEST(ModelZoo, SizeHintControlsPrimaryDimension)
+{
+    Rng rng(1);
+    ModelSpec spec = buildYoloV6(rng);
+    Rng s(2);
+    auto small = spec.sample(s, 224);
+    auto large = spec.sample(s, 640);
+    EXPECT_EQ(small[0].shape().dim(2), 224);
+    EXPECT_EQ(large[0].shape().dim(2), 640);
+    // Multiples of 32 are enforced.
+    auto odd = spec.sample(s, 250);
+    EXPECT_EQ(odd[0].shape().dim(2) % 32, 0);
+}
+
+}  // namespace
+}  // namespace sod2

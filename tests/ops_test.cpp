@@ -1,0 +1,393 @@
+/** Tests for operator classification (paper §3 / Table 2) and the
+ *  forward/backward transfer functions. */
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "ops/op_registry.h"
+#include "ops/transfer_util.h"
+#include "support/logging.h"
+
+namespace sod2 {
+namespace {
+
+DimValue K(int64_t v) { return DimValue::known(v); }
+DimValue Sym(const std::string& n) { return DimValue::symbol(n); }
+
+/** Runs one op's forward transfer outside any graph. */
+InferContext
+runForward(Graph* g, const std::string& op,
+           const std::vector<ValueId>& ins,
+           std::vector<ShapeInfo> in_shapes,
+           std::vector<ValueInfo> in_values = {})
+{
+    NodeId n = -1;
+    for (NodeId i = 0; i < g->numNodes(); ++i)
+        if (g->node(i).op == op)
+            n = i;
+    SOD2_CHECK(n >= 0) << "op not found in test graph";
+    (void)ins;
+    const Node& node = g->node(n);
+    const OpDef& def = OpRegistry::instance().get(op);
+    InferContext ctx;
+    ctx.graph = g;
+    ctx.node = &node;
+    ctx.inShapes = std::move(in_shapes);
+    if (in_values.empty())
+        in_values.assign(ctx.inShapes.size(), ValueInfo::unknown());
+    ctx.inValues = std::move(in_values);
+    ctx.outShapes.assign(node.outputs.size(), ShapeInfo::undef());
+    ctx.outValues.assign(node.outputs.size(), ValueInfo::undef());
+    def.forward(ctx);
+    return ctx;
+}
+
+TEST(Classification, Table2Membership)
+{
+    const OpRegistry& r = OpRegistry::instance();
+    // Paper Table 2 representatives.
+    EXPECT_EQ(r.get("Shape").cls, DynamismClass::kISDO);
+    EXPECT_EQ(r.get("ConstantOfShape").cls, DynamismClass::kISDO);
+    EXPECT_EQ(r.get("EyeLike").cls, DynamismClass::kISDO);
+    EXPECT_EQ(r.get("Conv").cls, DynamismClass::kISDOS);
+    EXPECT_EQ(r.get("MatMul").cls, DynamismClass::kISDOS);
+    EXPECT_EQ(r.get("Add").cls, DynamismClass::kISDOS);
+    EXPECT_EQ(r.get("Softmax").cls, DynamismClass::kISDOS);
+    EXPECT_EQ(r.get("Gather").cls, DynamismClass::kISDOS);
+    EXPECT_EQ(r.get("Reshape").cls, DynamismClass::kISVDOS);
+    EXPECT_EQ(r.get("Range").cls, DynamismClass::kISVDOS);
+    EXPECT_EQ(r.get("Expand").cls, DynamismClass::kISVDOS);
+    EXPECT_EQ(r.get("TopK").cls, DynamismClass::kISVDOS);
+    EXPECT_EQ(r.get("NonZero").cls, DynamismClass::kEDO);
+    EXPECT_EQ(r.get("If").cls, DynamismClass::kEDO);
+    EXPECT_EQ(r.get(kSwitchOp).cls, DynamismClass::kEDO);
+    EXPECT_EQ(r.get(kCombineOp).cls, DynamismClass::kEDO);
+}
+
+TEST(Classification, RegistryCoversAtLeast50Ops)
+{
+    EXPECT_GE(OpRegistry::instance().allOps().size(), 50u);
+}
+
+TEST(Classification, EffectiveClassConstantRefinement)
+{
+    // Paper §3 Discussion: Reshape fed by a constant shape is
+    // effectively ISDOS; fed by a computed shape it stays ISVDOS.
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId x = b.input("x");
+    ValueId y = b.reshape(x, {2, -1});  // constant target
+    const Node& static_reshape = g.node(g.value(y).producer);
+    EXPECT_EQ(effectiveClass(g, static_reshape), DynamismClass::kISDOS);
+
+    ValueId shp = b.shapeOf(x);
+    ValueId z = b.reshape(x, shp);  // computed target
+    const Node& dyn_reshape = g.node(g.value(z).producer);
+    EXPECT_EQ(effectiveClass(g, dyn_reshape), DynamismClass::kISVDOS);
+}
+
+TEST(TransferUtil, BroadcastDimRules)
+{
+    // equal symbols
+    EXPECT_TRUE(broadcastDim(Sym("s"), Sym("s")).expr()->isSymbol());
+    // known 1 yields the other side
+    EXPECT_TRUE(broadcastDim(K(1), Sym("s")).expr()->isSymbol());
+    EXPECT_TRUE(broadcastDim(Sym("s"), K(1)).expr()->isSymbol());
+    // known constant > 1 wins over unknown
+    EXPECT_EQ(broadcastDim(K(8), Sym("s")).knownValue(), 8);
+    EXPECT_EQ(broadcastDim(DimValue::undef(), K(8)).knownValue(), 8);
+    // distinct symbols are ambiguous
+    EXPECT_TRUE(broadcastDim(Sym("a"), Sym("b")).isNac());
+    // undef vs symbol stays undef (may refine later)
+    EXPECT_TRUE(broadcastDim(DimValue::undef(), Sym("s")).isUndef());
+}
+
+TEST(Transfer, ConvSymbolicSpatialMath)
+{
+    Graph g;
+    GraphBuilder b(&g);
+    Rng rng(1);
+    ValueId x = b.input("x");
+    ValueId w = b.weight("w", {16, 3, 3, 3}, rng);
+    b.output(b.conv2d(x, w, -1, /*stride=*/2, /*pad=*/1));
+
+    auto ctx = runForward(&g, "Conv", {},
+                          {ShapeInfo::ranked({K(1), K(3), Sym("h"), Sym("w")}),
+                           ShapeInfo::fromConcrete({16, 3, 3, 3})});
+    ASSERT_TRUE(ctx.outShapes[0].isRanked());
+    EXPECT_EQ(ctx.outShapes[0].dim(1).knownValue(), 16);
+    // floor((h + 2 - 3)/2) + 1
+    auto v = ctx.outShapes[0].dim(2).evaluate({{"h", 224}});
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, (224 + 2 - 3) / 2 + 1);
+}
+
+TEST(Transfer, MatMulBatchBroadcast)
+{
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId a = b.input("a");
+    ValueId c = b.input("c");
+    b.output(b.matmul(a, c));
+
+    auto ctx = runForward(
+        &g, "MatMul", {},
+        {ShapeInfo::ranked({Sym("b"), Sym("m"), K(64)}),
+         ShapeInfo::fromConcrete({64, 32})});
+    ASSERT_TRUE(ctx.outShapes[0].isRanked());
+    EXPECT_EQ(ctx.outShapes[0].rank(), 3);
+    EXPECT_TRUE(ctx.outShapes[0].dim(1).expr()->isSymbol());
+    EXPECT_EQ(ctx.outShapes[0].dim(2).knownValue(), 32);
+}
+
+TEST(Transfer, ShapeOpProducesSymbolicValue)
+{
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId x = b.input("x");
+    b.output(b.shapeOf(x));
+
+    auto ctx = runForward(&g, "Shape", {},
+                          {ShapeInfo::ranked({Sym("n"), K(3)})});
+    ASSERT_TRUE(ctx.outShapes[0].isFullyStatic());
+    EXPECT_EQ(ctx.outShapes[0].staticDims(), (std::vector<int64_t>{2}));
+    ASSERT_TRUE(ctx.outValues[0].hasElems());
+    EXPECT_TRUE(ctx.outValues[0].elements()[0].expr()->isSymbol());
+    EXPECT_EQ(ctx.outValues[0].elements()[1].knownValue(), 3);
+}
+
+TEST(Transfer, ReshapeMinusOneSymbolicInference)
+{
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId x = b.input("x");
+    b.output(b.reshape(x, {0, -1}));
+
+    auto ctx = runForward(
+        &g, "Reshape", {},
+        {ShapeInfo::ranked({Sym("n"), K(4), K(5)}),
+         ShapeInfo::fromConcrete({2})},
+        {ValueInfo::unknown(), ValueInfo::fromConcrete({0, -1})});
+    ASSERT_TRUE(ctx.outShapes[0].isRanked());
+    // dim0 copies n; dim1 = n*4*5 / n = 20.
+    EXPECT_TRUE(ctx.outShapes[0].dim(0).expr()->isSymbol());
+    auto v = ctx.outShapes[0].dim(1).evaluate({{"n", 7}});
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 20);
+}
+
+TEST(Transfer, ConcatSymbolicAxisSum)
+{
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId x = b.input("x");
+    ValueId y = b.input("y");
+    b.output(b.concat({x, y}, 1));
+
+    auto ctx = runForward(&g, "Concat", {},
+                          {ShapeInfo::ranked({K(2), Sym("p")}),
+                           ShapeInfo::ranked({K(2), Sym("q")})});
+    ASSERT_TRUE(ctx.outShapes[0].isRanked());
+    EXPECT_EQ(ctx.outShapes[0].dim(0).knownValue(), 2);
+    auto v = ctx.outShapes[0].dim(1).evaluate({{"p", 3}, {"q", 9}});
+    EXPECT_EQ(*v, 12);
+}
+
+TEST(Transfer, SliceToEndSymbolic)
+{
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId x = b.input("x");
+    b.output(b.slice(x, {1}, {INT64_MAX / 2 + 5}, {0}));
+
+    auto ctx = runForward(
+        &g, "Slice", {},
+        {ShapeInfo::ranked({Sym("s"), K(4)}),
+         ShapeInfo::fromConcrete({1}), ShapeInfo::fromConcrete({1}),
+         ShapeInfo::fromConcrete({1})},
+        {ValueInfo::unknown(), ValueInfo::fromConcrete({1}),
+         ValueInfo::fromConcrete({INT64_MAX / 2 + 5}),
+         ValueInfo::fromConcrete({0})});
+    ASSERT_TRUE(ctx.outShapes[0].isRanked());
+    auto v = ctx.outShapes[0].dim(0).evaluate({{"s", 10}});
+    EXPECT_EQ(*v, 9);  // s - 1
+    EXPECT_EQ(ctx.outShapes[0].dim(1).knownValue(), 4);
+}
+
+
+TEST(Transfer, SliceNegativeStartSymbolic)
+{
+    // slice(x, starts=[-1], ends=[huge], axes=[1]) — take the last
+    // element of a symbolic axis. Regression: the extent must be 1
+    // regardless of the (unknown) dim; an unnormalized negative start
+    // used to yield s+1 and out-of-bounds kernel writes.
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId x = b.input("x");
+    b.output(b.slice(x, {-1}, {INT64_MAX / 2 + 5}, {1}));
+
+    auto ctx = runForward(
+        &g, "Slice", {},
+        {ShapeInfo::ranked({K(1), Sym("s"), K(16)}),
+         ShapeInfo::fromConcrete({1}), ShapeInfo::fromConcrete({1}),
+         ShapeInfo::fromConcrete({1})},
+        {ValueInfo::unknown(), ValueInfo::fromConcrete({-1}),
+         ValueInfo::fromConcrete({INT64_MAX / 2 + 5}),
+         ValueInfo::fromConcrete({1})});
+    ASSERT_TRUE(ctx.outShapes[0].isRanked());
+    EXPECT_EQ(ctx.outShapes[0].dim(1).knownValue(), 1);
+
+    // Negative start with a concrete dim normalizes before clamping.
+    auto ctx2 = runForward(
+        &g, "Slice", {},
+        {ShapeInfo::fromConcrete({1, 7, 16}),
+         ShapeInfo::fromConcrete({1}), ShapeInfo::fromConcrete({1}),
+         ShapeInfo::fromConcrete({1})},
+        {ValueInfo::unknown(), ValueInfo::fromConcrete({-3}),
+         ValueInfo::fromConcrete({INT64_MAX / 2 + 5}),
+         ValueInfo::fromConcrete({1})});
+    EXPECT_EQ(ctx2.outShapes[0].dim(1).knownValue(), 3);
+
+    // Negative start AND negative end: extent = end - start.
+    auto ctx3 = runForward(
+        &g, "Slice", {},
+        {ShapeInfo::ranked({K(1), Sym("s"), K(16)}),
+         ShapeInfo::fromConcrete({1}), ShapeInfo::fromConcrete({1}),
+         ShapeInfo::fromConcrete({1})},
+        {ValueInfo::unknown(), ValueInfo::fromConcrete({-4}),
+         ValueInfo::fromConcrete({-1}),
+         ValueInfo::fromConcrete({1})});
+    EXPECT_EQ(ctx3.outShapes[0].dim(1).knownValue(), 3);
+}
+
+TEST(Transfer, RangeCountFormula)
+{
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId s = b.input("s", DType::kInt64);
+    ValueId l = b.input("l", DType::kInt64);
+    ValueId d = b.input("d", DType::kInt64);
+    b.output(b.range(s, l, d));
+
+    auto ctx = runForward(
+        &g, "Range", {},
+        {ShapeInfo::fromConcrete({}), ShapeInfo::fromConcrete({}),
+         ShapeInfo::fromConcrete({})},
+        {ValueInfo::elems({Sym("a")}), ValueInfo::elems({Sym("b")}),
+         ValueInfo::fromConcrete({2})});
+    ASSERT_TRUE(ctx.outShapes[0].isRanked());
+    auto v = ctx.outShapes[0].dim(0).evaluate({{"a", 3}, {"b", 11}});
+    EXPECT_EQ(*v, 4);  // ceil((11-3)/2)
+}
+
+TEST(Transfer, GatherOnShapeVectorSelectsSymbol)
+{
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId x = b.input("x", DType::kInt64);
+    ValueId idx = b.constI64({1});
+    b.output(b.gather(x, idx));
+
+    auto ctx = runForward(
+        &g, "Gather", {},
+        {ShapeInfo::fromConcrete({3}), ShapeInfo::fromConcrete({1})},
+        {ValueInfo::elems({Sym("n"), Sym("c"), K(7)}),
+         ValueInfo::fromConcrete({1})});
+    ASSERT_TRUE(ctx.outValues[0].hasElems());
+    EXPECT_EQ(ctx.outValues[0].elements()[0].expr()->symbolName(), "c");
+}
+
+TEST(Transfer, NonZeroIsExecutionDetermined)
+{
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId x = b.input("x");
+    b.output(b.nonZero(x));
+    auto ctx = runForward(&g, "NonZero", {},
+                          {ShapeInfo::fromConcrete({4, 4})});
+    ASSERT_TRUE(ctx.outShapes[0].isRanked());
+    EXPECT_EQ(ctx.outShapes[0].dim(0).knownValue(), 2);
+    EXPECT_TRUE(ctx.outShapes[0].dim(1).isNac());
+}
+
+TEST(Transfer, CombineMergesBranchShapes)
+{
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId x = b.input("x");
+    ValueId pred = b.input("pred", DType::kInt64);
+    auto brs = b.switchOp(x, pred, 2);
+    b.output(b.combine(pred, brs));
+
+    // Agreeing branches -> merged shape; disagreeing dim -> nac.
+    auto ctx = runForward(&g, kCombineOp, {},
+                          {ShapeInfo::fromConcrete({}),  // pred
+                           ShapeInfo::ranked({K(2), Sym("s")}),
+                           ShapeInfo::ranked({K(2), Sym("s")})});
+    ASSERT_TRUE(ctx.outShapes[0].isRanked());
+    EXPECT_TRUE(ctx.outShapes[0].dim(1).expr()->isSymbol());
+
+    auto ctx2 = runForward(&g, kCombineOp, {},
+                           {ShapeInfo::fromConcrete({}),
+                            ShapeInfo::ranked({K(2), K(3)}),
+                            ShapeInfo::ranked({K(2), K(5)})});
+    EXPECT_TRUE(ctx2.outShapes[0].dim(1).isNac());
+}
+
+TEST(InferConcrete, MatchesManualComputation)
+{
+    Graph g;
+    GraphBuilder b(&g);
+    Rng rng(2);
+    ValueId x = b.input("x");
+    ValueId w = b.weight("w", {8, 3, 3, 3}, rng);
+    ValueId y = b.conv2d(x, w, -1, 2, 1);
+    b.output(y);
+
+    const Node& conv = g.node(g.value(y).producer);
+    Tensor xin = Tensor::zeros(DType::kFloat32, Shape({1, 3, 16, 20}));
+    auto shapes = inferConcreteShapes(
+        g, conv, {xin, g.value(w).constant});
+    ASSERT_EQ(shapes.size(), 1u);
+    EXPECT_EQ(shapes[0], Shape({1, 8, 8, 10}));
+}
+
+TEST(InferConcrete, EdoReturnsEmpty)
+{
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId x = b.input("x");
+    ValueId y = b.nonZero(x);
+    b.output(y);
+    const Node& nz = g.node(g.value(y).producer);
+    Tensor xin = Tensor::zeros(DType::kFloat32, Shape({4}));
+    EXPECT_TRUE(inferConcreteShapes(g, nz, {xin}).empty());
+}
+
+/** Parameterized sweep: pooled extent formula vs naive loop count. */
+class PooledExtentTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(PooledExtentTest, MatchesIterationCount)
+{
+    auto [in, k, s, p] = GetParam();
+    if (in + 2 * p < k)
+        GTEST_SKIP();
+    DimValue out = pooledExtent(K(in), k, s, p);
+    // Count valid placements directly.
+    int count = 0;
+    for (int start = -p; start + k <= in + p; start += s)
+        ++count;
+    EXPECT_EQ(out.knownValue(), count)
+        << "in=" << in << " k=" << k << " s=" << s << " p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PooledExtentTest,
+    ::testing::Combine(::testing::Values(7, 8, 224, 15),
+                       ::testing::Values(1, 2, 3, 5),
+                       ::testing::Values(1, 2, 3),
+                       ::testing::Values(0, 1, 2)));
+
+}  // namespace
+}  // namespace sod2

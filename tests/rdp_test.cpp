@@ -1,0 +1,315 @@
+/** Tests for the RDP data-flow analysis (paper §4.1, Alg. 1), including
+ *  the paper's Figure 3 forward/backward examples. */
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "rdp/rdp_analysis.h"
+#include "support/logging.h"
+
+namespace sod2 {
+namespace {
+
+RdpOptions
+withInput(const std::string& name, ShapeInfo s)
+{
+    RdpOptions opts;
+    opts.inputShapes[name] = std::move(s);
+    return opts;
+}
+
+ShapeInfo
+symShape(const std::vector<std::string>& syms)
+{
+    std::vector<DimValue> dims;
+    for (const auto& s : syms)
+        dims.push_back(DimValue::symbol(s));
+    return ShapeInfo::ranked(std::move(dims));
+}
+
+TEST(Rdp, PropagatesThroughIsdosChain)
+{
+    // Figure 1(b): once Conv's input shape is (symbolically) known the
+    // whole ISDOS sub-graph resolves.
+    Graph g;
+    GraphBuilder b(&g);
+    Rng rng(1);
+    ValueId x = b.input("x");
+    ValueId w = b.weight("w", {8, 3, 3, 3}, rng);
+    ValueId y = b.relu(b.conv2d(x, w, -1, 1, 1));
+    ValueId z = b.maxPool(y, 2, 2);
+    b.output(z);
+
+    auto res = runRdp(
+        g, withInput("x", ShapeInfo::ranked(
+                              {DimValue::known(1), DimValue::known(3),
+                               DimValue::symbol("h"), DimValue::symbol("w")})));
+    const ShapeInfo& out = res.shapeOf(z);
+    ASSERT_TRUE(out.isRanked());
+    EXPECT_TRUE(out.hasAllExprs());
+    auto dims = out.evaluate({{"h", 32}, {"w", 48}});
+    ASSERT_TRUE(dims.has_value());
+    EXPECT_EQ(*dims, (std::vector<int64_t>{1, 8, 16, 24}));
+}
+
+TEST(Rdp, Figure3aForwardTransfers)
+{
+    // Paper Figure 3(a): x:[a,b] -> Sigmoid -> Shape -> ReduceMin-like
+    // chain producing symbolic values. We model it as:
+    //   s1 = Sigmoid(x)         (ISDOS: shape [a,b])
+    //   s2 = Shape(s1)          (ISDO: value {a, b})
+    //   s3 = Gather(s2, [0])    (value {a})
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId x = b.input("x");
+    ValueId s1 = b.sigmoid(x);
+    ValueId s2 = b.shapeOf(s1);
+    ValueId s3 = b.gather(s2, b.constI64({0}));
+    b.output(s3);
+
+    auto res = runRdp(g, withInput("x", symShape({"a", "b"})));
+    EXPECT_TRUE(res.shapeOf(s1).hasAllExprs());
+    ASSERT_TRUE(res.valueOf(s2).hasElems());
+    EXPECT_EQ(res.valueOf(s2).elements()[0].expr()->symbolName(), "a");
+    ASSERT_TRUE(res.valueOf(s3).hasElems());
+    EXPECT_EQ(res.valueOf(s3).elements()[0].expr()->symbolName(), "a");
+}
+
+TEST(Rdp, ReshapeFromComputedShapeStaysSymbolic)
+{
+    // reshape(x, concat(shape(x)[0:1], [-1])) -> [a, b*c] symbolically.
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId x = b.input("x");
+    ValueId shp = b.shapeOf(x);
+    ValueId head = b.slice(x, {0}, {1}, {0});  // placeholder, unused
+    (void)head;
+    ValueId first = b.gather(shp, b.constI64({0}));
+    ValueId target = b.concat({first, b.constI64({-1})}, 0);
+    ValueId y = b.reshape(x, target);
+    b.output(y);
+
+    auto res = runRdp(g, withInput("x", symShape({"a", "b", "c"})));
+    const ShapeInfo& out = res.shapeOf(y);
+    ASSERT_TRUE(out.isRanked());
+    EXPECT_EQ(out.rank(), 2);
+    auto dims = out.evaluate({{"a", 2}, {"b", 3}, {"c", 5}});
+    ASSERT_TRUE(dims.has_value());
+    EXPECT_EQ(*dims, (std::vector<int64_t>{2, 15}));
+}
+
+TEST(Rdp, BackwardTransferRefinesInputViaMatMul)
+{
+    // Figure 3(b)-style: only the *output* shape is declared (via a
+    // weight) and backward analysis pins input dims. Here: y = x @ W
+    // with W:[64,32]; unary chain above x gives RDP a backward path.
+    Graph g;
+    GraphBuilder b(&g);
+    Rng rng(1);
+    ValueId x = b.input("x");
+    ValueId xr = b.relu(x);
+    ValueId w = b.weight("W", {64, 32}, rng);
+    ValueId y = b.matmul(xr, w);
+    b.output(y);
+
+    RdpOptions opts;
+    opts.inputShapes["x"] = ShapeInfo::ranked(
+        {DimValue::symbol("m"), DimValue::undef()});
+    auto res = runRdp(g, opts);
+    // Backward from MatMul: xr's last dim must be 64; unary backward
+    // then pins x's last dim.
+    const ShapeInfo& xs = res.shapeOf(x);
+    ASSERT_TRUE(xs.isRanked());
+    EXPECT_EQ(xs.dim(1).knownValue(), 64);
+    const ShapeInfo& xrs = res.shapeOf(xr);
+    EXPECT_EQ(xrs.dim(1).knownValue(), 64);
+}
+
+TEST(Rdp, BackwardDisabledLeavesUndef)
+{
+    Graph g;
+    GraphBuilder b(&g);
+    Rng rng(1);
+    ValueId x = b.input("x");
+    ValueId xr = b.relu(x);
+    ValueId w = b.weight("W", {64, 32}, rng);
+    b.output(b.matmul(xr, w));
+
+    RdpOptions opts;
+    opts.inputShapes["x"] = ShapeInfo::ranked(
+        {DimValue::symbol("m"), DimValue::undef()});
+    opts.enableBackward = false;
+    auto res = runRdp(g, opts);
+    EXPECT_TRUE(res.shapeOf(x).dim(1).isUndef());
+}
+
+TEST(Rdp, SwitchCombineMergeKeepsAgreeingShape)
+{
+    // Figure 1(d): all branches produce the same symbolic shape, so the
+    // Combine output is fully symbolic despite dynamic control flow.
+    Graph g;
+    GraphBuilder b(&g);
+    Rng rng(1);
+    ValueId x = b.input("x");
+    ValueId pred = b.input("pred", DType::kInt64);
+    auto brs = b.switchOp(x, pred, 2);
+    ValueId b0 = b.relu(brs[0]);
+    ValueId b1 = b.sigmoid(brs[1]);
+    ValueId y = b.combine(pred, {b0, b1});
+    b.output(y);
+
+    RdpOptions opts = withInput("x", symShape({"n", "c"}));
+    opts.inputShapes["pred"] = ShapeInfo::fromConcrete({});
+    auto res = runRdp(g, opts);
+    const ShapeInfo& out = res.shapeOf(y);
+    ASSERT_TRUE(out.isRanked());
+    EXPECT_TRUE(out.hasAllExprs());
+    EXPECT_TRUE(res.provablySameShape(y, x));
+}
+
+TEST(Rdp, SwitchCombineDisagreeingBranchesGoNac)
+{
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId x = b.input("x");
+    ValueId pred = b.input("pred", DType::kInt64);
+    auto brs = b.switchOp(x, pred, 2);
+    ValueId b0 = brs[0];                       // identity: [n, c]
+    ValueId b1 = b.reshape(brs[1], {1, -1});   // [1, n*c]
+    ValueId y = b.combine(pred, {b0, b1});
+    b.output(y);
+
+    RdpOptions opts = withInput("x", symShape({"n", "c"}));
+    opts.inputShapes["pred"] = ShapeInfo::fromConcrete({});
+    auto res = runRdp(g, opts);
+    EXPECT_EQ(res.categoryOf(y), ShapeCategory::kNac);
+}
+
+TEST(Rdp, EdoPoisonsDownstreamOnly)
+{
+    // NonZero's count dim is execution-determined; downstream shapes
+    // inherit nac, but an independent branch stays symbolic.
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId x = b.input("x");
+    ValueId nz = b.nonZero(x);
+    ValueId nz2 = b.cast(nz, DType::kFloat32);
+    ValueId clean = b.relu(x);
+    b.output(nz2);
+    b.output(clean);
+
+    auto res = runRdp(g, withInput("x", symShape({"n"})));
+    EXPECT_EQ(res.categoryOf(nz2), ShapeCategory::kNac);
+    EXPECT_EQ(res.categoryOf(clean), ShapeCategory::kSymbolic);
+}
+
+TEST(Rdp, CategoriesMatchDefinition)
+{
+    Graph g;
+    GraphBuilder b(&g);
+    Rng rng(1);
+    ValueId x = b.input("x");
+    ValueId w = b.weight("w", {4, 3, 3, 3}, rng);
+    ValueId conv = b.conv2d(x, w, -1, 2, 1);  // op-inferred dims
+    ValueId stat = b.reshape(conv, {1, -1});
+    (void)stat;
+    b.output(conv);
+
+    RdpOptions opts = withInput(
+        "x", ShapeInfo::ranked({DimValue::known(1), DimValue::known(3),
+                                DimValue::symbol("h"), DimValue::known(8)}));
+    auto res = runRdp(g, opts);
+    EXPECT_EQ(res.categoryOf(x), ShapeCategory::kSymbolic);
+    EXPECT_EQ(res.categoryOf(conv), ShapeCategory::kOpInferred);
+    EXPECT_EQ(res.categoryOf(g.value(w).constant.isValid() ? w : w),
+              ShapeCategory::kAllKnown);
+}
+
+TEST(Rdp, ConvergesQuicklyAndDeterministically)
+{
+    Graph g;
+    GraphBuilder b(&g);
+    Rng rng(1);
+    ValueId x = b.input("x");
+    ValueId h = x;
+    for (int i = 0; i < 20; ++i)
+        h = b.relu(b.add(h, h));
+    b.output(h);
+
+    auto opts = withInput("x", symShape({"n", "c"}));
+    auto r1 = runRdp(g, opts);
+    auto r2 = runRdp(g, opts);
+    EXPECT_LE(r1.iterations(), 4);
+    for (ValueId v = 0; v < g.numValues(); ++v)
+        EXPECT_TRUE(r1.shapeOf(v).equals(r2.shapeOf(v)));
+}
+
+TEST(Rdp, BindInputSymbolsConsistencyChecks)
+{
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId a = b.input("a");
+    ValueId c = b.input("c");
+    b.output(b.add(a, c));
+
+    RdpOptions opts;
+    opts.inputShapes["a"] = symShape({"s", "s"});
+    opts.inputShapes["c"] = ShapeInfo::ranked(
+        {DimValue::symbol("s"), DimValue::known(4)});
+
+    auto bindings = bindInputSymbols(g, opts, {Shape({4, 4}), Shape({4, 4})});
+    EXPECT_EQ(bindings.at("s"), 4);
+    // Inconsistent binding of s.
+    EXPECT_THROW(bindInputSymbols(g, opts, {Shape({4, 5}), Shape({4, 4})}),
+                 Error);
+    // Violated known constant.
+    EXPECT_THROW(bindInputSymbols(g, opts, {Shape({4, 4}), Shape({4, 9})}),
+                 Error);
+}
+
+TEST(Rdp, ProvablySameShapeDrivesFusionLegality)
+{
+    // Figure 4: Sigmoid output and Add operand with *equal symbolic*
+    // shapes must be provably same-shape; a broadcastable-but-unequal
+    // operand must not.
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId a = b.input("a");
+    ValueId c = b.input("c");
+    ValueId s = b.sigmoid(a);
+    ValueId y = b.add(s, c);
+    b.output(y);
+
+    RdpOptions opts;
+    opts.inputShapes["a"] = symShape({"i", "j"});
+    opts.inputShapes["c"] = symShape({"i", "j"});
+    auto res = runRdp(g, opts);
+    EXPECT_TRUE(res.provablySameShape(s, y));
+    EXPECT_TRUE(res.provablySameShape(c, y));
+
+    RdpOptions opts2;
+    opts2.inputShapes["a"] = ShapeInfo::ranked(
+        {DimValue::symbol("i"), DimValue::known(1)});
+    opts2.inputShapes["c"] = symShape({"i", "j"});
+    auto res2 = runRdp(g, opts2);
+    EXPECT_FALSE(res2.provablySameShape(s, y));
+}
+
+TEST(Rdp, AutoSymbolsFromRankDeclaration)
+{
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId x = b.input("img");
+    b.output(b.relu(x));
+    RdpOptions opts;
+    opts.inputRanks["img"] = 4;
+    auto res = runRdp(g, opts);
+    EXPECT_TRUE(res.shapeOf(x).hasAllExprs());
+    EXPECT_EQ(res.shapeOf(x).rank(), 4);
+    // Undeclared input with no rank: hard error.
+    RdpOptions empty;
+    EXPECT_THROW(runRdp(g, empty), Error);
+}
+
+}  // namespace
+}  // namespace sod2

@@ -1,0 +1,292 @@
+/** Tests for kernels and the reference interpreter, including
+ *  <Switch, Combine> control-flow semantics and EDO operators. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/builder.h"
+#include "kernels/gemm.h"
+#include "runtime/interpreter.h"
+#include "support/logging.h"
+
+namespace sod2 {
+namespace {
+
+Tensor
+iota(const Shape& s)
+{
+    Tensor t(DType::kFloat32, s);
+    float* p = t.data<float>();
+    for (int64_t i = 0; i < t.numElements(); ++i)
+        p[i] = static_cast<float>(i % 13) - 6.0f;
+    return t;
+}
+
+TEST(Kernels, GemmVariantsAgree)
+{
+    Rng rng(5);
+    int64_t m = 37, n = 29, k = 53;
+    Tensor a = Tensor::randomUniform(Shape({m, k}), rng);
+    Tensor b = Tensor::randomUniform(Shape({k, n}), rng);
+    Tensor c0(DType::kFloat32, Shape({m, n}));
+    Tensor c1(DType::kFloat32, Shape({m, n}));
+    gemmF32(a.data<float>(), b.data<float>(), c0.data<float>(), m, n, k,
+            GemmVariant{64, 64, 64, false});
+    gemmF32(a.data<float>(), b.data<float>(), c1.data<float>(), m, n, k,
+            GemmVariant{16, 128, 32, true});
+    EXPECT_TRUE(Tensor::allClose(c0, c1));
+}
+
+TEST(Kernels, GemmMatchesNaive)
+{
+    Rng rng(6);
+    int64_t m = 5, n = 7, k = 3;
+    Tensor a = Tensor::randomUniform(Shape({m, k}), rng);
+    Tensor b = Tensor::randomUniform(Shape({k, n}), rng);
+    Tensor c(DType::kFloat32, Shape({m, n}));
+    gemmF32(a.data<float>(), b.data<float>(), c.data<float>(), m, n, k,
+            GemmVariant{});
+    for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+            float acc = 0;
+            for (int64_t p = 0; p < k; ++p)
+                acc += a.data<float>()[i * k + p] *
+                       b.data<float>()[p * n + j];
+            EXPECT_NEAR(c.data<float>()[i * n + j], acc, 1e-4);
+        }
+    }
+}
+
+TEST(Interpreter, ElementwiseChain)
+{
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId x = b.input("x");
+    b.output(b.relu(b.neg(x)));
+    Interpreter interp(&g, {});
+    Tensor in = iota(Shape({2, 3}));
+    auto out = interp.run({in});
+    ASSERT_EQ(out.size(), 1u);
+    for (int64_t i = 0; i < in.numElements(); ++i) {
+        float expect = std::max(0.0f, -in.data<float>()[i]);
+        EXPECT_EQ(out[0].data<float>()[i], expect);
+    }
+}
+
+TEST(Interpreter, BroadcastAdd)
+{
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId x = b.input("x");
+    ValueId c = b.constTensor("bias", Tensor::full(DType::kFloat32,
+                                                   Shape({1, 3}), 2.0));
+    b.output(b.add(x, c));
+    Interpreter interp(&g, {});
+    auto out = interp.run({Tensor::full(DType::kFloat32, Shape({4, 3}),
+                                        1.0)});
+    EXPECT_EQ(out[0].shape(), Shape({4, 3}));
+    for (int64_t i = 0; i < 12; ++i)
+        EXPECT_EQ(out[0].data<float>()[i], 3.0f);
+}
+
+TEST(Interpreter, ConvKnownValues)
+{
+    // 1x1x3x3 input, 1x1x2x2 kernel of ones, stride 1 -> sums of 2x2
+    // windows.
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId x = b.input("x");
+    ValueId w = b.constTensor(
+        "w", Tensor::full(DType::kFloat32, Shape({1, 1, 2, 2}), 1.0));
+    b.output(b.conv2d(x, w, -1));
+    Tensor in(DType::kFloat32, Shape({1, 1, 3, 3}));
+    for (int i = 0; i < 9; ++i)
+        in.data<float>()[i] = static_cast<float>(i);
+    Interpreter interp(&g, {});
+    auto out = interp.run({in});
+    ASSERT_EQ(out[0].shape(), Shape({1, 1, 2, 2}));
+    EXPECT_EQ(out[0].data<float>()[0], 0 + 1 + 3 + 4);
+    EXPECT_EQ(out[0].data<float>()[3], 4 + 5 + 7 + 8);
+}
+
+TEST(Interpreter, SoftmaxRowsSumToOne)
+{
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId x = b.input("x");
+    b.output(b.softmax(x, -1));
+    Interpreter interp(&g, {});
+    auto out = interp.run({iota(Shape({4, 9}))});
+    for (int r = 0; r < 4; ++r) {
+        float sum = 0;
+        for (int c = 0; c < 9; ++c)
+            sum += out[0].data<float>()[r * 9 + c];
+        EXPECT_NEAR(sum, 1.0f, 1e-5);
+    }
+}
+
+TEST(Interpreter, DynamicReshapeViaShapeOf)
+{
+    // y = reshape(x, [first_dim, -1]) computed from Shape(x).
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId x = b.input("x");
+    ValueId shp = b.shapeOf(x);
+    ValueId head = b.gather(shp, b.constI64({0}));
+    ValueId target = b.concat({head, b.constI64({-1})}, 0);
+    b.output(b.reshape(x, target));
+    Interpreter interp(&g, {});
+    auto out = interp.run({iota(Shape({3, 4, 5}))});
+    EXPECT_EQ(out[0].shape(), Shape({3, 20}));
+}
+
+TEST(Interpreter, SwitchCombineTakesSelectedBranch)
+{
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId x = b.input("x");
+    ValueId pred = b.input("pred", DType::kInt64);
+    auto brs = b.switchOp(x, pred, 2);
+    ValueId b0 = b.relu(brs[0]);                      // branch 0
+    ValueId b1 = b.neg(brs[1]);                       // branch 1
+    b.output(b.combine(pred, {b0, b1}));
+
+    Tensor in = iota(Shape({2, 2}));
+    {
+        Interpreter interp(&g, {});
+        auto out = interp.run({in, Tensor::scalarInt64(0)});
+        for (int i = 0; i < 4; ++i)
+            EXPECT_EQ(out[0].data<float>()[i],
+                      std::max(0.0f, in.data<float>()[i]));
+        // Only selected branch executed: switch + relu + combine = 3.
+        EXPECT_EQ(interp.executedNodeCount(), 3);
+    }
+    {
+        Interpreter interp(&g, {});
+        auto out = interp.run({in, Tensor::scalarInt64(1)});
+        for (int i = 0; i < 4; ++i)
+            EXPECT_EQ(out[0].data<float>()[i], -in.data<float>()[i]);
+    }
+}
+
+TEST(Interpreter, ExecuteAllBranchesStripsInvalid)
+{
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId x = b.input("x");
+    ValueId pred = b.input("pred", DType::kInt64);
+    auto brs = b.switchOp(x, pred, 3);
+    std::vector<ValueId> outs;
+    for (auto br : brs)
+        outs.push_back(b.relu(br));
+    b.output(b.combine(pred, outs));
+
+    InterpreterOptions all;
+    all.executeAllBranches = true;
+    Interpreter interp(&g, all);
+    auto out = interp.run({iota(Shape({2, 2})), Tensor::scalarInt64(2)});
+    EXPECT_EQ(out[0].shape(), Shape({2, 2}));
+    // All three branches executed: switch + 3 relu + combine = 5.
+    EXPECT_EQ(interp.executedNodeCount(), 5);
+}
+
+TEST(Interpreter, IfSubgraph)
+{
+    auto mk_branch = [](bool neg) {
+        auto sub = std::make_shared<Graph>();
+        GraphBuilder sb(sub.get());
+        ValueId sx = sb.input("sx");
+        sb.output(neg ? sb.neg(sx) : sb.relu(sx));
+        return sub;
+    };
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId x = b.input("x");
+    ValueId cond = b.input("cond", DType::kBool);
+    b.output(b.ifOp(cond, mk_branch(false), mk_branch(true), {x}));
+
+    Interpreter interp(&g, {});
+    Tensor in = iota(Shape({3}));
+    auto t = interp.run({in, Tensor::full(DType::kBool, Shape(), 1)});
+    EXPECT_EQ(t[0].data<float>()[0], std::max(0.0f, in.data<float>()[0]));
+    auto f = interp.run({in, Tensor::full(DType::kBool, Shape(), 0)});
+    EXPECT_EQ(f[0].data<float>()[0], -in.data<float>()[0]);
+}
+
+TEST(Interpreter, NonZeroProducesCoordinates)
+{
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId x = b.input("x");
+    b.output(b.nonZero(x));
+    Tensor in = Tensor::zeros(DType::kFloat32, Shape({2, 3}));
+    in.data<float>()[1] = 5.0f;  // (0, 1)
+    in.data<float>()[5] = 2.0f;  // (1, 2)
+    Interpreter interp(&g, {});
+    auto out = interp.run({in});
+    EXPECT_EQ(out[0].shape(), Shape({2, 2}));
+    auto v = out[0].toInt64Vector();
+    EXPECT_EQ(v, (std::vector<int64_t>{0, 1, 1, 2}));
+}
+
+TEST(Interpreter, TopKOrdering)
+{
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId x = b.input("x");
+    auto [values, indices] = b.topK(x, b.constI64({2}));
+    b.output(values);
+    b.output(indices);
+    Tensor in(DType::kFloat32, Shape({5}));
+    float data[] = {1, 9, 3, 7, 5};
+    std::copy(data, data + 5, in.data<float>());
+    Interpreter interp(&g, {});
+    auto out = interp.run({in});
+    EXPECT_EQ(out[0].data<float>()[0], 9.0f);
+    EXPECT_EQ(out[0].data<float>()[1], 7.0f);
+    EXPECT_EQ(out[1].toInt64Vector(), (std::vector<int64_t>{1, 3}));
+}
+
+TEST(Interpreter, LayerNormZeroMeanUnitVar)
+{
+    Graph g;
+    GraphBuilder b(&g);
+    Rng rng(9);
+    ValueId x = b.input("x");
+    ValueId scale = b.constTensor(
+        "g", Tensor::full(DType::kFloat32, Shape({8}), 1.0));
+    ValueId bias = b.constTensor(
+        "b", Tensor::full(DType::kFloat32, Shape({8}), 0.0));
+    b.output(b.layerNorm(x, scale, bias));
+    Interpreter interp(&g, {});
+    auto out = interp.run({Tensor::randomUniform(Shape({4, 8}), rng)});
+    for (int r = 0; r < 4; ++r) {
+        float mean = 0;
+        for (int c = 0; c < 8; ++c)
+            mean += out[0].data<float>()[r * 8 + c];
+        EXPECT_NEAR(mean / 8, 0.0f, 1e-4);
+    }
+}
+
+TEST(Interpreter, ReleasesIntermediatesEagerly)
+{
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId x = b.input("x");
+    ValueId h = x;
+    for (int i = 0; i < 10; ++i)
+        h = b.relu(h);
+    b.output(h);
+
+    TensorAllocStats::instance().reset();
+    Interpreter interp(&g, {});
+    auto out = interp.run({Tensor::zeros(DType::kFloat32, Shape({1024}))});
+    // With eager release at most ~2 intermediates live at once (4 KiB
+    // each); without it the chain would hold 10.
+    EXPECT_LE(TensorAllocStats::instance().peakBytes(), 3 * 4096u);
+    (void)out;
+}
+
+}  // namespace
+}  // namespace sod2

@@ -1,0 +1,133 @@
+/** Tests for logging/CHECK, thread pool, RNG, and string utilities. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "support/logging.h"
+#include "support/rng.h"
+#include "support/string_util.h"
+#include "support/threadpool.h"
+
+namespace sod2 {
+namespace {
+
+TEST(Logging, CheckThrowsWithContext)
+{
+    EXPECT_THROW(
+        { SOD2_CHECK(false) << "extra detail"; }, Error);
+    try {
+        SOD2_CHECK_EQ(1, 2);
+        FAIL() << "expected throw";
+    } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find("1 vs 2"), std::string::npos);
+    }
+}
+
+TEST(Logging, CheckPassesSilently)
+{
+    SOD2_CHECK(true) << "never evaluated";
+    SOD2_CHECK_LE(1, 1);
+    SOD2_CHECK_GT(2, 1);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce)
+{
+    std::vector<std::atomic<int>> hits(1000);
+    parallelFor(1000, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i)
+            hits[i].fetch_add(1);
+    });
+    for (const auto& h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyAndTinyRanges)
+{
+    std::atomic<int64_t> sum{0};
+    parallelFor(0, [&](int64_t, int64_t) { sum += 1; });
+    EXPECT_EQ(sum.load(), 0);
+    parallelFor(1, [&](int64_t b, int64_t e) { sum += e - b; });
+    EXPECT_EQ(sum.load(), 1);
+}
+
+TEST(ThreadPool, GrainSizeLimitsSplitting)
+{
+    std::atomic<int> chunks{0};
+    parallelFor(
+        100,
+        [&](int64_t, int64_t) { chunks.fetch_add(1); },
+        100);
+    EXPECT_EQ(chunks.load(), 1);
+}
+
+TEST(ThreadPool, LargeReductionMatchesSerial)
+{
+    const int64_t n = 1 << 18;
+    std::vector<int64_t> data(n);
+    std::iota(data.begin(), data.end(), 0);
+    std::atomic<int64_t> total{0};
+    parallelFor(n, [&](int64_t b, int64_t e) {
+        int64_t local = 0;
+        for (int64_t i = b; i < e; ++i)
+            local += data[i];
+        total += local;
+    });
+    EXPECT_EQ(total.load(), n * (n - 1) / 2);
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformIntInRange)
+{
+    Rng rng(7);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        int64_t v = rng.uniformInt(3, 9);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 9);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, UniformFloatInUnitInterval)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        float v = rng.uniformFloat();
+        EXPECT_GE(v, 0.0f);
+        EXPECT_LT(v, 1.0f);
+    }
+}
+
+TEST(StringUtil, JoinAndBracketed)
+{
+    std::vector<int> v = {1, 2, 3};
+    EXPECT_EQ(join(v, ", "), "1, 2, 3");
+    EXPECT_EQ(bracketed(v), "[1, 2, 3]");
+    EXPECT_EQ(bracketed(std::vector<int>{}), "[]");
+}
+
+TEST(StringUtil, StrFormat)
+{
+    EXPECT_EQ(strFormat("%d-%s", 5, "x"), "5-x");
+    EXPECT_EQ(strFormat("%.2f", 1.005), "1.00");
+}
+
+TEST(StringUtil, PadTo)
+{
+    EXPECT_EQ(padTo("ab", 4), "ab  ");
+    EXPECT_EQ(padTo("abcdef", 4), "abcd");
+}
+
+}  // namespace
+}  // namespace sod2

@@ -1,0 +1,263 @@
+/** Tests for symbolic expressions, the DimValue lattice, and abstract
+ *  shapes/values — the substrate of RDP. */
+
+#include <gtest/gtest.h>
+
+#include "support/logging.h"
+#include "support/rng.h"
+#include "symbolic/dim_value.h"
+#include "symbolic/expr.h"
+#include "symbolic/shape_info.h"
+
+namespace sod2 {
+namespace {
+
+SymExprPtr C(int64_t v) { return SymExpr::constant(v); }
+SymExprPtr S(const std::string& n) { return SymExpr::symbol(n); }
+
+TEST(SymExpr, ConstantFolding)
+{
+    EXPECT_EQ((C(2) + C(3))->constValue(), 5);
+    EXPECT_EQ((C(2) * C(3))->constValue(), 6);
+    EXPECT_EQ((C(7) - C(3))->constValue(), 4);
+    EXPECT_EQ(symFloorDiv(C(7), C(2))->constValue(), 3);
+    EXPECT_EQ(symCeilDiv(C(7), C(2))->constValue(), 4);
+    EXPECT_EQ(symMod(C(7), C(3))->constValue(), 1);
+    EXPECT_EQ(symMin(C(7), C(3))->constValue(), 3);
+    EXPECT_EQ(symMax(C(7), C(3))->constValue(), 7);
+}
+
+TEST(SymExpr, FloorDivMatchesPythonSemantics)
+{
+    EXPECT_EQ(symFloorDiv(C(-7), C(2))->constValue(), -4);
+    EXPECT_EQ(symMod(C(-7), C(3))->constValue(), 2);
+}
+
+TEST(SymExpr, IdentityElimination)
+{
+    SymExprPtr s = S("s");
+    EXPECT_TRUE((s + C(0))->equals(*s));
+    EXPECT_TRUE((s - C(0))->equals(*s));
+    EXPECT_TRUE((s * C(1))->equals(*s));
+    EXPECT_EQ((s * C(0))->constValue(), 0);
+    EXPECT_TRUE(symFloorDiv(s, C(1))->equals(*s));
+    EXPECT_EQ(symMod(s, C(1))->constValue(), 0);
+}
+
+TEST(SymExpr, SelfSimplification)
+{
+    SymExprPtr s = S("s");
+    EXPECT_TRUE(symMin(s, s)->equals(*s));
+    EXPECT_TRUE(symMax(s, s)->equals(*s));
+    EXPECT_EQ((s - s)->constValue(), 0);
+    EXPECT_EQ(symFloorDiv(s, s)->constValue(), 1);
+    EXPECT_EQ(symMod(s, s)->constValue(), 0);
+}
+
+TEST(SymExpr, CommutativeCanonicalization)
+{
+    SymExprPtr a = S("a"), b = S("b");
+    // a+b and b+a canonicalize to the same tree.
+    EXPECT_TRUE((a + b)->equals(*(b + a)));
+    EXPECT_TRUE((a * b)->equals(*(b * a)));
+    EXPECT_TRUE(symMin(a, b)->equals(*symMin(b, a)));
+    // Constants move to the right.
+    EXPECT_TRUE((C(3) + a)->equals(*(a + C(3))));
+}
+
+TEST(SymExpr, ConstantReassociation)
+{
+    SymExprPtr s = S("s");
+    // (s + 2) + 3 == s + 5
+    EXPECT_TRUE(((s + C(2)) + C(3))->equals(*(s + C(5))));
+    // (s * 2) * 3 == s * 6
+    EXPECT_TRUE(((s * C(2)) * C(3))->equals(*(s * C(6))));
+    // (s - 2) + 5 == s + 3
+    EXPECT_TRUE(((s - C(2)) + C(5))->equals(*(s + C(3))));
+    // (s + 5) - 2 == s + 3
+    EXPECT_TRUE(((s + C(5)) - C(2))->equals(*(s + C(3))));
+}
+
+TEST(SymExpr, EvaluateWithBindings)
+{
+    SymExprPtr e = (S("h") + C(2)) * S("w");
+    std::map<std::string, int64_t> bindings = {{"h", 6}, {"w", 10}};
+    EXPECT_EQ(e->evaluate(bindings), 80);
+    EXPECT_EQ(e->evaluate({{"h", 6}}), std::nullopt);
+}
+
+TEST(SymExpr, CollectSymbolsDeduplicates)
+{
+    SymExprPtr e = (S("a") + S("b")) * S("a");
+    std::vector<std::string> syms;
+    e->collectSymbols(&syms);
+    EXPECT_EQ(syms.size(), 2u);
+}
+
+TEST(SymExpr, ToStringRoundTripReadable)
+{
+    SymExprPtr e = symMin(S("s") * C(2), C(128));
+    EXPECT_EQ(e->toString(), "min((s * 2), 128)");
+}
+
+/** Property: simplification preserves evaluation on random expressions. */
+class SymExprPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SymExprPropertyTest, SimplificationPreservesSemantics)
+{
+    Rng rng(GetParam());
+    // Build a random expression tree over symbols {x, y} and constants,
+    // evaluating both a naive interpretation and the simplified tree.
+    std::map<std::string, int64_t> bindings = {
+        {"x", rng.uniformInt(1, 40)}, {"y", rng.uniformInt(1, 40)}};
+
+    struct Raw
+    {
+        // Mirrors the expression without simplification.
+        std::function<int64_t()> eval;
+        SymExprPtr expr;
+    };
+    std::function<Raw(int)> gen = [&](int depth) -> Raw {
+        if (depth == 0 || rng.bernoulli(0.3f)) {
+            if (rng.bernoulli(0.5f)) {
+                int64_t c = rng.uniformInt(1, 8);
+                return {[c] { return c; }, C(c)};
+            }
+            std::string name = rng.bernoulli(0.5f) ? "x" : "y";
+            int64_t v = bindings[name];
+            return {[v] { return v; }, S(name)};
+        }
+        Raw l = gen(depth - 1);
+        Raw r = gen(depth - 1);
+        switch (rng.uniformInt(0, 4)) {
+          case 0:
+            return {[=] { return l.eval() + r.eval(); }, l.expr + r.expr};
+          case 1:
+            return {[=] { return l.eval() - r.eval(); }, l.expr - r.expr};
+          case 2:
+            return {[=] { return l.eval() * r.eval(); }, l.expr * r.expr};
+          case 3:
+            return {[=] { return std::min(l.eval(), r.eval()); },
+                    symMin(l.expr, r.expr)};
+          default:
+            return {[=] { return std::max(l.eval(), r.eval()); },
+                    symMax(l.expr, r.expr)};
+        }
+    };
+    for (int trial = 0; trial < 50; ++trial) {
+        Raw e = gen(4);
+        auto v = e.expr->evaluate(bindings);
+        ASSERT_TRUE(v.has_value());
+        EXPECT_EQ(*v, e.eval()) << e.expr->toString();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SymExprPropertyTest,
+                         ::testing::Range(0, 8));
+
+TEST(DimValue, LatticeMeet)
+{
+    DimValue u = DimValue::undef();
+    DimValue n = DimValue::nac();
+    DimValue k5 = DimValue::known(5);
+    DimValue s = DimValue::symbol("s");
+
+    EXPECT_TRUE(u.meet(k5).equals(k5));
+    EXPECT_TRUE(k5.meet(u).equals(k5));
+    EXPECT_TRUE(n.meet(k5).isNac());
+    EXPECT_TRUE(k5.meet(n).isNac());
+    EXPECT_TRUE(k5.meet(k5).equals(k5));
+    EXPECT_TRUE(k5.meet(s).isNac());
+    EXPECT_TRUE(s.meet(DimValue::symbol("s")).equals(s));
+}
+
+TEST(DimValue, RefineWithReportsChange)
+{
+    DimValue cell = DimValue::undef();
+    EXPECT_TRUE(cell.refineWith(DimValue::known(4)));
+    EXPECT_FALSE(cell.refineWith(DimValue::known(4)));
+    EXPECT_TRUE(cell.refineWith(DimValue::known(5)));  // conflict -> nac
+    EXPECT_TRUE(cell.isNac());
+    EXPECT_FALSE(cell.refineWith(DimValue::known(9)));  // stays nac
+}
+
+TEST(DimValue, MeetIsMonotoneNonIncreasing)
+{
+    // Once a cell leaves undef it never returns; once nac always nac.
+    DimValue cell = DimValue::symbol("t");
+    cell.refineWith(DimValue::undef());
+    EXPECT_TRUE(cell.hasExpr());
+    cell.refineWith(DimValue::nac());
+    EXPECT_TRUE(cell.isNac());
+    cell.refineWith(DimValue::symbol("t"));
+    EXPECT_TRUE(cell.isNac());
+}
+
+TEST(ShapeInfo, MeetRankMismatchIsNac)
+{
+    ShapeInfo a = ShapeInfo::fromConcrete({2, 3});
+    ShapeInfo b = ShapeInfo::fromConcrete({2, 3, 4});
+    EXPECT_TRUE(a.meet(b).isNac());
+}
+
+TEST(ShapeInfo, MeetElementwise)
+{
+    ShapeInfo a = ShapeInfo::ranked({DimValue::known(2),
+                                     DimValue::symbol("s")});
+    ShapeInfo b = ShapeInfo::ranked({DimValue::known(2),
+                                     DimValue::known(7)});
+    ShapeInfo m = a.meet(b);
+    ASSERT_TRUE(m.isRanked());
+    EXPECT_EQ(m.dim(0).knownValue(), 2);
+    EXPECT_TRUE(m.dim(1).isNac());
+}
+
+TEST(ShapeInfo, NumElementsExprAndEvaluate)
+{
+    ShapeInfo s = ShapeInfo::ranked({DimValue::symbol("b"),
+                                     DimValue::known(4)});
+    SymExprPtr n = s.numElementsExpr();
+    ASSERT_TRUE(n != nullptr);
+    EXPECT_EQ(n->evaluate({{"b", 3}}), 12);
+    auto dims = s.evaluate({{"b", 3}});
+    ASSERT_TRUE(dims.has_value());
+    EXPECT_EQ(*dims, (std::vector<int64_t>{3, 4}));
+}
+
+TEST(ShapeInfo, StaticPredicates)
+{
+    EXPECT_TRUE(ShapeInfo::fromConcrete({1, 2}).isFullyStatic());
+    ShapeInfo sym = ShapeInfo::ranked({DimValue::symbol("s")});
+    EXPECT_FALSE(sym.isFullyStatic());
+    EXPECT_TRUE(sym.hasAllExprs());
+    ShapeInfo bad = ShapeInfo::ranked({DimValue::nac()});
+    EXPECT_TRUE(bad.hasNac());
+    EXPECT_FALSE(bad.hasAllExprs());
+}
+
+TEST(ValueInfo, ConcreteRoundTrip)
+{
+    ValueInfo v = ValueInfo::fromConcrete({3, -1, 7});
+    EXPECT_TRUE(v.isFullyStatic());
+    EXPECT_EQ(v.staticElements(), (std::vector<int64_t>{3, -1, 7}));
+}
+
+TEST(ValueInfo, MeetSizeMismatchIsUnknown)
+{
+    ValueInfo a = ValueInfo::fromConcrete({1, 2});
+    ValueInfo b = ValueInfo::fromConcrete({1, 2, 3});
+    EXPECT_TRUE(a.meet(b).isUnknown());
+}
+
+TEST(ValueInfo, SymbolicEvaluate)
+{
+    ValueInfo v = ValueInfo::elems(
+        {DimValue::known(2), DimValue::symbol("s")});
+    auto out = v.evaluate({{"s", 9}});
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, (std::vector<int64_t>{2, 9}));
+    EXPECT_EQ(v.evaluate({}), std::nullopt);
+}
+
+}  // namespace
+}  // namespace sod2
