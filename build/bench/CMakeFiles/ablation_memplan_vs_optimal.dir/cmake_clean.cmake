@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_memplan_vs_optimal.dir/ablation_memplan_vs_optimal.cpp.o"
+  "CMakeFiles/ablation_memplan_vs_optimal.dir/ablation_memplan_vs_optimal.cpp.o.d"
+  "ablation_memplan_vs_optimal"
+  "ablation_memplan_vs_optimal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_memplan_vs_optimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_input_sizes.dir/fig10_input_sizes.cpp.o"
+  "CMakeFiles/fig10_input_sizes.dir/fig10_input_sizes.cpp.o.d"
+  "fig10_input_sizes"
+  "fig10_input_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_input_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

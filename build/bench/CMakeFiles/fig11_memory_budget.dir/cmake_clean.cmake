@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_memory_budget.dir/fig11_memory_budget.cpp.o"
+  "CMakeFiles/fig11_memory_budget.dir/fig11_memory_budget.cpp.o.d"
+  "fig11_memory_budget"
+  "fig11_memory_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_memory_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_static_overhead.dir/fig12_static_overhead.cpp.o"
+  "CMakeFiles/fig12_static_overhead.dir/fig12_static_overhead.cpp.o.d"
+  "fig12_static_overhead"
+  "fig12_static_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_static_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_portability.dir/fig13_portability.cpp.o"
+  "CMakeFiles/fig13_portability.dir/fig13_portability.cpp.o.d"
+  "fig13_portability"
+  "fig13_portability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_portability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_memory_breakdown.cpp" "bench/CMakeFiles/fig5_memory_breakdown.dir/fig5_memory_breakdown.cpp.o" "gcc" "bench/CMakeFiles/fig5_memory_breakdown.dir/fig5_memory_breakdown.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/sod2_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sod2_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sod2_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sod2_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sod2_planning.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sod2_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sod2_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sod2_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sod2_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sod2_rdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sod2_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sod2_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sod2_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sod2_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sod2_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sod2_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

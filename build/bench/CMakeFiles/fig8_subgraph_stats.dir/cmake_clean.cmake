@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_subgraph_stats.dir/fig8_subgraph_stats.cpp.o"
+  "CMakeFiles/fig8_subgraph_stats.dir/fig8_subgraph_stats.cpp.o.d"
+  "fig8_subgraph_stats"
+  "fig8_subgraph_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_subgraph_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

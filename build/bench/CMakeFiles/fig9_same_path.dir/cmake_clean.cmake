@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_same_path.dir/fig9_same_path.cpp.o"
+  "CMakeFiles/fig9_same_path.dir/fig9_same_path.cpp.o.d"
+  "fig9_same_path"
+  "fig9_same_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_same_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

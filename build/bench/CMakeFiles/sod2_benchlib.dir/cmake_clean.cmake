@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sod2_benchlib.dir/harness.cpp.o"
+  "CMakeFiles/sod2_benchlib.dir/harness.cpp.o.d"
+  "libsod2_benchlib.a"
+  "libsod2_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sod2_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

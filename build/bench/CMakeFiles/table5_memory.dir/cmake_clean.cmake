@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_memory.dir/table5_memory.cpp.o"
+  "CMakeFiles/table5_memory.dir/table5_memory.cpp.o.d"
+  "table5_memory"
+  "table5_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_input_distribution.dir/table7_input_distribution.cpp.o"
+  "CMakeFiles/table7_input_distribution.dir/table7_input_distribution.cpp.o.d"
+  "table7_input_distribution"
+  "table7_input_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_input_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoregressive_loop.dir/autoregressive_loop.cpp.o"
+  "CMakeFiles/autoregressive_loop.dir/autoregressive_loop.cpp.o.d"
+  "autoregressive_loop"
+  "autoregressive_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoregressive_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_shapes.dir/dynamic_shapes.cpp.o"
+  "CMakeFiles/dynamic_shapes.dir/dynamic_shapes.cpp.o.d"
+  "dynamic_shapes"
+  "dynamic_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_planning.dir/memory_planning.cpp.o"
+  "CMakeFiles/memory_planning.dir/memory_planning.cpp.o.d"
+  "memory_planning"
+  "memory_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sod2_run.dir/sod2_run.cpp.o"
+  "CMakeFiles/sod2_run.dir/sod2_run.cpp.o.d"
+  "sod2_run"
+  "sod2_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sod2_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

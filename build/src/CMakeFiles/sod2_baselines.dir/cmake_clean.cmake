@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sod2_baselines.dir/baselines/mnn_like.cpp.o"
+  "CMakeFiles/sod2_baselines.dir/baselines/mnn_like.cpp.o.d"
+  "CMakeFiles/sod2_baselines.dir/baselines/ort_like.cpp.o"
+  "CMakeFiles/sod2_baselines.dir/baselines/ort_like.cpp.o.d"
+  "CMakeFiles/sod2_baselines.dir/baselines/tflite_like.cpp.o"
+  "CMakeFiles/sod2_baselines.dir/baselines/tflite_like.cpp.o.d"
+  "CMakeFiles/sod2_baselines.dir/baselines/tvm_nimble_like.cpp.o"
+  "CMakeFiles/sod2_baselines.dir/baselines/tvm_nimble_like.cpp.o.d"
+  "libsod2_baselines.a"
+  "libsod2_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sod2_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sod2_codegen.dir/codegen/kernel_tuner.cpp.o"
+  "CMakeFiles/sod2_codegen.dir/codegen/kernel_tuner.cpp.o.d"
+  "libsod2_codegen.a"
+  "libsod2_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sod2_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

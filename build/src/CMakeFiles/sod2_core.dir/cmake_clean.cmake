@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sod2_core.dir/core/sod2_engine.cpp.o"
+  "CMakeFiles/sod2_core.dir/core/sod2_engine.cpp.o.d"
+  "libsod2_core.a"
+  "libsod2_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sod2_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

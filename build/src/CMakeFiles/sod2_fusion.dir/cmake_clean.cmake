@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sod2_fusion.dir/fusion/fused_executor.cpp.o"
+  "CMakeFiles/sod2_fusion.dir/fusion/fused_executor.cpp.o.d"
+  "CMakeFiles/sod2_fusion.dir/fusion/fusion_plan.cpp.o"
+  "CMakeFiles/sod2_fusion.dir/fusion/fusion_plan.cpp.o.d"
+  "libsod2_fusion.a"
+  "libsod2_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sod2_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/attr.cpp" "src/CMakeFiles/sod2_graph.dir/graph/attr.cpp.o" "gcc" "src/CMakeFiles/sod2_graph.dir/graph/attr.cpp.o.d"
+  "/root/repo/src/graph/builder.cpp" "src/CMakeFiles/sod2_graph.dir/graph/builder.cpp.o" "gcc" "src/CMakeFiles/sod2_graph.dir/graph/builder.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/sod2_graph.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/sod2_graph.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/serializer.cpp" "src/CMakeFiles/sod2_graph.dir/graph/serializer.cpp.o" "gcc" "src/CMakeFiles/sod2_graph.dir/graph/serializer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sod2_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sod2_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sod2_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sod2_graph.dir/graph/attr.cpp.o"
+  "CMakeFiles/sod2_graph.dir/graph/attr.cpp.o.d"
+  "CMakeFiles/sod2_graph.dir/graph/builder.cpp.o"
+  "CMakeFiles/sod2_graph.dir/graph/builder.cpp.o.d"
+  "CMakeFiles/sod2_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/sod2_graph.dir/graph/graph.cpp.o.d"
+  "CMakeFiles/sod2_graph.dir/graph/serializer.cpp.o"
+  "CMakeFiles/sod2_graph.dir/graph/serializer.cpp.o.d"
+  "libsod2_graph.a"
+  "libsod2_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sod2_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/conv.cpp" "src/CMakeFiles/sod2_kernels.dir/kernels/conv.cpp.o" "gcc" "src/CMakeFiles/sod2_kernels.dir/kernels/conv.cpp.o.d"
+  "/root/repo/src/kernels/data_movement.cpp" "src/CMakeFiles/sod2_kernels.dir/kernels/data_movement.cpp.o" "gcc" "src/CMakeFiles/sod2_kernels.dir/kernels/data_movement.cpp.o.d"
+  "/root/repo/src/kernels/device_profile.cpp" "src/CMakeFiles/sod2_kernels.dir/kernels/device_profile.cpp.o" "gcc" "src/CMakeFiles/sod2_kernels.dir/kernels/device_profile.cpp.o.d"
+  "/root/repo/src/kernels/elementwise.cpp" "src/CMakeFiles/sod2_kernels.dir/kernels/elementwise.cpp.o" "gcc" "src/CMakeFiles/sod2_kernels.dir/kernels/elementwise.cpp.o.d"
+  "/root/repo/src/kernels/gemm.cpp" "src/CMakeFiles/sod2_kernels.dir/kernels/gemm.cpp.o" "gcc" "src/CMakeFiles/sod2_kernels.dir/kernels/gemm.cpp.o.d"
+  "/root/repo/src/kernels/reduce.cpp" "src/CMakeFiles/sod2_kernels.dir/kernels/reduce.cpp.o" "gcc" "src/CMakeFiles/sod2_kernels.dir/kernels/reduce.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sod2_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sod2_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sod2_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sod2_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

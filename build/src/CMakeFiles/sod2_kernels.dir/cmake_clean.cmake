@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sod2_kernels.dir/kernels/conv.cpp.o"
+  "CMakeFiles/sod2_kernels.dir/kernels/conv.cpp.o.d"
+  "CMakeFiles/sod2_kernels.dir/kernels/data_movement.cpp.o"
+  "CMakeFiles/sod2_kernels.dir/kernels/data_movement.cpp.o.d"
+  "CMakeFiles/sod2_kernels.dir/kernels/device_profile.cpp.o"
+  "CMakeFiles/sod2_kernels.dir/kernels/device_profile.cpp.o.d"
+  "CMakeFiles/sod2_kernels.dir/kernels/elementwise.cpp.o"
+  "CMakeFiles/sod2_kernels.dir/kernels/elementwise.cpp.o.d"
+  "CMakeFiles/sod2_kernels.dir/kernels/gemm.cpp.o"
+  "CMakeFiles/sod2_kernels.dir/kernels/gemm.cpp.o.d"
+  "CMakeFiles/sod2_kernels.dir/kernels/reduce.cpp.o"
+  "CMakeFiles/sod2_kernels.dir/kernels/reduce.cpp.o.d"
+  "libsod2_kernels.a"
+  "libsod2_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sod2_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

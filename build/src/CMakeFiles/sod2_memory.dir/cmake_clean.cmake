@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sod2_memory.dir/memory/branch_colors.cpp.o"
+  "CMakeFiles/sod2_memory.dir/memory/branch_colors.cpp.o.d"
+  "CMakeFiles/sod2_memory.dir/memory/lifetime.cpp.o"
+  "CMakeFiles/sod2_memory.dir/memory/lifetime.cpp.o.d"
+  "CMakeFiles/sod2_memory.dir/memory/planners.cpp.o"
+  "CMakeFiles/sod2_memory.dir/memory/planners.cpp.o.d"
+  "CMakeFiles/sod2_memory.dir/memory/pool_allocator.cpp.o"
+  "CMakeFiles/sod2_memory.dir/memory/pool_allocator.cpp.o.d"
+  "libsod2_memory.a"
+  "libsod2_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sod2_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

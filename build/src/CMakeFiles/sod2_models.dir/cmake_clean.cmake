@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sod2_models.dir/models/blocks.cpp.o"
+  "CMakeFiles/sod2_models.dir/models/blocks.cpp.o.d"
+  "CMakeFiles/sod2_models.dir/models/model_zoo.cpp.o"
+  "CMakeFiles/sod2_models.dir/models/model_zoo.cpp.o.d"
+  "CMakeFiles/sod2_models.dir/models/models_gated.cpp.o"
+  "CMakeFiles/sod2_models.dir/models/models_gated.cpp.o.d"
+  "CMakeFiles/sod2_models.dir/models/models_shape.cpp.o"
+  "CMakeFiles/sod2_models.dir/models/models_shape.cpp.o.d"
+  "libsod2_models.a"
+  "libsod2_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sod2_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ops/op_registry.cpp" "src/CMakeFiles/sod2_ops.dir/ops/op_registry.cpp.o" "gcc" "src/CMakeFiles/sod2_ops.dir/ops/op_registry.cpp.o.d"
+  "/root/repo/src/ops/register_control.cpp" "src/CMakeFiles/sod2_ops.dir/ops/register_control.cpp.o" "gcc" "src/CMakeFiles/sod2_ops.dir/ops/register_control.cpp.o.d"
+  "/root/repo/src/ops/register_elementwise.cpp" "src/CMakeFiles/sod2_ops.dir/ops/register_elementwise.cpp.o" "gcc" "src/CMakeFiles/sod2_ops.dir/ops/register_elementwise.cpp.o.d"
+  "/root/repo/src/ops/register_nn.cpp" "src/CMakeFiles/sod2_ops.dir/ops/register_nn.cpp.o" "gcc" "src/CMakeFiles/sod2_ops.dir/ops/register_nn.cpp.o.d"
+  "/root/repo/src/ops/register_shape.cpp" "src/CMakeFiles/sod2_ops.dir/ops/register_shape.cpp.o" "gcc" "src/CMakeFiles/sod2_ops.dir/ops/register_shape.cpp.o.d"
+  "/root/repo/src/ops/transfer_util.cpp" "src/CMakeFiles/sod2_ops.dir/ops/transfer_util.cpp.o" "gcc" "src/CMakeFiles/sod2_ops.dir/ops/transfer_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sod2_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sod2_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sod2_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sod2_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

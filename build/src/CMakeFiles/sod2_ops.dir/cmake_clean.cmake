@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sod2_ops.dir/ops/op_registry.cpp.o"
+  "CMakeFiles/sod2_ops.dir/ops/op_registry.cpp.o.d"
+  "CMakeFiles/sod2_ops.dir/ops/register_control.cpp.o"
+  "CMakeFiles/sod2_ops.dir/ops/register_control.cpp.o.d"
+  "CMakeFiles/sod2_ops.dir/ops/register_elementwise.cpp.o"
+  "CMakeFiles/sod2_ops.dir/ops/register_elementwise.cpp.o.d"
+  "CMakeFiles/sod2_ops.dir/ops/register_nn.cpp.o"
+  "CMakeFiles/sod2_ops.dir/ops/register_nn.cpp.o.d"
+  "CMakeFiles/sod2_ops.dir/ops/register_shape.cpp.o"
+  "CMakeFiles/sod2_ops.dir/ops/register_shape.cpp.o.d"
+  "CMakeFiles/sod2_ops.dir/ops/transfer_util.cpp.o"
+  "CMakeFiles/sod2_ops.dir/ops/transfer_util.cpp.o.d"
+  "libsod2_ops.a"
+  "libsod2_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sod2_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sod2_planning.dir/planning/execution_plan.cpp.o"
+  "CMakeFiles/sod2_planning.dir/planning/execution_plan.cpp.o.d"
+  "libsod2_planning.a"
+  "libsod2_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sod2_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sod2_rdp.dir/rdp/rdp_analysis.cpp.o"
+  "CMakeFiles/sod2_rdp.dir/rdp/rdp_analysis.cpp.o.d"
+  "libsod2_rdp.a"
+  "libsod2_rdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sod2_rdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsod2_rdp.a"
+)

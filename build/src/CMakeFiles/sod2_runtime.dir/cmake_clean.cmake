@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sod2_runtime.dir/runtime/arena.cpp.o"
+  "CMakeFiles/sod2_runtime.dir/runtime/arena.cpp.o.d"
+  "CMakeFiles/sod2_runtime.dir/runtime/interpreter.cpp.o"
+  "CMakeFiles/sod2_runtime.dir/runtime/interpreter.cpp.o.d"
+  "CMakeFiles/sod2_runtime.dir/runtime/op_executor.cpp.o"
+  "CMakeFiles/sod2_runtime.dir/runtime/op_executor.cpp.o.d"
+  "libsod2_runtime.a"
+  "libsod2_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sod2_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sod2_support.dir/support/logging.cpp.o"
+  "CMakeFiles/sod2_support.dir/support/logging.cpp.o.d"
+  "CMakeFiles/sod2_support.dir/support/string_util.cpp.o"
+  "CMakeFiles/sod2_support.dir/support/string_util.cpp.o.d"
+  "CMakeFiles/sod2_support.dir/support/threadpool.cpp.o"
+  "CMakeFiles/sod2_support.dir/support/threadpool.cpp.o.d"
+  "libsod2_support.a"
+  "libsod2_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sod2_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

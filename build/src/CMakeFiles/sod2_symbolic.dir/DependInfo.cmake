@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/symbolic/dim_value.cpp" "src/CMakeFiles/sod2_symbolic.dir/symbolic/dim_value.cpp.o" "gcc" "src/CMakeFiles/sod2_symbolic.dir/symbolic/dim_value.cpp.o.d"
+  "/root/repo/src/symbolic/expr.cpp" "src/CMakeFiles/sod2_symbolic.dir/symbolic/expr.cpp.o" "gcc" "src/CMakeFiles/sod2_symbolic.dir/symbolic/expr.cpp.o.d"
+  "/root/repo/src/symbolic/shape_info.cpp" "src/CMakeFiles/sod2_symbolic.dir/symbolic/shape_info.cpp.o" "gcc" "src/CMakeFiles/sod2_symbolic.dir/symbolic/shape_info.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sod2_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sod2_symbolic.dir/symbolic/dim_value.cpp.o"
+  "CMakeFiles/sod2_symbolic.dir/symbolic/dim_value.cpp.o.d"
+  "CMakeFiles/sod2_symbolic.dir/symbolic/expr.cpp.o"
+  "CMakeFiles/sod2_symbolic.dir/symbolic/expr.cpp.o.d"
+  "CMakeFiles/sod2_symbolic.dir/symbolic/shape_info.cpp.o"
+  "CMakeFiles/sod2_symbolic.dir/symbolic/shape_info.cpp.o.d"
+  "libsod2_symbolic.a"
+  "libsod2_symbolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sod2_symbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sod2_tensor.dir/tensor/broadcast.cpp.o"
+  "CMakeFiles/sod2_tensor.dir/tensor/broadcast.cpp.o.d"
+  "CMakeFiles/sod2_tensor.dir/tensor/shape.cpp.o"
+  "CMakeFiles/sod2_tensor.dir/tensor/shape.cpp.o.d"
+  "CMakeFiles/sod2_tensor.dir/tensor/tensor.cpp.o"
+  "CMakeFiles/sod2_tensor.dir/tensor/tensor.cpp.o.d"
+  "libsod2_tensor.a"
+  "libsod2_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sod2_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/codegen_test.cpp" "tests/CMakeFiles/codegen_test.dir/codegen_test.cpp.o" "gcc" "tests/CMakeFiles/codegen_test.dir/codegen_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sod2_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sod2_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sod2_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sod2_rdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sod2_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sod2_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sod2_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sod2_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sod2_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

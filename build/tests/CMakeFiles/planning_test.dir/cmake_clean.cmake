@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planning_test.dir/planning_test.cpp.o"
+  "CMakeFiles/planning_test.dir/planning_test.cpp.o.d"
+  "planning_test"
+  "planning_test.pdb"
+  "planning_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
