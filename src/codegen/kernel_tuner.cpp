@@ -76,6 +76,86 @@ TunedVersions::singleVersion()
 
 namespace {
 
+/** dim(@p axis) of @p shape as an expression, or null when the shape is
+ *  unranked / the axis is out of range / the dim carries no expression.
+ *  Negative axes count from the back. */
+SymExprPtr
+dimExpr(const ShapeInfo& shape, int axis)
+{
+    if (!shape.isRanked())
+        return nullptr;
+    if (axis < 0)
+        axis += shape.rank();
+    if (axis < 0 || axis >= shape.rank())
+        return nullptr;
+    const DimValue& dv = shape.dim(axis);
+    return dv.hasExpr() ? dv.expr() : nullptr;
+}
+
+}  // namespace
+
+std::vector<VersionSelector>
+buildVersionSelectors(const Graph& graph,
+                      const std::vector<NodeId>& group_heads,
+                      const RdpResult& rdp)
+{
+    std::vector<VersionSelector> selectors(group_heads.size());
+    for (size_t gi = 0; gi < group_heads.size(); ++gi) {
+        NodeId head_id = group_heads[gi];
+        if (head_id == kNoNode)
+            continue;
+        const Node& head = graph.node(head_id);
+        VersionSelector& sel = selectors[gi];
+        if (head.op == "MatMul" && head.inputs.size() >= 2) {
+            const ShapeInfo& sa = rdp.shapeOf(head.inputs[0]);
+            const ShapeInfo& sb = rdp.shapeOf(head.inputs[1]);
+            sel.m = dimExpr(sa, -2);
+            sel.n = dimExpr(sb, -1);
+            sel.k = dimExpr(sa, -1);
+            if (sel.m && sel.n && sel.k)
+                sel.kind = VersionSelector::Kind::kGemm;
+        } else if (head.op == "Conv" && head.inputs.size() >= 2) {
+            SymExprPtr batch = dimExpr(rdp.shapeOf(head.inputs[0]), 0);
+            SymExprPtr oc = dimExpr(rdp.shapeOf(head.inputs[1]), 0);
+            if (batch && oc) {
+                sel.batchTimesOc = batch * oc;
+                sel.kind = VersionSelector::Kind::kConv;
+            }
+        }
+    }
+    return selectors;
+}
+
+std::vector<GroupKernelChoice>
+resolveVersions(const std::vector<VersionSelector>& selectors,
+                const TunedVersions& versions,
+                const std::map<std::string, int64_t>& bindings)
+{
+    std::vector<GroupKernelChoice> choices(selectors.size());
+    for (size_t gi = 0; gi < selectors.size(); ++gi) {
+        const VersionSelector& sel = selectors[gi];
+        GroupKernelChoice& choice = choices[gi];
+        if (sel.kind == VersionSelector::Kind::kGemm) {
+            auto m = sel.m->evaluate(bindings);
+            auto n = sel.n->evaluate(bindings);
+            auto k = sel.k->evaluate(bindings);
+            if (m && n && k) {
+                choice.kind = GroupKernelChoice::Kind::kGemm;
+                choice.gemm = versions.gemmFor(*m, *n, *k);
+            }
+        } else if (sel.kind == VersionSelector::Kind::kConv) {
+            auto boc = sel.batchTimesOc->evaluate(bindings);
+            if (boc) {
+                choice.kind = GroupKernelChoice::Kind::kConv;
+                choice.conv = versions.convFor(*boc);
+            }
+        }
+    }
+    return choices;
+}
+
+namespace {
+
 const int64_t kTileChoices[] = {16, 32, 64, 128, 256};
 
 GemmVariant

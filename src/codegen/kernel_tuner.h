@@ -17,9 +17,12 @@
 
 #include <cstdint>
 #include <map>
+#include <vector>
 
+#include "graph/graph.h"
 #include "kernels/conv.h"
 #include "kernels/gemm.h"
+#include "rdp/rdp_analysis.h"
 #include "support/rng.h"
 
 namespace sod2 {
@@ -47,6 +50,55 @@ struct TunedVersions
     /** Single-version table (the no-MVC ablation). */
     static TunedVersions singleVersion();
 };
+
+/**
+ * Symbolic version selector for one execution group's head operator:
+ * the RDP dimension expressions that, once evaluated under an input's
+ * symbol bindings, classify the problem and pick the kernel version.
+ * Built once at compile time so that runtime selection is a handful of
+ * expression evaluations rather than a per-run shape inspection — and
+ * therefore cacheable per shape signature.
+ */
+struct VersionSelector
+{
+    enum class Kind { kNone, kGemm, kConv };
+    Kind kind = Kind::kNone;
+    /** GEMM problem dims (kind == kGemm). */
+    SymExprPtr m, n, k;
+    /** batch * out_channels (kind == kConv). */
+    SymExprPtr batchTimesOc;
+};
+
+/** One group's resolved kernel version for a concrete shape signature.
+ *  kDefault means "selector unavailable" (nac/EDO shapes): the executor
+ *  falls back to classifying the concrete runtime shapes. */
+struct GroupKernelChoice
+{
+    enum class Kind { kDefault, kGemm, kConv };
+    Kind kind = Kind::kDefault;
+    GemmVariant gemm;  ///< valid when kind == kGemm
+    ConvVariant conv;  ///< valid when kind == kConv
+};
+
+/**
+ * Builds one selector per entry of @p group_heads (the head node of each
+ * execution group, kNoNode for groups without one). Groups whose head is
+ * not a versioned op, or whose operand dims carry no RDP expression,
+ * yield Kind::kNone.
+ */
+std::vector<VersionSelector>
+buildVersionSelectors(const Graph& graph,
+                      const std::vector<NodeId>& group_heads,
+                      const RdpResult& rdp);
+
+/**
+ * Evaluates @p selectors under @p bindings and picks each group's
+ * version from @p versions. Unresolvable selectors yield kDefault.
+ */
+std::vector<GroupKernelChoice>
+resolveVersions(const std::vector<VersionSelector>& selectors,
+                const TunedVersions& versions,
+                const std::map<std::string, int64_t>& bindings);
 
 /** GA auto-tuner configuration. */
 struct TunerOptions

@@ -1,0 +1,74 @@
+#include "core/plan_cache.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace sod2 {
+
+PlanCache::PlanCache(size_t capacity) : capacity_(capacity)
+{
+    SOD2_CHECK_GT(capacity, 0u) << "plan cache capacity must be positive";
+}
+
+std::vector<PlanCache::EntryIter>::iterator
+PlanCache::chainFind(std::vector<EntryIter>& chain,
+                     const std::vector<int64_t>& values)
+{
+    return std::find_if(chain.begin(), chain.end(),
+                        [&](const EntryIter& e) {
+                            return e->values == values;
+                        });
+}
+
+void
+PlanCache::removeFromIndex(const Entry& entry)
+{
+    auto it = index_.find(entry.hash);
+    SOD2_CHECK(it != index_.end());
+    auto& chain = it->second;
+    chain.erase(chainFind(chain, entry.values));
+    if (chain.empty())
+        index_.erase(it);
+}
+
+std::shared_ptr<const PlanInstance>
+PlanCache::find(uint64_t hash, const std::vector<int64_t>& values)
+{
+    auto it = index_.find(hash);
+    if (it != index_.end()) {
+        auto& chain = it->second;
+        auto cit = chainFind(chain, values);
+        if (cit != chain.end()) {
+            ++hits_;
+            entries_.splice(entries_.begin(), entries_, *cit);
+            return entries_.front().plan;
+        }
+    }
+    ++misses_;
+    return nullptr;
+}
+
+void
+PlanCache::insert(uint64_t hash, std::vector<int64_t> values,
+                  std::shared_ptr<const PlanInstance> plan)
+{
+    auto it = index_.find(hash);
+    if (it != index_.end()) {
+        auto cit = chainFind(it->second, values);
+        if (cit != it->second.end()) {
+            (*cit)->plan = std::move(plan);
+            entries_.splice(entries_.begin(), entries_, *cit);
+            return;
+        }
+    }
+    entries_.push_front(Entry{hash, std::move(values), std::move(plan)});
+    index_[hash].push_back(entries_.begin());
+    if (entries_.size() > capacity_) {
+        removeFromIndex(entries_.back());
+        entries_.pop_back();
+        ++evictions_;
+    }
+}
+
+}  // namespace sod2

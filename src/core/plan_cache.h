@@ -1,0 +1,108 @@
+#ifndef SOD2_CORE_PLAN_CACHE_H_
+#define SOD2_CORE_PLAN_CACHE_H_
+
+/**
+ * @file
+ * Shape-signature plan cache.
+ *
+ * DMP instantiation (paper §4.4.1) is lightweight but not free: every
+ * run re-evaluates each interval's symbolic byte expression and replays
+ * the peak-outward placement. Serving traffic repeats input-shape
+ * signatures heavily (Table 7's input distributions), so the engine
+ * memoizes the fully instantiated plan — concrete interval sizes, arena
+ * offsets, arena size, and the per-group multi-version kernel choices —
+ * keyed by the canonical symbol-binding signature. A hit replaces all
+ * per-run planning work with one hash lookup.
+ *
+ * Bounded LRU; single-threaded like the engine that owns it. Entries
+ * are immutable and shared_ptr-held, so a run keeps its plan alive even
+ * if the entry is evicted before the run finishes.
+ */
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "codegen/kernel_tuner.h"
+#include "memory/lifetime.h"
+#include "memory/planners.h"
+#include "rdp/rdp_analysis.h"
+
+namespace sod2 {
+
+/** One fully instantiated runtime plan for a concrete shape signature. */
+struct PlanInstance
+{
+    /** Concrete lifetime intervals (sizes evaluated under the
+     *  signature's bindings) — retained for plan re-validation. */
+    std::vector<Interval> intervals;
+    /** Peak-outward placement over @ref intervals. */
+    MemPlan plan;
+    /** Dense per-value offset table (kUnplannedOffset = heap value). */
+    std::shared_ptr<const std::vector<size_t>> offsetOfValue;
+    /** Arena bytes the plan requires. */
+    size_t arenaBytes = 0;
+    /** Per-group kernel-version choices (MVC, §4.4.2). */
+    std::vector<GroupKernelChoice> versions;
+};
+
+/**
+ * LRU cache of instantiated plans, keyed by the canonical
+ * symbol-binding vector (SymbolBinder::bind output) plus its signature
+ * hash. The vector form keeps lookups free of string traffic: within
+ * one engine the symbol schema is fixed, so equal value vectors mean
+ * equal signatures.
+ */
+class PlanCache
+{
+  public:
+    /** @p capacity distinct signatures; must be > 0. */
+    explicit PlanCache(size_t capacity);
+
+    /** Returns the cached plan for (@p hash, @p values) and bumps it
+     *  most-recent, or null. Counts one hit or one miss. */
+    std::shared_ptr<const PlanInstance>
+    find(uint64_t hash, const std::vector<int64_t>& values);
+
+    /** Inserts @p plan as most-recent, evicting the least recently used
+     *  entry when over capacity. Replaces any existing entry for the
+     *  key without counting an eviction. */
+    void insert(uint64_t hash, std::vector<int64_t> values,
+                std::shared_ptr<const PlanInstance> plan);
+
+    size_t size() const { return entries_.size(); }
+    size_t capacity() const { return capacity_; }
+
+    /** Cumulative counters since construction. */
+    size_t hits() const { return hits_; }
+    size_t misses() const { return misses_; }
+    size_t evictions() const { return evictions_; }
+
+  private:
+    struct Entry
+    {
+        uint64_t hash;
+        std::vector<int64_t> values;
+        std::shared_ptr<const PlanInstance> plan;
+    };
+    using EntryIter = std::list<Entry>::iterator;
+
+    /** Chain entry for @p hash whose values match, or chain end. */
+    std::vector<EntryIter>::iterator
+    chainFind(std::vector<EntryIter>& chain,
+              const std::vector<int64_t>& values);
+    void removeFromIndex(const Entry& entry);
+
+    size_t capacity_;
+    /** Most-recent first. */
+    std::list<Entry> entries_;
+    /** hash -> entries with that hash (collision chain, ~1 element). */
+    std::unordered_map<uint64_t, std::vector<EntryIter>> index_;
+    size_t hits_ = 0, misses_ = 0, evictions_ = 0;
+};
+
+}  // namespace sod2
+
+#endif  // SOD2_CORE_PLAN_CACHE_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 
 #include "memory/branch_colors.h"
@@ -99,6 +100,26 @@ Sod2Engine::Sod2Engine(const Graph* graph, Sod2Options options)
     if (!options_.enableDmp)
         fallback_pool_ = PoolAllocator::create();
 
+    // Symbolic per-group version selectors: shape-class selection moves
+    // from the execution loop to plan instantiation, where it can be
+    // cached per shape signature.
+    {
+        std::vector<NodeId> heads(fusion_.numGroups(), kNoNode);
+        for (int gi = 0; gi < fusion_.numGroups(); ++gi)
+            heads[gi] = fusion_.groups[gi].nodes[0];
+        selectors_ = buildVersionSelectors(*graph_, heads, *rdp_);
+    }
+
+    binder_ = std::make_unique<SymbolBinder>(*graph_, options_.rdp);
+    if (const char* env = std::getenv("SOD2_VALIDATE_PLANS"))
+        if (env[0] == '1' && env[1] == '\0')
+            options_.validateEveryPlan = true;
+    if (options_.planCacheCapacity > 0)
+        plan_cache_ = std::make_unique<PlanCache>(
+            static_cast<size_t>(options_.planCacheCapacity));
+    unplanned_offsets_ = std::make_shared<std::vector<size_t>>(
+        graph_->numValues(), kUnplannedOffset);
+
     step_of_group_.assign(fusion_.numGroups(), 0);
     for (size_t i = 0; i < plan_.order.size(); ++i)
         step_of_group_[plan_.order[i]] = static_cast<int>(i);
@@ -183,6 +204,38 @@ Sod2Engine::materializedValueCount() const
     return count;
 }
 
+std::shared_ptr<const PlanInstance>
+Sod2Engine::instantiatePlan(
+    const std::map<std::string, int64_t>& bindings) const
+{
+    auto inst = std::make_shared<PlanInstance>();
+    inst->versions = resolveVersions(selectors_, versions_, bindings);
+    if (options_.enableDmp && !interval_templates_.empty()) {
+        inst->intervals.reserve(interval_templates_.size());
+        for (const IntervalTemplate& t : interval_templates_) {
+            auto bytes = t.bytesExpr->evaluate(bindings);
+            SOD2_CHECK(bytes.has_value())
+                << "unbound symbol in size of value "
+                << graph_->value(t.value).name;
+            Interval iv;
+            iv.value = t.value;
+            iv.defStep = t.defStep;
+            iv.lastUse = t.lastUse;
+            iv.bytes = static_cast<size_t>(*bytes);
+            iv.colors = t.colors;
+            inst->intervals.push_back(std::move(iv));
+        }
+        inst->plan = planPeakOutward(inst->intervals);
+        inst->arenaBytes = inst->plan.arenaBytes;
+        inst->offsetOfValue = std::make_shared<std::vector<size_t>>(
+            offsetsByValue(inst->intervals, inst->plan,
+                           graph_->numValues()));
+    } else {
+        inst->offsetOfValue = unplanned_offsets_;
+    }
+    return inst;
+}
+
 std::vector<Tensor>
 Sod2Engine::run(const std::vector<Tensor>& inputs, RunStats* stats)
 {
@@ -197,42 +250,40 @@ Sod2Engine::run(const std::vector<Tensor>& inputs, RunStats* stats)
     in_shapes.reserve(inputs.size());
     for (const Tensor& t : inputs)
         in_shapes.push_back(t.shape());
-    auto bindings = bindInputSymbols(g, options_.rdp, in_shapes);
+    binder_->bind(in_shapes, &binding_values_);
 
-    // DMP instantiation: evaluate the cached interval skeletons'
-    // symbolic sizes under this input's bindings and replay the
-    // peak-outward placement. This is the only per-run planning work.
-    std::vector<size_t> offset_of(g.numValues(), SIZE_MAX);
-    size_t arena_bytes = 0;
-    if (options_.enableDmp && !interval_templates_.empty()) {
-        std::vector<Interval> intervals;
-        intervals.reserve(interval_templates_.size());
-        for (const IntervalTemplate& t : interval_templates_) {
-            auto bytes = t.bytesExpr->evaluate(bindings);
-            SOD2_CHECK(bytes.has_value())
-                << "unbound symbol in size of value "
-                << g.value(t.value).name;
-            Interval iv;
-            iv.value = t.value;
-            iv.defStep = t.defStep;
-            iv.lastUse = t.lastUse;
-            iv.bytes = static_cast<size_t>(*bytes);
-            iv.colors = t.colors;
-            intervals.push_back(std::move(iv));
+    // DMP/MVC instantiation: a repeated shape signature reuses the
+    // cached plan instance outright; a new signature evaluates the
+    // interval skeletons' symbolic sizes under this input's bindings,
+    // replays the peak-outward placement, resolves kernel versions, and
+    // memoizes the result. This is the only per-run planning work.
+    std::shared_ptr<const PlanInstance> inst;
+    bool cache_hit = false;
+    if (plan_cache_) {
+        uint64_t hash = binder_->signatureHash(binding_values_);
+        inst = plan_cache_->find(hash, binding_values_);
+        if (inst) {
+            cache_hit = true;
+        } else {
+            inst = instantiatePlan(binder_->toBindingMap(binding_values_));
+            plan_cache_->insert(hash, binding_values_, inst);
         }
-        MemPlan mem = planPeakOutward(intervals);
-        for (size_t i = 0; i < intervals.size(); ++i)
-            offset_of[intervals[i].value] = mem.offsets[i];
-        arena_bytes = mem.arenaBytes;
+    } else {
+        inst = instantiatePlan(binder_->toBindingMap(binding_values_));
+    }
+
+    const std::vector<size_t>& offset_of = *inst->offsetOfValue;
+    size_t arena_bytes = inst->arenaBytes;
+    if (options_.enableDmp && !inst->intervals.empty()) {
         size_t grown = arena_.reserve(arena_bytes);
-        if (grown > 0) {
-            // Validate only when the plan actually changed scale; the
-            // planner itself is property-tested for overlap freedom.
-            SOD2_CHECK(validatePlan(intervals, mem))
+        // Validate when the plan changed scale (the planner itself is
+        // property-tested for overlap freedom) or when the debug switch
+        // demands it on every run, cached or not.
+        if (grown > 0 || options_.validateEveryPlan)
+            SOD2_CHECK(validatePlan(inst->intervals, inst->plan))
                 << "DMP produced an overlapping plan";
-            if (simulated)
-                meter.chargeAllocTouch(static_cast<double>(grown));
-        }
+        if (grown > 0 && simulated)
+            meter.chargeAllocTouch(static_cast<double>(grown));
     }
 
     double plan_seconds = secondsSince(t_start);
@@ -292,7 +343,7 @@ Sod2Engine::run(const std::vector<Tensor>& inputs, RunStats* stats)
         // result: an alias would outlive the source's planned lifetime.
         auto materializeInto = [&](ValueId v, const Tensor& src) {
             Tensor dst;
-            if (offset_of[v] != SIZE_MAX)
+            if (offset_of[v] != kUnplannedOffset)
                 dst = arena_.viewAt(offset_of[v], src.dtype(),
                                     src.shape());
             else if (fallback_pool_)
@@ -330,9 +381,16 @@ Sod2Engine::run(const std::vector<Tensor>& inputs, RunStats* stats)
             if (grp.kind == GroupKind::kSingle)
                 outs.assign(head.outputs.size(), Tensor());
         } else {
-            // Multi-version kernel selection from concrete shapes.
+            // Multi-version kernel selection: resolved at plan time
+            // (and cached per shape signature) when RDP proved the
+            // operand dims; concrete-shape fallback for EDO operands.
             KernelConfig config = base_config;
-            if (head.op == "MatMul") {
+            const GroupKernelChoice& choice = inst->versions[gi];
+            if (choice.kind == GroupKernelChoice::Kind::kGemm) {
+                config.gemm = choice.gemm;
+            } else if (choice.kind == GroupKernelChoice::Kind::kConv) {
+                config.conv = choice.conv;
+            } else if (head.op == "MatMul") {
                 const Shape& sa = ext[0].shape();
                 const Shape& sb = ext[1].shape();
                 config.gemm = versions_.gemmFor(
@@ -355,7 +413,7 @@ Sod2Engine::run(const std::vector<Tensor>& inputs, RunStats* stats)
                 ValueId v = next < pending.size()
                                 ? pending[next++]
                                 : kNoNode;
-                if (v >= 0 && offset_of[v] != SIZE_MAX)
+                if (v >= 0 && offset_of[v] != kUnplannedOffset)
                     return arena_.viewAt(offset_of[v], dtype, shape);
                 if (fallback_pool_)
                     return fallback_pool_->allocate(dtype, shape);
@@ -412,6 +470,12 @@ Sod2Engine::run(const std::vector<Tensor>& inputs, RunStats* stats)
                                       ? fallback_pool_->poolBytes()
                                       : 0);
         stats->planSeconds = plan_seconds;
+        stats->planCacheHit = cache_hit;
+        if (plan_cache_) {
+            stats->planCacheHits = plan_cache_->hits();
+            stats->planCacheMisses = plan_cache_->misses();
+            stats->planCacheEvictions = plan_cache_->evictions();
+        }
         stats->executedGroups = executed;
         stats->subgraphSeconds = std::move(sg_seconds);
         stats->seconds = simulated ? meter.seconds() + plan_seconds

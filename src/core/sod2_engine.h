@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "codegen/kernel_tuner.h"
+#include "core/plan_cache.h"
 #include "fusion/fused_executor.h"
 #include "fusion/fusion_plan.h"
 #include "kernels/device_profile.h"
@@ -52,6 +53,19 @@ struct Sod2Options
     bool enableMvc = true;   ///< multi-version kernels (§4.4.2)
     /** Execute all Switch branches and strip (baseline parity mode). */
     bool executeAllBranches = false;
+    /**
+     * Plan-instantiation cache capacity in distinct input-shape
+     * signatures (LRU). Repeated signatures skip all per-run DMP/MVC
+     * work; 0 disables caching (every run re-instantiates).
+     */
+    int planCacheCapacity = 16;
+    /**
+     * Re-validate the memory plan on *every* run, including cache hits
+     * and runs where the arena did not grow (normally validation is
+     * skipped then). Env SOD2_VALIDATE_PLANS=1 forces this on — the CI
+     * knob for checking cached-plan reuse.
+     */
+    bool validateEveryPlan = false;
     DeviceProfile device = DeviceProfile::mobileCpu();
     SepOptions sep;
 };
@@ -70,6 +84,12 @@ struct RunStats
     size_t peakMemoryBytes = 0;
     /** Host-side time spent binding symbols + instantiating the plan. */
     double planSeconds = 0.0;
+    /** True when this run reused a cached plan instance. */
+    bool planCacheHit = false;
+    /** Cumulative plan-cache counters (since engine construction). */
+    size_t planCacheHits = 0;
+    size_t planCacheMisses = 0;
+    size_t planCacheEvictions = 0;
     int executedGroups = 0;
     /** Wall/simulated seconds attributed to each planned sub-graph. */
     std::vector<double> subgraphSeconds;
@@ -105,7 +125,15 @@ class Sod2Engine
         return static_cast<int>(folded_.size());
     }
 
+    /** The plan cache, or null when disabled (planCacheCapacity == 0). */
+    const PlanCache* planCache() const { return plan_cache_.get(); }
+
   private:
+    /** Evaluates interval sizes, places the arena plan, and resolves
+     *  kernel versions for one symbol binding — the per-signature work
+     *  the plan cache memoizes. */
+    std::shared_ptr<const PlanInstance>
+    instantiatePlan(const std::map<std::string, int64_t>& bindings) const;
     const Graph* graph_;
     Sod2Options options_;
     std::unique_ptr<RdpResult> rdp_;
@@ -134,6 +162,17 @@ class Sod2Engine
         std::shared_ptr<const BranchColors> colors;
     };
     std::vector<IntervalTemplate> interval_templates_;
+
+    /** Per-group symbolic kernel-version selectors (MVC, §4.4.2). */
+    std::vector<VersionSelector> selectors_;
+    /** Precompiled input binder (the per-run fast path). */
+    std::unique_ptr<SymbolBinder> binder_;
+    /** Scratch canonical binding vector, reused across runs. */
+    std::vector<int64_t> binding_values_;
+    /** Shape-signature plan cache (null when disabled). */
+    std::unique_ptr<PlanCache> plan_cache_;
+    /** Shared all-unplanned offset table for runs without a DMP plan. */
+    std::shared_ptr<const std::vector<size_t>> unplanned_offsets_;
 
     /** Compile-time constant-folded values (seeded into every run). */
     std::map<ValueId, Tensor> folded_;

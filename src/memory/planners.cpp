@@ -177,4 +177,17 @@ validatePlan(const std::vector<Interval>& intervals, const MemPlan& plan)
     return true;
 }
 
+std::vector<size_t>
+offsetsByValue(const std::vector<Interval>& intervals, const MemPlan& plan,
+               size_t num_values)
+{
+    SOD2_CHECK_EQ(intervals.size(), plan.offsets.size());
+    std::vector<size_t> by_value(num_values, kUnplannedOffset);
+    for (size_t i = 0; i < intervals.size(); ++i) {
+        SOD2_CHECK_LT(static_cast<size_t>(intervals[i].value), num_values);
+        by_value[intervals[i].value] = plan.offsets[i];
+    }
+    return by_value;
+}
+
 }  // namespace sod2

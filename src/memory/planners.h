@@ -24,13 +24,27 @@
 
 namespace sod2 {
 
-/** Result of planning: per-interval arena offsets. */
+/** Result of planning: per-interval arena offsets. Plain value type —
+ *  cheaply movable and copyable so instantiated plans can be retained
+ *  (e.g. by the runtime plan cache) and shared across runs. */
 struct MemPlan
 {
     /** offsets[i] corresponds to intervals[i] handed to the planner. */
     std::vector<size_t> offsets;
     size_t arenaBytes = 0;
 };
+
+/** Sentinel offset for values the plan does not place. */
+inline constexpr size_t kUnplannedOffset = static_cast<size_t>(-1);
+
+/**
+ * Expands @p plan's per-interval offsets into a dense per-value offset
+ * table of length @p num_values (kUnplannedOffset for values without an
+ * interval) — the O(1) lookup form the executor consumes.
+ */
+std::vector<size_t> offsetsByValue(const std::vector<Interval>& intervals,
+                                   const MemPlan& plan,
+                                   size_t num_values);
 
 MemPlan planGreedyBestFit(const std::vector<Interval>& intervals);
 

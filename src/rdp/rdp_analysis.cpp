@@ -227,43 +227,197 @@ std::map<std::string, int64_t>
 bindInputSymbols(const Graph& graph, const RdpOptions& options,
                  const std::vector<Shape>& concrete_inputs)
 {
-    SOD2_CHECK_EQ(concrete_inputs.size(), graph.inputIds().size())
-        << "wrong number of inputs";
-    std::map<std::string, int64_t> bindings;
-    for (size_t i = 0; i < concrete_inputs.size(); ++i) {
+    SymbolBinder binder(graph, options);
+    std::vector<int64_t> values;
+    binder.bind(concrete_inputs, &values);
+    return binder.toBindingMap(values);
+}
+
+namespace {
+
+/** FNV-1a mixing step shared by the signature hashes. */
+inline void
+fnvMix(uint64_t& h, uint64_t byte)
+{
+    h ^= byte;
+    h *= 1099511628211ull;
+}
+
+constexpr uint64_t kFnvBasis = 1469598103934665603ull;
+
+}  // namespace
+
+SymbolBinder::SymbolBinder(const Graph& graph, const RdpOptions& options)
+    : graph_(&graph)
+{
+    size_t num_inputs = graph.inputIds().size();
+    ranks_.reserve(num_inputs);
+    // Sorted name -> final slot (filled after the scan).
+    std::map<std::string, int> slot_of;
+    std::vector<std::string> dim_symbol;  // parallel to dims_, kSymbol only
+
+    for (size_t i = 0; i < num_inputs; ++i) {
         ShapeInfo decl = inputShapeInfo(graph, options, static_cast<int>(i));
-        const Shape& actual = concrete_inputs[i];
         const Value& in = graph.value(graph.inputIds()[i]);
-        SOD2_CHECK(decl.isRanked() && decl.rank() == actual.rank())
-            << "input '" << in.name << "' rank mismatch: declared "
-            << decl.toString() << ", got " << actual.toString();
-        for (int d = 0; d < actual.rank(); ++d) {
+        SOD2_CHECK(decl.isRanked())
+            << "input '" << in.name << "' has no declared rank";
+        ranks_.push_back(decl.rank());
+        for (int d = 0; d < decl.rank(); ++d) {
             const DimValue& dv = decl.dim(d);
             SOD2_CHECK(dv.hasExpr())
                 << "input '" << in.name << "' dim " << d
                 << " declared as nac";
             const SymExprPtr& e = dv.expr();
+            DimBinding b;
+            b.input = static_cast<int>(i);
+            b.dim = d;
+            b.expected = 0;
+            b.slot = -1;
             if (e->isConst()) {
-                SOD2_CHECK_EQ(e->constValue(), actual.dim(d))
-                    << "input '" << in.name << "' dim " << d
-                    << " violates declared constant";
+                b.kind = DimBinding::Kind::kCheckConst;
+                b.expected = e->constValue();
             } else if (e->isSymbol()) {
-                auto [it, inserted] =
-                    bindings.emplace(e->symbolName(), actual.dim(d));
-                SOD2_CHECK(inserted || it->second == actual.dim(d))
-                    << "symbol '" << e->symbolName()
-                    << "' bound inconsistently: " << it->second << " vs "
-                    << actual.dim(d);
+                b.kind = DimBinding::Kind::kSymbol;
+                slot_of.emplace(e->symbolName(), -1);
             } else {
-                // Compound declaration (e.g. 2*s): verify after binding.
-                auto v = e->evaluate(bindings);
-                SOD2_CHECK(v && *v == actual.dim(d))
-                    << "input '" << in.name << "' dim " << d
-                    << " violates declared expression " << e->toString();
+                b.kind = DimBinding::Kind::kCompound;
+                b.expr = e;
+                has_compound_ = true;
             }
+            dim_symbol.push_back(
+                e->isSymbol() ? e->symbolName() : std::string());
+            dims_.push_back(std::move(b));
         }
     }
+
+    symbols_.reserve(slot_of.size());
+    for (auto& [name, slot] : slot_of) {
+        slot = static_cast<int>(symbols_.size());
+        symbols_.push_back(name);
+    }
+    for (size_t i = 0; i < dims_.size(); ++i)
+        if (dims_[i].kind == DimBinding::Kind::kSymbol)
+            dims_[i].slot = slot_of.at(dim_symbol[i]);
+
+    schema_hash_ = kFnvBasis;
+    for (const std::string& name : symbols_) {
+        for (char c : name)
+            fnvMix(schema_hash_, static_cast<uint8_t>(c));
+        fnvMix(schema_hash_, 0xffu);
+    }
+}
+
+void
+SymbolBinder::bind(const std::vector<Shape>& concrete_inputs,
+                   std::vector<int64_t>* values) const
+{
+    SOD2_CHECK_EQ(concrete_inputs.size(), ranks_.size())
+        << "wrong number of inputs";
+    for (size_t i = 0; i < concrete_inputs.size(); ++i)
+        SOD2_CHECK_EQ(concrete_inputs[i].rank(), ranks_[i])
+            << "input '"
+            << graph_->value(graph_->inputIds()[i]).name
+            << "' rank mismatch: declared rank " << ranks_[i] << ", got "
+            << concrete_inputs[i].toString();
+
+    // Extents are non-negative, so -1 marks an unbound slot.
+    values->assign(symbols_.size(), -1);
+    for (const DimBinding& b : dims_) {
+        int64_t actual = concrete_inputs[b.input].dim(b.dim);
+        switch (b.kind) {
+          case DimBinding::Kind::kCheckConst:
+            SOD2_CHECK_EQ(b.expected, actual)
+                << "input '"
+                << graph_->value(graph_->inputIds()[b.input]).name
+                << "' dim " << b.dim << " violates declared constant";
+            break;
+          case DimBinding::Kind::kSymbol: {
+            int64_t& bound = (*values)[b.slot];
+            if (bound < 0)
+                bound = actual;
+            else
+                SOD2_CHECK_EQ(bound, actual)
+                    << "symbol '" << symbols_[b.slot]
+                    << "' bound inconsistently: " << bound << " vs "
+                    << actual;
+            break;
+          }
+          case DimBinding::Kind::kCompound:
+            break;  // verified below, once every symbol is bound
+        }
+    }
+    if (has_compound_) {
+        auto bindings = toBindingMap(*values);
+        for (const DimBinding& b : dims_) {
+            if (b.kind != DimBinding::Kind::kCompound)
+                continue;
+            auto v = b.expr->evaluate(bindings);
+            SOD2_CHECK(v &&
+                       *v == concrete_inputs[b.input].dim(b.dim))
+                << "input '"
+                << graph_->value(graph_->inputIds()[b.input]).name
+                << "' dim " << b.dim
+                << " violates declared expression " << b.expr->toString();
+        }
+    }
+}
+
+uint64_t
+SymbolBinder::signatureHash(const std::vector<int64_t>& values) const
+{
+    uint64_t h = schema_hash_;
+    for (int64_t v : values)
+        for (int b = 0; b < 8; ++b)
+            fnvMix(h, static_cast<uint8_t>(static_cast<uint64_t>(v) >>
+                                           (8 * b)));
+    return h;
+}
+
+std::map<std::string, int64_t>
+SymbolBinder::toBindingMap(const std::vector<int64_t>& values) const
+{
+    SOD2_CHECK_EQ(values.size(), symbols_.size());
+    std::map<std::string, int64_t> bindings;
+    for (size_t i = 0; i < symbols_.size(); ++i)
+        bindings.emplace(symbols_[i], values[i]);
     return bindings;
+}
+
+std::string
+BindingSignature::toString() const
+{
+    std::ostringstream out;
+    out << "{";
+    for (size_t i = 0; i < entries.size(); ++i) {
+        if (i)
+            out << ", ";
+        out << entries[i].first << "=" << entries[i].second;
+    }
+    out << "}";
+    return out.str();
+}
+
+BindingSignature
+canonicalBindingSignature(const std::map<std::string, int64_t>& bindings)
+{
+    BindingSignature sig;
+    sig.entries.assign(bindings.begin(), bindings.end());
+    // FNV-1a over the (name, extent) stream; std::map iteration already
+    // yields ascending symbol order, so the hash is canonical.
+    uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](uint64_t byte) {
+        h ^= byte;
+        h *= 1099511628211ull;
+    };
+    for (const auto& [name, extent] : sig.entries) {
+        for (char c : name)
+            mix(static_cast<uint8_t>(c));
+        mix(0xffu);  // separator: ("ab",1) vs ("a",...) stay distinct
+        for (int b = 0; b < 8; ++b)
+            mix(static_cast<uint8_t>(extent >> (8 * b)));
+    }
+    sig.hash = h;
+    return sig;
 }
 
 }  // namespace sod2

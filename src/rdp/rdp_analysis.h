@@ -113,6 +113,102 @@ std::map<std::string, int64_t>
 bindInputSymbols(const Graph& graph, const RdpOptions& options,
                  const std::vector<Shape>& concrete_inputs);
 
+/**
+ * Canonical, hashable form of a symbol-binding map — the shape signature
+ * of one concrete input set. Two input sets that bind every symbol to
+ * the same extents produce equal signatures, and therefore instantiate
+ * the identical memory plan and kernel-version choices; the runtime plan
+ * cache keys on this.
+ */
+struct BindingSignature
+{
+    /** (symbol, extent) pairs in ascending symbol order. */
+    std::vector<std::pair<std::string, int64_t>> entries;
+    /** Content hash over @ref entries, computed at construction. */
+    uint64_t hash = 0;
+
+    bool operator==(const BindingSignature& other) const
+    {
+        return hash == other.hash && entries == other.entries;
+    }
+    bool operator!=(const BindingSignature& other) const
+    {
+        return !(*this == other);
+    }
+
+    std::string toString() const;
+};
+
+/** Hasher for unordered containers keyed on BindingSignature. */
+struct BindingSignatureHash
+{
+    size_t operator()(const BindingSignature& s) const
+    {
+        return static_cast<size_t>(s.hash);
+    }
+};
+
+/** Builds the canonical signature of @p bindings. */
+BindingSignature
+canonicalBindingSignature(const std::map<std::string, int64_t>& bindings);
+
+/**
+ * Precompiled input-shape binder — the per-run fast path of
+ * bindInputSymbols. The constructor resolves every input's declared
+ * abstract shape once and compiles each dimension into a check
+ * (expected constant), a symbol slot, or a deferred compound
+ * verification; bind() then touches no strings and allocates nothing,
+ * producing the canonical symbol-binding *vector* (values in ascending
+ * symbol-name order) that keys the runtime plan cache.
+ */
+class SymbolBinder
+{
+  public:
+    SymbolBinder(const Graph& graph, const RdpOptions& options);
+
+    /**
+     * Binds @p concrete_inputs, writing one extent per symbol into
+     * @p values (aligned with symbolNames(); resized and reused).
+     * Throws under the same conditions as bindInputSymbols.
+     */
+    void bind(const std::vector<Shape>& concrete_inputs,
+              std::vector<int64_t>* values) const;
+
+    /** Bound symbol names, ascending; slots of bind()'s output. */
+    const std::vector<std::string>& symbolNames() const
+    {
+        return symbols_;
+    }
+
+    /** Hash of (symbol schema, @p values) — the plan-cache key hash.
+     *  @p values must come from bind(). */
+    uint64_t signatureHash(const std::vector<int64_t>& values) const;
+
+    /** Expands bound @p values into the name -> extent map form. */
+    std::map<std::string, int64_t>
+    toBindingMap(const std::vector<int64_t>& values) const;
+
+  private:
+    /** One input dimension's compiled binding action. */
+    struct DimBinding
+    {
+        enum class Kind { kCheckConst, kSymbol, kCompound };
+        Kind kind;
+        int input;         ///< graph-input index (for error messages)
+        int dim;
+        int64_t expected;  ///< kCheckConst: required extent
+        int slot;          ///< kSymbol: index into symbols_
+        SymExprPtr expr;   ///< kCompound: verified after binding
+    };
+
+    const Graph* graph_;
+    std::vector<int> ranks_;          ///< declared rank per input
+    std::vector<DimBinding> dims_;    ///< in input-scan order
+    std::vector<std::string> symbols_;  ///< ascending
+    bool has_compound_ = false;
+    uint64_t schema_hash_ = 0;        ///< hash over symbols_
+};
+
 /** The effective abstract shape RDP assumed for input @p idx. */
 ShapeInfo inputShapeInfo(const Graph& graph, const RdpOptions& options,
                          int idx);

@@ -1,7 +1,6 @@
 #include "support/threadpool.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cstdlib>
 
 #include "support/logging.h"
@@ -50,30 +49,47 @@ ThreadPool::global()
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::runChunks(ParallelState& st)
 {
     for (;;) {
-        std::function<void()> job;
-        {
-            std::unique_lock<std::mutex> lock(mu_);
-            cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
-            if (stop_ && jobs_.empty())
-                return;
-            job = std::move(jobs_.front());
-            jobs_.pop();
+        int64_t c = st.next.fetch_add(1, std::memory_order_relaxed);
+        if (c >= st.chunks)
+            return;
+        int64_t begin = c * st.per;
+        int64_t end = std::min(st.total, begin + st.per);
+        (*st.fn)(begin, end);
+        if (st.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            st.chunks) {
+            // Last chunk: wake the caller blocked in parallelFor.
+            std::lock_guard<std::mutex> lock(st.mu);
+            st.cv.notify_all();
         }
-        job();
     }
 }
 
 void
-ThreadPool::enqueue(std::function<void()> job)
+ThreadPool::workerLoop()
 {
-    {
+    for (;;) {
+        std::shared_ptr<ParallelState> st;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock,
+                     [this] { return stop_ || parallel_ != nullptr; });
+            if (stop_)
+                return;
+            st = parallel_;
+            if (st->next.load(std::memory_order_relaxed) >= st->chunks) {
+                // Exhausted: retire it so idle workers stop waking.
+                parallel_.reset();
+                continue;
+            }
+        }
+        runChunks(*st);
         std::lock_guard<std::mutex> lock(mu_);
-        jobs_.push(std::move(job));
+        if (parallel_ == st)
+            parallel_.reset();
     }
-    cv_.notify_one();
 }
 
 void
@@ -83,6 +99,11 @@ ThreadPool::parallelFor(int64_t total,
 {
     if (total <= 0)
         return;
+    // Small ranges never touch the pool (no state allocation, no wake).
+    if (total <= std::max<int64_t>(1, grain_size)) {
+        fn(0, total);
+        return;
+    }
     int64_t max_chunks = numThreads() + 1;
     int64_t chunks =
         std::min<int64_t>(max_chunks,
@@ -93,31 +114,31 @@ ThreadPool::parallelFor(int64_t total,
         return;
     }
 
-    std::atomic<int64_t> remaining(chunks - 1);
-    std::mutex done_mu;
-    std::condition_variable done_cv;
+    // One shared state per call; workers claim chunk indices from the
+    // atomic counter instead of receiving per-chunk closures.
+    auto st = std::make_shared<ParallelState>();
+    st->fn = &fn;
+    st->total = total;
+    st->chunks = chunks;
+    st->per = (total + chunks - 1) / chunks;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        parallel_ = st;
+    }
+    cv_.notify_all();
 
-    int64_t per = (total + chunks - 1) / chunks;
-    for (int64_t c = 1; c < chunks; ++c) {
-        int64_t begin = c * per;
-        int64_t end = std::min(total, begin + per);
-        if (begin >= end) {
-            remaining.fetch_sub(1);
-            continue;
-        }
-        enqueue([&, begin, end] {
-            fn(begin, end);
-            if (remaining.fetch_sub(1) == 1) {
-                std::lock_guard<std::mutex> lock(done_mu);
-                done_cv.notify_one();
-            }
+    // The calling thread claims chunks like any worker.
+    runChunks(*st);
+
+    {
+        std::unique_lock<std::mutex> lock(st->mu);
+        st->cv.wait(lock, [&] {
+            return st->done.load(std::memory_order_acquire) == st->chunks;
         });
     }
-    // Calling thread runs the first chunk.
-    fn(0, std::min(total, per));
-
-    std::unique_lock<std::mutex> lock(done_mu);
-    done_cv.wait(lock, [&] { return remaining.load() == 0; });
+    std::lock_guard<std::mutex> lock(mu_);
+    if (parallel_ == st)
+        parallel_.reset();
 }
 
 void

@@ -8,13 +8,20 @@
  * Kernels use ThreadPool::global() to parallelize over the outermost
  * loop dimension; the pool size stands in for the "8 threads on mobile
  * CPU" configuration in the paper's evaluation setup.
+ *
+ * parallelFor dispatches through one shared per-call state with an
+ * atomic chunk counter — workers claim chunk indices instead of popping
+ * one heap-allocated closure per chunk, so a call costs a single
+ * allocation regardless of chunk count, and small ranges
+ * (total <= grain_size) bypass the pool entirely.
  */
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
@@ -50,11 +57,28 @@ class ThreadPool
                      int64_t grain_size = 1);
 
   private:
+    /** Shared state of one in-flight parallelFor: workers claim chunk
+     *  indices from @ref next; the last finished chunk signals @ref cv. */
+    struct ParallelState
+    {
+        const std::function<void(int64_t, int64_t)>* fn = nullptr;
+        int64_t total = 0;
+        int64_t per = 0;     ///< iterations per chunk
+        int64_t chunks = 0;
+        std::atomic<int64_t> next{0};
+        std::atomic<int64_t> done{0};
+        std::mutex mu;
+        std::condition_variable cv;
+    };
+
     void workerLoop();
-    void enqueue(std::function<void()> job);
+    /** Claims and runs chunks of @p st until the counter is exhausted. */
+    static void runChunks(ParallelState& st);
 
     std::vector<std::thread> workers_;
-    std::queue<std::function<void()>> jobs_;
+    /** The active parallelFor, if any (shared so late workers never
+     *  touch a state the caller has already abandoned). */
+    std::shared_ptr<ParallelState> parallel_;
     std::mutex mu_;
     std::condition_variable cv_;
     bool stop_ = false;

@@ -1,0 +1,344 @@
+/** Tests for the shape-signature plan cache: hit/miss/eviction
+ *  accounting, LRU behavior under tight capacities, interaction with
+ *  control flow and the validate-every-plan debug switch, and bit-exact
+ *  output equivalence between cached and uncached runs across the model
+ *  zoo. */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "core/plan_cache.h"
+#include "core/sod2_engine.h"
+#include "graph/builder.h"
+#include "models/model_zoo.h"
+#include "runtime/interpreter.h"
+
+namespace sod2 {
+namespace {
+
+/** Small dynamic CNN (mirrors engine_test's model): conv -> relu ->
+ *  pool -> reshape -> matmul -> gelu, symbolic n/h/w. */
+struct TestModel
+{
+    Graph graph;
+    RdpOptions rdp;
+
+    static TestModel
+    cnn()
+    {
+        TestModel m;
+        GraphBuilder b(&m.graph);
+        Rng rng(41);
+        ValueId x = b.input("x");
+        ValueId w1 = b.weight("w1", {8, 3, 3, 3}, rng);
+        ValueId c1 = b.relu(b.conv2d(x, w1, -1, 2, 1));
+        ValueId p1 = b.maxPool(c1, 2, 2);
+        ValueId gap = b.globalAvgPool(p1);
+        ValueId flat = b.reshape(gap, {0, -1});
+        ValueId w2 = b.weight("w2", {8, 4}, rng);
+        b.output(b.gelu(b.matmul(flat, w2)));
+
+        m.rdp.inputShapes["x"] = ShapeInfo::ranked(
+            {DimValue::symbol("n"), DimValue::known(3),
+             DimValue::symbol("h"), DimValue::symbol("w")});
+        return m;
+    }
+
+    static TestModel
+    gated()
+    {
+        TestModel m;
+        GraphBuilder b(&m.graph);
+        Rng rng(42);
+        ValueId x = b.input("x");
+        ValueId pred = b.input("pred", DType::kInt64);
+        auto brs = b.switchOp(x, pred, 2);
+        ValueId w = b.weight("w", {16, 16}, rng);
+        ValueId heavy = b.relu(b.matmul(brs[0], w));
+        ValueId light = b.sigmoid(brs[1]);
+        ValueId y = b.combine(pred, {heavy, light});
+        b.output(b.add(y, x));
+
+        m.rdp.inputShapes["x"] = ShapeInfo::ranked(
+            {DimValue::symbol("s"), DimValue::known(16)});
+        m.rdp.inputShapes["pred"] = ShapeInfo::fromConcrete({});
+        return m;
+    }
+};
+
+Tensor
+cnnInput(int64_t n, int64_t h, int64_t w, uint64_t seed)
+{
+    Rng rng(seed);
+    return Tensor::randomUniform(Shape({n, 3, h, w}), rng);
+}
+
+/** Byte-exact copy of a run's outputs (they may alias the arena, which
+ *  the next run overwrites). */
+std::vector<std::vector<uint8_t>>
+snapshot(const std::vector<Tensor>& outputs)
+{
+    std::vector<std::vector<uint8_t>> bytes;
+    bytes.reserve(outputs.size());
+    for (const Tensor& t : outputs) {
+        const uint8_t* p = static_cast<const uint8_t*>(t.raw());
+        bytes.emplace_back(p, p + t.byteSize());
+    }
+    return bytes;
+}
+
+TEST(PlanCache, RepeatedSignatureHits)
+{
+    TestModel m = TestModel::cnn();
+    Sod2Options opts;
+    opts.rdp = m.rdp;
+    Sod2Engine engine(&m.graph, opts);
+
+    Tensor in = cnnInput(2, 16, 20, 7);
+    RunStats stats;
+
+    engine.run({in}, &stats);
+    EXPECT_FALSE(stats.planCacheHit);
+    EXPECT_EQ(stats.planCacheHits, 0u);
+    EXPECT_EQ(stats.planCacheMisses, 1u);
+    EXPECT_EQ(stats.planCacheEvictions, 0u);
+
+    engine.run({in}, &stats);
+    EXPECT_TRUE(stats.planCacheHit);
+    EXPECT_EQ(stats.planCacheHits, 1u);
+    EXPECT_EQ(stats.planCacheMisses, 1u);
+
+    // A different tensor with the same shape is the same signature.
+    engine.run({cnnInput(2, 16, 20, 8)}, &stats);
+    EXPECT_TRUE(stats.planCacheHit);
+    EXPECT_EQ(stats.planCacheHits, 2u);
+    EXPECT_EQ(stats.planCacheMisses, 1u);
+}
+
+TEST(PlanCache, DistinctSignaturesMiss)
+{
+    TestModel m = TestModel::cnn();
+    Sod2Options opts;
+    opts.rdp = m.rdp;
+    Sod2Engine engine(&m.graph, opts);
+
+    RunStats stats;
+    engine.run({cnnInput(1, 8, 8, 1)}, &stats);
+    engine.run({cnnInput(1, 8, 12, 2)}, &stats);
+    engine.run({cnnInput(2, 8, 8, 3)}, &stats);
+    EXPECT_EQ(stats.planCacheHits, 0u);
+    EXPECT_EQ(stats.planCacheMisses, 3u);
+    EXPECT_EQ(stats.planCacheEvictions, 0u);
+}
+
+TEST(PlanCache, CapacityOneAlternatingThrashes)
+{
+    TestModel m = TestModel::cnn();
+    Sod2Options opts;
+    opts.rdp = m.rdp;
+    opts.planCacheCapacity = 1;
+    Sod2Engine engine(&m.graph, opts);
+
+    Tensor a = cnnInput(1, 8, 8, 11);
+    Tensor b = cnnInput(1, 12, 12, 12);
+
+    RunStats stats;
+    engine.run({a}, &stats);  // miss (A resident)
+    engine.run({b}, &stats);  // miss, evicts A
+    engine.run({a}, &stats);  // miss, evicts B
+    engine.run({b}, &stats);  // miss, evicts A
+    EXPECT_EQ(stats.planCacheHits, 0u);
+    EXPECT_EQ(stats.planCacheMisses, 4u);
+    EXPECT_EQ(stats.planCacheEvictions, 3u);
+
+    engine.run({b}, &stats);  // B resident: hit
+    EXPECT_TRUE(stats.planCacheHit);
+    EXPECT_EQ(stats.planCacheHits, 1u);
+}
+
+TEST(PlanCache, LruEvictsLeastRecentlyUsed)
+{
+    TestModel m = TestModel::cnn();
+    Sod2Options opts;
+    opts.rdp = m.rdp;
+    opts.planCacheCapacity = 2;
+    Sod2Engine engine(&m.graph, opts);
+
+    Tensor a = cnnInput(1, 8, 8, 21);
+    Tensor b = cnnInput(1, 12, 12, 22);
+    Tensor c = cnnInput(1, 16, 16, 23);
+
+    RunStats stats;
+    engine.run({a}, &stats);  // miss: {A}
+    engine.run({b}, &stats);  // miss: {B, A}
+    engine.run({a}, &stats);  // hit, bumps A: {A, B}
+    engine.run({c}, &stats);  // miss, evicts B: {C, A}
+    EXPECT_EQ(stats.planCacheEvictions, 1u);
+    engine.run({a}, &stats);  // hit: A survived because it was bumped
+    EXPECT_TRUE(stats.planCacheHit);
+    engine.run({b}, &stats);  // miss: B was the LRU victim
+    EXPECT_FALSE(stats.planCacheHit);
+    EXPECT_EQ(stats.planCacheHits, 2u);
+    EXPECT_EQ(stats.planCacheMisses, 4u);
+    EXPECT_EQ(stats.planCacheEvictions, 2u);
+}
+
+TEST(PlanCache, DisabledCacheReportsNothingAndStaysCorrect)
+{
+    TestModel m = TestModel::cnn();
+    Sod2Options opts;
+    opts.rdp = m.rdp;
+    opts.planCacheCapacity = 0;
+    Sod2Engine engine(&m.graph, opts);
+    Interpreter ref(&m.graph, {});
+
+    Tensor in = cnnInput(2, 16, 16, 31);
+    RunStats stats;
+    for (int i = 0; i < 3; ++i) {
+        auto got = engine.run({in}, &stats);
+        EXPECT_FALSE(stats.planCacheHit);
+        EXPECT_EQ(stats.planCacheHits, 0u);
+        EXPECT_EQ(stats.planCacheMisses, 0u);
+        auto expect = ref.run({in});
+        EXPECT_TRUE(Tensor::allClose(got[0], expect[0]));
+    }
+}
+
+TEST(PlanCache, CachedHitSelectsLiveBranch)
+{
+    // Same shape signature, different predicate: the cached plan must
+    // not pin the executed path — branch selection stays per-run.
+    TestModel m = TestModel::gated();
+    Sod2Options opts;
+    opts.rdp = m.rdp;
+    Sod2Engine engine(&m.graph, opts);
+    Interpreter ref(&m.graph, {});
+
+    Rng rng(51);
+    Tensor x = Tensor::randomUniform(Shape({4, 16}), rng);
+    RunStats stats;
+    for (int64_t pred : {0, 1, 0, 1}) {
+        Tensor p = Tensor::scalarInt64(pred);
+        auto got = engine.run({x, p}, &stats);
+        auto expect = ref.run({x, p});
+        EXPECT_TRUE(Tensor::allClose(got[0], expect[0]))
+            << "pred=" << pred;
+    }
+    EXPECT_EQ(stats.planCacheMisses, 1u);
+    EXPECT_EQ(stats.planCacheHits, 3u);
+}
+
+TEST(PlanCache, ValidateEveryPlanChecksCachedRuns)
+{
+    TestModel m = TestModel::cnn();
+    Sod2Options opts;
+    opts.rdp = m.rdp;
+    opts.validateEveryPlan = true;
+    Sod2Engine engine(&m.graph, opts);
+
+    RunStats stats;
+    for (int i = 0; i < 3; ++i)
+        engine.run({cnnInput(1, 16, 16, 41)}, &stats);
+    EXPECT_EQ(stats.planCacheHits, 2u);  // validation ran on each hit
+}
+
+TEST(PlanCacheUnit, InsertFindEvict)
+{
+    PlanCache cache(2);
+    auto sig = [](int64_t v) {
+        return canonicalBindingSignature({{"s", v}});
+    };
+    auto find = [&](int64_t v) {
+        auto s = sig(v);
+        return cache.find(s.hash, {v});
+    };
+    auto insert = [&](int64_t v) {
+        cache.insert(sig(v).hash, {v}, std::make_shared<PlanInstance>());
+    };
+
+    EXPECT_EQ(find(1), nullptr);
+    insert(1);
+    insert(2);
+    EXPECT_NE(find(1), nullptr);  // bumps 1
+    insert(3);                    // evicts 2
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_EQ(find(2), nullptr);
+    EXPECT_NE(find(1), nullptr);
+    EXPECT_NE(find(3), nullptr);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(BindingSignatureTest, CanonicalAndHashable)
+{
+    auto a = canonicalBindingSignature({{"h", 8}, {"n", 2}});
+    auto b = canonicalBindingSignature({{"n", 2}, {"h", 8}});
+    auto c = canonicalBindingSignature({{"n", 2}, {"h", 9}});
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.hash, b.hash);
+    EXPECT_NE(a, c);
+    EXPECT_EQ(a.toString(), "{h=8, n=2}");
+
+    auto empty = canonicalBindingSignature({});
+    EXPECT_NE(empty, a);
+    EXPECT_EQ(empty.toString(), "{}");
+}
+
+/** Cached and uncached engines must produce bit-identical outputs on
+ *  repeated-shape streams, for every model in the zoo. */
+class PlanCacheZooTest : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(PlanCacheZooTest, CachedBitExactMatchesUncached)
+{
+    Rng build_rng(1234);
+    ModelSpec spec = buildModel(GetParam(), build_rng);
+
+    Sod2Options cached_opts;
+    cached_opts.rdp = spec.rdp;
+    Sod2Engine cached(spec.graph.get(), cached_opts);
+
+    Sod2Options uncached_opts;
+    uncached_opts.rdp = spec.rdp;
+    uncached_opts.planCacheCapacity = 0;
+    Sod2Engine uncached(spec.graph.get(), uncached_opts);
+
+    // Two cheap-but-distinct shape signatures per model.
+    int64_t s1 = spec.legalizeSize(spec.minSize);
+    int64_t s2 = spec.legalizeSize(spec.minSize + spec.sizeMultiple);
+    RunStats stats;
+    for (int64_t hint : {s1, s2}) {
+        Rng rng(100 + static_cast<uint64_t>(hint));
+        auto inputs = spec.sample(rng, hint);
+        // Two passes per input: the cached engine's second pass is a
+        // plan-cache hit and must still match byte-for-byte.
+        for (int pass = 0; pass < 2; ++pass) {
+            auto want = snapshot(uncached.run(inputs, &stats));
+            EXPECT_FALSE(stats.planCacheHit);
+            auto got = snapshot(cached.run(inputs, &stats));
+            ASSERT_EQ(got.size(), want.size());
+            for (size_t i = 0; i < got.size(); ++i)
+                EXPECT_EQ(got[i], want[i])
+                    << spec.name << " output " << i << " pass " << pass;
+        }
+        RunStats cstats;
+        cached.run(inputs, &cstats);
+        EXPECT_TRUE(cstats.planCacheHit) << spec.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, PlanCacheZooTest,
+    ::testing::ValuesIn(allModelNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+        std::string name = info.param;
+        for (char& c : name)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+}  // namespace
+}  // namespace sod2
