@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Builds the ThreadSanitizer tree and runs the concurrency-labeled
+# tests under it. This is the race-regression gate for the shared
+# Sod2Engine serving path: any data race reintroduced in run(),
+# PlanCache, or the registry/env/alloc-stats singletons fails here
+# even if the uninstrumented tests still pass by luck.
+#
+# Usage: scripts/check_tsan.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)"
+ctest --test-dir build-tsan -L concurrency --output-on-failure "$@"

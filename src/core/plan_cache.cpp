@@ -22,7 +22,7 @@ PlanCache::chainFind(std::vector<EntryIter>& chain,
 }
 
 void
-PlanCache::removeFromIndex(const Entry& entry)
+PlanCache::removeFromIndexLocked(const Entry& entry)
 {
     auto it = index_.find(entry.hash);
     SOD2_CHECK(it != index_.end());
@@ -33,25 +33,22 @@ PlanCache::removeFromIndex(const Entry& entry)
 }
 
 std::shared_ptr<const PlanInstance>
-PlanCache::find(uint64_t hash, const std::vector<int64_t>& values)
+PlanCache::lookupLocked(uint64_t hash, const std::vector<int64_t>& values)
 {
     auto it = index_.find(hash);
-    if (it != index_.end()) {
-        auto& chain = it->second;
-        auto cit = chainFind(chain, values);
-        if (cit != chain.end()) {
-            ++hits_;
-            entries_.splice(entries_.begin(), entries_, *cit);
-            return entries_.front().plan;
-        }
-    }
-    ++misses_;
-    return nullptr;
+    if (it == index_.end())
+        return nullptr;
+    auto& chain = it->second;
+    auto cit = chainFind(chain, values);
+    if (cit == chain.end())
+        return nullptr;
+    entries_.splice(entries_.begin(), entries_, *cit);
+    return entries_.front().plan;
 }
 
 void
-PlanCache::insert(uint64_t hash, std::vector<int64_t> values,
-                  std::shared_ptr<const PlanInstance> plan)
+PlanCache::insertLocked(uint64_t hash, std::vector<int64_t> values,
+                        std::shared_ptr<const PlanInstance> plan)
 {
     auto it = index_.find(hash);
     if (it != index_.end()) {
@@ -65,10 +62,132 @@ PlanCache::insert(uint64_t hash, std::vector<int64_t> values,
     entries_.push_front(Entry{hash, std::move(values), std::move(plan)});
     index_[hash].push_back(entries_.begin());
     if (entries_.size() > capacity_) {
-        removeFromIndex(entries_.back());
+        removeFromIndexLocked(entries_.back());
         entries_.pop_back();
-        ++evictions_;
+        evictions_.fetch_add(1, std::memory_order_relaxed);
     }
+}
+
+void
+PlanCache::retireFlightLocked(uint64_t hash, const Flight* flight)
+{
+    auto it = inflight_.find(hash);
+    if (it == inflight_.end())
+        return;
+    auto& flights = it->second;
+    flights.erase(std::remove_if(flights.begin(), flights.end(),
+                                 [&](const std::shared_ptr<Flight>& f) {
+                                     return f.get() == flight;
+                                 }),
+                  flights.end());
+    if (flights.empty())
+        inflight_.erase(it);
+}
+
+std::shared_ptr<const PlanInstance>
+PlanCache::findOrInstantiate(uint64_t hash,
+                             const std::vector<int64_t>& values,
+                             const Instantiator& instantiate,
+                             bool* instantiated)
+{
+    if (instantiated)
+        *instantiated = false;
+
+    std::shared_ptr<Flight> flight;
+    bool leader = false;
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (auto plan = lookupLocked(hash, values)) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return plan;
+        }
+        auto& flights = inflight_[hash];
+        auto fit = std::find_if(flights.begin(), flights.end(),
+                                [&](const std::shared_ptr<Flight>& f) {
+                                    return f->values == values;
+                                });
+        if (fit != flights.end()) {
+            flight = *fit;  // join the in-flight instantiation
+            coalesced_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            misses_.fetch_add(1, std::memory_order_relaxed);
+            flight = std::make_shared<Flight>();
+            flight->values = values;
+            flights.push_back(flight);
+            leader = true;
+        }
+    }
+
+    if (!leader) {
+        std::unique_lock<std::mutex> flock(flight->mu);
+        flight->cv.wait(flock, [&] { return flight->done; });
+        if (flight->plan)
+            return flight->plan;
+        // The leader's instantiation failed; recover independently (no
+        // single flight on this rare retry path).
+        if (instantiated)
+            *instantiated = true;
+        return instantiate();
+    }
+
+    // Leader: instantiate outside the cache lock so a slow plan build
+    // never blocks hits on other signatures.
+    std::shared_ptr<const PlanInstance> plan;
+    try {
+        plan = instantiate();
+    } catch (...) {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            retireFlightLocked(hash, flight.get());
+        }
+        {
+            std::lock_guard<std::mutex> flock(flight->mu);
+            flight->done = true;  // plan stays null: waiters self-serve
+        }
+        flight->cv.notify_all();
+        throw;
+    }
+    if (instantiated)
+        *instantiated = true;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        insertLocked(hash, values, plan);
+        retireFlightLocked(hash, flight.get());
+    }
+    {
+        std::lock_guard<std::mutex> flock(flight->mu);
+        flight->plan = plan;
+        flight->done = true;
+    }
+    flight->cv.notify_all();
+    return plan;
+}
+
+std::shared_ptr<const PlanInstance>
+PlanCache::find(uint64_t hash, const std::vector<int64_t>& values)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto plan = lookupLocked(hash, values)) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return plan;
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+}
+
+void
+PlanCache::insert(uint64_t hash, std::vector<int64_t> values,
+                  std::shared_ptr<const PlanInstance> plan)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    insertLocked(hash, std::move(values), std::move(plan));
+}
+
+size_t
+PlanCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
 }
 
 }  // namespace sod2

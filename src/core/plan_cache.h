@@ -14,14 +14,24 @@
  * keyed by the canonical symbol-binding signature. A hit replaces all
  * per-run planning work with one hash lookup.
  *
- * Bounded LRU; single-threaded like the engine that owns it. Entries
- * are immutable and shared_ptr-held, so a run keeps its plan alive even
- * if the entry is evicted before the run finishes.
+ * Concurrency: the cache is shared by every thread running one engine,
+ * so the LRU structures are mutex-guarded and the hit/miss/eviction
+ * counters are atomic. findOrInstantiate() additionally single-flights
+ * plan construction: when N threads miss the same signature at once,
+ * exactly one runs the (relatively expensive) instantiation while the
+ * others block on it and share the result — the stampede-suppression
+ * count is surfaced as coalesced(). Entries are immutable and
+ * shared_ptr-held, so a run keeps its plan alive even if the entry is
+ * evicted before the run finishes.
  */
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -49,17 +59,42 @@ struct PlanInstance
 };
 
 /**
- * LRU cache of instantiated plans, keyed by the canonical
- * symbol-binding vector (SymbolBinder::bind output) plus its signature
- * hash. The vector form keeps lookups free of string traffic: within
- * one engine the symbol schema is fixed, so equal value vectors mean
- * equal signatures.
+ * Concurrency-safe LRU cache of instantiated plans, keyed by the
+ * canonical symbol-binding vector (SymbolBinder::bind output) plus its
+ * signature hash. The vector form keeps lookups free of string
+ * traffic: within one engine the symbol schema is fixed, so equal
+ * value vectors mean equal signatures.
  */
 class PlanCache
 {
   public:
+    /** Builds @p inst for a missed signature (may throw). */
+    using Instantiator =
+        std::function<std::shared_ptr<const PlanInstance>()>;
+
     /** @p capacity distinct signatures; must be > 0. */
     explicit PlanCache(size_t capacity);
+
+    /**
+     * The serving-path lookup: returns the cached plan for
+     * (@p hash, @p values), or single-flights @p instantiate.
+     *
+     * - Hit: bumps the entry most-recent, counts one hit.
+     * - First miss: counts one miss, runs @p instantiate *outside* the
+     *   cache lock, inserts the result, and wakes any waiters.
+     * - Concurrent miss on the same signature: counts one coalesced
+     *   lookup and blocks until the in-flight leader publishes, then
+     *   shares the leader's instance (no duplicate instantiation).
+     *
+     * When the leader's @p instantiate throws, the exception propagates
+     * on the leader; waiters fall back to instantiating for themselves.
+     * @p instantiated (optional) reports whether *this* call ran the
+     * instantiator — i.e. false means the caller skipped plan work.
+     */
+    std::shared_ptr<const PlanInstance>
+    findOrInstantiate(uint64_t hash, const std::vector<int64_t>& values,
+                      const Instantiator& instantiate,
+                      bool* instantiated = nullptr);
 
     /** Returns the cached plan for (@p hash, @p values) and bumps it
      *  most-recent, or null. Counts one hit or one miss. */
@@ -72,13 +107,28 @@ class PlanCache
     void insert(uint64_t hash, std::vector<int64_t> values,
                 std::shared_ptr<const PlanInstance> plan);
 
-    size_t size() const { return entries_.size(); }
+    size_t size() const;
     size_t capacity() const { return capacity_; }
 
-    /** Cumulative counters since construction. */
-    size_t hits() const { return hits_; }
-    size_t misses() const { return misses_; }
-    size_t evictions() const { return evictions_; }
+    /** Cumulative counters since construction (atomic snapshots). */
+    size_t hits() const
+    {
+        return hits_.load(std::memory_order_relaxed);
+    }
+    size_t misses() const
+    {
+        return misses_.load(std::memory_order_relaxed);
+    }
+    size_t evictions() const
+    {
+        return evictions_.load(std::memory_order_relaxed);
+    }
+    /** Lookups that joined another thread's in-flight instantiation
+     *  instead of duplicating it (suppressed cache stampedes). */
+    size_t coalesced() const
+    {
+        return coalesced_.load(std::memory_order_relaxed);
+    }
 
   private:
     struct Entry
@@ -89,18 +139,42 @@ class PlanCache
     };
     using EntryIter = std::list<Entry>::iterator;
 
+    /** One in-flight instantiation other threads can wait on. */
+    struct Flight
+    {
+        std::vector<int64_t> values;
+        std::mutex mu;
+        std::condition_variable cv;
+        bool done = false;
+        std::shared_ptr<const PlanInstance> plan;  ///< null = failed
+    };
+
     /** Chain entry for @p hash whose values match, or chain end. */
-    std::vector<EntryIter>::iterator
+    static std::vector<EntryIter>::iterator
     chainFind(std::vector<EntryIter>& chain,
               const std::vector<int64_t>& values);
-    void removeFromIndex(const Entry& entry);
+    void removeFromIndexLocked(const Entry& entry);
+    /** Lookup + LRU bump; requires mu_. Does not count hit/miss. */
+    std::shared_ptr<const PlanInstance>
+    lookupLocked(uint64_t hash, const std::vector<int64_t>& values);
+    void insertLocked(uint64_t hash, std::vector<int64_t> values,
+                      std::shared_ptr<const PlanInstance> plan);
+    void retireFlightLocked(uint64_t hash, const Flight* flight);
 
     size_t capacity_;
+    /** Guards entries_, index_, and inflight_. */
+    mutable std::mutex mu_;
     /** Most-recent first. */
     std::list<Entry> entries_;
     /** hash -> entries with that hash (collision chain, ~1 element). */
     std::unordered_map<uint64_t, std::vector<EntryIter>> index_;
-    size_t hits_ = 0, misses_ = 0, evictions_ = 0;
+    /** hash -> in-flight instantiations (single-flight registry). */
+    std::unordered_map<uint64_t, std::vector<std::shared_ptr<Flight>>>
+        inflight_;
+    std::atomic<size_t> hits_{0};
+    std::atomic<size_t> misses_{0};
+    std::atomic<size_t> evictions_{0};
+    std::atomic<size_t> coalesced_{0};
 };
 
 }  // namespace sod2

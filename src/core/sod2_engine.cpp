@@ -2,12 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cstdlib>
 #include <cstring>
 
 #include "memory/branch_colors.h"
 #include "memory/lifetime.h"
 #include "memory/planners.h"
+#include "ops/op_registry.h"
+#include "support/env.h"
 #include "support/logging.h"
 
 namespace sod2 {
@@ -29,6 +30,10 @@ Sod2Engine::Sod2Engine(const Graph* graph, Sod2Options options)
     SOD2_CHECK(graph_ != nullptr);
     graph_->validate();
     validateOps(*graph_);
+    // Compiling an engine means run threads may start executing at any
+    // point from here on; seal the registry so a late registration can
+    // never race their lock-free lookups.
+    OpRegistry::instance().freeze();
 
     // (1) RDP analysis.
     rdp_ = std::make_unique<RdpResult>(runRdp(*graph_, options_.rdp));
@@ -97,8 +102,6 @@ Sod2Engine::Sod2Engine(const Graph* graph, Sod2Options options)
     compiled_ = compilePlan(*graph_, fusion_);
     versions_ = options_.enableMvc ? TunedVersions::defaults()
                                    : TunedVersions::singleVersion();
-    if (!options_.enableDmp)
-        fallback_pool_ = PoolAllocator::create();
 
     // Symbolic per-group version selectors: shape-class selection moves
     // from the execution loop to plan instantiation, where it can be
@@ -111,9 +114,10 @@ Sod2Engine::Sod2Engine(const Graph* graph, Sod2Options options)
     }
 
     binder_ = std::make_unique<SymbolBinder>(*graph_, options_.rdp);
-    if (const char* env = std::getenv("SOD2_VALIDATE_PLANS"))
-        if (env[0] == '1' && env[1] == '\0')
-            options_.validateEveryPlan = true;
+    // Cached once per process (support/env), so every engine in one
+    // process honors the same SOD2_VALIDATE_PLANS value.
+    if (env::validatePlans())
+        options_.validateEveryPlan = true;
     if (options_.planCacheCapacity > 0)
         plan_cache_ = std::make_unique<PlanCache>(
             static_cast<size_t>(options_.planCacheCapacity));
@@ -138,6 +142,11 @@ Sod2Engine::Sod2Engine(const Graph* graph, Sod2Options options)
                     all = false;
         group_folded_[gi] = all;
     }
+
+    base_remaining_uses_.assign(graph_->numValues(), 0);
+    for (ValueId v = 0; v < graph_->numValues(); ++v)
+        base_remaining_uses_[v] =
+            static_cast<int>(graph_->value(v).consumers.size());
 
     // (5) DMP skeleton: intervals with symbolic sizes, computed once.
     // Each run only evaluates the size expressions under the input's
@@ -236,9 +245,31 @@ Sod2Engine::instantiatePlan(
     return inst;
 }
 
+void
+Sod2Engine::bindContext(RunContext& ctx) const
+{
+    ctx.engine_ = this;
+    ctx.binding_values_.clear();
+    ctx.fallback_pool_ =
+        options_.enableDmp ? nullptr : PoolAllocator::create();
+    ctx.folded_env_.assign(graph_->numValues(), Tensor());
+    for (const auto& [v, t] : folded_)
+        ctx.folded_env_[v] = t;
+}
+
 std::vector<Tensor>
 Sod2Engine::run(const std::vector<Tensor>& inputs, RunStats* stats)
 {
+    return run(default_context_, inputs, stats);
+}
+
+std::vector<Tensor>
+Sod2Engine::run(RunContext& ctx, const std::vector<Tensor>& inputs,
+                RunStats* stats) const
+{
+    if (ctx.engine_ != this)
+        bindContext(ctx);
+
     const Graph& g = *graph_;
     auto t_start = Clock::now();
 
@@ -250,60 +281,64 @@ Sod2Engine::run(const std::vector<Tensor>& inputs, RunStats* stats)
     in_shapes.reserve(inputs.size());
     for (const Tensor& t : inputs)
         in_shapes.push_back(t.shape());
-    binder_->bind(in_shapes, &binding_values_);
+    binder_->bind(in_shapes, &ctx.binding_values_);
 
     // DMP/MVC instantiation: a repeated shape signature reuses the
     // cached plan instance outright; a new signature evaluates the
     // interval skeletons' symbolic sizes under this input's bindings,
     // replays the peak-outward placement, resolves kernel versions, and
-    // memoizes the result. This is the only per-run planning work.
+    // memoizes the result (single-flighted: concurrent misses on one
+    // signature instantiate once). This is the only per-run planning
+    // work.
     std::shared_ptr<const PlanInstance> inst;
     bool cache_hit = false;
     if (plan_cache_) {
-        uint64_t hash = binder_->signatureHash(binding_values_);
-        inst = plan_cache_->find(hash, binding_values_);
-        if (inst) {
-            cache_hit = true;
-        } else {
-            inst = instantiatePlan(binder_->toBindingMap(binding_values_));
-            plan_cache_->insert(hash, binding_values_, inst);
-        }
+        uint64_t hash = binder_->signatureHash(ctx.binding_values_);
+        bool instantiated = false;
+        inst = plan_cache_->findOrInstantiate(
+            hash, ctx.binding_values_,
+            [&] {
+                return instantiatePlan(
+                    binder_->toBindingMap(ctx.binding_values_));
+            },
+            &instantiated);
+        cache_hit = !instantiated;
     } else {
-        inst = instantiatePlan(binder_->toBindingMap(binding_values_));
+        inst = instantiatePlan(binder_->toBindingMap(ctx.binding_values_));
     }
 
     const std::vector<size_t>& offset_of = *inst->offsetOfValue;
     size_t arena_bytes = inst->arenaBytes;
     if (options_.enableDmp && !inst->intervals.empty()) {
-        size_t grown = arena_.reserve(arena_bytes);
+        size_t grown = ctx.arena_.reserve(arena_bytes);
         // Validate when the plan changed scale (the planner itself is
         // property-tested for overlap freedom) or when the debug switch
         // demands it on every run, cached or not.
-        if (grown > 0 || options_.validateEveryPlan)
+        if (grown > 0 || options_.validateEveryPlan) {
             SOD2_CHECK(validatePlan(inst->intervals, inst->plan))
                 << "DMP produced an overlapping plan";
+        }
         if (grown > 0 && simulated)
             meter.chargeAllocTouch(static_cast<double>(grown));
     }
 
     double plan_seconds = secondsSince(t_start);
-    size_t pool_before = fallback_pool_ ? fallback_pool_->poolBytes() : 0;
+    const std::shared_ptr<PoolAllocator>& fallback_pool =
+        ctx.fallback_pool_;
+    size_t pool_before = fallback_pool ? fallback_pool->poolBytes() : 0;
 
     // --- Execute ---------------------------------------------------------
-    TensorAllocStats& heap_stats = TensorAllocStats::instance();
-    size_t heap_before_live = heap_stats.liveBytes();
-    heap_stats.reset();  // track this run's dynamic allocations
-    (void)heap_before_live;
+    // Per-thread window: exact per-run heap accounting even with N
+    // concurrent runs (the process-wide counters stay untouched).
+    TensorAllocStats::ThreadScope& heap_scope =
+        TensorAllocStats::threadScope();
+    heap_scope.reset();
 
-    std::vector<Tensor> env(g.numValues());
+    std::vector<Tensor> env = ctx.folded_env_;
     for (size_t i = 0; i < inputs.size(); ++i)
         env[g.inputIds()[i]] = inputs[i];
-    for (const auto& [v, t] : folded_)
-        env[v] = t;
 
-    std::vector<int> remaining_uses(g.numValues(), 0);
-    for (ValueId v = 0; v < g.numValues(); ++v)
-        remaining_uses[v] = static_cast<int>(g.value(v).consumers.size());
+    std::vector<int> remaining_uses = base_remaining_uses_;
 
     int executed = 0;
     std::vector<double> sg_seconds(plan_.subgraphs.size(), 0.0);
@@ -344,10 +379,10 @@ Sod2Engine::run(const std::vector<Tensor>& inputs, RunStats* stats)
         auto materializeInto = [&](ValueId v, const Tensor& src) {
             Tensor dst;
             if (offset_of[v] != kUnplannedOffset)
-                dst = arena_.viewAt(offset_of[v], src.dtype(),
-                                    src.shape());
-            else if (fallback_pool_)
-                dst = fallback_pool_->allocate(src.dtype(), src.shape());
+                dst = ctx.arena_.viewAt(offset_of[v], src.dtype(),
+                                        src.shape());
+            else if (fallback_pool)
+                dst = fallback_pool->allocate(src.dtype(), src.shape());
             else
                 dst = Tensor(src.dtype(), src.shape());
             std::memcpy(dst.raw(), src.raw(), src.byteSize());
@@ -414,9 +449,9 @@ Sod2Engine::run(const std::vector<Tensor>& inputs, RunStats* stats)
                                 ? pending[next++]
                                 : kNoNode;
                 if (v >= 0 && offset_of[v] != kUnplannedOffset)
-                    return arena_.viewAt(offset_of[v], dtype, shape);
-                if (fallback_pool_)
-                    return fallback_pool_->allocate(dtype, shape);
+                    return ctx.arena_.viewAt(offset_of[v], dtype, shape);
+                if (fallback_pool)
+                    return fallback_pool->allocate(dtype, shape);
                 return Tensor(dtype, shape);
             };
             outs = cg.run(g, ext, alloc, config);
@@ -458,16 +493,16 @@ Sod2Engine::run(const std::vector<Tensor>& inputs, RunStats* stats)
 
     // Fresh pool blocks pay the buffer-mapping cost on simulated GPUs,
     // mirroring the arena's first-touch charge.
-    if (fallback_pool_ && simulated)
+    if (fallback_pool && simulated)
         meter.chargeAllocTouch(static_cast<double>(
-            fallback_pool_->poolBytes() - pool_before));
+            fallback_pool->poolBytes() - pool_before));
 
     if (stats) {
         stats->arenaBytes = arena_bytes;
-        stats->dynamicBytes = heap_stats.peakBytes();
-        stats->peakMemoryBytes = arena_bytes + heap_stats.peakBytes() +
-                                 (fallback_pool_
-                                      ? fallback_pool_->poolBytes()
+        stats->dynamicBytes = heap_scope.peak;
+        stats->peakMemoryBytes = arena_bytes + heap_scope.peak +
+                                 (fallback_pool
+                                      ? fallback_pool->poolBytes()
                                       : 0);
         stats->planSeconds = plan_seconds;
         stats->planCacheHit = cache_hit;
@@ -475,6 +510,7 @@ Sod2Engine::run(const std::vector<Tensor>& inputs, RunStats* stats)
             stats->planCacheHits = plan_cache_->hits();
             stats->planCacheMisses = plan_cache_->misses();
             stats->planCacheEvictions = plan_cache_->evictions();
+            stats->planCacheCoalesced = plan_cache_->coalesced();
         }
         stats->executedGroups = executed;
         stats->subgraphSeconds = std::move(sg_seconds);

@@ -15,6 +15,14 @@
  * order through one arena, taking only live control-flow branches,
  * selecting kernel versions per shape class.
  *
+ * Concurrency model: after the constructor returns, the engine itself
+ * is immutable — run() is const and touches only compiled state, the
+ * internally synchronized plan cache, and the RunContext it is given.
+ * One compiled engine serves N request threads, each with its own
+ * RunContext. The context-less run() overload uses an engine-owned
+ * default context and therefore keeps the historical single-threaded
+ * contract.
+ *
  * Every optimization can be toggled independently for the Figure 5/6
  * ablation breakdowns.
  */
@@ -26,6 +34,7 @@
 
 #include "codegen/kernel_tuner.h"
 #include "core/plan_cache.h"
+#include "core/run_context.h"
 #include "fusion/fused_executor.h"
 #include "fusion/fusion_plan.h"
 #include "kernels/device_profile.h"
@@ -76,7 +85,9 @@ struct RunStats
     /** End-to-end latency: wall seconds on real devices, cost-model
      *  seconds (plus host planning overhead) on simulated profiles. */
     double seconds = 0.0;
-    /** Arena bytes reserved by the memory plan for this input. */
+    /** Arena bytes the memory plan *requires* for this input — not the
+     *  context arena's capacity, which may be transiently larger after
+     *  an outlier shape (until the high-water trim reclaims it). */
     size_t arenaBytes = 0;
     /** Peak heap bytes for execution-determined tensors. */
     size_t dynamicBytes = 0;
@@ -84,12 +95,16 @@ struct RunStats
     size_t peakMemoryBytes = 0;
     /** Host-side time spent binding symbols + instantiating the plan. */
     double planSeconds = 0.0;
-    /** True when this run reused a cached plan instance. */
+    /** True when this run reused a cached (or in-flight) plan instance
+     *  instead of instantiating one itself. */
     bool planCacheHit = false;
     /** Cumulative plan-cache counters (since engine construction). */
     size_t planCacheHits = 0;
     size_t planCacheMisses = 0;
     size_t planCacheEvictions = 0;
+    /** Lookups that joined another thread's in-flight instantiation
+     *  (suppressed cache stampedes). */
+    size_t planCacheCoalesced = 0;
     int executedGroups = 0;
     /** Wall/simulated seconds attributed to each planned sub-graph. */
     std::vector<double> subgraphSeconds;
@@ -102,12 +117,29 @@ struct RunStats
 class Sod2Engine
 {
   public:
-    /** Compiles @p graph; the graph must outlive the engine. */
+    /** Compiles @p graph; the graph must outlive the engine. Freezes
+     *  the process-wide OpRegistry against late registration. */
     Sod2Engine(const Graph* graph, Sod2Options options);
 
-    /** Executes one inference. */
+    /**
+     * Executes one inference through the engine-owned default context.
+     * Single-threaded convenience: concurrent callers must use the
+     * RunContext overload (this one serializes on shared scratch).
+     */
     std::vector<Tensor> run(const std::vector<Tensor>& inputs,
                             RunStats* stats = nullptr);
+
+    /**
+     * Executes one inference in @p ctx. Const against all compiled
+     * state: safe to call concurrently from N threads as long as each
+     * thread brings its own context. @p ctx binds to this engine on
+     * first use (and rebinds when previously used with another one).
+     * Output tensors may alias @p ctx's arena — they are valid until
+     * the context's next run.
+     */
+    std::vector<Tensor> run(RunContext& ctx,
+                            const std::vector<Tensor>& inputs,
+                            RunStats* stats = nullptr) const;
 
     // --- introspection (used by the breakdown benchmarks) ---------------
     const RdpResult& rdp() const { return *rdp_; }
@@ -134,6 +166,9 @@ class Sod2Engine
      *  the plan cache memoizes. */
     std::shared_ptr<const PlanInstance>
     instantiatePlan(const std::map<std::string, int64_t>& bindings) const;
+    /** (Re)binds @p ctx to this engine: seeds the folded-constant env
+     *  template and the fallback pool. */
+    void bindContext(RunContext& ctx) const;
     const Graph* graph_;
     Sod2Options options_;
     std::unique_ptr<RdpResult> rdp_;
@@ -141,10 +176,9 @@ class Sod2Engine
     ExecutionPlan plan_;
     std::vector<CompiledGroup> compiled_;
     TunedVersions versions_;
-    Arena arena_;
-    /** Runtime allocator when DMP is disabled (the ablation's default
-     *  greedy pool, standing in for plan-less allocation). */
-    std::shared_ptr<PoolAllocator> fallback_pool_;
+    /** Backs the context-less run() overload (legacy single-threaded
+     *  entry point); never touched by the RunContext overload. */
+    RunContext default_context_;
     /** Step (position in plan order) of each group. */
     std::vector<int> step_of_group_;
     /** Sub-graph index of each group (for per-subgraph timing). */
@@ -167,17 +201,19 @@ class Sod2Engine
     std::vector<VersionSelector> selectors_;
     /** Precompiled input binder (the per-run fast path). */
     std::unique_ptr<SymbolBinder> binder_;
-    /** Scratch canonical binding vector, reused across runs. */
-    std::vector<int64_t> binding_values_;
-    /** Shape-signature plan cache (null when disabled). */
+    /** Shape-signature plan cache (null when disabled). Internally
+     *  synchronized — the one piece of shared state run() writes. */
     std::unique_ptr<PlanCache> plan_cache_;
     /** Shared all-unplanned offset table for runs without a DMP plan. */
     std::shared_ptr<const std::vector<size_t>> unplanned_offsets_;
 
-    /** Compile-time constant-folded values (seeded into every run). */
+    /** Compile-time constant-folded values (seeded into every context's
+     *  env template). */
     std::map<ValueId, Tensor> folded_;
     /** Groups whose every output is folded (skipped at runtime). */
     std::vector<bool> group_folded_;
+    /** Per-value consumer counts (copied into each run's use tracker). */
+    std::vector<int> base_remaining_uses_;
 };
 
 }  // namespace sod2

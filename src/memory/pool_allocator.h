@@ -18,7 +18,8 @@
 
 namespace sod2 {
 
-/** Best-fit recycling pool; not thread-safe (single-stream execution). */
+/** Best-fit recycling pool; not thread-safe. Concurrent serving gives
+ *  each RunContext its own pool rather than locking this one. */
 class PoolAllocator : public std::enable_shared_from_this<PoolAllocator>
 {
   public:

@@ -42,6 +42,10 @@ OpRegistry::instance()
 void
 OpRegistry::add(OpDef def)
 {
+    SOD2_CHECK(!frozen())
+        << "op registration of '" << def.name
+        << "' after the registry was frozen (an engine already "
+           "compiled; register custom ops before creating engines)";
     SOD2_CHECK(!def.name.empty());
     SOD2_CHECK(def.forward) << "op '" << def.name << "' missing forward";
     SOD2_CHECK(ops_.find(def.name) == ops_.end())

@@ -23,6 +23,7 @@
  * abstract transfer yields concrete output shapes (inferConcreteShapes).
  */
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <string>
@@ -93,14 +94,34 @@ struct OpDef
     BackwardTransferFn backward;  ///< may be null
 };
 
-/** Singleton registry; all built-in ops register at first use. */
+/**
+ * Singleton registry; all built-in ops register at first use.
+ *
+ * Lookups are lock-free reads of an immutable map, which is safe to
+ * share across threads only as long as nobody mutates it concurrently.
+ * The first engine compile therefore freeze()s the registry; add()
+ * after that point throws sod2::Error instead of racing against
+ * threads already executing.
+ */
 class OpRegistry
 {
   public:
     static OpRegistry& instance();
 
-    /** Registers @p def; duplicate names are an error. */
+    /** Registers @p def; duplicate names are an error, as is any
+     *  registration after freeze(). */
     void add(OpDef def);
+
+    /**
+     * Seals the registry against further add() calls. Engines call
+     * this at compile time (before any run threads can be executing);
+     * idempotent and safe to call from any thread.
+     */
+    void freeze() { frozen_.store(true, std::memory_order_release); }
+    bool frozen() const
+    {
+        return frozen_.load(std::memory_order_acquire);
+    }
 
     /** Lookup; throws sod2::Error for unknown operators. */
     const OpDef& get(const std::string& name) const;
@@ -113,6 +134,7 @@ class OpRegistry
   private:
     OpRegistry();
     std::map<std::string, OpDef> ops_;
+    std::atomic<bool> frozen_{false};
 };
 
 /**

@@ -1,5 +1,7 @@
 #include "runtime/arena.h"
 
+#include <algorithm>
+
 #include "support/logging.h"
 
 namespace sod2 {
@@ -7,14 +9,36 @@ namespace sod2 {
 size_t
 Arena::reserve(size_t bytes)
 {
-    if (bytes <= capacity_)
-        return 0;
-    size_t grown = bytes - capacity_;
-    // for_overwrite skips zero-initialization: every slot is written by
-    // its producing kernel before any read (the planner guarantees it).
-    buffer_ = std::make_unique_for_overwrite<uint8_t[]>(bytes);
-    capacity_ = bytes;
-    return grown;
+    if (epoch_calls_++ >= kTrimWindow) {
+        prev_epoch_max_ = epoch_max_;
+        epoch_max_ = 0;
+        epoch_calls_ = 1;
+    }
+    epoch_max_ = std::max(epoch_max_, bytes);
+
+    if (bytes > capacity_) {
+        size_t grown = bytes - capacity_;
+        // for_overwrite skips zero-initialization: every slot is written
+        // by its producing kernel before any read (the planner
+        // guarantees it).
+        buffer_ = std::make_unique_for_overwrite<uint8_t[]>(bytes);
+        capacity_ = bytes;
+        return grown;
+    }
+
+    size_t recent = std::max(epoch_max_, prev_epoch_max_);
+    if (capacity_ / kTrimFactor > recent) {
+        // High-water trim: one outlier signature must not pin peak
+        // arena bytes forever. recent >= bytes (this call is in the
+        // window), so the current plan always fits post-trim.
+        buffer_ = recent > 0
+                      ? std::make_unique_for_overwrite<uint8_t[]>(recent)
+                      : nullptr;
+        capacity_ = recent;
+        ++trims_;
+        return recent;  // the remapped buffer is all first-touch
+    }
+    return 0;
 }
 
 Tensor

@@ -7,6 +7,16 @@
  * every intermediate tensor an (offset, size) slot inside one arena;
  * executing through arena views avoids per-tensor malloc entirely —
  * the contrast with the TVM-Nimble-style baseline's dynamic allocation.
+ *
+ * An Arena is owned by one RunContext and is not thread-safe; request
+ * concurrency comes from one context (and thus one arena) per thread.
+ *
+ * Capacity follows a high-water trim policy: reserve() grows on demand,
+ * and when capacity exceeds twice the largest requirement seen over the
+ * recent reserve() window it shrinks back to that high-water mark — so
+ * one outlier shape signature cannot pin peak arena bytes for the life
+ * of the context. Reserving (grow *or* trim) remaps the buffer, which
+ * invalidates tensor views returned by a previous run.
  */
 
 #include <cstdint>
@@ -22,11 +32,27 @@ class Arena
   public:
     Arena() = default;
 
-    /** Grows the backing buffer to at least @p bytes (never shrinks).
-     *  @return the number of freshly mapped bytes (0 when no growth). */
+    /** Requirement window of the trim policy, in reserve() calls: the
+     *  high-water mark covers at least the last kTrimWindow calls. */
+    static constexpr int kTrimWindow = 16;
+    /** Trim when capacity exceeds kTrimFactor x the recent high-water. */
+    static constexpr size_t kTrimFactor = 2;
+
+    /**
+     * Ensures the backing buffer holds at least @p bytes, growing on
+     * demand and trimming back to the recent high-water requirement
+     * when capacity has become more than kTrimFactor times larger than
+     * anything the last window of runs needed.
+     * @return the number of freshly mapped bytes (0 when the buffer
+     *         was reused as-is); both growth and trim remap the whole
+     *         buffer, so its previous contents are gone.
+     */
     size_t reserve(size_t bytes);
 
     size_t capacity() const { return capacity_; }
+
+    /** Number of high-water trims performed (observability/tests). */
+    size_t trimCount() const { return trims_; }
 
     /** Tensor view at byte @p offset; [offset, offset+size) must fit. */
     Tensor viewAt(size_t offset, DType dtype, const Shape& shape);
@@ -36,6 +62,14 @@ class Arena
   private:
     std::unique_ptr<uint8_t[]> buffer_;
     size_t capacity_ = 0;
+
+    /** Two-epoch high-water tracking: rolling the epoch every
+     *  kTrimWindow calls keeps max(epoch, prev epoch) covering at
+     *  least the last kTrimWindow requirements. */
+    size_t epoch_max_ = 0;
+    size_t prev_epoch_max_ = 0;
+    int epoch_calls_ = 0;
+    size_t trims_ = 0;
 };
 
 }  // namespace sod2

@@ -1,0 +1,41 @@
+#include "support/env.h"
+
+#include <cstdlib>
+
+namespace sod2 {
+namespace env {
+
+bool
+readFlag(const char* name)
+{
+    const char* v = std::getenv(name);
+    return v != nullptr && v[0] == '1' && v[1] == '\0';
+}
+
+int
+readPositiveInt(const char* name, int fallback)
+{
+    if (const char* v = std::getenv(name)) {
+        int n = std::atoi(v);
+        if (n > 0)
+            return n;
+    }
+    return fallback;
+}
+
+bool
+validatePlans()
+{
+    static const bool value = readFlag("SOD2_VALIDATE_PLANS");
+    return value;
+}
+
+int
+numThreads()
+{
+    static const int value = readPositiveInt("SOD2_NUM_THREADS", 0);
+    return value;
+}
+
+}  // namespace env
+}  // namespace sod2

@@ -1,0 +1,50 @@
+#ifndef SOD2_SUPPORT_ENV_H_
+#define SOD2_SUPPORT_ENV_H_
+
+/**
+ * @file
+ * Cached process-environment configuration.
+ *
+ * SoD2's env knobs (SOD2_VALIDATE_PLANS, SOD2_NUM_THREADS, ...) are
+ * read **once per process**, at the first query, and the parsed value
+ * is reused for the process lifetime. That makes the semantics uniform
+ * across every consumer: before this helper, SOD2_VALIDATE_PLANS was
+ * re-read by each engine constructor, so flipping it between
+ * constructing two engines in one process was honored by the second
+ * engine but not the first — an inconsistency this cache removes by
+ * design. Tests that need a different value must set it before the
+ * first query (in practice: before creating any engine or thread pool)
+ * or run in a fresh process.
+ *
+ * The cached accessors are thread-safe (each is backed by a
+ * magic-static initialized on first use).
+ */
+
+namespace sod2 {
+namespace env {
+
+/**
+ * SOD2_VALIDATE_PLANS=1 — force memory-plan re-validation on every
+ * run, including plan-cache hits (the CI tripwire for cached-plan
+ * reuse). Cached at first query, once per process.
+ */
+bool validatePlans();
+
+/**
+ * SOD2_NUM_THREADS — pins the global kernel thread-pool size (the
+ * paper's "8 threads on mobile CPU" setup knob). Returns 0 when unset
+ * or not a positive integer, meaning "use hardware concurrency".
+ * Cached at first query, once per process.
+ */
+int numThreads();
+
+/** Uncached low-level parse: true iff @p name is set to exactly "1". */
+bool readFlag(const char* name);
+
+/** Uncached low-level parse: @p name as a positive int, else @p fallback. */
+int readPositiveInt(const char* name, int fallback);
+
+}  // namespace env
+}  // namespace sod2
+
+#endif  // SOD2_SUPPORT_ENV_H_

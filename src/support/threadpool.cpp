@@ -1,8 +1,8 @@
 #include "support/threadpool.h"
 
 #include <algorithm>
-#include <cstdlib>
 
+#include "support/env.h"
 #include "support/logging.h"
 
 namespace sod2 {
@@ -36,15 +36,10 @@ ThreadPool&
 ThreadPool::global()
 {
     // SOD2_NUM_THREADS pins the pool size (the paper's "8 threads on
-    // mobile CPU" setup knob); defaults to hardware concurrency.
-    static ThreadPool pool([] {
-        if (const char* env = std::getenv("SOD2_NUM_THREADS")) {
-            int n = std::atoi(env);
-            if (n > 0)
-                return n;
-        }
-        return 0;
-    }());
+    // mobile CPU" setup knob); 0 defaults to hardware concurrency.
+    // Cached once per process (support/env semantics), same as the
+    // pool itself.
+    static ThreadPool pool(env::numThreads());
     return pool;
 }
 

@@ -14,27 +14,51 @@ TensorAllocStats::instance()
     return stats;
 }
 
+TensorAllocStats::ThreadScope&
+TensorAllocStats::threadScope()
+{
+    static thread_local ThreadScope scope;
+    return scope;
+}
+
 void
 TensorAllocStats::recordAlloc(size_t bytes)
 {
-    live_ += bytes;
-    ++allocs_;
-    if (live_ > peak_)
-        peak_ = live_;
+    size_t live =
+        live_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    allocs_.fetch_add(1, std::memory_order_relaxed);
+    size_t peak = peak_.load(std::memory_order_relaxed);
+    while (live > peak &&
+           !peak_.compare_exchange_weak(peak, live,
+                                        std::memory_order_relaxed)) {
+    }
+
+    ThreadScope& ts = threadScope();
+    ts.live += static_cast<int64_t>(bytes);
+    ++ts.allocs;
+    if (ts.live > 0 && static_cast<size_t>(ts.live) > ts.peak)
+        ts.peak = static_cast<size_t>(ts.live);
 }
 
 void
 TensorAllocStats::recordFree(size_t bytes)
 {
-    live_ -= bytes < live_ ? bytes : live_;
+    // Saturating decrement: reset() may have zeroed the counter while
+    // buffers recorded before it were still live.
+    size_t cur = live_.load(std::memory_order_relaxed);
+    while (!live_.compare_exchange_weak(cur,
+                                        cur - (bytes < cur ? bytes : cur),
+                                        std::memory_order_relaxed)) {
+    }
+    threadScope().live -= static_cast<int64_t>(bytes);
 }
 
 void
 TensorAllocStats::reset()
 {
-    live_ = 0;
-    peak_ = 0;
-    allocs_ = 0;
+    live_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+    allocs_.store(0, std::memory_order_relaxed);
 }
 
 namespace {

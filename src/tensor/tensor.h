@@ -12,6 +12,7 @@
  * space without copies.
  */
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -26,6 +27,13 @@ namespace sod2 {
  * Process-wide allocation accounting for owned tensor buffers.
  * Baseline engines that malloc per-tensor (TVM-Nimble style) report
  * their footprint through these counters.
+ *
+ * The process-wide counters are atomic, so allocation from concurrent
+ * request threads is data-race-free; reset() is only meaningful while
+ * one thread allocates (benchmarks, tests). For per-run accounting
+ * that stays exact under concurrency, every alloc/free is additionally
+ * mirrored into a per-thread window (threadScope()), which each engine
+ * run resets and reads on its own thread only.
  */
 class TensorAllocStats
 {
@@ -37,16 +45,47 @@ class TensorAllocStats
     void reset();
 
     /** Bytes currently allocated in owned tensor buffers. */
-    size_t liveBytes() const { return live_; }
+    size_t liveBytes() const
+    {
+        return live_.load(std::memory_order_relaxed);
+    }
     /** High-water mark since the last reset(). */
-    size_t peakBytes() const { return peak_; }
+    size_t peakBytes() const
+    {
+        return peak_.load(std::memory_order_relaxed);
+    }
     /** Number of allocations since the last reset(). */
-    size_t allocCount() const { return allocs_; }
+    size_t allocCount() const
+    {
+        return allocs_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * The calling thread's accounting window. `live` is signed: a
+     * thread may free buffers allocated before its window began (or on
+     * another thread), driving its local balance negative; `peak` only
+     * tracks the positive high-water, which is what a run reports.
+     */
+    struct ThreadScope
+    {
+        int64_t live = 0;
+        size_t peak = 0;
+        size_t allocs = 0;
+
+        void
+        reset()
+        {
+            live = 0;
+            peak = 0;
+            allocs = 0;
+        }
+    };
+    static ThreadScope& threadScope();
 
   private:
-    size_t live_ = 0;
-    size_t peak_ = 0;
-    size_t allocs_ = 0;
+    std::atomic<size_t> live_{0};
+    std::atomic<size_t> peak_{0};
+    std::atomic<size_t> allocs_{0};
 };
 
 /** Dense row-major tensor; cheap to copy (shares the buffer). */

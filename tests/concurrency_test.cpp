@@ -1,0 +1,391 @@
+/** Concurrency invariants for the compile-once/serve-many split: one
+ *  compiled Sod2Engine driven from N threads (one RunContext each) must
+ *  be bit-exact with the serial run, plan-cache misses on one signature
+ *  must single-flight to exactly one instantiation, eviction while runs
+ *  are in flight must stay safe, the context arena must shed outlier
+ *  capacity, and the OpRegistry must reject registration after the
+ *  first engine compile. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/plan_cache.h"
+#include "core/sod2_engine.h"
+#include "graph/builder.h"
+#include "models/model_zoo.h"
+#include "ops/op_registry.h"
+#include "support/logging.h"
+
+namespace sod2 {
+namespace {
+
+/** Small dynamic CNN (mirrors plan_cache_test's model): conv -> relu ->
+ *  pool -> reshape -> matmul -> gelu, symbolic n/h/w. */
+struct TestModel
+{
+    Graph graph;
+    RdpOptions rdp;
+
+    static TestModel
+    cnn()
+    {
+        TestModel m;
+        GraphBuilder b(&m.graph);
+        Rng rng(41);
+        ValueId x = b.input("x");
+        ValueId w1 = b.weight("w1", {8, 3, 3, 3}, rng);
+        ValueId c1 = b.relu(b.conv2d(x, w1, -1, 2, 1));
+        ValueId p1 = b.maxPool(c1, 2, 2);
+        ValueId gap = b.globalAvgPool(p1);
+        ValueId flat = b.reshape(gap, {0, -1});
+        ValueId w2 = b.weight("w2", {8, 4}, rng);
+        b.output(b.gelu(b.matmul(flat, w2)));
+
+        m.rdp.inputShapes["x"] = ShapeInfo::ranked(
+            {DimValue::symbol("n"), DimValue::known(3),
+             DimValue::symbol("h"), DimValue::symbol("w")});
+        return m;
+    }
+};
+
+Tensor
+cnnInput(int64_t n, int64_t h, int64_t w, uint64_t seed)
+{
+    Rng rng(seed);
+    return Tensor::randomUniform(Shape({n, 3, h, w}), rng);
+}
+
+/** Byte-exact copy of a run's outputs (they may alias the context
+ *  arena, which that context's next run remaps). */
+std::vector<std::vector<uint8_t>>
+snapshot(const std::vector<Tensor>& outputs)
+{
+    std::vector<std::vector<uint8_t>> bytes;
+    bytes.reserve(outputs.size());
+    for (const Tensor& t : outputs) {
+        const uint8_t* p = static_cast<const uint8_t*>(t.raw());
+        bytes.emplace_back(p, p + t.byteSize());
+    }
+    return bytes;
+}
+
+TEST(Concurrency, EightThreadsBitExactAcrossSignatures)
+{
+    TestModel m = TestModel::cnn();
+    Sod2Options opts;
+    opts.rdp = m.rdp;
+    Sod2Engine engine(&m.graph, opts);
+
+    // Four shape signatures, inputs shared read-only across threads.
+    std::vector<std::vector<Tensor>> inputs;
+    inputs.push_back({cnnInput(1, 8, 8, 1)});
+    inputs.push_back({cnnInput(2, 12, 8, 2)});
+    inputs.push_back({cnnInput(1, 16, 20, 3)});
+    inputs.push_back({cnnInput(3, 8, 12, 4)});
+
+    // Serial reference, one dedicated context.
+    std::vector<std::vector<std::vector<uint8_t>>> want;
+    RunContext ref_ctx;
+    for (const auto& in : inputs)
+        want.push_back(snapshot(engine.run(ref_ctx, in)));
+
+    constexpr int kThreads = 8;
+    constexpr int kRounds = 6;
+    std::atomic<int> mismatches{0};
+    std::barrier sync(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            RunContext ctx;
+            sync.arrive_and_wait();  // maximize overlap
+            for (int r = 0; r < kRounds; ++r) {
+                // Every thread walks the signatures with its own phase
+                // so hits, misses, and arena re-reservations interleave.
+                size_t i = (r + t) % inputs.size();
+                auto got = snapshot(engine.run(ctx, inputs[i]));
+                if (got != want[i])
+                    mismatches.fetch_add(1);
+            }
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+    EXPECT_EQ(mismatches.load(), 0);
+
+    // Serial again after the storm: still bit-exact.
+    for (size_t i = 0; i < inputs.size(); ++i)
+        EXPECT_EQ(snapshot(engine.run(ref_ctx, inputs[i])), want[i]);
+}
+
+TEST(Concurrency, StampedeSingleFlightInstantiatesOnce)
+{
+    PlanCache cache(4);
+    constexpr int kThreads = 8;
+    std::atomic<int> instantiations{0};
+    std::barrier sync(kThreads);
+    std::vector<std::shared_ptr<const PlanInstance>> got(kThreads);
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            sync.arrive_and_wait();
+            got[t] = cache.findOrInstantiate(
+                /*hash=*/42, /*values=*/{7, 9}, [&] {
+                    instantiations.fetch_add(1);
+                    // Hold the flight open long enough for the other
+                    // threads to arrive and coalesce.
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(50));
+                    return std::make_shared<const PlanInstance>();
+                });
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+
+    EXPECT_EQ(instantiations.load(), 1);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits() + cache.coalesced(),
+              static_cast<size_t>(kThreads - 1));
+    for (int t = 1; t < kThreads; ++t)
+        EXPECT_EQ(got[t], got[0]);  // one shared instance
+}
+
+TEST(Concurrency, StampedeEngineLevelSingleMiss)
+{
+    TestModel m = TestModel::cnn();
+    Sod2Options opts;
+    opts.rdp = m.rdp;
+    Sod2Engine engine(&m.graph, opts);
+
+    std::vector<Tensor> in = {cnnInput(2, 16, 16, 5)};
+    constexpr int kThreads = 8;
+    std::barrier sync(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            RunContext ctx;
+            sync.arrive_and_wait();
+            engine.run(ctx, in);
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+
+    const PlanCache* cache = engine.planCache();
+    ASSERT_NE(cache, nullptr);
+    // However the 8 first-runs interleave, one signature instantiates
+    // exactly once; everyone else hit the entry or joined the flight.
+    EXPECT_EQ(cache->misses(), 1u);
+    EXPECT_EQ(cache->hits() + cache->coalesced(),
+              static_cast<size_t>(kThreads - 1));
+}
+
+TEST(Concurrency, LeaderFailureLetsWaitersRecover)
+{
+    PlanCache cache(2);
+    bool instantiated = false;
+    EXPECT_THROW(cache.findOrInstantiate(
+                     1, {1},
+                     []() -> std::shared_ptr<const PlanInstance> {
+                         throw Error("instantiation failed");
+                     },
+                     &instantiated),
+                 Error);
+    EXPECT_FALSE(instantiated);
+    // The failed flight must not wedge the signature.
+    auto plan = cache.findOrInstantiate(
+        1, {1}, [] { return std::make_shared<const PlanInstance>(); },
+        &instantiated);
+    EXPECT_NE(plan, nullptr);
+    EXPECT_TRUE(instantiated);
+    EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(Concurrency, EvictionDuringInFlightRunsStaysBitExact)
+{
+    TestModel m = TestModel::cnn();
+    Sod2Options opts;
+    opts.rdp = m.rdp;
+    opts.planCacheCapacity = 1;  // every other signature evicts
+    Sod2Engine engine(&m.graph, opts);
+
+    std::vector<std::vector<Tensor>> inputs;
+    inputs.push_back({cnnInput(1, 8, 8, 11)});
+    inputs.push_back({cnnInput(1, 12, 12, 12)});
+    inputs.push_back({cnnInput(2, 8, 12, 13)});
+
+    std::vector<std::vector<std::vector<uint8_t>>> want;
+    RunContext ref_ctx;
+    for (const auto& in : inputs)
+        want.push_back(snapshot(engine.run(ref_ctx, in)));
+
+    constexpr int kThreads = 4;
+    constexpr int kRounds = 8;
+    std::atomic<int> mismatches{0};
+    std::barrier sync(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            RunContext ctx;
+            sync.arrive_and_wait();
+            for (int r = 0; r < kRounds; ++r) {
+                size_t i = (r + t) % inputs.size();
+                // A plan evicted while this run holds it must stay
+                // alive (shared_ptr) and correct to the end.
+                auto got = snapshot(engine.run(ctx, inputs[i]));
+                if (got != want[i])
+                    mismatches.fetch_add(1);
+            }
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+    EXPECT_EQ(mismatches.load(), 0);
+    EXPECT_GT(engine.planCache()->evictions(), 0u);
+}
+
+TEST(Concurrency, ContextRebindsAcrossEngines)
+{
+    TestModel m = TestModel::cnn();
+    Sod2Options opts;
+    opts.rdp = m.rdp;
+    Sod2Engine a(&m.graph, opts);
+    Sod2Options no_dmp = opts;
+    no_dmp.enableDmp = false;  // engine B needs the fallback pool
+    Sod2Engine b(&m.graph, no_dmp);
+
+    std::vector<Tensor> in = {cnnInput(1, 8, 8, 21)};
+    RunContext ref_a, ref_b;
+    auto want_a = snapshot(a.run(ref_a, in));
+    auto want_b = snapshot(b.run(ref_b, in));
+
+    RunContext ctx;
+    EXPECT_EQ(ctx.boundEngine(), nullptr);
+    EXPECT_EQ(snapshot(a.run(ctx, in)), want_a);
+    EXPECT_EQ(ctx.boundEngine(), &a);
+    EXPECT_EQ(snapshot(b.run(ctx, in)), want_b);
+    EXPECT_EQ(ctx.boundEngine(), &b);
+    EXPECT_EQ(snapshot(a.run(ctx, in)), want_a);
+}
+
+TEST(Concurrency, ArenaTrimShedsOutlierCapacityAcrossRuns)
+{
+    TestModel m = TestModel::cnn();
+    Sod2Options opts;
+    opts.rdp = m.rdp;
+    Sod2Engine engine(&m.graph, opts);
+
+    RunContext ctx;
+    std::vector<Tensor> small = {cnnInput(1, 8, 8, 31)};
+    std::vector<Tensor> big = {cnnInput(4, 64, 64, 32)};
+
+    RunStats stats;
+    engine.run(ctx, small, &stats);
+    size_t small_req = stats.arenaBytes;
+    engine.run(ctx, big, &stats);
+    size_t big_req = stats.arenaBytes;
+    ASSERT_GT(big_req, Arena::kTrimFactor * small_req);
+    EXPECT_EQ(ctx.arena().capacity(), big_req);
+
+    // RunStats reports the plan's requirement, never the inflated
+    // capacity left behind by the outlier.
+    engine.run(ctx, small, &stats);
+    EXPECT_EQ(stats.arenaBytes, small_req);
+    EXPECT_GE(ctx.arena().capacity(), big_req);  // not trimmed yet
+
+    // Once the outlier ages out of the high-water window, capacity
+    // falls back to what the small signature needs.
+    for (int i = 0; i < 2 * Arena::kTrimWindow + 1; ++i)
+        engine.run(ctx, small, &stats);
+    EXPECT_GE(ctx.arena().trimCount(), 1u);
+    EXPECT_EQ(ctx.arena().capacity(), small_req);
+    EXPECT_EQ(stats.arenaBytes, small_req);
+
+    // And the trimmed arena still produces bit-exact results.
+    RunContext fresh;
+    EXPECT_EQ(snapshot(engine.run(ctx, small)),
+              snapshot(engine.run(fresh, small)));
+}
+
+TEST(Concurrency, RegistryFrozenAfterEngineCompile)
+{
+    TestModel m = TestModel::cnn();
+    Sod2Options opts;
+    opts.rdp = m.rdp;
+    Sod2Engine engine(&m.graph, opts);
+
+    EXPECT_TRUE(OpRegistry::instance().frozen());
+    OpDef late;
+    late.name = "LateCustomOp";
+    late.forward = [](InferContext&) {};
+    EXPECT_THROW(OpRegistry::instance().add(std::move(late)), Error);
+    // Lookups are unaffected.
+    EXPECT_NE(OpRegistry::instance().find("MatMul"), nullptr);
+}
+
+/** 8 threads x the whole model zoo: the acceptance bar for the
+ *  compile-once/serve-many claim. */
+class ConcurrencyZooTest : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(ConcurrencyZooTest, EightThreadBitExactVsSerial)
+{
+    Rng build_rng(1234);
+    ModelSpec spec = buildModel(GetParam(), build_rng);
+    Sod2Options opts;
+    opts.rdp = spec.rdp;
+    Sod2Engine engine(spec.graph.get(), opts);
+
+    // Two cheap-but-distinct shape signatures per model.
+    int64_t s1 = spec.legalizeSize(spec.minSize);
+    int64_t s2 = spec.legalizeSize(spec.minSize + spec.sizeMultiple);
+    std::vector<std::vector<Tensor>> inputs;
+    std::vector<std::vector<std::vector<uint8_t>>> want;
+    RunContext ref_ctx;
+    for (int64_t hint : {s1, s2}) {
+        Rng rng(100 + static_cast<uint64_t>(hint));
+        inputs.push_back(spec.sample(rng, hint));
+        want.push_back(snapshot(engine.run(ref_ctx, inputs.back())));
+    }
+
+    constexpr int kThreads = 8;
+    std::atomic<int> mismatches{0};
+    std::barrier sync(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            RunContext ctx;
+            sync.arrive_and_wait();
+            for (int r = 0; r < 4; ++r) {
+                size_t i = (r + t) % inputs.size();
+                if (snapshot(engine.run(ctx, inputs[i])) != want[i])
+                    mismatches.fetch_add(1);
+            }
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+    EXPECT_EQ(mismatches.load(), 0) << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ConcurrencyZooTest,
+    ::testing::ValuesIn(allModelNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+        std::string name = info.param;
+        for (char& c : name)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+}  // namespace
+}  // namespace sod2

@@ -7,11 +7,58 @@
 
 #include "graph/builder.h"
 #include "kernels/gemm.h"
+#include "runtime/arena.h"
 #include "runtime/interpreter.h"
 #include "support/logging.h"
 
 namespace sod2 {
 namespace {
+
+TEST(Arena, GrowReportsFreshBytesAndTracksCapacity)
+{
+    Arena arena;
+    EXPECT_EQ(arena.capacity(), 0u);
+    EXPECT_EQ(arena.reserve(1024), 1024u);
+    EXPECT_EQ(arena.capacity(), 1024u);
+    EXPECT_EQ(arena.reserve(512), 0u);  // fits, no remap
+    EXPECT_EQ(arena.capacity(), 1024u);
+    EXPECT_EQ(arena.reserve(4096), 4096u - 1024u);
+    EXPECT_EQ(arena.capacity(), 4096u);
+    EXPECT_EQ(arena.trimCount(), 0u);
+}
+
+TEST(Arena, HighWaterTrimShedsOutlierCapacity)
+{
+    Arena arena;
+    arena.reserve(1 << 20);  // one outlier signature
+    EXPECT_EQ(arena.capacity(), 1u << 20);
+
+    // Steady small requirements: once the outlier ages out of the
+    // two-epoch window, capacity falls back to the recent high-water
+    // instead of staying pinned at the outlier's peak.
+    size_t small = 4096;
+    for (int i = 0; i < 2 * Arena::kTrimWindow + 1; ++i)
+        arena.reserve(small);
+    EXPECT_EQ(arena.trimCount(), 1u);
+    EXPECT_EQ(arena.capacity(), small);
+
+    // The trimmed buffer is usable and correctly sized.
+    Tensor t = arena.viewAt(0, DType::kFloat32, Shape({1024}));
+    EXPECT_TRUE(t.isValid());
+    EXPECT_THROW(arena.viewAt(small, DType::kFloat32, Shape({1})),
+                 Error);
+}
+
+TEST(Arena, NoTrimWhileRecentRunsStillNeedCapacity)
+{
+    Arena arena;
+    arena.reserve(1 << 20);
+    // Keep touching sizes above capacity/kTrimFactor: never trims.
+    for (int i = 0; i < 4 * Arena::kTrimWindow; ++i)
+        arena.reserve((1 << 19) + 1);
+    EXPECT_EQ(arena.trimCount(), 0u);
+    EXPECT_EQ(arena.capacity(), 1u << 20);
+}
 
 Tensor
 iota(const Shape& s)

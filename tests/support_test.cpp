@@ -7,6 +7,9 @@
 #include <set>
 #include <vector>
 
+#include <cstdlib>
+
+#include "support/env.h"
 #include "support/logging.h"
 #include "support/rng.h"
 #include "support/string_util.h"
@@ -14,6 +17,53 @@
 
 namespace sod2 {
 namespace {
+
+TEST(Env, ReadFlagParsesExactlyOne)
+{
+    unsetenv("SOD2_TEST_FLAG");
+    EXPECT_FALSE(env::readFlag("SOD2_TEST_FLAG"));
+    setenv("SOD2_TEST_FLAG", "1", 1);
+    EXPECT_TRUE(env::readFlag("SOD2_TEST_FLAG"));
+    setenv("SOD2_TEST_FLAG", "0", 1);
+    EXPECT_FALSE(env::readFlag("SOD2_TEST_FLAG"));
+    setenv("SOD2_TEST_FLAG", "11", 1);
+    EXPECT_FALSE(env::readFlag("SOD2_TEST_FLAG"));
+    unsetenv("SOD2_TEST_FLAG");
+}
+
+TEST(Env, ReadPositiveIntFallsBack)
+{
+    unsetenv("SOD2_TEST_INT");
+    EXPECT_EQ(env::readPositiveInt("SOD2_TEST_INT", 7), 7);
+    setenv("SOD2_TEST_INT", "12", 1);
+    EXPECT_EQ(env::readPositiveInt("SOD2_TEST_INT", 7), 12);
+    setenv("SOD2_TEST_INT", "-3", 1);
+    EXPECT_EQ(env::readPositiveInt("SOD2_TEST_INT", 7), 7);
+    setenv("SOD2_TEST_INT", "junk", 1);
+    EXPECT_EQ(env::readPositiveInt("SOD2_TEST_INT", 7), 7);
+    unsetenv("SOD2_TEST_INT");
+}
+
+TEST(Env, CachedAccessorsAreOncePerProcess)
+{
+    // Pin both knobs *before* the first cached query (each gtest case
+    // runs in its own process under ctest, so this test owns them).
+    setenv("SOD2_VALIDATE_PLANS", "1", 1);
+    setenv("SOD2_NUM_THREADS", "3", 1);
+    EXPECT_TRUE(env::validatePlans());
+    EXPECT_EQ(env::numThreads(), 3);
+
+    // Mutating the environment after the first query is documented to
+    // have no effect — the whole point of the once-per-process cache.
+    setenv("SOD2_VALIDATE_PLANS", "0", 1);
+    setenv("SOD2_NUM_THREADS", "9", 1);
+    EXPECT_TRUE(env::validatePlans());
+    EXPECT_EQ(env::numThreads(), 3);
+    unsetenv("SOD2_VALIDATE_PLANS");
+    unsetenv("SOD2_NUM_THREADS");
+    EXPECT_TRUE(env::validatePlans());
+    EXPECT_EQ(env::numThreads(), 3);
+}
 
 TEST(Logging, CheckThrowsWithContext)
 {
