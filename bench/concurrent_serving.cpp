@@ -33,6 +33,7 @@
 #include "harness.h"
 #include "support/env.h"
 #include "support/string_util.h"
+#include "support/trace.h"
 
 using namespace sod2;
 using namespace sod2::bench;
@@ -119,8 +120,13 @@ serve(const ModelSpec& spec, int threads, const StreamSpec& stream)
     std::barrier sync(threads + 1);
     std::vector<std::thread> workers;
     for (int t = 0; t < threads; ++t) {
-        workers.emplace_back([&] {
+        workers.emplace_back([&, t] {
             RunContext ctx;
+            // One trace lane per worker context: with SOD2_TRACE on,
+            // the exported trace renders each worker as its own row.
+            ctx.traceBuffer().setLaneName(
+                strFormat("%s-%dt-worker-%d", spec.name.c_str(), threads,
+                          t));
             sync.arrive_and_wait();  // start all threads together
             for (;;) {
                 int i = next.fetch_add(1);
@@ -144,11 +150,13 @@ serve(const ModelSpec& spec, int threads, const StreamSpec& stream)
     ServeResult r;
     r.wallSeconds = wall;
     r.mismatches = mismatches.load();
-    const PlanCache* cache = engine.planCache();
-    r.hits = cache->hits();
-    r.misses = cache->misses();
-    r.coalesced = cache->coalesced();
-    r.evictions = cache->evictions();
+    // All workers have joined, but take the lock-consistent snapshot
+    // anyway — it is the documented way to read the counters together.
+    PlanCache::Counters c = engine.planCache()->counters();
+    r.hits = c.hits;
+    r.misses = c.misses;
+    r.coalesced = c.coalesced;
+    r.evictions = c.evictions;
     return r;
 }
 
@@ -236,5 +244,15 @@ main()
     std::printf("cache stampedes suppressed: %s\n",
                 no_stampedes ? "yes (misses <= distinct signatures)"
                              : "NO — duplicate instantiation observed");
+    if (Trace::enabled()) {
+        const std::string& path = env::traceFile();
+        if (!path.empty())
+            std::printf("trace: Chrome trace JSON (one lane per worker "
+                        "context) will be written to %s at exit\n",
+                        path.c_str());
+        else
+            std::printf("trace: enabled; set SOD2_TRACE_FILE=<path> to "
+                        "export Chrome trace JSON\n");
+    }
     return all_exact && no_stampedes ? 0 : 1;
 }

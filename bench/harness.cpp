@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "support/logging.h"
+#include "support/metrics.h"
 #include "support/string_util.h"
 
 namespace sod2 {
@@ -80,6 +81,9 @@ sweep(InferenceEngine& engine, const ModelSpec& spec, int samples,
         engine.run(spec.sample(warm, size_hint), &stats);
     }
     double total_s = 0, total_mem = 0;
+    // Local (non-registry) histogram: one sweep's latency distribution,
+    // not the process-wide aggregate.
+    Histogram latency_us(Histogram::defaultLatencyBoundsUs());
     for (int i = 0; i < samples; ++i) {
         Rng rng(seed + 1 + i);  // identical stream for every engine
         auto inputs = spec.sample(rng, size_hint);
@@ -97,9 +101,13 @@ sweep(InferenceEngine& engine, const ModelSpec& spec, int samples,
         result.maxMemory = std::max(result.maxMemory, mem);
         total_s += s;
         total_mem += static_cast<double>(mem);
+        latency_us.observe(s * 1e6);
     }
     result.avgSeconds = total_s / samples;
     result.avgMemory = total_mem / samples;
+    result.p50Seconds = latency_us.percentile(50.0) * 1e-6;
+    result.p95Seconds = latency_us.percentile(95.0) * 1e-6;
+    result.p99Seconds = latency_us.percentile(99.0) * 1e-6;
     return result;
 }
 
@@ -154,11 +162,22 @@ double
 geoMean(const std::vector<double>& values)
 {
     if (values.empty())
-        return 0.0;
+        SOD2_THROW << "geoMean of an empty vector";
     double log_sum = 0;
-    for (double v : values)
+    size_t used = 0;
+    for (double v : values) {
+        if (v <= 0.0) {
+            SOD2_LOG(kWarn) << "geoMean: skipping non-positive value "
+                            << v;
+            continue;
+        }
         log_sum += std::log(v);
-    return std::exp(log_sum / values.size());
+        ++used;
+    }
+    if (used == 0)
+        SOD2_THROW << "geoMean: no positive values among "
+                   << values.size() << " entries";
+    return std::exp(log_sum / static_cast<double>(used));
 }
 
 }  // namespace bench

@@ -50,6 +50,9 @@ std::unique_ptr<InferenceEngine> makeSod2(const ModelSpec& spec,
 struct SweepResult
 {
     double minSeconds = 0, maxSeconds = 0, avgSeconds = 0;
+    /** Latency percentiles (seconds), estimated from a fixed-bucket
+     *  histogram (support/metrics.h) over the timed samples. */
+    double p50Seconds = 0, p95Seconds = 0, p99Seconds = 0;
     size_t minMemory = 0, maxMemory = 0;
     double avgMemory = 0;
 };
@@ -72,7 +75,11 @@ void printSeparator();
 std::string fmtMs(double seconds);
 std::string fmtMb(double bytes);
 
-/** Geometric mean of @p values (values must be positive). */
+/**
+ * Geometric mean of @p values. Throws on an empty input. Non-positive
+ * entries (for which log() is undefined) are skipped with a warning;
+ * throws when no positive entry remains.
+ */
 double geoMean(const std::vector<double>& values);
 
 }  // namespace bench

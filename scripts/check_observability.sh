@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Observability-layer gate: runs the observability-labeled tests with
+# tracing forced on (so the traced code paths — not just the disabled
+# fast path — are what the suite exercises), then drives an 8-thread
+# concurrent_serving run with SOD2_TRACE_FILE set and validates that
+# the emitted Chrome trace JSON parses and contains worker lanes and
+# per-group spans.
+#
+# Usage: scripts/check_observability.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$(nproc)"
+
+echo "== observability tests (SOD2_TRACE=1) =="
+SOD2_TRACE=1 ctest --test-dir build -L observability \
+    --output-on-failure "$@"
+
+echo "== traced concurrent_serving run =="
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+trace_file="$trace_dir/trace.json"
+SOD2_TRACE=1 SOD2_TRACE_FILE="$trace_file" SOD2_BENCH_REQUESTS=16 \
+    ./build/bench/concurrent_serving > "$trace_dir/bench.out"
+
+test -s "$trace_file" || {
+    echo "FAIL: $trace_file was not written"
+    exit 1
+}
+
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$trace_file" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert events, "trace has no events"
+lanes = {e["args"]["name"] for e in events if e.get("ph") == "M"}
+assert any("worker" in n for n in lanes), f"no worker lanes in {lanes}"
+cats = {e.get("cat") for e in events}
+assert "group" in cats, f"no per-group spans, cats={cats}"
+assert "engine" in cats, f"no engine spans, cats={cats}"
+print(f"OK: {len(events)} events, {len(lanes)} named lanes")
+EOF
+else
+    # No python3: fall back to cheap structural greps.
+    grep -q '"traceEvents"' "$trace_file"
+    grep -q '"cat":"group"' "$trace_file"
+    grep -q 'worker' "$trace_file"
+    echo "OK (python3 unavailable; structural checks only)"
+fi
+
+echo "check_observability: all green"

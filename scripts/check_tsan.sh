@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Builds the ThreadSanitizer tree and runs the concurrency-labeled
-# tests under it. This is the race-regression gate for the shared
-# Sod2Engine serving path: any data race reintroduced in run(),
-# PlanCache, or the registry/env/alloc-stats singletons fails here
-# even if the uninstrumented tests still pass by luck.
+# Builds the ThreadSanitizer tree and runs the concurrency- and
+# observability-labeled tests under it. This is the race-regression
+# gate for the shared Sod2Engine serving path: any data race
+# reintroduced in run(), PlanCache, Logger, the tracer/metrics layer,
+# or the registry/env/alloc-stats singletons fails here even if the
+# uninstrumented tests still pass by luck.
 #
 # Usage: scripts/check_tsan.sh [extra ctest args...]
 set -euo pipefail
@@ -11,4 +12,5 @@ cd "$(dirname "$0")/.."
 
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)"
-ctest --test-dir build-tsan -L concurrency --output-on-failure "$@"
+ctest --test-dir build-tsan -L 'concurrency|observability' \
+      --output-on-failure "$@"

@@ -3,12 +3,21 @@
 #include <algorithm>
 
 #include "support/logging.h"
+#include "support/string_util.h"
+#include "support/trace.h"
 
 namespace sod2 {
 
 PlanCache::PlanCache(size_t capacity) : capacity_(capacity)
 {
     SOD2_CHECK_GT(capacity, 0u) << "plan cache capacity must be positive";
+    // Resolve the process-wide metric mirrors once; lookups take the
+    // registry mutex, increments later are relaxed atomics.
+    MetricsRegistry& metrics = MetricsRegistry::instance();
+    metric_hits_ = &metrics.counter("plan_cache.hits");
+    metric_misses_ = &metrics.counter("plan_cache.misses");
+    metric_evictions_ = &metrics.counter("plan_cache.evictions");
+    metric_coalesced_ = &metrics.counter("plan_cache.coalesced");
 }
 
 std::vector<PlanCache::EntryIter>::iterator
@@ -62,9 +71,16 @@ PlanCache::insertLocked(uint64_t hash, std::vector<int64_t> values,
     entries_.push_front(Entry{hash, std::move(values), std::move(plan)});
     index_[hash].push_back(entries_.begin());
     if (entries_.size() > capacity_) {
+        if (Trace::enabled())
+            Trace::threadBuffer().addInstant(
+                "plan_cache.evict", "cache",
+                strFormat("\"hash\":%llu",
+                          static_cast<unsigned long long>(
+                              entries_.back().hash)));
         removeFromIndexLocked(entries_.back());
         entries_.pop_back();
         evictions_.fetch_add(1, std::memory_order_relaxed);
+        metric_evictions_->add();
     }
 }
 
@@ -99,6 +115,7 @@ PlanCache::findOrInstantiate(uint64_t hash,
         std::unique_lock<std::mutex> lock(mu_);
         if (auto plan = lookupLocked(hash, values)) {
             hits_.fetch_add(1, std::memory_order_relaxed);
+            metric_hits_->add();
             return plan;
         }
         auto& flights = inflight_[hash];
@@ -109,8 +126,10 @@ PlanCache::findOrInstantiate(uint64_t hash,
         if (fit != flights.end()) {
             flight = *fit;  // join the in-flight instantiation
             coalesced_.fetch_add(1, std::memory_order_relaxed);
+            metric_coalesced_->add();
         } else {
             misses_.fetch_add(1, std::memory_order_relaxed);
+            metric_misses_->add();
             flight = std::make_shared<Flight>();
             flight->values = values;
             flights.push_back(flight);
@@ -169,10 +188,26 @@ PlanCache::find(uint64_t hash, const std::vector<int64_t>& values)
     std::lock_guard<std::mutex> lock(mu_);
     if (auto plan = lookupLocked(hash, values)) {
         hits_.fetch_add(1, std::memory_order_relaxed);
+        metric_hits_->add();
         return plan;
     }
     misses_.fetch_add(1, std::memory_order_relaxed);
+    metric_misses_->add();
     return nullptr;
+}
+
+PlanCache::Counters
+PlanCache::counters() const
+{
+    // All increments happen while mu_ is held (lookup, flight join,
+    // eviction), so this lock yields a cross-counter-consistent view.
+    std::lock_guard<std::mutex> lock(mu_);
+    Counters c;
+    c.hits = hits_.load(std::memory_order_relaxed);
+    c.misses = misses_.load(std::memory_order_relaxed);
+    c.evictions = evictions_.load(std::memory_order_relaxed);
+    c.coalesced = coalesced_.load(std::memory_order_relaxed);
+    return c;
 }
 
 void

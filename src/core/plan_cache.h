@@ -39,6 +39,7 @@
 #include "memory/lifetime.h"
 #include "memory/planners.h"
 #include "rdp/rdp_analysis.h"
+#include "support/metrics.h"
 
 namespace sod2 {
 
@@ -110,6 +111,23 @@ class PlanCache
     size_t size() const;
     size_t capacity() const { return capacity_; }
 
+    /**
+     * One mutually consistent view of all four cumulative counters.
+     * Every increment happens under the cache mutex, so taking it here
+     * guarantees cross-counter invariants hold in the snapshot (e.g.
+     * hits + misses + coalesced == lookups started so far) — unlike
+     * reading the individual atomic accessors back-to-back, which can
+     * interleave with a concurrent lookup.
+     */
+    struct Counters
+    {
+        size_t hits = 0;
+        size_t misses = 0;
+        size_t evictions = 0;
+        size_t coalesced = 0;
+    };
+    Counters counters() const;
+
     /** Cumulative counters since construction (atomic snapshots). */
     size_t hits() const
     {
@@ -175,6 +193,12 @@ class PlanCache
     std::atomic<size_t> misses_{0};
     std::atomic<size_t> evictions_{0};
     std::atomic<size_t> coalesced_{0};
+
+    /** Process-wide metric mirrors ("plan_cache.*", support/metrics). */
+    Counter* metric_hits_;
+    Counter* metric_misses_;
+    Counter* metric_evictions_;
+    Counter* metric_coalesced_;
 };
 
 }  // namespace sod2

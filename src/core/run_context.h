@@ -25,6 +25,7 @@
 
 #include "memory/pool_allocator.h"
 #include "runtime/arena.h"
+#include "support/trace.h"
 #include "tensor/tensor.h"
 
 namespace sod2 {
@@ -47,6 +48,15 @@ class RunContext
      *  first run). */
     const Sod2Engine* boundEngine() const { return engine_; }
 
+    /**
+     * This context's trace lane (support/trace.h): when SOD2_TRACE is
+     * on, every run through this context records its spans here, so a
+     * concurrent-serving trace shows one lane per context. Use
+     * traceBuffer().setLaneName("worker-3") to label the lane.
+     */
+    TraceBuffer& traceBuffer() { return trace_; }
+    const TraceBuffer& traceBuffer() const { return trace_; }
+
   private:
     friend class Sod2Engine;
 
@@ -60,6 +70,8 @@ class RunContext
     /** Value-indexed env template pre-seeded with the engine's folded
      *  constants; each run starts from a copy. */
     std::vector<Tensor> folded_env_;
+    /** Per-context trace lane (inert unless tracing is enabled). */
+    TraceBuffer trace_;
 };
 
 }  // namespace sod2

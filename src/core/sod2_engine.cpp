@@ -10,6 +10,8 @@
 #include "ops/op_registry.h"
 #include "support/env.h"
 #include "support/logging.h"
+#include "support/string_util.h"
+#include "support/trace.h"
 
 namespace sod2 {
 namespace {
@@ -34,6 +36,16 @@ Sod2Engine::Sod2Engine(const Graph* graph, Sod2Options options)
     // point from here on; seal the registry so a late registration can
     // never race their lock-free lookups.
     OpRegistry::instance().freeze();
+    // Observability: honor SOD2_TRACE / SOD2_TRACE_FILE once per
+    // process, and resolve the engine's metric handles so the run path
+    // never touches the registry mutex.
+    Trace::initFromEnv();
+    {
+        MetricsRegistry& metrics = MetricsRegistry::instance();
+        metric_runs_ = &metrics.counter("engine.runs");
+        metric_run_us_ = &metrics.histogram("engine.run_us");
+        metric_plan_us_ = &metrics.histogram("engine.plan_us");
+    }
 
     // (1) RDP analysis.
     rdp_ = std::make_unique<RdpResult>(runRdp(*graph_, options_.rdp));
@@ -273,15 +285,22 @@ Sod2Engine::run(RunContext& ctx, const std::vector<Tensor>& inputs,
     const Graph& g = *graph_;
     auto t_start = Clock::now();
 
+    // Observability gate: one relaxed atomic load. When tracing is off
+    // tb is null and every span below is inert (no clocks, no locks).
+    TraceBuffer* tb = Trace::enabled() ? &ctx.trace_ : nullptr;
+    TraceSpan run_span(tb, "run", "engine");
+
     CostMeter meter(options_.device);
     bool simulated = options_.device.simulated;
 
     // --- Bind symbols & instantiate the memory plan ---------------------
+    TraceSpan bind_span(tb, "bind", "engine");
     std::vector<Shape> in_shapes;
     in_shapes.reserve(inputs.size());
     for (const Tensor& t : inputs)
         in_shapes.push_back(t.shape());
     binder_->bind(in_shapes, &ctx.binding_values_);
+    bind_span.end();
 
     // DMP/MVC instantiation: a repeated shape signature reuses the
     // cached plan instance outright; a new signature evaluates the
@@ -290,6 +309,7 @@ Sod2Engine::run(RunContext& ctx, const std::vector<Tensor>& inputs,
     // memoizes the result (single-flighted: concurrent misses on one
     // signature instantiate once). This is the only per-run planning
     // work.
+    TraceSpan plan_span(tb, "plan", "engine");
     std::shared_ptr<const PlanInstance> inst;
     bool cache_hit = false;
     if (plan_cache_) {
@@ -306,20 +326,32 @@ Sod2Engine::run(RunContext& ctx, const std::vector<Tensor>& inputs,
     } else {
         inst = instantiatePlan(binder_->toBindingMap(ctx.binding_values_));
     }
+    if (tb)
+        plan_span.setArgs(strFormat("\"cache_hit\":%s",
+                                    cache_hit ? "true" : "false"));
+    plan_span.end();
 
     const std::vector<size_t>& offset_of = *inst->offsetOfValue;
     size_t arena_bytes = inst->arenaBytes;
-    if (options_.enableDmp && !inst->intervals.empty()) {
-        size_t grown = ctx.arena_.reserve(arena_bytes);
-        // Validate when the plan changed scale (the planner itself is
-        // property-tested for overlap freedom) or when the debug switch
-        // demands it on every run, cached or not.
-        if (grown > 0 || options_.validateEveryPlan) {
-            SOD2_CHECK(validatePlan(inst->intervals, inst->plan))
-                << "DMP produced an overlapping plan";
+    size_t arena_grown = 0;
+    {
+        TraceSpan arena_span(tb, "arena", "engine");
+        if (options_.enableDmp && !inst->intervals.empty()) {
+            arena_grown = ctx.arena_.reserve(arena_bytes);
+            // Validate when the plan changed scale (the planner itself
+            // is property-tested for overlap freedom) or when the debug
+            // switch demands it on every run, cached or not.
+            if (arena_grown > 0 || options_.validateEveryPlan) {
+                SOD2_CHECK(validatePlan(inst->intervals, inst->plan))
+                    << "DMP produced an overlapping plan";
+            }
+            if (arena_grown > 0 && simulated)
+                meter.chargeAllocTouch(static_cast<double>(arena_grown));
         }
-        if (grown > 0 && simulated)
-            meter.chargeAllocTouch(static_cast<double>(grown));
+        if (tb)
+            arena_span.setArgs(strFormat(
+                "\"required_bytes\":%zu,\"grown_bytes\":%zu",
+                arena_bytes, arena_grown));
     }
 
     double plan_seconds = secondsSince(t_start);
@@ -342,6 +374,9 @@ Sod2Engine::run(RunContext& ctx, const std::vector<Tensor>& inputs,
 
     int executed = 0;
     std::vector<double> sg_seconds(plan_.subgraphs.size(), 0.0);
+    std::vector<double> group_seconds;
+    if (stats)
+        group_seconds.assign(fusion_.numGroups(), 0.0);
 
     KernelConfig base_config;
     base_config.meter = simulated ? &meter : nullptr;
@@ -353,6 +388,8 @@ Sod2Engine::run(RunContext& ctx, const std::vector<Tensor>& inputs,
         const FusionGroup& grp = fusion_.groups[gi];
         auto t_g = Clock::now();
         double sim_g = meter.seconds();
+        double trace_ts = tb ? Trace::nowUs() : 0.0;
+        int executed_before = executed;
 
         // Gather external inputs; detect dead paths.
         std::vector<Tensor> ext;
@@ -479,8 +516,26 @@ Sod2Engine::run(RunContext& ctx, const std::vector<Tensor>& inputs,
         }
 
         int si = subgraph_of_group_[gi];
-        sg_seconds[si] += simulated ? (meter.seconds() - sim_g)
-                                    : secondsSince(t_g);
+        double attributed = simulated ? (meter.seconds() - sim_g)
+                                      : secondsSince(t_g);
+        sg_seconds[si] += attributed;
+        if (stats)
+            group_seconds[gi] += attributed;
+        // One span per *executed* operator group (dead-path groups
+        // produce no span, keeping span count == executedGroups).
+        if (tb && executed > executed_before) {
+            const GroupKernelChoice& gc = inst->versions[gi];
+            const char* version =
+                gc.kind == GroupKernelChoice::Kind::kGemm   ? "gemm"
+                : gc.kind == GroupKernelChoice::Kind::kConv ? "conv"
+                                                            : "default";
+            tb->addComplete(
+                head.op, "group", trace_ts, Trace::nowUs() - trace_ts,
+                strFormat("\"group\":%d,\"step\":%d,\"subgraph\":%d,"
+                          "\"nodes\":%zu,\"version\":\"%s\"",
+                          gi, step_of_group_[gi], si, grp.nodes.size(),
+                          version));
+        }
     }
 
     std::vector<Tensor> results;
@@ -497,6 +552,11 @@ Sod2Engine::run(RunContext& ctx, const std::vector<Tensor>& inputs,
         meter.chargeAllocTouch(static_cast<double>(
             fallback_pool->poolBytes() - pool_before));
 
+    double total_seconds = 0.0;
+    if (stats || tb)
+        total_seconds = simulated ? meter.seconds() + plan_seconds
+                                  : secondsSince(t_start);
+
     if (stats) {
         stats->arenaBytes = arena_bytes;
         stats->dynamicBytes = heap_scope.peak;
@@ -507,15 +567,37 @@ Sod2Engine::run(RunContext& ctx, const std::vector<Tensor>& inputs,
         stats->planSeconds = plan_seconds;
         stats->planCacheHit = cache_hit;
         if (plan_cache_) {
-            stats->planCacheHits = plan_cache_->hits();
-            stats->planCacheMisses = plan_cache_->misses();
-            stats->planCacheEvictions = plan_cache_->evictions();
-            stats->planCacheCoalesced = plan_cache_->coalesced();
+            // One consistent snapshot: all four counters observed under
+            // the cache lock, so their invariants hold even while other
+            // threads are mid-lookup.
+            PlanCache::Counters c = plan_cache_->counters();
+            stats->planCacheHits = c.hits;
+            stats->planCacheMisses = c.misses;
+            stats->planCacheEvictions = c.evictions;
+            stats->planCacheCoalesced = c.coalesced;
+        } else {
+            // Cache disabled: report zeros even into a reused RunStats
+            // that a cached engine previously filled.
+            stats->planCacheHits = 0;
+            stats->planCacheMisses = 0;
+            stats->planCacheEvictions = 0;
+            stats->planCacheCoalesced = 0;
         }
         stats->executedGroups = executed;
         stats->subgraphSeconds = std::move(sg_seconds);
-        stats->seconds = simulated ? meter.seconds() + plan_seconds
-                                   : secondsSince(t_start);
+        stats->groupSeconds = std::move(group_seconds);
+        stats->seconds = total_seconds;
+    }
+
+    if (tb) {
+        run_span.setArgs(strFormat(
+            "\"executed_groups\":%d,\"cache_hit\":%s,"
+            "\"arena_bytes\":%zu,\"plan_us\":%.3f",
+            executed, cache_hit ? "true" : "false", arena_bytes,
+            plan_seconds * 1e6));
+        metric_runs_->add();
+        metric_run_us_->observe(total_seconds * 1e6);
+        metric_plan_us_->observe(plan_seconds * 1e6);
     }
     return results;
 }

@@ -43,6 +43,7 @@
 #include "planning/execution_plan.h"
 #include "rdp/rdp_analysis.h"
 #include "runtime/arena.h"
+#include "support/metrics.h"
 
 namespace sod2 {
 
@@ -93,12 +94,18 @@ struct RunStats
     size_t dynamicBytes = 0;
     /** Peak total intermediate footprint (arena + dynamic). */
     size_t peakMemoryBytes = 0;
-    /** Host-side time spent binding symbols + instantiating the plan. */
+    /** Host-side time spent binding symbols + instantiating (or
+     *  looking up) the plan and reserving the arena. On a plan-cache
+     *  hit this collapses to bind + one hash lookup — microseconds. */
     double planSeconds = 0.0;
     /** True when this run reused a cached (or in-flight) plan instance
      *  instead of instantiating one itself. */
     bool planCacheHit = false;
-    /** Cumulative plan-cache counters (since engine construction). */
+    /** Cumulative plan-cache counters (since engine construction).
+     *  Taken as one consistent snapshot under the cache lock, so
+     *  hits + misses + coalesced equals the lookups completed at
+     *  snapshot time even when other threads are mid-run. All four are
+     *  0 when the cache is disabled (including on reused RunStats). */
     size_t planCacheHits = 0;
     size_t planCacheMisses = 0;
     size_t planCacheEvictions = 0;
@@ -108,6 +115,11 @@ struct RunStats
     int executedGroups = 0;
     /** Wall/simulated seconds attributed to each planned sub-graph. */
     std::vector<double> subgraphSeconds;
+    /** Per-group time breakdown, indexed by fusion-group id (0.0 for
+     *  folded/dead groups). Same attribution rule as subgraphSeconds:
+     *  cost-model seconds on simulated profiles, wall seconds
+     *  otherwise. */
+    std::vector<double> groupSeconds;
     /** Named phase breakdown (Table 1's SL/ST/Alloc/Infer columns for
      *  engines that re-initialize). */
     std::map<std::string, double> phaseSeconds;
@@ -206,6 +218,13 @@ class Sod2Engine
     std::unique_ptr<PlanCache> plan_cache_;
     /** Shared all-unplanned offset table for runs without a DMP plan. */
     std::shared_ptr<const std::vector<size_t>> unplanned_offsets_;
+
+    /** Process-wide metric handles ("engine.*", support/metrics.h),
+     *  resolved once at compile time; observed only when tracing is
+     *  enabled so the disabled hot path stays branch-only. */
+    Counter* metric_runs_ = nullptr;
+    Histogram* metric_run_us_ = nullptr;
+    Histogram* metric_plan_us_ = nullptr;
 
     /** Compile-time constant-folded values (seeded into every context's
      *  env template). */

@@ -1,6 +1,8 @@
 #include "runtime/interpreter.h"
 
 #include "support/logging.h"
+#include "support/string_util.h"
+#include "support/trace.h"
 
 namespace sod2 {
 
@@ -10,6 +12,7 @@ Interpreter::Interpreter(const Graph* graph, InterpreterOptions options)
     SOD2_CHECK(graph_ != nullptr);
     if (!options_.allocator)
         options_.allocator = heapAllocator();
+    Trace::initFromEnv();
 }
 
 std::vector<Tensor>
@@ -18,6 +21,11 @@ Interpreter::run(const std::vector<Tensor>& inputs)
     const Graph& g = *graph_;
     SOD2_CHECK_EQ(inputs.size(), g.inputIds().size())
         << "wrong number of graph inputs";
+
+    // Interpreter runs have no RunContext, so they trace into the
+    // calling thread's lane. Inert when tracing is off.
+    TraceBuffer* tb = Trace::enabled() ? &Trace::threadBuffer() : nullptr;
+    TraceSpan run_span(tb, "interpreter.run", "interpreter");
 
     std::vector<Tensor> env(g.numValues());
     std::vector<int> remaining_uses(g.numValues(), 0);
@@ -100,6 +108,9 @@ Interpreter::run(const std::vector<Tensor>& inputs)
             }
         }
     }
+
+    if (tb)
+        run_span.setArgs(strFormat("\"executed\":%d", executed_));
 
     std::vector<Tensor> results;
     results.reserve(g.outputIds().size());

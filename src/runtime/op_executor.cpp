@@ -8,6 +8,7 @@
 #include "ops/op_registry.h"
 #include "runtime/interpreter.h"
 #include "support/logging.h"
+#include "support/trace.h"
 
 namespace sod2 {
 
@@ -55,6 +56,12 @@ executeNode(const Graph& graph, const Node& node,
             const KernelConfig& config)
 {
     const std::string& op = node.op;
+
+    // One span per executed operator, into the calling thread's lane
+    // (covers both interpreter nodes and fused-group members). The
+    // early control-flow returns below still record via the dtor.
+    TraceBuffer* tb = Trace::enabled() ? &Trace::threadBuffer() : nullptr;
+    TraceSpan op_span(tb, op.c_str(), "op");
 
     // --- control flow first: inputs may contain dead (invalid) tensors ---
     if (op == kSwitchOp) {

@@ -37,5 +37,26 @@ numThreads()
     return value;
 }
 
+bool
+traceEnabled()
+{
+    static const bool value = readFlag("SOD2_TRACE");
+    return value;
+}
+
+const std::string&
+traceFile()
+{
+    static const std::string value = readString("SOD2_TRACE_FILE");
+    return value;
+}
+
+std::string
+readString(const char* name)
+{
+    const char* v = std::getenv(name);
+    return v ? std::string(v) : std::string();
+}
+
 }  // namespace env
 }  // namespace sod2

@@ -20,6 +20,8 @@
  * magic-static initialized on first use).
  */
 
+#include <string>
+
 namespace sod2 {
 namespace env {
 
@@ -38,8 +40,24 @@ bool validatePlans();
  */
 int numThreads();
 
+/**
+ * SOD2_TRACE=1 — enables the span/event tracer (support/trace.h).
+ * Cached at first query, once per process.
+ */
+bool traceEnabled();
+
+/**
+ * SOD2_TRACE_FILE — path the Chrome trace JSON is written to at
+ * process exit; setting it implies SOD2_TRACE=1. Empty when unset.
+ * Cached at first query, once per process.
+ */
+const std::string& traceFile();
+
 /** Uncached low-level parse: true iff @p name is set to exactly "1". */
 bool readFlag(const char* name);
+
+/** Uncached low-level read: @p name's value, or "" when unset. */
+std::string readString(const char* name);
 
 /** Uncached low-level parse: @p name as a positive int, else @p fallback. */
 int readPositiveInt(const char* name, int fallback);

@@ -15,11 +15,10 @@ Logger::instance()
 void
 Logger::log(LogLevel level, const std::string& msg)
 {
-    if (level < threshold_)
+    if (level < threshold())
         return;
-    static std::mutex mu;
     static const char* names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
-    std::lock_guard<std::mutex> lock(mu);
+    std::lock_guard<std::mutex> lock(mu_);
     std::fprintf(stderr, "[sod2 %s] %s\n",
                  names[static_cast<int>(level)], msg.c_str());
 }

@@ -10,6 +10,8 @@
  * through the Logger singleton and can be silenced per severity level.
  */
 
+#include <atomic>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -29,21 +31,37 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 /**
  * Process-wide logger. Writes to stderr; threshold defaults to kWarn so
  * library users are not spammed, benchmarks raise it as needed.
+ *
+ * Thread-safe: the threshold is an atomic (relaxed — level filtering
+ * needs no ordering), so setThreshold from one serving thread never
+ * races log() on another, and message emission is serialized by a
+ * member mutex.
  */
 class Logger
 {
   public:
     static Logger& instance();
 
-    void setThreshold(LogLevel level) { threshold_ = level; }
-    LogLevel threshold() const { return threshold_; }
+    void
+    setThreshold(LogLevel level)
+    {
+        threshold_.store(level, std::memory_order_relaxed);
+    }
+
+    LogLevel
+    threshold() const
+    {
+        return threshold_.load(std::memory_order_relaxed);
+    }
 
     /** Emit one message if @p level passes the threshold. */
     void log(LogLevel level, const std::string& msg);
 
   private:
     Logger() = default;
-    LogLevel threshold_ = LogLevel::kWarn;
+    std::atomic<LogLevel> threshold_{LogLevel::kWarn};
+    /** Serializes stderr writes (one message = one line). */
+    std::mutex mu_;
 };
 
 namespace detail {

@@ -1,0 +1,149 @@
+#ifndef SOD2_SUPPORT_METRICS_H_
+#define SOD2_SUPPORT_METRICS_H_
+
+/**
+ * @file
+ * Process-wide metrics: named counters and fixed-bucket histograms that
+ * aggregate across threads.
+ *
+ * Where the tracer (support/trace.h) answers "where did *this* run
+ * spend its time", metrics answer "what does the distribution look
+ * like across the whole serving process". Counter and Histogram updates
+ * are lock-free (relaxed atomics; the histogram sum uses a CAS loop so
+ * no C++20 atomic<double> support is required), so N request threads
+ * can observe into one histogram without serializing. Registry lookups
+ * take a mutex — resolve metric pointers once (construction time) and
+ * reuse them on hot paths; pointers stay valid for the process
+ * lifetime.
+ *
+ * Latency histograms default to log-spaced 1-2-5 bucket bounds from
+ * 1 us to 10 s, giving p50/p95/p99 with bounded error at any scale the
+ * model zoo produces.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sod2 {
+
+/** Monotonic event counter (thread-safe, relaxed). */
+class Counter
+{
+  public:
+    void
+    add(uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void
+    reset()
+    {
+        value_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/**
+ * Fixed-bucket histogram. Bucket i counts observations v with
+ * bounds[i-1] < v <= bounds[i]; one overflow bucket catches the rest.
+ * observe() is wait-free per bucket; percentile() interpolates linearly
+ * inside the selected bucket (bounded by the bucket resolution).
+ */
+class Histogram
+{
+  public:
+    /** @p bounds must be non-empty and strictly increasing. */
+    explicit Histogram(std::vector<double> bounds);
+
+    /** Log-spaced 1-2-5 decades, 1 us .. 10 s (values in us). */
+    static std::vector<double> defaultLatencyBoundsUs();
+
+    void observe(double value);
+
+    uint64_t
+    count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    /** Sum of observed values (CAS-accumulated double). */
+    double sum() const;
+
+    /** Mean of observed values (0 when empty). */
+    double mean() const;
+
+    /**
+     * The @p p-th percentile (0..100) estimated from the buckets:
+     * linear interpolation between the selected bucket's bounds.
+     * Observations in the overflow bucket report the last finite
+     * bound. Returns 0 when empty.
+     */
+    double percentile(double p) const;
+
+    const std::vector<double>& bounds() const { return bounds_; }
+    /** Count in bucket @p i (i == bounds().size() is the overflow). */
+    uint64_t bucketCount(size_t i) const;
+
+    void reset();
+
+  private:
+    std::vector<double> bounds_;
+    /** bounds_.size() + 1 buckets; the last one is the overflow. */
+    std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+    std::atomic<uint64_t> count_{0};
+    /** Double bits in an atomic<uint64_t> (portable CAS accumulate). */
+    std::atomic<uint64_t> sum_bits_{0};
+};
+
+/**
+ * Name -> metric map. Metrics are created on first request and live for
+ * the process; requesting an existing name returns the same object, so
+ * every thread aggregates into one instance.
+ */
+class MetricsRegistry
+{
+  public:
+    static MetricsRegistry& instance();
+
+    /** The counter named @p name (created zeroed on first request). */
+    Counter& counter(const std::string& name);
+
+    /**
+     * The histogram named @p name; @p bounds apply only on first
+     * creation (empty = defaultLatencyBoundsUs()). Later callers get
+     * the existing histogram whatever bounds they pass.
+     */
+    Histogram& histogram(const std::string& name,
+                         std::vector<double> bounds = {});
+
+    /** Snapshot of every metric as one JSON object (stable key order). */
+    std::string toJson() const;
+
+    /** Zeroes every registered metric (tests; objects stay valid). */
+    void resetAll();
+
+  private:
+    MetricsRegistry() = default;
+
+    mutable std::mutex mu_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace sod2
+
+#endif  // SOD2_SUPPORT_METRICS_H_

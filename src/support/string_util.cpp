@@ -1,5 +1,6 @@
 #include "support/string_util.h"
 
+#include <cctype>
 #include <cstdarg>
 #include <cstdio>
 
@@ -27,6 +28,255 @@ padTo(const std::string& s, size_t width)
     if (s.size() >= width)
         return s.substr(0, width);
     return s + std::string(width - s.size(), ' ');
+}
+
+namespace {
+
+/** Recursive-descent JSON parser that only tracks validity. */
+class JsonValidator
+{
+  public:
+    explicit JsonValidator(const std::string& text) : text_(text) {}
+
+    bool
+    validate(std::string* error)
+    {
+        ok_ = true;
+        pos_ = 0;
+        skipWs();
+        parseValue();
+        skipWs();
+        if (ok_ && pos_ != text_.size())
+            fail("trailing characters after JSON value");
+        if (!ok_ && error)
+            *error = error_;
+        return ok_;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 256;
+
+    void
+    fail(const std::string& why)
+    {
+        if (ok_) {
+            ok_ = false;
+            error_ = why + " at byte " + std::to_string(pos_);
+        }
+    }
+
+    bool atEnd() const { return pos_ >= text_.size(); }
+    char peek() const { return text_[pos_]; }
+
+    void
+    skipWs()
+    {
+        while (!atEnd() && (peek() == ' ' || peek() == '\t' ||
+                            peek() == '\n' || peek() == '\r'))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (atEnd() || peek() != c)
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    void
+    expectLiteral(const char* word)
+    {
+        for (const char* p = word; *p; ++p)
+            if (!consume(*p)) {
+                fail(std::string("invalid literal (expected '") + word +
+                     "')");
+                return;
+            }
+    }
+
+    void
+    parseValue()
+    {
+        if (!ok_)
+            return;
+        if (++depth_ > kMaxDepth) {
+            fail("nesting too deep");
+            return;
+        }
+        if (atEnd()) {
+            fail("unexpected end of input");
+        } else if (peek() == '{') {
+            parseObject();
+        } else if (peek() == '[') {
+            parseArray();
+        } else if (peek() == '"') {
+            parseString();
+        } else if (peek() == 't') {
+            expectLiteral("true");
+        } else if (peek() == 'f') {
+            expectLiteral("false");
+        } else if (peek() == 'n') {
+            expectLiteral("null");
+        } else {
+            parseNumber();
+        }
+        --depth_;
+    }
+
+    void
+    parseObject()
+    {
+        consume('{');
+        skipWs();
+        if (consume('}'))
+            return;
+        for (;;) {
+            skipWs();
+            if (atEnd() || peek() != '"') {
+                fail("expected object key string");
+                return;
+            }
+            parseString();
+            skipWs();
+            if (!consume(':')) {
+                fail("expected ':' after object key");
+                return;
+            }
+            skipWs();
+            parseValue();
+            if (!ok_)
+                return;
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return;
+            fail("expected ',' or '}' in object");
+            return;
+        }
+    }
+
+    void
+    parseArray()
+    {
+        consume('[');
+        skipWs();
+        if (consume(']'))
+            return;
+        for (;;) {
+            skipWs();
+            parseValue();
+            if (!ok_)
+                return;
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return;
+            fail("expected ',' or ']' in array");
+            return;
+        }
+    }
+
+    void
+    parseString()
+    {
+        consume('"');
+        while (!atEnd()) {
+            unsigned char c = static_cast<unsigned char>(text_[pos_]);
+            if (c == '"') {
+                ++pos_;
+                return;
+            }
+            if (c < 0x20) {
+                fail("unescaped control character in string");
+                return;
+            }
+            if (c == '\\') {
+                ++pos_;
+                if (atEnd()) {
+                    fail("dangling escape");
+                    return;
+                }
+                char e = text_[pos_];
+                if (e == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++pos_;
+                        if (atEnd() || !std::isxdigit(static_cast<
+                                           unsigned char>(peek()))) {
+                            fail("bad \\u escape");
+                            return;
+                        }
+                    }
+                } else if (e != '"' && e != '\\' && e != '/' &&
+                           e != 'b' && e != 'f' && e != 'n' &&
+                           e != 'r' && e != 't') {
+                    fail("bad escape character");
+                    return;
+                }
+            }
+            ++pos_;
+        }
+        fail("unterminated string");
+    }
+
+    void
+    parseNumber()
+    {
+        size_t start = pos_;
+        consume('-');
+        if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+            fail("invalid number");
+            return;
+        }
+        if (peek() == '0') {
+            ++pos_;
+        } else {
+            while (!atEnd() &&
+                   std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        if (consume('.')) {
+            if (atEnd() ||
+                !std::isdigit(static_cast<unsigned char>(peek()))) {
+                fail("digit required after decimal point");
+                return;
+            }
+            while (!atEnd() &&
+                   std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+            ++pos_;
+            if (!atEnd() && (peek() == '+' || peek() == '-'))
+                ++pos_;
+            if (atEnd() ||
+                !std::isdigit(static_cast<unsigned char>(peek()))) {
+                fail("digit required in exponent");
+                return;
+            }
+            while (!atEnd() &&
+                   std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        (void)start;
+    }
+
+    const std::string& text_;
+    size_t pos_ = 0;
+    int depth_ = 0;
+    bool ok_ = true;
+    std::string error_;
+};
+
+}  // namespace
+
+bool
+validateJson(const std::string& text, std::string* error)
+{
+    return JsonValidator(text).validate(error);
 }
 
 }  // namespace sod2

@@ -1,0 +1,309 @@
+#include "support/trace.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "support/env.h"
+#include "support/string_util.h"
+
+namespace sod2 {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Process trace epoch: fixed at first use so all lanes share t=0. */
+Clock::time_point
+traceEpoch()
+{
+    static const Clock::time_point epoch = Clock::now();
+    return epoch;
+}
+
+}  // namespace
+
+std::atomic<bool> Trace::enabled_{false};
+
+/** Lane registry. Leaked on purpose: thread_local TraceBuffers (and
+ *  static-storage RunContexts) destruct after main, and their
+ *  destructors must still find a live registry. */
+struct Trace::Registry
+{
+    std::mutex mu;
+    std::vector<TraceBuffer*> live;
+    /** (lane id, lane name, events) of destructed buffers. */
+    struct RetiredLane
+    {
+        uint64_t lane;
+        std::string name;
+        std::vector<TraceEvent> events;
+    };
+    std::vector<RetiredLane> retired;
+    uint64_t next_lane = 1;
+};
+
+Trace::Registry&
+Trace::registry()
+{
+    static Registry* reg = new Registry();
+    return *reg;
+}
+
+// --- TraceBuffer ------------------------------------------------------
+
+TraceBuffer::TraceBuffer(std::string lane_name)
+    : lane_name_(std::move(lane_name))
+{
+    Trace::Registry& reg = Trace::registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    lane_ = reg.next_lane++;
+    reg.live.push_back(this);
+}
+
+TraceBuffer::~TraceBuffer()
+{
+    Trace::Registry& reg = Trace::registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    for (size_t i = 0; i < reg.live.size(); ++i) {
+        if (reg.live[i] == this) {
+            reg.live.erase(reg.live.begin() + i);
+            break;
+        }
+    }
+    std::lock_guard<std::mutex> self(mu_);
+    if (!events_.empty())
+        reg.retired.push_back(Trace::Registry::RetiredLane{
+            lane_, std::move(lane_name_), std::move(events_)});
+}
+
+void
+TraceBuffer::setLaneName(std::string name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    lane_name_ = std::move(name);
+}
+
+void
+TraceBuffer::addComplete(std::string name, const char* cat, double ts_us,
+                         double dur_us, std::string args)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (events_.size() >= kMaxEvents) {
+        ++dropped_;
+        return;
+    }
+    events_.push_back(TraceEvent{std::move(name), cat, 'X', ts_us,
+                                 dur_us, std::move(args)});
+}
+
+void
+TraceBuffer::addInstant(std::string name, const char* cat,
+                        std::string args)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (events_.size() >= kMaxEvents) {
+        ++dropped_;
+        return;
+    }
+    events_.push_back(TraceEvent{std::move(name), cat, 'i',
+                                 Trace::nowUs(), 0.0, std::move(args)});
+}
+
+size_t
+TraceBuffer::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_.size();
+}
+
+size_t
+TraceBuffer::droppedCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+}
+
+std::vector<TraceEvent>
+TraceBuffer::snapshotEvents() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+}
+
+// --- Trace ------------------------------------------------------------
+
+void
+Trace::setEnabled(bool on)
+{
+    traceEpoch();  // pin the epoch no later than the first enable
+    enabled_.store(on, std::memory_order_relaxed);
+}
+
+void
+Trace::initFromEnv()
+{
+    static const bool once = [] {
+        if (env::traceEnabled() || !env::traceFile().empty()) {
+            setEnabled(true);
+            if (!env::traceFile().empty())
+                std::atexit([] {
+                    Trace::exportToFile(env::traceFile());
+                });
+        }
+        return true;
+    }();
+    (void)once;
+}
+
+TraceBuffer&
+Trace::threadBuffer()
+{
+    static thread_local TraceBuffer buffer;
+    return buffer;
+}
+
+double
+Trace::nowUs()
+{
+    return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                     traceEpoch())
+        .count();
+}
+
+namespace {
+
+void
+writeEvent(std::ostream& os, const TraceEvent& e, uint64_t lane,
+           bool* first)
+{
+    if (!*first)
+        os << ",\n";
+    *first = false;
+    os << "{\"name\":\"" << jsonEscape(e.name) << "\",\"cat\":\""
+       << e.cat << "\",\"ph\":\"" << e.phase << "\",\"pid\":1,\"tid\":"
+       << lane << ",\"ts\":" << strFormat("%.3f", e.tsUs);
+    if (e.phase == 'X')
+        os << ",\"dur\":" << strFormat("%.3f", e.durUs);
+    if (e.phase == 'i')
+        os << ",\"s\":\"t\"";  // instant scope: thread
+    os << ",\"args\":{" << e.args << "}}";
+}
+
+void
+writeLaneName(std::ostream& os, uint64_t lane, const std::string& name,
+              bool* first)
+{
+    if (name.empty())
+        return;
+    if (!*first)
+        os << ",\n";
+    *first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+       << lane << ",\"args\":{\"name\":\"" << jsonEscape(name) << "\"}}";
+}
+
+}  // namespace
+
+void
+Trace::exportJson(std::ostream& os)
+{
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    os << "{\"traceEvents\":[\n";
+    bool first = true;
+    for (const TraceBuffer* buf : reg.live) {
+        std::lock_guard<std::mutex> buf_lock(buf->mu_);
+        writeLaneName(os, buf->lane_, buf->lane_name_, &first);
+        for (const TraceEvent& e : buf->events_)
+            writeEvent(os, e, buf->lane_, &first);
+    }
+    for (const Registry::RetiredLane& lane : reg.retired) {
+        writeLaneName(os, lane.lane, lane.name, &first);
+        for (const TraceEvent& e : lane.events)
+            writeEvent(os, e, lane.lane, &first);
+    }
+    os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+std::string
+Trace::exportJsonString()
+{
+    std::ostringstream os;
+    exportJson(os);
+    return os.str();
+}
+
+bool
+Trace::exportToFile(const std::string& path)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    exportJson(os);
+    return os.good();
+}
+
+void
+Trace::clear()
+{
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    for (TraceBuffer* buf : reg.live) {
+        std::lock_guard<std::mutex> buf_lock(buf->mu_);
+        buf->events_.clear();
+        buf->dropped_ = 0;
+    }
+    reg.retired.clear();
+}
+
+size_t
+Trace::totalEventCount()
+{
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    size_t total = 0;
+    for (const TraceBuffer* buf : reg.live) {
+        std::lock_guard<std::mutex> buf_lock(buf->mu_);
+        total += buf->events_.size();
+    }
+    for (const Registry::RetiredLane& lane : reg.retired)
+        total += lane.events.size();
+    return total;
+}
+
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strFormat("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+}  // namespace sod2

@@ -1,0 +1,198 @@
+#ifndef SOD2_SUPPORT_TRACE_H_
+#define SOD2_SUPPORT_TRACE_H_
+
+/**
+ * @file
+ * Thread-safe span/event tracer with Chrome trace-event JSON export.
+ *
+ * The runtime's hot paths (engine run loop, interpreter, plan cache)
+ * record *spans* — named intervals with microsecond timestamps — into
+ * per-lane TraceBuffers. A lane maps to one Chrome-trace "thread" row:
+ * every RunContext owns a buffer (so concurrent serving renders one
+ * lane per request context), and code without a context (interpreter,
+ * baselines, kernels) records into a thread-local lane. The aggregate
+ * exports as Chrome trace-event JSON ({"traceEvents": [...]}) loadable
+ * in chrome://tracing or Perfetto.
+ *
+ * Cost model: tracing is off unless SOD2_TRACE=1 / SOD2_TRACE_FILE is
+ * set (or a test calls Trace::setEnabled). The *disabled* fast path is
+ * a single relaxed atomic load and a predictable branch — no locks, no
+ * clock reads, no allocation. When enabled, appends take the owning
+ * buffer's mutex (uncontended by construction: a lane has one writer;
+ * the lock exists so exportJson can snapshot live buffers safely, e.g.
+ * under TSan).
+ *
+ * Buffers register with a process-wide leaked registry on construction
+ * and move their events to a retired list on destruction, so an export
+ * after worker threads exited still sees their lanes.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sod2 {
+
+/** One recorded trace event (complete span or instant). */
+struct TraceEvent
+{
+    std::string name;   ///< event name (operator, phase, ...)
+    const char* cat;    ///< static category literal ("engine", "group", ...)
+    char phase;         ///< 'X' complete span, 'i' instant
+    double tsUs;        ///< start, microseconds since the trace epoch
+    double durUs;       ///< duration in microseconds (0 for instants)
+    std::string args;   ///< preformatted JSON object body (may be empty)
+};
+
+/**
+ * One trace lane: an append-only event buffer rendered as its own
+ * thread row in the exported trace. Single writer by contract (the
+ * owning context/thread); the internal mutex only synchronizes the
+ * writer against concurrent export/clear.
+ */
+class TraceBuffer
+{
+  public:
+    /** Events kept per lane; beyond this, appends count as dropped. */
+    static constexpr size_t kMaxEvents = 1u << 20;
+
+    explicit TraceBuffer(std::string lane_name = "");
+    ~TraceBuffer();
+
+    TraceBuffer(const TraceBuffer&) = delete;
+    TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+    /** Renames this lane's thread row in the exported trace. */
+    void setLaneName(std::string name);
+
+    /** Appends one complete span. @p cat must be a string literal. */
+    void addComplete(std::string name, const char* cat, double ts_us,
+                     double dur_us, std::string args = "");
+
+    /** Appends one instant event. @p cat must be a string literal. */
+    void addInstant(std::string name, const char* cat,
+                    std::string args = "");
+
+    /** Number of buffered events (drops excluded). */
+    size_t eventCount() const;
+    /** Appends refused because the lane hit kMaxEvents. */
+    size_t droppedCount() const;
+    /** Copies out the buffered events (test/inspection helper). */
+    std::vector<TraceEvent> snapshotEvents() const;
+
+  private:
+    friend class Trace;
+
+    mutable std::mutex mu_;
+    uint64_t lane_;
+    std::string lane_name_;
+    std::vector<TraceEvent> events_;
+    size_t dropped_ = 0;
+};
+
+/** Process-wide tracer state: the on/off flag, the lane registry, and
+ *  the Chrome-trace exporter. All methods are thread-safe. */
+class Trace
+{
+  public:
+    /** The hot-path gate: one relaxed atomic load. */
+    static bool
+    enabled()
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Turns tracing on/off (tests, embedders). */
+    static void setEnabled(bool on);
+
+    /**
+     * Applies the env toggles once per process (support/env pattern):
+     * SOD2_TRACE=1 enables tracing; a non-empty SOD2_TRACE_FILE also
+     * enables it and registers an atexit hook that writes the Chrome
+     * trace JSON there. Safe to call repeatedly from any thread.
+     */
+    static void initFromEnv();
+
+    /** The calling thread's context-less lane (interpreter, kernels). */
+    static TraceBuffer& threadBuffer();
+
+    /** Writes the full Chrome trace-event JSON document to @p os. */
+    static void exportJson(std::ostream& os);
+    static std::string exportJsonString();
+    /** Writes the JSON to @p path; returns false on I/O failure. */
+    static bool exportToFile(const std::string& path);
+
+    /** Drops every recorded event, live and retired (tests). */
+    static void clear();
+
+    /** Total recorded events across all lanes, live and retired. */
+    static size_t totalEventCount();
+
+    /** Microseconds since the process trace epoch (steady clock). */
+    static double nowUs();
+
+  private:
+    friend class TraceBuffer;
+
+    struct Registry;
+    static Registry& registry();
+
+    static std::atomic<bool> enabled_;
+};
+
+/**
+ * RAII span: records one complete event on destruction (or end()).
+ * Constructed with a null buffer it is inert — the idiom is
+ *
+ *   TraceSpan span(Trace::enabled() ? &buf : nullptr, "bind", "engine");
+ */
+class TraceSpan
+{
+  public:
+    TraceSpan(TraceBuffer* buffer, const char* name, const char* cat)
+        : buffer_(buffer), name_(name), cat_(cat),
+          start_us_(buffer ? Trace::nowUs() : 0.0)
+    {
+    }
+
+    ~TraceSpan() { end(); }
+
+    TraceSpan(const TraceSpan&) = delete;
+    TraceSpan& operator=(const TraceSpan&) = delete;
+
+    /** Attaches a preformatted JSON fragment ("key":value,...). */
+    void
+    setArgs(std::string args)
+    {
+        args_ = std::move(args);
+    }
+
+    /** Records the span now instead of at scope exit. */
+    void
+    end()
+    {
+        if (!buffer_)
+            return;
+        buffer_->addComplete(name_, cat_, start_us_,
+                             Trace::nowUs() - start_us_,
+                             std::move(args_));
+        buffer_ = nullptr;
+    }
+
+  private:
+    TraceBuffer* buffer_;
+    const char* name_;
+    const char* cat_;
+    double start_us_;
+    std::string args_;
+};
+
+/** Escapes @p s for embedding inside a JSON string literal. */
+std::string jsonEscape(const std::string& s);
+
+}  // namespace sod2
+
+#endif  // SOD2_SUPPORT_TRACE_H_

@@ -22,6 +22,8 @@
 #include "models/model_zoo.h"
 #include "ops/op_registry.h"
 #include "support/logging.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 
 namespace sod2 {
 namespace {
@@ -313,6 +315,153 @@ TEST(Concurrency, ArenaTrimShedsOutlierCapacityAcrossRuns)
     RunContext fresh;
     EXPECT_EQ(snapshot(engine.run(ctx, small)),
               snapshot(engine.run(fresh, small)));
+}
+
+/** Regression for the Logger::threshold_ data race surfaced by
+ *  concurrent serving: setThreshold from a control thread while worker
+ *  threads filter log levels must be race-free (threshold_ is an
+ *  atomic now). Run under the tsan preset to make the check bite. */
+TEST(Concurrency, LoggerThresholdToggleRacesLoggers)
+{
+    Logger& logger = Logger::instance();
+    LogLevel before = logger.threshold();
+
+    constexpr int kLoggers = 4;
+    constexpr int kRounds = 200;
+    std::barrier sync(kLoggers + 1);
+    std::atomic<bool> stop{false};
+
+    std::thread toggler([&] {
+        sync.arrive_and_wait();
+        for (int i = 0; i < kRounds; ++i)
+            logger.setThreshold(i % 2 ? LogLevel::kError
+                                      : LogLevel::kWarn);
+        stop.store(true);
+    });
+    std::vector<std::thread> loggers;
+    for (int t = 0; t < kLoggers; ++t) {
+        loggers.emplace_back([&] {
+            sync.arrive_and_wait();
+            while (!stop.load()) {
+                // kDebug is below both toggled thresholds, so the race
+                // window (threshold load) is exercised without spamming
+                // stderr.
+                logger.log(LogLevel::kDebug, "filtered");
+            }
+        });
+    }
+    toggler.join();
+    for (auto& th : loggers)
+        th.join();
+
+    logger.setThreshold(before);
+    LogLevel after = logger.threshold();
+    EXPECT_TRUE(after == LogLevel::kWarn || after == LogLevel::kError ||
+                after == before);
+}
+
+/** N writers into one histogram: count/sum must not lose updates
+ *  (relaxed atomics + CAS-accumulated sum). */
+TEST(Concurrency, HistogramConcurrentObserversLoseNothing)
+{
+    Histogram h(Histogram::defaultLatencyBoundsUs());
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 5000;
+    std::barrier sync(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            sync.arrive_and_wait();
+            for (int i = 0; i < kPerThread; ++i)
+                h.observe(1.0 + (t * kPerThread + i) % 100);
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+    EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads * kPerThread));
+    // Every observed value is in [1, 100]; so is every percentile.
+    EXPECT_GE(h.percentile(50.0), 1.0);
+    EXPECT_LE(h.percentile(99.0), 100.0 + 1e-9);
+    double expect_sum = 0;
+    for (int i = 0; i < kThreads * kPerThread; ++i)
+        expect_sum += 1.0 + i % 100;
+    EXPECT_DOUBLE_EQ(h.sum(), expect_sum);
+}
+
+/** Trace writers racing a concurrent export: the export must see a
+ *  clean snapshot (no torn events), and no appends are lost. */
+TEST(Concurrency, TraceExportRacesWriters)
+{
+    Trace::clear();
+    Trace::setEnabled(true);
+    constexpr int kThreads = 4;
+    constexpr int kEvents = 500;
+    std::barrier sync(kThreads + 1);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            TraceBuffer& tb = Trace::threadBuffer();
+            tb.setLaneName("writer-" + std::to_string(t));
+            sync.arrive_and_wait();
+            for (int i = 0; i < kEvents; ++i) {
+                double ts = Trace::nowUs();
+                tb.addComplete("ev", "test", ts, 1.0,
+                               "\"i\":" + std::to_string(i));
+            }
+        });
+    }
+    sync.arrive_and_wait();
+    // Export concurrently with the writers several times.
+    for (int i = 0; i < 8; ++i) {
+        std::string json = Trace::exportJsonString();
+        EXPECT_FALSE(json.empty());
+    }
+    for (auto& th : threads)
+        th.join();
+    EXPECT_GE(Trace::totalEventCount(),
+              static_cast<size_t>(kThreads * kEvents));
+    Trace::setEnabled(false);
+    Trace::clear();
+}
+
+/** counters() is one lock-consistent snapshot: under concurrent
+ *  lookups, hits + misses + coalesced never exceeds lookups started
+ *  and the invariant holds inside every snapshot. */
+TEST(Concurrency, PlanCacheCountersSnapshotIsConsistent)
+{
+    PlanCache cache(4);
+    constexpr int kThreads = 4;
+    constexpr int kLookups = 400;
+    std::barrier sync(kThreads + 1);
+    std::atomic<bool> done{false};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            sync.arrive_and_wait();
+            for (int i = 0; i < kLookups; ++i) {
+                uint64_t key = static_cast<uint64_t>(i % 8);
+                cache.findOrInstantiate(
+                    key, {static_cast<int64_t>(key)}, [] {
+                        return std::make_shared<const PlanInstance>();
+                    });
+            }
+        });
+    }
+    sync.arrive_and_wait();
+    size_t total = static_cast<size_t>(kThreads) * kLookups;
+    while (!done.load()) {
+        PlanCache::Counters c = cache.counters();
+        // Completed lookups at snapshot time can never exceed the
+        // total issued; the three outcome counters partition them.
+        EXPECT_LE(c.hits + c.misses + c.coalesced, total);
+        if (c.hits + c.misses + c.coalesced == total)
+            done.store(true);
+    }
+    for (auto& th : threads)
+        th.join();
+    PlanCache::Counters c = cache.counters();
+    EXPECT_EQ(c.hits + c.misses + c.coalesced, total);
+    EXPECT_GE(c.misses, 8u);  // at least one per distinct signature
 }
 
 TEST(Concurrency, RegistryFrozenAfterEngineCompile)

@@ -245,6 +245,126 @@ TEST(PlanCache, ValidateEveryPlanChecksCachedRuns)
     EXPECT_EQ(stats.planCacheHits, 2u);  // validation ran on each hit
 }
 
+// --- RunStats semantics audit ----------------------------------------
+
+TEST(RunStatsAudit, HitPathPlanSecondsCollapses)
+{
+    TestModel m = TestModel::cnn();
+    Sod2Options opts;
+    opts.rdp = m.rdp;
+    Sod2Engine engine(&m.graph, opts);
+
+    Tensor in = cnnInput(2, 16, 16, 61);
+    RunStats miss_stats, hit_stats;
+    engine.run({in}, &miss_stats);
+    engine.run({in}, &hit_stats);
+    ASSERT_TRUE(hit_stats.planCacheHit);
+    // A hit replaces interval evaluation + placement + MVC selection
+    // with one hash lookup; bind + lookup stay well under a
+    // millisecond on any host this suite runs on.
+    EXPECT_LT(hit_stats.planSeconds, 1e-3);
+    EXPECT_GE(hit_stats.planSeconds, 0.0);
+}
+
+TEST(RunStatsAudit, HitAfterOutlierReportsPlanRequirementNotCapacity)
+{
+    TestModel m = TestModel::cnn();
+    Sod2Options opts;
+    opts.rdp = m.rdp;
+    Sod2Engine engine(&m.graph, opts);
+
+    RunContext ctx;
+    std::vector<Tensor> small = {cnnInput(1, 8, 8, 62)};
+    std::vector<Tensor> big = {cnnInput(4, 64, 64, 63)};
+
+    RunStats stats;
+    engine.run(ctx, small, &stats);
+    size_t small_req = stats.arenaBytes;
+    engine.run(ctx, big, &stats);
+    ASSERT_GT(stats.arenaBytes, small_req);
+
+    // Plan-cache *hit* on the small signature while the context arena
+    // still holds the outlier's capacity: arenaBytes must report the
+    // plan's requirement, not the inflated capacity.
+    engine.run(ctx, small, &stats);
+    ASSERT_TRUE(stats.planCacheHit);
+    EXPECT_EQ(stats.arenaBytes, small_req);
+    EXPECT_GE(ctx.arena().capacity(), small_req);
+}
+
+TEST(RunStatsAudit, DisabledCacheZeroesReusedStats)
+{
+    TestModel m = TestModel::cnn();
+    Sod2Options cached_opts;
+    cached_opts.rdp = m.rdp;
+    Sod2Engine cached(&m.graph, cached_opts);
+    Sod2Options uncached_opts;
+    uncached_opts.rdp = m.rdp;
+    uncached_opts.planCacheCapacity = 0;
+    Sod2Engine uncached(&m.graph, uncached_opts);
+
+    Tensor in = cnnInput(1, 8, 8, 64);
+    RunStats stats;
+    cached.run({in}, &stats);
+    cached.run({in}, &stats);
+    ASSERT_GT(stats.planCacheHits + stats.planCacheMisses, 0u);
+
+    // Reusing the same RunStats with a cache-less engine must not leak
+    // the cached engine's counters through.
+    uncached.run({in}, &stats);
+    EXPECT_FALSE(stats.planCacheHit);
+    EXPECT_EQ(stats.planCacheHits, 0u);
+    EXPECT_EQ(stats.planCacheMisses, 0u);
+    EXPECT_EQ(stats.planCacheEvictions, 0u);
+    EXPECT_EQ(stats.planCacheCoalesced, 0u);
+}
+
+TEST(RunStatsAudit, CountersMatchLockSnapshotWhenQuiescent)
+{
+    TestModel m = TestModel::cnn();
+    Sod2Options opts;
+    opts.rdp = m.rdp;
+    Sod2Engine engine(&m.graph, opts);
+
+    RunStats stats;
+    engine.run({cnnInput(1, 8, 8, 65)}, &stats);
+    engine.run({cnnInput(1, 8, 8, 66)}, &stats);
+    engine.run({cnnInput(1, 12, 12, 67)}, &stats);
+
+    const PlanCache* cache = engine.planCache();
+    ASSERT_NE(cache, nullptr);
+    PlanCache::Counters c = cache->counters();
+    EXPECT_EQ(c.hits, cache->hits());
+    EXPECT_EQ(c.misses, cache->misses());
+    EXPECT_EQ(c.evictions, cache->evictions());
+    EXPECT_EQ(c.coalesced, cache->coalesced());
+    EXPECT_EQ(stats.planCacheHits, c.hits);
+    EXPECT_EQ(stats.planCacheMisses, c.misses);
+}
+
+TEST(RunStatsAudit, GroupSecondsBreakdownMatchesSubgraphTotals)
+{
+    TestModel m = TestModel::cnn();
+    Sod2Options opts;
+    opts.rdp = m.rdp;
+    Sod2Engine engine(&m.graph, opts);
+
+    RunStats stats;
+    engine.run({cnnInput(2, 16, 16, 68)}, &stats);
+    ASSERT_EQ(stats.groupSeconds.size(),
+              static_cast<size_t>(engine.fusionPlan().numGroups()));
+    double group_total = 0, subgraph_total = 0;
+    for (double s : stats.groupSeconds) {
+        EXPECT_GE(s, 0.0);
+        group_total += s;
+    }
+    for (double s : stats.subgraphSeconds)
+        subgraph_total += s;
+    // Same attribution, two groupings of the same per-group samples.
+    EXPECT_NEAR(group_total, subgraph_total,
+                1e-9 + 1e-6 * subgraph_total);
+}
+
 TEST(PlanCacheUnit, InsertFindEvict)
 {
     PlanCache cache(2);
