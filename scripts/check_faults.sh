@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Failure-path gate: runs the faults-labeled suite (typed errors, run
+# guardrails, deterministic fault injection) three ways —
+#   1. the default build, plus the fault_soak bench (8-thread serving
+#      under continuously re-armed faults; exits non-zero on any
+#      untyped error or state corruption);
+#   2. the asan preset (address+undefined): error unwinding must not
+#      leak, double-free, or touch freed arena memory;
+#   3. the tsan preset: the fault sites and failure paths must stay
+#      race-free under concurrent serving.
+#
+# Usage: scripts/check_faults.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== faults suite (default build) =="
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$(nproc)"
+ctest --test-dir build -L faults --output-on-failure "$@"
+
+echo "== fault soak (8 threads, continuous injection) =="
+./build/bench/fault_soak
+
+echo "== faults suite (asan preset) =="
+cmake --preset asan >/dev/null
+cmake --build --preset asan -j "$(nproc)"
+ctest --test-dir build-asan -L faults --output-on-failure "$@"
+
+echo "== faults suite (tsan preset) =="
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j "$(nproc)"
+ctest --test-dir build-tsan -L faults --output-on-failure "$@"
+
+echo "check_faults: all green"

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Builds the ThreadSanitizer tree and runs the concurrency- and
-# observability-labeled tests under it. This is the race-regression
-# gate for the shared Sod2Engine serving path: any data race
-# reintroduced in run(), PlanCache, Logger, the tracer/metrics layer,
-# or the registry/env/alloc-stats singletons fails here even if the
+# Builds the ThreadSanitizer tree and runs the concurrency-,
+# observability-, and faults-labeled tests under it. This is the
+# race-regression gate for the shared Sod2Engine serving path: any
+# data race reintroduced in run(), PlanCache, Logger, the
+# tracer/metrics layer, the fault-injection sites, or the
+# registry/env/alloc-stats singletons fails here even if the
 # uninstrumented tests still pass by luck.
 #
 # Usage: scripts/check_tsan.sh [extra ctest args...]
@@ -12,5 +13,5 @@ cd "$(dirname "$0")/.."
 
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)"
-ctest --test-dir build-tsan -L 'concurrency|observability' \
+ctest --test-dir build-tsan -L 'concurrency|observability|faults' \
       --output-on-failure "$@"

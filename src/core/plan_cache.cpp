@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/fault_injection.h"
 #include "support/logging.h"
 #include "support/string_util.h"
 #include "support/trace.h"
@@ -59,6 +60,13 @@ void
 PlanCache::insertLocked(uint64_t hash, std::vector<int64_t> values,
                         std::shared_ptr<const PlanInstance> plan)
 {
+    // Fault site, checked before any mutation: a failed insert must
+    // leave entries_/index_ exactly as they were (no poisoned or
+    // half-linked entry), which the placement here guarantees.
+    if (fault::shouldFail(fault::kCacheInsert))
+        SOD2_THROW_CODE(ErrorCode::kInternal)
+            << "injected fault at " << fault::kCacheInsert
+            << ": plan-cache insert failed";
     auto it = index_.find(hash);
     if (it != index_.end()) {
         auto cit = chainFind(it->second, values);
@@ -168,10 +176,27 @@ PlanCache::findOrInstantiate(uint64_t hash,
     }
     if (instantiated)
         *instantiated = true;
-    {
+    try {
         std::lock_guard<std::mutex> lock(mu_);
         insertLocked(hash, values, plan);
         retireFlightLocked(hash, flight.get());
+    } catch (...) {
+        // Insert failed but the plan itself is valid: publish it to the
+        // waiters (they run with it; only the caching was lost), retire
+        // the flight so later misses start fresh, and fail the leader
+        // with the typed error. The cache is untouched — insertLocked
+        // throws before mutating.
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            retireFlightLocked(hash, flight.get());
+        }
+        {
+            std::lock_guard<std::mutex> flock(flight->mu);
+            flight->plan = plan;
+            flight->done = true;
+        }
+        flight->cv.notify_all();
+        throw;
     }
     {
         std::lock_guard<std::mutex> flock(flight->mu);

@@ -89,6 +89,10 @@ class PlanCache
      *
      * When the leader's @p instantiate throws, the exception propagates
      * on the leader; waiters fall back to instantiating for themselves.
+     * When instantiation succeeds but the *insert* fails (the
+     * cache.insert fault site), the cache is left unmodified — no
+     * poisoned entry — the valid plan is still published to waiters,
+     * and the typed error propagates on the leader only.
      * @p instantiated (optional) reports whether *this* call ran the
      * instantiator — i.e. false means the caller skipped plan work.
      */

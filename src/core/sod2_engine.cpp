@@ -8,10 +8,13 @@
 #include "memory/lifetime.h"
 #include "memory/planners.h"
 #include "ops/op_registry.h"
+#include "runtime/interpreter.h"
 #include "support/env.h"
+#include "support/fault_injection.h"
 #include "support/logging.h"
 #include "support/string_util.h"
 #include "support/trace.h"
+#include "tensor/dtype.h"
 
 namespace sod2 {
 namespace {
@@ -40,11 +43,15 @@ Sod2Engine::Sod2Engine(const Graph* graph, Sod2Options options)
     // process, and resolve the engine's metric handles so the run path
     // never touches the registry mutex.
     Trace::initFromEnv();
+    fault::initFromEnv();
     {
         MetricsRegistry& metrics = MetricsRegistry::instance();
         metric_runs_ = &metrics.counter("engine.runs");
         metric_run_us_ = &metrics.histogram("engine.run_us");
         metric_plan_us_ = &metrics.histogram("engine.plan_us");
+        metric_failed_runs_ = &metrics.counter("engine.failed_runs");
+        metric_fallback_runs_ =
+            &metrics.counter("engine.fallback_runs");
     }
 
     // (1) RDP analysis.
@@ -229,6 +236,13 @@ std::shared_ptr<const PlanInstance>
 Sod2Engine::instantiatePlan(
     const std::map<std::string, int64_t>& bindings) const
 {
+    // Fault site, before any work: a failed instantiation must leave
+    // nothing behind (the plan cache already guarantees a failed
+    // leader never publishes and waiters recover on their own).
+    if (fault::shouldFail(fault::kPlanInstantiate))
+        SOD2_THROW_CODE(ErrorCode::kInternal)
+            << "injected fault at " << fault::kPlanInstantiate
+            << ": plan instantiation failed";
     auto inst = std::make_shared<PlanInstance>();
     inst->versions = resolveVersions(selectors_, versions_, bindings);
     if (options_.enableDmp && !interval_templates_.empty()) {
@@ -269,6 +283,34 @@ Sod2Engine::bindContext(RunContext& ctx) const
         ctx.folded_env_[v] = t;
 }
 
+void
+Sod2Engine::validateInputs(const std::vector<Tensor>& inputs) const
+{
+    const Graph& g = *graph_;
+    SOD2_CHECK_CODE(inputs.size() == g.inputIds().size(),
+                    ErrorCode::kInvalidInput)
+        << "wrong number of graph inputs: expected "
+        << g.inputIds().size() << ", got " << inputs.size();
+    const std::vector<int>& ranks = binder_->declaredRanks();
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        const Value& v = g.value(g.inputIds()[i]);
+        SOD2_CHECK_CODE(inputs[i].isValid(), ErrorCode::kInvalidInput)
+            << "input " << i << " ('" << v.name << "') is empty";
+        SOD2_CHECK_CODE(inputs[i].dtype() == v.dtype,
+                        ErrorCode::kInvalidInput)
+            << "input " << i << " ('" << v.name << "') has dtype "
+            << dtypeName(inputs[i].dtype()) << ", expected "
+            << dtypeName(v.dtype);
+        if (i < ranks.size() && ranks[i] >= 0) {
+            SOD2_CHECK_CODE(
+                static_cast<int>(inputs[i].shape().rank()) == ranks[i],
+                ErrorCode::kInvalidInput)
+                << "input " << i << " ('" << v.name << "') has rank "
+                << inputs[i].shape().rank() << ", expected " << ranks[i];
+        }
+    }
+}
+
 std::vector<Tensor>
 Sod2Engine::run(const std::vector<Tensor>& inputs, RunStats* stats)
 {
@@ -277,13 +319,37 @@ Sod2Engine::run(const std::vector<Tensor>& inputs, RunStats* stats)
 
 std::vector<Tensor>
 Sod2Engine::run(RunContext& ctx, const std::vector<Tensor>& inputs,
-                RunStats* stats) const
+                RunStats* stats, const RunOptions& opts) const
 {
+    // Guardrail 1: reject malformed requests before touching any
+    // context state — count, dtype, and rank against the compiled
+    // signature, each naming the offending input index.
+    validateInputs(inputs);
+
     if (ctx.engine_ != this)
         bindContext(ctx);
 
     const Graph& g = *graph_;
     auto t_start = Clock::now();
+
+    // Guardrail 2: cooperative deadline, checked at every group
+    // boundary below (a single long kernel is never interrupted).
+    const bool has_deadline = opts.deadlineSeconds > 0.0;
+    const Clock::time_point deadline =
+        has_deadline ? t_start +
+                           std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(
+                                   opts.deadlineSeconds))
+                     : Clock::time_point();
+
+    // Guardrail 3: per-run arena budget. Per-run option wins; 0 defers
+    // to the process-wide SOD2_ARENA_BUDGET cap (0 = unlimited). The
+    // arena checks the budget against the *requested* requirement
+    // before growing, so an over-budget plan fails with a typed
+    // ArenaExhausted error and the context stays reusable.
+    ctx.arena_.setBudget(opts.arenaBudgetBytes != 0
+                             ? opts.arenaBudgetBytes
+                             : env::arenaBudgetBytes());
 
     // Observability gate: one relaxed atomic load. When tracing is off
     // tb is null and every span below is inert (no clocks, no locks).
@@ -384,6 +450,15 @@ Sod2Engine::run(RunContext& ctx, const std::vector<Tensor>& inputs,
     for (int gi : plan_.order) {
         if (group_folded_[gi])
             continue;  // pre-computed at compile time
+        // Group boundaries are the cooperative cancellation points of
+        // the planned executor (the interpreter's analog is node
+        // boundaries). Expiry leaves the context reusable: env and
+        // remaining_uses are run-local, and the arena needs no unwind.
+        if (has_deadline && Clock::now() >= deadline)
+            SOD2_THROW_CODE(ErrorCode::kDeadlineExceeded)
+                << "run exceeded its deadline of "
+                << opts.deadlineSeconds << " s before group " << gi
+                << " (step " << step_of_group_[gi] << ")";
         const CompiledGroup& cg = compiled_[gi];
         const FusionGroup& grp = fusion_.groups[gi];
         auto t_g = Clock::now();
@@ -431,7 +506,10 @@ Sod2Engine::run(RunContext& ctx, const std::vector<Tensor>& inputs,
             SOD2_CHECK(ext[1].isValid());
             int64_t branches = head.attrs.getInt("num_branches");
             int64_t pred = ext[1].toInt64Vector().at(0);
-            SOD2_CHECK(pred >= 0 && pred < branches);
+            SOD2_CHECK_CODE(pred >= 0 && pred < branches,
+                            ErrorCode::kInvalidInput)
+                << "Switch predicate " << pred << " out of range "
+                << branches << " at " << head.name;
             outs.assign(branches, Tensor());
             if (ext[0].isValid()) {
                 for (int64_t i = 0; i < branches; ++i)
@@ -443,9 +521,16 @@ Sod2Engine::run(RunContext& ctx, const std::vector<Tensor>& inputs,
         } else if (is_combine) {
             SOD2_CHECK(ext[0].isValid());
             int64_t pred = ext[0].toInt64Vector().at(0);
-            SOD2_CHECK(pred >= 0 &&
-                       pred + 1 < static_cast<int64_t>(ext.size()));
-            SOD2_CHECK(ext[pred + 1].isValid()) << "dead branch selected";
+            SOD2_CHECK_CODE(pred >= 0 &&
+                                pred + 1 <
+                                    static_cast<int64_t>(ext.size()),
+                            ErrorCode::kInvalidInput)
+                << "Combine predicate " << pred << " out of range at "
+                << head.name;
+            SOD2_CHECK_CODE(ext[pred + 1].isValid(),
+                            ErrorCode::kInvalidInput)
+                << "Combine selected dead branch " << pred << " at "
+                << head.name;
             outs = {materializeInto(head.outputs[0], ext[pred + 1])};
             ++executed;
         } else if (any_dead) {
@@ -491,7 +576,26 @@ Sod2Engine::run(RunContext& ctx, const std::vector<Tensor>& inputs,
                     return fallback_pool->allocate(dtype, shape);
                 return Tensor(dtype, shape);
             };
-            outs = cg.run(g, ext, alloc, config);
+            try {
+                outs = cg.run(g, ext, alloc, config);
+            } catch (const Error& e) {
+                // Attach execution context to kernel-layer failures.
+                // Untyped (Internal) check failures from kernel code
+                // are retagged KernelFailure; ArenaExhausted keeps its
+                // code but gains the owning group/step. Input-shaped
+                // codes pass through unchanged.
+                ErrorCode code = e.code();
+                if (code == ErrorCode::kInvalidInput ||
+                    code == ErrorCode::kBindFailure ||
+                    code == ErrorCode::kDeadlineExceeded)
+                    throw;
+                if (code == ErrorCode::kInternal)
+                    code = ErrorCode::kKernelFailure;
+                SOD2_THROW_CODE(code)
+                    << e.what() << " [while executing group " << gi
+                    << " (op " << head.op << ", step "
+                    << step_of_group_[gi] << ")]";
+            }
             ++executed;
         }
 
@@ -600,6 +704,82 @@ Sod2Engine::run(RunContext& ctx, const std::vector<Tensor>& inputs,
         metric_plan_us_->observe(plan_seconds * 1e6);
     }
     return results;
+}
+
+RunResult
+Sod2Engine::tryRun(RunContext& ctx, const std::vector<Tensor>& inputs,
+                   RunStats* stats, const RunOptions& opts) const
+{
+    auto t_start = Clock::now();
+    RunResult result;
+    try {
+        result.outputs = run(ctx, inputs, stats, opts);
+        return result;
+    } catch (const Error& e) {
+        result.code = e.code();
+        result.message = e.what();
+    } catch (const std::exception& e) {
+        result.code = ErrorCode::kInternal;
+        result.message = e.what();
+    }
+    // Cold path: failures are counted unconditionally (tracing only
+    // gates the per-event records, not the counters).
+    metric_failed_runs_->add();
+    if (Trace::enabled())
+        ctx.trace_.addInstant(
+            "run.failed", "engine",
+            strFormat("\"code\":\"%s\"", errorCodeName(result.code)));
+
+    // Graceful degradation: recoverable codes may be served by the
+    // unfused reference interpreter — plan-free and heap-allocated, so
+    // it sidesteps arena budgets, binding, and fused-kernel state.
+    // InvalidInput would fail identically there; DeadlineExceeded
+    // means the request's budget is already spent.
+    const bool recoverable = result.code == ErrorCode::kArenaExhausted ||
+                             result.code == ErrorCode::kKernelFailure ||
+                             result.code == ErrorCode::kBindFailure ||
+                             result.code == ErrorCode::kInternal;
+    if (!opts.fallbackOnError || !recoverable)
+        return result;
+
+    try {
+        InterpreterOptions iopts;
+        iopts.executeAllBranches = options_.executeAllBranches;
+        if (opts.deadlineSeconds > 0.0) {
+            double remaining =
+                opts.deadlineSeconds - secondsSince(t_start);
+            if (remaining <= 0.0) {
+                result.code = ErrorCode::kDeadlineExceeded;
+                result.message =
+                    "deadline expired before the fallback could start "
+                    "(original failure: " + result.message + ")";
+                return result;
+            }
+            iopts.deadlineSeconds = remaining;
+        }
+        Interpreter fallback(graph_, iopts);
+        result.outputs = fallback.run(inputs);
+        result.code = ErrorCode::kOk;
+        result.message.clear();
+        result.fellBack = true;
+        metric_fallback_runs_->add();
+        if (Trace::enabled())
+            ctx.trace_.addInstant("run.fallback", "engine", "");
+    } catch (const Error& e) {
+        result.code = e.code();
+        result.message = e.what();
+    } catch (const std::exception& e) {
+        result.code = ErrorCode::kInternal;
+        result.message = e.what();
+    }
+    return result;
+}
+
+RunResult
+Sod2Engine::tryRun(const std::vector<Tensor>& inputs, RunStats* stats,
+                   const RunOptions& opts)
+{
+    return tryRun(default_context_, inputs, stats, opts);
 }
 
 }  // namespace sod2

@@ -44,6 +44,7 @@
 #include "rdp/rdp_analysis.h"
 #include "runtime/arena.h"
 #include "support/metrics.h"
+#include "support/status.h"
 
 namespace sod2 {
 
@@ -78,6 +79,58 @@ struct Sod2Options
     bool validateEveryPlan = false;
     DeviceProfile device = DeviceProfile::mobileCpu();
     SepOptions sep;
+};
+
+/**
+ * Per-run guardrails (the serving-path failure contract; DESIGN.md
+ * §10). All default-off: a default-constructed RunOptions reproduces
+ * the unguarded behavior except that the process-wide
+ * SOD2_ARENA_BUDGET env cap, when set, always applies.
+ */
+struct RunOptions
+{
+    /**
+     * Cap, in bytes, on the run's planned-arena requirement. A plan
+     * needing more fails with a typed ArenaExhausted error *before*
+     * the arena grows, leaving the context reusable. 0 defers to
+     * SOD2_ARENA_BUDGET (which is unlimited when unset). Governs the
+     * DMP arena only; execution-determined (EDO) heap tensors are
+     * outside the plan and outside the budget.
+     */
+    size_t arenaBudgetBytes = 0;
+    /**
+     * Cooperative deadline in wall seconds, measured from run entry
+     * and checked at every group boundary of the planned executor (and
+     * node boundary of the fallback interpreter); 0 disables. Expiry
+     * throws a typed DeadlineExceeded error. Cooperative means a
+     * single long-running kernel is not interrupted mid-flight.
+     */
+    double deadlineSeconds = 0.0;
+    /**
+     * tryRun only: when the optimized run fails with a recoverable
+     * code (ArenaExhausted, KernelFailure, BindFailure, Internal),
+     * re-run the request through the unfused reference interpreter —
+     * heap-allocated, plan-free — and serve its result instead.
+     * Counted in the "engine.fallback_runs" metric and reported via
+     * RunResult::fellBack. InvalidInput and DeadlineExceeded never
+     * fall back (the interpreter would fail the same way / the budget
+     * is already gone).
+     */
+    bool fallbackOnError = false;
+};
+
+/** Outcome of one tryRun: outputs, or a typed error. */
+struct RunResult
+{
+    /** Valid iff ok(). May alias the context arena, like run(). */
+    std::vector<Tensor> outputs;
+    ErrorCode code = ErrorCode::kOk;
+    /** Human-readable failure detail (empty on success). */
+    std::string message;
+    /** True when the result was served by the interpreter fallback. */
+    bool fellBack = false;
+
+    bool ok() const { return code == ErrorCode::kOk; }
 };
 
 /** Per-run measurements. */
@@ -148,10 +201,38 @@ class Sod2Engine
      * first use (and rebinds when previously used with another one).
      * Output tensors may alias @p ctx's arena — they are valid until
      * the context's next run.
+     *
+     * Failure contract: throws sod2::Error carrying an ErrorCode
+     * (support/status.h) — inputs are validated upfront against the
+     * compiled signature (InvalidInput), symbol binding is typed
+     * (BindFailure), the arena budget and cooperative deadline of
+     * @p opts are enforced (ArenaExhausted / DeadlineExceeded), and
+     * kernel errors carry group/step context (KernelFailure). A failed
+     * run rolls @p ctx back to a reusable state: the very next run of
+     * the same context behaves exactly like a run on a fresh context
+     * (bit-exact), and no poisoned plan-cache entry is left behind.
      */
     std::vector<Tensor> run(RunContext& ctx,
                             const std::vector<Tensor>& inputs,
-                            RunStats* stats = nullptr) const;
+                            RunStats* stats = nullptr,
+                            const RunOptions& opts = {}) const;
+
+    /**
+     * Non-throwing run: same semantics and guardrails as run(), with
+     * the typed error returned in RunResult instead of thrown, and
+     * optional graceful degradation through the reference interpreter
+     * (RunOptions::fallbackOnError). On failure @p stats is left
+     * untouched.
+     */
+    RunResult tryRun(RunContext& ctx, const std::vector<Tensor>& inputs,
+                     RunStats* stats = nullptr,
+                     const RunOptions& opts = {}) const;
+
+    /** tryRun through the engine-owned default context (single-
+     *  threaded convenience, like the context-less run()). */
+    RunResult tryRun(const std::vector<Tensor>& inputs,
+                     RunStats* stats = nullptr,
+                     const RunOptions& opts = {});
 
     // --- introspection (used by the breakdown benchmarks) ---------------
     const RdpResult& rdp() const { return *rdp_; }
@@ -181,6 +262,10 @@ class Sod2Engine
     /** (Re)binds @p ctx to this engine: seeds the folded-constant env
      *  template and the fallback pool. */
     void bindContext(RunContext& ctx) const;
+    /** Upfront request validation against the compiled graph signature
+     *  (arity, dtype, rank); throws typed InvalidInput errors naming
+     *  the offending input index. */
+    void validateInputs(const std::vector<Tensor>& inputs) const;
     const Graph* graph_;
     Sod2Options options_;
     std::unique_ptr<RdpResult> rdp_;
@@ -225,6 +310,12 @@ class Sod2Engine
     Counter* metric_runs_ = nullptr;
     Histogram* metric_run_us_ = nullptr;
     Histogram* metric_plan_us_ = nullptr;
+    /** Failure-path counters ("engine.failed_runs" = typed failures
+     *  surfaced by tryRun, "engine.fallback_runs" = requests served by
+     *  the interpreter fallback). Cold path: always incremented,
+     *  tracing on or off. */
+    Counter* metric_failed_runs_ = nullptr;
+    Counter* metric_fallback_runs_ = nullptr;
 
     /** Compile-time constant-folded values (seeded into every context's
      *  env template). */

@@ -7,6 +7,7 @@
 #include "kernels/conv.h"
 #include "kernels/elementwise.h"
 #include "kernels/gemm.h"
+#include "support/fault_injection.h"
 #include "support/logging.h"
 #include "support/threadpool.h"
 #include "tensor/broadcast.h"
@@ -152,8 +153,18 @@ CompiledGroup::run(const Graph& graph, const std::vector<Tensor>& ext,
         << "fused group input arity mismatch";
 
     if (kind_ == GroupKind::kSingle) {
+        // Singles dispatch through executeNode, which hosts the
+        // kernel.dispatch fault site itself.
         return executeNode(graph, graph.node(nodes_[0]), ext, alloc, config);
     }
+
+    // Fused kinds bypass executeNode, so they carry their own hook for
+    // the same named site.
+    if (fault::shouldFail(fault::kKernelDispatch))
+        SOD2_THROW_CODE(ErrorCode::kKernelFailure)
+            << "injected fault at " << fault::kKernelDispatch
+            << ": fused-group dispatch anchored at op '"
+            << graph.node(nodes_[0]).op << "' failed";
 
     if (kind_ == GroupKind::kHeavyWithEpilogue) {
         const Node& anchor = graph.node(nodes_[0]);

@@ -311,14 +311,17 @@ void
 SymbolBinder::bind(const std::vector<Shape>& concrete_inputs,
                    std::vector<int64_t>* values) const
 {
-    SOD2_CHECK_EQ(concrete_inputs.size(), ranks_.size())
-        << "wrong number of inputs";
+    SOD2_CHECK_CODE(concrete_inputs.size() == ranks_.size(),
+                    ErrorCode::kInvalidInput)
+        << "wrong number of inputs: expected " << ranks_.size()
+        << ", got " << concrete_inputs.size();
     for (size_t i = 0; i < concrete_inputs.size(); ++i)
-        SOD2_CHECK_EQ(concrete_inputs[i].rank(), ranks_[i])
-            << "input '"
+        SOD2_CHECK_CODE(concrete_inputs[i].rank() == ranks_[i],
+                        ErrorCode::kInvalidInput)
+            << "input " << i << " ('"
             << graph_->value(graph_->inputIds()[i]).name
-            << "' rank mismatch: declared rank " << ranks_[i] << ", got "
-            << concrete_inputs[i].toString();
+            << "') rank mismatch: declared rank " << ranks_[i]
+            << ", got " << concrete_inputs[i].toString();
 
     // Extents are non-negative, so -1 marks an unbound slot.
     values->assign(symbols_.size(), -1);
@@ -326,17 +329,20 @@ SymbolBinder::bind(const std::vector<Shape>& concrete_inputs,
         int64_t actual = concrete_inputs[b.input].dim(b.dim);
         switch (b.kind) {
           case DimBinding::Kind::kCheckConst:
-            SOD2_CHECK_EQ(b.expected, actual)
-                << "input '"
+            SOD2_CHECK_CODE(b.expected == actual,
+                            ErrorCode::kBindFailure)
+                << "input " << b.input << " ('"
                 << graph_->value(graph_->inputIds()[b.input]).name
-                << "' dim " << b.dim << " violates declared constant";
+                << "') dim " << b.dim << " violates declared constant: "
+                << "expected " << b.expected << ", got " << actual;
             break;
           case DimBinding::Kind::kSymbol: {
             int64_t& bound = (*values)[b.slot];
             if (bound < 0)
                 bound = actual;
             else
-                SOD2_CHECK_EQ(bound, actual)
+                SOD2_CHECK_CODE(bound == actual,
+                                ErrorCode::kBindFailure)
                     << "symbol '" << symbols_[b.slot]
                     << "' bound inconsistently: " << bound << " vs "
                     << actual;
@@ -352,11 +358,11 @@ SymbolBinder::bind(const std::vector<Shape>& concrete_inputs,
             if (b.kind != DimBinding::Kind::kCompound)
                 continue;
             auto v = b.expr->evaluate(bindings);
-            SOD2_CHECK(v &&
-                       *v == concrete_inputs[b.input].dim(b.dim))
-                << "input '"
+            SOD2_CHECK_CODE(v && *v == concrete_inputs[b.input].dim(b.dim),
+                            ErrorCode::kBindFailure)
+                << "input " << b.input << " ('"
                 << graph_->value(graph_->inputIds()[b.input]).name
-                << "' dim " << b.dim
+                << "') dim " << b.dim
                 << " violates declared expression " << b.expr->toString();
         }
     }

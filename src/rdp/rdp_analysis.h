@@ -180,6 +180,10 @@ class SymbolBinder
         return symbols_;
     }
 
+    /** Declared rank per graph input — the upfront-validation contract
+     *  Sod2Engine checks requests against before binding. */
+    const std::vector<int>& declaredRanks() const { return ranks_; }
+
     /** Hash of (symbol schema, @p values) — the plan-cache key hash.
      *  @p values must come from bind(). */
     uint64_t signatureHash(const std::vector<int64_t>& values) const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/fault_injection.h"
 #include "support/logging.h"
 
 namespace sod2 {
@@ -9,6 +10,20 @@ namespace sod2 {
 size_t
 Arena::reserve(size_t bytes)
 {
+    // Guardrails first, mutation second: a rejected reservation leaves
+    // every member exactly as it was, so the arena (and its context)
+    // stays reusable after the typed failure.
+    if (fault::shouldFail(fault::kArenaAlloc))
+        SOD2_THROW_CODE(ErrorCode::kArenaExhausted)
+            << "injected fault at " << fault::kArenaAlloc
+            << ": arena reservation of " << bytes << " bytes failed"
+            << " (capacity " << capacity_ << ")";
+    if (budget_ > 0 && bytes > budget_)
+        SOD2_THROW_CODE(ErrorCode::kArenaExhausted)
+            << "memory plan requires " << bytes
+            << " arena bytes, exceeding the run budget of " << budget_
+            << " bytes (current capacity " << capacity_ << ")";
+
     if (epoch_calls_++ >= kTrimWindow) {
         prev_epoch_max_ = epoch_max_;
         epoch_max_ = 0;
@@ -41,14 +56,27 @@ Arena::reserve(size_t bytes)
     return 0;
 }
 
+void
+Arena::reset()
+{
+    buffer_.reset();
+    capacity_ = 0;
+    epoch_max_ = 0;
+    prev_epoch_max_ = 0;
+    epoch_calls_ = 0;
+}
+
 Tensor
 Arena::viewAt(size_t offset, DType dtype, const Shape& shape)
 {
     size_t need = static_cast<size_t>(shape.numElements()) *
                   dtypeSize(dtype);
-    SOD2_CHECK_LE(offset + need, capacity_)
+    SOD2_CHECK_CODE(offset + need <= capacity_,
+                    ErrorCode::kArenaExhausted)
         << "arena slot [" << offset << ", " << offset + need
-        << ") exceeds capacity " << capacity_;
+        << ") needs " << need << " bytes past capacity " << capacity_
+        << " (requested " << need << ", available "
+        << (offset < capacity_ ? capacity_ - offset : 0) << ")";
     return Tensor::view(dtype, shape, buffer_.get() + offset);
 }
 

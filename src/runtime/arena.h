@@ -43,11 +43,33 @@ class Arena
      * demand and trimming back to the recent high-water requirement
      * when capacity has become more than kTrimFactor times larger than
      * anything the last window of runs needed.
+     *
+     * Throws a typed ArenaExhausted sod2::Error — leaving the arena's
+     * buffer, capacity, and trim bookkeeping untouched (strong
+     * guarantee) — when @p bytes exceeds the configured budget.
      * @return the number of freshly mapped bytes (0 when the buffer
      *         was reused as-is); both growth and trim remap the whole
      *         buffer, so its previous contents are gone.
      */
     size_t reserve(size_t bytes);
+
+    /**
+     * Caps future reserve() requirements at @p bytes (0 = unlimited).
+     * The budget bounds what a single run may *demand*, so it is
+     * checked against the requested requirement, not current capacity;
+     * a buffer already larger than a newly set budget stays valid.
+     */
+    void setBudget(size_t bytes) { budget_ = bytes; }
+    size_t budget() const { return budget_; }
+
+    /**
+     * Drops the buffer and all high-water state, returning the arena
+     * to freshly constructed shape (trimCount survives). Safe to call
+     * unconditionally, including after a failed reserve()/viewAt() —
+     * the recovery hook for contexts that want to shed a poisoned-
+     * looking footprint after an error.
+     */
+    void reset();
 
     size_t capacity() const { return capacity_; }
 
@@ -62,6 +84,8 @@ class Arena
   private:
     std::unique_ptr<uint8_t[]> buffer_;
     size_t capacity_ = 0;
+    /** Per-run requirement cap enforced by reserve(); 0 = unlimited. */
+    size_t budget_ = 0;
 
     /** Two-epoch high-water tracking: rolling the epoch every
      *  kTrimWindow calls keeps max(epoch, prev epoch) covering at

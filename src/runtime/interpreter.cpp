@@ -1,5 +1,8 @@
 #include "runtime/interpreter.h"
 
+#include <chrono>
+
+#include "support/fault_injection.h"
 #include "support/logging.h"
 #include "support/string_util.h"
 #include "support/trace.h"
@@ -13,14 +16,26 @@ Interpreter::Interpreter(const Graph* graph, InterpreterOptions options)
     if (!options_.allocator)
         options_.allocator = heapAllocator();
     Trace::initFromEnv();
+    fault::initFromEnv();
 }
 
 std::vector<Tensor>
 Interpreter::run(const std::vector<Tensor>& inputs)
 {
     const Graph& g = *graph_;
-    SOD2_CHECK_EQ(inputs.size(), g.inputIds().size())
-        << "wrong number of graph inputs";
+    SOD2_CHECK_CODE(inputs.size() == g.inputIds().size(),
+                    ErrorCode::kInvalidInput)
+        << "wrong number of graph inputs: expected "
+        << g.inputIds().size() << ", got " << inputs.size();
+
+    using Clock = std::chrono::steady_clock;
+    const bool has_deadline = options_.deadlineSeconds > 0.0;
+    const Clock::time_point deadline =
+        has_deadline ? Clock::now() +
+                           std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(
+                                   options_.deadlineSeconds))
+                     : Clock::time_point();
 
     // Interpreter runs have no RunContext, so they trace into the
     // calling thread's lane. Inert when tracing is off.
@@ -39,6 +54,14 @@ Interpreter::run(const std::vector<Tensor>& inputs)
     executed_ = 0;
     for (NodeId n : g.topoOrder()) {
         const Node& node = g.node(n);
+
+        // Cooperative deadline: node boundaries are the interpreter's
+        // analog of the planned executor's group boundaries.
+        if (has_deadline && Clock::now() >= deadline)
+            SOD2_THROW_CODE(ErrorCode::kDeadlineExceeded)
+                << "interpreter run exceeded its deadline of "
+                << options_.deadlineSeconds << " s before node '"
+                << node.name << "'";
 
         // Materialize inputs (constants lazily).
         std::vector<Tensor> ins;
@@ -62,7 +85,8 @@ Interpreter::run(const std::vector<Tensor>& inputs)
             SOD2_CHECK(ins[1].isValid()) << "Switch predicate dead";
             int64_t branches = node.attrs.getInt("num_branches");
             int64_t pred = ins[1].toInt64Vector().at(0);
-            SOD2_CHECK(pred >= 0 && pred < branches)
+            SOD2_CHECK_CODE(pred >= 0 && pred < branches,
+                            ErrorCode::kInvalidInput)
                 << "Switch predicate " << pred << " out of range "
                 << branches;
             outs.assign(branches, Tensor());
@@ -76,10 +100,12 @@ Interpreter::run(const std::vector<Tensor>& inputs)
         } else if (node.op == kCombineOp) {
             SOD2_CHECK(ins[0].isValid()) << "Combine predicate dead";
             int64_t pred = ins[0].toInt64Vector().at(0);
-            SOD2_CHECK_GE(pred, 0);
-            SOD2_CHECK_LT(pred + 1, static_cast<int64_t>(ins.size()));
+            SOD2_CHECK_CODE(pred >= 0 &&
+                                pred + 1 < static_cast<int64_t>(ins.size()),
+                            ErrorCode::kInvalidInput)
+                << "Combine predicate " << pred << " out of range";
             outs = {ins[pred + 1]};
-            SOD2_CHECK(outs[0].isValid())
+            SOD2_CHECK_CODE(outs[0].isValid(), ErrorCode::kInvalidInput)
                 << "Combine selected dead branch " << pred << " at "
                 << node.name;
             ++executed_;

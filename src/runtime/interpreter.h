@@ -38,6 +38,16 @@ struct InterpreterOptions
 
     /** Allocator for intermediates (defaults to owned heap tensors). */
     TensorAllocator allocator;
+
+    /**
+     * Cooperative per-run deadline in wall seconds, measured from
+     * run() entry and checked at every node boundary; 0 disables. An
+     * expired deadline throws a typed DeadlineExceeded sod2::Error,
+     * leaving no interpreter state behind (the interpreter is
+     * stateless between runs). Mirrors Sod2Engine's group-boundary
+     * deadline so the fallback path honors the same budget.
+     */
+    double deadlineSeconds = 0.0;
 };
 
 /** Executes a Graph directly, node by node in topological order. */

@@ -7,6 +7,7 @@
 #include "kernels/reduce.h"
 #include "ops/op_registry.h"
 #include "runtime/interpreter.h"
+#include "support/fault_injection.h"
 #include "support/logging.h"
 #include "support/trace.h"
 
@@ -76,11 +77,12 @@ executeNode(const Graph& graph, const Node& node,
         SOD2_CHECK_GE(inputs.size(), 2u);
         SOD2_CHECK(inputs[0].isValid()) << "Combine predicate not computed";
         int64_t pred = inputs[0].toInt64Vector().at(0);
-        SOD2_CHECK(pred >= 0 &&
-                   pred + 1 < static_cast<int64_t>(inputs.size()))
+        SOD2_CHECK_CODE(pred >= 0 &&
+                            pred + 1 < static_cast<int64_t>(inputs.size()),
+                        ErrorCode::kInvalidInput)
             << "Combine predicate " << pred << " out of range";
         const Tensor& chosen = inputs[pred + 1];
-        SOD2_CHECK(chosen.isValid())
+        SOD2_CHECK_CODE(chosen.isValid(), ErrorCode::kInvalidInput)
             << "Combine selected a dead branch (" << pred << ")";
         return {chosen};
     }
@@ -120,6 +122,16 @@ executeNode(const Graph& graph, const Node& node,
 
     for (const Tensor& t : inputs)
         SOD2_CHECK(t.isValid()) << "dead input to live node " << node.name;
+
+    // Fault site: every real kernel dispatch (control-flow routing above
+    // is excluded — it never runs a kernel). The engine's per-group
+    // error wrapper retags the Error as kKernelFailure with group/step
+    // context; interpreter callers see it directly.
+    if (fault::shouldFail(fault::kKernelDispatch))
+        SOD2_THROW_CODE(ErrorCode::kKernelFailure)
+            << "injected fault at " << fault::kKernelDispatch
+            << ": kernel dispatch for op '" << op << "' (node "
+            << node.name << ") failed";
 
     // Concrete output shapes via the (shared) forward transfer.
     std::vector<Shape> out_shapes = inferConcreteShapes(graph, node, inputs);

@@ -23,6 +23,17 @@ readPositiveInt(const char* name, int fallback)
     return fallback;
 }
 
+long long
+readPositiveInt64(const char* name, long long fallback)
+{
+    if (const char* v = std::getenv(name)) {
+        long long n = std::atoll(v);
+        if (n > 0)
+            return n;
+    }
+    return fallback;
+}
+
 bool
 validatePlans()
 {
@@ -34,6 +45,14 @@ int
 numThreads()
 {
     static const int value = readPositiveInt("SOD2_NUM_THREADS", 0);
+    return value;
+}
+
+size_t
+arenaBudgetBytes()
+{
+    static const size_t value =
+        static_cast<size_t>(readPositiveInt64("SOD2_ARENA_BUDGET", 0));
     return value;
 }
 

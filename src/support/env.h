@@ -53,6 +53,15 @@ bool traceEnabled();
  */
 const std::string& traceFile();
 
+/**
+ * SOD2_ARENA_BUDGET — per-run cap, in bytes, on the planned-arena
+ * requirement; a run whose memory plan needs more fails with a typed
+ * ArenaExhausted error instead of growing without bound. 0 (unset)
+ * means unlimited. RunOptions::arenaBudgetBytes overrides per call.
+ * Cached at first query, once per process.
+ */
+size_t arenaBudgetBytes();
+
 /** Uncached low-level parse: true iff @p name is set to exactly "1". */
 bool readFlag(const char* name);
 
@@ -61,6 +70,10 @@ std::string readString(const char* name);
 
 /** Uncached low-level parse: @p name as a positive int, else @p fallback. */
 int readPositiveInt(const char* name, int fallback);
+
+/** Uncached low-level parse: @p name as a positive 64-bit int, else
+ *  @p fallback (covers byte-sized knobs like SOD2_ARENA_BUDGET). */
+long long readPositiveInt64(const char* name, long long fallback);
 
 }  // namespace env
 }  // namespace sod2

@@ -1,0 +1,114 @@
+#include "support/fault_injection.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "support/env.h"
+#include "support/logging.h"
+
+namespace sod2 {
+namespace fault {
+namespace {
+
+/** One relaxed load gates every site when nothing is armed. */
+std::atomic<bool> g_armed{false};
+std::atomic<uint64_t> g_fires{0};
+
+/** Guards the armed-site state below. */
+std::mutex g_mu;
+std::string g_site;
+uint64_t g_nth = 0;   ///< 1-based hit number that fires
+uint64_t g_hits = 0;  ///< hits on the armed site since arming
+
+}  // namespace
+
+const std::vector<std::string>&
+knownSites()
+{
+    static const std::vector<std::string> sites = {
+        kArenaAlloc, kPlanInstantiate, kKernelDispatch, kCacheInsert};
+    return sites;
+}
+
+bool
+shouldFail(const char* site)
+{
+    if (!g_armed.load(std::memory_order_relaxed))
+        return false;
+    std::lock_guard<std::mutex> lock(g_mu);
+    // Re-check under the lock: another thread may have just fired.
+    if (!g_armed.load(std::memory_order_relaxed) || g_site != site)
+        return false;
+    if (++g_hits != g_nth)
+        return false;
+    // One-shot: the nth hit fires once, then injection disarms so the
+    // very next run of the faulted path succeeds.
+    g_armed.store(false, std::memory_order_relaxed);
+    g_fires.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+void
+arm(const std::string& site, uint64_t nth)
+{
+    const auto& sites = knownSites();
+    bool known = false;
+    for (const std::string& s : sites)
+        known = known || s == site;
+    SOD2_CHECK_CODE(known, ErrorCode::kInvalidInput)
+        << "unknown fault site '" << site
+        << "' (see fault_injection.h for the catalog)";
+    SOD2_CHECK_CODE(nth > 0, ErrorCode::kInvalidInput)
+        << "fault nth is 1-based; 0 never fires";
+    std::lock_guard<std::mutex> lock(g_mu);
+    g_site = site;
+    g_nth = nth;
+    g_hits = 0;
+    g_armed.store(true, std::memory_order_relaxed);
+}
+
+void
+disarm()
+{
+    std::lock_guard<std::mutex> lock(g_mu);
+    g_armed.store(false, std::memory_order_relaxed);
+}
+
+bool
+armed()
+{
+    return g_armed.load(std::memory_order_relaxed);
+}
+
+uint64_t
+fireCount()
+{
+    return g_fires.load(std::memory_order_relaxed);
+}
+
+void
+initFromEnv()
+{
+    static const bool once = [] {
+        std::string spec = env::readString("SOD2_FAULT");
+        if (spec.empty())
+            return true;
+        uint64_t nth = 1;
+        size_t colon = spec.rfind(':');
+        if (colon != std::string::npos) {
+            long long n = std::atoll(spec.c_str() + colon + 1);
+            SOD2_CHECK_CODE(n > 0, ErrorCode::kInvalidInput)
+                << "SOD2_FAULT=" << spec << ": nth must be a positive "
+                << "integer";
+            nth = static_cast<uint64_t>(n);
+            spec.resize(colon);
+        }
+        arm(spec, nth);
+        return true;
+    }();
+    (void)once;
+}
+
+}  // namespace fault
+}  // namespace sod2

@@ -1,0 +1,77 @@
+#ifndef SOD2_SUPPORT_FAULT_INJECTION_H_
+#define SOD2_SUPPORT_FAULT_INJECTION_H_
+
+/**
+ * @file
+ * Deterministic fault injection for the serving path.
+ *
+ * Dynamic models fail per request, not per deploy — so the interesting
+ * failure states (mid-plan, mid-group, mid-cache-insert, under N
+ * concurrent runs) are exactly the ones ordinary tests never reach.
+ * This framework plants named *fault sites* at the runtime's hazard
+ * points; arming a site makes its nth hit report failure, and the code
+ * hosting the site throws its real typed error — the same Error, with
+ * the same ErrorCode and unwind path, a genuine fault would produce.
+ *
+ * Arming is one-shot: the armed site fires exactly once (on its nth
+ * hit since arming) and then disarms itself, so "the faulted request
+ * fails, the next run of the same context is bit-exact" is directly
+ * testable. Tests arm programmatically (arm()/disarm()); processes arm
+ * once at startup via SOD2_FAULT=<site>[:<nth>] (nth defaults to 1),
+ * parsed by initFromEnv().
+ *
+ * Thread-safety: the disarmed fast path is one relaxed atomic load.
+ * Armed-state bookkeeping (site match, hit counting) is mutex-guarded,
+ * so concurrent hits race benignly: exactly one caller observes the
+ * fire. fireCount() is cumulative across re-arms.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sod2 {
+namespace fault {
+
+// --- the fault-site catalog (see DESIGN.md §10) -----------------------
+/** Arena::reserve — growing/remapping a RunContext's arena. */
+inline constexpr const char* kArenaAlloc = "arena.alloc";
+/** Sod2Engine::instantiatePlan — per-signature DMP/MVC plan build. */
+inline constexpr const char* kPlanInstantiate = "plan.instantiate";
+/** executeNode / CompiledGroup::run — operator kernel dispatch. */
+inline constexpr const char* kKernelDispatch = "kernel.dispatch";
+/** PlanCache insert — publishing an instantiated plan to the LRU. */
+inline constexpr const char* kCacheInsert = "cache.insert";
+
+/** All valid site names (arm() rejects anything else). */
+const std::vector<std::string>& knownSites();
+
+/**
+ * True exactly when @p site is the armed site and this call is its
+ * nth hit since arming; the site auto-disarms on fire. The caller
+ * must react by throwing its typed error. Near-free when disarmed.
+ */
+bool shouldFail(const char* site);
+
+/** Arms @p site to fail on its @p nth future hit (1-based). Replaces
+ *  any previous arming. Throws kInvalidInput on an unknown site or
+ *  nth == 0. */
+void arm(const std::string& site, uint64_t nth = 1);
+
+/** Cancels any pending arming (idempotent). */
+void disarm();
+
+/** True while a site is armed and has not fired yet. */
+bool armed();
+
+/** Total fires since process start (across re-arms). */
+uint64_t fireCount();
+
+/** Parses SOD2_FAULT=<site>[:<nth>] once per process and arms it.
+ *  Subsequent calls are no-ops; unset leaves injection disarmed. */
+void initFromEnv();
+
+}  // namespace fault
+}  // namespace sod2
+
+#endif  // SOD2_SUPPORT_FAULT_INJECTION_H_

@@ -36,7 +36,9 @@ LogMessage::~LogMessage()
     Logger::instance().log(level_, stream_.str());
 }
 
-ThrowMessage::ThrowMessage(const char* file, int line, const char* cond)
+ThrowMessage::ThrowMessage(const char* file, int line, const char* cond,
+                           ErrorCode code)
+    : code_(code)
 {
     stream_ << file << ":" << line << ": ";
     if (cond)
@@ -45,7 +47,7 @@ ThrowMessage::ThrowMessage(const char* file, int line, const char* cond)
 
 ThrowMessage::~ThrowMessage() noexcept(false)
 {
-    throw Error(stream_.str());
+    throw Error(stream_.str(), code_);
 }
 
 }  // namespace detail

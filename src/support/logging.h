@@ -16,13 +16,28 @@
 #include <stdexcept>
 #include <string>
 
+#include "support/status.h"
+
 namespace sod2 {
 
-/** Exception type thrown on all SoD2 error paths. */
+/**
+ * Exception type thrown on all SoD2 error paths. Carries an ErrorCode
+ * (support/status.h) so serving layers can classify failures without
+ * parsing messages; plain SOD2_CHECK/SOD2_THROW sites default to
+ * kInternal, guardrail sites use SOD2_CHECK_CODE/SOD2_THROW_CODE.
+ */
 class Error : public std::runtime_error
 {
   public:
-    explicit Error(const std::string& msg) : std::runtime_error(msg) {}
+    explicit Error(const std::string& msg,
+                   ErrorCode code = ErrorCode::kInternal)
+        : std::runtime_error(msg), code_(code)
+    {}
+
+    ErrorCode code() const { return code_; }
+
+  private:
+    ErrorCode code_;
 };
 
 /** Severity levels accepted by the Logger. */
@@ -90,7 +105,8 @@ class LogMessage
 class ThrowMessage
 {
   public:
-    ThrowMessage(const char* file, int line, const char* cond);
+    ThrowMessage(const char* file, int line, const char* cond,
+                 ErrorCode code = ErrorCode::kInternal);
     [[noreturn]] ~ThrowMessage() noexcept(false);
 
     template <typename T>
@@ -103,6 +119,7 @@ class ThrowMessage
 
   private:
     std::ostringstream stream_;
+    ErrorCode code_;
 };
 
 }  // namespace detail
@@ -114,11 +131,22 @@ class ThrowMessage
 /** Unconditional error: SOD2_THROW << "message"; */
 #define SOD2_THROW ::sod2::detail::ThrowMessage(__FILE__, __LINE__, nullptr)
 
+/** Unconditional typed error: SOD2_THROW_CODE(code) << "message"; */
+#define SOD2_THROW_CODE(code) \
+    ::sod2::detail::ThrowMessage(__FILE__, __LINE__, nullptr, code)
+
 /** Invariant check: throws sod2::Error with context when @p cond is false. */
 #define SOD2_CHECK(cond)                                              \
     if (cond) {                                                       \
     } else                                                            \
         ::sod2::detail::ThrowMessage(__FILE__, __LINE__, #cond)
+
+/** Typed guardrail check: like SOD2_CHECK but tags the Error with
+ *  @p code so callers can classify the failure (support/status.h). */
+#define SOD2_CHECK_CODE(cond, code)                                   \
+    if (cond) {                                                       \
+    } else                                                            \
+        ::sod2::detail::ThrowMessage(__FILE__, __LINE__, #cond, code)
 
 #define SOD2_CHECK_EQ(a, b) \
     SOD2_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "

@@ -1,0 +1,27 @@
+#include "support/status.h"
+
+namespace sod2 {
+
+const char*
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::kOk:
+        return "ok";
+      case ErrorCode::kInvalidInput:
+        return "invalid_input";
+      case ErrorCode::kBindFailure:
+        return "bind_failure";
+      case ErrorCode::kArenaExhausted:
+        return "arena_exhausted";
+      case ErrorCode::kKernelFailure:
+        return "kernel_failure";
+      case ErrorCode::kDeadlineExceeded:
+        return "deadline_exceeded";
+      case ErrorCode::kInternal:
+        return "internal";
+    }
+    return "internal";
+}
+
+}  // namespace sod2

@@ -1,0 +1,47 @@
+#ifndef SOD2_SUPPORT_STATUS_H_
+#define SOD2_SUPPORT_STATUS_H_
+
+/**
+ * @file
+ * Typed error taxonomy for the serving path.
+ *
+ * Dynamic models make failure input-dependent: an unbindable symbolic
+ * dimension, a plan that outgrows the memory budget, or a dead-branch
+ * selection can only be discovered mid-run, per request. A serving
+ * layer has to tell those apart — "reject this request" (InvalidInput),
+ * "shed load / shrink the batch" (ArenaExhausted, DeadlineExceeded) and
+ * "page someone" (Internal) demand different reactions — so every
+ * sod2::Error carries one of these codes, and Sod2Engine::tryRun
+ * surfaces them without unwinding through the caller.
+ */
+
+namespace sod2 {
+
+/** Classification of one failed operation (carried by sod2::Error). */
+enum class ErrorCode {
+    kOk = 0,
+    /** The request itself is malformed: wrong input arity, dtype, or
+     *  rank against the compiled graph signature, or input data drove
+     *  control flow out of its legal domain (dead-branch selection). */
+    kInvalidInput,
+    /** Input shapes are well-formed but violate the compiled symbolic
+     *  signature: a symbol bound to two extents, a declared constant or
+     *  compound-expression dimension that does not hold. */
+    kBindFailure,
+    /** The run's memory plan exceeds the arena budget, or an arena
+     *  slot does not fit the reserved capacity. */
+    kArenaExhausted,
+    /** An operator kernel failed while executing the graph. */
+    kKernelFailure,
+    /** The cooperative per-run deadline expired at a group boundary. */
+    kDeadlineExceeded,
+    /** Broken invariant inside the engine — a bug, not bad input. */
+    kInternal,
+};
+
+/** Stable lowercase name ("invalid_input", "arena_exhausted", ...). */
+const char* errorCodeName(ErrorCode code);
+
+}  // namespace sod2
+
+#endif  // SOD2_SUPPORT_STATUS_H_

@@ -6,13 +6,17 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "baselines/mnn_like.h"
 #include "baselines/ort_like.h"
 #include "baselines/tvm_nimble_like.h"
 #include "graph/builder.h"
 #include "core/sod2_engine.h"
+#include "models/model_zoo.h"
 #include "runtime/interpreter.h"
 #include "support/logging.h"
+#include "support/status.h"
 
 namespace sod2 {
 namespace {
@@ -145,6 +149,96 @@ TEST_P(FuzzTest, AllEnginesAgreeOnRandomGraphs)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(0, 24));
+
+// --- malformed-input robustness across the model zoo ------------------
+
+/** Byte-exact copy of a run's outputs (they may alias the context
+ *  arena, which that context's next run remaps). */
+std::vector<std::vector<uint8_t>>
+snapshot(const std::vector<Tensor>& outputs)
+{
+    std::vector<std::vector<uint8_t>> bytes;
+    bytes.reserve(outputs.size());
+    for (const Tensor& t : outputs) {
+        const uint8_t* p = static_cast<const uint8_t*>(t.raw());
+        bytes.emplace_back(p, p + t.byteSize());
+    }
+    return bytes;
+}
+
+class MalformedInputZooTest : public ::testing::TestWithParam<std::string>
+{};
+
+/** Every malformed request is rejected upfront with a typed
+ *  InvalidInput, and the known-good run that follows on the *same*
+ *  RunContext is bit-exact with a fresh context — for every model in
+ *  the zoo. */
+TEST_P(MalformedInputZooTest, TypedRejectionThenBitExactContextReuse)
+{
+    Rng build_rng(1234);
+    ModelSpec spec = buildModel(GetParam(), build_rng);
+    Sod2Options opts;
+    opts.rdp = spec.rdp;
+    Sod2Engine engine(spec.graph.get(), opts);
+
+    Rng rng(7);
+    auto inputs = spec.sample(rng, spec.legalizeSize(spec.minSize));
+    RunContext ctx;
+    auto want = snapshot(engine.run(ctx, inputs));
+
+    std::vector<std::vector<Tensor>> malformed;
+    malformed.push_back({});  // no inputs at all
+    {
+        auto bad = inputs;    // one input too many
+        bad.push_back(inputs[0]);
+        malformed.push_back(std::move(bad));
+    }
+    {
+        auto bad = inputs;    // empty tensor in slot 0
+        bad[0] = Tensor();
+        malformed.push_back(std::move(bad));
+    }
+    {
+        auto bad = inputs;    // wrong dtype in slot 0
+        DType flipped = bad[0].dtype() == DType::kFloat32
+                            ? DType::kInt64
+                            : DType::kFloat32;
+        bad[0] = Tensor::full(flipped, bad[0].shape(), 0);
+        malformed.push_back(std::move(bad));
+    }
+    {
+        auto bad = inputs;    // wrong rank in slot 0
+        std::vector<int64_t> dims = bad[0].shape().dims();
+        dims.push_back(1);
+        bad[0] = Tensor::full(bad[0].dtype(), Shape(dims), 0);
+        malformed.push_back(std::move(bad));
+    }
+
+    for (size_t c = 0; c < malformed.size(); ++c) {
+        RunResult r = engine.tryRun(ctx, malformed[c]);
+        ASSERT_FALSE(r.ok()) << spec.name << " case " << c;
+        EXPECT_EQ(r.code, ErrorCode::kInvalidInput)
+            << spec.name << " case " << c << ": " << r.message;
+        // Known-good run on the just-failed context: bit-exact with a
+        // context that never saw the malformed request.
+        RunContext fresh;
+        auto got = snapshot(engine.run(ctx, inputs));
+        EXPECT_EQ(got, snapshot(engine.run(fresh, inputs)))
+            << spec.name << " case " << c;
+        EXPECT_EQ(got, want) << spec.name << " case " << c;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, MalformedInputZooTest,
+    ::testing::ValuesIn(allModelNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+        std::string name = info.param;
+        for (char& c : name)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
 
 TEST(LoopOp, CountedAccumulation)
 {

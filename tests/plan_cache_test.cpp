@@ -6,8 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <barrier>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
+#include <thread>
 #include <vector>
 
 #include "core/plan_cache.h"
@@ -15,6 +19,8 @@
 #include "graph/builder.h"
 #include "models/model_zoo.h"
 #include "runtime/interpreter.h"
+#include "support/fault_injection.h"
+#include "support/logging.h"
 
 namespace sod2 {
 namespace {
@@ -404,6 +410,143 @@ TEST(BindingSignatureTest, CanonicalAndHashable)
     auto empty = canonicalBindingSignature({});
     EXPECT_NE(empty, a);
     EXPECT_EQ(empty.toString(), "{}");
+}
+
+// --- leader failure under injected faults -----------------------------
+
+/** Every test leaves fault injection disarmed, pass or fail. */
+class PlanCacheFaults : public ::testing::Test
+{
+  protected:
+    void TearDown() override { fault::disarm(); }
+};
+
+TEST_F(PlanCacheFaults, InsertFaultFailsLeaderLeavesCacheClean)
+{
+    PlanCache cache(2);
+    fault::arm(fault::kCacheInsert);
+    bool instantiated = false;
+    try {
+        cache.findOrInstantiate(
+            1, {1}, [] { return std::make_shared<const PlanInstance>(); },
+            &instantiated);
+        FAIL() << "unreachable";
+    } catch (const Error& e) {
+        EXPECT_EQ(e.code(), ErrorCode::kInternal);
+        EXPECT_NE(std::string(e.what()).find(fault::kCacheInsert),
+                  std::string::npos);
+    }
+    // The plan itself was built; only publishing it to the LRU failed,
+    // and a failed insert mutates nothing.
+    EXPECT_TRUE(instantiated);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_FALSE(fault::armed());
+
+    // The signature is not wedged: the next miss instantiates and
+    // caches normally.
+    auto plan = cache.findOrInstantiate(
+        1, {1}, [] { return std::make_shared<const PlanInstance>(); },
+        &instantiated);
+    EXPECT_NE(plan, nullptr);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST_F(PlanCacheFaults, InsertFaultStillPublishesPlanToWaiters)
+{
+    PlanCache cache(4);
+    fault::arm(fault::kCacheInsert);
+    constexpr int kThreads = 8;
+    std::atomic<int> failures{0};
+    std::atomic<int> wrong_code{0};
+    std::atomic<int> instantiations{0};
+    std::vector<std::shared_ptr<const PlanInstance>> got(kThreads);
+    std::barrier sync(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            sync.arrive_and_wait();
+            try {
+                got[t] = cache.findOrInstantiate(42, {7}, [&] {
+                    instantiations.fetch_add(1);
+                    // Hold the flight open so the other threads join.
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(50));
+                    return std::make_shared<const PlanInstance>();
+                });
+            } catch (const Error& e) {
+                failures.fetch_add(1);
+                if (e.code() != ErrorCode::kInternal)
+                    wrong_code.fetch_add(1);
+            }
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+
+    // Exactly the leader failed (typed); the plan is still valid, so
+    // all 7 waiters were served the one shared instance.
+    EXPECT_EQ(failures.load(), 1);
+    EXPECT_EQ(wrong_code.load(), 0);
+    EXPECT_EQ(instantiations.load(), 1);
+    int served = 0;
+    std::shared_ptr<const PlanInstance> shared;
+    for (const auto& p : got)
+        if (p) {
+            ++served;
+            if (!shared)
+                shared = p;
+            EXPECT_EQ(p, shared);
+        }
+    EXPECT_EQ(served, kThreads - 1);
+    // No poisoned entry: the failed insert left the cache untouched.
+    EXPECT_EQ(cache.size(), 0u);
+    auto plan = cache.findOrInstantiate(42, {7}, [] {
+        return std::make_shared<const PlanInstance>();
+    });
+    EXPECT_NE(plan, nullptr);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST_F(PlanCacheFaults, DirectInsertFaultIsTypedAndClean)
+{
+    PlanCache cache(2);
+    cache.insert(canonicalBindingSignature({{"s", 1}}).hash, {1},
+                 std::make_shared<PlanInstance>());
+    fault::arm(fault::kCacheInsert);
+    EXPECT_THROW(
+        cache.insert(canonicalBindingSignature({{"s", 2}}).hash, {2},
+                     std::make_shared<PlanInstance>()),
+        Error);
+    // The resident entry and the LRU stayed intact.
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_NE(cache.find(canonicalBindingSignature({{"s", 1}}).hash, {1}),
+              nullptr);
+}
+
+TEST_F(PlanCacheFaults, InstantiateFaultDoesNotWedgeSignature)
+{
+    TestModel m = TestModel::cnn();
+    Sod2Options opts;
+    opts.rdp = m.rdp;
+    Sod2Engine engine(&m.graph, opts);
+
+    fault::arm(fault::kPlanInstantiate);
+    RunContext ctx;
+    std::vector<Tensor> in = {cnnInput(1, 8, 8, 91)};
+    RunResult r = engine.tryRun(ctx, in);
+    EXPECT_EQ(r.code, ErrorCode::kInternal);
+    EXPECT_EQ(engine.planCache()->size(), 0u);
+
+    // The same context and signature recover on the very next run, and
+    // the rebuilt plan caches normally.
+    RunStats stats;
+    auto got = engine.run(ctx, in, &stats);
+    EXPECT_FALSE(stats.planCacheHit);
+    RunContext fresh;
+    EXPECT_EQ(snapshot(got), snapshot(engine.run(fresh, in)));
+    engine.run(ctx, in, &stats);
+    EXPECT_TRUE(stats.planCacheHit);
 }
 
 /** Cached and uncached engines must produce bit-identical outputs on
