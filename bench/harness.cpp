@@ -180,5 +180,30 @@ geoMean(const std::vector<double>& values)
     return std::exp(log_sum / static_cast<double>(used));
 }
 
+SampleStats::SampleStats(std::vector<double> samples)
+    : sorted_(std::move(samples))
+{
+    if (sorted_.empty())
+        SOD2_THROW << "SampleStats over an empty sample set";
+    std::sort(sorted_.begin(), sorted_.end());
+    double total = 0;
+    for (double v : sorted_)
+        total += v;
+    mean_ = total / static_cast<double>(sorted_.size());
+}
+
+double
+SampleStats::percentile(double q) const
+{
+    SOD2_CHECK(q >= 0.0 && q <= 1.0)
+        << "percentile wants a quantile in [0,1], got " << q;
+    // Nearest-rank on the pre-sorted copy: ceil(q*N)-th smallest.
+    size_t n = sorted_.size();
+    size_t rank = static_cast<size_t>(std::ceil(q * static_cast<double>(n)));
+    if (rank == 0)
+        rank = 1;
+    return sorted_[rank - 1];
+}
+
 }  // namespace bench
 }  // namespace sod2

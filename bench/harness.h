@@ -82,6 +82,31 @@ std::string fmtMb(double bytes);
  */
 double geoMean(const std::vector<double>& values);
 
+/**
+ * Exact order statistics over one latency sample set. The constructor
+ * sorts a private copy once; every percentile() afterwards is a plain
+ * index into it — callers taking p50/p95/p99 off one run must not pay
+ * (or drift across) three separate sorts. Throws on an empty input,
+ * like geoMean — an empty sample set is a harness bug, not a zero.
+ */
+class SampleStats
+{
+  public:
+    explicit SampleStats(std::vector<double> samples);
+
+    /** Exact @p q-quantile (0 <= q <= 1, nearest-rank). */
+    double percentile(double q) const;
+
+    double min() const { return sorted_.front(); }
+    double max() const { return sorted_.back(); }
+    double mean() const { return mean_; }
+    size_t count() const { return sorted_.size(); }
+
+  private:
+    std::vector<double> sorted_;
+    double mean_ = 0;
+};
+
 }  // namespace bench
 }  // namespace sod2
 

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Serving-scheduler gate: runs the serving-labeled suite (admission
+# control and typed shedding, deadline-aware dispatch, shape-affinity
+# routing, drain/shutdown semantics) two ways, then the load bench —
+#   1. the default build: full serving suite including the 8-thread
+#      mixed-signature storm (bit-exact vs direct engine runs);
+#   2. the tsan preset: the dispatcher/worker handoff, the RunContext
+#      last-plan memo, and the shared PlanCache must stay race-free;
+#   3. the serving_load bench, whose exit code enforces three gates:
+#      every served output bit-exact vs the serial reference,
+#      shape-affinity context hits strictly above round-robin's on
+#      every multi-signature model, and every shed/failed request
+#      carrying a typed ErrorCode plus a non-empty message.
+#
+# Usage: scripts/check_serving.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== serving suite (default build) =="
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$(nproc)"
+ctest --test-dir build -L serving --output-on-failure "$@"
+
+echo "== serving suite (tsan preset) =="
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j "$(nproc)"
+ctest --test-dir build-tsan -L serving --output-on-failure "$@"
+
+echo "== serving load bench (affinity + shed-typing gates) =="
+./build/bench/serving_load
+
+echo "check_serving: all green"

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Builds the ThreadSanitizer tree and runs the concurrency-,
-# observability-, and faults-labeled tests under it. This is the
-# race-regression gate for the shared Sod2Engine serving path: any
-# data race reintroduced in run(), PlanCache, Logger, the
+# observability-, faults-, and serving-labeled tests under it. This is
+# the race-regression gate for the shared Sod2Engine serving path: any
+# data race reintroduced in run(), PlanCache, the RunContext last-plan
+# memo, Sod2Server's dispatcher/worker handoff, Logger, the
 # tracer/metrics layer, the fault-injection sites, or the
 # registry/env/alloc-stats singletons fails here even if the
 # uninstrumented tests still pass by luck.
@@ -13,5 +14,5 @@ cd "$(dirname "$0")/.."
 
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)"
-ctest --test-dir build-tsan -L 'concurrency|observability|faults' \
+ctest --test-dir build-tsan -L 'concurrency|observability|faults|serving' \
       --output-on-failure "$@"

@@ -19,6 +19,7 @@ PlanCache::PlanCache(size_t capacity) : capacity_(capacity)
     metric_misses_ = &metrics.counter("plan_cache.misses");
     metric_evictions_ = &metrics.counter("plan_cache.evictions");
     metric_coalesced_ = &metrics.counter("plan_cache.coalesced");
+    metric_context_hits_ = &metrics.counter("plan_cache.context_hits");
 }
 
 std::vector<PlanCache::EntryIter>::iterator
@@ -224,14 +225,18 @@ PlanCache::find(uint64_t hash, const std::vector<int64_t>& values)
 PlanCache::Counters
 PlanCache::counters() const
 {
-    // All increments happen while mu_ is held (lookup, flight join,
-    // eviction), so this lock yields a cross-counter-consistent view.
+    // Shared-lookup increments happen while mu_ is held (lookup,
+    // flight join, eviction), so this lock yields a cross-counter-
+    // consistent view of those; context-memo hits land lock-free (see
+    // noteContextHit) and may be mid-increment, which only ever makes
+    // hits/contextHits momentarily under-read together.
     std::lock_guard<std::mutex> lock(mu_);
     Counters c;
     c.hits = hits_.load(std::memory_order_relaxed);
     c.misses = misses_.load(std::memory_order_relaxed);
     c.evictions = evictions_.load(std::memory_order_relaxed);
     c.coalesced = coalesced_.load(std::memory_order_relaxed);
+    c.contextHits = context_hits_.load(std::memory_order_relaxed);
     return c;
 }
 

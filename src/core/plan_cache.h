@@ -112,6 +112,25 @@ class PlanCache
     void insert(uint64_t hash, std::vector<int64_t> values,
                 std::shared_ptr<const PlanInstance> plan);
 
+    /**
+     * Records that a run reused its RunContext's last-plan memo — the
+     * lock-free warm path in front of this cache — instead of taking
+     * the shared lookup. Counted as one hit (the run did reuse a
+     * cached plan) plus one contextHits, so hit totals stay comparable
+     * with and without the memo while contextHits isolates how often
+     * shape-affinity kept a worker on its warm plan. These two
+     * increments are relaxed and happen outside mu_ (taking the lock
+     * would defeat the memo's purpose).
+     */
+    void
+    noteContextHit()
+    {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        context_hits_.fetch_add(1, std::memory_order_relaxed);
+        metric_hits_->add();
+        metric_context_hits_->add();
+    }
+
     size_t size() const;
     size_t capacity() const { return capacity_; }
 
@@ -129,6 +148,12 @@ class PlanCache
         size_t misses = 0;
         size_t evictions = 0;
         size_t coalesced = 0;
+        /** Subset of hits served by a RunContext's last-plan memo
+         *  without touching the shared cache (see noteContextHit;
+         *  incremented outside the cache mutex, so only hits -
+         *  contextHits + misses + coalesced is exactly partitioned by
+         *  the lock at snapshot time). */
+        size_t contextHits = 0;
     };
     Counters counters() const;
 
@@ -150,6 +175,11 @@ class PlanCache
     size_t coalesced() const
     {
         return coalesced_.load(std::memory_order_relaxed);
+    }
+    /** Hits served by a context's last-plan memo (subset of hits()). */
+    size_t contextHits() const
+    {
+        return context_hits_.load(std::memory_order_relaxed);
     }
 
   private:
@@ -197,12 +227,14 @@ class PlanCache
     std::atomic<size_t> misses_{0};
     std::atomic<size_t> evictions_{0};
     std::atomic<size_t> coalesced_{0};
+    std::atomic<size_t> context_hits_{0};
 
     /** Process-wide metric mirrors ("plan_cache.*", support/metrics). */
     Counter* metric_hits_;
     Counter* metric_misses_;
     Counter* metric_evictions_;
     Counter* metric_coalesced_;
+    Counter* metric_context_hits_;
 };
 
 }  // namespace sod2

@@ -21,6 +21,7 @@
  */
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "memory/pool_allocator.h"
@@ -31,6 +32,7 @@
 namespace sod2 {
 
 class Sod2Engine;
+struct PlanInstance;
 
 /** Per-request mutable execution state; see file comment. */
 class RunContext
@@ -70,6 +72,19 @@ class RunContext
     /** Value-indexed env template pre-seeded with the engine's folded
      *  constants; each run starts from a copy. */
     std::vector<Tensor> folded_env_;
+    /**
+     * Last-plan memo — the serving scheduler's warm path. When the
+     * next run's canonical binding vector matches, the engine reuses
+     * this plan without touching the shared PlanCache (no mutex, no
+     * LRU bump), which is what makes shape-affinity dispatch pay:
+     * routing same-signature requests to the same worker keeps its
+     * context's memo hot. The shared_ptr keeps the plan valid even
+     * after the cache evicts the entry (plans are immutable and keyed
+     * by signature, so reuse stays correct). Cleared on rebind.
+     */
+    std::shared_ptr<const PlanInstance> last_plan_;
+    uint64_t last_plan_hash_ = 0;
+    std::vector<int64_t> last_plan_values_;
     /** Per-context trace lane (inert unless tracing is enabled). */
     TraceBuffer trace_;
 };

@@ -234,6 +234,28 @@ class Sod2Engine
                      RunStats* stats = nullptr,
                      const RunOptions& opts = {});
 
+    /**
+     * Canonical shape-signature of @p inputs — the plan-cache key the
+     * serving scheduler routes on (shape-affinity dispatch). Validates
+     * like run() (typed InvalidInput / BindFailure on a malformed
+     * request, making this the server's admission check) and returns
+     * the signature hash; when @p values is non-null the canonical
+     * binding vector is also written there (reusing its capacity).
+     * Thread-safe: touches only compiled state.
+     */
+    uint64_t signatureFor(const std::vector<Tensor>& inputs,
+                          std::vector<int64_t>* values = nullptr) const;
+
+    /**
+     * Pre-instantiates (and caches) the plan for @p inputs' shape
+     * signature without executing anything — server startup calls this
+     * so the first real request of a known signature is already a
+     * plan-cache hit. Validates like run(). Returns true when a plan
+     * is now resident for the signature, false when the cache is
+     * disabled (nothing to warm). Safe to call concurrently.
+     */
+    bool warmup(const std::vector<Tensor>& inputs) const;
+
     // --- introspection (used by the breakdown benchmarks) ---------------
     const RdpResult& rdp() const { return *rdp_; }
     const FusionPlan& fusionPlan() const { return fusion_; }
@@ -259,6 +281,11 @@ class Sod2Engine
      *  the plan cache memoizes. */
     std::shared_ptr<const PlanInstance>
     instantiatePlan(const std::map<std::string, int64_t>& bindings) const;
+    /** Binds @p inputs' shapes into @p values and returns the
+     *  signature hash — the shared core of run() and signatureFor()
+     *  (no input validation; callers do that first). */
+    uint64_t bindSignature(const std::vector<Tensor>& inputs,
+                           std::vector<int64_t>* values) const;
     /** (Re)binds @p ctx to this engine: seeds the folded-constant env
      *  template and the fallback pool. */
     void bindContext(RunContext& ctx) const;

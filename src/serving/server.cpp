@@ -1,0 +1,429 @@
+#include "serving/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/env.h"
+#include "support/logging.h"
+#include "support/string_util.h"
+
+namespace sod2 {
+namespace serving {
+
+namespace {
+
+constexpr int kDefaultWorkers = 4;
+constexpr size_t kDefaultQueueDepth = 64;
+
+int
+resolveWorkers(int requested)
+{
+    if (requested > 0)
+        return requested;
+    int from_env = env::serverWorkers();
+    return from_env > 0 ? from_env : kDefaultWorkers;
+}
+
+size_t
+resolveQueueDepth(size_t requested)
+{
+    if (requested > 0)
+        return requested;
+    size_t from_env = env::serverQueueDepth();
+    return from_env > 0 ? from_env : kDefaultQueueDepth;
+}
+
+size_t
+payloadBytes(const std::vector<Tensor>& inputs)
+{
+    size_t total = 0;
+    for (const Tensor& t : inputs)
+        total += t.byteSize();
+    return total;
+}
+
+double
+secondsUntil(std::chrono::steady_clock::time_point deadline,
+             std::chrono::steady_clock::time_point now)
+{
+    return std::chrono::duration<double>(deadline - now).count();
+}
+
+}  // namespace
+
+Sod2Server::Sod2Server(const Sod2Engine* engine, ServerOptions options)
+    : engine_(engine),
+      options_(options),
+      queue_depth_cap_(resolveQueueDepth(options.queueDepth)),
+      policy_(options.affinity,
+              static_cast<size_t>(resolveWorkers(options.workers)))
+{
+    SOD2_CHECK(engine != nullptr) << "Sod2Server needs a compiled engine";
+    MetricsRegistry& metrics = MetricsRegistry::instance();
+    metric_admitted_ = &metrics.counter("server.admitted");
+    metric_shed_ = &metrics.counter("server.shed");
+    metric_expired_ = &metrics.counter("server.expired");
+    metric_completed_ = &metrics.counter("server.completed");
+    metric_queue_depth_ = &metrics.gauge("server.queue_depth");
+    metric_inflight_ = &metrics.gauge("server.inflight");
+
+    int workers = resolveWorkers(options.workers);
+    workers_.reserve(static_cast<size_t>(workers));
+    for (int i = 0; i < workers; ++i)
+        workers_.push_back(std::make_unique<Worker>());
+    if (!options_.startPaused)
+        start();
+}
+
+Sod2Server::~Sod2Server()
+{
+    shutdown(/*drain_pending=*/true);
+}
+
+void
+Sod2Server::start()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_ || stopped_)
+        return;
+    started_ = true;
+    for (size_t i = 0; i < workers_.size(); ++i)
+        workers_[i]->thread =
+            std::thread([this, i] { workerLoop(i); });
+}
+
+std::vector<size_t>
+Sod2Server::workerLoads() const
+{
+    // Queue depths plus a half-open view of inflight work would need
+    // per-worker inflight flags; queue depth alone is the load signal
+    // (an executing worker's queue drains one slower, which the next
+    // pick observes).
+    std::vector<size_t> loads;
+    loads.reserve(workers_.size());
+    for (const auto& w : workers_)
+        loads.push_back(w->queue.depth());
+    return loads;
+}
+
+size_t
+Sod2Server::workerFor(uint64_t signature)
+{
+    return policy_.pick(signature,
+                        policy_.mode() == AffinityMode::kLeastLoaded
+                            ? workerLoads()
+                            : std::vector<size_t>());
+}
+
+void
+Sod2Server::failPending(Pending& p, ErrorCode code,
+                        const std::string& message)
+{
+    RunResult r;
+    r.code = code;
+    r.message = message;
+    p.promise.set_value(std::move(r));
+}
+
+std::future<RunResult>
+Sod2Server::submit(Request request)
+{
+    std::promise<RunResult> promise;
+    std::future<RunResult> future = promise.get_future();
+
+    auto shed = [&](ErrorCode code, const std::string& msg) {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++counts_.submitted;
+            ++counts_.shed;
+        }
+        metric_shed_->add();
+        RunResult r;
+        r.code = code;
+        r.message = msg;
+        promise.set_value(std::move(r));
+    };
+
+    // Admission check 1: is the server taking requests at all?
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!accepting_) {
+            ++counts_.submitted;
+            ++counts_.shed;
+            metric_shed_->add();
+            RunResult r;
+            r.code = ErrorCode::kShutdown;
+            r.message = "server is shut down";
+            promise.set_value(std::move(r));
+            return future;
+        }
+    }
+
+    // Admission check 2: request validation — reuses the engine's
+    // typed upfront checks (arity/dtype/rank/binding) and yields the
+    // shape signature the dispatch routes on.
+    uint64_t signature = 0;
+    try {
+        signature = engine_->signatureFor(request.inputs);
+    } catch (const Error& e) {
+        shed(e.code(), e.what());
+        return future;
+    }
+
+    Pending pending;
+    pending.signature = signature;
+    pending.priority = request.priority;
+    pending.bytes = payloadBytes(request.inputs);
+    pending.runOptions = options_.defaultRunOptions;
+    if (request.arenaBudgetBytes > 0)
+        pending.runOptions.arenaBudgetBytes = request.arenaBudgetBytes;
+    if (request.fallbackOnError)
+        pending.runOptions.fallbackOnError = true;
+    if (request.deadlineSeconds > 0.0)
+        pending.deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(request.deadlineSeconds));
+    pending.inputs = std::move(request.inputs);
+    pending.promise = std::move(promise);
+
+    // Admission check 3: depth and bytes budgets, reserved atomically
+    // so concurrent submits cannot jointly overflow. The bytes budget
+    // is waived for a request arriving at an empty queue ("admit when
+    // alone"): one oversized-but-legal request must stay servable.
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counts_.submitted;
+        if (queued_count_ >= queue_depth_cap_) {
+            ++counts_.shed;
+            metric_shed_->add();
+            failPending(pending, ErrorCode::kQueueFull,
+                        strFormat("admission queue full (%zu queued, "
+                                  "depth cap %zu)",
+                                  queued_count_, queue_depth_cap_));
+            return future;
+        }
+        if (options_.queueBytesBudget > 0 && queued_count_ > 0 &&
+            queued_bytes_ + pending.bytes > options_.queueBytesBudget) {
+            ++counts_.shed;
+            metric_shed_->add();
+            failPending(pending, ErrorCode::kQueueFull,
+                        strFormat("admission bytes budget exceeded "
+                                  "(%zu queued + %zu request > %zu budget)",
+                                  queued_bytes_, pending.bytes,
+                                  options_.queueBytesBudget));
+            return future;
+        }
+        ++queued_count_;
+        queued_bytes_ += pending.bytes;
+        ++counts_.admitted;
+        pending.seq = next_seq_++;
+    }
+    metric_admitted_->add();
+    metric_queue_depth_->add(1);
+
+    size_t target = workerFor(pending.signature);
+    if (!workers_[target]->queue.push(std::move(pending))) {
+        // Raced with shutdown: the queue closed between admission and
+        // push. Reverse the admission and shed typed.
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --queued_count_;
+            queued_bytes_ -= pending.bytes;
+            --counts_.admitted;
+            ++counts_.shed;
+        }
+        metric_queue_depth_->add(-1);
+        metric_shed_->add();
+        failPending(pending, ErrorCode::kShutdown,
+                    "server shut down before dispatch");
+        idle_cv_.notify_all();
+    }
+    return future;
+}
+
+RunResult
+Sod2Server::run(Request request)
+{
+    return submit(std::move(request)).get();
+}
+
+bool
+Sod2Server::warmup(const std::vector<Tensor>& inputs)
+{
+    // Pin the affinity assignment first so the warmed plan and the
+    // routed worker agree from request one.
+    workerFor(engine_->signatureFor(inputs));
+    return engine_->warmup(inputs);
+}
+
+void
+Sod2Server::workerLoop(size_t index)
+{
+    Worker& worker = *workers_[index];
+    worker.ctx.traceBuffer().setLaneName(
+        strFormat("server-worker-%zu", index));
+    Pending p;
+    while (worker.queue.pop(&p)) {
+        // A dequeued request counts as inflight until its promise is
+        // resolved (including the expired-shed path) so drain() cannot
+        // observe queued==0 && inflight==0 with a future still pending.
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --queued_count_;
+            queued_bytes_ -= p.bytes;
+            ++inflight_;
+        }
+        metric_queue_depth_->add(-1);
+        metric_inflight_->add(1);
+
+        auto now = std::chrono::steady_clock::now();
+        bool expired =
+            p.deadline != std::chrono::steady_clock::time_point::max() &&
+            now >= p.deadline;
+        if (expired) {
+            // Shed without executing: the deadline died in the queue.
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                ++counts_.expired;
+            }
+            metric_expired_->add();
+            metric_shed_->add();
+            failPending(p, ErrorCode::kDeadlineExceeded,
+                        "deadline expired while queued; request shed "
+                        "without executing");
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                --inflight_;
+            }
+            metric_inflight_->add(-1);
+            idle_cv_.notify_all();
+            continue;
+        }
+
+        RunOptions opts = p.runOptions;
+        if (p.deadline != std::chrono::steady_clock::time_point::max()) {
+            // Hand the engine the *remaining* time so mid-run expiry
+            // surfaces its cooperative group-boundary error unchanged.
+            double remaining = secondsUntil(p.deadline, now);
+            opts.deadlineSeconds = opts.deadlineSeconds > 0.0
+                                       ? std::min(opts.deadlineSeconds,
+                                                  remaining)
+                                       : remaining;
+        }
+
+        RunResult result;
+        try {
+            result = engine_->tryRun(worker.ctx, p.inputs, nullptr, opts);
+        } catch (const std::exception& e) {
+            // tryRun is non-throwing by contract; belt-and-braces so a
+            // worker thread can never die on an escaped exception.
+            result.code = ErrorCode::kInternal;
+            result.message = e.what();
+        }
+        if (result.ok()) {
+            // The engine's outputs alias this worker's arena and are
+            // invalidated by its next run; the caller gets owning
+            // copies.
+            for (Tensor& t : result.outputs)
+                t = t.clone();
+        }
+
+        // Order matters for drain()'s guarantee: counters final, then
+        // the promise resolves, then inflight drops — so a waiter woken
+        // by inflight==0 sees every future ready and every count final.
+        bool ok = result.ok();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (ok)
+                ++counts_.completed;
+            else
+                ++counts_.failed;
+        }
+        if (ok)
+            metric_completed_->add();
+        p.promise.set_value(std::move(result));
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --inflight_;
+        }
+        metric_inflight_->add(-1);
+        idle_cv_.notify_all();
+    }
+}
+
+void
+Sod2Server::drain()
+{
+    start();  // a paused server cannot drain itself
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock,
+                  [&] { return queued_count_ == 0 && inflight_ == 0; });
+}
+
+void
+Sod2Server::shutdown(bool drain_pending)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopped_)
+            return;
+        accepting_ = false;
+        stopped_ = true;
+    }
+
+    if (drain_pending) {
+        // Everything already queued still runs: start parked workers,
+        // close the queues (drain-on-close), and join.
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (!started_) {
+                started_ = true;
+                for (size_t i = 0; i < workers_.size(); ++i)
+                    workers_[i]->thread =
+                        std::thread([this, i] { workerLoop(i); });
+            }
+        }
+    } else {
+        // Fail everything still queued with a typed Shutdown result.
+        for (auto& w : workers_) {
+            std::deque<Pending> dropped = w->queue.drainNow();
+            if (dropped.empty())
+                continue;
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                queued_count_ -= dropped.size();
+                counts_.discarded += dropped.size();
+                for (const Pending& p : dropped)
+                    queued_bytes_ -= p.bytes;
+            }
+            metric_queue_depth_->add(
+                -static_cast<int64_t>(dropped.size()));
+            for (Pending& p : dropped) {
+                metric_shed_->add();
+                failPending(p, ErrorCode::kShutdown,
+                            "request discarded by server shutdown");
+            }
+            idle_cv_.notify_all();
+        }
+    }
+
+    for (auto& w : workers_)
+        w->queue.close();
+    for (auto& w : workers_)
+        if (w->thread.joinable())
+            w->thread.join();
+}
+
+ServerStats
+Sod2Server::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ServerStats s = counts_;
+    s.queueDepth = queued_count_;
+    s.inflight = inflight_;
+    return s;
+}
+
+}  // namespace serving
+}  // namespace sod2

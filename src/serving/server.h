@@ -1,0 +1,231 @@
+#ifndef SOD2_SERVING_SERVER_H_
+#define SOD2_SERVING_SERVER_H_
+
+/**
+ * @file
+ * Sod2Server — the serving scheduler in front of one compiled engine
+ * (DESIGN.md §11).
+ *
+ * A compiled Sod2Engine is immutable and thread-safe, but throughput
+ * under repeated dynamic shapes depends on *where* each request runs:
+ * per-signature plans are the expensive reusable artifact (paper
+ * §4.3–4.4), and a worker that just ran a signature serves the next
+ * request of that signature from its RunContext's lock-free last-plan
+ * memo. The server therefore owns a fixed pool of workers, each with a
+ * pinned RunContext, and routes admitted requests by shape signature
+ * (serving/affinity.h) so repeated signatures land on a warm context.
+ *
+ * Admission control: a configurable total queue-depth cap and optional
+ * queued-bytes budget. A request that would overflow either is shed
+ * immediately with a typed QueueFull result — backpressure, not an
+ * unbounded queue. A queued request whose deadline expires before a
+ * worker picks it up is shed at dequeue time with DeadlineExceeded,
+ * without executing; a deadline that expires mid-run surfaces the
+ * engine's cooperative group-boundary DeadlineExceeded unchanged.
+ *
+ * Results: submit() resolves its future with a RunResult whose outputs
+ * are deep copies (the engine's outputs alias the worker context's
+ * arena and die at that worker's next run; the copies are unconditionally
+ * safe to hold).
+ */
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/sod2_engine.h"
+#include "serving/affinity.h"
+#include "serving/request_queue.h"
+#include "support/metrics.h"
+
+namespace sod2 {
+namespace serving {
+
+/** One inference request as submitted by a client. */
+struct Request
+{
+    std::vector<Tensor> inputs;
+    /**
+     * End-to-end deadline in wall seconds measured from submit();
+     * covers queueing *and* execution. 0 = none. In queue past the
+     * deadline -> shed typed, never executed; expiring mid-run -> the
+     * engine's cooperative DeadlineExceeded.
+     */
+    double deadlineSeconds = 0.0;
+    /** Higher runs first within a worker's queue; FIFO within equal. */
+    int priority = 0;
+    /** Per-request overrides of the server's default RunOptions
+     *  (0 / false = inherit). */
+    size_t arenaBudgetBytes = 0;
+    bool fallbackOnError = false;
+};
+
+/** Server construction knobs. Every 0/default defers to the matching
+ *  SOD2_SERVER_* env knob, then to the built-in default. */
+struct ServerOptions
+{
+    /** Worker threads (== pinned RunContexts). 0 -> SOD2_SERVER_WORKERS
+     *  -> 4. */
+    int workers = 0;
+    /** Total admitted-but-unstarted requests across all workers.
+     *  0 -> SOD2_SERVER_QUEUE_DEPTH -> 64. */
+    size_t queueDepth = 0;
+    /**
+     * Budget, in input-payload bytes, across all queued requests; 0 =
+     * unlimited. A request that would exceed it is shed QueueFull —
+     * except when the queue is completely empty, where it is admitted
+     * regardless so an oversized-but-legal request is never permanently
+     * unservable.
+     */
+    size_t queueBytesBudget = 0;
+    /** Dispatch policy. Defaults from SOD2_SERVER_AFFINITY (-> shape). */
+    AffinityMode affinity = defaultAffinityMode();
+    /** Baseline engine guardrails for every request (per-request fields
+     *  override). Its deadlineSeconds, when set, caps each run's
+     *  cooperative deadline in addition to any request deadline. */
+    RunOptions defaultRunOptions;
+    /**
+     * Construct with the workers parked (not yet spawned): requests
+     * queue but nothing executes until start(). Lets tests fill queues
+     * deterministically (QueueFull, in-queue expiry, priority order).
+     */
+    bool startPaused = false;
+};
+
+/** Monotonic request accounting (consistent snapshot via stats()). */
+struct ServerStats
+{
+    /** Every submit() call. == admitted + shed, always. */
+    uint64_t submitted = 0;
+    /** Entered a worker queue. */
+    uint64_t admitted = 0;
+    /** Rejected with a typed code without entering a queue (QueueFull,
+     *  invalid input, submitted after shutdown). */
+    uint64_t shed = 0;
+    /** Admitted but shed at dequeue: deadline already expired
+     *  (DeadlineExceeded, never executed) — subset of neither admitted
+     *  nor shed double-counting: expired requests count in admitted. */
+    uint64_t expired = 0;
+    /** Discarded by a non-draining shutdown (typed Shutdown). */
+    uint64_t discarded = 0;
+    /** Executed with an ok() result. */
+    uint64_t completed = 0;
+    /** Executed but finished with a typed error (after any fallback). */
+    uint64_t failed = 0;
+    /** Requests currently queued / currently executing. */
+    size_t queueDepth = 0;
+    size_t inflight = 0;
+};
+
+/**
+ * Multi-worker scheduler over one engine. All public methods are
+ * thread-safe; the engine must outlive the server. The destructor
+ * performs a draining shutdown.
+ */
+class Sod2Server
+{
+  public:
+    explicit Sod2Server(const Sod2Engine* engine, ServerOptions options = {});
+    ~Sod2Server();
+
+    Sod2Server(const Sod2Server&) = delete;
+    Sod2Server& operator=(const Sod2Server&) = delete;
+
+    /**
+     * Validates, admits or sheds, and eventually resolves the returned
+     * future with the run's RunResult. Never throws for per-request
+     * failures — sheds and errors arrive as typed RunResults (QueueFull,
+     * DeadlineExceeded, Shutdown, InvalidInput, ...), so a load test can
+     * account for every outcome. Outputs in an ok() result are deep
+     * copies owned by the caller.
+     */
+    std::future<RunResult> submit(Request request);
+
+    /** Synchronous convenience: submit() + wait. */
+    RunResult run(Request request);
+
+    /** Pre-instantiates the plan for @p inputs' signature and, under
+     *  shape affinity, pins the signature's worker assignment — call at
+     *  startup so the first real request is a warm hit. */
+    bool warmup(const std::vector<Tensor>& inputs);
+
+    /** Spawns the workers of a startPaused server (idempotent). */
+    void start();
+
+    /** Blocks until every admitted request has been resolved (queues
+     *  empty, nothing inflight). Starts a paused server first. */
+    void drain();
+
+    /**
+     * Stops the server (idempotent; submit() afterwards sheds typed
+     * Shutdown). @p drain_pending true executes everything already
+     * queued first; false fails each still-queued request with a typed
+     * Shutdown result and stops as soon as inflight runs finish.
+     */
+    void shutdown(bool drain_pending = true);
+
+    /** One mutually consistent accounting snapshot. */
+    ServerStats stats() const;
+
+    int workers() const { return static_cast<int>(workers_.size()); }
+    AffinityMode affinity() const { return policy_.mode(); }
+    const Sod2Engine& engine() const { return *engine_; }
+
+    /** The worker @p signature routes to right now (under kShape this
+     *  also pins the assignment, exactly like a dispatch would). */
+    size_t workerFor(uint64_t signature);
+
+  private:
+    struct Worker
+    {
+        RequestQueue queue;
+        RunContext ctx;
+        std::thread thread;
+    };
+
+    void workerLoop(size_t index);
+    std::vector<size_t> workerLoads() const;
+    /** Resolves @p p's promise with a typed non-executed result. */
+    static void failPending(Pending& p, ErrorCode code,
+                            const std::string& message);
+
+    const Sod2Engine* engine_;
+    ServerOptions options_;
+    size_t queue_depth_cap_;
+    AffinityPolicy policy_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+
+    /** Guards admission accounting (queued count/bytes), lifecycle
+     *  flags, and the stats counters' cross-field consistency. */
+    mutable std::mutex mu_;
+    /** Signaled whenever queued/inflight drops (drain waits on it). */
+    std::condition_variable idle_cv_;
+    bool started_ = false;
+    bool accepting_ = true;
+    bool stopped_ = false;
+    size_t queued_count_ = 0;
+    size_t queued_bytes_ = 0;
+    size_t inflight_ = 0;
+    uint64_t next_seq_ = 0;
+    ServerStats counts_;
+
+    /** Process-wide metric mirrors ("server.*", support/metrics.h). */
+    Counter* metric_admitted_;
+    Counter* metric_shed_;
+    Counter* metric_expired_;
+    Counter* metric_completed_;
+    Gauge* metric_queue_depth_;
+    Gauge* metric_inflight_;
+};
+
+}  // namespace serving
+}  // namespace sod2
+
+#endif  // SOD2_SERVING_SERVER_H_

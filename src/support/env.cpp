@@ -56,6 +56,28 @@ arenaBudgetBytes()
     return value;
 }
 
+int
+serverWorkers()
+{
+    static const int value = readPositiveInt("SOD2_SERVER_WORKERS", 0);
+    return value;
+}
+
+size_t
+serverQueueDepth()
+{
+    static const size_t value = static_cast<size_t>(
+        readPositiveInt64("SOD2_SERVER_QUEUE_DEPTH", 0));
+    return value;
+}
+
+const std::string&
+serverAffinity()
+{
+    static const std::string value = readString("SOD2_SERVER_AFFINITY");
+    return value;
+}
+
 bool
 traceEnabled()
 {

@@ -62,6 +62,29 @@ const std::string& traceFile();
  */
 size_t arenaBudgetBytes();
 
+/**
+ * SOD2_SERVER_WORKERS — worker-thread count of a Sod2Server whose
+ * ServerOptions leaves workers at 0. Returns 0 when unset (the server
+ * then picks its built-in default). Cached at first query, once per
+ * process.
+ */
+int serverWorkers();
+
+/**
+ * SOD2_SERVER_QUEUE_DEPTH — total admission-queue depth (across all
+ * workers) of a Sod2Server whose ServerOptions leaves queueDepth at 0.
+ * Returns 0 when unset (the server then picks its built-in default).
+ * Cached at first query, once per process.
+ */
+size_t serverQueueDepth();
+
+/**
+ * SOD2_SERVER_AFFINITY — dispatch policy of a Sod2Server: "shape"
+ * (default), "round_robin", or "least_loaded". Empty when unset.
+ * Cached at first query, once per process.
+ */
+const std::string& serverAffinity();
+
 /** Uncached low-level parse: true iff @p name is set to exactly "1". */
 bool readFlag(const char* name);
 

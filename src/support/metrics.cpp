@@ -145,6 +145,16 @@ MetricsRegistry::counter(const std::string& name)
     return *slot;
 }
 
+Gauge&
+MetricsRegistry::gauge(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
 Histogram&
 MetricsRegistry::histogram(const std::string& name,
                            std::vector<double> bounds)
@@ -171,6 +181,15 @@ MetricsRegistry::toJson() const
         first = false;
         os << "\"" << jsonEscape(name) << "\":" << counter->value();
     }
+    os << "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, gauge] : gauges_) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << jsonEscape(name) << "\":"
+           << static_cast<long long>(gauge->value());
+    }
     os << "},\"histograms\":{";
     first = true;
     for (const auto& [name, hist] : histograms_) {
@@ -194,6 +213,8 @@ MetricsRegistry::resetAll()
     std::lock_guard<std::mutex> lock(mu_);
     for (auto& [name, counter] : counters_)
         counter->reset();
+    for (auto& [name, gauge] : gauges_)
+        gauge->reset();
     for (auto& [name, hist] : histograms_)
         hist->reset();
 }

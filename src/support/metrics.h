@@ -58,6 +58,45 @@ class Counter
 };
 
 /**
+ * Instantaneous level (queue depth, inflight requests): unlike a
+ * Counter it moves both ways, so it is signed and supports both
+ * absolute set() and delta add(). Updates are lock-free (relaxed
+ * atomics) and the registry snapshot reads it the same way it reads
+ * counters, so one toJson() call sees gauges and counters from the
+ * same moment-in-time family of relaxed loads.
+ */
+class Gauge
+{
+  public:
+    void
+    set(int64_t v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    void
+    add(int64_t delta)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    int64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void
+    reset()
+    {
+        set(0);
+    }
+
+  private:
+    std::atomic<int64_t> value_{0};
+};
+
+/**
  * Fixed-bucket histogram. Bucket i counts observations v with
  * bounds[i-1] < v <= bounds[i]; one overflow bucket catches the rest.
  * observe() is wait-free per bucket; percentile() interpolates linearly
@@ -122,6 +161,9 @@ class MetricsRegistry
     /** The counter named @p name (created zeroed on first request). */
     Counter& counter(const std::string& name);
 
+    /** The gauge named @p name (created zeroed on first request). */
+    Gauge& gauge(const std::string& name);
+
     /**
      * The histogram named @p name; @p bounds apply only on first
      * creation (empty = defaultLatencyBoundsUs()). Later callers get
@@ -141,6 +183,7 @@ class MetricsRegistry
 
     mutable std::mutex mu_;
     std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
     std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 

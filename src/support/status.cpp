@@ -18,6 +18,10 @@ errorCodeName(ErrorCode code)
         return "kernel_failure";
       case ErrorCode::kDeadlineExceeded:
         return "deadline_exceeded";
+      case ErrorCode::kQueueFull:
+        return "queue_full";
+      case ErrorCode::kShutdown:
+        return "shutdown";
       case ErrorCode::kInternal:
         return "internal";
     }

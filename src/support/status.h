@@ -35,6 +35,12 @@ enum class ErrorCode {
     kKernelFailure,
     /** The cooperative per-run deadline expired at a group boundary. */
     kDeadlineExceeded,
+    /** The serving scheduler's admission queue is at its depth or bytes
+     *  budget — the request was shed, not executed (backpressure). */
+    kQueueFull,
+    /** The server is draining or stopped; the request was never
+     *  admitted (or was discarded by a non-draining shutdown). */
+    kShutdown,
     /** Broken invariant inside the engine — a bug, not bad input. */
     kInternal,
 };

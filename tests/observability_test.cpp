@@ -287,6 +287,33 @@ TEST(MetricsTest, ToJsonIsValidJson)
     EXPECT_TRUE(validateJson(json, &error)) << error;
 }
 
+TEST(MetricsTest, GaugeSetAddAndRegistryIdentity)
+{
+    MetricsRegistry& reg = MetricsRegistry::instance();
+    Gauge& a = reg.gauge("observability_test.gauge");
+    Gauge& b = reg.gauge("observability_test.gauge");
+    EXPECT_EQ(&a, &b);  // one instance per name, like counters
+
+    a.set(7);
+    EXPECT_EQ(b.value(), 7);
+    b.add(-3);
+    EXPECT_EQ(a.value(), 4);
+    a.add(10);
+    EXPECT_EQ(a.value(), 14);
+
+    // Gauges are exported next to counters/histograms in one snapshot.
+    a.set(-2);  // negative levels must survive the round trip
+    std::string json = reg.toJson();
+    std::string error;
+    EXPECT_TRUE(validateJson(json, &error)) << error;
+    EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(json.find("\"observability_test.gauge\":-2"),
+              std::string::npos);
+
+    a.reset();
+    EXPECT_EQ(a.value(), 0);
+}
+
 TEST(MetricsTest, EngineHistogramCountsEveryRunAcrossEightThreads)
 {
     TestModel m = TestModel::cnn();
