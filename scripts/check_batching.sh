@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Batching gate (DESIGN.md §12): the serving-labeled suites — which
+# include batching_test's stackability proof, stacked/padded
+# bit-exactness, straggler-window, and faulted-batch shedding tests —
+# run under both sanitizer presets, then the batched load bench runs
+# from each tree. serving_load --batched enforces two exit gates of its
+# own: batched throughput-per-worker >= 1.5x unbatched on a repeated-
+# signature stream, and every mode (unbatched, batched, padded)
+# bit-exact vs the serial reference. The tsan pass is what certifies
+# the queue's waitForArrival/peekCompatible handoff and the batch
+# accounting under mu_ race-free; asan covers the stacking/slicing
+# memcpy arithmetic in Sod2Engine::runBatch.
+#
+# Usage: scripts/check_batching.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+for preset in tsan asan; do
+    echo "== serving suite ($preset preset) =="
+    cmake --preset "$preset" >/dev/null
+    cmake --build --preset "$preset" -j "$(nproc)"
+    ctest --test-dir "build-$preset" -L serving --output-on-failure "$@"
+
+    echo "== batched load bench ($preset preset) =="
+    "./build-$preset/bench/serving_load" --batched
+done
+
+echo "check_batching: all green"

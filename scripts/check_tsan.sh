@@ -16,3 +16,8 @@ cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)"
 ctest --test-dir build-tsan -L 'concurrency|observability|faults|serving' \
       --output-on-failure "$@"
+
+# The batched load bench drives the coalescer's cross-thread handoff
+# (waitForArrival/peekCompatible) at full rate — run it instrumented so
+# a race in the batch-accounting path fails this gate, not production.
+./build-tsan/bench/serving_load --batched

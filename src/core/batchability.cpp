@@ -1,0 +1,275 @@
+#include "core/batchability.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "support/string_util.h"
+
+namespace sod2 {
+
+namespace {
+
+/** True when @p e (non-null) references symbol @p s anywhere. */
+bool
+refersTo(const SymExprPtr& e, const std::string& s)
+{
+    if (!e)
+        return false;
+    std::vector<std::string> syms;
+    e->collectSymbols(&syms);
+    return std::find(syms.begin(), syms.end(), s) != syms.end();
+}
+
+/** True when @p d is the bare symbol @p s (not a compound of it). */
+bool
+isExactlySymbol(const DimValue& d, const std::string& s)
+{
+    return d.hasExpr() && d.expr()->isSymbol() && d.expr()->symbolName() == s;
+}
+
+/** Probe values for the batch symbol and for every other symbol. RDP
+ *  expressions are integer arithmetic over the bindings, so a dim that
+ *  evaluates identically across all probe combinations does not vary
+ *  with the batch extent in practice (Reshape transfers routinely
+ *  leave residues like (n*8)/n that a syntactic check would flag). */
+constexpr int64_t kBatchProbes[] = {1, 2, 3, 8};
+constexpr int64_t kOtherProbes[] = {4, 12};
+
+/**
+ * True when @p e's value changes with symbol @p s — evaluated, not
+ * syntactic. Unevaluable expressions count as depending (conservative).
+ */
+bool
+dependsOn(const SymExprPtr& e, const std::string& s)
+{
+    if (!refersTo(e, s))
+        return false;
+    std::vector<std::string> syms;
+    e->collectSymbols(&syms);
+    for (int64_t other : kOtherProbes) {
+        std::optional<int64_t> base;
+        for (int64_t sv : kBatchProbes) {
+            std::map<std::string, int64_t> bindings;
+            for (const std::string& name : syms)
+                bindings[name] = name == s ? sv : other;
+            std::optional<int64_t> val = e->evaluate(bindings);
+            if (!val)
+                return true;
+            if (!base)
+                base = *val;
+            else if (*base != *val)
+                return true;
+        }
+    }
+    return false;
+}
+
+/** True when @p d always evaluates to exactly the batch extent (bare
+ *  S, or an unsimplified equivalent like (S*k)/k). */
+bool
+isBatchExtent(const DimValue& d, const std::string& s)
+{
+    if (!d.hasExpr() || !refersTo(d.expr(), s))
+        return false;
+    if (isExactlySymbol(d, s))
+        return true;
+    std::vector<std::string> syms;
+    d.expr()->collectSymbols(&syms);
+    for (int64_t other : kOtherProbes)
+        for (int64_t sv : kBatchProbes) {
+            std::map<std::string, int64_t> bindings;
+            for (const std::string& name : syms)
+                bindings[name] = name == s ? sv : other;
+            std::optional<int64_t> val = d.expr()->evaluate(bindings);
+            if (!val || *val != sv)
+                return false;
+        }
+    return true;
+}
+
+bool
+shapeRefersTo(const ShapeInfo& shape, const std::string& s)
+{
+    if (!shape.isRanked())
+        return false;
+    for (const DimValue& d : shape.dims())
+        if (d.hasExpr() && refersTo(d.expr(), s))
+            return true;
+    return false;
+}
+
+bool
+valueInfoRefersTo(const ValueInfo& vi, const std::string& s)
+{
+    if (!vi.hasElems())
+        return false;
+    for (const DimValue& d : vi.elements())
+        if (d.hasExpr() && refersTo(d.expr(), s))
+            return true;
+    return false;
+}
+
+/** Ops that are row-independent along dim 0 *given* the shape rules
+ *  (every tainted value keeps dim 0 ≡ S and S off every other dim).
+ *  Axis-carrying ops that could mix rows while preserving the shape
+ *  (Softmax, LayerNormalization) get an explicit axis check; every
+ *  other cross-row use (Concat/Reduce/Gather/Transpose/... on axis 0)
+ *  already breaks the dim-0 ≡ S rule and needs no entry here. */
+const std::set<std::string>&
+rowIndependentOps()
+{
+    static const std::set<std::string> ops = {
+        // elementwise / activation
+        "Abs", "Add", "And", "Cast", "Clip", "Div", "Equal", "Erf", "Exp",
+        "Greater", "Identity", "LeakyRelu", "Less", "Log", "Max", "Min",
+        "Mod", "Mul", "Neg", "Not", "Or", "Pow", "Relu", "Round", "Sigmoid",
+        "Softplus", "Sqrt", "Sub", "Tanh", "Where",
+        // per-sample NN ops (leading dim is the sample dim)
+        "Conv", "MaxPool", "AveragePool", "GlobalAveragePool",
+        "BatchNormalization", "GroupNormalization", "LayerNormalization",
+        "Softmax", "MatMul",
+        // layout ops (safe when dim 0 ≡ S survives, which rule 2 checks)
+        "Reshape", "Flatten", "Squeeze", "Unsqueeze", "Transpose", "Concat",
+        "Split", "Slice", "Pad", "Gather", "Tile", "Expand",
+        // reductions (axis-0 forms lose S from dim 0 and fail rule 2)
+        "ReduceMax", "ReduceMean", "ReduceMin", "ReduceSum", "ArgMax",
+    };
+    return ops;
+}
+
+/** Resolves a possibly-negative axis attr against @p rank. */
+int64_t
+normalizeAxis(int64_t axis, int rank)
+{
+    return axis < 0 ? axis + rank : axis;
+}
+
+}  // namespace
+
+BatchInfo
+analyzeBatchability(const Graph& graph, const RdpResult& rdp,
+                    const std::vector<std::string>& symbol_names)
+{
+    BatchInfo info;
+    auto reject = [&](std::string why) {
+        info.stackable = false;
+        info.reason = std::move(why);
+        return info;
+    };
+
+    // Rule 1: a shared leading batch symbol on every graph input.
+    if (graph.inputIds().empty())
+        return reject("graph has no inputs");
+    std::string batch;
+    for (ValueId in : graph.inputIds()) {
+        const ShapeInfo& shape = rdp.shapeOf(in);
+        if (!shape.isRanked() || shape.rank() < 1)
+            return reject(strFormat("input '%s' has no ranked shape",
+                                    graph.value(in).name.c_str()));
+        const DimValue& d0 = shape.dim(0);
+        if (!d0.hasExpr() || !d0.expr()->isSymbol())
+            return reject(strFormat("input '%s' dim 0 is not a bare symbol",
+                                    graph.value(in).name.c_str()));
+        const std::string& s = d0.expr()->symbolName();
+        if (batch.empty())
+            batch = s;
+        else if (s != batch)
+            return reject(strFormat("inputs disagree on the batch symbol "
+                                    "('%s' vs '%s')",
+                                    batch.c_str(), s.c_str()));
+    }
+
+    // Taint: S reaches a value through its shape, its abstract integer
+    // contents (Shape outputs and friends), or any tainted node input.
+    std::vector<char> tainted(static_cast<size_t>(graph.numValues()), 0);
+    for (ValueId v = 0; v < graph.numValues(); ++v)
+        if (shapeRefersTo(rdp.shapeOf(v), batch) ||
+            valueInfoRefersTo(rdp.valueOf(v), batch))
+            tainted[static_cast<size_t>(v)] = 1;
+    for (ValueId in : graph.inputIds())
+        tainted[static_cast<size_t>(in)] = 1;
+    for (NodeId n : graph.topoOrder()) {
+        const Node& node = graph.node(n);
+        bool any = false;
+        for (ValueId v : node.inputs)
+            any = any || tainted[static_cast<size_t>(v)];
+        if (any)
+            for (ValueId v : node.outputs)
+                tainted[static_cast<size_t>(v)] = 1;
+    }
+
+    // Rule 2: tainted values keep contiguous equal-sized rows on dim 0.
+    for (ValueId v = 0; v < graph.numValues(); ++v) {
+        if (!tainted[static_cast<size_t>(v)])
+            continue;
+        const ShapeInfo& shape = rdp.shapeOf(v);
+        if (!shape.isRanked() || shape.rank() < 1 || !shape.hasAllExprs())
+            return reject(strFormat("tainted value '%s' has no fully "
+                                    "symbolic shape",
+                                    graph.value(v).name.c_str()));
+        if (!isBatchExtent(shape.dim(0), batch))
+            return reject(strFormat("tainted value '%s' does not keep the "
+                                    "batch symbol on dim 0",
+                                    graph.value(v).name.c_str()));
+        for (int i = 1; i < shape.rank(); ++i)
+            if (dependsOn(shape.dim(i).expr(), batch))
+                return reject(strFormat("value '%s' folds the batch symbol "
+                                        "into dim %d",
+                                        graph.value(v).name.c_str(), i));
+    }
+
+    // Rule 3: every batch-touching node proves row independence.
+    for (NodeId n = 0; n < graph.numNodes(); ++n) {
+        const Node& node = graph.node(n);
+        bool touches = false;
+        for (ValueId v : node.inputs)
+            touches = touches || tainted[static_cast<size_t>(v)];
+        if (!touches)
+            continue;
+        if (node.op == kSwitchOp || node.op == kCombineOp)
+            return reject("control flow is not stackable");
+        if (!rowIndependentOps().count(node.op))
+            return reject(strFormat("op '%s' is not proven row-independent",
+                                    node.op.c_str()));
+        if (node.op == "Softmax" || node.op == "LayerNormalization") {
+            const ShapeInfo& in_shape = rdp.shapeOf(node.inputs[0]);
+            if (!in_shape.isRanked())
+                return reject(strFormat("%s input rank unknown",
+                                        node.op.c_str()));
+            int64_t axis = normalizeAxis(node.attrs.getInt("axis", -1),
+                                         in_shape.rank());
+            if (axis == 0)
+                return reject(strFormat("%s normalizes across the batch "
+                                        "axis",
+                                        node.op.c_str()));
+        }
+        if (node.op == "MatMul" && node.inputs.size() > 1 &&
+            tainted[static_cast<size_t>(node.inputs[1])])
+            return reject("MatMul right operand carries the batch "
+                          "(contraction would mix rows)");
+    }
+
+    // Rule 4: every graph output carries the batch dim to slice on.
+    for (ValueId out : graph.outputIds())
+        if (!tainted[static_cast<size_t>(out)])
+            return reject(strFormat("output '%s' carries no batch dim",
+                                    graph.value(out).name.c_str()));
+
+    // The binder must expose S as a bindable symbol (it always does for
+    // a declared leading dim; guard anyway so batchSlot stays valid).
+    auto it = std::find(symbol_names.begin(), symbol_names.end(), batch);
+    if (it == symbol_names.end())
+        return reject(strFormat("batch symbol '%s' is not bindable",
+                                batch.c_str()));
+
+    info.stackable = true;
+    info.batchSymbol = batch;
+    info.batchSlot = static_cast<int>(it - symbol_names.begin());
+    info.reason.clear();
+    return info;
+}
+
+}  // namespace sod2

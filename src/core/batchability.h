@@ -1,0 +1,74 @@
+#ifndef SOD2_CORE_BATCHABILITY_H_
+#define SOD2_CORE_BATCHABILITY_H_
+
+/**
+ * @file
+ * Static batch-stackability analysis (the compile-time half of
+ * Sod2Engine::runBatch; DESIGN.md §12).
+ *
+ * A graph is *stackable* when N requests that agree on every symbolic
+ * extent except a shared leading batch dimension can be concatenated
+ * along that dimension, executed as one engine run, and sliced back
+ * per request with results identical to N separate runs. That holds
+ * exactly when every operator in the graph is batch-row independent:
+ * no output row reads another row's input.
+ *
+ * The proof is conservative and reuses the RDP result the engine
+ * already computed. Let S be the symbol naming dim 0 of every graph
+ * input. A value is *batch-tainted* when its abstract shape or
+ * abstract contents reference S (taint also propagates node-wise:
+ * any tainted input taints all outputs — covering values whose RDP
+ * cells degraded to nac). The graph is stackable iff:
+ *
+ *   1. every graph input is ranked with dim 0 ≡ exactly the same
+ *      symbol S (so "row" means the same thing everywhere);
+ *   2. every tainted value is ranked with expressions for all dims,
+ *      dim 0 ≡ exactly S, and no other dim referencing S (rows stay
+ *      contiguous, equally sized, and never migrate off dim 0 — this
+ *      alone rejects Concat/Slice/Pad/Tile on axis 0, batch-axis
+ *      reductions, transposes that move the batch, and Shape-fed
+ *      reshapes that fold S into another extent);
+ *   3. every node with a tainted input is on the row-independence
+ *      whitelist below, with the two shape-preserving exceptions
+ *      checked explicitly (Softmax / LayerNormalization must not
+ *      normalize across axis 0) and MatMul's right operand required
+ *      batch-free (a tainted RHS would contract over the batch);
+ *   4. every graph output is tainted (otherwise it carries no batch
+ *      dim to slice).
+ *
+ * Anything else — control flow (Switch/If/Loop predicates are extra
+ * inputs and already fail rule 1), execution-determined outputs
+ * (NonZero, NonMaxSuppression, TopK, EDO/ISDO families), unknown ops
+ * — is rejected, and runBatch falls back to a per-item loop that
+ * still shares one plan instantiation through the context memo.
+ */
+
+#include <string>
+
+#include "graph/graph.h"
+#include "rdp/rdp_analysis.h"
+
+namespace sod2 {
+
+/** Outcome of the stackability proof for one compiled graph. */
+struct BatchInfo
+{
+    /** True when inputs may be stacked along the shared batch dim. */
+    bool stackable = false;
+    /** The shared leading batch symbol (empty when not stackable). */
+    std::string batchSymbol;
+    /** Index of batchSymbol in the canonical binding vector
+     *  (SymbolBinder::symbolNames() order); -1 when not stackable. */
+    int batchSlot = -1;
+    /** Why the proof failed (diagnostics; empty when stackable). */
+    std::string reason;
+};
+
+/** Runs the stackability proof. @p symbol_names must be the binder's
+ *  canonical (ascending) symbol list. */
+BatchInfo analyzeBatchability(const Graph& graph, const RdpResult& rdp,
+                              const std::vector<std::string>& symbol_names);
+
+}  // namespace sod2
+
+#endif  // SOD2_CORE_BATCHABILITY_H_

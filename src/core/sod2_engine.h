@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "codegen/kernel_tuner.h"
+#include "core/batchability.h"
 #include "core/plan_cache.h"
 #include "core/run_context.h"
 #include "fusion/fused_executor.h"
@@ -131,6 +132,35 @@ struct RunResult
     bool fellBack = false;
 
     bool ok() const { return code == ErrorCode::kOk; }
+};
+
+/** Knobs of one runBatch call (the serving batcher fills these from
+ *  its BatchPolicy; DESIGN.md §12). */
+struct BatchOptions
+{
+    /**
+     * Pad the stacked batch dimension up to this many rows (zero-filled
+     * rows, sliced away before results are returned) so repeated
+     * batched traffic hits a few bucket-sized plan signatures instead
+     * of one per exact row count. 0 = no padding. Ignored (no padding)
+     * when it is smaller than the real stacked row count or when the
+     * batch takes the per-item path.
+     */
+    int64_t padRowsTo = 0;
+};
+
+/** What one runBatch call actually did (metrics feed). */
+struct BatchRunStats
+{
+    /** True when the batch ran as one stacked engine run; false when
+     *  it fell back to the per-item loop. */
+    bool stacked = false;
+    /** Requests in the batch (valid or not). */
+    int items = 0;
+    /** Real data rows stacked (0 on the per-item path). */
+    int64_t rows = 0;
+    /** Zero rows added to reach BatchOptions::padRowsTo (pad waste). */
+    int64_t padRows = 0;
 };
 
 /** Per-run measurements. */
@@ -235,6 +265,34 @@ class Sod2Engine
                      const RunOptions& opts = {});
 
     /**
+     * Executes @p items (each one request's input vector) as one batch
+     * in @p ctx and returns one RunResult per item, index-aligned.
+     *
+     * When the compiled graph is stackable (batchInfo().stackable) and
+     * the items agree on every symbolic extent except the batch dim,
+     * the inputs are concatenated along the batch dim — optionally
+     * zero-padded up to BatchOptions::padRowsTo — executed as ONE
+     * engine run reusing one plan instantiation, and the outputs are
+     * sliced back per item. Row independence is proven statically
+     * (core/batchability.h), so stacked results are bit-exact against
+     * per-item runs; a failure of the stacked run is replicated to
+     * every item (the batch sheds together).
+     *
+     * Otherwise each item runs through tryRun in submission order,
+     * still amortizing plan work via the context's last-plan memo, and
+     * failures stay per-item. A malformed item (typed InvalidInput /
+     * BindFailure) never poisons its batchmates on either path.
+     *
+     * Unlike run(), every returned output tensor is an owning copy —
+     * callers may hold them across later runs of @p ctx.
+     */
+    std::vector<RunResult>
+    runBatch(RunContext& ctx,
+             const std::vector<const std::vector<Tensor>*>& items,
+             const RunOptions& opts = {}, const BatchOptions& bopts = {},
+             BatchRunStats* bstats = nullptr) const;
+
+    /**
      * Canonical shape-signature of @p inputs — the plan-cache key the
      * serving scheduler routes on (shape-affinity dispatch). Validates
      * like run() (typed InvalidInput / BindFailure on a malformed
@@ -274,6 +332,24 @@ class Sod2Engine
 
     /** The plan cache, or null when disabled (planCacheCapacity == 0). */
     const PlanCache* planCache() const { return plan_cache_.get(); }
+
+    /** Outcome of the compile-time stackability proof. */
+    const BatchInfo& batchInfo() const { return batch_info_; }
+
+    /**
+     * Batch-compatibility key of a canonical binding vector (from
+     * signatureFor): the signature hash with the batch extent masked
+     * out. Two requests with equal keys can share one *stacked* run
+     * (padding mode); when the graph is not stackable this degenerates
+     * to the exact signature hash, so exact-match batching keeps
+     * working unchanged.
+     */
+    uint64_t batchCompatKey(const std::vector<int64_t>& values) const;
+
+    /** Batch rows @p values describes: the bound batch extent for a
+     *  stackable graph, else 1 (a non-stackable request is one row of
+     *  its own batch). */
+    int64_t batchRowsOf(const std::vector<int64_t>& values) const;
 
   private:
     /** Evaluates interval sizes, places the arena plan, and resolves
@@ -325,6 +401,8 @@ class Sod2Engine
     std::vector<VersionSelector> selectors_;
     /** Precompiled input binder (the per-run fast path). */
     std::unique_ptr<SymbolBinder> binder_;
+    /** Compile-time stackability proof (core/batchability.h). */
+    BatchInfo batch_info_;
     /** Shape-signature plan cache (null when disabled). Internally
      *  synchronized — the one piece of shared state run() writes. */
     std::unique_ptr<PlanCache> plan_cache_;

@@ -1,0 +1,54 @@
+#include "serving/batcher.h"
+
+#include <chrono>
+
+namespace sod2 {
+namespace serving {
+
+int64_t
+BatchPolicy::bucketRows(int64_t rows)
+{
+    int64_t bucket = 1;
+    while (bucket < rows)
+        bucket <<= 1;
+    return bucket;
+}
+
+void
+collectBatch(RequestQueue& queue, const BatchPolicy& policy,
+             std::vector<Pending>* batch)
+{
+    if (!policy.enabled() || batch->empty())
+        return;
+    const size_t max = static_cast<size_t>(policy.maxBatchSize);
+    const uint64_t key = policy.keyOf(batch->front());
+    const bool by_compat = policy.padToBucket;
+
+    // Phase 1: admit whatever is compatible right now.
+    if (batch->size() < max)
+        queue.peekCompatible(key, max - batch->size(), batch, by_compat);
+    if (batch->size() >= max || policy.maxWaitMicros <= 0)
+        return;
+
+    // Phase 2: bounded straggler window, measured from the first
+    // drain. Each arrival wakes us for a re-drain; an arrival that is
+    // NOT compatible ends the window early (it is real work this
+    // batch cannot absorb, and holding it behind a timer would be the
+    // queue stall continuous batching exists to avoid).
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(policy.maxWaitMicros);
+    uint64_t seen = queue.pushCount();
+    while (batch->size() < max) {
+        uint64_t now_count = queue.waitForArrival(seen, deadline);
+        if (now_count == seen)
+            return;  // timeout or closed — run with what we have
+        seen = now_count;
+        queue.peekCompatible(key, max - batch->size(), batch, by_compat);
+        if (queue.depth() > 0)
+            return;  // incompatible work is waiting behind us
+    }
+}
+
+}  // namespace serving
+}  // namespace sod2

@@ -1,0 +1,74 @@
+#ifndef SOD2_SERVING_BATCHER_H_
+#define SOD2_SERVING_BATCHER_H_
+
+/**
+ * @file
+ * Continuous batching for Sod2Server workers (DESIGN.md §12).
+ *
+ * A worker that just popped a request asks the batcher to grow it into
+ * a batch: drain every already-queued compatible request (up to
+ * maxBatchSize), then — only if the batch is still short and a
+ * straggler window is configured — wait up to maxWaitMicros for more
+ * to arrive. The window is measured from the first drain, a request
+ * that misses it simply rides the next batch, and an incompatible
+ * request at the head of the queue cuts the wait short so batching
+ * never delays work it cannot absorb. The queue itself never stalls:
+ * a worker is always either executing or bounded-waiting.
+ *
+ * Compatibility is the exact shape signature by the default policy;
+ * with padding enabled (and a stackable engine) it widens to the
+ * batch-compatibility key — the signature with the batch extent
+ * masked — and the stacked batch dim is padded up to a power-of-two
+ * bucket boundary. Power-of-two buckets keep the plan cache to a few
+ * bucket-sized signatures and line up with the MVC shape-class
+ * thresholds (kernel_tuner.h classifies skinny GEMMs at m <= 16), so
+ * one bucket never straddles a version boundary mid-bucket.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "serving/request_queue.h"
+
+namespace sod2 {
+namespace serving {
+
+/** How a worker groups queued requests into one engine run. */
+struct BatchPolicy
+{
+    /** Largest batch one worker coalesces; 1 disables batching. */
+    int maxBatchSize = 1;
+    /** Straggler window in microseconds a non-full batch waits for
+     *  compatible arrivals; 0 = batch only what is queued right now. */
+    long long maxWaitMicros = 0;
+    /** Group by batch-compatibility key and pad the stacked batch dim
+     *  up to bucketRows(); requires a stackable engine to matter. */
+    bool padToBucket = false;
+
+    bool enabled() const { return maxBatchSize > 1; }
+
+    /** Grouping key of @p p under this policy. */
+    uint64_t
+    keyOf(const Pending& p) const
+    {
+        return padToBucket ? p.compatKey : p.signature;
+    }
+
+    /** Smallest power-of-two bucket holding @p rows (>= 1). */
+    static int64_t bucketRows(int64_t rows);
+};
+
+/**
+ * Grows @p batch (already holding the popped first request) by
+ * draining compatible queued requests from @p queue and bounded-
+ * waiting for stragglers per @p policy. Returns with 1..maxBatchSize
+ * requests in @p batch, in queue order (priority-descending, FIFO
+ * within a priority/signature).
+ */
+void collectBatch(RequestQueue& queue, const BatchPolicy& policy,
+                  std::vector<Pending>* batch);
+
+}  // namespace serving
+}  // namespace sod2
+
+#endif  // SOD2_SERVING_BATCHER_H_

@@ -21,9 +21,48 @@ RequestQueue::push(Pending&& p)
                                    return q.priority < p.priority;
                                });
         items_.insert(it, std::move(p));
+        ++push_count_;
     }
-    cv_.notify_one();
+    // notify_all, not notify_one: both a pop()-blocked worker and a
+    // waitForArrival()-blocked worker may be parked on this cv.
+    cv_.notify_all();
     return true;
+}
+
+size_t
+RequestQueue::peekCompatible(uint64_t key, size_t max,
+                             std::vector<Pending>* out, bool use_compat_key)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t moved = 0;
+    for (auto it = items_.begin(); it != items_.end() && moved < max;) {
+        uint64_t item_key = use_compat_key ? it->compatKey : it->signature;
+        if (item_key == key) {
+            out->push_back(std::move(*it));
+            it = items_.erase(it);
+            ++moved;
+        } else {
+            ++it;
+        }
+    }
+    return moved;
+}
+
+uint64_t
+RequestQueue::pushCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return push_count_;
+}
+
+uint64_t
+RequestQueue::waitForArrival(uint64_t seen,
+                             std::chrono::steady_clock::time_point deadline)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_until(lock, deadline,
+                   [&] { return closed_ || push_count_ != seen; });
+    return push_count_;
 }
 
 bool

@@ -51,6 +51,13 @@ struct Pending
     uint64_t seq = 0;
     /** Canonical shape signature (the affinity routing key). */
     uint64_t signature = 0;
+    /** Batch-compatibility key: the signature with the batch extent
+     *  masked (Sod2Engine::batchCompatKey) — equal keys may share one
+     *  padded stacked run. Equals signature when not stackable. */
+    uint64_t compatKey = 0;
+    /** Batch rows this request contributes when stacked (the bound
+     *  leading batch extent; 1 for non-stackable engines). */
+    int64_t rows = 1;
     /** Input payload bytes (the admission bytes-budget unit). */
     size_t bytes = 0;
 };
@@ -72,6 +79,35 @@ class RequestQueue
      *  closed *and* empty — a closed queue still drains in order. */
     bool pop(Pending* out);
 
+    /**
+     * Batch-drain primitive: removes up to @p max queued items whose
+     * signature (or, when @p use_compat_key, compatKey) equals @p key
+     * and appends them to @p out in queue order. Non-matching items
+     * are left exactly where they are, so FIFO order is preserved
+     * within the matched signature and the priority order of every
+     * other signature is untouched — a higher-priority non-matching
+     * request still pops first afterwards. Never blocks; returns the
+     * number of items moved (0 when closed-and-empty or nothing
+     * matches).
+     */
+    size_t peekCompatible(uint64_t key, size_t max,
+                          std::vector<Pending>* out,
+                          bool use_compat_key = false);
+
+    /** Monotonic count of push() calls that enqueued an item — the
+     *  "did anything new arrive?" ticket for waitForArrival(). */
+    uint64_t pushCount() const;
+
+    /**
+     * Blocks until pushCount() != @p seen, the queue is closed, or
+     * @p deadline passes; returns the current pushCount(). The
+     * continuous-batching straggler wait: a worker holding a non-full
+     * batch sleeps here instead of spinning on peekCompatible.
+     */
+    uint64_t
+    waitForArrival(uint64_t seen,
+                   std::chrono::steady_clock::time_point deadline);
+
     /** Marks the queue closed and wakes the blocked worker. Items
      *  already queued remain poppable (drain-on-close). */
     void close();
@@ -89,6 +125,7 @@ class RequestQueue
     /** Priority-descending, FIFO within a priority. */
     std::deque<Pending> items_;
     bool closed_ = false;
+    uint64_t push_count_ = 0;
 };
 
 }  // namespace serving

@@ -14,6 +14,7 @@ namespace {
 
 constexpr int kDefaultWorkers = 4;
 constexpr size_t kDefaultQueueDepth = 64;
+constexpr int kDefaultBatchMax = 8;
 
 int
 resolveWorkers(int requested)
@@ -31,6 +32,23 @@ resolveQueueDepth(size_t requested)
         return requested;
     size_t from_env = env::serverQueueDepth();
     return from_env > 0 ? from_env : kDefaultQueueDepth;
+}
+
+BatchPolicy
+resolveBatchPolicy(const ServerOptions& options)
+{
+    BatchPolicy policy;
+    if (options.maxBatchSize > 0)
+        policy.maxBatchSize = options.maxBatchSize;
+    else
+        policy.maxBatchSize =
+            env::batchMax() > 0 ? env::batchMax() : kDefaultBatchMax;
+    policy.maxWaitMicros = options.maxBatchWaitMicros >= 0
+                               ? options.maxBatchWaitMicros
+                               : env::batchWaitMicros();
+    policy.padToBucket =
+        options.padBatches >= 0 ? options.padBatches > 0 : env::batchPad();
+    return policy;
 }
 
 size_t
@@ -56,14 +74,24 @@ Sod2Server::Sod2Server(const Sod2Engine* engine, ServerOptions options)
       options_(options),
       queue_depth_cap_(resolveQueueDepth(options.queueDepth)),
       policy_(options.affinity,
-              static_cast<size_t>(resolveWorkers(options.workers)))
+              static_cast<size_t>(resolveWorkers(options.workers))),
+      batch_policy_(resolveBatchPolicy(options))
 {
     SOD2_CHECK(engine != nullptr) << "Sod2Server needs a compiled engine";
+    // Padding only pays off when the graph can actually stack; a
+    // non-stackable engine silently keeps the exact-signature path
+    // (batchCompatKey degenerates to the signature there anyway).
+    if (!engine->batchInfo().stackable)
+        batch_policy_.padToBucket = false;
     MetricsRegistry& metrics = MetricsRegistry::instance();
     metric_admitted_ = &metrics.counter("server.admitted");
     metric_shed_ = &metrics.counter("server.shed");
     metric_expired_ = &metrics.counter("server.expired");
     metric_completed_ = &metrics.counter("server.completed");
+    metric_batches_ = &metrics.counter("server.batches");
+    metric_pad_rows_ = &metrics.counter("server.pad_rows");
+    metric_batch_size_ = &metrics.histogram(
+        "server.batch_size", Histogram::defaultBatchSizeBounds());
     metric_queue_depth_ = &metrics.gauge("server.queue_depth");
     metric_inflight_ = &metrics.gauge("server.inflight");
 
@@ -163,8 +191,9 @@ Sod2Server::submit(Request request)
     // typed upfront checks (arity/dtype/rank/binding) and yields the
     // shape signature the dispatch routes on.
     uint64_t signature = 0;
+    std::vector<int64_t> values;
     try {
-        signature = engine_->signatureFor(request.inputs);
+        signature = engine_->signatureFor(request.inputs, &values);
     } catch (const Error& e) {
         shed(e.code(), e.what());
         return future;
@@ -172,6 +201,8 @@ Sod2Server::submit(Request request)
 
     Pending pending;
     pending.signature = signature;
+    pending.compatKey = engine_->batchCompatKey(values);
+    pending.rows = engine_->batchRowsOf(values);
     pending.priority = request.priority;
     pending.bytes = payloadBytes(request.inputs);
     pending.runOptions = options_.defaultRunOptions;
@@ -222,7 +253,13 @@ Sod2Server::submit(Request request)
     metric_admitted_->add();
     metric_queue_depth_->add(1);
 
-    size_t target = workerFor(pending.signature);
+    // Pad mode routes by batch-compat key (batch extent masked) so
+    // same-class requests of different batch sizes share one worker
+    // queue and can actually meet in a padded batch; exact mode keeps
+    // signature routing, which maximizes warm last-plan hits.
+    size_t target = workerFor(batch_policy_.padToBucket
+                                  ? pending.compatKey
+                                  : pending.signature);
     if (!workers_[target]->queue.push(std::move(pending))) {
         // Raced with shutdown: the queue closed between admission and
         // push. Reverse the admission and shed typed.
@@ -263,26 +300,48 @@ Sod2Server::workerLoop(size_t index)
     Worker& worker = *workers_[index];
     worker.ctx.traceBuffer().setLaneName(
         strFormat("server-worker-%zu", index));
-    Pending p;
-    while (worker.queue.pop(&p)) {
-        // A dequeued request counts as inflight until its promise is
-        // resolved (including the expired-shed path) so drain() cannot
-        // observe queued==0 && inflight==0 with a future still pending.
+    Pending first;
+    while (worker.queue.pop(&first)) {
+        // Continuous batching: grow the popped request into a batch of
+        // compatible queued requests (bounded straggler wait inside).
+        std::vector<Pending> batch;
+        batch.push_back(std::move(first));
+        collectBatch(worker.queue, batch_policy_, &batch);
+
+        // Account the whole dequeue at once. Bytes are released here
+        // for EVERY member — including those shed moments later on
+        // in-queue deadline expiry — so sustained expiry can never
+        // leak admission budget. Each member counts as inflight until
+        // its promise resolves (including the expired-shed path) so
+        // drain() cannot observe queued==0 && inflight==0 with a
+        // future still pending.
+        size_t batch_bytes = 0;
+        for (const Pending& p : batch)
+            batch_bytes += p.bytes;
         {
             std::lock_guard<std::mutex> lock(mu_);
-            --queued_count_;
-            queued_bytes_ -= p.bytes;
-            ++inflight_;
+            queued_count_ -= batch.size();
+            queued_bytes_ -= batch_bytes;
+            inflight_ += batch.size();
         }
-        metric_queue_depth_->add(-1);
-        metric_inflight_->add(1);
+        metric_queue_depth_->add(-static_cast<int64_t>(batch.size()));
+        metric_inflight_->add(static_cast<int64_t>(batch.size()));
 
+        // In-queue expiry: shed typed without executing; survivors
+        // keep their batch slot (queue order).
         auto now = std::chrono::steady_clock::now();
-        bool expired =
-            p.deadline != std::chrono::steady_clock::time_point::max() &&
-            now >= p.deadline;
-        if (expired) {
-            // Shed without executing: the deadline died in the queue.
+        std::vector<Pending> live;
+        live.reserve(batch.size());
+        size_t expired = 0;
+        for (Pending& p : batch) {
+            bool dead =
+                p.deadline !=
+                    std::chrono::steady_clock::time_point::max() &&
+                now >= p.deadline;
+            if (!dead) {
+                live.push_back(std::move(p));
+                continue;
+            }
             {
                 std::lock_guard<std::mutex> lock(mu_);
                 ++counts_.expired;
@@ -292,62 +351,124 @@ Sod2Server::workerLoop(size_t index)
             failPending(p, ErrorCode::kDeadlineExceeded,
                         "deadline expired while queued; request shed "
                         "without executing");
+            ++expired;
+        }
+        if (expired > 0) {
             {
                 std::lock_guard<std::mutex> lock(mu_);
-                --inflight_;
+                inflight_ -= expired;
             }
-            metric_inflight_->add(-1);
+            metric_inflight_->add(-static_cast<int64_t>(expired));
             idle_cv_.notify_all();
+        }
+        if (live.empty())
             continue;
+
+        // Merged guardrails for the shared run. The batch members
+        // agree on shape (that is what made them compatible) but may
+        // disagree on per-request options; the merge is conservative:
+        // the earliest deadline governs, the arena budget is the
+        // loosest member's (unlimited wins), and the interpreter
+        // fallback fires only when every member opted in.
+        RunOptions opts = live.front().runOptions;
+        bool fallback_all = true;
+        bool arena_unlimited = false;
+        size_t arena_max = 0;
+        double run_deadline = 0.0;
+        for (const Pending& p : live) {
+            fallback_all = fallback_all && p.runOptions.fallbackOnError;
+            if (p.runOptions.arenaBudgetBytes == 0)
+                arena_unlimited = true;
+            else
+                arena_max =
+                    std::max(arena_max, p.runOptions.arenaBudgetBytes);
+            double d = p.runOptions.deadlineSeconds;
+            if (p.deadline !=
+                std::chrono::steady_clock::time_point::max()) {
+                // Hand the engine the *remaining* time so mid-run
+                // expiry surfaces its cooperative group-boundary
+                // error unchanged.
+                double remaining = secondsUntil(p.deadline, now);
+                d = d > 0.0 ? std::min(d, remaining) : remaining;
+            }
+            if (d > 0.0)
+                run_deadline =
+                    run_deadline > 0.0 ? std::min(run_deadline, d) : d;
+        }
+        opts.fallbackOnError = fallback_all;
+        opts.arenaBudgetBytes = arena_unlimited ? 0 : arena_max;
+        opts.deadlineSeconds = run_deadline;
+
+        BatchOptions bopts;
+        if (batch_policy_.padToBucket &&
+            engine_->batchInfo().stackable) {
+            int64_t rows = 0;
+            for (const Pending& p : live)
+                rows += p.rows;
+            bopts.padRowsTo = BatchPolicy::bucketRows(rows);
         }
 
-        RunOptions opts = p.runOptions;
-        if (p.deadline != std::chrono::steady_clock::time_point::max()) {
-            // Hand the engine the *remaining* time so mid-run expiry
-            // surfaces its cooperative group-boundary error unchanged.
-            double remaining = secondsUntil(p.deadline, now);
-            opts.deadlineSeconds = opts.deadlineSeconds > 0.0
-                                       ? std::min(opts.deadlineSeconds,
-                                                  remaining)
-                                       : remaining;
-        }
+        std::vector<const std::vector<Tensor>*> item_inputs;
+        item_inputs.reserve(live.size());
+        for (const Pending& p : live)
+            item_inputs.push_back(&p.inputs);
 
-        RunResult result;
+        BatchRunStats bstats;
+        std::vector<RunResult> results;
         try {
-            result = engine_->tryRun(worker.ctx, p.inputs, nullptr, opts);
+            results = engine_->runBatch(worker.ctx, item_inputs, opts,
+                                        bopts, &bstats);
         } catch (const std::exception& e) {
-            // tryRun is non-throwing by contract; belt-and-braces so a
-            // worker thread can never die on an escaped exception.
-            result.code = ErrorCode::kInternal;
-            result.message = e.what();
+            // runBatch is non-throwing by contract; belt-and-braces so
+            // a worker thread can never die on an escaped exception.
+            results.assign(live.size(), RunResult());
+            for (RunResult& r : results) {
+                r.code = ErrorCode::kInternal;
+                r.message = e.what();
+            }
         }
-        if (result.ok()) {
-            // The engine's outputs alias this worker's arena and are
-            // invalidated by its next run; the caller gets owning
-            // copies.
-            for (Tensor& t : result.outputs)
-                t = t.clone();
+
+        metric_batches_->add();
+        metric_batch_size_->observe(static_cast<double>(live.size()));
+        if (bstats.padRows > 0)
+            metric_pad_rows_->add(static_cast<uint64_t>(bstats.padRows));
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++counts_.batches;
+            if (bstats.padRows > 0)
+                counts_.padRows +=
+                    static_cast<uint64_t>(bstats.padRows);
         }
 
         // Order matters for drain()'s guarantee: counters final, then
-        // the promise resolves, then inflight drops — so a waiter woken
-        // by inflight==0 sees every future ready and every count final.
-        bool ok = result.ok();
-        {
-            std::lock_guard<std::mutex> lock(mu_);
+        // the promises resolve, then inflight drops — so a waiter
+        // woken by inflight==0 sees every future ready and every count
+        // final. runBatch's outputs are owning copies already.
+        for (size_t i = 0; i < live.size(); ++i) {
+            RunResult result;
+            if (i < results.size()) {
+                result = std::move(results[i]);
+            } else {
+                result.code = ErrorCode::kInternal;
+                result.message = "batch result missing";
+            }
+            bool ok = result.ok();
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                if (ok)
+                    ++counts_.completed;
+                else
+                    ++counts_.failed;
+            }
             if (ok)
-                ++counts_.completed;
-            else
-                ++counts_.failed;
+                metric_completed_->add();
+            live[i].promise.set_value(std::move(result));
         }
-        if (ok)
-            metric_completed_->add();
-        p.promise.set_value(std::move(result));
         {
             std::lock_guard<std::mutex> lock(mu_);
-            --inflight_;
+            inflight_ -= live.size();
         }
-        metric_inflight_->add(-1);
+        metric_inflight_->add(-static_cast<int64_t>(live.size()));
         idle_cv_.notify_all();
     }
 }

@@ -42,6 +42,7 @@
 
 #include "core/sod2_engine.h"
 #include "serving/affinity.h"
+#include "serving/batcher.h"
 #include "serving/request_queue.h"
 #include "support/metrics.h"
 
@@ -92,6 +93,29 @@ struct ServerOptions
      *  cooperative deadline in addition to any request deadline. */
     RunOptions defaultRunOptions;
     /**
+     * Largest request batch one worker coalesces into a single engine
+     * run (serving/batcher.h). 1 disables batching (every request runs
+     * alone, the pre-batching behavior). 0 -> SOD2_BATCH_MAX -> 8.
+     */
+    int maxBatchSize = 0;
+    /**
+     * Straggler window in microseconds: a worker holding a non-full
+     * batch waits this long for compatible arrivals before running.
+     * 0 = batch only what is already queued (no added latency).
+     * Negative -> SOD2_BATCH_WAIT_US -> 0.
+     */
+    long long maxBatchWaitMicros = -1;
+    /**
+     * Pad-to-bucket batching: 1 groups requests by MVC-style batch-
+     * compatibility key (batch extent masked) and pads the stacked
+     * batch dim up to a power-of-two bucket; 0 keeps the exact-
+     * signature fast path only. Negative -> SOD2_BATCH_PAD -> off.
+     * Only takes effect when the compiled graph is stackable. Under
+     * pad mode, dispatch routes by the compat key (not the exact
+     * signature) so same-class requests share a worker queue.
+     */
+    int padBatches = -1;
+    /**
      * Construct with the workers parked (not yet spawned): requests
      * queue but nothing executes until start(). Lets tests fill queues
      * deterministically (QueueFull, in-queue expiry, priority order).
@@ -119,6 +143,12 @@ struct ServerStats
     uint64_t completed = 0;
     /** Executed but finished with a typed error (after any fallback). */
     uint64_t failed = 0;
+    /** Batch executions (one engine dispatch each; a solo request
+     *  counts as a batch of one). completed / batches ≈ mean batch. */
+    uint64_t batches = 0;
+    /** Zero rows stacked to reach a pad bucket (pad waste, in batch
+     *  rows; only grows under padBatches). */
+    uint64_t padRows = 0;
     /** Requests currently queued / currently executing. */
     size_t queueDepth = 0;
     size_t inflight = 0;
@@ -176,6 +206,8 @@ class Sod2Server
 
     int workers() const { return static_cast<int>(workers_.size()); }
     AffinityMode affinity() const { return policy_.mode(); }
+    /** The resolved batching policy this server dispatches under. */
+    const BatchPolicy& batchPolicy() const { return batch_policy_; }
     const Sod2Engine& engine() const { return *engine_; }
 
     /** The worker @p signature routes to right now (under kShape this
@@ -200,6 +232,7 @@ class Sod2Server
     ServerOptions options_;
     size_t queue_depth_cap_;
     AffinityPolicy policy_;
+    BatchPolicy batch_policy_;
     std::vector<std::unique_ptr<Worker>> workers_;
 
     /** Guards admission accounting (queued count/bytes), lifecycle
@@ -221,6 +254,9 @@ class Sod2Server
     Counter* metric_shed_;
     Counter* metric_expired_;
     Counter* metric_completed_;
+    Counter* metric_batches_;
+    Counter* metric_pad_rows_;
+    Histogram* metric_batch_size_;
     Gauge* metric_queue_depth_;
     Gauge* metric_inflight_;
 };

@@ -78,6 +78,28 @@ serverAffinity()
     return value;
 }
 
+int
+batchMax()
+{
+    static const int value = readPositiveInt("SOD2_BATCH_MAX", 0);
+    return value;
+}
+
+long long
+batchWaitMicros()
+{
+    static const long long value =
+        readPositiveInt64("SOD2_BATCH_WAIT_US", 0);
+    return value;
+}
+
+bool
+batchPad()
+{
+    static const bool value = readFlag("SOD2_BATCH_PAD");
+    return value;
+}
+
 bool
 traceEnabled()
 {

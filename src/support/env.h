@@ -85,6 +85,31 @@ size_t serverQueueDepth();
  */
 const std::string& serverAffinity();
 
+/**
+ * SOD2_BATCH_MAX — largest request batch one Sod2Server worker
+ * coalesces into a single engine run, when ServerOptions leaves
+ * maxBatchSize at 0. Returns 0 when unset (the server then picks its
+ * built-in default). Cached at first query, once per process.
+ */
+int batchMax();
+
+/**
+ * SOD2_BATCH_WAIT_US — microseconds a worker with a non-full batch
+ * waits for compatible stragglers before running, when ServerOptions
+ * leaves maxBatchWaitMicros negative. Returns 0 when unset (no
+ * waiting: batch whatever is queued right now). Cached at first
+ * query, once per process.
+ */
+long long batchWaitMicros();
+
+/**
+ * SOD2_BATCH_PAD=1 — group batches by MVC shape class instead of the
+ * exact signature, padding the stacked batch dim up to the bucket
+ * boundary (serving/batcher.h), when ServerOptions leaves padBatches
+ * negative. Cached at first query, once per process.
+ */
+bool batchPad();
+
 /** Uncached low-level parse: true iff @p name is set to exactly "1". */
 bool readFlag(const char* name);
 

@@ -1,0 +1,606 @@
+/** Tests for shape-bucketed continuous batching (DESIGN.md §12): the
+ *  compile-time stackability proof, bit-exactness of batched vs
+ *  sequential execution on both the stacked and the per-item paths
+ *  (the whole model zoo rides the latter), padded-batch output
+ *  slicing, the RequestQueue batch-drain primitive's ordering
+ *  contract, the straggler-window timeout, admission-bytes release on
+ *  expiry shed, mixed-signature storms, and typed shedding of exactly
+ *  the faulted batch under SOD2_FAULT=plan.instantiate. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/sod2_engine.h"
+#include "graph/builder.h"
+#include "models/model_zoo.h"
+#include "serving/batcher.h"
+#include "serving/request_queue.h"
+#include "serving/server.h"
+#include "support/fault_injection.h"
+#include "support/metrics.h"
+#include "support/rng.h"
+
+namespace sod2 {
+namespace {
+
+using serving::BatchPolicy;
+using serving::Pending;
+using serving::Request;
+using serving::RequestQueue;
+using serving::ServerOptions;
+using serving::ServerStats;
+using serving::Sod2Server;
+using serving::collectBatch;
+
+/** Same dynamic CNN as serving_test: symbolic n/h/w leading batch dim,
+ *  conv -> relu -> pool -> gap -> reshape -> matmul -> gelu. */
+struct StackableModel
+{
+    Graph graph;
+    RdpOptions rdp;
+
+    static StackableModel
+    cnn()
+    {
+        StackableModel m;
+        GraphBuilder b(&m.graph);
+        Rng rng(41);
+        ValueId x = b.input("x");
+        ValueId w1 = b.weight("w1", {8, 3, 3, 3}, rng);
+        ValueId c1 = b.relu(b.conv2d(x, w1, -1, 2, 1));
+        ValueId p1 = b.maxPool(c1, 2, 2);
+        ValueId gap = b.globalAvgPool(p1);
+        ValueId flat = b.reshape(gap, {0, -1});
+        ValueId w2 = b.weight("w2", {8, 4}, rng);
+        b.output(b.gelu(b.matmul(flat, w2)));
+
+        m.rdp.inputShapes["x"] = ShapeInfo::ranked(
+            {DimValue::symbol("n"), DimValue::known(3),
+             DimValue::symbol("h"), DimValue::symbol("w")});
+        return m;
+    }
+};
+
+Tensor
+cnnInput(int64_t n, int64_t h, int64_t w, uint64_t seed)
+{
+    Rng rng(seed);
+    return Tensor::randomUniform(Shape({n, 3, h, w}), rng);
+}
+
+std::vector<std::vector<uint8_t>>
+snapshot(const std::vector<Tensor>& outputs)
+{
+    std::vector<std::vector<uint8_t>> bytes;
+    bytes.reserve(outputs.size());
+    for (const Tensor& t : outputs) {
+        const uint8_t* p = static_cast<const uint8_t*>(t.raw());
+        bytes.emplace_back(p, p + t.byteSize());
+    }
+    return bytes;
+}
+
+struct CnnFixture
+{
+    StackableModel model = StackableModel::cnn();
+    Sod2Engine engine;
+
+    CnnFixture() : engine(&model.graph, options()) {}
+
+    static Sod2Options
+    options()
+    {
+        StackableModel m = StackableModel::cnn();
+        Sod2Options opts;
+        opts.rdp = m.rdp;
+        return opts;
+    }
+};
+
+// --- the stackability proof -------------------------------------------
+
+TEST(Batchability, CnnWithSymbolicLeadingDimIsStackable)
+{
+    CnnFixture f;
+    const BatchInfo& info = f.engine.batchInfo();
+    EXPECT_TRUE(info.stackable) << info.reason;
+    EXPECT_EQ(info.batchSymbol, "n");
+    EXPECT_GE(info.batchSlot, 0);
+}
+
+TEST(Batchability, CompatKeyMasksOnlyTheBatchExtent)
+{
+    CnnFixture f;
+    std::vector<int64_t> va, vb, vc;
+    f.engine.signatureFor({cnnInput(1, 16, 16, 1)}, &va);
+    f.engine.signatureFor({cnnInput(4, 16, 16, 2)}, &vb);
+    f.engine.signatureFor({cnnInput(1, 20, 16, 3)}, &vc);
+    // Same non-batch extents -> same compat key, despite n differing.
+    EXPECT_EQ(f.engine.batchCompatKey(va), f.engine.batchCompatKey(vb));
+    // A different spatial extent stays incompatible.
+    EXPECT_NE(f.engine.batchCompatKey(va), f.engine.batchCompatKey(vc));
+    EXPECT_EQ(f.engine.batchRowsOf(vb), 4);
+}
+
+TEST(Batchability, ZooModelsReportAReasonWhenNotStackable)
+{
+    // Every zoo model declares a known(1) leading dim (and several use
+    // control flow / EDO ops), so none can be stacked — the proof must
+    // say so instead of silently miscompiling, and runBatch must take
+    // the per-item path (exercised below).
+    Rng rng(7);
+    for (const std::string& name : allModelNames()) {
+        ModelSpec spec = buildModel(name, rng);
+        Sod2Options opts;
+        opts.rdp = spec.rdp;
+        Sod2Engine engine(spec.graph.get(), opts);
+        EXPECT_FALSE(engine.batchInfo().stackable) << name;
+        EXPECT_FALSE(engine.batchInfo().reason.empty()) << name;
+    }
+}
+
+// --- runBatch: stacked path -------------------------------------------
+
+TEST(RunBatch, StackedBitExactAgainstSequential)
+{
+    CnnFixture f;
+    std::vector<std::vector<Tensor>> items;
+    for (uint64_t s = 0; s < 4; ++s)
+        items.push_back({cnnInput(2, 16, 16, 100 + s)});
+
+    // Reference: each item alone, fresh context each time.
+    std::vector<std::vector<std::vector<uint8_t>>> expect;
+    for (const auto& item : items) {
+        RunContext ctx;
+        expect.push_back(snapshot(f.engine.run(ctx, item)));
+    }
+
+    std::vector<const std::vector<Tensor>*> ptrs;
+    for (const auto& item : items)
+        ptrs.push_back(&item);
+    RunContext ctx;
+    BatchRunStats bstats;
+    std::vector<RunResult> results =
+        f.engine.runBatch(ctx, ptrs, {}, {}, &bstats);
+    EXPECT_TRUE(bstats.stacked);
+    EXPECT_EQ(bstats.rows, 8);
+    EXPECT_EQ(bstats.padRows, 0);
+    ASSERT_EQ(results.size(), items.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+        ASSERT_TRUE(results[i].ok()) << results[i].message;
+        EXPECT_EQ(snapshot(results[i].outputs), expect[i]) << "item " << i;
+    }
+}
+
+TEST(RunBatch, PaddedBatchSlicesOutputsIdentically)
+{
+    CnnFixture f;
+    // Mixed batch extents (1 + 2 = 3 rows), padded up to the 4-row
+    // bucket: one zero row rides along and must never leak into any
+    // item's sliced outputs.
+    std::vector<Tensor> a = {cnnInput(1, 16, 16, 11)};
+    std::vector<Tensor> b = {cnnInput(2, 16, 16, 12)};
+    std::vector<std::vector<std::vector<uint8_t>>> expect;
+    for (const auto* item : {&a, &b}) {
+        RunContext ctx;
+        expect.push_back(snapshot(f.engine.run(ctx, *item)));
+    }
+
+    RunContext ctx;
+    BatchOptions bopts;
+    bopts.padRowsTo = BatchPolicy::bucketRows(3);
+    ASSERT_EQ(bopts.padRowsTo, 4);
+    BatchRunStats bstats;
+    std::vector<RunResult> results =
+        f.engine.runBatch(ctx, {&a, &b}, {}, bopts, &bstats);
+    EXPECT_TRUE(bstats.stacked);
+    EXPECT_EQ(bstats.rows, 3);
+    EXPECT_EQ(bstats.padRows, 1);
+    ASSERT_TRUE(results[0].ok()) << results[0].message;
+    ASSERT_TRUE(results[1].ok()) << results[1].message;
+    // Output shapes carry each item's own batch extent...
+    ASSERT_EQ(results[0].outputs[0].shape().dim(0), 1);
+    ASSERT_EQ(results[1].outputs[0].shape().dim(0), 2);
+    // ...and the values match the unbatched runs exactly.
+    EXPECT_EQ(snapshot(results[0].outputs), expect[0]);
+    EXPECT_EQ(snapshot(results[1].outputs), expect[1]);
+}
+
+TEST(RunBatch, MalformedItemFailsAloneNotItsBatchmates)
+{
+    CnnFixture f;
+    std::vector<Tensor> good1 = {cnnInput(1, 16, 16, 21)};
+    std::vector<Tensor> bad;  // wrong arity -> typed InvalidInput
+    std::vector<Tensor> good2 = {cnnInput(1, 16, 16, 22)};
+    RunContext ctx;
+    std::vector<RunResult> results =
+        f.engine.runBatch(ctx, {&good1, &bad, &good2});
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_TRUE(results[0].ok()) << results[0].message;
+    EXPECT_EQ(results[1].code, ErrorCode::kInvalidInput);
+    EXPECT_TRUE(results[2].ok()) << results[2].message;
+}
+
+// --- runBatch: per-item path across the model zoo ---------------------
+
+TEST(RunBatch, ZooBatchedBitExactAgainstSequential)
+{
+    // None of these stack (asserted above), so this exercises the
+    // per-item fallback: same engine, same context, owning outputs,
+    // bit-exact against one-at-a-time runs.
+    Rng rng(13);
+    for (const std::string& name : allModelNames()) {
+        ModelSpec spec = buildModel(name, rng);
+        Sod2Options opts;
+        opts.rdp = spec.rdp;
+        Sod2Engine engine(spec.graph.get(), opts);
+
+        Rng sample_rng(29);
+        std::vector<std::vector<Tensor>> items;
+        for (int i = 0; i < 3; ++i)
+            items.push_back(spec.sample(sample_rng, spec.minSize));
+
+        std::vector<std::vector<std::vector<uint8_t>>> expect;
+        for (const auto& item : items) {
+            RunContext ctx;
+            expect.push_back(snapshot(engine.run(ctx, item)));
+        }
+
+        std::vector<const std::vector<Tensor>*> ptrs;
+        for (const auto& item : items)
+            ptrs.push_back(&item);
+        RunContext ctx;
+        BatchRunStats bstats;
+        std::vector<RunResult> results =
+            engine.runBatch(ctx, ptrs, {}, {}, &bstats);
+        EXPECT_FALSE(bstats.stacked) << name;
+        for (size_t i = 0; i < results.size(); ++i) {
+            ASSERT_TRUE(results[i].ok())
+                << name << " item " << i << ": " << results[i].message;
+            EXPECT_EQ(snapshot(results[i].outputs), expect[i])
+                << name << " item " << i;
+        }
+    }
+}
+
+// --- RequestQueue batch-drain primitive -------------------------------
+
+Pending
+makePending(uint64_t signature, int priority, uint64_t seq)
+{
+    Pending p;
+    p.signature = signature;
+    p.compatKey = signature;
+    p.priority = priority;
+    p.seq = seq;
+    return p;
+}
+
+TEST(Queue, PeekCompatibleKeepsFifoWithinASignature)
+{
+    RequestQueue q;
+    // Interleave signatures A and B at one priority.
+    ASSERT_TRUE(q.push(makePending(0xA, 0, 1)));
+    ASSERT_TRUE(q.push(makePending(0xB, 0, 2)));
+    ASSERT_TRUE(q.push(makePending(0xA, 0, 3)));
+    ASSERT_TRUE(q.push(makePending(0xB, 0, 4)));
+    ASSERT_TRUE(q.push(makePending(0xA, 0, 5)));
+
+    std::vector<Pending> batch;
+    EXPECT_EQ(q.peekCompatible(0xA, 8, &batch), 3u);
+    ASSERT_EQ(batch.size(), 3u);
+    EXPECT_EQ(batch[0].seq, 1u);  // FIFO within signature A
+    EXPECT_EQ(batch[1].seq, 3u);
+    EXPECT_EQ(batch[2].seq, 5u);
+
+    // B stays queued, still in FIFO order.
+    Pending out;
+    ASSERT_TRUE(q.pop(&out));
+    EXPECT_EQ(out.seq, 2u);
+    ASSERT_TRUE(q.pop(&out));
+    EXPECT_EQ(out.seq, 4u);
+    EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(Queue, PeekCompatibleRespectsPrioritiesAcrossSignatures)
+{
+    RequestQueue q;
+    ASSERT_TRUE(q.push(makePending(0xA, 0, 1)));
+    ASSERT_TRUE(q.push(makePending(0xB, 9, 2)));  // high-priority B
+    ASSERT_TRUE(q.push(makePending(0xA, 5, 3)));
+    ASSERT_TRUE(q.push(makePending(0xA, 0, 4)));
+
+    // Draining A must not disturb B's claim to the front: priority
+    // order across the untouched signatures is preserved verbatim.
+    std::vector<Pending> batch;
+    EXPECT_EQ(q.peekCompatible(0xA, 2, &batch), 2u);
+    ASSERT_EQ(batch.size(), 2u);
+    // Queue order is priority-descending, so the priority-5 A item
+    // outranks the two priority-0 ones within its signature.
+    EXPECT_EQ(batch[0].seq, 3u);
+    EXPECT_EQ(batch[1].seq, 1u);
+
+    Pending out;
+    ASSERT_TRUE(q.pop(&out));
+    EXPECT_EQ(out.seq, 2u);  // B never lost its turn
+    ASSERT_TRUE(q.pop(&out));
+    EXPECT_EQ(out.seq, 4u);  // the un-drained A item (max respected)
+}
+
+TEST(Queue, PeekCompatibleByCompatKey)
+{
+    RequestQueue q;
+    Pending a = makePending(0xA1, 0, 1);
+    a.compatKey = 0xC;
+    Pending b = makePending(0xA2, 0, 2);  // different exact signature,
+    b.compatKey = 0xC;                    // same bucket
+    ASSERT_TRUE(q.push(std::move(a)));
+    ASSERT_TRUE(q.push(std::move(b)));
+
+    std::vector<Pending> batch;
+    EXPECT_EQ(q.peekCompatible(0xC, 8, &batch, /*use_compat_key=*/true),
+              2u);
+    EXPECT_EQ(q.depth(), 0u);
+}
+
+// --- server: continuous-batching behavior -----------------------------
+
+TEST(Server, BacklogCoalescesIntoFewerBatches)
+{
+    CnnFixture f;
+    ServerOptions opts;
+    opts.workers = 1;
+    opts.maxBatchSize = 8;
+    opts.maxBatchWaitMicros = 0;
+    opts.startPaused = true;
+    Sod2Server server(&f.engine, opts);
+
+    std::vector<std::future<RunResult>> futures;
+    for (int i = 0; i < 8; ++i) {
+        Request req;
+        req.inputs = {cnnInput(1, 16, 16, 40 + i)};
+        futures.push_back(server.submit(std::move(req)));
+    }
+    server.start();
+    server.drain();
+    for (auto& fut : futures)
+        ASSERT_TRUE(fut.get().ok());
+    ServerStats s = server.stats();
+    EXPECT_EQ(s.completed, 8u);
+    // The backlog shares engine runs: strictly fewer dispatches than
+    // requests (the first pop takes the rest of the queue with it).
+    EXPECT_LT(s.batches, 8u);
+    EXPECT_GE(s.batches, 1u);
+}
+
+TEST(Server, MaxWaitTimeoutHonoredUnderTrickleLoad)
+{
+    CnnFixture f;
+    ServerOptions opts;
+    opts.workers = 1;
+    opts.maxBatchSize = 8;
+    opts.maxBatchWaitMicros = 50000;  // 50 ms straggler window
+    Sod2Server server(&f.engine, opts);
+
+    // A single request can never fill the batch; the worker must run
+    // it after the window expires instead of stalling forever.
+    auto t0 = std::chrono::steady_clock::now();
+    Request req;
+    req.inputs = {cnnInput(1, 16, 16, 50)};
+    RunResult r = server.run(std::move(req));
+    double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    ASSERT_TRUE(r.ok()) << r.message;
+    EXPECT_LT(elapsed, 5.0);  // bounded: the window is 50 ms, not ∞
+
+    // A trickle (gaps longer than the window) completes one by one.
+    for (int i = 0; i < 3; ++i) {
+        Request next;
+        next.inputs = {cnnInput(1, 16, 16, 60 + i)};
+        ASSERT_TRUE(server.run(std::move(next)).ok());
+    }
+}
+
+TEST(Server, PaddedBatchesServeBitExactResults)
+{
+    CnnFixture f;
+    ServerOptions opts;
+    opts.workers = 1;
+    opts.maxBatchSize = 8;
+    opts.padBatches = 1;
+    opts.startPaused = true;
+    Sod2Server server(&f.engine, opts);
+
+    // n=1 and n=2 share a compat key but not a signature; with padding
+    // they stack into one 3-row run padded to the 4-row bucket.
+    Tensor in_a = cnnInput(1, 16, 16, 71);
+    Tensor in_b = cnnInput(2, 16, 16, 72);
+    std::vector<std::vector<std::vector<uint8_t>>> expect;
+    for (const Tensor* in : {&in_a, &in_b}) {
+        RunContext ctx;
+        expect.push_back(snapshot(f.engine.run(ctx, {*in})));
+    }
+
+    Request ra, rb;
+    ra.inputs = {in_a};
+    rb.inputs = {in_b};
+    auto fa = server.submit(std::move(ra));
+    auto fb = server.submit(std::move(rb));
+    server.start();
+    server.drain();
+
+    RunResult a = fa.get(), b = fb.get();
+    ASSERT_TRUE(a.ok()) << a.message;
+    ASSERT_TRUE(b.ok()) << b.message;
+    EXPECT_EQ(snapshot(a.outputs), expect[0]);
+    EXPECT_EQ(snapshot(b.outputs), expect[1]);
+
+    ServerStats s = server.stats();
+    EXPECT_EQ(s.completed, 2u);
+    EXPECT_EQ(s.batches, 1u);   // one stacked dispatch
+    EXPECT_EQ(s.padRows, 1u);   // 3 rows padded to the 4-row bucket
+}
+
+TEST(Server, ExpiryShedReleasesAdmissionBytes)
+{
+    CnnFixture f;
+    Tensor probe = cnnInput(1, 16, 16, 80);
+    const size_t request_bytes = probe.byteSize();
+
+    ServerOptions opts;
+    opts.workers = 1;
+    opts.queueBytesBudget = 2 * request_bytes;  // exactly two requests
+    opts.startPaused = true;
+    Sod2Server server(&f.engine, opts);
+
+    // Fill the budget with requests whose deadline dies in the queue.
+    std::vector<std::future<RunResult>> doomed;
+    for (int i = 0; i < 2; ++i) {
+        Request req;
+        req.inputs = {cnnInput(1, 16, 16, 81 + i)};
+        req.deadlineSeconds = 1e-4;
+        doomed.push_back(server.submit(std::move(req)));
+    }
+    // Budget exhausted: a third request sheds QueueFull.
+    {
+        Request req;
+        req.inputs = {cnnInput(1, 16, 16, 83)};
+        EXPECT_EQ(server.run(std::move(req)).code, ErrorCode::kQueueFull);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    server.start();
+    server.drain();
+    for (auto& fut : doomed)
+        EXPECT_EQ(fut.get().code, ErrorCode::kDeadlineExceeded);
+
+    // The expiry sheds never executed — but their bytes MUST be back:
+    // two fresh requests fit the budget again.
+    std::vector<std::future<RunResult>> fresh;
+    for (int i = 0; i < 2; ++i) {
+        Request req;
+        req.inputs = {cnnInput(1, 16, 16, 85 + i)};
+        fresh.push_back(server.submit(std::move(req)));
+    }
+    for (auto& fut : fresh) {
+        RunResult r = fut.get();
+        EXPECT_TRUE(r.ok()) << r.message;  // admitted, not QueueFull
+    }
+    ServerStats s = server.stats();
+    EXPECT_EQ(s.expired, 2u);
+    EXPECT_EQ(s.completed, 2u);
+}
+
+TEST(Server, EightThreadStormMixedSignaturesBitExact)
+{
+    CnnFixture f;
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 12;
+    static const int64_t kHeights[] = {12, 16, 20, 24};
+
+    // Reference outputs per (signature, seed) from a private context.
+    auto make_input = [&](int which, uint64_t seed) {
+        return cnnInput(1 + which % 2, kHeights[which % 4],
+                        kHeights[(which + 1) % 4], seed);
+    };
+    std::vector<std::vector<std::vector<uint8_t>>> expect(
+        kThreads * kPerThread);
+    for (int t = 0; t < kThreads; ++t)
+        for (int i = 0; i < kPerThread; ++i) {
+            int id = t * kPerThread + i;
+            RunContext ctx;
+            expect[id] =
+                snapshot(f.engine.run(ctx, {make_input(id % 4, id)}));
+        }
+
+    ServerOptions opts;
+    opts.workers = 2;
+    opts.maxBatchSize = 4;
+    opts.maxBatchWaitMicros = 2000;
+    opts.padBatches = 1;
+    opts.queueDepth = kThreads * kPerThread;
+    Sod2Server server(&f.engine, opts);
+
+    std::vector<std::future<RunResult>> futures(kThreads * kPerThread);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                int id = t * kPerThread + i;
+                Request req;
+                req.inputs = {make_input(id % 4, id)};
+                req.priority = id % 3;
+                futures[id] = server.submit(std::move(req));
+            }
+        });
+    for (auto& th : threads)
+        th.join();
+    server.drain();
+
+    for (int id = 0; id < kThreads * kPerThread; ++id) {
+        RunResult r = futures[id].get();
+        ASSERT_TRUE(r.ok()) << "request " << id << ": " << r.message;
+        EXPECT_EQ(snapshot(r.outputs), expect[id]) << "request " << id;
+    }
+    ServerStats s = server.stats();
+    EXPECT_EQ(s.submitted, s.admitted + s.shed);
+    EXPECT_EQ(s.completed,
+              static_cast<uint64_t>(kThreads * kPerThread));
+    EXPECT_GE(s.batches, 1u);
+}
+
+TEST(Server, FaultedBatchShedsTypedAloneUnderPlanInstantiateFault)
+{
+    CnnFixture f;
+    ServerOptions opts;
+    opts.workers = 1;
+    opts.maxBatchSize = 4;
+    opts.startPaused = true;
+    Sod2Server server(&f.engine, opts);
+
+    // Two exact-signature batches queue up: A (16x16) then B (20x20).
+    std::vector<std::future<RunResult>> batch_a, batch_b;
+    for (int i = 0; i < 4; ++i) {
+        Request req;
+        req.inputs = {cnnInput(1, 16, 16, 90 + i)};
+        batch_a.push_back(server.submit(std::move(req)));
+    }
+    for (int i = 0; i < 4; ++i) {
+        Request req;
+        req.inputs = {cnnInput(1, 20, 20, 95 + i)};
+        batch_b.push_back(server.submit(std::move(req)));
+    }
+
+    // The next plan instantiation — batch A's stacked signature — dies
+    // with a typed injected error; arming is one-shot, so batch B's
+    // plan instantiates fine.
+    fault::arm(fault::kPlanInstantiate, 1);
+    server.start();
+    server.drain();
+    fault::disarm();
+
+    for (auto& fut : batch_a) {
+        RunResult r = fut.get();
+        EXPECT_EQ(r.code, ErrorCode::kInternal);  // typed, whole batch
+        EXPECT_NE(r.message.find("injected fault"), std::string::npos);
+    }
+    for (auto& fut : batch_b) {
+        RunResult r = fut.get();
+        EXPECT_TRUE(r.ok()) << r.message;  // only the faulted batch shed
+    }
+    ServerStats s = server.stats();
+    EXPECT_EQ(s.failed, 4u);
+    EXPECT_EQ(s.completed, 4u);
+}
+
+}  // namespace
+}  // namespace sod2

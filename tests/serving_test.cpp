@@ -476,11 +476,15 @@ TEST(Affinity, ShapeAffinityBeatsRoundRobinOnContextHits)
     // each to one worker, so nearly every run reuses the worker's
     // last-plan memo; round-robin interleaves A and B on both workers
     // and never gets a memo hit. Each server gets its own engine so
-    // the plan-cache counters are independent.
+    // the plan-cache counters are independent. Batching is pinned off:
+    // the coalescer would reorder same-signature requests back-to-back
+    // and hand round-robin memo hits, hiding the routing effect this
+    // test isolates (batching has its own suite, batching_test.cpp).
     auto runStream = [](AffinityMode mode) {
         ServingFixture f;
         ServerOptions opts;
         opts.workers = 2;
+        opts.maxBatchSize = 1;
         opts.affinity = mode;
         Sod2Server server(&f.engine, opts);
         std::vector<std::future<RunResult>> futures;
