@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Tiered-specialization gate (DESIGN.md §13): the online shape
+# profiler, the background specializer, and the tier-1 swap protocol —
+#   1. the default build: the specialization-labeled suite (threshold
+#      semantics under races, zoo-wide tier-1 vs tier-0 bit-exactness,
+#      tier-up during a run storm, drain quiescence, the
+#      specialize.compile fault site) plus the steady_state_cache
+#      --specialize bench, whose exit code enforces zoo-wide
+#      bit-exactness, promotion on every model, and >= 1.15x p50 on
+#      the shape-compute-bound stream;
+#   2. the tsan preset: the profiler's lock-free table, the
+#      noteRun -> specializer queue handoff, and the atomic PlanCache
+#      swap under concurrent runs must stay race-free;
+#   3. the asan preset: no leaks or out-of-bounds in the specialized
+#      artifact (re-fused groups, folded tensors, pre-bound offsets).
+#
+# Usage: scripts/check_specialization.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== specialization suite (default build) =="
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$(nproc)"
+ctest --test-dir build -L specialization --output-on-failure "$@"
+
+echo "== steady_state_cache --specialize (promotion + speedup gates) =="
+./build/bench/steady_state_cache --specialize
+
+echo "== specialization suite (tsan preset) =="
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j "$(nproc)"
+ctest --test-dir build-tsan -L specialization --output-on-failure "$@"
+
+echo "== specialize bench under tsan (swap/handoff under timing skew) =="
+SOD2_BENCH_RUNS=10 ./build-tsan/bench/steady_state_cache --specialize
+
+echo "== specialization suite (asan preset) =="
+cmake --preset asan >/dev/null
+cmake --build --preset asan -j "$(nproc)"
+ctest --test-dir build-asan -L specialization --output-on-failure "$@"
+
+echo "== specialize bench under asan (artifact lifetime / leaks) =="
+SOD2_BENCH_RUNS=10 ./build-asan/bench/steady_state_cache --specialize
+
+echo "check_specialization: all green"

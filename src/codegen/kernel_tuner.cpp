@@ -129,8 +129,11 @@ buildVersionSelectors(const Graph& graph,
 std::vector<GroupKernelChoice>
 resolveVersions(const std::vector<VersionSelector>& selectors,
                 const TunedVersions& versions,
-                const std::map<std::string, int64_t>& bindings)
+                const std::map<std::string, int64_t>& bindings,
+                int* unresolved)
 {
+    if (unresolved)
+        *unresolved = 0;
     std::vector<GroupKernelChoice> choices(selectors.size());
     for (size_t gi = 0; gi < selectors.size(); ++gi) {
         const VersionSelector& sel = selectors[gi];
@@ -142,12 +145,16 @@ resolveVersions(const std::vector<VersionSelector>& selectors,
             if (m && n && k) {
                 choice.kind = GroupKernelChoice::Kind::kGemm;
                 choice.gemm = versions.gemmFor(*m, *n, *k);
+            } else if (unresolved) {
+                ++*unresolved;
             }
         } else if (sel.kind == VersionSelector::Kind::kConv) {
             auto boc = sel.batchTimesOc->evaluate(bindings);
             if (boc) {
                 choice.kind = GroupKernelChoice::Kind::kConv;
                 choice.conv = versions.convFor(*boc);
+            } else if (unresolved) {
+                ++*unresolved;
             }
         }
     }

@@ -72,13 +72,18 @@ PlanCache::insertLocked(uint64_t hash, std::vector<int64_t> values,
     if (it != index_.end()) {
         auto cit = chainFind(it->second, values);
         if (cit != it->second.end()) {
+            // In-place replace — the tier-up swap path. In-flight runs
+            // keep their shared_ptr to the old plan; new lookups (and
+            // memos, via the generation bump) see the new one.
             (*cit)->plan = std::move(plan);
             entries_.splice(entries_.begin(), entries_, *cit);
+            generation_.fetch_add(1, std::memory_order_relaxed);
             return;
         }
     }
     entries_.push_front(Entry{hash, std::move(values), std::move(plan)});
     index_[hash].push_back(entries_.begin());
+    generation_.fetch_add(1, std::memory_order_relaxed);
     if (entries_.size() > capacity_) {
         if (Trace::enabled())
             Trace::threadBuffer().addInstant(
@@ -89,6 +94,7 @@ PlanCache::insertLocked(uint64_t hash, std::vector<int64_t> values,
         removeFromIndexLocked(entries_.back());
         entries_.pop_back();
         evictions_.fetch_add(1, std::memory_order_relaxed);
+        generation_.fetch_add(1, std::memory_order_relaxed);
         metric_evictions_->add();
     }
 }

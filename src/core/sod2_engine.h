@@ -49,6 +49,8 @@
 
 namespace sod2 {
 
+class Specializer;
+
 /** Which fusion proof strength the engine compiles with. */
 enum class FusionMode { kNone, kStatic, kRdp };
 
@@ -78,6 +80,16 @@ struct Sod2Options
      * knob for checking cached-plan reuse.
      */
     bool validateEveryPlan = false;
+    /**
+     * Tiered-specialization promotion threshold (DESIGN.md §13): after
+     * this many runs of one shape signature, a background thread
+     * recompiles it into a fully-static tier-1 plan and swaps it into
+     * the plan cache. > 0 = explicit threshold; 0 = disabled; negative
+     * (default) defers to SOD2_SPECIALIZE / SOD2_SPECIALIZE_AFTER
+     * (disabled when neither is set). Requires the plan cache
+     * (planCacheCapacity > 0) — tier-1 plans are published through it.
+     */
+    int specializeAfter = -1;
     DeviceProfile device = DeviceProfile::mobileCpu();
     SepOptions sep;
 };
@@ -184,6 +196,9 @@ struct RunStats
     /** True when this run reused a cached (or in-flight) plan instance
      *  instead of instantiating one itself. */
     bool planCacheHit = false;
+    /** Tier of the plan this run executed with: 0 = symbolic compile-
+     *  time plan, 1 = background-specialized fully-static plan. */
+    int planTier = 0;
     /** Cumulative plan-cache counters (since engine construction).
      *  Taken as one consistent snapshot under the cache lock, so
      *  hits + misses + coalesced equals the lookups completed at
@@ -215,6 +230,9 @@ class Sod2Engine
     /** Compiles @p graph; the graph must outlive the engine. Freezes
      *  the process-wide OpRegistry against late registration. */
     Sod2Engine(const Graph* graph, Sod2Options options);
+
+    /** Stops and joins the background specializer thread, if any. */
+    ~Sod2Engine();
 
     /**
      * Executes one inference through the engine-owned default context.
@@ -336,6 +354,19 @@ class Sod2Engine
     /** Outcome of the compile-time stackability proof. */
     const BatchInfo& batchInfo() const { return batch_info_; }
 
+    /** The background specializer (core/specialization.h), or null
+     *  when tiered specialization is disabled. */
+    const Specializer* specializer() const { return specializer_.get(); }
+
+    /**
+     * Blocks until the specializer's promotion queue is empty and no
+     * tier-1 compile is in flight (no-op when specialization is off).
+     * The serving layer calls this on drain/shutdown so a drained
+     * server also has no background recompilation mid-swap; safe to
+     * call concurrently with runs.
+     */
+    void quiesceSpecialization() const;
+
     /**
      * Batch-compatibility key of a canonical binding vector (from
      * signatureFor): the signature hash with the batch extent masked
@@ -352,11 +383,27 @@ class Sod2Engine
     int64_t batchRowsOf(const std::vector<int64_t>& values) const;
 
   private:
+    friend class Specializer;
+
     /** Evaluates interval sizes, places the arena plan, and resolves
      *  kernel versions for one symbol binding — the per-signature work
      *  the plan cache memoizes. */
     std::shared_ptr<const PlanInstance>
     instantiatePlan(const std::map<std::string, int64_t>& bindings) const;
+    /**
+     * Recompiles @p values' signature into a fully-static tier-1 plan:
+     * all-dims-known RDP, concrete re-fusion, SEP under the one true
+     * binding, specialize-time constant folding, pre-bound DMP
+     * offsets, pinned MVC versions (defined in specialization.cpp).
+     * Throws on failure; never touches serving state.
+     */
+    std::shared_ptr<const PlanInstance>
+    buildSpecializedPlan(const std::vector<int64_t>& values) const;
+    /** Specializer entry: builds the tier-1 plan for (@p hash,
+     *  @p values) and atomically swaps it into the plan cache. Returns
+     *  false (leaving tier-0 serving) on any failure. */
+    bool specializeSignature(uint64_t hash,
+                             const std::vector<int64_t>& values) const;
     /** Binds @p inputs' shapes into @p values and returns the
      *  signature hash — the shared core of run() and signatureFor()
      *  (no input validation; callers do that first). */
@@ -406,6 +453,11 @@ class Sod2Engine
     /** Shape-signature plan cache (null when disabled). Internally
      *  synchronized — the one piece of shared state run() writes. */
     std::unique_ptr<PlanCache> plan_cache_;
+    /** Background tier-up worker (null when specialization is off).
+     *  Internally synchronized, like the cache it publishes through;
+     *  its thread only reads compiled state and inserts into the
+     *  cache, so const runs may poke it freely. */
+    std::unique_ptr<Specializer> specializer_;
     /** Shared all-unplanned offset table for runs without a DMP plan. */
     std::shared_ptr<const std::vector<size_t>> unplanned_offsets_;
 

@@ -1,0 +1,430 @@
+#include "core/specialization.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/sod2_engine.h"
+#include "memory/branch_colors.h"
+#include "memory/lifetime.h"
+#include "memory/planners.h"
+#include "support/fault_injection.h"
+#include "support/logging.h"
+#include "support/trace.h"
+#include "tensor/dtype.h"
+
+namespace sod2 {
+
+// --- ShapeProfiler ----------------------------------------------------
+
+ShapeProfiler::ShapeProfiler(uint32_t threshold) : threshold_(threshold)
+{
+    SOD2_CHECK_GT(threshold, 0u)
+        << "specialization threshold must be positive";
+    slots_ = std::make_unique<Slot[]>(kSlots);
+}
+
+ShapeProfiler::Slot*
+ShapeProfiler::findSlot(uint64_t hash) const
+{
+    // 0 marks an empty slot; remap the (never-seen-in-practice) hash 0
+    // so it stays countable.
+    if (hash == 0)
+        hash = 1;
+    for (size_t i = 0; i < kMaxProbe; ++i) {
+        Slot& slot = slots_[(hash + i) & (kSlots - 1)];
+        uint64_t key = slot.key.load(std::memory_order_acquire);
+        if (key == hash)
+            return &slot;
+        if (key == 0) {
+            uint64_t expected = 0;
+            if (slot.key.compare_exchange_strong(
+                    expected, hash, std::memory_order_acq_rel) ||
+                expected == hash)
+                return &slot;
+            // Lost the claim to a different signature; keep probing.
+        }
+    }
+    return nullptr;
+}
+
+bool
+ShapeProfiler::recordRun(uint64_t hash)
+{
+    Slot* slot = findSlot(hash);
+    if (!slot) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    // fetch_add hands every caller a distinct pre-increment count, so
+    // exactly one of N racing threads sees the threshold crossing.
+    uint64_t prev = slot->count.fetch_add(1, std::memory_order_relaxed);
+    return prev + 1 == threshold_;
+}
+
+uint64_t
+ShapeProfiler::runsOf(uint64_t hash) const
+{
+    if (hash == 0)
+        hash = 1;
+    for (size_t i = 0; i < kMaxProbe; ++i) {
+        const Slot& slot = slots_[(hash + i) & (kSlots - 1)];
+        uint64_t key = slot.key.load(std::memory_order_acquire);
+        if (key == hash)
+            return slot.count.load(std::memory_order_relaxed);
+        if (key == 0)
+            return 0;
+    }
+    return 0;
+}
+
+// --- Specializer ------------------------------------------------------
+
+Specializer::Specializer(const Sod2Engine* engine, uint32_t threshold)
+    : engine_(engine), profiler_(threshold)
+{
+    SOD2_CHECK(engine != nullptr);
+    MetricsRegistry& metrics = MetricsRegistry::instance();
+    metric_promoted_ = &metrics.counter("specializer.promoted");
+    metric_failed_ = &metrics.counter("specializer.failed");
+    metric_compile_us_ = &metrics.histogram("specializer.compile_us");
+    thread_ = std::thread([this] { threadLoop(); });
+}
+
+Specializer::~Specializer()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    idle_cv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+}
+
+void
+Specializer::noteRun(uint64_t hash, const std::vector<int64_t>& values)
+{
+    if (!profiler_.recordRun(hash))
+        return;
+    // Cold path: at most once per signature per engine lifetime.
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stop_ || !scheduled_.insert(hash).second)
+            return;
+        queue_.emplace_back(hash, values);
+    }
+    cv_.notify_one();
+}
+
+void
+Specializer::quiesce()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock,
+                  [&] { return stop_ || (queue_.empty() && !busy_); });
+}
+
+Specializer::Stats
+Specializer::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Stats s;
+    s.promoted = promoted_;
+    s.failed = failed_;
+    s.pending = queue_.size() + (busy_ ? 1 : 0);
+    s.threshold = profiler_.threshold();
+    return s;
+}
+
+void
+Specializer::threadLoop()
+{
+    if (Trace::enabled())
+        Trace::threadBuffer().setLaneName("specializer");
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        if (queue_.empty())
+            idle_cv_.notify_all();
+        cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+        if (stop_)
+            return;
+        auto [hash, values] = std::move(queue_.front());
+        queue_.pop_front();
+        busy_ = true;
+        lock.unlock();
+
+        auto t0 = std::chrono::steady_clock::now();
+        TraceSpan span(Trace::enabled() ? &Trace::threadBuffer() : nullptr,
+                       "specialize", "specializer");
+        bool ok = engine_->specializeSignature(hash, values);
+        span.end();
+        double us = std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+        metric_compile_us_->observe(us);
+        (ok ? metric_promoted_ : metric_failed_)->add();
+
+        lock.lock();
+        (ok ? promoted_ : failed_)++;
+        busy_ = false;
+    }
+}
+
+// --- Sod2Engine: the tier-1 build pipeline ----------------------------
+// (member definitions live here so sod2_engine.cpp stays the run-path
+// file; the specializer is the only caller.)
+
+bool
+Sod2Engine::specializeSignature(uint64_t hash,
+                                const std::vector<int64_t>& values) const
+{
+    try {
+        auto inst = buildSpecializedPlan(values);
+        SOD2_CHECK(plan_cache_ != nullptr);
+        // The atomic swap: insert replaces the tier-0 entry in place
+        // under the cache lock and bumps the cache generation, so
+        // every worker's memo re-reads. In-flight runs keep their
+        // shared_ptr'd tier-0 plan and finish untouched.
+        plan_cache_->insert(hash, values, std::move(inst));
+        return true;
+    } catch (const std::exception& e) {
+        SOD2_LOG(kWarn) << "tier-1 specialization of signature " << hash
+                        << " failed; tier-0 keeps serving: " << e.what();
+        return false;
+    }
+}
+
+std::shared_ptr<const PlanInstance>
+Sod2Engine::buildSpecializedPlan(const std::vector<int64_t>& values) const
+{
+    // Fault site, before any work: a failed specialization must change
+    // nothing — the serving path never sees a partial artifact.
+    if (fault::shouldFail(fault::kSpecializeCompile))
+        SOD2_THROW_CODE(ErrorCode::kInternal)
+            << "injected fault at " << fault::kSpecializeCompile
+            << ": tier-1 specialization failed";
+
+    const Graph& g = *graph_;
+    const std::map<std::string, int64_t> bindings =
+        binder_->toBindingMap(values);
+
+    // (1) All-dims-known RDP: evaluate every declared input shape under
+    // the signature's bindings and re-run the analysis with concrete
+    // inputs. Everything downstream now rides exact proofs — concrete
+    // dim equality where the symbolic pass had compound expressions,
+    // fully-static V-map entries for shape computation.
+    RdpOptions ropts = options_.rdp;
+    for (size_t i = 0; i < g.inputIds().size(); ++i) {
+        ShapeInfo decl =
+            inputShapeInfo(g, options_.rdp, static_cast<int>(i));
+        auto dims = decl.evaluate(bindings);
+        SOD2_CHECK_CODE(dims.has_value(), ErrorCode::kBindFailure)
+            << "input '" << g.value(g.inputIds()[i]).name
+            << "' does not fully bind under its own signature";
+        ropts.inputShapes[g.value(g.inputIds()[i]).name] =
+            ShapeInfo::fromConcrete(*dims);
+    }
+    RdpResult rdp = runRdp(g, ropts);
+
+    auto exec = std::make_shared<SpecializedExec>();
+
+    // (2) Re-fusion under the concrete proofs, same mode the engine
+    // compiled with. All-known shapes close provably-same-shape checks
+    // that symbolic algebra could not, so grouping is >= tier-0's.
+    switch (options_.fusion) {
+      case FusionMode::kNone:
+        exec->fusion = buildNoFusionPlan(g);
+        break;
+      case FusionMode::kStatic:
+        exec->fusion = buildStaticFusionPlan(g, rdp);
+        break;
+      case FusionMode::kRdp:
+        exec->fusion = buildRdpFusionPlan(g, rdp);
+        break;
+    }
+
+    // (3) SEP in the paper's all-known regime: score orders under the
+    // signature's ONE real binding (not the four synthetic scenarios),
+    // with a roomier exhaustive window — this is an offline compile,
+    // the branch-and-bound state budget still bounds it.
+    SepOptions sep = options_.sep;
+    sep.enable = options_.enableSep;
+    sep.scenarioBindings = {bindings};
+    sep.exhaustiveLimit = std::max(options_.sep.exhaustiveLimit, 16);
+    exec->plan = buildExecutionPlan(g, rdp, exec->fusion, sep);
+
+    // (4) Compile the re-fused groups.
+    exec->compiled = compilePlan(g, exec->fusion);
+
+    const int num_groups = exec->fusion.numGroups();
+    exec->stepOfGroup.assign(num_groups, 0);
+    for (size_t i = 0; i < exec->plan.order.size(); ++i)
+        exec->stepOfGroup[exec->plan.order[i]] = static_cast<int>(i);
+    exec->subgraphOfGroup.assign(num_groups, 0);
+    for (size_t si = 0; si < exec->plan.subgraphs.size(); ++si)
+        for (int gi : exec->plan.subgraphs[si].groupOrder)
+            exec->subgraphOfGroup[gi] = static_cast<int>(si);
+
+    // Branch colors: reused for the fold guard below and the DMP
+    // intervals; value-indexed, graph-level (identical semantics to
+    // the compile-time pass).
+    std::vector<std::shared_ptr<const BranchColors>> color_of;
+    if (!options_.executeAllBranches) {
+        auto colors = computeBranchColors(g);
+        color_of.resize(colors.size());
+        for (size_t v = 0; v < colors.size(); ++v)
+            if (!colors[v].empty())
+                color_of[v] = std::make_shared<const BranchColors>(
+                    std::move(colors[v]));
+    }
+
+    // (5) Specialize-time constant folding: with inputs concrete, the
+    // V-map proves the CONTENTS of integer shape-computation values
+    // (Shape -> arithmetic -> Concat chains) per signature. Those
+    // values become seeded constants and their groups are skipped —
+    // the per-run win that survives even a warm plan cache. Guards:
+    // integer dtype (the V-map's domain), static shape agreeing with
+    // the element count, the compile-folding size cap, and never a
+    // branch-gated value (its runtime liveness must stay decided by
+    // the Switch predicate, not a seeded constant).
+    std::vector<char> is_folded(g.numValues(), 0);
+    for (const auto& [v, t] : folded_)
+        is_folded[v] = 1;
+    if (options_.enableConstantFolding) {
+        for (NodeId n : g.topoOrder()) {
+            const Node& node = g.node(n);
+            if (node.op == kSwitchOp || node.op == kCombineOp ||
+                node.op == "If" || node.op == "Loop")
+                continue;
+            for (ValueId v : node.outputs) {
+                if (is_folded[v])
+                    continue;
+                const Value& val = g.value(v);
+                if (val.dtype != DType::kInt64 &&
+                    val.dtype != DType::kInt32)
+                    continue;
+                if (v < static_cast<ValueId>(color_of.size()) &&
+                    color_of[v])
+                    continue;  // branch-gated: keep runtime liveness
+                const ValueInfo& vi = rdp.valueOf(v);
+                const ShapeInfo& si = rdp.shapeOf(v);
+                if (!vi.isFullyStatic() || !si.isFullyStatic())
+                    continue;
+                std::vector<int64_t> elems = vi.staticElements();
+                std::vector<int64_t> dims = si.staticDims();
+                int64_t n_elems = 1;
+                for (int64_t d : dims)
+                    n_elems *= d;
+                if (n_elems != static_cast<int64_t>(elems.size()))
+                    continue;
+                if (elems.size() * sizeof(int64_t) > (1u << 20))
+                    continue;
+                Tensor t(val.dtype, Shape(dims));
+                if (val.dtype == DType::kInt64) {
+                    std::memcpy(t.raw(), elems.data(),
+                                elems.size() * sizeof(int64_t));
+                } else {
+                    auto* dst = static_cast<int32_t*>(t.raw());
+                    for (size_t i = 0; i < elems.size(); ++i)
+                        dst[i] = static_cast<int32_t>(elems[i]);
+                }
+                exec->extraFolded.emplace_back(v, std::move(t));
+                is_folded[v] = 1;
+            }
+        }
+    }
+
+    // (6) Skippable groups under the enlarged fold set.
+    exec->groupFolded.assign(num_groups, false);
+    for (int gi = 0; gi < num_groups; ++gi) {
+        bool all = true;
+        for (NodeId n : exec->fusion.groups[gi].nodes)
+            for (ValueId v : g.node(n).outputs)
+                if (!is_folded[v])
+                    all = false;
+        exec->groupFolded[gi] = all;
+    }
+
+    auto inst = std::make_shared<PlanInstance>();
+    inst->tier = 1;
+
+    // (7) Pinned MVC versions on the re-fused group heads. Under an
+    // all-known binding every versioned selector must resolve — the
+    // run loop never falls back to concrete-shape classification.
+    {
+        std::vector<NodeId> heads(num_groups, kNoNode);
+        for (int gi = 0; gi < num_groups; ++gi)
+            heads[gi] = exec->fusion.groups[gi].nodes[0];
+        std::vector<VersionSelector> selectors =
+            buildVersionSelectors(g, heads, rdp);
+        inst->versions = resolveVersions(selectors, versions_, bindings,
+                                         &exec->pinnedUnresolved);
+    }
+
+    // (8) Pre-bound DMP: intervals under the specialized order with
+    // concrete byte sizes, peak-outward placement, dense offsets.
+    if (options_.enableDmp) {
+        std::vector<int> step_of_node(g.numNodes(), 0);
+        for (size_t step = 0; step < exec->plan.order.size(); ++step)
+            for (NodeId n :
+                 exec->fusion.groups[exec->plan.order[step]].nodes)
+                step_of_node[n] = static_cast<int>(step);
+
+        for (int gi : exec->plan.order) {
+            for (NodeId n : exec->fusion.groups[gi].nodes) {
+                for (ValueId v : g.node(n).outputs) {
+                    if (!exec->fusion.materialized[v] || is_folded[v])
+                        continue;
+                    const ShapeInfo& shape = rdp.shapeOf(v);
+                    SymExprPtr elems = shape.numElementsExpr();
+                    if (!elems)
+                        continue;  // execution-determined: heap
+                    auto bytes = elems->evaluate(bindings);
+                    SOD2_CHECK(bytes.has_value())
+                        << "unbound size for value " << g.value(v).name
+                        << " in a fully-bound specialization";
+                    Interval iv;
+                    iv.value = v;
+                    iv.defStep = exec->stepOfGroup[gi];
+                    iv.lastUse = iv.defStep;
+                    for (NodeId c : g.value(v).consumers)
+                        iv.lastUse =
+                            std::max(iv.lastUse, step_of_node[c]);
+                    if (g.value(v).isGraphOutput)
+                        iv.lastUse = static_cast<int>(
+                                         exec->plan.order.size()) -
+                                     1;
+                    iv.bytes = static_cast<size_t>(*bytes) *
+                               dtypeSize(g.value(v).dtype);
+                    if (v < static_cast<ValueId>(color_of.size()))
+                        iv.colors = color_of[v];
+                    inst->intervals.push_back(std::move(iv));
+                }
+            }
+        }
+        inst->plan = planPeakOutward(inst->intervals);
+        inst->arenaBytes = inst->plan.arenaBytes;
+        inst->offsetOfValue = std::make_shared<std::vector<size_t>>(
+            offsetsByValue(inst->intervals, inst->plan, g.numValues()));
+    } else {
+        inst->offsetOfValue = unplanned_offsets_;
+    }
+
+    inst->exec = std::move(exec);
+    return inst;
+}
+
+void
+Sod2Engine::quiesceSpecialization() const
+{
+    if (specializer_)
+        specializer_->quiesce();
+}
+
+Sod2Engine::~Sod2Engine() = default;
+
+}  // namespace sod2

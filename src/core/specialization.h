@@ -1,0 +1,214 @@
+#ifndef SOD2_CORE_SPECIALIZATION_H_
+#define SOD2_CORE_SPECIALIZATION_H_
+
+/**
+ * @file
+ * Tiered specialization JIT (DESIGN.md §13).
+ *
+ * The engine's compile-time pipeline proves what it can *symbolically*;
+ * per-signature plan instantiation then fills in concrete sizes. But the
+ * paper's fastest regime — every dim known: exhaustive SEP ordering,
+ * constant-folded DMP offsets, pinned MVC versions, fusion proofs that
+ * need no symbol algebra — is only reachable once a concrete signature
+ * is in hand. Serving traffic repeats a few signatures heavily, so this
+ * module promotes the hot ones: a lock-free ShapeProfiler counts runs
+ * per signature on the serving path, and a background Specializer
+ * thread recompiles each signature that crosses the promotion threshold
+ * into a fully-static tier-1 plan (concrete-shape re-fusion, SEP under
+ * the single true binding, specialize-time constant folding of shape
+ * computation, pre-bound DMP offsets, pinned kernel versions) and
+ * atomically swaps it into the engine's PlanCache. Serving never
+ * pauses: in-flight tier-0 runs keep their shared_ptr'd plan, the next
+ * lookup of the signature gets tier-1 (the RunContext memo is versioned
+ * against the cache generation, so warm workers re-read too), and a
+ * failed specialization leaves tier-0 serving untouched.
+ */
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/plan_cache.h"
+#include "fusion/fused_executor.h"
+#include "fusion/fusion_plan.h"
+#include "planning/execution_plan.h"
+#include "support/metrics.h"
+#include "tensor/tensor.h"
+
+namespace sod2 {
+
+class Sod2Engine;
+
+/**
+ * The tier-1 execution artifact one promoted PlanInstance carries:
+ * everything the run loop otherwise reads from the engine's compile-time
+ * members, rebuilt for one concrete signature. PlanInstance::versions /
+ * intervals / offsets are indexed by THIS fusion plan and order.
+ */
+struct SpecializedExec
+{
+    /** Re-fusion under all-dims-known RDP proofs (>= the symbolic
+     *  grouping: concrete equality closes proofs symbol algebra
+     *  could not). */
+    FusionPlan fusion;
+    /** Execution order from SEP scored under the signature's one real
+     *  binding (the all-known exhaustive regime). */
+    ExecutionPlan plan;
+    std::vector<CompiledGroup> compiled;
+    std::vector<int> stepOfGroup;
+    std::vector<int> subgraphOfGroup;
+    /** Groups whose every output is constant at specialize time. */
+    std::vector<bool> groupFolded;
+    /**
+     * Values folded to constants at specialize time, beyond the
+     * engine's compile-time folds: with input dims concrete, RDP's
+     * V-map proves entire shape-computation chains (Shape -> Mul ->
+     * Concat -> ...) constant per signature. Seeded into the run env
+     * after the engine's folded template; their groups are skipped.
+     * Branch-gated values are never folded (liveness stays runtime-
+     * decided).
+     */
+    std::vector<std::pair<ValueId, Tensor>> extraFolded;
+    /** Versioned (GEMM/Conv) selectors that failed to pin under the
+     *  concrete binding — 0 for a fully static signature; nonzero only
+     *  when EDO shapes survive into versioned heads. */
+    int pinnedUnresolved = 0;
+};
+
+/**
+ * Lock-free per-signature run counter: a fixed-size open-addressed
+ * table of (signature hash, count) slots. recordRun is one probe chain
+ * of relaxed atomics plus a fetch_add — cheap enough for the run path,
+ * including the lock-free context-memo path the shared cache never
+ * sees (under shape-affinity dispatch a hot signature is *mostly* memo
+ * hits, so counting only shared-cache traffic would starve promotion).
+ * fetch_add returns the pre-increment count, so exactly one caller
+ * observes the threshold crossing — the promotion trigger fires once
+ * per signature no matter how many threads race. A full table drops
+ * further NEW signatures (counted, never blocking); 1024 slots is far
+ * beyond any real signature working set.
+ */
+class ShapeProfiler
+{
+  public:
+    /** @p threshold runs promote a signature; must be > 0. */
+    explicit ShapeProfiler(uint32_t threshold);
+
+    /** Counts one run of @p hash. True exactly when this call is the
+     *  threshold-th recorded run of @p hash. */
+    bool recordRun(uint64_t hash);
+
+    /** Runs recorded for @p hash so far (0 if never seen/dropped). */
+    uint64_t runsOf(uint64_t hash) const;
+
+    uint32_t threshold() const { return threshold_; }
+
+    /** Signatures dropped because the table was full. */
+    uint64_t dropped() const
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct Slot
+    {
+        std::atomic<uint64_t> key{0};  ///< 0 = empty
+        std::atomic<uint64_t> count{0};
+    };
+
+    static constexpr size_t kSlots = 1024;  // power of two
+    static constexpr size_t kMaxProbe = 16;
+
+    /** Slot owning @p hash, claiming an empty one if needed; null when
+     *  the probe window is exhausted (table effectively full). */
+    Slot* findSlot(uint64_t hash) const;
+
+    std::unique_ptr<Slot[]> slots_;
+    uint32_t threshold_;
+    std::atomic<uint64_t> dropped_{0};
+};
+
+/**
+ * The background tier-up worker: owns the ShapeProfiler, a dedupe'd
+ * promotion queue, and one compile thread. The serving path calls
+ * noteRun() per tier-0 run; a threshold crossing enqueues the
+ * signature (cold path, once per signature — one attempt each, so a
+ * signature whose specialization failed never flaps). The thread
+ * recompiles off the serving path and publishes via
+ * Sod2Engine::specializeSignature (a PlanCache insert — the atomic
+ * swap). Internally synchronized; the engine owns one instance and
+ * joins the thread in its destructor.
+ */
+class Specializer
+{
+  public:
+    /** @p engine must outlive this object. */
+    Specializer(const Sod2Engine* engine, uint32_t threshold);
+    ~Specializer();
+
+    Specializer(const Specializer&) = delete;
+    Specializer& operator=(const Specializer&) = delete;
+
+    /** Serving-path hook: count one tier-0 run of (@p hash,
+     *  @p values); enqueues the signature for promotion on the
+     *  threshold crossing. */
+    void noteRun(uint64_t hash, const std::vector<int64_t>& values);
+
+    /**
+     * Blocks until the promotion queue is empty and no compile is in
+     * flight. Sod2Server::drain() calls this (via the engine) so "the
+     * server is drained" also means "no background recompilation is
+     * mid-swap"; benchmarks use it to separate warmup from steady
+     * state.
+     */
+    void quiesce();
+
+    struct Stats
+    {
+        uint64_t promoted = 0;   ///< tier-1 plans swapped in
+        uint64_t failed = 0;     ///< compile attempts that threw
+        uint64_t pending = 0;    ///< queued + in-flight right now
+        uint32_t threshold = 0;  ///< promotion threshold in runs
+    };
+    Stats stats() const;
+
+    const ShapeProfiler& profiler() const { return profiler_; }
+
+  private:
+    void threadLoop();
+
+    const Sod2Engine* engine_;
+    ShapeProfiler profiler_;
+
+    mutable std::mutex mu_;
+    /** Wakes the compile thread (new work or stop). */
+    std::condition_variable cv_;
+    /** Wakes quiesce() waiters (queue drained, compile finished). */
+    std::condition_variable idle_cv_;
+    std::deque<std::pair<uint64_t, std::vector<int64_t>>> queue_;
+    /** Hashes ever enqueued (one promotion attempt per signature). */
+    std::unordered_set<uint64_t> scheduled_;
+    bool stop_ = false;
+    bool busy_ = false;
+    uint64_t promoted_ = 0;
+    uint64_t failed_ = 0;
+
+    /** Process-wide metric mirrors ("specializer.*"). */
+    Counter* metric_promoted_;
+    Counter* metric_failed_;
+    Histogram* metric_compile_us_;
+
+    /** Last member: joins in ~Specializer before the rest dies. */
+    std::thread thread_;
+};
+
+}  // namespace sod2
+
+#endif  // SOD2_CORE_SPECIALIZATION_H_

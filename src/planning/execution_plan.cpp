@@ -358,7 +358,12 @@ buildExecutionPlan(const Graph& graph, const RdpResult& rdp,
     // symbols, so each candidate order is scored under several bindings:
     // all-small, all-nominal, and two skewed assignments.
     std::vector<std::map<std::string, int64_t>> scenarios;
-    {
+    if (!options.scenarioBindings.empty()) {
+        // Caller-supplied scenarios — the tier-1 specializer scores
+        // under the hot signature's single concrete binding (the
+        // all-dims-known regime).
+        scenarios = options.scenarioBindings;
+    } else {
         std::vector<std::string> syms = rdp.symbolNames();
         std::sort(syms.begin(), syms.end());
         auto mk = [&](auto&& value_of) {

@@ -31,10 +31,15 @@ collectBatch(RequestQueue& queue, const BatchPolicy& policy,
         return;
 
     // Phase 2: bounded straggler window, measured from the first
-    // drain. Each arrival wakes us for a re-drain; an arrival that is
-    // NOT compatible ends the window early (it is real work this
-    // batch cannot absorb, and holding it behind a timer would be the
-    // queue stall continuous batching exists to avoid).
+    // drain. The deadline is ABSOLUTE, computed exactly once: every
+    // waitForArrival below re-waits with the remaining time, so a
+    // trickle of compatible arrivals spaced inside the window can
+    // never hold the batch open past maxWaitMicros (regression:
+    // Queue.StragglerWindowIsAbsoluteNotReArmedPerArrival). Each
+    // arrival wakes us for a re-drain; an arrival that is NOT
+    // compatible ends the window early (it is real work this batch
+    // cannot absorb, and holding it behind a timer would be the queue
+    // stall continuous batching exists to avoid).
     const auto deadline =
         std::chrono::steady_clock::now() +
         std::chrono::microseconds(policy.maxWaitMicros);

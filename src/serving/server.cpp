@@ -477,9 +477,16 @@ void
 Sod2Server::drain()
 {
     start();  // a paused server cannot drain itself
-    std::unique_lock<std::mutex> lock(mu_);
-    idle_cv_.wait(lock,
-                  [&] { return queued_count_ == 0 && inflight_ == 0; });
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        idle_cv_.wait(
+            lock, [&] { return queued_count_ == 0 && inflight_ == 0; });
+    }
+    // "Drained" also means no background specialization mid-swap:
+    // quiesce after the request wait (the compile queue only grows
+    // from request runs, so it cannot refill once idle). Outside mu_ —
+    // the specializer has its own locks.
+    engine_->quiesceSpecialization();
 }
 
 void
@@ -534,6 +541,11 @@ Sod2Server::shutdown(bool drain_pending)
     for (auto& w : workers_)
         if (w->thread.joinable())
             w->thread.join();
+    // Workers are gone, so no new promotions can be queued; wait out
+    // any in-flight specialization so the engine is fully quiescent
+    // when shutdown() returns (the engine's own destructor would also
+    // join, but callers deserve the stronger postcondition here).
+    engine_->quiesceSpecialization();
 }
 
 ServerStats

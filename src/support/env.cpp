@@ -1,9 +1,50 @@
 #include "support/env.h"
 
+#include <cerrno>
+#include <climits>
 #include <cstdlib>
+
+#include "support/logging.h"
 
 namespace sod2 {
 namespace env {
+namespace {
+
+/**
+ * Strict positive-integer parse shared by both width variants.
+ * atoi/atoll silently accepted trailing garbage ("8x" -> 8) and could
+ * not tell "0"/malformed apart from unset, so a typo'd knob was
+ * applied half-parsed without a word. strtoll validates the FULL
+ * string (leading whitespace and an optional sign are the only
+ * decoration allowed), detects overflow via errno, and every rejected
+ * value warns once naming the variable before the explicit fallback.
+ */
+bool
+parsePositive(const char* name, const char* v, long long* out)
+{
+    errno = 0;
+    char* end = nullptr;
+    long long n = std::strtoll(v, &end, 10);
+    if (end == v || *end != '\0') {
+        SOD2_LOG(kWarn) << name << "=\"" << v
+                        << "\" is not an integer; using the default";
+        return false;
+    }
+    if (errno == ERANGE) {
+        SOD2_LOG(kWarn) << name << "=\"" << v
+                        << "\" overflows; using the default";
+        return false;
+    }
+    if (n <= 0) {
+        SOD2_LOG(kWarn) << name << "=" << n
+                        << " is not positive; using the default";
+        return false;
+    }
+    *out = n;
+    return true;
+}
+
+}  // namespace
 
 bool
 readFlag(const char* name)
@@ -16,9 +57,15 @@ int
 readPositiveInt(const char* name, int fallback)
 {
     if (const char* v = std::getenv(name)) {
-        int n = std::atoi(v);
-        if (n > 0)
-            return n;
+        long long n = 0;
+        if (!parsePositive(name, v, &n))
+            return fallback;
+        if (n > INT_MAX) {
+            SOD2_LOG(kWarn) << name << "=" << n
+                            << " exceeds INT_MAX; using the default";
+            return fallback;
+        }
+        return static_cast<int>(n);
     }
     return fallback;
 }
@@ -27,8 +74,8 @@ long long
 readPositiveInt64(const char* name, long long fallback)
 {
     if (const char* v = std::getenv(name)) {
-        long long n = std::atoll(v);
-        if (n > 0)
+        long long n = 0;
+        if (parsePositive(name, v, &n))
             return n;
     }
     return fallback;
@@ -97,6 +144,18 @@ bool
 batchPad()
 {
     static const bool value = readFlag("SOD2_BATCH_PAD");
+    return value;
+}
+
+int
+specializeAfter()
+{
+    static const int value = [] {
+        int after = readPositiveInt("SOD2_SPECIALIZE_AFTER", 0);
+        if (after > 0)
+            return after;
+        return readFlag("SOD2_SPECIALIZE") ? 64 : 0;
+    }();
     return value;
 }
 

@@ -27,7 +27,8 @@ const std::vector<std::string>&
 knownSites()
 {
     static const std::vector<std::string> sites = {
-        kArenaAlloc, kPlanInstantiate, kKernelDispatch, kCacheInsert};
+        kArenaAlloc, kPlanInstantiate, kKernelDispatch, kCacheInsert,
+        kSpecializeCompile};
     return sites;
 }
 

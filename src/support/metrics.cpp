@@ -89,36 +89,61 @@ Histogram::mean() const
     return n == 0 ? 0.0 : sum() / static_cast<double>(n);
 }
 
-double
-Histogram::percentile(double p) const
+Histogram::Snapshot
+Histogram::snapshot() const
 {
-    uint64_t n = count();
-    if (n == 0)
+    Snapshot s;
+    s.bounds = &bounds_;
+    s.buckets.resize(bounds_.size() + 1);
+    for (size_t i = 0; i <= bounds_.size(); ++i) {
+        s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+        s.count += s.buckets[i];
+    }
+    s.sum = sum();
+    return s;
+}
+
+double
+Histogram::Snapshot::percentile(double p) const
+{
+    if (count == 0)
         return 0.0;
+    const std::vector<double>& b = *bounds;
     p = std::min(std::max(p, 0.0), 100.0);
     // Rank of the target observation, 1-based, ceil semantics.
     uint64_t rank = static_cast<uint64_t>(p / 100.0 *
-                                          static_cast<double>(n));
+                                          static_cast<double>(count));
     rank = std::max<uint64_t>(rank, 1);
     uint64_t seen = 0;
-    for (size_t i = 0; i <= bounds_.size(); ++i) {
-        uint64_t in_bucket =
-            buckets_[i].load(std::memory_order_relaxed);
+    for (size_t i = 0; i < buckets.size(); ++i) {
+        uint64_t in_bucket = buckets[i];
         if (seen + in_bucket < rank) {
             seen += in_bucket;
             continue;
         }
-        if (i == bounds_.size())
-            return bounds_.back();  // overflow: clamp
-        double lo = i == 0 ? 0.0 : bounds_[i - 1];
-        double hi = bounds_[i];
+        if (i == b.size())
+            return b.back();  // overflow: clamp
+        double lo = i == 0 ? 0.0 : b[i - 1];
+        double hi = b[i];
         double frac = in_bucket == 0
                           ? 1.0
                           : static_cast<double>(rank - seen) /
                                 static_cast<double>(in_bucket);
         return lo + (hi - lo) * frac;
     }
-    return bounds_.back();
+    return b.back();
+}
+
+double
+Histogram::Snapshot::mean() const
+{
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double
+Histogram::percentile(double p) const
+{
+    return snapshot().percentile(p);
 }
 
 uint64_t
@@ -205,12 +230,15 @@ MetricsRegistry::toJson() const
         if (!first)
             os << ",";
         first = false;
-        os << "\"" << jsonEscape(name) << "\":{\"count\":"
-           << hist->count()
+        // One snapshot per histogram: count, sum, and every percentile
+        // come from the same bucket capture (no torn reads under
+        // concurrent observe()).
+        Histogram::Snapshot s = hist->snapshot();
+        os << "\"" << jsonEscape(name) << "\":{\"count\":" << s.count
            << strFormat(",\"sum\":%.6g,\"p50\":%.6g,\"p95\":%.6g,"
                         "\"p99\":%.6g}",
-                        hist->sum(), hist->percentile(50),
-                        hist->percentile(95), hist->percentile(99));
+                        s.sum, s.percentile(50), s.percentile(95),
+                        s.percentile(99));
     }
     os << "}}";
     return os.str();

@@ -105,8 +105,38 @@ class Gauge
 class Histogram
 {
   public:
+    /**
+     * One self-consistent view of the distribution. count is DERIVED
+     * from the captured buckets (not read from the count_ atomic), so
+     * bucket-sum == count holds by construction and every percentile
+     * is computed from the same bucket vector — reading count(),
+     * percentile(50), percentile(99) directly off the live histogram
+     * races concurrent observe() calls and can report bucket-sum !=
+     * count or non-monotonic percentiles (the torn-snapshot bug this
+     * type fixes). sum may lag buckets by in-flight observes (it is a
+     * separate CAS accumulator); mean() therefore clamps to the
+     * captured count.
+     */
+    struct Snapshot
+    {
+        /** bounds().size() + 1 entries; the last is the overflow. */
+        std::vector<uint64_t> buckets;
+        /** Sum of buckets (derived, consistent by construction). */
+        uint64_t count = 0;
+        double sum = 0.0;
+        /** Borrowed from the source histogram (process lifetime). */
+        const std::vector<double>* bounds = nullptr;
+
+        /** Same contract as Histogram::percentile, over this view. */
+        double percentile(double p) const;
+        double mean() const;
+    };
+
     /** @p bounds must be non-empty and strictly increasing. */
     explicit Histogram(std::vector<double> bounds);
+
+    /** Captures one consistent Snapshot of the current distribution. */
+    Snapshot snapshot() const;
 
     /** Log-spaced 1-2-5 decades, 1 us .. 10 s (values in us). */
     static std::vector<double> defaultLatencyBoundsUs();
@@ -133,7 +163,9 @@ class Histogram
      * The @p p-th percentile (0..100) estimated from the buckets:
      * linear interpolation between the selected bucket's bounds.
      * Observations in the overflow bucket report the last finite
-     * bound. Returns 0 when empty.
+     * bound. Returns 0 when empty. Computed via snapshot(), so one
+     * call is internally consistent; correlate several percentiles by
+     * taking one snapshot() and querying it.
      */
     double percentile(double p) const;
 

@@ -352,6 +352,74 @@ TEST(Queue, PeekCompatibleByCompatKey)
 
 // --- server: continuous-batching behavior -----------------------------
 
+TEST(Queue, StragglerWindowIsAbsoluteNotReArmedPerArrival)
+{
+    // Regression guard for collectBatch's phase 2: the straggler
+    // deadline is computed ONCE from the first drain. If each
+    // compatible arrival re-armed the timer, a steady trickle spaced
+    // inside the window would hold the batch open indefinitely. Feed
+    // compatible requests every ~15 ms against a 60 ms window: the
+    // collect must return near the window, not near the trickle's end.
+    RequestQueue q;
+    BatchPolicy policy;
+    policy.maxBatchSize = 64;  // never filled — the timer must end it
+    policy.maxWaitMicros = 60000;
+
+    std::atomic<bool> stop{false};
+    std::thread feeder([&] {
+        for (uint64_t i = 0; i < 40 && !stop.load(); ++i) {
+            q.push(makePending(0xA, 0, 100 + i));
+            std::this_thread::sleep_for(std::chrono::milliseconds(15));
+        }
+    });
+
+    std::vector<Pending> batch;
+    batch.push_back(makePending(0xA, 0, 1));
+    auto t0 = std::chrono::steady_clock::now();
+    collectBatch(q, policy, &batch);
+    double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    stop.store(true);
+    feeder.join();
+
+    // 60 ms window, generous CI slack — but far below the ~600 ms the
+    // trickle would sustain under a re-arming timer.
+    EXPECT_LT(elapsed, 0.3);
+    EXPECT_GE(batch.size(), 2u);  // it did absorb early stragglers
+}
+
+TEST(Queue, IncompatibleArrivalEndsStragglerWindowEarly)
+{
+    // An arrival the batch cannot absorb is real work waiting behind
+    // the timer: collectBatch must run with what it has instead of
+    // holding the incompatible request for the rest of the window.
+    RequestQueue q;
+    BatchPolicy policy;
+    policy.maxBatchSize = 8;
+    policy.maxWaitMicros = 5000000;  // 5 s: a timeout return would hang
+
+    std::thread pusher([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        q.push(makePending(0xB, 0, 2));  // incompatible with A
+    });
+
+    std::vector<Pending> batch;
+    batch.push_back(makePending(0xA, 0, 1));
+    auto t0 = std::chrono::steady_clock::now();
+    collectBatch(q, policy, &batch);
+    double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    pusher.join();
+
+    EXPECT_LT(elapsed, 1.0);      // returned on arrival, not timeout
+    EXPECT_EQ(batch.size(), 1u);  // B was not absorbed...
+    EXPECT_EQ(q.depth(), 1u);     // ...and still waits its turn
+}
+
 TEST(Server, BacklogCoalescesIntoFewerBatches)
 {
     CnnFixture f;

@@ -262,6 +262,50 @@ TEST(MetricsTest, HistogramPercentilesInterpolateWithinBuckets)
     EXPECT_DOUBLE_EQ(h.percentile(99.0), 30.0);  // clamps to last bound
 }
 
+TEST(MetricsTest, SnapshotIsInternallyConsistentUnderWriters)
+{
+    // Regression for torn toJson() reads: percentile() used to re-read
+    // the live buckets per call, so count/p50/p95/p99 could each see a
+    // different population. snapshot() captures the buckets once; every
+    // derived statistic must agree with that single capture, no matter
+    // how hard concurrent observe() calls hammer the histogram. (Run
+    // under TSan via the observability label.)
+    Histogram h({10.0, 20.0, 30.0});
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> writers;
+    for (int t = 0; t < 4; ++t)
+        writers.emplace_back([&] {
+            uint64_t i = 0;
+            while (!stop.load(std::memory_order_relaxed))
+                h.observe(static_cast<double>(++i % 40));
+        });
+
+    for (int round = 0; round < 200; ++round) {
+        Histogram::Snapshot s = h.snapshot();
+        uint64_t bucket_sum = 0;
+        for (uint64_t b : s.buckets)
+            bucket_sum += b;
+        // count is *derived from* the captured buckets — identical by
+        // construction; a torn implementation trips this immediately.
+        ASSERT_EQ(s.count, bucket_sum);
+        double p50 = s.percentile(50.0);
+        double p95 = s.percentile(95.0);
+        double p99 = s.percentile(99.0);
+        ASSERT_LE(p50, p95);
+        ASSERT_LE(p95, p99);
+        if (s.count > 0)
+            ASSERT_GE(s.mean(), 0.0);
+    }
+    stop.store(true);
+    for (auto& w : writers)
+        w.join();
+
+    // Quiescent: snapshot and live accessors agree exactly.
+    Histogram::Snapshot s = h.snapshot();
+    EXPECT_EQ(s.count, h.count());
+    EXPECT_DOUBLE_EQ(s.percentile(50.0), h.percentile(50.0));
+}
+
 TEST(MetricsTest, RegistryReturnsSameInstancePerName)
 {
     MetricsRegistry& reg = MetricsRegistry::instance();

@@ -253,6 +253,84 @@ TEST(PlanCache, ValidateEveryPlanChecksCachedRuns)
 
 // --- RunStats semantics audit ----------------------------------------
 
+// --- last-plan memo vs cache generation -------------------------------
+
+TEST(ContextMemo, InvalidatedByEvictionNotServedStale)
+{
+    // Capacity-1 cache: inserting B evicts A. The context's last-plan
+    // memo for A is generation-stamped, so after the eviction it must
+    // re-read the shared cache (and re-instantiate) instead of serving
+    // the evicted plan from the memo forever.
+    TestModel m = TestModel::cnn();
+    Sod2Options opts;
+    opts.rdp = m.rdp;
+    opts.planCacheCapacity = 1;
+    Sod2Engine engine(&m.graph, opts);
+
+    Tensor a = cnnInput(2, 16, 20, 7);
+    Tensor b = cnnInput(1, 8, 12, 8);
+    RunContext ctx;
+    RunStats stats;
+
+    engine.run(ctx, {a}, &stats);  // miss, insert A (bumps generation)
+    engine.run(ctx, {a}, &stats);  // shared hit, restamps the memo
+    engine.run(ctx, {a}, &stats);  // memo hit (generation now stable)
+    EXPECT_TRUE(stats.planCacheHit);
+    size_t memo_hits = engine.planCache()->contextHits();
+    EXPECT_EQ(memo_hits, 1u);
+
+    engine.run(ctx, {b}, &stats);  // miss, insert B, evict A
+    EXPECT_EQ(stats.planCacheEvictions, 1u);
+
+    // Same context back to A: the memo still holds A's old plan, but
+    // the generation moved — it must miss and re-instantiate.
+    engine.run(ctx, {a}, &stats);
+    EXPECT_FALSE(stats.planCacheHit);
+    EXPECT_EQ(engine.planCache()->contextHits(), memo_hits);
+
+    // Steady state on one signature re-earns memo hits.
+    engine.run(ctx, {a}, &stats);
+    engine.run(ctx, {a}, &stats);
+    EXPECT_TRUE(stats.planCacheHit);
+    EXPECT_GT(engine.planCache()->contextHits(), memo_hits);
+}
+
+TEST(ContextMemo, RefreshedOnTierUpSwap)
+{
+    // A warm worker sitting on its memo must observe a background
+    // tier-up on its very next run: the swap bumps the cache
+    // generation, which invalidates every memo stamped before it.
+    TestModel m = TestModel::cnn();
+    Sod2Options opts;
+    opts.rdp = m.rdp;
+    opts.specializeAfter = 3;
+    Sod2Engine engine(&m.graph, opts);
+
+    Tensor in = cnnInput(2, 16, 20, 7);
+    RunContext ctx;
+    RunStats stats;
+
+    engine.run(ctx, {in}, &stats);  // miss (run 1)
+    engine.run(ctx, {in}, &stats);  // memo hit (run 2)
+    EXPECT_TRUE(stats.planCacheHit);
+    EXPECT_EQ(stats.planTier, 0);
+
+    engine.run(ctx, {in}, &stats);  // run 3: crosses the threshold
+    engine.quiesceSpecialization();  // tier-1 plan swapped in
+
+    // Without generation versioning this run would serve the stale
+    // tier-0 memo; with it, the memo misses once and picks up tier-1.
+    engine.run(ctx, {in}, &stats);
+    EXPECT_EQ(stats.planTier, 1);
+    EXPECT_TRUE(stats.planCacheHit);
+
+    // And the refreshed memo serves tier-1 thereafter.
+    size_t memo_hits = engine.planCache()->contextHits();
+    engine.run(ctx, {in}, &stats);
+    EXPECT_EQ(stats.planTier, 1);
+    EXPECT_EQ(engine.planCache()->contextHits(), memo_hits + 1);
+}
+
 TEST(RunStatsAudit, HitPathPlanSecondsCollapses)
 {
     TestModel m = TestModel::cnn();

@@ -502,7 +502,12 @@ TEST(Affinity, ShapeAffinityBeatsRoundRobinOnContextHits)
     size_t affinity_hits = runStream(AffinityMode::kShape);
     size_t rr_hits = runStream(AffinityMode::kRoundRobin);
     EXPECT_GT(affinity_hits, rr_hits);
-    EXPECT_GE(affinity_hits, 14u);  // 16 requests, 2 cold starts
+    // 16 requests minus 2 cold starts minus up to 2 memo refreshes:
+    // the last-plan memo is versioned against the plan-cache
+    // generation, so each cold-start insert sends the next run of the
+    // *other* pinned signature back through the shared cache once
+    // (still a cache hit — just not a memo hit).
+    EXPECT_GE(affinity_hits, 12u);
     EXPECT_EQ(rr_hits, 0u);
 }
 

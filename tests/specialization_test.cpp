@@ -1,0 +1,346 @@
+/** Tests for the tiered specialization JIT (DESIGN.md §13): the
+ *  promotion threshold, zoo-wide tier-1 vs tier-0 bit-exactness,
+ *  tier-up under a concurrent run storm, specializer quiescence on
+ *  server drain/shutdown, and the specialize-compile fault site
+ *  leaving tier-0 serving untouched. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/plan_cache.h"
+#include "core/sod2_engine.h"
+#include "core/specialization.h"
+#include "graph/builder.h"
+#include "models/model_zoo.h"
+#include "serving/server.h"
+#include "support/fault_injection.h"
+#include "support/rng.h"
+
+namespace sod2 {
+namespace {
+
+/** Small dynamic CNN (mirrors engine_test's model): conv -> relu ->
+ *  pool -> gap -> reshape -> matmul -> gelu, symbolic n/h/w — enough
+ *  shape computation (reshape) for specialize-time folding to bite. */
+struct TestModel
+{
+    Graph graph;
+    RdpOptions rdp;
+
+    static TestModel
+    cnn()
+    {
+        TestModel m;
+        GraphBuilder b(&m.graph);
+        Rng rng(41);
+        ValueId x = b.input("x");
+        ValueId w1 = b.weight("w1", {8, 3, 3, 3}, rng);
+        ValueId c1 = b.relu(b.conv2d(x, w1, -1, 2, 1));
+        ValueId p1 = b.maxPool(c1, 2, 2);
+        ValueId gap = b.globalAvgPool(p1);
+        ValueId flat = b.reshape(gap, {0, -1});
+        ValueId w2 = b.weight("w2", {8, 4}, rng);
+        b.output(b.gelu(b.matmul(flat, w2)));
+
+        m.rdp.inputShapes["x"] = ShapeInfo::ranked(
+            {DimValue::symbol("n"), DimValue::known(3),
+             DimValue::symbol("h"), DimValue::symbol("w")});
+        return m;
+    }
+};
+
+Tensor
+cnnInput(int64_t n, int64_t h, int64_t w, uint64_t seed)
+{
+    Rng rng(seed);
+    return Tensor::randomUniform(Shape({n, 3, h, w}), rng);
+}
+
+/** Byte-exact copy of a run's outputs (they may alias the context
+ *  arena, which that context's next run remaps). */
+std::vector<std::vector<uint8_t>>
+snapshot(const std::vector<Tensor>& outputs)
+{
+    std::vector<std::vector<uint8_t>> bytes;
+    bytes.reserve(outputs.size());
+    for (const Tensor& t : outputs) {
+        const uint8_t* p = static_cast<const uint8_t*>(t.raw());
+        bytes.emplace_back(p, p + t.byteSize());
+    }
+    return bytes;
+}
+
+class SpecializationTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { fault::disarm(); }
+};
+
+// --- profiler ---------------------------------------------------------
+
+TEST_F(SpecializationTest, ProfilerFiresExactlyAtThreshold)
+{
+    ShapeProfiler prof(4);
+    EXPECT_FALSE(prof.recordRun(99));
+    EXPECT_FALSE(prof.recordRun(99));
+    EXPECT_FALSE(prof.recordRun(99));
+    EXPECT_TRUE(prof.recordRun(99));   // the 4th run, exactly once
+    EXPECT_FALSE(prof.recordRun(99));  // never again
+    EXPECT_EQ(prof.runsOf(99), 5u);
+    EXPECT_EQ(prof.runsOf(7), 0u);
+}
+
+TEST_F(SpecializationTest, ProfilerThresholdFiresOnceUnderRaces)
+{
+    // 8 threads each record 8 runs of one signature; the 16-run
+    // threshold crossing must be observed by exactly one recordRun.
+    ShapeProfiler prof(16);
+    constexpr int kThreads = 8;
+    std::atomic<int> fired{0};
+    std::barrier sync(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            sync.arrive_and_wait();
+            for (int i = 0; i < 8; ++i)
+                if (prof.recordRun(1234))
+                    fired.fetch_add(1);
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+    EXPECT_EQ(fired.load(), 1);
+    EXPECT_EQ(prof.runsOf(1234), 64u);
+}
+
+// --- promotion threshold ----------------------------------------------
+
+TEST_F(SpecializationTest, HotSignaturePromotesAtThreshold)
+{
+    TestModel m = TestModel::cnn();
+    Sod2Options opts;
+    opts.rdp = m.rdp;
+    opts.specializeAfter = 3;
+    Sod2Engine engine(&m.graph, opts);
+    ASSERT_NE(engine.specializer(), nullptr);
+
+    std::vector<Tensor> hot = {cnnInput(2, 12, 16, 5)};
+    std::vector<Tensor> cold = {cnnInput(1, 8, 8, 6)};
+    RunContext ctx;
+    RunStats stats;
+
+    // Below the threshold everything serves tier-0.
+    engine.run(ctx, hot, &stats);
+    EXPECT_EQ(stats.planTier, 0);
+    engine.run(ctx, hot, &stats);
+    EXPECT_EQ(stats.planTier, 0);
+
+    // The 3rd run crosses the threshold; after quiescing the compile,
+    // the hot signature serves tier-1 while the cold one stays tier-0.
+    engine.run(ctx, hot, &stats);
+    engine.quiesceSpecialization();
+    Specializer::Stats ss = engine.specializer()->stats();
+    EXPECT_EQ(ss.promoted, 1u);
+    EXPECT_EQ(ss.failed, 0u);
+    EXPECT_EQ(ss.pending, 0u);
+
+    engine.run(ctx, hot, &stats);
+    EXPECT_EQ(stats.planTier, 1);
+    EXPECT_TRUE(stats.planCacheHit);
+    engine.run(ctx, cold, &stats);
+    EXPECT_EQ(stats.planTier, 0);
+}
+
+TEST_F(SpecializationTest, DisabledByDefault)
+{
+    TestModel m = TestModel::cnn();
+    Sod2Options opts;
+    opts.rdp = m.rdp;
+    opts.specializeAfter = 0;  // explicit off; env ignored
+    Sod2Engine engine(&m.graph, opts);
+    EXPECT_EQ(engine.specializer(), nullptr);
+
+    std::vector<Tensor> in = {cnnInput(2, 12, 16, 5)};
+    RunContext ctx;
+    RunStats stats;
+    for (int i = 0; i < 8; ++i)
+        engine.run(ctx, in, &stats);
+    EXPECT_EQ(stats.planTier, 0);
+}
+
+// --- tier-1 vs tier-0 bit-exactness, zoo-wide -------------------------
+
+TEST_F(SpecializationTest, Tier1MatchesTier0BitExactAcrossZoo)
+{
+    for (const std::string& name : allModelNames()) {
+        Rng build_rng(7);
+        ModelSpec spec = buildModel(name, build_rng);
+        Sod2Options base;
+        base.rdp = spec.rdp;
+        Sod2Options spec_opts = base;
+        spec_opts.specializeAfter = 2;
+
+        // Same weights: buildModel is deterministic per seed, so the
+        // two engines share one graph.
+        Sod2Engine tier0(spec.graph.get(), base);
+        Sod2Engine tiered(spec.graph.get(), spec_opts);
+
+        Rng sample_rng(11);
+        std::vector<Tensor> in = spec.sample(sample_rng, -1);
+
+        RunContext c0, c1;
+        auto want = snapshot(tier0.run(c0, in));
+
+        RunStats stats;
+        tiered.run(c1, in, &stats);
+        EXPECT_EQ(stats.planTier, 0) << name;
+        tiered.run(c1, in, &stats);
+        tiered.quiesceSpecialization();
+        ASSERT_EQ(tiered.specializer()->stats().promoted, 1u)
+            << name << " failed to promote";
+
+        auto got = tiered.run(c1, in, &stats);
+        EXPECT_EQ(stats.planTier, 1) << name;
+        EXPECT_EQ(snapshot(got), want)
+            << name << ": tier-1 output differs from tier-0";
+
+        // A fresh context goes straight to the promoted plan.
+        RunContext fresh;
+        EXPECT_EQ(snapshot(tiered.run(fresh, in, &stats)), want) << name;
+        EXPECT_EQ(stats.planTier, 1) << name;
+    }
+}
+
+// --- tier-up during a concurrent run storm ----------------------------
+
+TEST_F(SpecializationTest, TierUpDuringEightThreadStormStaysExact)
+{
+    TestModel m = TestModel::cnn();
+    Sod2Options opts;
+    opts.rdp = m.rdp;
+    Sod2Engine reference(&m.graph, opts);
+    opts.specializeAfter = 8;
+    Sod2Engine engine(&m.graph, opts);
+
+    std::vector<Tensor> in = {cnnInput(2, 16, 16, 7)};
+    RunContext ref_ctx;
+    auto want = snapshot(reference.run(ref_ctx, in));
+
+    // 8 threads hammer one signature across the promotion point: the
+    // swap happens mid-storm, every run (old plan or new) is exact.
+    constexpr int kThreads = 8;
+    constexpr int kRounds = 12;
+    std::atomic<int> mismatches{0};
+    std::barrier sync(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            RunContext ctx;
+            sync.arrive_and_wait();
+            for (int r = 0; r < kRounds; ++r)
+                if (snapshot(engine.run(ctx, in)) != want)
+                    mismatches.fetch_add(1);
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+    EXPECT_EQ(mismatches.load(), 0);
+
+    engine.quiesceSpecialization();
+    EXPECT_EQ(engine.specializer()->stats().promoted, 1u);
+
+    // Post-storm: promoted, exact, and served from the cache.
+    RunContext post;
+    RunStats stats;
+    EXPECT_EQ(snapshot(engine.run(post, in, &stats)), want);
+    EXPECT_EQ(stats.planTier, 1);
+    EXPECT_TRUE(stats.planCacheHit);
+}
+
+// --- serving lifecycle ------------------------------------------------
+
+TEST_F(SpecializationTest, ServerDrainWaitsOutSpecializer)
+{
+    using serving::Request;
+    using serving::ServerOptions;
+    using serving::Sod2Server;
+
+    TestModel m = TestModel::cnn();
+    Sod2Options opts;
+    opts.rdp = m.rdp;
+    opts.specializeAfter = 4;
+    Sod2Engine engine(&m.graph, opts);
+
+    ServerOptions sopts;
+    sopts.workers = 2;
+    // Batching off: stacked batch runs bypass the per-run profiler
+    // (stacking rewrites the signature), and this test wants a
+    // deterministic run count per signature.
+    sopts.maxBatchSize = 1;
+    Sod2Server server(&engine, sopts);
+
+    std::vector<std::future<RunResult>> futures;
+    for (int i = 0; i < 12; ++i) {
+        Request req;
+        req.inputs = {cnnInput(2, 12 + 2 * (i % 3), 16, 40 + i)};
+        futures.push_back(server.submit(std::move(req)));
+    }
+    for (auto& f : futures)
+        EXPECT_TRUE(f.get().ok());
+
+    // drain() == no queued/in-flight requests AND no compile mid-swap.
+    // 3 signatures x 4 runs each at threshold 4: all three promote.
+    server.drain();
+    Specializer::Stats ss = engine.specializer()->stats();
+    EXPECT_EQ(ss.pending, 0u);
+    EXPECT_EQ(ss.promoted, 3u);
+
+    server.shutdown(/*drain_pending=*/true);
+    EXPECT_EQ(engine.specializer()->stats().pending, 0u);
+}
+
+// --- fault injection --------------------------------------------------
+
+TEST_F(SpecializationTest, CompileFaultLeavesTier0Serving)
+{
+    TestModel m = TestModel::cnn();
+    Sod2Options opts;
+    opts.rdp = m.rdp;
+    opts.specializeAfter = 2;
+    Sod2Engine engine(&m.graph, opts);
+
+    std::vector<Tensor> in = {cnnInput(2, 12, 16, 5)};
+    RunContext ctx;
+    auto want = snapshot(engine.run(ctx, in));
+
+    // Arm the compile-time fault before the threshold crossing: the
+    // background attempt consumes it and fails; no request notices.
+    fault::arm(fault::kSpecializeCompile);
+    engine.run(ctx, in);
+    engine.quiesceSpecialization();
+    EXPECT_FALSE(fault::armed());  // one-shot: consumed off-thread
+
+    Specializer::Stats ss = engine.specializer()->stats();
+    EXPECT_EQ(ss.promoted, 0u);
+    EXPECT_EQ(ss.failed, 1u);
+
+    // Tier-0 keeps serving bit-exact; one attempt per signature means
+    // no promotion flapping — the signature stays tier-0 for good.
+    RunStats stats;
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(snapshot(engine.run(ctx, in, &stats)), want);
+        EXPECT_EQ(stats.planTier, 0);
+    }
+    engine.quiesceSpecialization();
+    EXPECT_EQ(engine.specializer()->stats().failed, 1u);
+    EXPECT_EQ(engine.specializer()->stats().promoted, 0u);
+}
+
+}  // namespace
+}  // namespace sod2

@@ -44,6 +44,48 @@ TEST(Env, ReadPositiveIntFallsBack)
     unsetenv("SOD2_TEST_INT");
 }
 
+TEST(Env, ReadPositiveIntRejectsTrailingGarbage)
+{
+    // atoi-style prefix parsing would accept all of these as 8; the
+    // full-string validation must reject them (typo'd configs fall
+    // back loudly instead of silently truncating).
+    for (const char* bad : {"8x", "8 2", "8.5", "0x8", " ", "", "+"}) {
+        setenv("SOD2_TEST_INT", bad, 1);
+        EXPECT_EQ(env::readPositiveInt("SOD2_TEST_INT", 7), 7)
+            << "value '" << bad << "'";
+        EXPECT_EQ(env::readPositiveInt64("SOD2_TEST_INT", 9), 9)
+            << "value '" << bad << "'";
+    }
+    // Leading whitespace and an explicit plus are strtol-legal.
+    setenv("SOD2_TEST_INT", " 8", 1);
+    EXPECT_EQ(env::readPositiveInt("SOD2_TEST_INT", 7), 8);
+    setenv("SOD2_TEST_INT", "+8", 1);
+    EXPECT_EQ(env::readPositiveInt("SOD2_TEST_INT", 7), 8);
+    unsetenv("SOD2_TEST_INT");
+}
+
+TEST(Env, ReadPositiveIntRejectsZeroAndOverflow)
+{
+    setenv("SOD2_TEST_INT", "0", 1);
+    EXPECT_EQ(env::readPositiveInt("SOD2_TEST_INT", 7), 7);
+    EXPECT_EQ(env::readPositiveInt64("SOD2_TEST_INT", 9), 9);
+
+    // Overflows long long: both readers fall back.
+    setenv("SOD2_TEST_INT", "99999999999999999999", 1);
+    EXPECT_EQ(env::readPositiveInt("SOD2_TEST_INT", 7), 7);
+    EXPECT_EQ(env::readPositiveInt64("SOD2_TEST_INT", 9), 9);
+
+    // Fits in long long but not int: the int reader falls back, the
+    // 64-bit reader accepts.
+    setenv("SOD2_TEST_INT", "3000000000", 1);
+    EXPECT_EQ(env::readPositiveInt("SOD2_TEST_INT", 7), 7);
+    EXPECT_EQ(env::readPositiveInt64("SOD2_TEST_INT", 9), 3000000000LL);
+
+    setenv("SOD2_TEST_INT", "2147483647", 1);  // INT_MAX is fine
+    EXPECT_EQ(env::readPositiveInt("SOD2_TEST_INT", 7), 2147483647);
+    unsetenv("SOD2_TEST_INT");
+}
+
 TEST(Env, CachedAccessorsAreOncePerProcess)
 {
     // Pin both knobs *before* the first cached query (each gtest case
