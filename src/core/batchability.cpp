@@ -34,9 +34,15 @@ isExactlySymbol(const DimValue& d, const std::string& s)
  *  expressions are integer arithmetic over the bindings, so a dim that
  *  evaluates identically across all probe combinations does not vary
  *  with the batch extent in practice (Reshape transfers routinely
- *  leave residues like (n*8)/n that a syntactic check would flag). */
-constexpr int64_t kBatchProbes[] = {1, 2, 3, 8};
-constexpr int64_t kOtherProbes[] = {4, 12};
+ *  leave residues like (n*8)/n that a syntactic check would flag).
+ *  The batch probes must straddle the alignment divisors integer
+ *  arithmetic commonly rounds to: with small probes only, a padded
+ *  extent like (S+15)/16*16 or a truncation like S/16*16 evaluates
+ *  identically everywhere and would be mis-proven batch-independent
+ *  (regression: Batchability.AlignmentRoundedDimIsNotBatchFree). */
+constexpr int64_t kBatchProbes[] = {1,  2,  3,  8,  16,  17,  31,
+                                    32, 33, 48, 64, 97, 128, 1000};
+constexpr int64_t kOtherProbes[] = {4, 12, 64};
 
 /**
  * True when @p e's value changes with symbol @p s — evaluated, not
@@ -115,9 +121,13 @@ valueInfoRefersTo(const ValueInfo& vi, const std::string& s)
 /** Ops that are row-independent along dim 0 *given* the shape rules
  *  (every tainted value keeps dim 0 ≡ S and S off every other dim).
  *  Axis-carrying ops that could mix rows while preserving the shape
- *  (Softmax, LayerNormalization) get an explicit axis check; every
- *  other cross-row use (Concat/Reduce/Gather/Transpose/... on axis 0)
- *  already breaks the dim-0 ≡ S rule and needs no entry here. */
+ *  get an explicit axis/operand check below: Softmax and
+ *  LayerNormalization must not normalize across axis 0, MatMul's right
+ *  operand must be batch-free, and Gather must not index into the
+ *  batch axis of tainted data (S-shaped indices keep dim 0 ≡ S while
+ *  addressing absolute rows of the stacked tensor). Every other
+ *  cross-row use (Concat/Reduce/Transpose/... on axis 0) already
+ *  breaks the dim-0 ≡ S rule and needs no entry here. */
 const std::set<std::string>&
 rowIndependentOps()
 {
@@ -250,6 +260,25 @@ analyzeBatchability(const Graph& graph, const RdpResult& rdp,
             tainted[static_cast<size_t>(node.inputs[1])])
             return reject("MatMul right operand carries the batch "
                           "(contraction would mix rows)");
+        if (node.op == "Gather" &&
+            tainted[static_cast<size_t>(node.inputs[0])]) {
+            // Axis-0 Gather on tainted data reads *absolute* rows of
+            // the stacked tensor: S-shaped indices keep the output's
+            // dim 0 ≡ S (so rules 2/4 pass), yet request i's indices
+            // address request j's rows after concatenation. Any other
+            // indices shape, and any other axis with tainted indices,
+            // breaks rule 2 on the output; untainted data is shared
+            // verbatim by every request and stays safe.
+            const ShapeInfo& data_shape = rdp.shapeOf(node.inputs[0]);
+            if (!data_shape.isRanked())
+                return reject("Gather data rank unknown");
+            int64_t axis = normalizeAxis(node.attrs.getInt("axis", 0),
+                                         data_shape.rank());
+            if (axis == 0)
+                return reject("Gather indexes the batch axis of "
+                              "batch-carrying data (indices would "
+                              "address rows across the stacked batch)");
+        }
     }
 
     // Rule 4: every graph output carries the batch dim to slice on.

@@ -29,10 +29,12 @@
  *      reductions, transposes that move the batch, and Shape-fed
  *      reshapes that fold S into another extent);
  *   3. every node with a tainted input is on the row-independence
- *      whitelist below, with the two shape-preserving exceptions
- *      checked explicitly (Softmax / LayerNormalization must not
- *      normalize across axis 0) and MatMul's right operand required
- *      batch-free (a tainted RHS would contract over the batch);
+ *      whitelist below, with the shape-preserving exceptions checked
+ *      explicitly: Softmax / LayerNormalization must not normalize
+ *      across axis 0, MatMul's right operand must be batch-free (a
+ *      tainted RHS would contract over the batch), and Gather must
+ *      not index axis 0 of batch-tainted data (S-shaped indices keep
+ *      dim 0 ≡ S yet address absolute rows of the stacked tensor);
  *   4. every graph output is tainted (otherwise it carries no batch
  *      dim to slice).
  *

@@ -453,11 +453,6 @@ class Sod2Engine
     /** Shape-signature plan cache (null when disabled). Internally
      *  synchronized — the one piece of shared state run() writes. */
     std::unique_ptr<PlanCache> plan_cache_;
-    /** Background tier-up worker (null when specialization is off).
-     *  Internally synchronized, like the cache it publishes through;
-     *  its thread only reads compiled state and inserts into the
-     *  cache, so const runs may poke it freely. */
-    std::unique_ptr<Specializer> specializer_;
     /** Shared all-unplanned offset table for runs without a DMP plan. */
     std::shared_ptr<const std::vector<size_t>> unplanned_offsets_;
 
@@ -481,6 +476,16 @@ class Sod2Engine
     std::vector<bool> group_folded_;
     /** Per-value consumer counts (copied into each run's use tracker). */
     std::vector<int> base_remaining_uses_;
+
+    /** Background tier-up worker (null when specialization is off).
+     *  Internally synchronized, like the cache it publishes through;
+     *  its thread only reads compiled state and inserts into the
+     *  cache, so const runs may poke it freely. MUST stay the last
+     *  data member: ~Specializer joins the compile thread, and that
+     *  thread reads other members (unplanned_offsets_, plan_cache_,
+     *  interval_templates_, ...) — declared any earlier, those would
+     *  be destroyed while a tier-1 compile is still in flight. */
+    std::unique_ptr<Specializer> specializer_;
 };
 
 }  // namespace sod2

@@ -29,6 +29,11 @@ collectBatch(RequestQueue& queue, const BatchPolicy& policy,
         queue.peekCompatible(key, max - batch->size(), batch, by_compat);
     if (batch->size() >= max || policy.maxWaitMicros <= 0)
         return;
+    if (queue.depth() > 0)
+        return;  // incompatible work is ALREADY queued — the straggler
+                 // window must not hold it behind a timer, exactly like
+                 // an incompatible arrival mid-window (regression:
+                 // Queue.PreQueuedIncompatibleWorkSkipsStragglerWindow)
 
     // Phase 2: bounded straggler window, measured from the first
     // drain. The deadline is ABSOLUTE, computed exactly once: every

@@ -90,6 +90,7 @@ Sod2Server::Sod2Server(const Sod2Engine* engine, ServerOptions options)
     metric_completed_ = &metrics.counter("server.completed");
     metric_batches_ = &metrics.counter("server.batches");
     metric_pad_rows_ = &metrics.counter("server.pad_rows");
+    metric_deadline_retries_ = &metrics.counter("server.deadline_retries");
     metric_batch_size_ = &metrics.histogram(
         "server.batch_size", Histogram::defaultBatchSizeBounds());
     metric_queue_depth_ = &metrics.gauge("server.queue_depth");
@@ -425,6 +426,46 @@ Sod2Server::workerLoop(size_t index)
             for (RunResult& r : results) {
                 r.code = ErrorCode::kInternal;
                 r.message = e.what();
+            }
+        }
+
+        // Both batch paths execute under the MERGED guardrails, so a
+        // mid-run expiry of the earliest member deadline reaches
+        // batchmates whose own deadline still has plenty of time (the
+        // stacked path replicates it outright — "one fate"; the
+        // per-item path hands every item the merged deadline). Those
+        // members re-run individually under their OWN guardrails; only
+        // members whose own budget is also gone keep the shed result.
+        // A solo "batch" already ran under its own options — no retry.
+        if (live.size() > 1) {
+            for (size_t i = 0; i < live.size() && i < results.size();
+                 ++i) {
+                if (results[i].code != ErrorCode::kDeadlineExceeded)
+                    continue;
+                RunOptions own = live[i].runOptions;
+                if (live[i].deadline !=
+                    std::chrono::steady_clock::time_point::max()) {
+                    double remaining =
+                        secondsUntil(live[i].deadline,
+                                     std::chrono::steady_clock::now());
+                    if (remaining <= 0.0)
+                        continue;  // its own deadline is truly gone
+                    own.deadlineSeconds =
+                        own.deadlineSeconds > 0.0
+                            ? std::min(own.deadlineSeconds, remaining)
+                            : remaining;
+                }
+                {
+                    std::lock_guard<std::mutex> lock(mu_);
+                    ++counts_.deadlineRetries;
+                }
+                metric_deadline_retries_->add();
+                results[i] = engine_->tryRun(worker.ctx, live[i].inputs,
+                                             nullptr, own);
+                // tryRun outputs alias the worker context's arena;
+                // promises need owning copies (runBatch clones its).
+                for (Tensor& t : results[i].outputs)
+                    t = t.clone();
             }
         }
 

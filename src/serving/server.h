@@ -96,6 +96,17 @@ struct ServerOptions
      * Largest request batch one worker coalesces into a single engine
      * run (serving/batcher.h). 1 disables batching (every request runs
      * alone, the pre-batching behavior). 0 -> SOD2_BATCH_MAX -> 8.
+     *
+     * Guardrail merge: batchmates may disagree on per-request options,
+     * and the one stacked run takes the earliest member deadline, the
+     * LOOSEST member arena budget (a member admitted with a tight
+     * arenaBudgetBytes runs under a batchmate's wider cap — or
+     * uncapped, when any member is uncapped — for that shared run),
+     * and the interpreter fallback only when every member opted in.
+     * When the merged (earliest) deadline expires mid-run, members
+     * whose own deadline still has time are re-run individually under
+     * their own guardrails instead of inheriting the straggler's
+     * DeadlineExceeded (counted in ServerStats::deadlineRetries).
      */
     int maxBatchSize = 0;
     /**
@@ -149,6 +160,11 @@ struct ServerStats
     /** Zero rows stacked to reach a pad bucket (pad waste, in batch
      *  rows; only grows under padBatches). */
     uint64_t padRows = 0;
+    /** Members re-run individually after a stacked run expired on the
+     *  merged (earliest batchmate) deadline while their own deadline
+     *  still had time — the batch sheds together, but a straggler's
+     *  expiry must not fail its batchmates. */
+    uint64_t deadlineRetries = 0;
     /** Requests currently queued / currently executing. */
     size_t queueDepth = 0;
     size_t inflight = 0;
@@ -256,6 +272,7 @@ class Sod2Server
     Counter* metric_completed_;
     Counter* metric_batches_;
     Counter* metric_pad_rows_;
+    Counter* metric_deadline_retries_;
     Histogram* metric_batch_size_;
     Gauge* metric_queue_depth_;
     Gauge* metric_inflight_;
