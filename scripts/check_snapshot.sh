@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Engine-snapshot + blue/green swap gate (DESIGN.md §14): the persisted
+# compiled artifact and the serving scheduler's zero-downtime cutover —
+#   1. the default build: the snapshot-labeled suite (zoo-wide
+#      save/load roundtrip bit-exactness, stale/corrupt rejection with
+#      typed clean-compile fallback, warm plan-cache restoration,
+#      lifecycle edges, swap-under-storm zero drops, hard-cutover typed
+#      shedding) plus the table1 bench's Table 1c row, whose closing
+#      geomean line must show snapshot boot >= 5x faster than a full
+#      (kernel-tuning) recompile;
+#   2. the tsan preset: admission epoch revalidation, the epoch-live
+#      drain ledger, and the swap's warm/switch/drain phases under
+#      concurrent submitters must stay race-free;
+#   3. the asan preset: no leaks or out-of-bounds in the parsed
+#      artifact (RDP tables, folded tensors, warm plan instantiation)
+#      or across repeated engine swaps.
+#
+# Usage: scripts/check_snapshot.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== snapshot suite (default build) =="
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$(nproc)"
+ctest --test-dir build -L snapshot --output-on-failure "$@"
+
+echo "== table1 snapshot boot row (>= 5x vs full recompile) =="
+out="$(SOD2_BENCH_SAMPLES=2 ./build/bench/table1_reinit_overhead)"
+echo "$out" | tail -n 8
+speedup="$(echo "$out" |
+    sed -n 's/^snapshot-load speedup (geomean): \([0-9.]*\)x.*/\1/p')"
+if [ -z "$speedup" ]; then
+    echo "check_snapshot: FAIL (no geomean speedup line in table1 output)"
+    exit 1
+fi
+if ! awk -v s="$speedup" 'BEGIN { exit !(s >= 5.0) }'; then
+    echo "check_snapshot: FAIL (snapshot boot only ${speedup}x vs recompile, need >= 5x)"
+    exit 1
+fi
+
+echo "== snapshot suite (tsan preset) =="
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j "$(nproc)"
+ctest --test-dir build-tsan -L snapshot --output-on-failure "$@"
+
+echo "== snapshot suite (asan preset) =="
+cmake --preset asan >/dev/null
+cmake --build --preset asan -j "$(nproc)"
+ctest --test-dir build-asan -L snapshot --output-on-failure "$@"
+
+echo "check_snapshot: all green"

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Builds the ThreadSanitizer tree and runs the concurrency-,
-# observability-, faults-, serving-, and specialization-labeled tests
+# observability-, faults-, serving-, specialization-, and snapshot-labeled tests
 # under it. This is the race-regression gate for the shared Sod2Engine
 # serving path: any data race reintroduced in run(), PlanCache, the
 # RunContext last-plan memo, the shape profiler's lock-free table, the
@@ -16,7 +16,7 @@ cd "$(dirname "$0")/.."
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)"
 ctest --test-dir build-tsan \
-      -L 'concurrency|observability|faults|serving|specialization' \
+      -L 'concurrency|observability|faults|serving|specialization|snapshot' \
       --output-on-failure "$@"
 
 # The batched load bench drives the coalescer's cross-thread handoff

@@ -261,4 +261,19 @@ PlanCache::size() const
     return entries_.size();
 }
 
+std::vector<std::pair<uint64_t, std::vector<int64_t>>>
+PlanCache::residentSignatures(size_t max) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::pair<uint64_t, std::vector<int64_t>>> out;
+    for (const Entry& e : entries_) {
+        if (out.size() >= max)
+            break;
+        if (e.plan && e.plan->tier != 0)
+            continue;
+        out.emplace_back(e.hash, e.values);
+    }
+    return out;
+}
+
 }  // namespace sod2

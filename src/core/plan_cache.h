@@ -149,6 +149,17 @@ class PlanCache
     size_t capacity() const { return capacity_; }
 
     /**
+     * The (hash, values) keys of up to @p max resident tier-0 entries,
+     * most-recently-used first. The engine snapshot (core/snapshot.h)
+     * persists these so a loaded engine can pre-instantiate the same
+     * hot signatures; tier-1 entries are excluded — they hold compiled
+     * artifacts a snapshot cannot carry, and re-promotion happens
+     * organically through the specializer. Does not bump recency.
+     */
+    std::vector<std::pair<uint64_t, std::vector<int64_t>>>
+    residentSignatures(size_t max) const;
+
+    /**
      * Content version of the cache: bumped on every insert, replace
      * (tier-up swap), and eviction. A RunContext's last-plan memo
      * records the generation it was filled under and refuses to serve

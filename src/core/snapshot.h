@@ -1,0 +1,111 @@
+#ifndef SOD2_CORE_SNAPSHOT_H_
+#define SOD2_CORE_SNAPSHOT_H_
+
+/**
+ * @file
+ * Engine snapshots — persisting the compiled artifact to disk.
+ *
+ * All of SoD2's compile-time analyses (RDP fixpoint, constant folding,
+ * fusion proofs, SEP order search, kernel tuning) are deterministic
+ * functions of (graph, options, registered operators). A snapshot
+ * serializes their combined result — the CompiledArtifact — into a
+ * versioned, human-diffable text file so a later process can adopt it
+ * and skip every analysis phase: the Table 1 "re-initialization"
+ * scenario collapses to a file parse plus the cheap derived-state
+ * rebuild of Sod2Engine::finishCompile().
+ *
+ * Safety model: a snapshot is a CACHE, never a source of truth. The
+ * header carries a format version plus content hashes of the graph
+ * text, the registered-operator list, and a fingerprint of every
+ * compile option that shapes the artifact. Load re-computes all three
+ * against the live process and refuses the file on any mismatch
+ * (kStale) or parse/consistency failure (kCorrupt) — falling back to a
+ * clean compile with a typed warning, never misexecuting. The file
+ * also gets light body validation (sizes and id ranges against the
+ * live graph), so even a hand-edited body degrades to a fallback.
+ */
+
+#include <memory>
+#include <string>
+
+#include "core/sod2_engine.h"
+
+namespace sod2 {
+
+/** Outcome of one snapshot load attempt. */
+enum class SnapshotStatus {
+    kLoaded,    ///< engine adopted the on-disk artifact
+    kMissing,   ///< no file at the path (first run)
+    kStale,     ///< header hash mismatch: graph/registry/options moved
+    kCorrupt,   ///< unparseable or internally inconsistent body
+    kDisabled,  ///< snapshotting is off (SOD2_SNAPSHOT unset)
+};
+
+const char* snapshotStatusName(SnapshotStatus s);
+
+/** FNV-1a content hash of the graph's canonical serialized text — the
+ *  identity a snapshot is validated against. Exposed for tests. */
+uint64_t snapshotGraphHash(const Graph& graph);
+
+/** FNV-1a hash over the sorted registered-operator names. A snapshot
+ *  compiled under a different operator set is stale: transfer
+ *  functions and kernels may have changed. Exposed for tests. */
+uint64_t snapshotRegistryHash();
+
+/** FNV-1a hash over the compile-relevant fields of @p options (fusion
+ *  mode, phase toggles, SEP knobs, RDP input declarations). Exposed
+ *  for tests. */
+uint64_t snapshotOptionsHash(const Sod2Options& options);
+
+/** Conventional snapshot path for @p model inside @p dir
+ *  ("<dir>/<sanitized-model>.sod2snap"). */
+std::string snapshotPathFor(const std::string& dir,
+                            const std::string& model);
+
+/**
+ * Serializes @p engine's compiled artifact (including up to 16 hot
+ * plan-cache signatures) to @p path, written atomically via a
+ * same-directory temp file + rename so a concurrent loader never sees
+ * a half-written snapshot. Throws sod2::Error (kInternal) on I/O
+ * failure.
+ */
+void saveSnapshot(const Sod2Engine& engine, const std::string& path);
+
+/**
+ * Attempts to build an engine from the snapshot at @p path. Returns
+ * the adopted engine on success (status kLoaded); null on kMissing /
+ * kStale / kCorrupt, with @p status and @p detail (both optional)
+ * describing why. Never throws for a bad file — a snapshot problem is
+ * always recoverable by compiling.
+ */
+std::unique_ptr<Sod2Engine>
+loadSnapshot(const Graph* graph, const Sod2Options& options,
+             const std::string& path, SnapshotStatus* status = nullptr,
+             std::string* detail = nullptr);
+
+/**
+ * loadSnapshot, falling back to a clean compile on any failure — the
+ * drop-in engine factory. A stale or corrupt file is reported with one
+ * typed SOD2_LOG(kWarn) naming the path and the reason; after a clean
+ * compile the snapshot is rewritten (best-effort: a write failure only
+ * warns). @p status (optional) receives the load outcome, i.e.
+ * kLoaded when the compile was skipped.
+ */
+std::unique_ptr<Sod2Engine>
+loadOrCompile(const Graph* graph, const Sod2Options& options,
+              const std::string& path, SnapshotStatus* status = nullptr);
+
+/**
+ * Env-driven convenience: honors SOD2_SNAPSHOT / SOD2_SNAPSHOT_DIR
+ * (support/env.h). When snapshotting is enabled, behaves like
+ * loadOrCompile against snapshotPathFor(dir, @p model), creating the
+ * directory if needed; otherwise compiles directly (status kDisabled).
+ */
+std::unique_ptr<Sod2Engine>
+loadOrCompileFromEnv(const Graph* graph, const Sod2Options& options,
+                     const std::string& model,
+                     SnapshotStatus* status = nullptr);
+
+}  // namespace sod2
+
+#endif  // SOD2_CORE_SNAPSHOT_H_

@@ -30,8 +30,8 @@ secondsSince(Clock::time_point t0)
 
 }  // namespace
 
-Sod2Engine::Sod2Engine(const Graph* graph, Sod2Options options)
-    : graph_(graph), options_(std::move(options))
+void
+Sod2Engine::initCommon()
 {
     SOD2_CHECK(graph_ != nullptr);
     graph_->validate();
@@ -54,6 +54,12 @@ Sod2Engine::Sod2Engine(const Graph* graph, Sod2Options options)
         metric_fallback_runs_ =
             &metrics.counter("engine.fallback_runs");
     }
+}
+
+Sod2Engine::Sod2Engine(const Graph* graph, Sod2Options options)
+    : graph_(graph), options_(std::move(options))
+{
+    initCommon();
 
     // (1) RDP analysis.
     rdp_ = std::make_unique<RdpResult>(runRdp(*graph_, options_.rdp));
@@ -118,10 +124,68 @@ Sod2Engine::Sod2Engine(const Graph* graph, Sod2Options options)
     sep.enable = options_.enableSep;
     plan_ = buildExecutionPlan(*graph_, *rdp_, fusion_, sep);
 
+    versions_ = !options_.enableMvc ? TunedVersions::singleVersion()
+                : options_.tuneKernels
+                    ? tuneAllVersions(TunerOptions{})
+                    : TunedVersions::defaults();
+
+    finishCompile();
+}
+
+Sod2Engine::Sod2Engine(const Graph* graph, Sod2Options options,
+                       CompiledArtifact artifact)
+    : graph_(graph), options_(std::move(options))
+{
+    initCommon();
+
+    // Adoption: the artifact stands in for phases (1)-(3) and the
+    // tuned-version table. Validation (graph hash, registry hash,
+    // options fingerprint) happened at parse time — see
+    // core/snapshot.cpp loadSnapshot.
+    SOD2_CHECK(artifact.rdp != nullptr)
+        << "artifact is missing its RDP result";
+    rdp_ = std::move(artifact.rdp);
+    folded_ = std::move(artifact.folded);
+    fusion_ = std::move(artifact.fusion);
+    plan_ = std::move(artifact.plan);
+    versions_ = artifact.versions;
+    loaded_from_snapshot_ = true;
+
+    finishCompile();
+
+    // Re-warm the plan cache: instantiate each persisted hot signature
+    // so the first request of a known shape is already a tier-0 hit,
+    // exactly as warmup() would have left it. Warm entries are hints,
+    // not contract — one that no longer instantiates (e.g. a file
+    // edited after the validated header) is skipped with a warning,
+    // never fails construction.
+    if (plan_cache_) {
+        const size_t arity = binder_->symbolNames().size();
+        for (auto it = artifact.warm.rbegin();  // oldest first, so the
+             it != artifact.warm.rend(); ++it)  // MRU order is restored
+            try {
+                if (it->second.size() != arity)
+                    SOD2_THROW_CODE(ErrorCode::kInvalidInput)
+                        << "warm signature has " << it->second.size()
+                        << " values, engine binds " << arity;
+                plan_cache_->findOrInstantiate(
+                    it->first, it->second, [&] {
+                        return instantiatePlan(
+                            binder_->toBindingMap(it->second));
+                    });
+            } catch (const Error& e) {
+                SOD2_LOG(kWarn)
+                    << "skipping unusable warm plan signature "
+                    << it->first << ": " << e.what();
+            }
+    }
+}
+
+void
+Sod2Engine::finishCompile()
+{
     // (4) Fused-group compilation + kernel version table.
     compiled_ = compilePlan(*graph_, fusion_);
-    versions_ = options_.enableMvc ? TunedVersions::defaults()
-                                   : TunedVersions::singleVersion();
 
     // Symbolic per-group version selectors: shape-class selection moves
     // from the execution loop to plan instantiation, where it can be
@@ -233,6 +297,20 @@ Sod2Engine::Sod2Engine(const Graph* graph, Sod2Options options)
     if (after > 0 && plan_cache_)
         specializer_ = std::make_unique<Specializer>(
             this, static_cast<uint32_t>(after));
+}
+
+CompiledArtifact
+Sod2Engine::exportArtifact(size_t maxWarmEntries) const
+{
+    CompiledArtifact a;
+    a.rdp = std::make_unique<RdpResult>(*rdp_);
+    a.fusion = fusion_;
+    a.plan = plan_;
+    a.versions = versions_;
+    a.folded = folded_;
+    if (plan_cache_ && maxWarmEntries > 0)
+        a.warm = plan_cache_->residentSignatures(maxWarmEntries);
+    return a;
 }
 
 int

@@ -65,6 +65,15 @@ struct Sod2Options
     bool enableSep = true;   ///< static execution planning (§4.3)
     bool enableDmp = true;   ///< RDP-guided memory plan (§4.4.1)
     bool enableMvc = true;   ///< multi-version kernels (§4.4.2)
+    /**
+     * Run the GA auto-tuner at compile to fill the multi-version
+     * kernel table (the paper's "ST" re-initialization cost, Table 1)
+     * instead of shipping the hand-tuned defaults. Deliberately
+     * expensive — and exactly what an engine snapshot amortizes: the
+     * tuned table is part of the persisted artifact, so a snapshot
+     * boot skips the whole tuning run (bench/table1, Table 1c).
+     */
+    bool tuneKernels = false;
     /** Execute all Switch branches and strip (baseline parity mode). */
     bool executeAllBranches = false;
     /**
@@ -223,6 +232,31 @@ struct RunStats
     std::map<std::string, double> phaseSeconds;
 };
 
+/**
+ * The persistable compile-time state of one engine: everything the
+ * constructor's analysis phases (RDP fixpoint, constant folding,
+ * fusion, SEP, kernel tuning) produce, in a form that can be written
+ * to disk (core/snapshot.h) and adopted by a later engine without
+ * re-running those phases. The cheap derived state (compiled group
+ * table, selectors, binder, DMP interval skeletons, step maps) is NOT
+ * here — adoption rebuilds it in finishCompile(), which keeps the
+ * format small and guarantees the derived state always matches the
+ * running binary.
+ */
+struct CompiledArtifact
+{
+    std::unique_ptr<RdpResult> rdp;
+    FusionPlan fusion;
+    ExecutionPlan plan;
+    TunedVersions versions;
+    /** Compile-time constant-folded values. */
+    std::map<ValueId, Tensor> folded;
+    /** Hot plan-cache signatures (hash, canonical binding vector),
+     *  most-recent first: re-instantiated on adoption so the first
+     *  request of a known shape is already a cache hit. */
+    std::vector<std::pair<uint64_t, std::vector<int64_t>>> warm;
+};
+
 /** Compiled engine for one model graph. */
 class Sod2Engine
 {
@@ -230,6 +264,18 @@ class Sod2Engine
     /** Compiles @p graph; the graph must outlive the engine. Freezes
      *  the process-wide OpRegistry against late registration. */
     Sod2Engine(const Graph* graph, Sod2Options options);
+
+    /**
+     * Adopts @p artifact (a validated snapshot load) instead of running
+     * the analysis phases: RDP, fusion, execution order, folded
+     * constants, and tuned versions come from the artifact; derived
+     * state is rebuilt, and each warm signature is pre-instantiated
+     * into the plan cache. The CALLER (core/snapshot.h loadSnapshot)
+     * is responsible for having validated the artifact against this
+     * graph + registry — adoption itself trusts it.
+     */
+    Sod2Engine(const Graph* graph, Sod2Options options,
+               CompiledArtifact artifact);
 
     /** Stops and joins the background specializer thread, if any. */
     ~Sod2Engine();
@@ -337,6 +383,7 @@ class Sod2Engine
     const FusionPlan& fusionPlan() const { return fusion_; }
     const ExecutionPlan& executionPlan() const { return plan_; }
     const Sod2Options& options() const { return options_; }
+    const Graph* graph() const { return graph_; }
 
     /** Count of materialized intermediate values (Fig 7 "IR size"
      *  numerator, in tensors; bytes depend on the input). */
@@ -357,6 +404,19 @@ class Sod2Engine
     /** The background specializer (core/specialization.h), or null
      *  when tiered specialization is disabled. */
     const Specializer* specializer() const { return specializer_.get(); }
+
+    /** True when this engine adopted a CompiledArtifact (snapshot
+     *  load) instead of running the analysis phases itself. */
+    bool loadedFromSnapshot() const { return loaded_from_snapshot_; }
+
+    /**
+     * Copies this engine's persistable compile-time state into a
+     * CompiledArtifact (the saveSnapshot input), including up to
+     * @p maxWarmEntries resident tier-0 plan-cache signatures.
+     * Thread-safe: reads only compiled state and the internally
+     * synchronized cache.
+     */
+    CompiledArtifact exportArtifact(size_t maxWarmEntries = 16) const;
 
     /**
      * Blocks until the specializer's promotion queue is empty and no
@@ -384,6 +444,19 @@ class Sod2Engine
 
   private:
     friend class Specializer;
+
+    /** Shared constructor head: graph validation, registry freeze,
+     *  trace/fault/metrics initialization. */
+    void initCommon();
+    /**
+     * Shared constructor tail: everything derivable from (graph_,
+     * options_, rdp_, fusion_, plan_, versions_, folded_) — group
+     * compilation, version selectors, binder, batchability, plan
+     * cache, step maps, DMP interval skeletons, specializer. Both the
+     * analyzing constructor and artifact adoption end here, so derived
+     * state never diverges between a compiled and a loaded engine.
+     */
+    void finishCompile();
 
     /** Evaluates interval sizes, places the arena plan, and resolves
      *  kernel versions for one symbol binding — the per-signature work
@@ -476,6 +549,9 @@ class Sod2Engine
     std::vector<bool> group_folded_;
     /** Per-value consumer counts (copied into each run's use tracker). */
     std::vector<int> base_remaining_uses_;
+
+    /** True when construction adopted a CompiledArtifact. */
+    bool loaded_from_snapshot_ = false;
 
     /** Background tier-up worker (null when specialization is off).
      *  Internally synchronized, like the cache it publishes through;

@@ -24,6 +24,22 @@ ShapeProfiler::ShapeProfiler(uint32_t threshold) : threshold_(threshold)
     SOD2_CHECK_GT(threshold, 0u)
         << "specialization threshold must be positive";
     slots_ = std::make_unique<Slot[]>(kSlots);
+    metric_conflicts_ =
+        &MetricsRegistry::instance().counter("specializer.slot_conflicts");
+}
+
+uint64_t
+ShapeProfiler::tagOf(const std::vector<int64_t>& values)
+{
+    // FNV-1a under a seed independent of the signature hash, so two
+    // binding vectors that collide on the primary hash still get
+    // distinct tags with overwhelming probability. 0 is reserved.
+    uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (int64_t v : values) {
+        h ^= static_cast<uint64_t>(v);
+        h *= 0x100000001b3ull;
+    }
+    return h == 0 ? 1 : h;
 }
 
 ShapeProfiler::Slot*
@@ -51,12 +67,26 @@ ShapeProfiler::findSlot(uint64_t hash) const
 }
 
 bool
-ShapeProfiler::recordRun(uint64_t hash)
+ShapeProfiler::recordRun(uint64_t hash, uint64_t tag)
 {
     Slot* slot = findSlot(hash);
     if (!slot) {
         dropped_.fetch_add(1, std::memory_order_relaxed);
         return false;
+    }
+    if (tag != 0) {
+        // Claim the slot's secondary tag; a mismatch means a DIFFERENT
+        // binding vector collided onto this hash. Skip the increment
+        // (never co-mingle tallies — the colliding signature must not
+        // inherit the claimant's count) and account the conflict.
+        uint64_t expected = 0;
+        if (!slot->tag.compare_exchange_strong(
+                expected, tag, std::memory_order_acq_rel) &&
+            expected != tag) {
+            conflicts_.fetch_add(1, std::memory_order_relaxed);
+            metric_conflicts_->add();
+            return false;
+        }
     }
     // fetch_add hands every caller a distinct pre-increment count, so
     // exactly one of N racing threads sees the threshold crossing.
@@ -108,7 +138,7 @@ Specializer::~Specializer()
 void
 Specializer::noteRun(uint64_t hash, const std::vector<int64_t>& values)
 {
-    if (!profiler_.recordRun(hash))
+    if (!profiler_.recordRun(hash, ShapeProfiler::tagOf(values)))
         return;
     // Cold path: at most once per signature per engine lifetime.
     {

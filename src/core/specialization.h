@@ -94,6 +94,18 @@ struct SpecializedExec
  * per signature no matter how many threads race. A full table drops
  * further NEW signatures (counted, never blocking); 1024 slots is far
  * beyond any real signature working set.
+ *
+ * Hash-collision soundness: slots are keyed by the 64-bit signature
+ * hash, so two DIFFERENT binding vectors that collide on that hash
+ * would otherwise co-mingle counts — a cold signature inheriting a hot
+ * one's tally gets promoted prematurely (and the wrong tier-1 plan
+ * would be built for it). recordRun therefore also takes a secondary
+ * @p tag derived from the binding values under an independent seed:
+ * the first tagged recording claims the slot's tag, and a later
+ * recording whose tag mismatches is counted in slotConflicts() (metric
+ * "specializer.slot_conflicts") and NOT tallied — blocking promotion
+ * for the colliding signature, which is the safe direction (it keeps
+ * serving correct tier-0 plans).
  */
 class ShapeProfiler
 {
@@ -101,9 +113,14 @@ class ShapeProfiler
     /** @p threshold runs promote a signature; must be > 0. */
     explicit ShapeProfiler(uint32_t threshold);
 
-    /** Counts one run of @p hash. True exactly when this call is the
-     *  threshold-th recorded run of @p hash. */
-    bool recordRun(uint64_t hash);
+    /**
+     * Counts one run of @p hash. True exactly when this call is the
+     * threshold-th recorded run of @p hash. @p tag (0 = untagged, no
+     * collision check) disambiguates hash-colliding signatures: a
+     * recording whose nonzero tag mismatches the slot's claimed tag is
+     * dropped and counted in slotConflicts() instead of co-mingling.
+     */
+    bool recordRun(uint64_t hash, uint64_t tag = 0);
 
     /** Runs recorded for @p hash so far (0 if never seen/dropped). */
     uint64_t runsOf(uint64_t hash) const;
@@ -116,11 +133,26 @@ class ShapeProfiler
         return dropped_.load(std::memory_order_relaxed);
     }
 
+    /** Recordings dropped because their tag mismatched the slot's
+     *  (hash-colliding signatures; mirrored to the process-wide
+     *  "specializer.slot_conflicts" counter). */
+    uint64_t slotConflicts() const
+    {
+        return conflicts_.load(std::memory_order_relaxed);
+    }
+
+    /** The secondary slot tag of one canonical binding vector: an
+     *  independent-seed content hash, never 0 (0 is reserved for
+     *  "unclaimed"/"untagged"). */
+    static uint64_t tagOf(const std::vector<int64_t>& values);
+
   private:
     struct Slot
     {
         std::atomic<uint64_t> key{0};  ///< 0 = empty
         std::atomic<uint64_t> count{0};
+        /** Claimed by the first tagged recording; 0 = unclaimed. */
+        std::atomic<uint64_t> tag{0};
     };
 
     static constexpr size_t kSlots = 1024;  // power of two
@@ -133,6 +165,9 @@ class ShapeProfiler
     std::unique_ptr<Slot[]> slots_;
     uint32_t threshold_;
     std::atomic<uint64_t> dropped_{0};
+    std::atomic<uint64_t> conflicts_{0};
+    /** Process-wide mirror ("specializer.slot_conflicts"). */
+    Counter* metric_conflicts_;
 };
 
 /**

@@ -270,6 +270,33 @@ unquote(Lexer& lex)
 
 std::shared_ptr<Graph> parseGraphBody(Lexer& lex);
 
+/** Fills @p tensor element-by-element from @p lex (hexfloat-capable
+ *  strtod for floats — the exact inverse of writeTensorData). */
+void
+readTensorData(Lexer& lex, Tensor& tensor)
+{
+    DType dt = tensor.dtype();
+    int64_t n = tensor.numElements();
+    for (int64_t i = 0; i < n; ++i) {
+        std::string t = lex.next();
+        switch (dt) {
+          case DType::kFloat32:
+            tensor.data<float>()[i] =
+                static_cast<float>(std::strtod(t.c_str(), nullptr));
+            break;
+          case DType::kInt64:
+            tensor.data<int64_t>()[i] = toInt(t);
+            break;
+          case DType::kInt32:
+            tensor.data<int32_t>()[i] = static_cast<int32_t>(toInt(t));
+            break;
+          case DType::kBool:
+            tensor.data<bool>()[i] = toInt(t) != 0;
+            break;
+        }
+    }
+}
+
 AttrMap
 parseAttrs(Lexer& lex)
 {
@@ -380,26 +407,7 @@ parseGraphBody(Lexer& lex)
             }
             lex.expect(":");
             Tensor tensor(dt, Shape(dims));
-            int64_t n = tensor.numElements();
-            for (int64_t i = 0; i < n; ++i) {
-                std::string t = lex.next();
-                switch (dt) {
-                  case DType::kFloat32:
-                    tensor.data<float>()[i] = static_cast<float>(
-                        std::strtod(t.c_str(), nullptr));
-                    break;
-                  case DType::kInt64:
-                    tensor.data<int64_t>()[i] = toInt(t);
-                    break;
-                  case DType::kInt32:
-                    tensor.data<int32_t>()[i] =
-                        static_cast<int32_t>(toInt(t));
-                    break;
-                  case DType::kBool:
-                    tensor.data<bool>()[i] = toInt(t) != 0;
-                    break;
-                }
-            }
+            readTensorData(lex, tensor);
             remap[id] = graph->addConstant(name, std::move(tensor));
         } else if (tok == "node") {
             std::string op = lex.next();
@@ -484,6 +492,38 @@ loadGraph(const std::string& path)
     std::stringstream buffer;
     buffer << in.rdbuf();
     return parseGraph(buffer.str());
+}
+
+std::string
+serializeTensorText(const Tensor& t)
+{
+    std::ostringstream os;
+    os << dtypeToken(t.dtype()) << " [";
+    const auto& dims = t.shape().dims();
+    for (size_t i = 0; i < dims.size(); ++i)
+        os << (i ? " " : "") << dims[i];
+    os << "] :";
+    writeTensorData(os, t);
+    return os.str();
+}
+
+Tensor
+parseTensorText(const std::string& text)
+{
+    Lexer lex(text);
+    DType dt = dtypeFromToken(lex.next());
+    lex.expect("[");
+    std::vector<int64_t> dims;
+    for (;;) {
+        std::string t = lex.next();
+        if (t == "]")
+            break;
+        dims.push_back(toInt(t));
+    }
+    lex.expect(":");
+    Tensor tensor(dt, Shape(dims));
+    readTensorData(lex, tensor);
+    return tensor;
 }
 
 }  // namespace sod2

@@ -39,6 +39,18 @@ std::shared_ptr<Graph> parseGraph(const std::string& text);
 void saveGraph(const Graph& graph, const std::string& path);
 std::shared_ptr<Graph> loadGraph(const std::string& path);
 
+/**
+ * Serializes one tensor as `dtype [dims] : data` — the const-line
+ * payload format, with exact float bits via hexfloat (%a), so every
+ * value (including denormals, -0.0, and attrs like epsilon 1e-7)
+ * round-trips bit-exactly. Reused by the engine snapshot
+ * (core/snapshot.h) for folded-constant payloads.
+ */
+std::string serializeTensorText(const Tensor& t);
+
+/** Parses serializeTensorText output; bit-exact round-trip. */
+Tensor parseTensorText(const std::string& text);
+
 }  // namespace sod2
 
 #endif  // SOD2_GRAPH_SERIALIZER_H_

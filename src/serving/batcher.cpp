@@ -22,11 +22,17 @@ collectBatch(RequestQueue& queue, const BatchPolicy& policy,
         return;
     const size_t max = static_cast<size_t>(policy.maxBatchSize);
     const uint64_t key = policy.keyOf(batch->front());
+    // Batchmates must share the leader's admission epoch: across a
+    // blue/green swap, equal signatures on different engines are NOT
+    // interchangeable (different compiled plans), so a batch never
+    // mixes epochs.
+    const uint64_t epoch = batch->front().epoch;
     const bool by_compat = policy.padToBucket;
 
     // Phase 1: admit whatever is compatible right now.
     if (batch->size() < max)
-        queue.peekCompatible(key, max - batch->size(), batch, by_compat);
+        queue.peekCompatible(key, epoch, max - batch->size(), batch,
+                             by_compat);
     if (batch->size() >= max || policy.maxWaitMicros <= 0)
         return;
     if (queue.depth() > 0)
@@ -54,7 +60,8 @@ collectBatch(RequestQueue& queue, const BatchPolicy& policy,
         if (now_count == seen)
             return;  // timeout or closed — run with what we have
         seen = now_count;
-        queue.peekCompatible(key, max - batch->size(), batch, by_compat);
+        queue.peekCompatible(key, epoch, max - batch->size(), batch,
+                             by_compat);
         if (queue.depth() > 0)
             return;  // incompatible work is waiting behind us
     }

@@ -30,18 +30,31 @@ RequestQueue::push(Pending&& p)
 }
 
 size_t
-RequestQueue::peekCompatible(uint64_t key, size_t max,
+RequestQueue::peekCompatible(uint64_t key, uint64_t epoch, size_t max,
                              std::vector<Pending>* out, bool use_compat_key)
 {
     std::lock_guard<std::mutex> lock(mu_);
     size_t moved = 0;
+    // The deque is priority-descending, so the FIRST non-matching item
+    // passed has the highest priority of all passed items; a later
+    // matching item of strictly lower priority must stay queued (it
+    // would otherwise execute ahead of that higher-priority request —
+    // priority inversion through batching).
+    bool passed_nonmatching = false;
+    int passed_priority = 0;
     for (auto it = items_.begin(); it != items_.end() && moved < max;) {
         uint64_t item_key = use_compat_key ? it->compatKey : it->signature;
-        if (item_key == key) {
+        if (item_key == key && it->epoch == epoch) {
+            if (passed_nonmatching && it->priority < passed_priority)
+                break;
             out->push_back(std::move(*it));
             it = items_.erase(it);
             ++moved;
         } else {
+            if (!passed_nonmatching) {
+                passed_nonmatching = true;
+                passed_priority = it->priority;
+            }
             ++it;
         }
     }

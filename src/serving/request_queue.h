@@ -51,6 +51,17 @@ struct Pending
     uint64_t seq = 0;
     /** Canonical shape signature (the affinity routing key). */
     uint64_t signature = 0;
+    /**
+     * Engine this request was validated and signed against, and the
+     * admission epoch it was admitted under (bumped by every blue/green
+     * engine swap — serving/server.h). The worker runs the request on
+     * THIS engine, and batching never mixes epochs, so a request can
+     * never be misrouted to an engine whose signature schema it was not
+     * validated against. Null engine (pre-swap tests constructing
+     * Pending directly) means "the server's current engine".
+     */
+    const Sod2Engine* engine = nullptr;
+    uint64_t epoch = 0;
     /** Batch-compatibility key: the signature with the batch extent
      *  masked (Sod2Engine::batchCompatKey) — equal keys may share one
      *  padded stacked run. Equals signature when not stackable. */
@@ -82,15 +93,26 @@ class RequestQueue
     /**
      * Batch-drain primitive: removes up to @p max queued items whose
      * signature (or, when @p use_compat_key, compatKey) equals @p key
-     * and appends them to @p out in queue order. Non-matching items
-     * are left exactly where they are, so FIFO order is preserved
-     * within the matched signature and the priority order of every
-     * other signature is untouched — a higher-priority non-matching
-     * request still pops first afterwards. Never blocks; returns the
-     * number of items moved (0 when closed-and-empty or nothing
-     * matches).
+     * AND whose admission epoch equals @p epoch (batches never mix
+     * engines across a blue/green swap) and appends them to @p out in
+     * queue order. Non-matching items are left exactly where they are,
+     * so FIFO order is preserved within the matched signature and the
+     * priority order of every other signature is untouched — a
+     * higher-priority non-matching request still pops first afterwards.
+     *
+     * Priority fence: the scan stops before taking a matching item of
+     * STRICTLY lower priority than a non-matching item it already
+     * passed — batching a low-priority compatible request ahead of an
+     * earlier higher-priority incompatible one would execute it first
+     * (priority inversion through batching). Equal-priority compatible
+     * items behind a non-matching one are still taken (FIFO within the
+     * matched signature; cross-signature order within one priority
+     * carries no ordering promise).
+     *
+     * Never blocks; returns the number of items moved (0 when
+     * closed-and-empty or nothing matches).
      */
-    size_t peekCompatible(uint64_t key, size_t max,
+    size_t peekCompatible(uint64_t key, uint64_t epoch, size_t max,
                           std::vector<Pending>* out,
                           bool use_compat_key = false);
 

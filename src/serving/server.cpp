@@ -160,20 +160,15 @@ Sod2Server::submit(Request request)
     std::promise<RunResult> promise;
     std::future<RunResult> future = promise.get_future();
 
-    auto shed = [&](ErrorCode code, const std::string& msg) {
-        {
-            std::lock_guard<std::mutex> lock(mu_);
-            ++counts_.submitted;
-            ++counts_.shed;
-        }
-        metric_shed_->add();
-        RunResult r;
-        r.code = code;
-        r.message = msg;
-        promise.set_value(std::move(r));
-    };
-
-    // Admission check 1: is the server taking requests at all?
+    // Admission check 1: is the server taking requests at all? Also
+    // captures the admission engine + epoch. Validation (check 2) runs
+    // outside the lock against this engine; check 3 revalidates the
+    // epoch under the lock and restarts validation when a swap landed
+    // in between — so a request is never queued with a signature
+    // computed by one engine and an epoch belonging to another
+    // (misrouting across a blue/green swap).
+    const Sod2Engine* eng = nullptr;
+    uint64_t epoch = 0;
     {
         std::lock_guard<std::mutex> lock(mu_);
         if (!accepting_) {
@@ -186,24 +181,11 @@ Sod2Server::submit(Request request)
             promise.set_value(std::move(r));
             return future;
         }
-    }
-
-    // Admission check 2: request validation — reuses the engine's
-    // typed upfront checks (arity/dtype/rank/binding) and yields the
-    // shape signature the dispatch routes on.
-    uint64_t signature = 0;
-    std::vector<int64_t> values;
-    try {
-        signature = engine_->signatureFor(request.inputs, &values);
-    } catch (const Error& e) {
-        shed(e.code(), e.what());
-        return future;
+        eng = engine_;
+        epoch = engine_epoch_;
     }
 
     Pending pending;
-    pending.signature = signature;
-    pending.compatKey = engine_->batchCompatKey(values);
-    pending.rows = engine_->batchRowsOf(values);
     pending.priority = request.priority;
     pending.bytes = payloadBytes(request.inputs);
     pending.runOptions = options_.defaultRunOptions;
@@ -216,15 +198,52 @@ Sod2Server::submit(Request request)
             std::chrono::steady_clock::now() +
             std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                 std::chrono::duration<double>(request.deadlineSeconds));
-    pending.inputs = std::move(request.inputs);
     pending.promise = std::move(promise);
 
-    // Admission check 3: depth and bytes budgets, reserved atomically
-    // so concurrent submits cannot jointly overflow. The bytes budget
-    // is waived for a request arriving at an empty queue ("admit when
-    // alone"): one oversized-but-legal request must stay servable.
-    {
+    for (;;) {
+        // Admission check 2: request validation — reuses the engine's
+        // typed upfront checks (arity/dtype/rank/binding) and yields
+        // the shape signature the dispatch routes on.
+        uint64_t signature = 0;
+        std::vector<int64_t> values;
+        try {
+            signature = eng->signatureFor(request.inputs, &values);
+        } catch (const Error& e) {
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                ++counts_.submitted;
+                ++counts_.shed;
+            }
+            metric_shed_->add();
+            failPending(pending, e.code(), e.what());
+            return future;
+        }
+        pending.signature = signature;
+        pending.compatKey = eng->batchCompatKey(values);
+        pending.rows = eng->batchRowsOf(values);
+
+        // Admission check 3: depth and bytes budgets, reserved
+        // atomically so concurrent submits cannot jointly overflow.
+        // The bytes budget is waived for a request arriving at an
+        // empty queue ("admit when alone"): one oversized-but-legal
+        // request must stay servable.
         std::lock_guard<std::mutex> lock(mu_);
+        if (!accepting_) {
+            ++counts_.submitted;
+            ++counts_.shed;
+            metric_shed_->add();
+            failPending(pending, ErrorCode::kShutdown,
+                        "server is shut down");
+            return future;
+        }
+        if (epoch != engine_epoch_) {
+            // A swap switched admission mid-validation: revalidate the
+            // request against the NEW engine (its signature schema may
+            // differ) before admitting it into the new epoch.
+            eng = engine_;
+            epoch = engine_epoch_;
+            continue;
+        }
         ++counts_.submitted;
         if (queued_count_ >= queue_depth_cap_) {
             ++counts_.shed;
@@ -249,8 +268,13 @@ Sod2Server::submit(Request request)
         ++queued_count_;
         queued_bytes_ += pending.bytes;
         ++counts_.admitted;
+        ++epoch_live_[epoch];
         pending.seq = next_seq_++;
+        break;
     }
+    pending.engine = eng;
+    pending.epoch = epoch;
+    pending.inputs = std::move(request.inputs);
     metric_admitted_->add();
     metric_queue_depth_->add(1);
 
@@ -270,6 +294,7 @@ Sod2Server::submit(Request request)
             queued_bytes_ -= pending.bytes;
             --counts_.admitted;
             ++counts_.shed;
+            releaseEpochLocked(pending.epoch);
         }
         metric_queue_depth_->add(-1);
         metric_shed_->add();
@@ -289,10 +314,39 @@ Sod2Server::run(Request request)
 bool
 Sod2Server::warmup(const std::vector<Tensor>& inputs)
 {
+    const Sod2Engine* eng = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        eng = engine_;
+    }
     // Pin the affinity assignment first so the warmed plan and the
     // routed worker agree from request one.
-    workerFor(engine_->signatureFor(inputs));
-    return engine_->warmup(inputs);
+    workerFor(eng->signatureFor(inputs));
+    return eng->warmup(inputs);
+}
+
+const Sod2Engine&
+Sod2Server::engine() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return *engine_;
+}
+
+void
+Sod2Server::releaseEpochLocked(uint64_t epoch)
+{
+    auto it = epoch_live_.find(epoch);
+    if (it == epoch_live_.end())
+        return;  // directly-enqueued Pending (tests) — untracked
+    if (--it->second == 0)
+        epoch_live_.erase(it);
+}
+
+size_t
+Sod2Server::epochLiveLocked(uint64_t epoch) const
+{
+    auto it = epoch_live_.find(epoch);
+    return it == epoch_live_.end() ? 0 : it->second;
 }
 
 void
@@ -308,6 +362,17 @@ Sod2Server::workerLoop(size_t index)
         std::vector<Pending> batch;
         batch.push_back(std::move(first));
         collectBatch(worker.queue, batch_policy_, &batch);
+
+        // The batch executes on the engine its members were admitted
+        // against — all equal, since collectBatch never batches across
+        // admission epochs — so a blue/green swap never re-routes an
+        // admitted request. A directly-enqueued Pending without one
+        // (engine == nullptr) runs on the server's current engine.
+        const Sod2Engine* engine = batch.front().engine;
+        if (engine == nullptr) {
+            std::lock_guard<std::mutex> lock(mu_);
+            engine = engine_;
+        }
 
         // Account the whole dequeue at once. Bytes are released here
         // for EVERY member — including those shed moments later on
@@ -346,6 +411,7 @@ Sod2Server::workerLoop(size_t index)
             {
                 std::lock_guard<std::mutex> lock(mu_);
                 ++counts_.expired;
+                releaseEpochLocked(p.epoch);
             }
             metric_expired_->add();
             metric_shed_->add();
@@ -402,7 +468,7 @@ Sod2Server::workerLoop(size_t index)
 
         BatchOptions bopts;
         if (batch_policy_.padToBucket &&
-            engine_->batchInfo().stackable) {
+            engine->batchInfo().stackable) {
             int64_t rows = 0;
             for (const Pending& p : live)
                 rows += p.rows;
@@ -417,8 +483,8 @@ Sod2Server::workerLoop(size_t index)
         BatchRunStats bstats;
         std::vector<RunResult> results;
         try {
-            results = engine_->runBatch(worker.ctx, item_inputs, opts,
-                                        bopts, &bstats);
+            results = engine->runBatch(worker.ctx, item_inputs, opts,
+                                       bopts, &bstats);
         } catch (const std::exception& e) {
             // runBatch is non-throwing by contract; belt-and-braces so
             // a worker thread can never die on an escaped exception.
@@ -460,8 +526,8 @@ Sod2Server::workerLoop(size_t index)
                     ++counts_.deadlineRetries;
                 }
                 metric_deadline_retries_->add();
-                results[i] = engine_->tryRun(worker.ctx, live[i].inputs,
-                                             nullptr, own);
+                results[i] = engine->tryRun(worker.ctx, live[i].inputs,
+                                            nullptr, own);
                 // tryRun outputs alias the worker context's arena;
                 // promises need owning copies (runBatch clones its).
                 for (Tensor& t : results[i].outputs)
@@ -500,6 +566,7 @@ Sod2Server::workerLoop(size_t index)
                     ++counts_.completed;
                 else
                     ++counts_.failed;
+                releaseEpochLocked(live[i].epoch);
             }
             if (ok)
                 metric_completed_->add();
@@ -518,16 +585,95 @@ void
 Sod2Server::drain()
 {
     start();  // a paused server cannot drain itself
+    const Sod2Engine* eng = nullptr;
     {
         std::unique_lock<std::mutex> lock(mu_);
         idle_cv_.wait(
             lock, [&] { return queued_count_ == 0 && inflight_ == 0; });
+        eng = engine_;
     }
     // "Drained" also means no background specialization mid-swap:
     // quiesce after the request wait (the compile queue only grows
     // from request runs, so it cannot refill once idle). Outside mu_ —
     // the specializer has its own locks.
-    engine_->quiesceSpecialization();
+    eng->quiesceSpecialization();
+}
+
+size_t
+Sod2Server::swapEngine(const Sod2Engine* next, const SwapOptions& opts)
+{
+    SOD2_CHECK(next != nullptr) << "swapEngine needs a compiled engine";
+    // One swap at a time; admission keeps flowing under mu_ throughout.
+    std::lock_guard<std::mutex> swap_lock(swap_mu_);
+
+    // Phase 1 — warm the green engine while blue still serves: plan
+    // instantiation and affinity pinning happen before a single
+    // request is admitted to it, so the cutover has no cold start.
+    for (const std::vector<Tensor>* inputs : opts.warmupInputs) {
+        policy_.pick(next->signatureFor(*inputs), std::vector<size_t>());
+        next->warmup(*inputs);
+    }
+
+    // Phase 2 — atomic admission switch. From the next submit on,
+    // every request validates against (and runs on) the green engine;
+    // requests already admitted keep their engine pointer and epoch.
+    const Sod2Engine* old_engine = nullptr;
+    uint64_t old_epoch = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopped_)
+            return 0;  // shut down: nothing to swap to or from
+        old_engine = engine_;
+        old_epoch = engine_epoch_;
+        engine_ = next;
+        ++engine_epoch_;
+    }
+    // Phase 3 — old-queue policy. Hard cutover sheds still-queued
+    // pre-swap requests with a typed Shutdown result; green requests
+    // that already landed in the same queues are re-enqueued
+    // untouched. In-flight runs are never interrupted on either path.
+    size_t shed = 0;
+    if (opts.hardCutover) {
+        for (auto& w : workers_) {
+            std::deque<Pending> items = w->queue.drainNow();
+            for (Pending& p : items) {
+                if (p.epoch > old_epoch || p.engine == nullptr) {
+                    if (w->queue.push(std::move(p)))
+                        continue;
+                    // Queue closed by a concurrent shutdown: fall
+                    // through to the typed shed below.
+                }
+                {
+                    std::lock_guard<std::mutex> lock(mu_);
+                    --queued_count_;
+                    queued_bytes_ -= p.bytes;
+                    ++counts_.discarded;
+                    releaseEpochLocked(p.epoch);
+                }
+                metric_queue_depth_->add(-1);
+                metric_shed_->add();
+                failPending(p, ErrorCode::kShutdown,
+                            "request superseded by engine swap");
+                ++shed;
+            }
+        }
+        idle_cv_.notify_all();
+    }
+
+    // Phase 4 — drain blue. Its epoch's live count covers queued and
+    // in-flight requests alike, so zero means every blue future is
+    // resolved; quiescing the specializer afterwards means no blue
+    // background compile is in flight either — the old engine may be
+    // destroyed the moment this returns.
+    if (opts.waitForDrain) {
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            idle_cv_.wait(lock,
+                          [&] { return epochLiveLocked(old_epoch) == 0; });
+        }
+        old_engine->quiesceSpecialization();
+    }
+    return shed;
 }
 
 void
@@ -563,8 +709,10 @@ Sod2Server::shutdown(bool drain_pending)
                 std::lock_guard<std::mutex> lock(mu_);
                 queued_count_ -= dropped.size();
                 counts_.discarded += dropped.size();
-                for (const Pending& p : dropped)
+                for (const Pending& p : dropped) {
                     queued_bytes_ -= p.bytes;
+                    releaseEpochLocked(p.epoch);
+                }
             }
             metric_queue_depth_->add(
                 -static_cast<int64_t>(dropped.size()));
@@ -586,7 +734,12 @@ Sod2Server::shutdown(bool drain_pending)
     // any in-flight specialization so the engine is fully quiescent
     // when shutdown() returns (the engine's own destructor would also
     // join, but callers deserve the stronger postcondition here).
-    engine_->quiesceSpecialization();
+    const Sod2Engine* eng = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        eng = engine_;
+    }
+    eng->quiesceSpecialization();
 }
 
 ServerStats

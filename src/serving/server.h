@@ -35,6 +35,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -134,6 +135,36 @@ struct ServerOptions
     bool startPaused = false;
 };
 
+/** Knobs of one blue/green engine swap (swapEngine). */
+struct SwapOptions
+{
+    /**
+     * Input sets to warm on the incoming engine BEFORE admission
+     * switches: each pre-instantiates its signature's plan (and, under
+     * shape affinity, pins the worker assignment), so the first green
+     * request of a known shape is already a cache hit. Pointers must
+     * stay valid for the duration of the call.
+     */
+    std::vector<const std::vector<Tensor>*> warmupInputs;
+    /**
+     * true: requests still queued for the OLD engine are shed with a
+     * typed Shutdown result ("superseded by engine swap") instead of
+     * executing — in-flight runs are never interrupted either way.
+     * false (default): queued blue requests run to completion on the
+     * old engine.
+     */
+    bool hardCutover = false;
+    /**
+     * true (default): block until every old-engine request (queued and
+     * in-flight) has resolved and the old engine's background
+     * specializer is quiescent — on return the old engine may be
+     * destroyed. false: return right after admission switches; the
+     * CALLER must then keep the old engine alive until its last
+     * request resolves.
+     */
+    bool waitForDrain = true;
+};
+
 /** Monotonic request accounting (consistent snapshot via stats()). */
 struct ServerStats
 {
@@ -217,6 +248,21 @@ class Sod2Server
      */
     void shutdown(bool drain_pending = true);
 
+    /**
+     * Blue/green engine swap (zero-downtime reload; DESIGN.md §14).
+     * Warms @p next per @p opts, then atomically switches admission:
+     * every request admitted after the switch runs on @p next, every
+     * request admitted before it runs (or completes) on the old engine
+     * — a request is never dropped or executed on a different engine
+     * than the one it was validated against, and batches never mix the
+     * two. Old-engine queue handling and drain behavior follow
+     * @p opts; @p next must outlive the server (like the constructor
+     * engine). Serialized against concurrent swaps; a no-op returning
+     * 0 after shutdown. Returns the number of requests shed by a hard
+     * cutover.
+     */
+    size_t swapEngine(const Sod2Engine* next, const SwapOptions& opts = {});
+
     /** One mutually consistent accounting snapshot. */
     ServerStats stats() const;
 
@@ -224,7 +270,9 @@ class Sod2Server
     AffinityMode affinity() const { return policy_.mode(); }
     /** The resolved batching policy this server dispatches under. */
     const BatchPolicy& batchPolicy() const { return batch_policy_; }
-    const Sod2Engine& engine() const { return *engine_; }
+    /** The engine new admissions currently run on (changes across
+     *  swapEngine; the reference is only stable until the next swap). */
+    const Sod2Engine& engine() const;
 
     /** The worker @p signature routes to right now (under kShape this
      *  also pins the assignment, exactly like a dispatch would). */
@@ -243,7 +291,16 @@ class Sod2Server
     /** Resolves @p p's promise with a typed non-executed result. */
     static void failPending(Pending& p, ErrorCode code,
                             const std::string& message);
+    /** Drops one admitted request of @p epoch from the per-epoch live
+     *  count (requires mu_; no-op for untracked epochs). */
+    void releaseEpochLocked(uint64_t epoch);
+    /** Live (queued + in-flight) requests admitted under @p epoch
+     *  (requires mu_). */
+    size_t epochLiveLocked(uint64_t epoch) const;
 
+    /** Engine new admissions bind to; guarded by mu_ (swapEngine
+     *  replaces it). Workers never read this for execution — each
+     *  Pending carries the engine it was admitted against. */
     const Sod2Engine* engine_;
     ServerOptions options_;
     size_t queue_depth_cap_;
@@ -263,6 +320,17 @@ class Sod2Server
     size_t queued_bytes_ = 0;
     size_t inflight_ = 0;
     uint64_t next_seq_ = 0;
+    /** Admission epoch: bumped by every swapEngine. A request's epoch
+     *  identifies the engine it was validated against; batching never
+     *  crosses epochs. Guarded by mu_. */
+    uint64_t engine_epoch_ = 0;
+    /** Per-epoch count of admitted-but-unresolved requests; an epoch's
+     *  entry disappears when its last request resolves (the swap-drain
+     *  wait condition). Guarded by mu_. */
+    std::map<uint64_t, size_t> epoch_live_;
+    /** Serializes swapEngine calls (admission keeps flowing under mu_;
+     *  only concurrent SWAPS are mutually exclusive). */
+    std::mutex swap_mu_;
     ServerStats counts_;
 
     /** Process-wide metric mirrors ("server.*", support/metrics.h). */

@@ -173,6 +173,21 @@ traceFile()
     return value;
 }
 
+const std::string&
+snapshotDir()
+{
+    static const std::string value = readString("SOD2_SNAPSHOT_DIR");
+    return value;
+}
+
+bool
+snapshotEnabled()
+{
+    static const bool value =
+        readFlag("SOD2_SNAPSHOT") || !snapshotDir().empty();
+    return value;
+}
+
 std::string
 readString(const char* name)
 {

@@ -121,6 +121,22 @@ long long batchWaitMicros();
  */
 bool batchPad();
 
+/**
+ * SOD2_SNAPSHOT=1 — enables engine snapshotting (core/snapshot.h):
+ * loadOrCompileFromEnv() reuses an on-disk compiled artifact when its
+ * validation hashes match, and writes one after a clean compile.
+ * Cached at first query, once per process.
+ */
+bool snapshotEnabled();
+
+/**
+ * SOD2_SNAPSHOT_DIR — directory engine snapshots are read from and
+ * written to (one `<model>.sod2snap` file per model name); setting it
+ * implies SOD2_SNAPSHOT=1. Empty when unset. Cached at first query,
+ * once per process.
+ */
+const std::string& snapshotDir();
+
 /** Uncached low-level parse: true iff @p name is set to exactly "1". */
 bool readFlag(const char* name);
 

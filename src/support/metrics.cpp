@@ -95,11 +95,22 @@ Histogram::snapshot() const
     Snapshot s;
     s.bounds = &bounds_;
     s.buckets.resize(bounds_.size() + 1);
-    for (size_t i = 0; i <= bounds_.size(); ++i) {
-        s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
-        s.count += s.buckets[i];
+    // Seqlock read: retry while a reset is in progress (odd epoch) or
+    // one completed mid-capture (epoch moved), so buckets and sum are
+    // always taken entirely before or entirely after any reset.
+    for (;;) {
+        uint64_t before = epoch_.load(std::memory_order_acquire);
+        if (before & 1)
+            continue;
+        s.count = 0;
+        for (size_t i = 0; i <= bounds_.size(); ++i) {
+            s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+            s.count += s.buckets[i];
+        }
+        s.sum = sum();
+        if (epoch_.load(std::memory_order_acquire) == before)
+            break;
     }
-    s.sum = sum();
     return s;
 }
 
@@ -156,10 +167,16 @@ Histogram::bucketCount(size_t i) const
 void
 Histogram::reset()
 {
+    // Seqlock write: odd epoch marks the zeroing window so concurrent
+    // snapshot() calls retry instead of mixing pre- and post-reset
+    // state. Concurrent reset() calls are idempotent (both zero), so
+    // no writer lock is needed.
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
     for (size_t i = 0; i <= bounds_.size(); ++i)
         buckets_[i].store(0, std::memory_order_relaxed);
     count_.store(0, std::memory_order_relaxed);
     sum_bits_.store(0, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
 }
 
 MetricsRegistry&

@@ -173,6 +173,15 @@ class Histogram
     /** Count in bucket @p i (i == bounds().size() is the overflow). */
     uint64_t bucketCount(size_t i) const;
 
+    /**
+     * Zeroes the distribution. Safe against concurrent snapshot() /
+     * percentile() readers: reset bumps a seqlock epoch (odd while the
+     * buckets are being zeroed), and snapshot() retries until it
+     * captures entirely on one side of the reset — so a reader never
+     * reports pre-reset buckets with a post-reset sum (or vice versa).
+     * Concurrent observe() calls may land on either side; each lands
+     * whole.
+     */
     void reset();
 
   private:
@@ -182,6 +191,11 @@ class Histogram
     std::atomic<uint64_t> count_{0};
     /** Double bits in an atomic<uint64_t> (portable CAS accumulate). */
     std::atomic<uint64_t> sum_bits_{0};
+    /** Seqlock epoch for reset(): odd = reset in progress. snapshot()
+     *  re-reads until the epoch is even and unchanged across the
+     *  capture, making reset-vs-snapshot tear-free without putting a
+     *  lock on the observe() hot path. */
+    std::atomic<uint64_t> epoch_{0};
 };
 
 /**

@@ -400,7 +400,7 @@ TEST(Queue, PeekCompatibleKeepsFifoWithinASignature)
     ASSERT_TRUE(q.push(makePending(0xA, 0, 5)));
 
     std::vector<Pending> batch;
-    EXPECT_EQ(q.peekCompatible(0xA, 8, &batch), 3u);
+    EXPECT_EQ(q.peekCompatible(0xA, 0, 8, &batch), 3u);
     ASSERT_EQ(batch.size(), 3u);
     EXPECT_EQ(batch[0].seq, 1u);  // FIFO within signature A
     EXPECT_EQ(batch[1].seq, 3u);
@@ -420,24 +420,70 @@ TEST(Queue, PeekCompatibleRespectsPrioritiesAcrossSignatures)
     RequestQueue q;
     ASSERT_TRUE(q.push(makePending(0xA, 0, 1)));
     ASSERT_TRUE(q.push(makePending(0xB, 9, 2)));  // high-priority B
-    ASSERT_TRUE(q.push(makePending(0xA, 5, 3)));
+    ASSERT_TRUE(q.push(makePending(0xA, 9, 3)));  // ties B: may batch
     ASSERT_TRUE(q.push(makePending(0xA, 0, 4)));
 
-    // Draining A must not disturb B's claim to the front: priority
-    // order across the untouched signatures is preserved verbatim.
+    // Draining A stops at the priority fence: the priority-9 A ties
+    // the passed B and is taken (cross-signature order within one
+    // priority carries no promise), but the priority-0 A items behind
+    // B stay queued — batching them would execute them ahead of B.
     std::vector<Pending> batch;
-    EXPECT_EQ(q.peekCompatible(0xA, 2, &batch), 2u);
-    ASSERT_EQ(batch.size(), 2u);
-    // Queue order is priority-descending, so the priority-5 A item
-    // outranks the two priority-0 ones within its signature.
+    EXPECT_EQ(q.peekCompatible(0xA, 0, 8, &batch), 1u);
+    ASSERT_EQ(batch.size(), 1u);
     EXPECT_EQ(batch[0].seq, 3u);
-    EXPECT_EQ(batch[1].seq, 1u);
 
     Pending out;
     ASSERT_TRUE(q.pop(&out));
     EXPECT_EQ(out.seq, 2u);  // B never lost its turn
     ASSERT_TRUE(q.pop(&out));
-    EXPECT_EQ(out.seq, 4u);  // the un-drained A item (max respected)
+    EXPECT_EQ(out.seq, 1u);
+    ASSERT_TRUE(q.pop(&out));
+    EXPECT_EQ(out.seq, 4u);
+}
+
+TEST(Queue, PeekCompatibleNeverBatchesPastAHigherPriorityRequest)
+{
+    // The priority-inversion regression: a low-priority compatible
+    // request must NOT ride a batch past a higher-priority
+    // incompatible request that arrived earlier — the batch executes
+    // immediately, so "FIFO within signature" must yield to the
+    // priority order of everything it would jump.
+    RequestQueue q;
+    ASSERT_TRUE(q.push(makePending(0xA, 5, 1)));  // batch leader
+    ASSERT_TRUE(q.push(makePending(0xB, 3, 2)));  // outranks A2
+    ASSERT_TRUE(q.push(makePending(0xA, 0, 3)));  // must stay queued
+
+    Pending leader;
+    ASSERT_TRUE(q.pop(&leader));
+    EXPECT_EQ(leader.seq, 1u);
+
+    std::vector<Pending> batch;
+    EXPECT_EQ(q.peekCompatible(0xA, 0, 8, &batch), 0u);
+
+    Pending out;
+    ASSERT_TRUE(q.pop(&out));
+    EXPECT_EQ(out.seq, 2u);  // B runs before the low-priority A
+    ASSERT_TRUE(q.pop(&out));
+    EXPECT_EQ(out.seq, 3u);
+}
+
+TEST(Queue, PeekCompatibleNeverMixesAdmissionEpochs)
+{
+    // Across a blue/green swap, equal signatures on different engines
+    // are not interchangeable: only same-epoch items may batch.
+    RequestQueue q;
+    Pending v1 = makePending(0xA, 0, 1);
+    v1.epoch = 1;
+    Pending v2 = makePending(0xA, 0, 2);
+    v2.epoch = 2;
+    ASSERT_TRUE(q.push(std::move(v1)));
+    ASSERT_TRUE(q.push(std::move(v2)));
+
+    std::vector<Pending> batch;
+    EXPECT_EQ(q.peekCompatible(0xA, 1, 8, &batch), 1u);
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch[0].seq, 1u);
+    EXPECT_EQ(q.depth(), 1u);  // the epoch-2 item stays queued
 }
 
 TEST(Queue, PeekCompatibleByCompatKey)
@@ -451,7 +497,8 @@ TEST(Queue, PeekCompatibleByCompatKey)
     ASSERT_TRUE(q.push(std::move(b)));
 
     std::vector<Pending> batch;
-    EXPECT_EQ(q.peekCompatible(0xC, 8, &batch, /*use_compat_key=*/true),
+    EXPECT_EQ(q.peekCompatible(0xC, 0, 8, &batch,
+                               /*use_compat_key=*/true),
               2u);
     EXPECT_EQ(q.depth(), 0u);
 }

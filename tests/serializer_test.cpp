@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <cstring>
+#include <variant>
 
 #include "graph/builder.h"
 #include "graph/serializer.h"
@@ -82,6 +85,82 @@ TEST(Serializer, SubgraphAttributeRoundTrip)
     Tensor in = Tensor::full(DType::kFloat32, Shape({2}), -1.0);
     auto out = interp.run({in, Tensor::full(DType::kBool, Shape(), 1)});
     EXPECT_EQ(out[0].data<float>()[0], 0.0f);
+}
+
+/** Regression guard for float attribute precision: hexfloat emission
+ *  must reproduce every double bit pattern exactly — decimal-looking
+ *  values, values off by one ulp, subnormals, signed zero, and the
+ *  extremes. A %g-style printer fails several of these. */
+TEST(Serializer, FloatAttrRoundTripIsBitExact)
+{
+    const double kAdversarial[] = {
+        0.1,
+        0.30000000000000004,          // 0.1 + 0.2, one ulp off 0.3
+        1.0 + 2.220446049250313e-16,  // 1 + eps
+        1e-7,
+        4.9406564584124654e-324,      // smallest subnormal
+        2.2250738585072014e-308,      // DBL_MIN
+        1.7976931348623157e308,       // DBL_MAX
+        -0.0,
+        -123456789.123456789,
+    };
+    Graph g;
+    GraphBuilder b(&g);
+    ValueId x = b.input("x");
+    AttrMap attrs;
+    std::vector<double> all(std::begin(kAdversarial),
+                            std::end(kAdversarial));
+    for (size_t i = 0; i < all.size(); ++i)
+        attrs.set("a" + std::to_string(i), all[i]);
+    attrs.set("all", all);
+    NodeId n = g.addNode("LeakyRelu", {x}, 1, std::move(attrs), "act");
+    b.output(g.outputOf(n));
+
+    auto parsed = parseGraph(serializeGraph(g));
+    const AttrMap& got = parsed->node(0).attrs;
+    for (size_t i = 0; i < all.size(); ++i) {
+        double v = got.getFloat("a" + std::to_string(i));
+        EXPECT_EQ(0, std::memcmp(&v, &all[i], sizeof(double)))
+            << "scalar attr a" << i << " = " << all[i];
+    }
+    const auto& list =
+        std::get<std::vector<double>>(got.entries().at("all"));
+    ASSERT_EQ(list.size(), all.size());
+    EXPECT_EQ(0, std::memcmp(list.data(), all.data(),
+                             all.size() * sizeof(double)));
+    // Signed zero survives with its sign (memcmp above proves bits;
+    // this spells out the classic failure).
+    EXPECT_TRUE(std::signbit(got.getFloat("a7")));
+}
+
+/** The standalone tensor-text helpers (reused by core/snapshot) carry
+ *  float payloads bit-exactly, including subnormals and -0.0f. */
+TEST(Serializer, TensorTextHelpersRoundTripBitExact)
+{
+    Tensor t(DType::kFloat32, Shape({2, 3}));
+    float* p = static_cast<float*>(t.raw());
+    p[0] = 0.1f;
+    p[1] = -0.0f;
+    p[2] = 1.401298464324817e-45f;  // smallest float subnormal
+    p[3] = 3.4028234663852886e38f;  // FLT_MAX
+    p[4] = 1.0f + 1.1920929e-7f;    // 1 + float eps
+    p[5] = -1e-7f;
+
+    Tensor back = parseTensorText(serializeTensorText(t));
+    EXPECT_EQ(back.dtype(), t.dtype());
+    ASSERT_EQ(back.shape(), t.shape());
+    EXPECT_EQ(0, std::memcmp(back.raw(), t.raw(), t.byteSize()));
+
+    Tensor ints(DType::kInt64, Shape({3}));
+    int64_t* q = static_cast<int64_t*>(ints.raw());
+    q[0] = INT64_MIN;
+    q[1] = -1;
+    q[2] = INT64_MAX;
+    Tensor iback = parseTensorText(serializeTensorText(ints));
+    EXPECT_EQ(0, std::memcmp(iback.raw(), ints.raw(), ints.byteSize()));
+
+    EXPECT_THROW(parseTensorText("f32 [2] : 1.0"), Error);  // short
+    EXPECT_THROW(parseTensorText("q7 [1] : 0"), Error);     // bad dtype
 }
 
 TEST(Serializer, RejectsMalformedInput)

@@ -20,6 +20,7 @@
 #include "models/model_zoo.h"
 #include "serving/server.h"
 #include "support/fault_injection.h"
+#include "support/metrics.h"
 #include "support/rng.h"
 
 namespace sod2 {
@@ -117,6 +118,52 @@ TEST_F(SpecializationTest, ProfilerThresholdFiresOnceUnderRaces)
         th.join();
     EXPECT_EQ(fired.load(), 1);
     EXPECT_EQ(prof.runsOf(1234), 64u);
+}
+
+TEST_F(SpecializationTest, HashCollisionBlocksPromotionAndCounts)
+{
+    // Two signatures forced onto one profiler slot: same hash,
+    // different canonical binding vectors -> different slot tags. The
+    // first tagged recording claims the slot; the impostor's runs are
+    // dropped and counted, never co-mingled into the owner's tally —
+    // blocking (not corrupting) promotion is the safe direction.
+    const uint64_t tag_a = ShapeProfiler::tagOf({1, 16, 16});
+    const uint64_t tag_b = ShapeProfiler::tagOf({2, 8, 8});
+    ASSERT_NE(tag_a, tag_b);
+    ASSERT_NE(tag_a, 0u);
+    ASSERT_NE(tag_b, 0u);
+
+    Counter& metric =
+        MetricsRegistry::instance().counter("specializer.slot_conflicts");
+    const uint64_t before = metric.value();
+
+    ShapeProfiler prof(4);
+    EXPECT_FALSE(prof.recordRun(99, tag_a));
+    EXPECT_FALSE(prof.recordRun(99, tag_a));
+    EXPECT_FALSE(prof.recordRun(99, tag_b));  // dropped, not tallied
+    EXPECT_FALSE(prof.recordRun(99, tag_b));  // dropped again
+    EXPECT_EQ(prof.runsOf(99), 2u);           // owner's runs only
+    EXPECT_EQ(prof.slotConflicts(), 2u);
+    EXPECT_EQ(metric.value(), before + 2);
+
+    // The impostor can never push the owner across the threshold; the
+    // owner still promotes exactly once at its own 4th run.
+    EXPECT_FALSE(prof.recordRun(99, tag_a));
+    EXPECT_TRUE(prof.recordRun(99, tag_a));
+    EXPECT_FALSE(prof.recordRun(99, tag_b));
+    EXPECT_EQ(prof.slotConflicts(), 3u);
+}
+
+TEST_F(SpecializationTest, UntaggedRecordingsSkipCollisionCheck)
+{
+    // Tag 0 = untagged (legacy callers): recorded without claiming or
+    // checking the slot tag, and never counted as a conflict.
+    ShapeProfiler prof(8);
+    EXPECT_FALSE(prof.recordRun(7, 0));
+    EXPECT_FALSE(prof.recordRun(7, ShapeProfiler::tagOf({3})));
+    EXPECT_FALSE(prof.recordRun(7, 0));
+    EXPECT_EQ(prof.runsOf(7), 3u);
+    EXPECT_EQ(prof.slotConflicts(), 0u);
 }
 
 // --- promotion threshold ----------------------------------------------
