@@ -19,8 +19,13 @@
  *    signature is bit-exact and the plan cache still serves hits.
  *
  * Also covers the SOD2_FAULT env contract end to end (set + parse +
- * arm) before any engine exists. Each row is emitted as one JSON line
- * ("JSON: {...}") for scraping.
+ * arm) before any engine exists, and a final *resilience phase*
+ * (DESIGN.md §15) driving a Sod2Server under a periodic
+ * plan.instantiate fault pinned to one cold signature: healthy warm
+ * signatures must see ZERO failures, the poison signature must shed
+ * typed kCircuitOpen once its breaker trips, and after the fault
+ * clears the half-open probe must re-close the breaker. Each row is
+ * emitted as one JSON line ("JSON: {...}") for scraping.
  */
 
 #include <atomic>
@@ -33,6 +38,7 @@
 
 #include "core/sod2_engine.h"
 #include "harness.h"
+#include "serving/server.h"
 #include "support/env.h"
 #include "support/fault_injection.h"
 #include "support/logging.h"
@@ -240,6 +246,128 @@ soakModel(const ModelSpec& spec, int rounds)
     return r;
 }
 
+/** Outcome of the self-healing phase (one Sod2Server, one poison
+ *  signature under a sustained plan-build fault). */
+struct ResilienceResult
+{
+    int healthyRequests = 0;
+    int healthyFailures = 0;
+    /** Typed poison failures before the breaker opened (== threshold). */
+    int poisonTyped = 0;
+    bool shedTyped = false;   ///< post-trip shed arrived as kCircuitOpen
+    uint64_t trips = 0;
+    uint64_t circuitShed = 0;
+    bool recovered = false;     ///< post-disarm probe re-closed & served
+    bool breakersClear = false; ///< health() shows no live breaker rows
+
+    bool ok() const
+    {
+        return healthyRequests > 0 && healthyFailures == 0 &&
+               poisonTyped > 0 && shedTyped && trips >= 1 &&
+               circuitShed >= 1 && recovered && breakersClear;
+    }
+};
+
+ResilienceResult
+resiliencePhase(const ModelSpec& spec)
+{
+    constexpr int kHealthyThreads = 4;
+    constexpr int kBreakerThreshold = 3;
+    constexpr long long kCooldownMs = 100;
+
+    Sod2Options eopts;
+    eopts.rdp = spec.rdp;
+    Sod2Engine engine(spec.graph.get(), eopts);
+
+    serving::ServerOptions sopts;
+    sopts.workers = 2;
+    sopts.maxBatchSize = 4;
+    sopts.breaker.threshold = kBreakerThreshold;
+    sopts.breaker.cooldownMillis = kCooldownMs;
+    sopts.breaker.probesToClose = 1;
+    serving::Sod2Server server(&engine, sopts);
+
+    // Two healthy signatures, warmed BEFORE the fault arms so their
+    // plans are cached and the periodic plan-build fault can never
+    // reach them.
+    const int64_t s1 = spec.legalizeSize(spec.minSize);
+    const int64_t s2 = spec.legalizeSize(spec.minSize + spec.sizeMultiple);
+    std::vector<std::vector<Tensor>> warm;
+    for (int64_t hint : {s1, s2}) {
+        Rng rng(4100 + static_cast<uint64_t>(hint));
+        warm.push_back(spec.sample(rng, hint));
+        server.warmup(warm.back());
+    }
+
+    // Poison: a size the server has never built a plan for (walk until
+    // legalization yields a genuinely new signature).
+    int64_t poison_size = s2;
+    for (int k = 2; k < 64 && (poison_size == s1 || poison_size == s2);
+         ++k)
+        poison_size =
+            spec.legalizeSize(spec.minSize + k * spec.sizeMultiple);
+    Rng prng(4242);
+    std::vector<Tensor> poison = spec.sample(prng, poison_size);
+
+    ResilienceResult r;
+    fault::armEvery(fault::kPlanInstantiate, 1);
+
+    // A fixed per-thread request count (not a stop flag) so the
+    // healthy stream always overlaps the poison storm, independent of
+    // how fast the breaker trips.
+    constexpr int kHealthyIters = 16;
+    std::atomic<int> healthy_req{0}, healthy_fail{0};
+    std::barrier sync(kHealthyThreads + 1);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kHealthyThreads; ++t)
+        threads.emplace_back([&, t] {
+            sync.arrive_and_wait();
+            for (int n = 0; n < kHealthyIters; ++n) {
+                serving::Request rq;
+                rq.inputs = warm[(t + n) % warm.size()];
+                RunResult res = server.run(std::move(rq));
+                healthy_req.fetch_add(1);
+                if (!res.ok())
+                    healthy_fail.fetch_add(1);
+            }
+        });
+    sync.arrive_and_wait();
+
+    // Drive the poison signature serially: each attempt re-fails the
+    // plan build (charged), the breaker trips at the threshold, and
+    // the next request sheds fast without executing.
+    for (int i = 0; i < kBreakerThreshold + 8; ++i) {
+        serving::Request rq;
+        rq.inputs = poison;
+        RunResult res = server.run(std::move(rq));
+        if (res.code == ErrorCode::kCircuitOpen) {
+            r.shedTyped = true;
+            break;
+        }
+        if (!res.ok())
+            ++r.poisonTyped;
+    }
+    for (std::thread& t : threads)
+        t.join();
+    r.healthyRequests = healthy_req.load();
+    r.healthyFailures = healthy_fail.load();
+
+    // Fault clears; after the cooldown the next poison request is the
+    // half-open probe, re-builds the plan, and re-closes the breaker.
+    fault::disarm();
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(kCooldownMs + 50));
+    serving::Request probe;
+    probe.inputs = poison;
+    r.recovered = server.run(std::move(probe)).ok();
+
+    serving::ServerStats stats = server.stats();
+    r.trips = stats.breakerTrips;
+    r.circuitShed = stats.circuitShed;
+    r.breakersClear = server.health().breakers.empty();
+    return r;
+}
+
 }  // namespace
 
 int
@@ -303,11 +431,45 @@ main()
     }
     printSeparator();
 
+    // Self-healing phase: sustained plan-build fault on one signature
+    // through a live Sod2Server — breaker trips, typed kCircuitOpen
+    // shed, zero healthy-signature failures, probe recovery.
+    {
+        Rng rng(1234);
+        ModelSpec spec = buildModel(allModelNames().front(), rng);
+        ResilienceResult r = resiliencePhase(spec);
+        all_ok = all_ok && r.ok();
+        std::printf(
+            "resilience phase (%s): healthy %d req / %d failed, poison "
+            "typed %d, trips %llu, circuit shed %llu, shed typed %s, "
+            "probe recovery %s, breakers clear %s -> %s\n",
+            spec.name.c_str(), r.healthyRequests, r.healthyFailures,
+            r.poisonTyped, static_cast<unsigned long long>(r.trips),
+            static_cast<unsigned long long>(r.circuitShed),
+            r.shedTyped ? "yes" : "NO", r.recovered ? "yes" : "NO",
+            r.breakersClear ? "yes" : "NO", r.ok() ? "ok" : "FAILED");
+        std::printf(
+            "JSON: {\"bench\":\"fault_soak\",\"phase\":\"resilience\","
+            "\"model\":\"%s\",\"healthy_requests\":%d,"
+            "\"healthy_failures\":%d,\"poison_typed\":%d,"
+            "\"breaker_trips\":%llu,\"circuit_shed\":%llu,"
+            "\"shed_typed\":%s,\"probe_recovered\":%s,"
+            "\"breakers_clear\":%s}\n",
+            spec.name.c_str(), r.healthyRequests, r.healthyFailures,
+            r.poisonTyped, static_cast<unsigned long long>(r.trips),
+            static_cast<unsigned long long>(r.circuitShed),
+            r.shedTyped ? "true" : "false",
+            r.recovered ? "true" : "false",
+            r.breakersClear ? "true" : "false");
+        printSeparator();
+    }
+
     std::printf("SOD2_FAULT env contract (set -> parse -> arm): %s\n",
                 env_contract ? "ok" : "FAILED");
     std::printf("soak verdict: %s\n",
                 all_ok ? "every injected fault typed, zero corruption, "
-                         "engines healthy post-storm"
+                         "breaker tripped and recovered, engines "
+                         "healthy post-storm"
                        : "FAILURE — see rows above");
     return all_ok ? 0 : 1;
 }

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Self-healing gate (DESIGN.md §15): runs the resilience-labeled suite
+# (failure classification, circuit-breaker state machine, batch
+# quarantine + bisection bit-exactness, bounded retries, health/
+# watchdog surface, every-future-resolves-typed shutdown contract)
+# three ways, plus the fault_soak bench whose resilience phase is the
+# end-to-end acceptance check:
+#   - healthy warm signatures see ZERO failures while a periodic
+#     plan.instantiate fault hammers one poison signature;
+#   - the poison signature sheds typed kCircuitOpen once its breaker
+#     trips at the configured threshold;
+#   - after the fault clears, the half-open probe re-closes the
+#     breaker and the signature serves again.
+#
+# Usage: scripts/check_resilience.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== resilience suite (default build) =="
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$(nproc)"
+ctest --test-dir build -L resilience --output-on-failure "$@"
+
+echo "== fault soak incl. breaker/recovery phase =="
+soak_out="$(./build/bench/fault_soak)"
+echo "${soak_out}"
+resilience_json="$(echo "${soak_out}" |
+    grep -F '"phase":"resilience"' || true)"
+if [[ -z "${resilience_json}" ]]; then
+    echo "check_resilience: FAIL — no resilience-phase JSON in soak output" >&2
+    exit 1
+fi
+for gate in '"healthy_failures":0' '"shed_typed":true' \
+            '"probe_recovered":true' '"breakers_clear":true'; do
+    if ! echo "${resilience_json}" | grep -qF "${gate}"; then
+        echo "check_resilience: FAIL — gate ${gate} not satisfied:" >&2
+        echo "  ${resilience_json}" >&2
+        exit 1
+    fi
+done
+
+echo "== resilience suite (asan preset) =="
+cmake --preset asan >/dev/null
+cmake --build --preset asan -j "$(nproc)"
+ctest --test-dir build-asan -L resilience --output-on-failure "$@"
+
+echo "== resilience suite (tsan preset) =="
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j "$(nproc)"
+ctest --test-dir build-tsan -L resilience --output-on-failure "$@"
+
+echo "check_resilience: all green"

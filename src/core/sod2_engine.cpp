@@ -1095,11 +1095,14 @@ Sod2Engine::runBatch(RunContext& ctx,
     RunResult whole = tryRun(ctx, stacked, nullptr, opts);
     if (!whole.ok()) {
         // One stacked run means one fate: the whole batch sheds with
-        // the same typed error (the serving layer counts it per item).
+        // the same typed error. sharedFate tells the serving layer the
+        // failure is replicated, not individually earned, so it can
+        // bisect the batch and charge only the poison member(s).
         for (size_t i : valid) {
             results[i].code = whole.code;
             results[i].message = whole.message;
             results[i].fellBack = whole.fellBack;
+            results[i].sharedFate = true;
         }
         return results;
     }

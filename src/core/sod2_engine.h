@@ -151,6 +151,16 @@ struct RunResult
     std::string message;
     /** True when the result was served by the interpreter fallback. */
     bool fellBack = false;
+    /**
+     * runBatch only: true when this item's failure is a *replicated*
+     * stacked-run failure — the whole coalesced batch ran as one
+     * engine run and that run failed, so this member's own inputs may
+     * be innocent. The serving layer reacts by bisecting: re-running
+     * members individually under their own guardrails so only the
+     * poison member keeps its error. Always false on success and on
+     * per-item (solo) failures.
+     */
+    bool sharedFate = false;
 
     bool ok() const { return code == ErrorCode::kOk; }
 };

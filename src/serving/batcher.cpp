@@ -16,7 +16,8 @@ BatchPolicy::bucketRows(int64_t rows)
 
 void
 collectBatch(RequestQueue& queue, const BatchPolicy& policy,
-             std::vector<Pending>* batch)
+             std::vector<Pending>* batch,
+             const std::function<bool(const Pending&)>& admit)
 {
     if (!policy.enabled() || batch->empty())
         return;
@@ -32,7 +33,7 @@ collectBatch(RequestQueue& queue, const BatchPolicy& policy,
     // Phase 1: admit whatever is compatible right now.
     if (batch->size() < max)
         queue.peekCompatible(key, epoch, max - batch->size(), batch,
-                             by_compat);
+                             by_compat, admit);
     if (batch->size() >= max || policy.maxWaitMicros <= 0)
         return;
     if (queue.depth() > 0)
@@ -61,7 +62,7 @@ collectBatch(RequestQueue& queue, const BatchPolicy& policy,
             return;  // timeout or closed — run with what we have
         seen = now_count;
         queue.peekCompatible(key, epoch, max - batch->size(), batch,
-                             by_compat);
+                             by_compat, admit);
         if (queue.depth() > 0)
             return;  // incompatible work is waiting behind us
     }

@@ -64,9 +64,17 @@ struct BatchPolicy
  * waiting for stragglers per @p policy. Returns with 1..maxBatchSize
  * requests in @p batch, in queue order (priority-descending, FIFO
  * within a priority/signature).
+ *
+ * When @p admit is non-empty, it gates which queued requests may join
+ * this batch: a rejected request stays queued and counts toward the
+ * priority fence, exactly like an incompatible one. The server passes
+ * the quarantine predicate (no suspect signatures, no breaker probes —
+ * serving/resilience.h), so a poison signature can never re-enter a
+ * stacked batch while it still owes a proof of health.
  */
 void collectBatch(RequestQueue& queue, const BatchPolicy& policy,
-                  std::vector<Pending>* batch);
+                  std::vector<Pending>* batch,
+                  const std::function<bool(const Pending&)>& admit = {});
 
 }  // namespace serving
 }  // namespace sod2

@@ -31,7 +31,8 @@ RequestQueue::push(Pending&& p)
 
 size_t
 RequestQueue::peekCompatible(uint64_t key, uint64_t epoch, size_t max,
-                             std::vector<Pending>* out, bool use_compat_key)
+                             std::vector<Pending>* out, bool use_compat_key,
+                             const std::function<bool(const Pending&)>& admit)
 {
     std::lock_guard<std::mutex> lock(mu_);
     size_t moved = 0;
@@ -44,7 +45,8 @@ RequestQueue::peekCompatible(uint64_t key, uint64_t epoch, size_t max,
     int passed_priority = 0;
     for (auto it = items_.begin(); it != items_.end() && moved < max;) {
         uint64_t item_key = use_compat_key ? it->compatKey : it->signature;
-        if (item_key == key && it->epoch == epoch) {
+        if (item_key == key && it->epoch == epoch &&
+            (!admit || admit(*it))) {
             if (passed_nonmatching && it->priority < passed_priority)
                 break;
             out->push_back(std::move(*it));

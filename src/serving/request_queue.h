@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <vector>
@@ -71,6 +72,14 @@ struct Pending
     int64_t rows = 1;
     /** Input payload bytes (the admission bytes-budget unit). */
     size_t bytes = 0;
+    /**
+     * True when this request is a half-open circuit-breaker probe
+     * (serving/resilience.h): it was admitted through an open breaker
+     * to re-test its signature, runs solo (never coalesced), and its
+     * outcome — including being dropped unrun — MUST be reported back
+     * to the scoreboard or the breaker wedges half-open.
+     */
+    bool breakerProbe = false;
 };
 
 /** Closeable priority-FIFO handoff between dispatcher and one worker. */
@@ -109,12 +118,19 @@ class RequestQueue
      * matched signature; cross-signature order within one priority
      * carries no ordering promise).
      *
+     * Quarantine: when @p admit is non-empty, an item it rejects is
+     * treated exactly like a non-matching one — left in place and
+     * counted toward the priority fence. The batcher passes a
+     * predicate excluding suspect-signature requests and breaker
+     * probes, which must run solo (serving/resilience.h).
+     *
      * Never blocks; returns the number of items moved (0 when
      * closed-and-empty or nothing matches).
      */
-    size_t peekCompatible(uint64_t key, uint64_t epoch, size_t max,
-                          std::vector<Pending>* out,
-                          bool use_compat_key = false);
+    size_t peekCompatible(
+        uint64_t key, uint64_t epoch, size_t max,
+        std::vector<Pending>* out, bool use_compat_key = false,
+        const std::function<bool(const Pending&)>& admit = {});
 
     /** Monotonic count of push() calls that enqueued an item — the
      *  "did anything new arrive?" ticket for waitForArrival(). */

@@ -67,6 +67,24 @@ secondsUntil(std::chrono::steady_clock::time_point deadline,
     return std::chrono::duration<double>(deadline - now).count();
 }
 
+/** Steady-clock microseconds (the watchdog's shared time base). */
+int64_t
+nowMicros()
+{
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+size_t
+codeIndex(ErrorCode code)
+{
+    int i = static_cast<int>(code);
+    return i >= 0 && i < kErrorCodeCount ? static_cast<size_t>(i)
+                                         : static_cast<size_t>(
+                                               ErrorCode::kInternal);
+}
+
 }  // namespace
 
 Sod2Server::Sod2Server(const Sod2Engine* engine, ServerOptions options)
@@ -91,10 +109,25 @@ Sod2Server::Sod2Server(const Sod2Engine* engine, ServerOptions options)
     metric_batches_ = &metrics.counter("server.batches");
     metric_pad_rows_ = &metrics.counter("server.pad_rows");
     metric_deadline_retries_ = &metrics.counter("server.deadline_retries");
+    metric_batch_retries_ = &metrics.counter("server.batch_retries");
+    metric_poison_isolated_ = &metrics.counter("server.poison_isolated");
+    metric_transient_retries_ =
+        &metrics.counter("server.transient_retries");
+    metric_circuit_shed_ = &metrics.counter("server.circuit_shed");
+    metric_breaker_trips_ = &metrics.counter("server.breaker_trips");
+    metric_breaker_probes_ = &metrics.counter("server.breaker_probes");
+    metric_watchdog_stalls_ =
+        &metrics.counter("server.watchdog_stalls");
     metric_batch_size_ = &metrics.histogram(
         "server.batch_size", Histogram::defaultBatchSizeBounds());
     metric_queue_depth_ = &metrics.gauge("server.queue_depth");
     metric_inflight_ = &metrics.gauge("server.inflight");
+
+    scoreboard_.configure(options_.breaker);
+    retry_opts_ = options_.retry.resolved();
+    watchdog_interval_ms_ = options_.watchdogIntervalMillis >= 0
+                                ? options_.watchdogIntervalMillis
+                                : env::watchdogMillis();
 
     int workers = resolveWorkers(options.workers);
     workers_.reserve(static_cast<size_t>(workers));
@@ -119,6 +152,8 @@ Sod2Server::start()
     for (size_t i = 0; i < workers_.size(); ++i)
         workers_[i]->thread =
             std::thread([this, i] { workerLoop(i); });
+    if (watchdog_interval_ms_ > 0 && !watchdog_.joinable())
+        watchdog_ = std::thread([this] { watchdogLoop(); });
 }
 
 std::vector<size_t>
@@ -148,6 +183,12 @@ void
 Sod2Server::failPending(Pending& p, ErrorCode code,
                         const std::string& message)
 {
+    // A dropped probe must release its half-open slot or the breaker
+    // wedges (no further probe would ever be admitted).
+    if (p.breakerProbe)
+        scoreboard_.onProbeDropped(p.signature);
+    error_counts_[codeIndex(code)].fetch_add(
+        1, std::memory_order_relaxed);
     RunResult r;
     r.code = code;
     r.message = message;
@@ -175,6 +216,8 @@ Sod2Server::submit(Request request)
             ++counts_.submitted;
             ++counts_.shed;
             metric_shed_->add();
+            error_counts_[codeIndex(ErrorCode::kShutdown)].fetch_add(
+                1, std::memory_order_relaxed);
             RunResult r;
             r.code = ErrorCode::kShutdown;
             r.message = "server is shut down";
@@ -264,6 +307,32 @@ Sod2Server::submit(Request request)
                                   queued_bytes_, pending.bytes,
                                   options_.queueBytesBudget));
             return future;
+        }
+        // Admission check 4: the per-signature circuit breaker. An
+        // open breaker sheds fast with a typed kCircuitOpen (the plan
+        // for this exact signature failed its last N attempts); once
+        // its cooldown elapses exactly one request is admitted as the
+        // half-open probe, marked so it runs solo and reports back.
+        switch (scoreboard_.admit(pending.signature)) {
+          case SignatureScoreboard::Admission::kShed:
+            ++counts_.shed;
+            ++counts_.circuitShed;
+            metric_shed_->add();
+            metric_circuit_shed_->add();
+            failPending(pending, ErrorCode::kCircuitOpen,
+                        strFormat("circuit open for shape signature "
+                                  "%016llx; shedding until the cooldown "
+                                  "probe proves it healthy",
+                                  static_cast<unsigned long long>(
+                                      pending.signature)));
+            return future;
+          case SignatureScoreboard::Admission::kProbe:
+            pending.breakerProbe = true;
+            ++counts_.breakerProbes;
+            metric_breaker_probes_->add();
+            break;
+          case SignatureScoreboard::Admission::kAdmit:
+            break;
         }
         ++queued_count_;
         queued_bytes_ += pending.bytes;
@@ -355,13 +424,30 @@ Sod2Server::workerLoop(size_t index)
     Worker& worker = *workers_[index];
     worker.ctx.traceBuffer().setLaneName(
         strFormat("server-worker-%zu", index));
+    // Quarantine gate for coalescing: suspect signatures (uncleared
+    // breaker failures) and half-open probes must run solo, so they
+    // can neither kill innocent batchmates nor hide behind them.
+    std::function<bool(const Pending&)> quarantine;
+    if (scoreboard_.enabled())
+        quarantine = [this](const Pending& p) {
+            return !p.breakerProbe && !scoreboard_.suspect(p.signature);
+        };
     Pending first;
     while (worker.queue.pop(&first)) {
+        worker.lastProgressUs.store(nowMicros(),
+                                    std::memory_order_relaxed);
         // Continuous batching: grow the popped request into a batch of
         // compatible queued requests (bounded straggler wait inside).
+        // A solo-quarantined leader skips coalescing entirely.
+        const bool leader_solo =
+            first.breakerProbe ||
+            (scoreboard_.enabled() &&
+             scoreboard_.suspect(first.signature));
         std::vector<Pending> batch;
         batch.push_back(std::move(first));
-        collectBatch(worker.queue, batch_policy_, &batch);
+        if (!leader_solo)
+            collectBatch(worker.queue, batch_policy_, &batch,
+                         quarantine);
 
         // The batch executes on the engine its members were admitted
         // against — all equal, since collectBatch never batches across
@@ -480,6 +566,15 @@ Sod2Server::workerLoop(size_t index)
         for (const Pending& p : live)
             item_inputs.push_back(&p.inputs);
 
+        // Watchdog instrumentation: mark the worker busy with the
+        // merged run deadline so a hung dispatch is detectable.
+        worker.busyDeadlineUs.store(
+            run_deadline > 0.0
+                ? nowMicros() + static_cast<int64_t>(run_deadline * 1e6)
+                : 0,
+            std::memory_order_relaxed);
+        worker.busy.store(true, std::memory_order_relaxed);
+
         BatchRunStats bstats;
         std::vector<RunResult> results;
         try {
@@ -495,43 +590,185 @@ Sod2Server::workerLoop(size_t index)
             }
         }
 
-        // Both batch paths execute under the MERGED guardrails, so a
-        // mid-run expiry of the earliest member deadline reaches
-        // batchmates whose own deadline still has plenty of time (the
-        // stacked path replicates it outright — "one fate"; the
-        // per-item path hands every item the merged deadline). Those
-        // members re-run individually under their OWN guardrails; only
-        // members whose own budget is also gone keep the shed result.
-        // A solo "batch" already ran under its own options — no retry.
+        // Batch-failure bisection (DESIGN.md §15). Both batch paths
+        // execute under the MERGED guardrails, so a whole-batch
+        // failure reaches members whose own guardrails never fired:
+        // the stacked path replicates its one fate outright
+        // (RunResult::sharedFate), the merged earliest deadline
+        // expires for batchmates with time to spare, and the
+        // conservative fallback merge can deny a member the
+        // interpreter fallback it asked for. Each such member re-runs
+        // individually under its OWN guardrails — innocent batchmates
+        // succeed bit-exactly, and only the member(s) whose failure
+        // survives the solo re-run keep a typed error (the poison).
+        // A solo "batch" already ran under its own options — no
+        // bisection.
         if (live.size() > 1) {
             for (size_t i = 0; i < live.size() && i < results.size();
                  ++i) {
-                if (results[i].code != ErrorCode::kDeadlineExceeded)
+                RunResult& r = results[i];
+                if (r.ok())
+                    continue;
+                const bool merged_deadline =
+                    r.code == ErrorCode::kDeadlineExceeded;
+                // Per-item-path failures that were NOT the merged
+                // deadline and NOT a denied fallback are individually
+                // earned under guardrails at least as loose as the
+                // member's own — a solo re-run cannot change them.
+                const bool fallback_denied =
+                    live[i].runOptions.fallbackOnError &&
+                    !opts.fallbackOnError &&
+                    (r.code == ErrorCode::kArenaExhausted ||
+                     r.code == ErrorCode::kKernelFailure ||
+                     r.code == ErrorCode::kBindFailure ||
+                     r.code == ErrorCode::kInternal);
+                if (!r.sharedFate && !merged_deadline &&
+                    !fallback_denied)
+                    continue;
+                // Opt-out keeps the pre-bisection behavior: only the
+                // merged-deadline retry.
+                if (!options_.isolateBatchFailures && !merged_deadline)
                     continue;
                 RunOptions own = live[i].runOptions;
+                int64_t own_deadline_us = 0;
                 if (live[i].deadline !=
                     std::chrono::steady_clock::time_point::max()) {
+                    auto now_retry = std::chrono::steady_clock::now();
                     double remaining =
-                        secondsUntil(live[i].deadline,
-                                     std::chrono::steady_clock::now());
-                    if (remaining <= 0.0)
-                        continue;  // its own deadline is truly gone
+                        secondsUntil(live[i].deadline, now_retry);
+                    if (remaining <= 0.0) {
+                        // Its own budget is truly gone: an expired
+                        // member sheds as DeadlineExceeded, never as
+                        // the batch's replicated error it may be
+                        // innocent of.
+                        if (merged_deadline)
+                            continue;
+                        r.code = ErrorCode::kDeadlineExceeded;
+                        r.message =
+                            "deadline expired before the batch "
+                            "failure could be bisected";
+                        r.sharedFate = false;
+                        r.outputs.clear();
+                        continue;
+                    }
                     own.deadlineSeconds =
                         own.deadlineSeconds > 0.0
                             ? std::min(own.deadlineSeconds, remaining)
                             : remaining;
+                    own_deadline_us =
+                        nowMicros() +
+                        static_cast<int64_t>(remaining * 1e6);
                 }
                 {
                     std::lock_guard<std::mutex> lock(mu_);
-                    ++counts_.deadlineRetries;
+                    ++counts_.batchRetries;
+                    if (merged_deadline)
+                        ++counts_.deadlineRetries;
                 }
-                metric_deadline_retries_->add();
+                metric_batch_retries_->add();
+                if (merged_deadline)
+                    metric_deadline_retries_->add();
+                worker.busyDeadlineUs.store(own_deadline_us,
+                                            std::memory_order_relaxed);
                 results[i] = engine->tryRun(worker.ctx, live[i].inputs,
                                             nullptr, own);
+                results[i].sharedFate = false;
                 // tryRun outputs alias the worker context's arena;
                 // promises need owning copies (runBatch clones its).
                 for (Tensor& t : results[i].outputs)
                     t = t.clone();
+                if (!results[i].ok() &&
+                    breakerCharged(results[i].code)) {
+                    {
+                        std::lock_guard<std::mutex> lock(mu_);
+                        ++counts_.poisonIsolated;
+                    }
+                    metric_poison_isolated_->add();
+                }
+            }
+        }
+
+        // Bounded transient retry (DESIGN.md §15): an individually
+        // earned transient failure (arena pressure that may clear
+        // after a trim, a one-off plan/cache-publish fault) gets up to
+        // maxAttempts solo re-runs under decorrelated-jitter backoff,
+        // deadline-aware so a retry never spends time the request no
+        // longer has. Replicated (sharedFate) errors are batch-level
+        // and never retried here.
+        if (retry_opts_.enabled()) {
+            for (size_t i = 0; i < live.size() && i < results.size();
+                 ++i) {
+                if (results[i].ok() || results[i].sharedFate ||
+                    !transientRetryable(results[i].code))
+                    continue;
+                RetryBackoff backoff(retry_opts_, live[i].seq + 1);
+                for (int attempt = 0;
+                     attempt < retry_opts_.maxAttempts; ++attempt) {
+                    const long long delay = backoff.nextDelayMicros();
+                    RunOptions own = live[i].runOptions;
+                    int64_t own_deadline_us = 0;
+                    if (live[i].deadline !=
+                        std::chrono::steady_clock::time_point::max()) {
+                        double remaining = secondsUntil(
+                            live[i].deadline,
+                            std::chrono::steady_clock::now());
+                        // The backoff sleep must fit in the remaining
+                        // budget with time left to actually run.
+                        if (remaining * 1e6 <=
+                            static_cast<double>(delay))
+                            break;
+                        double after_sleep =
+                            remaining -
+                            static_cast<double>(delay) / 1e6;
+                        own.deadlineSeconds =
+                            own.deadlineSeconds > 0.0
+                                ? std::min(own.deadlineSeconds,
+                                           after_sleep)
+                                : after_sleep;
+                        own_deadline_us =
+                            nowMicros() +
+                            static_cast<int64_t>(remaining * 1e6);
+                    }
+                    std::this_thread::sleep_for(
+                        std::chrono::microseconds(delay));
+                    {
+                        std::lock_guard<std::mutex> lock(mu_);
+                        ++counts_.transientRetries;
+                    }
+                    metric_transient_retries_->add();
+                    worker.busyDeadlineUs.store(
+                        own_deadline_us, std::memory_order_relaxed);
+                    results[i] = engine->tryRun(
+                        worker.ctx, live[i].inputs, nullptr, own);
+                    results[i].sharedFate = false;
+                    for (Tensor& t : results[i].outputs)
+                        t = t.clone();
+                    if (results[i].ok() ||
+                        !transientRetryable(results[i].code))
+                        break;
+                }
+            }
+        }
+
+        // Report final member fates to the breaker scoreboard. Probes
+        // MUST report (success re-closes, charged failure re-opens);
+        // regular members charge consecutive-failure streaks that trip
+        // the breaker at the threshold.
+        if (scoreboard_.enabled()) {
+            for (size_t i = 0; i < live.size() && i < results.size();
+                 ++i) {
+                const uint64_t sig = live[i].signature;
+                const bool probe = live[i].breakerProbe;
+                if (results[i].ok()) {
+                    scoreboard_.onSuccess(sig, probe);
+                } else if (scoreboard_.onFailure(sig, results[i].code,
+                                                 probe)) {
+                    {
+                        std::lock_guard<std::mutex> lock(mu_);
+                        ++counts_.breakerTrips;
+                    }
+                    metric_breaker_trips_->add();
+                }
             }
         }
 
@@ -558,8 +795,14 @@ Sod2Server::workerLoop(size_t index)
             } else {
                 result.code = ErrorCode::kInternal;
                 result.message = "batch result missing";
+                // Never reached the scoreboard loop: a probe must
+                // still release its half-open slot.
+                if (live[i].breakerProbe)
+                    scoreboard_.onProbeDropped(live[i].signature);
             }
             bool ok = result.ok();
+            error_counts_[codeIndex(result.code)].fetch_add(
+                1, std::memory_order_relaxed);
             {
                 std::lock_guard<std::mutex> lock(mu_);
                 if (ok)
@@ -577,6 +820,11 @@ Sod2Server::workerLoop(size_t index)
             inflight_ -= live.size();
         }
         metric_inflight_->add(-static_cast<int64_t>(live.size()));
+        worker.busy.store(false, std::memory_order_relaxed);
+        worker.busyDeadlineUs.store(0, std::memory_order_relaxed);
+        worker.stuck.store(false, std::memory_order_relaxed);
+        worker.lastProgressUs.store(nowMicros(),
+                                    std::memory_order_relaxed);
         idle_cv_.notify_all();
     }
 }
@@ -606,6 +854,18 @@ Sod2Server::swapEngine(const Sod2Engine* next, const SwapOptions& opts)
     // One swap at a time; admission keeps flowing under mu_ throughout.
     std::lock_guard<std::mutex> swap_lock(swap_mu_);
 
+    // Readiness gate: health().ready is false for the whole swap, so a
+    // load balancer polling it routes around the cutover window.
+    struct SwapFlag
+    {
+        std::atomic<bool>& flag;
+        explicit SwapFlag(std::atomic<bool>& f) : flag(f)
+        {
+            flag.store(true, std::memory_order_relaxed);
+        }
+        ~SwapFlag() { flag.store(false, std::memory_order_relaxed); }
+    } swap_flag(swap_in_progress_);
+
     // Phase 1 — warm the green engine while blue still serves: plan
     // instantiation and affinity pinning happen before a single
     // request is admitted to it, so the cutover has no cold start.
@@ -628,6 +888,11 @@ Sod2Server::swapEngine(const Sod2Engine* next, const SwapOptions& opts)
         engine_ = next;
         ++engine_epoch_;
     }
+    // The green engine's plans are a clean slate: breaker state earned
+    // against blue's compilation says nothing about them. (Blue
+    // stragglers may re-add rows as they resolve; they age out the
+    // same way any failure streak does.)
+    scoreboard_.reset();
     // Phase 3 — old-queue policy. Hard cutover sheds still-queued
     // pre-swap requests with a typed Shutdown result; green requests
     // that already landed in the same queues are re-enqueued
@@ -730,6 +995,44 @@ Sod2Server::shutdown(bool drain_pending)
     for (auto& w : workers_)
         if (w->thread.joinable())
             w->thread.join();
+    {
+        std::lock_guard<std::mutex> lock(watchdog_mu_);
+        watchdog_stop_ = true;
+    }
+    watchdog_cv_.notify_all();
+    if (watchdog_.joinable())
+        watchdog_.join();
+
+    // Final promise sweep: a submit() that passed the accepting_ check
+    // just before shutdown flipped it can push into a queue after the
+    // drainNow() above but before close(). On a started server a
+    // worker drains it; on a PAUSED server nobody ever pops it, and a
+    // destroyed promise would surface as std::future_error (broken
+    // promise) instead of a typed result. Workers are joined, so
+    // whatever is left in any queue can only be resolved here.
+    for (auto& w : workers_) {
+        std::deque<Pending> leftovers = w->queue.drainNow();
+        if (leftovers.empty())
+            continue;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            queued_count_ -= leftovers.size();
+            counts_.discarded += leftovers.size();
+            for (const Pending& p : leftovers) {
+                queued_bytes_ -= p.bytes;
+                releaseEpochLocked(p.epoch);
+            }
+        }
+        metric_queue_depth_->add(
+            -static_cast<int64_t>(leftovers.size()));
+        for (Pending& p : leftovers) {
+            metric_shed_->add();
+            failPending(p, ErrorCode::kShutdown,
+                        "request discarded by server shutdown");
+        }
+        idle_cv_.notify_all();
+    }
+
     // Workers are gone, so no new promotions can be queued; wait out
     // any in-flight specialization so the engine is fully quiescent
     // when shutdown() returns (the engine's own destructor would also
@@ -750,6 +1053,89 @@ Sod2Server::stats() const
     s.queueDepth = queued_count_;
     s.inflight = inflight_;
     return s;
+}
+
+ServerHealth
+Sod2Server::health() const
+{
+    ServerHealth h;
+    const int64_t now_us = nowMicros();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        h.started = started_;
+        h.accepting = accepting_;
+        h.queueDepth = queued_count_;
+        h.inflight = inflight_;
+    }
+    h.swapInProgress = swap_in_progress_.load(std::memory_order_relaxed);
+    for (size_t i = 0; i < error_counts_.size(); ++i)
+        h.errorCounts[i] =
+            error_counts_[i].load(std::memory_order_relaxed);
+    bool any_stuck = false;
+    h.workers.reserve(workers_.size());
+    for (size_t i = 0; i < workers_.size(); ++i) {
+        const Worker& w = *workers_[i];
+        WorkerHealth wh;
+        wh.index = i;
+        wh.queueDepth = w.queue.depth();
+        wh.busy = w.busy.load(std::memory_order_relaxed);
+        wh.stuck = w.stuck.load(std::memory_order_relaxed);
+        const int64_t progress =
+            w.lastProgressUs.load(std::memory_order_relaxed);
+        if (progress > 0 && now_us > progress)
+            wh.secondsSinceProgress =
+                static_cast<double>(now_us - progress) / 1e6;
+        const int64_t deadline =
+            w.busyDeadlineUs.load(std::memory_order_relaxed);
+        if (wh.busy && deadline > 0 && now_us > deadline)
+            wh.deadlineOverrunSeconds =
+                static_cast<double>(now_us - deadline) / 1e6;
+        any_stuck = any_stuck || wh.stuck;
+        h.workers.push_back(wh);
+    }
+    h.breakers = scoreboard_.snapshot();
+    h.ready = h.started && h.accepting && !h.swapInProgress &&
+              !any_stuck;
+    return h;
+}
+
+void
+Sod2Server::watchdogLoop()
+{
+    const auto interval =
+        std::chrono::milliseconds(watchdog_interval_ms_);
+    const int64_t grace_us =
+        static_cast<int64_t>(options_.watchdogGraceSeconds * 1e6);
+    std::unique_lock<std::mutex> lock(watchdog_mu_);
+    for (;;) {
+        watchdog_cv_.wait_for(lock, interval,
+                              [&] { return watchdog_stop_; });
+        if (watchdog_stop_)
+            return;
+        const int64_t now_us = nowMicros();
+        for (size_t i = 0; i < workers_.size(); ++i) {
+            Worker& w = *workers_[i];
+            const bool stuck = workerLooksStuck(
+                w.busy.load(std::memory_order_relaxed),
+                w.busyDeadlineUs.load(std::memory_order_relaxed),
+                now_us, grace_us);
+            const bool was = w.stuck.exchange(
+                stuck, std::memory_order_relaxed);
+            if (stuck && !was) {
+                {
+                    std::lock_guard<std::mutex> count_lock(mu_);
+                    ++counts_.watchdogStalls;
+                }
+                metric_watchdog_stalls_->add();
+                SOD2_LOG(kWarn)
+                    << "server worker " << i
+                    << " is stuck: busy past its run deadline by more "
+                       "than the watchdog grace ("
+                    << options_.watchdogGraceSeconds
+                    << "s); readiness gated until it completes";
+            }
+        }
+    }
 }
 
 }  // namespace serving

@@ -29,6 +29,7 @@
  * safe to hold).
  */
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -45,7 +46,9 @@
 #include "serving/affinity.h"
 #include "serving/batcher.h"
 #include "serving/request_queue.h"
+#include "serving/resilience.h"
 #include "support/metrics.h"
+#include "support/status.h"
 
 namespace sod2 {
 namespace serving {
@@ -133,6 +136,41 @@ struct ServerOptions
      * deterministically (QueueFull, in-queue expiry, priority order).
      */
     bool startPaused = false;
+    /**
+     * Batch-failure bisection (DESIGN.md §15): when a coalesced run
+     * fails as a whole (a stacked run's replicated "one fate" error,
+     * the merged-earliest deadline, or a member denied its requested
+     * interpreter fallback by the conservative merge), re-run the
+     * members individually under their OWN guardrails so innocent
+     * batchmates succeed bit-exactly and the failure is charged only
+     * to the poison member(s). false restores the pre-bisection
+     * behavior (only the merged-deadline retry).
+     */
+    bool isolateBatchFailures = true;
+    /**
+     * Per-signature circuit breaker + quarantine tuning
+     * (serving/resilience.h). Negative fields defer to the
+     * SOD2_BREAKER_* env knobs; the resolved default threshold is 0,
+     * i.e. breakers (and suspect-signature quarantine) off.
+     */
+    BreakerOptions breaker;
+    /**
+     * Bounded in-worker retry for transient failures
+     * (serving/resilience.h). Negative fields defer to the
+     * SOD2_RETRY_* env knobs; the resolved default budget is 0, i.e.
+     * retries off.
+     */
+    RetryOptions retry;
+    /**
+     * Watchdog scan interval in milliseconds: a background thread
+     * flags workers stuck past their run deadline + grace and gates
+     * health().ready. 0 disables the watchdog. Negative ->
+     * SOD2_WATCHDOG_MS -> 100.
+     */
+    long long watchdogIntervalMillis = -1;
+    /** Grace past a run's effective deadline before the watchdog
+     *  declares the worker stuck. */
+    double watchdogGraceSeconds = 0.25;
 };
 
 /** Knobs of one blue/green engine swap (swapEngine). */
@@ -196,9 +234,67 @@ struct ServerStats
      *  still had time — the batch sheds together, but a straggler's
      *  expiry must not fail its batchmates. */
     uint64_t deadlineRetries = 0;
+    /** Members re-run individually by batch-failure bisection after a
+     *  coalesced run failed as a whole (superset of deadlineRetries:
+     *  every bisection re-run counts here). */
+    uint64_t batchRetries = 0;
+    /** Bisected members whose failure survived the solo re-run — the
+     *  poison member(s) a batch failure was charged to. */
+    uint64_t poisonIsolated = 0;
+    /** Bounded in-worker retries of transient failures (one per retry
+     *  attempt, successful or not). */
+    uint64_t transientRetries = 0;
+    /** Circuit-breaker trips (closed->open, plus half-open re-opens). */
+    uint64_t breakerTrips = 0;
+    /** Requests shed typed kCircuitOpen by an open breaker. */
+    uint64_t circuitShed = 0;
+    /** Half-open probe requests admitted through a tripped breaker. */
+    uint64_t breakerProbes = 0;
+    /** Times the watchdog newly flagged a worker stuck past its run
+     *  deadline + grace. */
+    uint64_t watchdogStalls = 0;
     /** Requests currently queued / currently executing. */
     size_t queueDepth = 0;
     size_t inflight = 0;
+};
+
+/** One worker's row in ServerHealth. */
+struct WorkerHealth
+{
+    size_t index = 0;
+    size_t queueDepth = 0;
+    /** Executing a batch right now. */
+    bool busy = false;
+    /** Flagged by the watchdog: busy past its run deadline + grace. */
+    bool stuck = false;
+    /** Seconds since this worker last made observable progress
+     *  (dequeued work or finished a batch); 0 before first dispatch. */
+    double secondsSinceProgress = 0.0;
+    /** Seconds past the current run's effective deadline (0 when idle,
+     *  deadline-less, or not yet overdue). */
+    double deadlineOverrunSeconds = 0.0;
+};
+
+/** One consistent health/readiness snapshot (Sod2Server::health()). */
+struct ServerHealth
+{
+    /** Serving and safe to route to: started, accepting, no swap in
+     *  progress, and no worker flagged stuck. */
+    bool ready = false;
+    bool started = false;
+    bool accepting = false;
+    /** A blue/green swapEngine is mid-flight (readiness gate: traffic
+     *  routed now may land on either engine's warmup edge). */
+    bool swapInProgress = false;
+    size_t queueDepth = 0;
+    size_t inflight = 0;
+    /** Resolved-request count per ErrorCode (index by
+     *  static_cast<int>(code); kOk counts successes, so per-code error
+     *  rates have their denominator in the same snapshot). */
+    std::array<uint64_t, kErrorCodeCount> errorCounts{};
+    std::vector<WorkerHealth> workers;
+    /** Breaker rows for every signature with uncleared failures. */
+    std::vector<BreakerHealth> breakers;
 };
 
 /**
@@ -266,6 +362,12 @@ class Sod2Server
     /** One mutually consistent accounting snapshot. */
     ServerStats stats() const;
 
+    /** Health/readiness snapshot: lifecycle flags, queue/inflight
+     *  depths, per-code outcome counts, per-worker progress, and every
+     *  live breaker row (DESIGN.md §15). Safe to poll concurrently
+     *  with serving. */
+    ServerHealth health() const;
+
     int workers() const { return static_cast<int>(workers_.size()); }
     AffinityMode affinity() const { return policy_.mode(); }
     /** The resolved batching policy this server dispatches under. */
@@ -284,13 +386,24 @@ class Sod2Server
         RequestQueue queue;
         RunContext ctx;
         std::thread thread;
+        /** Watchdog instrumentation (all relaxed: monitoring only).
+         *  busyDeadlineUs is the current run's effective absolute
+         *  deadline in steady-clock microseconds (0 = none);
+         *  lastProgressUs is the last dequeue/completion timestamp. */
+        std::atomic<bool> busy{false};
+        std::atomic<bool> stuck{false};
+        std::atomic<int64_t> busyDeadlineUs{0};
+        std::atomic<int64_t> lastProgressUs{0};
     };
 
     void workerLoop(size_t index);
+    void watchdogLoop();
     std::vector<size_t> workerLoads() const;
-    /** Resolves @p p's promise with a typed non-executed result. */
-    static void failPending(Pending& p, ErrorCode code,
-                            const std::string& message);
+    /** Resolves @p p's promise with a typed non-executed result,
+     *  releasing a held breaker-probe slot and recording the per-code
+     *  outcome count. Callable with or without mu_ held. */
+    void failPending(Pending& p, ErrorCode code,
+                     const std::string& message);
     /** Drops one admitted request of @p epoch from the per-epoch live
      *  count (requires mu_; no-op for untracked epochs). */
     void releaseEpochLocked(uint64_t epoch);
@@ -331,7 +444,26 @@ class Sod2Server
     /** Serializes swapEngine calls (admission keeps flowing under mu_;
      *  only concurrent SWAPS are mutually exclusive). */
     std::mutex swap_mu_;
+    /** True for the whole duration of a swapEngine call — the
+     *  health().ready gate during blue/green cutover. */
+    std::atomic<bool> swap_in_progress_{false};
     ServerStats counts_;
+
+    /** Per-signature circuit breaker + quarantine (DESIGN.md §15).
+     *  Lock order: mu_ / queue locks may be held when its methods are
+     *  called, never the reverse. */
+    SignatureScoreboard scoreboard_;
+    /** Resolved transient-retry policy (RetryOptions::resolved()). */
+    RetryOptions retry_opts_;
+    /** Resolved watchdog scan interval (ms; 0 = disabled). */
+    long long watchdog_interval_ms_ = 0;
+    std::thread watchdog_;
+    std::mutex watchdog_mu_;
+    std::condition_variable watchdog_cv_;
+    bool watchdog_stop_ = false;
+    /** Per-ErrorCode resolved-request counts (lock-free: bumped on
+     *  every promise resolution, including shed paths that hold mu_). */
+    std::array<std::atomic<uint64_t>, kErrorCodeCount> error_counts_{};
 
     /** Process-wide metric mirrors ("server.*", support/metrics.h). */
     Counter* metric_admitted_;
@@ -341,6 +473,13 @@ class Sod2Server
     Counter* metric_batches_;
     Counter* metric_pad_rows_;
     Counter* metric_deadline_retries_;
+    Counter* metric_batch_retries_;
+    Counter* metric_poison_isolated_;
+    Counter* metric_transient_retries_;
+    Counter* metric_circuit_shed_;
+    Counter* metric_breaker_trips_;
+    Counter* metric_breaker_probes_;
+    Counter* metric_watchdog_stalls_;
     Histogram* metric_batch_size_;
     Gauge* metric_queue_depth_;
     Gauge* metric_inflight_;

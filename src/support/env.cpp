@@ -159,6 +159,60 @@ specializeAfter()
     return value;
 }
 
+int
+breakerThreshold()
+{
+    static const int value =
+        readPositiveInt("SOD2_BREAKER_THRESHOLD", 0);
+    return value;
+}
+
+long long
+breakerCooldownMillis()
+{
+    static const long long value =
+        readPositiveInt64("SOD2_BREAKER_COOLDOWN_MS", 250);
+    return value;
+}
+
+int
+breakerProbes()
+{
+    static const int value = readPositiveInt("SOD2_BREAKER_PROBES", 1);
+    return value;
+}
+
+int
+retryMax()
+{
+    static const int value = readPositiveInt("SOD2_RETRY_MAX", 0);
+    return value;
+}
+
+long long
+retryBaseMicros()
+{
+    static const long long value =
+        readPositiveInt64("SOD2_RETRY_BASE_US", 200);
+    return value;
+}
+
+long long
+retryCapMicros()
+{
+    static const long long value =
+        readPositiveInt64("SOD2_RETRY_CAP_US", 20000);
+    return value;
+}
+
+long long
+watchdogMillis()
+{
+    static const long long value =
+        readPositiveInt64("SOD2_WATCHDOG_MS", 100);
+    return value;
+}
+
 bool
 traceEnabled()
 {

@@ -122,6 +122,63 @@ long long batchWaitMicros();
 bool batchPad();
 
 /**
+ * SOD2_BREAKER_THRESHOLD — consecutive typed failures of one shape
+ * signature that trip its circuit breaker (DESIGN.md §15), when
+ * ServerOptions leaves BreakerOptions::threshold negative. Returns 0
+ * when unset (breakers disabled). Cached at first query, once per
+ * process.
+ */
+int breakerThreshold();
+
+/**
+ * SOD2_BREAKER_COOLDOWN_MS — milliseconds an open breaker waits before
+ * letting one half-open probe through, when ServerOptions leaves
+ * BreakerOptions::cooldownMillis negative. Returns 250 when unset.
+ * Cached at first query, once per process.
+ */
+long long breakerCooldownMillis();
+
+/**
+ * SOD2_BREAKER_PROBES — consecutive successful half-open probes that
+ * re-close a tripped breaker, when ServerOptions leaves
+ * BreakerOptions::probesToClose negative. Returns 1 when unset.
+ * Cached at first query, once per process.
+ */
+int breakerProbes();
+
+/**
+ * SOD2_RETRY_MAX — per-request budget of in-worker retries for
+ * transient error classes (DESIGN.md §15), when ServerOptions leaves
+ * RetryOptions::maxAttempts negative. Returns 0 when unset (retries
+ * disabled). Cached at first query, once per process.
+ */
+int retryMax();
+
+/**
+ * SOD2_RETRY_BASE_US — base delay, in microseconds, of the
+ * decorrelated-jitter retry backoff, when ServerOptions leaves
+ * RetryOptions::baseMicros negative. Returns 200 when unset. Cached at
+ * first query, once per process.
+ */
+long long retryBaseMicros();
+
+/**
+ * SOD2_RETRY_CAP_US — upper bound, in microseconds, on one retry
+ * backoff delay, when ServerOptions leaves RetryOptions::capMicros
+ * negative. Returns 20000 when unset. Cached at first query, once per
+ * process.
+ */
+long long retryCapMicros();
+
+/**
+ * SOD2_WATCHDOG_MS — scan interval of the server watchdog thread that
+ * flags workers stuck past their run deadline plus grace, when
+ * ServerOptions leaves watchdogIntervalMillis negative. Returns 100
+ * when unset. Cached at first query, once per process.
+ */
+long long watchdogMillis();
+
+/**
  * SOD2_SNAPSHOT=1 — enables engine snapshotting (core/snapshot.h):
  * loadOrCompileFromEnv() reuses an on-disk compiled artifact when its
  * validation hashes match, and writes one after a clean compile.

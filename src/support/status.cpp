@@ -24,6 +24,8 @@ errorCodeName(ErrorCode code)
         return "shutdown";
       case ErrorCode::kInternal:
         return "internal";
+      case ErrorCode::kCircuitOpen:
+        return "circuit_open";
     }
     return "internal";
 }

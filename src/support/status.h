@@ -43,7 +43,17 @@ enum class ErrorCode {
     kShutdown,
     /** Broken invariant inside the engine — a bug, not bad input. */
     kInternal,
+    /** The request's shape signature has tripped its per-signature
+     *  circuit breaker: recent requests of this exact signature failed
+     *  typed N times in a row, so the server sheds this one fast
+     *  instead of burning a worker on a known-bad plan. The breaker
+     *  re-admits a probe after a cooldown (DESIGN.md §15). */
+    kCircuitOpen,
 };
+
+/** Number of ErrorCode values (for per-code counter arrays). */
+inline constexpr int kErrorCodeCount =
+    static_cast<int>(ErrorCode::kCircuitOpen) + 1;
 
 /** Stable lowercase name ("invalid_input", "arena_exhausted", ...). */
 const char* errorCodeName(ErrorCode code);

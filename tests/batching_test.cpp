@@ -731,8 +731,9 @@ TEST(Server, StragglerDeadlineExpiryDoesNotFailHealthyBatchmates)
     // typed DeadlineExceeded either way. (A machine fast enough to
     // finish inside 5 ms may even complete it; the healthy member's
     // unconditional success above is the regression assertion.)
-    if (!s.ok())
+    if (!s.ok()) {
         EXPECT_EQ(s.code, ErrorCode::kDeadlineExceeded) << s.message;
+    }
 
     ServerStats st = server.stats();
     EXPECT_EQ(st.completed, s.ok() ? 2u : 1u);
@@ -846,7 +847,7 @@ TEST(Server, EightThreadStormMixedSignaturesBitExact)
     EXPECT_GE(s.batches, 1u);
 }
 
-TEST(Server, FaultedBatchShedsTypedAloneUnderPlanInstantiateFault)
+TEST(Server, FaultedBatchBisectsAndHealsUnderPlanInstantiateFault)
 {
     CnnFixture f;
     ServerOptions opts;
@@ -869,8 +870,53 @@ TEST(Server, FaultedBatchShedsTypedAloneUnderPlanInstantiateFault)
     }
 
     // The next plan instantiation — batch A's stacked signature — dies
-    // with a typed injected error; arming is one-shot, so batch B's
-    // plan instantiates fine.
+    // with a typed injected error. The stacked run fails as one, but
+    // batch-failure bisection re-runs the members individually under
+    // their own guardrails; the one-shot fault is already consumed, so
+    // every member recovers (the transient fault never reaches a
+    // client), and batch B is untouched throughout.
+    fault::arm(fault::kPlanInstantiate, 1);
+    server.start();
+    server.drain();
+    fault::disarm();
+
+    for (auto& fut : batch_a) {
+        RunResult r = fut.get();
+        EXPECT_TRUE(r.ok()) << r.message;  // healed by bisection
+    }
+    for (auto& fut : batch_b) {
+        RunResult r = fut.get();
+        EXPECT_TRUE(r.ok()) << r.message;  // never saw the fault
+    }
+    ServerStats s = server.stats();
+    EXPECT_EQ(s.completed, 8u);
+    EXPECT_EQ(s.failed, 0u);
+    EXPECT_EQ(s.batchRetries, 4u);    // batch A's four members re-ran
+    EXPECT_EQ(s.poisonIsolated, 0u);  // ...and none kept a failure
+}
+
+TEST(Server, FaultedBatchKeepsOneFateWhenBisectionDisabled)
+{
+    CnnFixture f;
+    ServerOptions opts;
+    opts.workers = 1;
+    opts.maxBatchSize = 4;
+    opts.startPaused = true;
+    opts.isolateBatchFailures = false;  // pre-bisection behavior
+    Sod2Server server(&f.engine, opts);
+
+    std::vector<std::future<RunResult>> batch_a, batch_b;
+    for (int i = 0; i < 4; ++i) {
+        Request req;
+        req.inputs = {cnnInput(1, 16, 16, 90 + i)};
+        batch_a.push_back(server.submit(std::move(req)));
+    }
+    for (int i = 0; i < 4; ++i) {
+        Request req;
+        req.inputs = {cnnInput(1, 20, 20, 95 + i)};
+        batch_b.push_back(server.submit(std::move(req)));
+    }
+
     fault::arm(fault::kPlanInstantiate, 1);
     server.start();
     server.drain();
@@ -888,6 +934,7 @@ TEST(Server, FaultedBatchShedsTypedAloneUnderPlanInstantiateFault)
     ServerStats s = server.stats();
     EXPECT_EQ(s.failed, 4u);
     EXPECT_EQ(s.completed, 4u);
+    EXPECT_EQ(s.batchRetries, 0u);
 }
 
 }  // namespace

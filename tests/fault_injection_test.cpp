@@ -164,6 +164,78 @@ TEST_F(FaultInjectionTest, NthHitFiresOnceThenDisarms)
     EXPECT_EQ(fault::fireCount(), fires_before + 1);
 }
 
+TEST_F(FaultInjectionTest, PeriodicScheduleFiresEveryKthAndStaysArmed)
+{
+    fault::armEvery(fault::kArenaAlloc, 3);
+    EXPECT_TRUE(fault::armed());
+    EXPECT_FALSE(fault::shouldFail(fault::kArenaAlloc));  // hit 1
+    EXPECT_FALSE(fault::shouldFail(fault::kArenaAlloc));  // hit 2
+    EXPECT_TRUE(fault::shouldFail(fault::kArenaAlloc));   // hit 3: fire
+    EXPECT_FALSE(fault::shouldFail(fault::kArenaAlloc));  // hit 4
+    EXPECT_FALSE(fault::shouldFail(fault::kArenaAlloc));  // hit 5
+    EXPECT_TRUE(fault::shouldFail(fault::kArenaAlloc));   // hit 6: fire
+    // Periodic sites stay armed until an explicit disarm.
+    EXPECT_TRUE(fault::armed());
+    fault::disarm();
+    EXPECT_FALSE(fault::shouldFail(fault::kArenaAlloc));
+    EXPECT_FALSE(fault::armed());
+    EXPECT_THROW(fault::armEvery(fault::kArenaAlloc, 0), Error);
+    EXPECT_THROW(fault::armEvery("no.such.site", 1), Error);
+}
+
+TEST_F(FaultInjectionTest, SpecArmsMultipleSitesWithMixedSchedules)
+{
+    fault::armSpec("arena.alloc:2,kernel.dispatch:every=2");
+    std::vector<std::string> sites = fault::armedSites();
+    ASSERT_EQ(sites.size(), 2u);
+    EXPECT_EQ(sites[0], fault::kArenaAlloc);      // sorted
+    EXPECT_EQ(sites[1], fault::kKernelDispatch);
+
+    // Each site counts its own hits independently.
+    EXPECT_FALSE(fault::shouldFail(fault::kArenaAlloc));    // hit 1/2
+    EXPECT_FALSE(fault::shouldFail(fault::kKernelDispatch));  // 1 % 2
+    EXPECT_TRUE(fault::shouldFail(fault::kArenaAlloc));     // hit 2: fire
+    EXPECT_TRUE(fault::shouldFail(fault::kKernelDispatch));   // 2 % 2
+
+    // The one-shot entry disarmed itself; the periodic one persists.
+    sites = fault::armedSites();
+    ASSERT_EQ(sites.size(), 1u);
+    EXPECT_EQ(sites[0], fault::kKernelDispatch);
+    EXPECT_FALSE(fault::shouldFail(fault::kKernelDispatch));  // 3 % 2
+    EXPECT_TRUE(fault::shouldFail(fault::kKernelDispatch));   // 4 % 2
+    EXPECT_TRUE(fault::armed());
+}
+
+TEST_F(FaultInjectionTest, BadSpecRejectsWholeAndKeepsPriorArming)
+{
+    fault::arm(fault::kCacheInsert, 5);
+    // Every malformed spec is rejected typed, with the entire spec
+    // validated BEFORE any site is armed — a bad entry anywhere leaves
+    // the previous arming untouched.
+    for (const char* bad :
+         {"", "no.such.site", "arena.alloc,no.such.site",
+          "arena.alloc:0", "arena.alloc:every=0", "arena.alloc:every=",
+          "arena.alloc:every=x", "arena.alloc:12junk", "arena.alloc:",
+          "arena.alloc,arena.alloc", "arena.alloc,,kernel.dispatch"}) {
+        try {
+            fault::armSpec(bad);
+            FAIL() << "spec accepted: \"" << bad << "\"";
+        } catch (const Error& e) {
+            EXPECT_EQ(e.code(), ErrorCode::kInvalidInput) << bad;
+        }
+        std::vector<std::string> sites = fault::armedSites();
+        ASSERT_EQ(sites.size(), 1u) << bad;
+        EXPECT_EQ(sites[0], fault::kCacheInsert) << bad;
+    }
+    // A good spec REPLACES all previous arming.
+    fault::armSpec("plan.instantiate");
+    std::vector<std::string> sites = fault::armedSites();
+    ASSERT_EQ(sites.size(), 1u);
+    EXPECT_EQ(sites[0], fault::kPlanInstantiate);
+    EXPECT_TRUE(fault::shouldFail(fault::kPlanInstantiate));  // nth = 1
+    EXPECT_FALSE(fault::armed());
+}
+
 // --- guardrails -------------------------------------------------------
 
 TEST_F(FaultInjectionTest, InvalidInputsRejectedUpfrontByIndex)

@@ -1,0 +1,1019 @@
+/** Self-healing serving tests (ctest label: resilience; DESIGN.md §15):
+ *  failure classification, the per-signature circuit-breaker state
+ *  machine (closed -> open -> half-open -> closed, exact trip threshold
+ *  under 8-thread races, probe-slot accounting), decorrelated-jitter
+ *  retry backoff, suspect-signature batch quarantine, batch-failure
+ *  bisection bit-exactness (innocent batchmates byte-identical to solo
+ *  runs, failure charged only to the poison member), bounded
+ *  deadline-aware transient retries, the health()/watchdog surface,
+ *  and the every-future-resolves-typed contract across non-draining
+ *  shutdown and hard-cutover engine swaps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/sod2_engine.h"
+#include "graph/builder.h"
+#include "serving/batcher.h"
+#include "serving/request_queue.h"
+#include "serving/resilience.h"
+#include "serving/server.h"
+#include "support/fault_injection.h"
+#include "support/rng.h"
+#include "support/status.h"
+
+namespace sod2 {
+namespace {
+
+using serving::BatchPolicy;
+using serving::BreakerHealth;
+using serving::BreakerOptions;
+using serving::BreakerState;
+using serving::FailureClass;
+using serving::Pending;
+using serving::Request;
+using serving::RequestQueue;
+using serving::RetryBackoff;
+using serving::RetryOptions;
+using serving::ServerHealth;
+using serving::ServerOptions;
+using serving::ServerStats;
+using serving::SignatureScoreboard;
+using serving::Sod2Server;
+using serving::SwapOptions;
+using serving::collectBatch;
+
+using Admission = SignatureScoreboard::Admission;
+using Clock = SignatureScoreboard::Clock;
+
+/** Same dynamic CNN as batching_test: symbolic n/h/w leading batch
+ *  dim, conv -> relu -> pool -> gap -> reshape -> matmul -> gelu. */
+struct StackableModel
+{
+    Graph graph;
+    RdpOptions rdp;
+
+    static StackableModel
+    cnn()
+    {
+        StackableModel m;
+        GraphBuilder b(&m.graph);
+        Rng rng(41);
+        ValueId x = b.input("x");
+        ValueId w1 = b.weight("w1", {8, 3, 3, 3}, rng);
+        ValueId c1 = b.relu(b.conv2d(x, w1, -1, 2, 1));
+        ValueId p1 = b.maxPool(c1, 2, 2);
+        ValueId gap = b.globalAvgPool(p1);
+        ValueId flat = b.reshape(gap, {0, -1});
+        ValueId w2 = b.weight("w2", {8, 4}, rng);
+        b.output(b.gelu(b.matmul(flat, w2)));
+
+        m.rdp.inputShapes["x"] = ShapeInfo::ranked(
+            {DimValue::symbol("n"), DimValue::known(3),
+             DimValue::symbol("h"), DimValue::symbol("w")});
+        return m;
+    }
+};
+
+Tensor
+cnnInput(int64_t n, int64_t h, int64_t w, uint64_t seed)
+{
+    Rng rng(seed);
+    return Tensor::randomUniform(Shape({n, 3, h, w}), rng);
+}
+
+std::vector<std::vector<uint8_t>>
+snapshot(const std::vector<Tensor>& outputs)
+{
+    std::vector<std::vector<uint8_t>> bytes;
+    bytes.reserve(outputs.size());
+    for (const Tensor& t : outputs) {
+        const uint8_t* p = static_cast<const uint8_t*>(t.raw());
+        bytes.emplace_back(p, p + t.byteSize());
+    }
+    return bytes;
+}
+
+struct CnnFixture
+{
+    StackableModel model = StackableModel::cnn();
+    Sod2Engine engine;
+
+    CnnFixture() : engine(&model.graph, options()) {}
+
+    static Sod2Options
+    options()
+    {
+        StackableModel m = StackableModel::cnn();
+        Sod2Options opts;
+        opts.rdp = m.rdp;
+        return opts;
+    }
+};
+
+/** Every test leaves injection disarmed, pass or fail. */
+class ResilienceTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { fault::disarm(); }
+};
+
+/** Breaker tuning used by most scoreboard tests: explicit everywhere
+ *  so the env defaults (breakers off) cannot mask a regression. */
+BreakerOptions
+breaker(int threshold, long long cooldown_ms = 100,
+        int probes_to_close = 1)
+{
+    BreakerOptions o;
+    o.threshold = threshold;
+    o.cooldownMillis = cooldown_ms;
+    o.probesToClose = probes_to_close;
+    return o;
+}
+
+// --- failure classification -------------------------------------------
+
+TEST(Classification, CoversEveryErrorCode)
+{
+    using serving::failureClassOf;
+    EXPECT_EQ(failureClassOf(ErrorCode::kOk), FailureClass::kNone);
+    EXPECT_EQ(failureClassOf(ErrorCode::kInvalidInput),
+              FailureClass::kRequest);
+    EXPECT_EQ(failureClassOf(ErrorCode::kBindFailure),
+              FailureClass::kRequest);
+    EXPECT_EQ(failureClassOf(ErrorCode::kQueueFull),
+              FailureClass::kOverload);
+    EXPECT_EQ(failureClassOf(ErrorCode::kDeadlineExceeded),
+              FailureClass::kOverload);
+    EXPECT_EQ(failureClassOf(ErrorCode::kShutdown),
+              FailureClass::kOverload);
+    EXPECT_EQ(failureClassOf(ErrorCode::kCircuitOpen),
+              FailureClass::kOverload);
+    EXPECT_EQ(failureClassOf(ErrorCode::kArenaExhausted),
+              FailureClass::kTransient);
+    EXPECT_EQ(failureClassOf(ErrorCode::kInternal),
+              FailureClass::kTransient);
+    EXPECT_EQ(failureClassOf(ErrorCode::kKernelFailure),
+              FailureClass::kPersistent);
+
+    EXPECT_STREQ(serving::failureClassName(FailureClass::kNone), "none");
+    EXPECT_STREQ(serving::failureClassName(FailureClass::kRequest),
+                 "request");
+    EXPECT_STREQ(serving::failureClassName(FailureClass::kOverload),
+                 "overload");
+    EXPECT_STREQ(serving::failureClassName(FailureClass::kTransient),
+                 "transient");
+    EXPECT_STREQ(serving::failureClassName(FailureClass::kPersistent),
+                 "persistent");
+}
+
+TEST(Classification, ChargedAndRetryableSubsets)
+{
+    // Charged = the execution itself failed (transient + persistent).
+    EXPECT_TRUE(serving::breakerCharged(ErrorCode::kArenaExhausted));
+    EXPECT_TRUE(serving::breakerCharged(ErrorCode::kInternal));
+    EXPECT_TRUE(serving::breakerCharged(ErrorCode::kKernelFailure));
+    EXPECT_FALSE(serving::breakerCharged(ErrorCode::kOk));
+    EXPECT_FALSE(serving::breakerCharged(ErrorCode::kInvalidInput));
+    EXPECT_FALSE(serving::breakerCharged(ErrorCode::kBindFailure));
+    EXPECT_FALSE(serving::breakerCharged(ErrorCode::kQueueFull));
+    EXPECT_FALSE(serving::breakerCharged(ErrorCode::kDeadlineExceeded));
+    EXPECT_FALSE(serving::breakerCharged(ErrorCode::kShutdown));
+    EXPECT_FALSE(serving::breakerCharged(ErrorCode::kCircuitOpen));
+
+    // Retryable = transient only: a faulting kernel never deserves a
+    // second burn of the deadline.
+    EXPECT_TRUE(serving::transientRetryable(ErrorCode::kArenaExhausted));
+    EXPECT_TRUE(serving::transientRetryable(ErrorCode::kInternal));
+    EXPECT_FALSE(
+        serving::transientRetryable(ErrorCode::kKernelFailure));
+    EXPECT_FALSE(serving::transientRetryable(ErrorCode::kInvalidInput));
+    EXPECT_FALSE(
+        serving::transientRetryable(ErrorCode::kDeadlineExceeded));
+}
+
+TEST(Classification, CircuitOpenCodeNameIsStable)
+{
+    EXPECT_STREQ(errorCodeName(ErrorCode::kCircuitOpen),
+                 "circuit_open");
+}
+
+// --- options resolution -----------------------------------------------
+
+TEST(Options, NegativeFieldsResolveToDefaults)
+{
+    // The suite runs with SOD2_BREAKER_* / SOD2_RETRY_* unset, so the
+    // resolved values are the built-in defaults: breakers and retries
+    // OFF until explicitly enabled.
+    BreakerOptions b = BreakerOptions{}.resolved();
+    EXPECT_EQ(b.threshold, 0);
+    EXPECT_EQ(b.cooldownMillis, 250);
+    EXPECT_EQ(b.probesToClose, 1);
+    EXPECT_FALSE(b.enabled());
+
+    RetryOptions r = RetryOptions{}.resolved();
+    EXPECT_EQ(r.maxAttempts, 0);
+    EXPECT_EQ(r.baseMicros, 200);
+    EXPECT_EQ(r.capMicros, 20000);
+    EXPECT_FALSE(r.enabled());
+}
+
+TEST(Options, ExplicitFieldsSurviveResolutionAndClamp)
+{
+    BreakerOptions b = breaker(3, 10, 2).resolved();
+    EXPECT_EQ(b.threshold, 3);
+    EXPECT_EQ(b.cooldownMillis, 10);
+    EXPECT_EQ(b.probesToClose, 2);
+    EXPECT_TRUE(b.enabled());
+
+    RetryOptions r;
+    r.maxAttempts = 2;
+    r.baseMicros = 500;
+    r.capMicros = 10;  // below base: clamps up
+    r = r.resolved();
+    EXPECT_EQ(r.maxAttempts, 2);
+    EXPECT_EQ(r.baseMicros, 500);
+    EXPECT_EQ(r.capMicros, 500);
+    EXPECT_TRUE(r.enabled());
+}
+
+// --- decorrelated-jitter backoff --------------------------------------
+
+TEST(Backoff, DelaysStayWithinBaseAndCap)
+{
+    RetryOptions o;
+    o.maxAttempts = 8;
+    o.baseMicros = 100;
+    o.capMicros = 1000;
+    o = o.resolved();
+    RetryBackoff backoff(o, /*seed=*/7);
+    for (int i = 0; i < 64; ++i) {
+        long long d = backoff.nextDelayMicros();
+        EXPECT_GE(d, o.baseMicros);
+        EXPECT_LE(d, o.capMicros);
+    }
+}
+
+TEST(Backoff, SameSeedIsDeterministicDifferentSeedsDecorrelate)
+{
+    RetryOptions o;
+    o.maxAttempts = 8;
+    o.baseMicros = 50;
+    o.capMicros = 100000;
+    o = o.resolved();
+    RetryBackoff a(o, 11), b(o, 11), c(o, 12);
+    bool diverged = false;
+    for (int i = 0; i < 16; ++i) {
+        long long da = a.nextDelayMicros();
+        EXPECT_EQ(da, b.nextDelayMicros());
+        if (da != c.nextDelayMicros())
+            diverged = true;
+    }
+    // Two requests failing together must not retry in lockstep.
+    EXPECT_TRUE(diverged);
+}
+
+// --- breaker state machine --------------------------------------------
+
+TEST(Breaker, DisabledScoreboardAdmitsEverything)
+{
+    SignatureScoreboard sb;  // env default: threshold 0 -> off
+    EXPECT_FALSE(sb.enabled());
+    EXPECT_EQ(sb.admit(0xA), Admission::kAdmit);
+    EXPECT_FALSE(sb.onFailure(0xA, ErrorCode::kInternal, false));
+    EXPECT_FALSE(sb.suspect(0xA));
+    EXPECT_EQ(sb.admit(0xA), Admission::kAdmit);
+    EXPECT_TRUE(sb.snapshot().empty());
+}
+
+TEST(Breaker, TripsAtExactThreshold)
+{
+    SignatureScoreboard sb(breaker(3));
+    const Clock::time_point t0 = Clock::now();
+    EXPECT_FALSE(sb.onFailure(0xA, ErrorCode::kInternal, false, t0));
+    EXPECT_FALSE(sb.onFailure(0xA, ErrorCode::kInternal, false, t0));
+    EXPECT_EQ(sb.admit(0xA, t0), Admission::kAdmit);  // suspect, open? no
+    EXPECT_TRUE(sb.suspect(0xA));
+    // Exactly the threshold-th consecutive charged failure trips.
+    EXPECT_TRUE(sb.onFailure(0xA, ErrorCode::kInternal, false, t0));
+    EXPECT_EQ(sb.trips(), 1u);
+    EXPECT_EQ(sb.admit(0xA, t0), Admission::kShed);
+    EXPECT_EQ(sb.shedCount(), 1u);
+
+    std::vector<BreakerHealth> rows = sb.snapshot();
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].signature, 0xAu);
+    EXPECT_EQ(rows[0].state, BreakerState::kOpen);
+    EXPECT_EQ(rows[0].consecutiveFailures, 3);
+    EXPECT_EQ(rows[0].trips, 1u);
+    EXPECT_TRUE(rows[0].suspect);
+
+    // A success between failures resets the streak: 2 + success + 2
+    // never reaches a threshold of 3.
+    EXPECT_FALSE(sb.onFailure(0xB, ErrorCode::kInternal, false, t0));
+    EXPECT_FALSE(sb.onFailure(0xB, ErrorCode::kInternal, false, t0));
+    sb.onSuccess(0xB, false, t0);
+    EXPECT_FALSE(sb.suspect(0xB));
+    EXPECT_FALSE(sb.onFailure(0xB, ErrorCode::kInternal, false, t0));
+    EXPECT_FALSE(sb.onFailure(0xB, ErrorCode::kInternal, false, t0));
+    EXPECT_EQ(sb.admit(0xB, t0), Admission::kAdmit);
+}
+
+TEST(Breaker, OpenShedsUntilCooldownThenAdmitsOneProbe)
+{
+    SignatureScoreboard sb(breaker(1, /*cooldown_ms=*/100));
+    const Clock::time_point t0 = Clock::now();
+    EXPECT_TRUE(sb.onFailure(0xA, ErrorCode::kKernelFailure, false, t0));
+
+    // Inside the cooldown: shed, shed, shed.
+    using std::chrono::milliseconds;
+    EXPECT_EQ(sb.admit(0xA, t0), Admission::kShed);
+    EXPECT_EQ(sb.admit(0xA, t0 + milliseconds(99)), Admission::kShed);
+    EXPECT_EQ(sb.shedCount(), 2u);
+
+    // Past the cooldown: exactly one probe; concurrent arrivals shed.
+    EXPECT_EQ(sb.admit(0xA, t0 + milliseconds(150)), Admission::kProbe);
+    EXPECT_EQ(sb.probes(), 1u);
+    EXPECT_EQ(sb.admit(0xA, t0 + milliseconds(151)), Admission::kShed);
+
+    // Probe succeeds: fully healed, row erased, quarantine over.
+    sb.onSuccess(0xA, /*probe=*/true, t0 + milliseconds(160));
+    EXPECT_FALSE(sb.suspect(0xA));
+    EXPECT_EQ(sb.admit(0xA, t0 + milliseconds(161)), Admission::kAdmit);
+    EXPECT_TRUE(sb.snapshot().empty());
+}
+
+TEST(Breaker, ProbeFailureReopensAndRestartsCooldown)
+{
+    SignatureScoreboard sb(breaker(1, /*cooldown_ms=*/100));
+    const Clock::time_point t0 = Clock::now();
+    using std::chrono::milliseconds;
+    EXPECT_TRUE(sb.onFailure(0xA, ErrorCode::kInternal, false, t0));
+    EXPECT_EQ(sb.admit(0xA, t0 + milliseconds(120)), Admission::kProbe);
+
+    // The probe proves the plan is still broken: re-open counts as a
+    // trip and the cooldown restarts from the probe failure.
+    EXPECT_TRUE(sb.onFailure(0xA, ErrorCode::kInternal, /*probe=*/true,
+                             t0 + milliseconds(130)));
+    EXPECT_EQ(sb.trips(), 2u);
+    EXPECT_EQ(sb.admit(0xA, t0 + milliseconds(200)), Admission::kShed);
+    EXPECT_EQ(sb.admit(0xA, t0 + milliseconds(231)), Admission::kProbe);
+}
+
+TEST(Breaker, ReclosingTakesProbesToCloseConsecutiveSuccesses)
+{
+    SignatureScoreboard sb(breaker(1, 100, /*probes_to_close=*/2));
+    const Clock::time_point t0 = Clock::now();
+    using std::chrono::milliseconds;
+    EXPECT_TRUE(sb.onFailure(0xA, ErrorCode::kInternal, false, t0));
+
+    EXPECT_EQ(sb.admit(0xA, t0 + milliseconds(120)), Admission::kProbe);
+    sb.onSuccess(0xA, true, t0 + milliseconds(125));
+    // One success of two: still half-open (and still quarantined).
+    EXPECT_TRUE(sb.suspect(0xA));
+    std::vector<BreakerHealth> rows = sb.snapshot();
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].state, BreakerState::kHalfOpen);
+
+    EXPECT_EQ(sb.admit(0xA, t0 + milliseconds(130)), Admission::kProbe);
+    sb.onSuccess(0xA, true, t0 + milliseconds(135));
+    EXPECT_FALSE(sb.suspect(0xA));
+    EXPECT_EQ(sb.admit(0xA, t0 + milliseconds(140)), Admission::kAdmit);
+}
+
+TEST(Breaker, DroppedProbeReleasesTheHalfOpenSlot)
+{
+    SignatureScoreboard sb(breaker(1, 100));
+    const Clock::time_point t0 = Clock::now();
+    using std::chrono::milliseconds;
+    EXPECT_TRUE(sb.onFailure(0xA, ErrorCode::kInternal, false, t0));
+    EXPECT_EQ(sb.admit(0xA, t0 + milliseconds(120)), Admission::kProbe);
+
+    // The probe dies unrun (queue purge, shutdown): without the drop
+    // report the breaker would wedge half-open forever.
+    sb.onProbeDropped(0xA);
+    EXPECT_EQ(sb.admit(0xA, t0 + milliseconds(121)), Admission::kProbe);
+}
+
+TEST(Breaker, UnchargedCodesNeitherTripNorHeal)
+{
+    SignatureScoreboard sb(breaker(2));
+    const Clock::time_point t0 = Clock::now();
+    // Policy sheds on a clean signature leave no trace.
+    EXPECT_FALSE(
+        sb.onFailure(0xA, ErrorCode::kDeadlineExceeded, false, t0));
+    EXPECT_FALSE(sb.onFailure(0xA, ErrorCode::kQueueFull, false, t0));
+    EXPECT_FALSE(sb.suspect(0xA));
+
+    // On a suspect signature they neither extend the streak nor clear
+    // it.
+    EXPECT_FALSE(sb.onFailure(0xA, ErrorCode::kInternal, false, t0));
+    EXPECT_FALSE(
+        sb.onFailure(0xA, ErrorCode::kDeadlineExceeded, false, t0));
+    std::vector<BreakerHealth> rows = sb.snapshot();
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].consecutiveFailures, 1);
+    EXPECT_TRUE(sb.suspect(0xA));
+}
+
+TEST(Breaker, ExactlyOneTripUnderConcurrentFailures)
+{
+    // 8 threads x 4 charged failures on one signature, threshold 8:
+    // the trip fires exactly once no matter how the failures
+    // interleave (failures after the trip are in-flight stragglers).
+    SignatureScoreboard sb(breaker(8, /*cooldown_ms=*/60000));
+    constexpr int kThreads = 8;
+    std::atomic<int> tripped{0};
+    std::barrier gate(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&] {
+            gate.arrive_and_wait();
+            for (int i = 0; i < 4; ++i)
+                if (sb.onFailure(0xF00D, ErrorCode::kInternal, false))
+                    tripped.fetch_add(1);
+        });
+    for (std::thread& t : threads)
+        t.join();
+    EXPECT_EQ(tripped.load(), 1);
+    EXPECT_EQ(sb.trips(), 1u);
+    EXPECT_EQ(sb.admit(0xF00D), Admission::kShed);
+}
+
+TEST(Breaker, ResetDropsStateButKeepsCumulativeCounters)
+{
+    SignatureScoreboard sb(breaker(1, 60000));
+    EXPECT_TRUE(sb.onFailure(0xA, ErrorCode::kInternal, false));
+    EXPECT_EQ(sb.admit(0xA), Admission::kShed);
+    sb.reset();  // blue/green swap: the new engine starts clean
+    EXPECT_FALSE(sb.suspect(0xA));
+    EXPECT_EQ(sb.admit(0xA), Admission::kAdmit);
+    EXPECT_EQ(sb.trips(), 1u);
+    EXPECT_EQ(sb.shedCount(), 1u);
+}
+
+// --- watchdog predicate -----------------------------------------------
+
+TEST(Watchdog, StuckPredicate)
+{
+    using serving::workerLooksStuck;
+    // Idle workers and deadline-less runs are never "stuck".
+    EXPECT_FALSE(workerLooksStuck(false, 100, 1000, 50));
+    EXPECT_FALSE(workerLooksStuck(true, 0, 1000, 50));
+    // Busy past deadline but within grace: not yet.
+    EXPECT_FALSE(workerLooksStuck(true, 100, 150, 100));
+    EXPECT_FALSE(workerLooksStuck(true, 100, 200, 100));
+    // Past deadline + grace: stuck.
+    EXPECT_TRUE(workerLooksStuck(true, 100, 201, 100));
+}
+
+// --- batch quarantine (component level) -------------------------------
+
+Pending
+makePending(uint64_t signature, uint64_t seq, bool probe = false)
+{
+    Pending p;
+    p.signature = signature;
+    p.compatKey = signature;
+    p.seq = seq;
+    p.breakerProbe = probe;
+    return p;
+}
+
+TEST(Quarantine, SuspectSignaturesAndProbesNeverCoalesce)
+{
+    // The exact predicate the server hands collectBatch: no suspect
+    // signatures, no half-open probes.
+    SignatureScoreboard sb(breaker(10));
+    EXPECT_FALSE(sb.onFailure(0xBAD, ErrorCode::kInternal, false));
+    ASSERT_TRUE(sb.suspect(0xBAD));
+    auto admit = [&](const Pending& p) {
+        return !p.breakerProbe && !sb.suspect(p.signature);
+    };
+
+    RequestQueue q;
+    ASSERT_TRUE(q.push(makePending(0xC, 1)));
+    ASSERT_TRUE(q.push(makePending(0xBAD, 2)));        // suspect
+    ASSERT_TRUE(q.push(makePending(0xC, 3)));
+    ASSERT_TRUE(q.push(makePending(0xC, 4, /*probe=*/true)));
+    ASSERT_TRUE(q.push(makePending(0xC, 5)));
+
+    BatchPolicy policy;
+    policy.maxBatchSize = 8;
+    std::vector<Pending> batch;
+    batch.push_back(makePending(0xC, 0));
+    collectBatch(q, policy, &batch, admit);
+
+    // The healthy 0xC members coalesce; the suspect signature and the
+    // probe stay queued (they must run solo), order preserved.
+    ASSERT_EQ(batch.size(), 4u);
+    EXPECT_EQ(batch[1].seq, 1u);
+    EXPECT_EQ(batch[2].seq, 3u);
+    EXPECT_EQ(batch[3].seq, 5u);
+    EXPECT_EQ(q.depth(), 2u);
+    Pending out;
+    ASSERT_TRUE(q.pop(&out));
+    EXPECT_EQ(out.seq, 2u);
+    ASSERT_TRUE(q.pop(&out));
+    EXPECT_EQ(out.seq, 4u);
+}
+
+// --- bisection: innocent batchmates are bit-exact ---------------------
+
+TEST_F(ResilienceTest, BisectionIsolatesPoisonMemberBitExact)
+{
+    // A padded batch of [1-row, 1-row, 8-row] requests under a default
+    // arena budget chosen between the 1-row and 8-row solo needs: the
+    // merged stacked run (16 padded rows) exhausts the budget for
+    // everyone, bisection re-runs each member under its own budget,
+    // the small members succeed byte-identical to solo runs, and the
+    // failure is charged only to the 8-row poison member.
+    CnnFixture f;
+    RunContext probe;
+    RunStats small_stats, large_stats;
+    std::vector<Tensor> small1 = {cnnInput(1, 16, 16, 11)};
+    std::vector<Tensor> small2 = {cnnInput(1, 16, 16, 12)};
+    std::vector<Tensor> large = {cnnInput(8, 16, 16, 13)};
+    ASSERT_TRUE(f.engine.tryRun(probe, small1, &small_stats).ok());
+    ASSERT_TRUE(f.engine.tryRun(probe, large, &large_stats).ok());
+    ASSERT_LT(small_stats.arenaBytes, large_stats.arenaBytes);
+    const size_t budget =
+        (small_stats.arenaBytes + large_stats.arenaBytes) / 2;
+
+    ServerOptions opts;
+    opts.workers = 1;
+    opts.maxBatchSize = 16;
+    opts.padBatches = 1;
+    opts.startPaused = true;
+    opts.defaultRunOptions.arenaBudgetBytes = budget;
+    Sod2Server server(&f.engine, opts);
+
+    Request r1, r2, r3;
+    r1.inputs = small1;
+    r2.inputs = small2;
+    r3.inputs = large;
+    std::future<RunResult> f1 = server.submit(std::move(r1));
+    std::future<RunResult> f2 = server.submit(std::move(r2));
+    std::future<RunResult> f3 = server.submit(std::move(r3));
+    server.start();
+    server.drain();
+
+    RunResult a = f1.get(), b = f2.get(), c = f3.get();
+    ASSERT_TRUE(a.ok()) << a.message;
+    ASSERT_TRUE(b.ok()) << b.message;
+    EXPECT_EQ(c.code, ErrorCode::kArenaExhausted);
+
+    // Bit-exactness: the bisected survivors match solo reference runs
+    // under the same budget, byte for byte.
+    RunContext ref;
+    RunOptions ref_opts;
+    ref_opts.arenaBudgetBytes = budget;
+    RunResult ra = f.engine.tryRun(ref, small1, nullptr, ref_opts);
+    ASSERT_TRUE(ra.ok()) << ra.message;
+    EXPECT_EQ(snapshot(a.outputs), snapshot(ra.outputs));
+    RunResult rb = f.engine.tryRun(ref, small2, nullptr, ref_opts);
+    ASSERT_TRUE(rb.ok()) << rb.message;
+    EXPECT_EQ(snapshot(b.outputs), snapshot(rb.outputs));
+
+    ServerStats stats = server.stats();
+    EXPECT_EQ(stats.batches, 1u);
+    EXPECT_EQ(stats.batchRetries, 3u);
+    EXPECT_EQ(stats.poisonIsolated, 1u);
+    EXPECT_EQ(stats.completed, 2u);
+    EXPECT_EQ(stats.failed, 1u);
+    EXPECT_EQ(stats.deadlineRetries, 0u);
+}
+
+// --- circuit breaker at the server level ------------------------------
+
+TEST_F(ResilienceTest, CircuitOpensAndShedsTypedWhileOthersServe)
+{
+    CnnFixture f;
+    ServerOptions opts;
+    opts.workers = 1;
+    opts.maxBatchSize = 1;
+    opts.breaker = breaker(2, /*cooldown_ms=*/60000);
+    Sod2Server server(&f.engine, opts);
+
+    // Warm the healthy signature BEFORE arming: its plan is cached, so
+    // the periodic plan-build fault can never touch it.
+    std::vector<Tensor> healthy = {cnnInput(1, 20, 20, 7)};
+    ASSERT_TRUE(server.warmup(healthy));
+    fault::armEvery(fault::kPlanInstantiate, 1);
+
+    auto poison = [&] {
+        Request r;
+        r.inputs = {cnnInput(1, 24, 24, 9)};
+        return r;
+    };
+    EXPECT_EQ(server.run(poison()).code, ErrorCode::kInternal);
+    EXPECT_EQ(server.run(poison()).code, ErrorCode::kInternal);
+    // Threshold 2 reached: the third request never executes.
+    RunResult shed = server.run(poison());
+    EXPECT_EQ(shed.code, ErrorCode::kCircuitOpen);
+    EXPECT_NE(shed.message.find("circuit open"), std::string::npos);
+
+    // The healthy signature keeps serving through the open breaker.
+    Request h;
+    h.inputs = healthy;
+    EXPECT_TRUE(server.run(std::move(h)).ok());
+
+    ServerStats stats = server.stats();
+    EXPECT_EQ(stats.breakerTrips, 1u);
+    EXPECT_GE(stats.circuitShed, 1u);
+    EXPECT_EQ(stats.failed, 2u);
+    EXPECT_EQ(stats.completed, 1u);
+
+    ServerHealth health = server.health();
+    ASSERT_EQ(health.breakers.size(), 1u);
+    EXPECT_EQ(health.breakers[0].state, BreakerState::kOpen);
+    EXPECT_TRUE(health.breakers[0].suspect);
+    EXPECT_GE(health.errorCounts[static_cast<int>(
+                  ErrorCode::kCircuitOpen)],
+              1u);
+    // An open breaker sheds one signature; the server is still ready.
+    EXPECT_TRUE(health.ready);
+}
+
+TEST_F(ResilienceTest, CircuitRecoversViaHalfOpenProbe)
+{
+    CnnFixture f;
+    ServerOptions opts;
+    opts.workers = 1;
+    opts.maxBatchSize = 1;
+    opts.breaker = breaker(1, /*cooldown_ms=*/50);
+    Sod2Server server(&f.engine, opts);
+
+    fault::armEvery(fault::kPlanInstantiate, 1);
+    auto poison = [&] {
+        Request r;
+        r.inputs = {cnnInput(1, 24, 24, 21)};
+        return r;
+    };
+    EXPECT_EQ(server.run(poison()).code, ErrorCode::kInternal);
+    EXPECT_EQ(server.run(poison()).code, ErrorCode::kCircuitOpen);
+
+    // Fault clears; after the cooldown the next request is the
+    // half-open probe, succeeds, and re-closes the breaker.
+    fault::disarm();
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    RunResult probe = server.run(poison());
+    EXPECT_TRUE(probe.ok()) << probe.message;
+    EXPECT_TRUE(server.run(poison()).ok());
+
+    ServerStats stats = server.stats();
+    EXPECT_EQ(stats.breakerProbes, 1u);
+    EXPECT_EQ(stats.breakerTrips, 1u);
+    EXPECT_TRUE(server.health().breakers.empty());
+}
+
+TEST_F(ResilienceTest, SuspectSignatureServesSoloUntilHealthy)
+{
+    CnnFixture f;
+    ServerOptions opts;
+    opts.workers = 1;
+    opts.maxBatchSize = 4;
+    opts.startPaused = true;
+    // Threshold far above the failure count: quarantine must kick in
+    // from the FIRST uncleared failure, long before the breaker trips.
+    opts.breaker = breaker(100, /*cooldown_ms=*/60000);
+    Sod2Server server(&f.engine, opts);
+
+    std::vector<Tensor> healthy = {cnnInput(1, 20, 20, 5)};
+    ASSERT_TRUE(server.warmup(healthy));
+    fault::armEvery(fault::kPlanInstantiate, 1);
+
+    // Wave 1 (queued while paused): four poison requests coalesce into
+    // one stacked batch, the batch fails as a whole, bisection re-runs
+    // each solo and every solo run fails too — the signature is now
+    // suspect with four charged failures.
+    auto poison = [&](uint64_t seed) {
+        Request r;
+        r.inputs = {cnnInput(1, 16, 16, seed)};
+        return r;
+    };
+    std::vector<std::future<RunResult>> wave1;
+    for (uint64_t i = 0; i < 4; ++i)
+        wave1.push_back(server.submit(poison(30 + i)));
+    server.start();
+    server.drain();
+    for (std::future<RunResult>& fu : wave1)
+        EXPECT_EQ(fu.get().code, ErrorCode::kInternal);
+    ServerStats stats = server.stats();
+    EXPECT_EQ(stats.batches, 1u);
+    EXPECT_EQ(stats.batchRetries, 4u);
+    EXPECT_EQ(stats.poisonIsolated, 4u);
+
+    // Wave 2: the suspect signature is quarantined from coalescing —
+    // whatever the arrival timing, each request dispatches solo, so
+    // the batch count grows by exactly four.
+    std::vector<std::future<RunResult>> wave2;
+    for (uint64_t i = 0; i < 4; ++i)
+        wave2.push_back(server.submit(poison(40 + i)));
+    server.drain();
+    for (std::future<RunResult>& fu : wave2)
+        EXPECT_EQ(fu.get().code, ErrorCode::kInternal);
+    EXPECT_EQ(server.stats().batches, 5u);
+
+    // Healthy traffic is untouched throughout.
+    Request h;
+    h.inputs = healthy;
+    EXPECT_TRUE(server.run(std::move(h)).ok());
+
+    ServerHealth health = server.health();
+    ASSERT_EQ(health.breakers.size(), 1u);
+    EXPECT_EQ(health.breakers[0].state, BreakerState::kClosed);
+    EXPECT_EQ(health.breakers[0].consecutiveFailures, 8);
+    EXPECT_TRUE(health.breakers[0].suspect);
+
+    // One success ends the quarantine.
+    fault::disarm();
+    EXPECT_TRUE(server.run(poison(50)).ok());
+    EXPECT_TRUE(server.health().breakers.empty());
+}
+
+// --- bounded transient retries ----------------------------------------
+
+TEST_F(ResilienceTest, TransientRetryHealsOneShotFault)
+{
+    CnnFixture f;
+    ServerOptions opts;
+    opts.workers = 1;
+    opts.maxBatchSize = 1;
+    opts.retry.maxAttempts = 2;
+    opts.retry.baseMicros = 100;
+    opts.retry.capMicros = 500;
+    Sod2Server server(&f.engine, opts);
+
+    std::vector<Tensor> inputs = {cnnInput(1, 16, 16, 3)};
+    ASSERT_TRUE(server.warmup(inputs));  // plan cached before the fault
+
+    // One-shot arena fault: the first attempt fails kArenaExhausted,
+    // the bounded retry re-runs and succeeds.
+    fault::arm(fault::kArenaAlloc, 1);
+    Request r;
+    r.inputs = inputs;
+    RunResult result = server.run(std::move(r));
+    EXPECT_TRUE(result.ok()) << result.message;
+
+    ServerStats stats = server.stats();
+    EXPECT_EQ(stats.transientRetries, 1u);
+    EXPECT_EQ(stats.completed, 1u);
+    EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST_F(ResilienceTest, TransientRetryNeverSpendsTimeTheRequestLacks)
+{
+    CnnFixture f;
+    ServerOptions opts;
+    opts.workers = 1;
+    opts.maxBatchSize = 1;
+    // Backoff delay (200ms) far exceeds the request deadline (50ms):
+    // the retry loop must bail before sleeping, not burn the budget.
+    opts.retry.maxAttempts = 3;
+    opts.retry.baseMicros = 200000;
+    opts.retry.capMicros = 200000;
+    Sod2Server server(&f.engine, opts);
+
+    std::vector<Tensor> inputs = {cnnInput(1, 16, 16, 4)};
+    ASSERT_TRUE(server.warmup(inputs));
+    fault::armEvery(fault::kArenaAlloc, 1);
+
+    Request r;
+    r.inputs = inputs;
+    r.deadlineSeconds = 0.05;
+    RunResult result = server.run(std::move(r));
+    EXPECT_EQ(result.code, ErrorCode::kArenaExhausted);
+    EXPECT_EQ(server.stats().transientRetries, 0u);
+}
+
+// --- health / readiness surface ---------------------------------------
+
+TEST_F(ResilienceTest, HealthSurfaceReflectsLifecycleAndOutcomes)
+{
+    CnnFixture f;
+    ServerOptions opts;
+    opts.workers = 2;
+    opts.startPaused = true;
+    Sod2Server server(&f.engine, opts);
+
+    // Paused: built but not started, so not ready (still accepting).
+    ServerHealth paused = server.health();
+    EXPECT_FALSE(paused.ready);
+    EXPECT_FALSE(paused.started);
+    EXPECT_TRUE(paused.accepting);
+    ASSERT_EQ(paused.workers.size(), 2u);
+
+    server.start();
+    EXPECT_TRUE(server.health().ready);
+
+    Request ok_req;
+    ok_req.inputs = {cnnInput(1, 16, 16, 6)};
+    ASSERT_TRUE(server.run(std::move(ok_req)).ok());
+    Request bad_req;  // wrong arity -> typed invalid-input shed
+    RunResult bad = server.run(std::move(bad_req));
+    EXPECT_FALSE(bad.ok());
+
+    // run() returns when the promise resolves, which happens just
+    // before the worker's own bookkeeping (inflight, busy) settles —
+    // wait for quiescence before snapshotting.
+    auto quiescent = [](const ServerHealth& h) {
+        if (h.inflight != 0)
+            return false;
+        for (const serving::WorkerHealth& w : h.workers)
+            if (w.busy)
+                return false;
+        return true;
+    };
+    ServerHealth health = server.health();
+    for (int spin = 0; spin < 2000 && !quiescent(health); ++spin) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        health = server.health();
+    }
+    EXPECT_TRUE(health.ready);
+    EXPECT_EQ(health.queueDepth, 0u);
+    EXPECT_EQ(health.inflight, 0u);
+    EXPECT_EQ(health.errorCounts[static_cast<int>(ErrorCode::kOk)], 1u);
+    EXPECT_EQ(health.errorCounts[static_cast<int>(bad.code)], 1u);
+    bool any_progress = false;
+    for (const serving::WorkerHealth& w : health.workers) {
+        EXPECT_FALSE(w.busy);
+        EXPECT_FALSE(w.stuck);
+        EXPECT_EQ(w.deadlineOverrunSeconds, 0.0);
+        any_progress = any_progress || w.secondsSinceProgress >= 0.0;
+    }
+    EXPECT_TRUE(any_progress);
+
+    server.shutdown();
+    ServerHealth down = server.health();
+    EXPECT_FALSE(down.ready);
+    EXPECT_FALSE(down.accepting);
+}
+
+TEST_F(ResilienceTest, ReadinessGatesDuringBlueGreenSwap)
+{
+    CnnFixture blue, green;
+    ServerOptions opts;
+    opts.workers = 1;
+    opts.startPaused = true;
+    Sod2Server server(&blue.engine, opts);
+
+    // A queued request keeps the paused server un-drained, so the swap
+    // (waitForDrain) blocks with swapInProgress visibly true.
+    Request r;
+    r.inputs = {cnnInput(1, 16, 16, 8)};
+    std::future<RunResult> pending = server.submit(std::move(r));
+
+    std::thread swapper([&] {
+        SwapOptions sopts;
+        sopts.waitForDrain = true;
+        server.swapEngine(&green.engine, sopts);
+    });
+    // Poll until the swap flag is up (bounded wait, no fixed sleep).
+    bool saw_gate = false;
+    for (int i = 0; i < 2000; ++i) {
+        ServerHealth h = server.health();
+        if (h.swapInProgress) {
+            saw_gate = !h.ready;
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_TRUE(saw_gate);  // swap in progress -> not ready
+
+    server.start();  // lets the blue request drain; the swap completes
+    swapper.join();
+    EXPECT_TRUE(pending.get().ok());
+    ServerHealth after = server.health();
+    EXPECT_FALSE(after.swapInProgress);
+    EXPECT_TRUE(after.ready);
+    EXPECT_EQ(&server.engine(), &green.engine);
+}
+
+// --- every future resolves typed, never a broken promise -------------
+
+TEST_F(ResilienceTest, PausedDiscardResolvesEveryFutureTyped)
+{
+    CnnFixture f;
+    ServerOptions opts;
+    opts.workers = 2;
+    opts.startPaused = true;
+    Sod2Server server(&f.engine, opts);
+
+    std::vector<std::future<RunResult>> futures;
+    for (uint64_t i = 0; i < 16; ++i) {
+        Request r;
+        r.inputs = {cnnInput(1, 16, 16, 60 + i)};
+        futures.push_back(server.submit(std::move(r)));
+    }
+    // Non-draining shutdown of a server whose workers never started:
+    // every queued future must still resolve typed.
+    server.shutdown(/*drain_pending=*/false);
+    for (std::future<RunResult>& fu : futures) {
+        RunResult r = fu.get();  // must not throw broken_promise
+        EXPECT_EQ(r.code, ErrorCode::kShutdown);
+    }
+    EXPECT_EQ(server.stats().discarded, 16u);
+}
+
+TEST_F(ResilienceTest, ShutdownStormNeverBreaksAPromise)
+{
+    CnnFixture f;
+    ServerOptions opts;
+    opts.workers = 2;
+    Sod2Server server(&f.engine, opts);
+
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 24;
+    std::atomic<uint64_t> resolved{0};
+    std::barrier gate(kThreads + 1);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&, t] {
+            gate.arrive_and_wait();
+            for (int i = 0; i < kPerThread; ++i) {
+                Request r;
+                r.inputs = {
+                    cnnInput(1, 16, 16,
+                             static_cast<uint64_t>(t * 100 + i))};
+                std::future<RunResult> fu = server.submit(std::move(r));
+                RunResult result = fu.get();  // typed, never throws
+                (void)result.code;
+                resolved.fetch_add(1);
+            }
+        });
+    gate.arrive_and_wait();
+    // Hard-stop mid-storm: submits racing the cutover must each get a
+    // typed result (kShutdown or a real execution), never a broken
+    // promise or a hang.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    server.shutdown(/*drain_pending=*/false);
+    for (std::thread& t : threads)
+        t.join();
+    EXPECT_EQ(resolved.load(),
+              static_cast<uint64_t>(kThreads) * kPerThread);
+    ServerStats stats = server.stats();
+    EXPECT_EQ(stats.submitted, resolved.load());
+    EXPECT_EQ(stats.submitted,
+              stats.completed + stats.failed + stats.shed +
+                  stats.expired + stats.discarded);
+}
+
+TEST_F(ResilienceTest, HardCutoverStormNeverBreaksAPromise)
+{
+    CnnFixture blue, green;
+    ServerOptions opts;
+    opts.workers = 2;
+    Sod2Server server(&blue.engine, opts);
+
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 16;
+    std::atomic<uint64_t> resolved{0};
+    std::barrier gate(kThreads + 1);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&, t] {
+            gate.arrive_and_wait();
+            for (int i = 0; i < kPerThread; ++i) {
+                Request r;
+                r.inputs = {
+                    cnnInput(1, 16, 16,
+                             static_cast<uint64_t>(t * 100 + i))};
+                RunResult result = server.run(std::move(r));
+                // A queued blue request may be shed by the cutover
+                // (typed Shutdown) or execute on either engine; it may
+                // never vanish.
+                (void)result.code;
+                resolved.fetch_add(1);
+            }
+        });
+    gate.arrive_and_wait();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    SwapOptions sopts;
+    sopts.hardCutover = true;
+    sopts.waitForDrain = true;
+    server.swapEngine(&green.engine, sopts);
+    for (std::thread& t : threads)
+        t.join();
+    EXPECT_EQ(resolved.load(),
+              static_cast<uint64_t>(kThreads) * kPerThread);
+    EXPECT_EQ(&server.engine(), &green.engine);
+    // The server still serves after the cutover.
+    Request after;
+    after.inputs = {cnnInput(1, 16, 16, 99)};
+    EXPECT_TRUE(server.run(std::move(after)).ok());
+}
+
+}  // namespace
+}  // namespace sod2
