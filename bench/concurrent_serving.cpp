@@ -45,7 +45,8 @@ using Clock = std::chrono::steady_clock;
 int
 requestCount()
 {
-    return env::readPositiveInt("SOD2_BENCH_REQUESTS", 48);
+    int n = env::benchRequests();
+    return n > 0 ? n : 48;
 }
 
 struct StreamSpec

@@ -52,7 +52,8 @@ namespace {
 int
 roundCount()
 {
-    return env::readPositiveInt("SOD2_SOAK_ROUNDS", 3);
+    int n = env::soakRounds();
+    return n > 0 ? n : 3;
 }
 
 std::vector<std::vector<uint8_t>>

@@ -39,6 +39,47 @@ runDevice(const char* title, const DeviceProfile& device)
     }
 }
 
+/**
+ * CPU/GPU crossover table from the shared prediction path
+ * (CostMeter::predictRunMicros — the same call the fleet router
+ * scores members with): per pinned input size, the cost model's
+ * predicted latency on each SD-835 profile and which side wins.
+ * Small inputs favor the CPU (no launch overhead), large ones the
+ * GPU (more flops) — the live-routing version of this plot is
+ * bench/fleet_load.
+ */
+void
+printCrossover()
+{
+    printHeader("Predicted CPU/GPU crossover (SD-835 profiles, "
+                "CostMeter::predictRunMicros)",
+                {"Model", "Size", "CPU us", "GPU us", "Winner"});
+    for (const char* model_name : {"SDE", "YOLO-V6"}) {
+        Rng rng(1234);
+        ModelSpec spec = buildModel(model_name, rng);
+        Sod2Options opts;
+        opts.rdp = spec.rdp;
+        opts.device = DeviceProfile::sd835Cpu();
+        Sod2Engine cpu(spec.graph.get(), opts);
+        opts.device = DeviceProfile::sd835Gpu();
+        Sod2Engine gpu(spec.graph.get(), opts);
+        for (int64_t frac : {0, 25, 50, 75, 100}) {
+            int64_t size = spec.legalizeSize(
+                spec.minSize + (spec.maxSize - spec.minSize) * frac / 100);
+            Rng srng(55);
+            std::vector<Tensor> inputs = spec.sample(srng, size);
+            std::vector<int64_t> values;
+            cpu.signatureFor(inputs, &values);
+            double cpu_us = CostMeter::predictRunMicros(cpu, values);
+            double gpu_us = CostMeter::predictRunMicros(gpu, values);
+            printRow({spec.name, strFormat("%lld", (long long)size),
+                      strFormat("%.1f", cpu_us),
+                      strFormat("%.1f", gpu_us),
+                      cpu_us <= gpu_us ? "CPU" : "GPU"});
+        }
+    }
+}
+
 }  // namespace
 
 int
@@ -50,6 +91,7 @@ main()
     runDevice("Figure 13b: Snapdragon-835 GPU profile (simulated), "
               "normalized by MNN",
               DeviceProfile::sd835Gpu());
+    printCrossover();
     std::printf("(paper: similar speedup trends, larger on the older "
                 "SoC's constrained resources)\n");
     return 0;

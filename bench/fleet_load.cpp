@@ -1,0 +1,418 @@
+/**
+ * @file
+ * Fleet serving benchmark (DESIGN.md §16 — serving-path extension of
+ * the paper's §5.5 portability result).
+ *
+ * Three phases over Sod2Fleet:
+ *
+ *  1. Routing gate. One model (SDE) served by two members — the
+ *     Snapdragon-888 CPU and GPU profiles, both simulated so reported
+ *     service time IS cost-model time — under a closed-loop request
+ *     stream whose sizes straddle the CPU/GPU crossover. The same
+ *     pre-built engines are served once under cost routing and once
+ *     under round-robin; per-member busy time (sum of simulated
+ *     service seconds) gives each mode's makespan = max over members.
+ *     Gate: cost routing's aggregate throughput (requests/makespan)
+ *     beats round-robin by >= 1.2x.
+ *
+ *  2. Zoo-wide bit-exactness. Every zoo model behind a two-member
+ *     fleet at three sizes: the fleet's outputs must be bit-exact vs
+ *     a direct engine run on the member the router picked.
+ *
+ *  3. Governor soak. Two members under a global arena budget sized so
+ *     either fits alone but their combined peaks do not. Alternating
+ *     bursts force cross-member trim pressure (governorTick between
+ *     bursts); every request must still complete (fallback allowed)
+ *     and the governor's peak committed bytes must never exceed the
+ *     budget.
+ *
+ * Exit gates (non-zero on violation): throughput ratio >= 1.2, zero
+ * output mismatches, soak peak <= budget with at least one denial
+ * (otherwise the soak proved nothing).
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "fleet/fleet.h"
+#include "harness.h"
+#include "support/string_util.h"
+
+using namespace sod2;
+using namespace sod2::bench;
+using fleet::FleetHealth;
+using fleet::FleetMemberSpec;
+using fleet::FleetOptions;
+using fleet::Sod2Fleet;
+
+namespace {
+
+std::vector<std::vector<uint8_t>>
+snapshotBytes(const std::vector<Tensor>& outputs)
+{
+    std::vector<std::vector<uint8_t>> bytes;
+    bytes.reserve(outputs.size());
+    for (const Tensor& t : outputs) {
+        const uint8_t* p = static_cast<const uint8_t*>(t.raw());
+        bytes.emplace_back(p, p + t.byteSize());
+    }
+    return bytes;
+}
+
+/** Both roofline profiles simulated, so RunResult::serviceSeconds is
+ *  cost-model time and the two members genuinely cross over. */
+DeviceProfile
+simulatedCpu()
+{
+    DeviceProfile p = DeviceProfile::mobileCpu();
+    p.name = "sim-" + p.name;
+    p.simulated = true;
+    return p;
+}
+
+struct ModeOutcome
+{
+    double busy[2] = {0.0, 0.0};
+    uint64_t served = 0;
+    int failures = 0;
+};
+
+/**
+ * Closed-loop stream through @p fleet; attribution of each request's
+ * simulated service time to the member that ran it comes from the
+ * per-member routed-counter delta (mode-agnostic: round-robin rotates
+ * inside submit, so routePreview cannot be used for attribution).
+ */
+ModeOutcome
+serveStream(Sod2Fleet& fleet, const std::string& model,
+            const std::vector<std::vector<Tensor>>& stream)
+{
+    ModeOutcome out;
+    for (const auto& inputs : stream) {
+        FleetHealth before = fleet.health();
+        serving::Request req;
+        req.inputs = inputs;
+        RunResult r = fleet.run(model, std::move(req));
+        if (!r.ok()) {
+            ++out.failures;
+            continue;
+        }
+        FleetHealth after = fleet.health();
+        for (size_t m = 0; m < 2; ++m) {
+            if (after.members[m].routed > before.members[m].routed) {
+                out.busy[m] += r.serviceSeconds;
+                break;
+            }
+        }
+        ++out.served;
+    }
+    return out;
+}
+
+int
+phaseRouting()
+{
+    Rng rng(1234);
+    ModelSpec spec = buildStableDiffusionEncoder(rng);
+
+    Sod2Options eopts;
+    eopts.rdp = spec.rdp;
+    eopts.device = simulatedCpu();
+    Sod2Engine cpu(spec.graph.get(), eopts);
+    eopts.device = DeviceProfile::mobileGpu();
+    Sod2Engine gpu(spec.graph.get(), eopts);
+
+    // Size sweep across the whole legal range: the small end favors
+    // the CPU profile (no launch overhead), the large end the GPU.
+    std::vector<std::vector<Tensor>> stream;
+    const int kRepeats = 6;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+        for (int64_t frac : {0, 25, 50, 75, 100}) {
+            int64_t size = spec.legalizeSize(
+                spec.minSize +
+                (spec.maxSize - spec.minSize) * frac / 100);
+            Rng srng(500 + static_cast<uint64_t>(frac));
+            stream.push_back(spec.sample(srng, size));
+        }
+    }
+
+    auto runMode = [&](const char* routing) {
+        std::vector<FleetMemberSpec> specs(2);
+        specs[0].name = "sde-cpu";
+        specs[0].model = "SDE";
+        specs[0].engine = &cpu;
+        specs[1].name = "sde-gpu";
+        specs[1].model = "SDE";
+        specs[1].engine = &gpu;
+        for (auto& s : specs) {
+            s.serverOptions.workers = 2;
+            s.serverOptions.queueDepth = stream.size() + 4;
+        }
+        FleetOptions fopts;
+        fopts.routing = routing;
+        fopts.governorIntervalMillis = 0;
+        Sod2Fleet fleet(std::move(specs), fopts);
+        return serveStream(fleet, "SDE", stream);
+    };
+
+    ModeOutcome cost = runMode("cost");
+    ModeOutcome rr = runMode("round_robin");
+
+    auto makespan = [](const ModeOutcome& o) {
+        return o.busy[0] > o.busy[1] ? o.busy[0] : o.busy[1];
+    };
+    const double cost_tput = cost.served / makespan(cost);
+    const double rr_tput = rr.served / makespan(rr);
+    const double ratio = cost_tput / rr_tput;
+
+    printHeader("Fleet routing: cost vs round-robin (SDE, simulated "
+                "888 CPU+GPU, per-member simulated busy seconds)",
+                {"Mode", "CPU busy", "GPU busy", "Makespan",
+                 "Req/s (sim)"});
+    printRow({"cost", strFormat("%.4f", cost.busy[0]),
+              strFormat("%.4f", cost.busy[1]),
+              strFormat("%.4f", makespan(cost)),
+              strFormat("%.1f", cost_tput)});
+    printRow({"round_robin", strFormat("%.4f", rr.busy[0]),
+              strFormat("%.4f", rr.busy[1]),
+              strFormat("%.4f", makespan(rr)),
+              strFormat("%.1f", rr_tput)});
+    std::printf("  cost/round_robin aggregate throughput: %.2fx "
+                "(gate: >= 1.20x)\n",
+                ratio);
+
+    int violations = cost.failures + rr.failures;
+    if (violations)
+        std::printf("  GATE VIOLATION: %d requests failed\n",
+                    violations);
+    if (ratio < 1.2) {
+        std::printf("  GATE VIOLATION: cost routing did not beat "
+                    "round-robin by 1.2x\n");
+        ++violations;
+    }
+    return violations;
+}
+
+int
+phaseBitExact()
+{
+    printHeader("Fleet vs direct-engine bit-exactness (cost routing, "
+                "3 sizes/model)",
+                {"Model", "Requests", "Mismatches"});
+    int violations = 0;
+    for (const std::string& name : allModelNames()) {
+        Rng rng(1234);
+        ModelSpec spec = buildModel(name, rng);
+        Sod2Options eopts;
+        eopts.rdp = spec.rdp;
+        eopts.device = simulatedCpu();
+        Sod2Engine cpu(spec.graph.get(), eopts);
+        eopts.device = DeviceProfile::mobileGpu();
+        Sod2Engine gpu(spec.graph.get(), eopts);
+
+        std::vector<FleetMemberSpec> specs(2);
+        specs[0].name = name + "-cpu";
+        specs[0].model = name;
+        specs[0].engine = &cpu;
+        specs[1].name = name + "-gpu";
+        specs[1].model = name;
+        specs[1].engine = &gpu;
+        for (auto& s : specs)
+            s.serverOptions.workers = 2;
+        FleetOptions fopts;
+        fopts.routing = "cost";
+        fopts.governorIntervalMillis = 0;
+        Sod2Fleet fleet(std::move(specs), fopts);
+
+        int requests = 0, mismatches = 0;
+        for (int64_t frac : {0, 50, 100}) {
+            int64_t size = spec.legalizeSize(
+                spec.minSize +
+                (spec.maxSize - spec.minSize) * frac / 100);
+            Rng srng(900 + static_cast<uint64_t>(frac));
+            std::vector<Tensor> inputs = spec.sample(srng, size);
+
+            // Closed loop + cost mode: the preview IS the member the
+            // immediately following run() dispatches to.
+            int member = fleet.routePreview(name, inputs);
+            if (member < 0) {
+                ++mismatches;
+                continue;
+            }
+            RunContext ref_ctx;
+            auto want = snapshotBytes(
+                fleet.memberEngine(static_cast<size_t>(member))
+                    .run(ref_ctx, inputs));
+
+            serving::Request req;
+            req.inputs = inputs;
+            RunResult r = fleet.run(name, std::move(req));
+            ++requests;
+            if (!r.ok() || snapshotBytes(r.outputs) != want)
+                ++mismatches;
+        }
+        printRow({name, strFormat("%d", requests),
+                  strFormat("%d", mismatches)});
+        violations += mismatches;
+    }
+    if (violations)
+        std::printf("  GATE VIOLATION: %d fleet outputs mismatched "
+                    "their direct-engine reference\n",
+                    violations);
+    return violations;
+}
+
+int
+phaseGovernorSoak()
+{
+    Rng rng(1234);
+    ModelSpec spec = buildStableDiffusionEncoder(rng);
+    Sod2Options eopts;
+    eopts.rdp = spec.rdp;
+    eopts.device = simulatedCpu();
+    Sod2Engine cpu(spec.graph.get(), eopts);
+    eopts.device = DeviceProfile::mobileGpu();
+    Sod2Engine gpu(spec.graph.get(), eopts);
+
+    Rng srng(77);
+    std::vector<Tensor> big = spec.sample(srng, spec.maxSize);
+
+    auto buildSpecs = [&] {
+        std::vector<FleetMemberSpec> specs(2);
+        specs[0].name = "soak-cpu";
+        specs[0].model = "SDE";
+        specs[0].engine = &cpu;
+        specs[1].name = "soak-gpu";
+        specs[1].model = "SDE";
+        specs[1].engine = &gpu;
+        // One worker per member: one arena each, so "either member
+        // alone fits, both peaks together do not" is exact.
+        for (auto& s : specs)
+            s.serverOptions.workers = 1;
+        return specs;
+    };
+
+    // Probe pass (unlimited budget): each member's resident bytes
+    // after serving the largest signature.
+    size_t need = 0;
+    {
+        FleetOptions fopts;
+        fopts.governorIntervalMillis = 0;
+        Sod2Fleet fleet(buildSpecs(), fopts);
+        for (size_t m = 0; m < 2; ++m) {
+            serving::Request req;
+            req.inputs = big;
+            RunResult r =
+                fleet.memberServer(m).run(std::move(req));
+            if (!r.ok()) {
+                std::printf("  GATE VIOLATION: probe run failed: %s\n",
+                            r.message.c_str());
+                return 1;
+            }
+            size_t resident =
+                fleet.memberServer(m).residentArenaBytes();
+            need = resident > need ? resident : need;
+        }
+    }
+    // Singles fit with headroom; the combined peak (2x need) does not.
+    const size_t budget = need + need / 2;
+
+    FleetOptions fopts;
+    fopts.globalArenaBudgetBytes = budget;
+    fopts.governorIntervalMillis = 0;  // ticked explicitly
+    Sod2Fleet fleet(buildSpecs(), fopts);
+
+    int failures = 0;
+    uint64_t served = 0;
+    uint64_t grew[2] = {0, 0};  // non-fallback serves per member
+    auto burst = [&](size_t m) {
+        for (int i = 0; i < 3; ++i) {
+            serving::Request req;
+            req.inputs = big;
+            req.fallbackOnError = true;  // budget denial must degrade,
+                                         // not drop
+            RunResult r = fleet.memberServer(m).run(std::move(req));
+            if (!r.ok())
+                ++failures;
+            else
+                ++served;
+            if (r.ok() && !r.fellBack)
+                ++grew[m];
+        }
+    };
+    // Each iteration: the grower bursts into budget the previous tick
+    // freed, then the other member bursts while the grower still holds
+    // its bytes — the combined peaks exceed the budget, so those runs
+    // are denied and degrade to fallback. The tick then converts the
+    // grower's standing bytes back into budget, and the roles swap:
+    // the denied member becomes next iteration's grower, proving the
+    // bytes actually transfer across members.
+    const int kIters = 4;
+    for (int it = 0; it < kIters; ++it) {
+        size_t grower = static_cast<size_t>(it % 2);
+        burst(grower);
+        burst(1 - grower);
+        // drain() before the tick: a just-completed synchronous run's
+        // worker may not have dropped its inflight count yet, and the
+        // tick only trims members it observes idle. (The background
+        // tick thread simply catches such members on its next pass.)
+        fleet.memberServer(0).drain();
+        fleet.memberServer(1).drain();
+        fleet.governorTick();
+    }
+
+    fleet::GovernorStats g = fleet.governor().stats();
+    printHeader("Governor soak (global budget, alternating bursts)",
+                {"Budget", "Peak committed", "Denials", "Served",
+                 "Failures"});
+    printRow({strFormat("%zu", budget),
+              strFormat("%zu", g.peakCommittedBytes),
+              strFormat("%llu", (unsigned long long)g.denials),
+              strFormat("%llu", (unsigned long long)served),
+              strFormat("%d", failures)});
+
+    int violations = failures;
+    if (g.peakCommittedBytes > budget) {
+        std::printf("  GATE VIOLATION: governor peak %zu exceeded "
+                    "budget %zu\n",
+                    g.peakCommittedBytes, budget);
+        ++violations;
+    }
+    if (g.denials == 0) {
+        std::printf("  GATE VIOLATION: soak never hit the budget "
+                    "(denials == 0) — budget sizing is broken\n");
+        ++violations;
+    }
+    if (grew[0] == 0 || grew[1] == 0) {
+        std::printf("  GATE VIOLATION: a member never ran natively "
+                    "(cpu %llu, gpu %llu) — trim pressure did not "
+                    "transfer budget across members\n",
+                    (unsigned long long)grew[0],
+                    (unsigned long long)grew[1]);
+        ++violations;
+    }
+    if (failures)
+        std::printf("  GATE VIOLATION: %d soak requests failed "
+                    "despite fallback\n",
+                    failures);
+    return violations;
+}
+
+}  // namespace
+
+int
+main()
+{
+    int violations = 0;
+    violations += phaseRouting();
+    violations += phaseBitExact();
+    violations += phaseGovernorSoak();
+    if (violations) {
+        std::printf("\nFAILED: %d gate violation(s)\n", violations);
+        return 1;
+    }
+    std::printf("\nAll fleet gates passed.\n");
+    return 0;
+}

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "support/env.h"
 #include "support/logging.h"
 #include "support/metrics.h"
 #include "support/string_util.h"
@@ -15,12 +16,8 @@ namespace bench {
 int
 sampleCount()
 {
-    if (const char* env = std::getenv("SOD2_BENCH_SAMPLES")) {
-        int n = std::atoi(env);
-        if (n > 0)
-            return n;
-    }
-    return 8;
+    int n = env::benchSamples();
+    return n > 0 ? n : 8;
 }
 
 std::unique_ptr<InferenceEngine>

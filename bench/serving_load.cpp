@@ -56,7 +56,8 @@ using Clock = std::chrono::steady_clock;
 int
 requestCount()
 {
-    return env::readPositiveInt("SOD2_BENCH_REQUESTS", 64);
+    int n = env::benchRequests();
+    return n > 0 ? n : 64;
 }
 
 std::vector<std::vector<uint8_t>>

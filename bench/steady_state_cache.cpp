@@ -28,6 +28,7 @@
 #include "core/specialization.h"
 #include "graph/builder.h"
 #include "harness.h"
+#include "support/env.h"
 #include "support/string_util.h"
 
 using namespace sod2;
@@ -38,12 +39,8 @@ namespace {
 int
 runCount()
 {
-    if (const char* env = std::getenv("SOD2_BENCH_RUNS")) {
-        int n = std::atoi(env);
-        if (n > 0)
-            return n;
-    }
-    return 100;
+    int n = env::benchRuns();
+    return n > 0 ? n : 100;
 }
 
 struct StreamResult

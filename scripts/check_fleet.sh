@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Fleet gate (DESIGN.md §16): runs the fleet-labeled suite (shared
+# cost prediction, EWMA-corrected cost routing, MemoryGovernor
+# hard-budget admission + pessimistic-commit ledger, cross-engine trim
+# pressure bit-exactness, fleet.route failover, typed exhaustion
+# shedding, member swap mid-stream, 8-thread multi-model storm) three
+# ways, plus the fleet_load bench whose own exit gates are the
+# end-to-end acceptance check:
+#   - cost routing beats round-robin >= 1.2x aggregate throughput on a
+#     stream straddling the CPU/GPU crossover;
+#   - zoo-wide bit-exactness of fleet results vs direct per-engine
+#     runs;
+#   - the governor soak never exceeds the global budget, hits it at
+#     least once, and trim pressure moves bytes across members.
+#
+# Usage: scripts/check_fleet.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== fleet suite (default build) =="
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$(nproc)"
+ctest --test-dir build -L fleet --output-on-failure "$@"
+
+echo "== fleet_load bench gates =="
+./build/bench/fleet_load
+
+echo "== fleet suite (asan preset) =="
+cmake --preset asan >/dev/null
+cmake --build --preset asan -j "$(nproc)"
+ctest --test-dir build-asan -L fleet --output-on-failure "$@"
+
+echo "== fleet suite (tsan preset) =="
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j "$(nproc)"
+ctest --test-dir build-tsan -L fleet --output-on-failure "$@"
+
+echo "check_fleet: all green"

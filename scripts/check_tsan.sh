@@ -17,7 +17,7 @@ cd "$(dirname "$0")/.."
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)"
 ctest --test-dir build-tsan \
-      -L 'concurrency|observability|faults|serving|specialization|snapshot|resilience' \
+      -L 'concurrency|observability|faults|serving|specialization|snapshot|resilience|fleet' \
       --output-on-failure "$@"
 
 # The batched load bench drives the coalescer's cross-thread handoff

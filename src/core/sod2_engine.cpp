@@ -28,6 +28,28 @@ secondsSince(Clock::time_point t0)
     return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
+/**
+ * Reconciles an ArenaArbiter's ledger with the arena's true capacity
+ * on every exit of the reserve scope — growth, high-water trim, and
+ * the throw paths (arbiter denial, per-run budget) alike. The arena's
+ * strong guarantee makes capacity() the truth even after a failed
+ * reserve, so the ledger can never drift from reality.
+ */
+struct ArbiterReconcile
+{
+    ArenaArbiter* arb;
+    const RunContext* ctx;
+    ArbiterReconcile(ArenaArbiter* a, const RunContext* c)
+        : arb(a), ctx(c)
+    {
+    }
+    ~ArbiterReconcile()
+    {
+        if (arb)
+            arb->noteArenaCapacity(ctx, ctx->arena().capacity());
+    }
+};
+
 }  // namespace
 
 void
@@ -578,6 +600,22 @@ Sod2Engine::run(RunContext& ctx, const std::vector<Tensor>& inputs,
     {
         TraceSpan arena_span(tb, "arena", "engine");
         if (options_.enableDmp && !inst->intervals.empty()) {
+            // Guardrail 4: cross-engine arbitration (the fleet's
+            // MemoryGovernor). Asked only when this plan would grow the
+            // arena past its current capacity; a denial is the same
+            // recoverable, fallback-eligible class as the per-run
+            // budget. The reconcile guard reports the arena's real
+            // capacity back on every exit of this scope.
+            ArbiterReconcile reconcile(opts.arenaArbiter, &ctx);
+            if (opts.arenaArbiter &&
+                arena_bytes > ctx.arena_.capacity() &&
+                !opts.arenaArbiter->admitArenaGrow(
+                    &ctx, ctx.arena_.capacity(), arena_bytes)) {
+                SOD2_THROW_CODE(ErrorCode::kArenaExhausted)
+                    << "arena arbiter denied growth from "
+                    << ctx.arena_.capacity() << " to " << arena_bytes
+                    << " bytes (global budget exhausted)";
+            }
             arena_grown = ctx.arena_.reserve(arena_bytes);
             // Validate when the plan changed scale (the planner itself
             // is property-tested for overlap freedom) or when the debug
@@ -893,8 +931,15 @@ Sod2Engine::tryRun(RunContext& ctx, const std::vector<Tensor>& inputs,
 {
     auto t_start = Clock::now();
     RunResult result;
+    // serviceSeconds wants the run's own latency even when the caller
+    // passed no stats — route through a local RunStats then. run()
+    // fills stats only on success, so the on-failure "stats untouched"
+    // contract holds either way.
+    RunStats local_stats;
+    RunStats* s = stats ? stats : &local_stats;
     try {
-        result.outputs = run(ctx, inputs, stats, opts);
+        result.outputs = run(ctx, inputs, s, opts);
+        result.serviceSeconds = s->seconds;
         return result;
     } catch (const Error& e) {
         result.code = e.code();
@@ -943,6 +988,9 @@ Sod2Engine::tryRun(RunContext& ctx, const std::vector<Tensor>& inputs,
         result.code = ErrorCode::kOk;
         result.message.clear();
         result.fellBack = true;
+        // Fallback latency is wall time from tryRun entry: the failed
+        // optimized attempt is part of what serving this request cost.
+        result.serviceSeconds = secondsSince(t_start);
         metric_fallback_runs_->add();
         if (Trace::enabled())
             ctx.trace_.addInstant("run.fallback", "engine", "");
@@ -1121,6 +1169,7 @@ Sod2Engine::runBatch(RunContext& ctx,
         const int64_t item_rows = values[i][slot];
         results[i].code = ErrorCode::kOk;
         results[i].fellBack = whole.fellBack;
+        results[i].serviceSeconds = whole.serviceSeconds;
         results[i].outputs.reserve(whole.outputs.size());
         for (const Tensor& out : whole.outputs) {
             std::vector<int64_t> dims = out.shape().dims();

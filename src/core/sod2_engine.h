@@ -104,6 +104,40 @@ struct Sod2Options
 };
 
 /**
+ * Cross-engine arena arbitration (DESIGN.md §16). A RunOptions can
+ * carry one of these; the engine then consults it before letting a
+ * run's arena grow past its current capacity, and reports the arena's
+ * actual capacity back after every arbitrated run (growth, trim, or
+ * budget-rejected grow alike), so the arbiter's per-context ledger
+ * tracks reality. The fleet's MemoryGovernor implements this to hold N
+ * engines under one global byte budget. Implementations must be
+ * thread-safe: one arbiter is shared by every worker of every member.
+ * The `slot` key is the RunContext address — stable per worker, opaque
+ * to the arbiter.
+ */
+class ArenaArbiter
+{
+  public:
+    virtual ~ArenaArbiter() = default;
+
+    /** May @p slot's arena grow from @p currentBytes capacity to
+     *  @p requiredBytes? Returning false makes the run fail with a
+     *  typed ArenaExhausted error before any memory moves (the same
+     *  recoverable, fallback-eligible class as the per-run budget).
+     *  A `true` return commits the delta in the arbiter's ledger;
+     *  noteArenaCapacity reconciles it afterwards. */
+    virtual bool admitArenaGrow(const void* slot, size_t currentBytes,
+                                size_t requiredBytes) = 0;
+
+    /** Reports @p slot's arena capacity after an arbitrated run (or an
+     *  explicit trim): the reconciliation hook that releases budget
+     *  when the high-water trim shrank the arena, and charges reality
+     *  when a grow landed smaller than requested. */
+    virtual void noteArenaCapacity(const void* slot,
+                                   size_t capacityBytes) = 0;
+};
+
+/**
  * Per-run guardrails (the serving-path failure contract; DESIGN.md
  * §10). All default-off: a default-constructed RunOptions reproduces
  * the unguarded behavior except that the process-wide
@@ -139,6 +173,14 @@ struct RunOptions
      * is already gone).
      */
     bool fallbackOnError = false;
+    /**
+     * Global cross-engine arena arbiter (fleet MemoryGovernor), or
+     * null. Consulted before this run's arena grows; notified of the
+     * arena's capacity after the run. Overlays — does not replace —
+     * arenaBudgetBytes: a grow must pass both the per-run budget and
+     * the arbiter. Not owned; must outlive every run carrying it.
+     */
+    ArenaArbiter* arenaArbiter = nullptr;
 };
 
 /** Outcome of one tryRun: outputs, or a typed error. */
@@ -161,6 +203,16 @@ struct RunResult
      * per-item (solo) failures.
      */
     bool sharedFate = false;
+    /**
+     * Engine-side service latency of this result, in seconds: the
+     * optimized run's RunStats::seconds (wall time on real devices,
+     * cost-model time on simulated profiles), or the fallback
+     * interpreter's wall time when fellBack. 0.0 on failure. The fleet
+     * router's observed-vs-predicted EWMA feeds on this — queue wait is
+     * deliberately excluded so the correction tracks the cost model,
+     * not the scheduler.
+     */
+    double serviceSeconds = 0.0;
 
     bool ok() const { return code == ErrorCode::kOk; }
 };
@@ -451,6 +503,19 @@ class Sod2Engine
      *  stackable graph, else 1 (a non-stackable request is one row of
      *  its own batch). */
     int64_t batchRowsOf(const std::vector<int64_t>& values) const;
+
+    /**
+     * Statically estimates one run's latency for the canonical binding
+     * vector @p values by charging every node whose input/output shapes
+     * the RDP analysis can evaluate under that binding to @p meter
+     * (folded groups and control-flow ops are skipped; data-dependent
+     * shapes are skipped, making this a lower bound). Returns the
+     * meter's accumulated seconds. The shared engine half of
+     * CostMeter::predictRunMicros (src/core/cost_predict.cpp);
+     * thread-safe — touches only compiled state.
+     */
+    double estimateRunSeconds(const std::vector<int64_t>& values,
+                              CostMeter* meter) const;
 
   private:
     friend class Specializer;

@@ -1,0 +1,428 @@
+#include "fleet/fleet.h"
+
+#include <chrono>
+#include <utility>
+
+#include "core/snapshot.h"
+#include "kernels/device_profile.h"
+#include "support/env.h"
+#include "support/fault_injection.h"
+#include "support/logging.h"
+
+namespace sod2 {
+namespace fleet {
+namespace {
+
+/** Ready future carrying a typed (or complete) result. */
+std::future<RunResult>
+readyResult(RunResult r)
+{
+    std::promise<RunResult> p;
+    p.set_value(std::move(r));
+    return p.get_future();
+}
+
+std::future<RunResult>
+readyError(ErrorCode code, std::string message)
+{
+    RunResult r;
+    r.code = code;
+    r.message = std::move(message);
+    return readyResult(std::move(r));
+}
+
+}  // namespace
+
+Sod2Fleet::Sod2Fleet(std::vector<FleetMemberSpec> specs,
+                     FleetOptions options)
+    : options_(options),
+      governor_(options.globalArenaBudgetBytes != 0
+                    ? options.globalArenaBudgetBytes
+                    : env::fleetBudgetBytes(),
+                specs.size()),
+      router_(specs.size(),
+              parseRoutingMode(options.routing.empty()
+                                   ? env::fleetRouting()
+                                   : options.routing),
+              options.ewmaAlpha)
+{
+    SOD2_CHECK(!specs.empty()) << "a fleet needs at least one member";
+    {
+        MetricsRegistry& metrics = MetricsRegistry::instance();
+        metric_routed_ = &metrics.counter("fleet.routed");
+        metric_failover_ = &metrics.counter("fleet.failover");
+        metric_shed_ = &metrics.counter("fleet.shed");
+    }
+
+    members_.reserve(specs.size());
+    for (size_t i = 0; i < specs.size(); ++i) {
+        auto m = std::make_unique<Member>();
+        m->spec = std::move(specs[i]);
+        SOD2_CHECK(!m->spec.name.empty() && !m->spec.model.empty())
+            << "fleet member " << i << " needs a name and a model id";
+        const Sod2Engine* engine = m->spec.engine;
+        if (engine == nullptr) {
+            SOD2_CHECK(m->spec.graph != nullptr)
+                << "fleet member \"" << m->spec.name
+                << "\" needs a graph or a pre-built engine";
+            // Snapshot key = member NAME, not model: the same model
+            // compiled under two device profiles must persist as two
+            // artifacts, never thrash one file.
+            m->owned = loadOrCompileFromEnv(
+                m->spec.graph, m->spec.engineOptions, m->spec.name);
+            engine = m->owned.get();
+        }
+        m->engine.store(engine, std::memory_order_release);
+
+        serving::ServerOptions sopts = m->spec.serverOptions;
+        // The governor arbitrates every member run; the observer feeds
+        // the router's observed/predicted EWMA. Both shared hooks are
+        // fleet-owned, which is why members_ is declared last (its
+        // worker threads must die before the hooks do).
+        sopts.defaultRunOptions.arenaArbiter = &governor_;
+        sopts.completionObserver = [this, i](uint64_t sig,
+                                             const RunResult& r) {
+            onCompletion(i, sig, r);
+        };
+        m->server = std::make_unique<serving::Sod2Server>(engine,
+                                                          sopts);
+        by_model_[m->spec.model].push_back(i);
+        members_.push_back(std::move(m));
+    }
+
+    tick_interval_ms_ = options_.governorIntervalMillis < 0
+                            ? 25
+                            : options_.governorIntervalMillis;
+    if (tick_interval_ms_ > 0)
+        tick_thread_ = std::thread([this] { tickLoop(); });
+}
+
+Sod2Fleet::~Sod2Fleet()
+{
+    shutdown(/*drain_pending=*/true);
+}
+
+double
+Sod2Fleet::predictedUsFor(size_t i, uint64_t signature,
+                          const std::vector<int64_t>& values)
+{
+    Member& m = *members_[i];
+    {
+        std::lock_guard<std::mutex> lock(m.predict_mu);
+        auto it = m.predicted_us.find(signature);
+        if (it != m.predicted_us.end())
+            return it->second;
+    }
+    const Sod2Engine* engine =
+        m.engine.load(std::memory_order_acquire);
+    const double us = CostMeter::predictRunMicros(*engine, values);
+    std::lock_guard<std::mutex> lock(m.predict_mu);
+    m.predicted_us.emplace(signature, us);
+    return us;
+}
+
+double
+Sod2Fleet::cachedPredictedUs(size_t i, uint64_t signature)
+{
+    Member& m = *members_[i];
+    std::lock_guard<std::mutex> lock(m.predict_mu);
+    auto it = m.predicted_us.find(signature);
+    return it == m.predicted_us.end() ? 0.0 : it->second;
+}
+
+void
+Sod2Fleet::onCompletion(size_t i, uint64_t signature,
+                        const RunResult& r)
+{
+    // Only clean, actually-executed results teach the EWMA; failures
+    // and fallback runs say nothing about the cost model. Predictions
+    // are cached before any dispatch, so a miss here (cleared by a
+    // concurrent swap) just skips one observation.
+    if (!r.ok() || r.fellBack || r.serviceSeconds <= 0.0)
+        return;
+    const double predicted = cachedPredictedUs(i, signature);
+    if (predicted > 0.0)
+        router_.observe(i, signature, predicted,
+                        r.serviceSeconds * 1e6);
+}
+
+std::vector<size_t>
+Sod2Fleet::rankFor(const std::string& model,
+                   const std::vector<Tensor>& inputs,
+                   uint64_t* signature, std::string* error)
+{
+    auto it = by_model_.find(model);
+    if (it == by_model_.end()) {
+        if (error)
+            *error = "unknown model \"" + model + "\"";
+        return {};
+    }
+    const std::vector<size_t>& eligible = it->second;
+    // Members of one model share the binder schema, so the first
+    // member's signature is THE request signature; this is also the
+    // fleet's admission validation (typed InvalidInput/BindFailure).
+    std::vector<int64_t> values;
+    uint64_t sig = 0;
+    try {
+        sig = memberEngine(eligible.front())
+                  .signatureFor(inputs, &values);
+    } catch (const Error& e) {
+        if (error)
+            *error = e.what();
+        return {};
+    } catch (const std::exception& e) {
+        if (error)
+            *error = e.what();
+        return {};
+    }
+    if (signature)
+        *signature = sig;
+
+    std::vector<double> predicted(eligible.size());
+    std::vector<size_t> depths(eligible.size());
+    for (size_t k = 0; k < eligible.size(); ++k) {
+        predicted[k] = predictedUsFor(eligible[k], sig, values);
+        const serving::ServerStats s =
+            members_[eligible[k]]->server->stats();
+        depths[k] = s.queueDepth + s.inflight;
+    }
+    return router_.rank(eligible, predicted, depths, sig);
+}
+
+std::future<RunResult>
+Sod2Fleet::submit(const std::string& model, serving::Request request)
+{
+    if (stopped_.load(std::memory_order_acquire))
+        return readyError(ErrorCode::kShutdown,
+                          "fleet is shut down");
+    uint64_t sig = 0;
+    std::string error;
+    const std::vector<size_t> ranked =
+        rankFor(model, request.inputs, &sig, &error);
+    if (ranked.empty()) {
+        ++shed_;
+        metric_shed_->add();
+        return readyError(ErrorCode::kInvalidInput, error);
+    }
+
+    // Walk the ranking best-first. A candidate can fail without
+    // consuming the request three ways: the fault site "fleet.route"
+    // says it is dead, or its server sheds synchronously (QueueFull /
+    // CircuitOpen / Shutdown — admission never started a run). Each
+    // fails over to the next-best member; the request's tensors are
+    // shared-buffer copies, so retrying is free.
+    bool any_circuit_open = false;
+    RunResult last_shed;
+    last_shed.code = ErrorCode::kInternal;
+    last_shed.message = "no eligible fleet member";
+    for (size_t mi : ranked) {
+        Member& m = *members_[mi];
+        if (fault::shouldFail(fault::kFleetRoute)) {
+            ++m.failovers;
+            ++failovers_;
+            metric_failover_->add();
+            last_shed.code = ErrorCode::kInternal;
+            last_shed.message =
+                "injected fault at fleet.route: member \"" +
+                m.spec.name + "\" is dead";
+            continue;
+        }
+        serving::Request attempt;
+        attempt.inputs = request.inputs;  // shallow tensor copies
+        attempt.deadlineSeconds = request.deadlineSeconds;
+        attempt.priority = request.priority;
+        attempt.arenaBudgetBytes = request.arenaBudgetBytes;
+        attempt.fallbackOnError = request.fallbackOnError;
+        std::future<RunResult> fut =
+            m.server->submit(std::move(attempt));
+        // A synchronous shed resolves the future before submit
+        // returns; anything still pending was admitted and WILL run
+        // here (admission never migrates).
+        if (fut.wait_for(std::chrono::seconds(0)) ==
+            std::future_status::ready) {
+            RunResult r = fut.get();
+            const bool shed_sync =
+                r.code == ErrorCode::kQueueFull ||
+                r.code == ErrorCode::kCircuitOpen ||
+                r.code == ErrorCode::kShutdown;
+            if (!shed_sync) {
+                ++m.routed;
+                ++routed_;
+                metric_routed_->add();
+                governor_.noteTraffic(mi);
+                return readyResult(std::move(r));
+            }
+            any_circuit_open = any_circuit_open ||
+                               r.code == ErrorCode::kCircuitOpen;
+            last_shed = std::move(r);
+            ++m.failovers;
+            ++failovers_;
+            metric_failover_->add();
+            continue;
+        }
+        ++m.routed;
+        ++routed_;
+        metric_routed_->add();
+        governor_.noteTraffic(mi);
+        return fut;
+    }
+
+    // Every member refused. Typed shed: when any breaker was open,
+    // report CircuitOpen (the "all eligible breakers open" contract);
+    // otherwise the last member's own shed cause.
+    ++shed_;
+    metric_shed_->add();
+    RunResult r;
+    r.code = any_circuit_open ? ErrorCode::kCircuitOpen
+                              : last_shed.code;
+    r.message = "fleet exhausted every member for model \"" + model +
+                "\": " + last_shed.message;
+    return readyResult(std::move(r));
+}
+
+RunResult
+Sod2Fleet::run(const std::string& model, serving::Request request)
+{
+    return submit(model, std::move(request)).get();
+}
+
+bool
+Sod2Fleet::warmup(const std::string& model,
+                  const std::vector<Tensor>& inputs)
+{
+    auto it = by_model_.find(model);
+    if (it == by_model_.end())
+        return false;
+    bool any = false;
+    for (size_t mi : it->second)
+        any = members_[mi]->server->warmup(inputs) || any;
+    return any;
+}
+
+int
+Sod2Fleet::routePreview(const std::string& model,
+                        const std::vector<Tensor>& inputs)
+{
+    const std::vector<size_t> ranked =
+        rankFor(model, inputs, nullptr, nullptr);
+    return ranked.empty() ? -1 : static_cast<int>(ranked.front());
+}
+
+bool
+Sod2Fleet::swapMember(const std::string& name, const Sod2Engine* next,
+                      const serving::SwapOptions& opts)
+{
+    for (size_t i = 0; i < members_.size(); ++i) {
+        Member& m = *members_[i];
+        if (m.spec.name != name)
+            continue;
+        m.server->swapEngine(next, opts);
+        m.engine.store(next, std::memory_order_release);
+        // The new engine's cost behavior is a clean slate: drop the
+        // member's predictions and learned corrections.
+        {
+            std::lock_guard<std::mutex> lock(m.predict_mu);
+            m.predicted_us.clear();
+        }
+        router_.resetMember(i);
+        return true;
+    }
+    return false;
+}
+
+void
+Sod2Fleet::governorTick()
+{
+    // Pressure (a denied grow since the last tick) trims EVERY idle
+    // member holding bytes; without pressure only members idling above
+    // their traffic-share soft quota are trimmed, so a quiet fleet is
+    // never churned. Trimming runs on each worker's own thread
+    // (Sod2Server::trimArenas) and reconciles the governor ledger per
+    // arena through the callback.
+    const bool pressure = governor_.pressureAndClear();
+    for (size_t i = 0; i < members_.size(); ++i) {
+        Member& m = *members_[i];
+        const size_t resident = m.server->residentArenaBytes();
+        if (resident == 0)
+            continue;
+        const serving::ServerStats s = m.server->stats();
+        const bool idle = s.queueDepth == 0 && s.inflight == 0;
+        if (!idle)
+            continue;
+        if (pressure || resident > governor_.softQuotaBytes(i)) {
+            m.server->trimArenas([this](const RunContext& ctx) {
+                governor_.noteArenaCapacity(&ctx,
+                                            ctx.arena().capacity());
+            });
+        }
+    }
+}
+
+void
+Sod2Fleet::tickLoop()
+{
+    std::unique_lock<std::mutex> lock(tick_mu_);
+    const auto interval =
+        std::chrono::milliseconds(tick_interval_ms_);
+    for (;;) {
+        tick_cv_.wait_for(lock, interval, [&] { return tick_stop_; });
+        if (tick_stop_)
+            return;
+        lock.unlock();
+        governorTick();
+        lock.lock();
+    }
+}
+
+FleetHealth
+Sod2Fleet::health() const
+{
+    FleetHealth h;
+    h.ready = true;
+    h.members.reserve(members_.size());
+    for (const auto& mp : members_) {
+        const Member& m = *mp;
+        FleetMemberHealth mh;
+        mh.name = m.spec.name;
+        mh.model = m.spec.model;
+        mh.server = m.server->health();
+        mh.residentArenaBytes = m.server->residentArenaBytes();
+        mh.routed = m.routed.load(std::memory_order_relaxed);
+        mh.failovers = m.failovers.load(std::memory_order_relaxed);
+        h.ready = h.ready && mh.server.ready;
+        h.members.push_back(std::move(mh));
+    }
+    h.governor = governor_.stats();
+    h.routed = routed_.load(std::memory_order_relaxed);
+    h.failovers = failovers_.load(std::memory_order_relaxed);
+    h.shed = shed_.load(std::memory_order_relaxed);
+    return h;
+}
+
+size_t
+Sod2Fleet::residentArenaBytes() const
+{
+    size_t total = 0;
+    for (const auto& m : members_)
+        total += m->server->residentArenaBytes();
+    return total;
+}
+
+void
+Sod2Fleet::shutdown(bool drain_pending)
+{
+    if (stopped_.exchange(true, std::memory_order_acq_rel))
+        return;
+    {
+        std::lock_guard<std::mutex> lock(tick_mu_);
+        tick_stop_ = true;
+    }
+    tick_cv_.notify_all();
+    if (tick_thread_.joinable())
+        tick_thread_.join();
+    for (auto& m : members_)
+        m->server->shutdown(drain_pending);
+}
+
+}  // namespace fleet
+}  // namespace sod2

@@ -1,0 +1,269 @@
+#ifndef SOD2_FLEET_FLEET_H_
+#define SOD2_FLEET_FLEET_H_
+
+/**
+ * @file
+ * Sod2Fleet — cost-routed serving of many engines under one roof
+ * (DESIGN.md §16).
+ *
+ * One fleet owns N *members*: different models, and/or the same model
+ * compiled under different device-profile cost models (the paper's
+ * CPU/GPU portability pair served side by side). Each member is a full
+ * Sod2Server — workers, admission control, batching, breakers,
+ * blue/green swap — and the fleet layers three things on top:
+ *
+ *  - routing: each request names a model id; the FleetRouter scores
+ *    every member serving that model by cost-model-predicted latency
+ *    for the request's shape signature (corrected by an online
+ *    observed/predicted EWMA) and queue depth, and dispatches to the
+ *    best. A member that sheds synchronously (QueueFull / CircuitOpen
+ *    / Shutdown) or is fault-injected dead (site "fleet.route") fails
+ *    over to the next-best member; only when every eligible member is
+ *    exhausted does the fleet shed, typed.
+ *
+ *  - memory: one MemoryGovernor holds every member's worker arenas
+ *    under a single global budget (SOD2_FLEET_BUDGET) via the engine's
+ *    ArenaArbiter hook, and the governor tick trims idle members'
+ *    arenas (Sod2Server::trimArenas) when pressure or a soft-quota
+ *    breach says a loaded member needs their bytes.
+ *
+ *  - lifecycle: members load through core/snapshot (keyed by member
+ *    name, so the same model under two profiles keeps two snapshot
+ *    files), swap engines per member through the server's blue/green
+ *    path, and aggregate health()/metrics fleet-wide.
+ */
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "fleet/memory_governor.h"
+#include "fleet/router.h"
+#include "serving/server.h"
+#include "support/metrics.h"
+
+namespace sod2 {
+namespace fleet {
+
+/** One member of the fleet, as configured by the caller. */
+struct FleetMemberSpec
+{
+    /** Unique member name — also the snapshot key (core/snapshot), so
+     *  the same model compiled under two device profiles persists as
+     *  two artifacts. */
+    std::string name;
+    /** Model id requests route by; several members may share one. */
+    std::string model;
+    /** Graph to compile (must outlive the fleet). Ignored when
+     *  @ref engine is set. */
+    const Graph* graph = nullptr;
+    /** Compile options — the device profile lives here. */
+    Sod2Options engineOptions;
+    /** Per-member server tuning. completionObserver and
+     *  defaultRunOptions.arenaArbiter are overwritten by the fleet
+     *  (router EWMA feed and governor hook). */
+    serving::ServerOptions serverOptions;
+    /** Pre-built engine to serve instead of compiling/loading one
+     *  (not owned; must outlive the fleet). The bench uses this to
+     *  compare routing modes over identical engines. */
+    const Sod2Engine* engine = nullptr;
+};
+
+/** Fleet-wide construction knobs. */
+struct FleetOptions
+{
+    /** Global arena budget across every member's workers, in bytes.
+     *  0 -> SOD2_FLEET_BUDGET -> unlimited. */
+    size_t globalArenaBudgetBytes = 0;
+    /** "cost" or "round_robin". Empty -> SOD2_FLEET_ROUTING -> cost. */
+    std::string routing;
+    /** Background governor-tick interval (trim pressure propagation).
+     *  0 disables the thread (tests call governorTick() directly);
+     *  negative -> 25 ms. */
+    long long governorIntervalMillis = -1;
+    /** EWMA smoothing of the router's observed/predicted correction. */
+    double ewmaAlpha = 0.3;
+};
+
+/** One member's row in FleetHealth. */
+struct FleetMemberHealth
+{
+    std::string name;
+    std::string model;
+    serving::ServerHealth server;
+    size_t residentArenaBytes = 0;
+    uint64_t routed = 0;     ///< requests dispatched to this member
+    uint64_t failovers = 0;  ///< times routing skipped past it
+};
+
+/** Aggregated fleet health/readiness snapshot. */
+struct FleetHealth
+{
+    /** Every member's server is ready. */
+    bool ready = false;
+    std::vector<FleetMemberHealth> members;
+    GovernorStats governor;
+    uint64_t routed = 0;
+    uint64_t failovers = 0;
+    /** Requests shed by the FLEET after exhausting every member. */
+    uint64_t shed = 0;
+};
+
+/**
+ * See file comment. All public methods are thread-safe. Destruction
+ * performs a draining shutdown of every member.
+ */
+class Sod2Fleet
+{
+  public:
+    explicit Sod2Fleet(std::vector<FleetMemberSpec> specs,
+                       FleetOptions options = {});
+    ~Sod2Fleet();
+
+    Sod2Fleet(const Sod2Fleet&) = delete;
+    Sod2Fleet& operator=(const Sod2Fleet&) = delete;
+
+    /**
+     * Routes @p request to the best member serving @p model and
+     * returns its future. Sheds typed (never throws for per-request
+     * failures): unknown model or malformed inputs resolve
+     * immediately; a member that sheds synchronously fails over to the
+     * next-best; exhausting every member resolves with the last shed
+     * cause (CircuitOpen preferred when any breaker was open — the
+     * "every eligible member's breaker is open" contract).
+     */
+    std::future<RunResult> submit(const std::string& model,
+                                  serving::Request request);
+
+    /** Synchronous convenience: submit() + wait. */
+    RunResult run(const std::string& model, serving::Request request);
+
+    /** Warms @p inputs' plan on every member serving @p model. */
+    bool warmup(const std::string& model,
+                const std::vector<Tensor>& inputs);
+
+    /** The member submit() would route @p inputs to right now, or -1
+     *  (unknown model / invalid inputs). Deterministic introspection
+     *  for tests and the bench; does not count traffic. */
+    int routePreview(const std::string& model,
+                     const std::vector<Tensor>& inputs);
+
+    /**
+     * Blue/green swap of member @p name onto @p next (not owned; must
+     * outlive the fleet) through Sod2Server::swapEngine. Also clears
+     * the member's prediction cache and router corrections — the new
+     * engine's cost behavior is a clean slate. Returns false for an
+     * unknown member name.
+     */
+    bool swapMember(const std::string& name, const Sod2Engine* next,
+                    const serving::SwapOptions& opts = {});
+
+    /**
+     * One governor pass: reconciles pressure and soft quotas against
+     * every member's resident arena bytes and trims idle members that hold
+     * bytes a loaded member needs. The background tick thread calls
+     * this every governorIntervalMillis; tests call it directly for
+     * determinism.
+     */
+    void governorTick();
+
+    /** Aggregated health/metrics snapshot. */
+    FleetHealth health() const;
+
+    /** Sum of every member's resident worker-arena bytes. */
+    size_t residentArenaBytes() const;
+
+    /** Stops the tick thread and shuts every member down.
+     *  @p drain_pending as in Sod2Server::shutdown. Idempotent. */
+    void shutdown(bool drain_pending = true);
+
+    // --- introspection ---------------------------------------------------
+    size_t memberCount() const { return members_.size(); }
+    const std::string& memberName(size_t i) const
+    {
+        return members_[i]->spec.name;
+    }
+    /** The engine member @p i currently serves (changes on swap). */
+    const Sod2Engine& memberEngine(size_t i) const
+    {
+        return *members_[i]->engine.load(std::memory_order_acquire);
+    }
+    serving::Sod2Server& memberServer(size_t i)
+    {
+        return *members_[i]->server;
+    }
+    MemoryGovernor& governor() { return governor_; }
+    FleetRouter& router() { return router_; }
+
+  private:
+    struct Member
+    {
+        FleetMemberSpec spec;
+        /** Owned when the fleet compiled/loaded it; null when the spec
+         *  supplied a pre-built engine. */
+        std::unique_ptr<Sod2Engine> owned;
+        /** The engine currently served (swapMember replaces it). */
+        std::atomic<const Sod2Engine*> engine{nullptr};
+        std::unique_ptr<serving::Sod2Server> server;
+        std::atomic<uint64_t> routed{0};
+        std::atomic<uint64_t> failovers{0};
+        /** signature -> predicted latency (µs) on THIS member's
+         *  engine; cleared on swap. */
+        std::mutex predict_mu;
+        std::unordered_map<uint64_t, double> predicted_us;
+    };
+
+    /** Predicted latency of @p values' signature on member @p i,
+     *  computing and caching on miss. */
+    double predictedUsFor(size_t i, uint64_t signature,
+                          const std::vector<int64_t>& values);
+    /** Cached prediction only (no compute) — the completion observer's
+     *  side, where the binding vector is no longer available. */
+    double cachedPredictedUs(size_t i, uint64_t signature);
+    /** Completion observer body: feeds the router EWMA. */
+    void onCompletion(size_t i, uint64_t signature, const RunResult& r);
+    /** Ranks the members of @p model for @p inputs; empty on unknown
+     *  model or invalid inputs. @p signature receives the request's
+     *  shape signature. */
+    std::vector<size_t> rankFor(const std::string& model,
+                                const std::vector<Tensor>& inputs,
+                                uint64_t* signature,
+                                std::string* error);
+    void tickLoop();
+
+    // Declaration order is destruction order in reverse: members_
+    // (whose server worker threads call back into router_/governor_
+    // through the completion observer and arbiter) is declared LAST so
+    // it is destroyed FIRST.
+    FleetOptions options_;
+    MemoryGovernor governor_;
+    FleetRouter router_;
+    /** model id -> member indices (immutable after construction). */
+    std::map<std::string, std::vector<size_t>> by_model_;
+    std::atomic<uint64_t> routed_{0};
+    std::atomic<uint64_t> failovers_{0};
+    std::atomic<uint64_t> shed_{0};
+    Counter* metric_routed_;
+    Counter* metric_failover_;
+    Counter* metric_shed_;
+    std::atomic<bool> stopped_{false};
+    long long tick_interval_ms_ = 0;
+    std::mutex tick_mu_;
+    std::condition_variable tick_cv_;
+    bool tick_stop_ = false;
+    std::thread tick_thread_;
+    std::vector<std::unique_ptr<Member>> members_;
+};
+
+}  // namespace fleet
+}  // namespace sod2
+
+#endif  // SOD2_FLEET_FLEET_H_

@@ -1,0 +1,117 @@
+#include "fleet/memory_governor.h"
+
+#include <algorithm>
+
+namespace sod2 {
+namespace fleet {
+
+bool
+MemoryGovernor::admitArenaGrow(const void* slot, size_t currentBytes,
+                               size_t requiredBytes)
+{
+    (void)currentBytes;  // the ledger, not the caller, is the truth
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t& committed = committed_[slot];
+    if (requiredBytes <= committed)
+        return true;  // already reserved this much for the slot
+    const size_t delta = requiredBytes - committed;
+    if (budget_ != 0 && total_ + delta > budget_) {
+        ++denials_;
+        pressure_ = true;
+        return false;
+    }
+    // Pessimistic commit: the reservation lands BEFORE the arena
+    // grows, so a concurrent grow on any other member already sees it
+    // — two in-flight grows can never jointly pass the budget. The
+    // engine's reconcile hook trues this up to the arena's real
+    // capacity afterwards (including back down to the old capacity
+    // when the grow itself fails).
+    committed = requiredBytes;
+    total_ += delta;
+    peak_ = std::max(peak_, total_);
+    return true;
+}
+
+void
+MemoryGovernor::noteArenaCapacity(const void* slot, size_t capacityBytes)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = committed_.find(slot);
+    if (it == committed_.end()) {
+        if (capacityBytes == 0)
+            return;  // nothing held, nothing to record
+        committed_[slot] = capacityBytes;
+        total_ += capacityBytes;
+        peak_ = std::max(peak_, total_);
+        return;
+    }
+    // Reconcile both directions: a trim (or failed grow) releases
+    // budget, a grow that landed larger than reserved charges it.
+    if (capacityBytes >= it->second) {
+        total_ += capacityBytes - it->second;
+        peak_ = std::max(peak_, total_);
+    } else {
+        total_ -= it->second - capacityBytes;
+    }
+    if (capacityBytes == 0)
+        committed_.erase(it);
+    else
+        it->second = capacityBytes;
+}
+
+void
+MemoryGovernor::noteTraffic(size_t member)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (member >= traffic_.size())
+        traffic_.resize(member + 1, 0.0);
+    // Slow EWMA (alpha 0.05): the share should reflect sustained
+    // traffic skew, not one burst, before quotas reshuffle.
+    constexpr double kAlpha = 0.05;
+    for (size_t i = 0; i < traffic_.size(); ++i)
+        traffic_[i] = (1.0 - kAlpha) * traffic_[i] +
+                      (i == member ? kAlpha : 0.0);
+}
+
+size_t
+MemoryGovernor::softQuotaBytes(size_t member) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (budget_ == 0 || traffic_.empty())
+        return budget_;  // unlimited, or no members registered
+    double total = 0.0;
+    for (double t : traffic_)
+        total += t;
+    const double share =
+        total > 0.0 && member < traffic_.size()
+            ? traffic_[member] / total
+            : 1.0 / static_cast<double>(traffic_.size());
+    const size_t floor_bytes = budget_ / (4 * traffic_.size());
+    const auto quota =
+        static_cast<size_t>(share * static_cast<double>(budget_));
+    return std::max(quota, floor_bytes);
+}
+
+bool
+MemoryGovernor::pressureAndClear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const bool p = pressure_;
+    pressure_ = false;
+    return p;
+}
+
+GovernorStats
+MemoryGovernor::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    GovernorStats s;
+    s.budgetBytes = budget_;
+    s.committedBytes = total_;
+    s.peakCommittedBytes = peak_;
+    s.denials = denials_;
+    return s;
+}
+
+}  // namespace fleet
+}  // namespace sod2

@@ -1,0 +1,108 @@
+#ifndef SOD2_FLEET_MEMORY_GOVERNOR_H_
+#define SOD2_FLEET_MEMORY_GOVERNOR_H_
+
+/**
+ * @file
+ * MemoryGovernor — one global arena budget over N engines
+ * (DESIGN.md §16).
+ *
+ * Every member server of a Sod2Fleet shares a single governor through
+ * RunOptions::arenaArbiter. The governor keeps a committed-bytes
+ * ledger keyed by RunContext (one entry per worker arena, fleet-wide)
+ * and enforces the hard invariant
+ *
+ *     sum(committed per arena) <= globalBudgetBytes  (always)
+ *
+ * by *pessimistically committing* each grow before admitting it: a
+ * concurrent grow on another member sees the reservation and is denied
+ * if the remainder cannot hold it, so two in-flight grows can never
+ * jointly overshoot. The engine's reconcile hook (ArenaArbiter::
+ * noteArenaCapacity) trues the ledger up after every arbitrated run —
+ * releasing the reservation when a grow failed or the high-water trim
+ * shrank the arena, and correcting over-estimates when the plan's
+ * requirement and the arena's final capacity differ.
+ *
+ * A denial surfaces as the engine's typed ArenaExhausted — the same
+ * recoverable, fallback-eligible, transient-retryable class as the
+ * per-run budget — and flags *pressure*: the fleet's governor tick
+ * reacts by trimming idle members' arenas (through
+ * Sod2Server::trimArenas), converting their standing bytes back into
+ * budget for the loaded member.
+ *
+ * Soft quotas: the governor also tracks each member's traffic share
+ * (EWMA of routed requests) and derives a per-member soft quota —
+ * budget x share, floored so a quiet member keeps enough to serve its
+ * next request without a denial storm. Quotas never gate admission
+ * (only the hard budget does); they pick WHICH member the tick trims.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "core/sod2_engine.h"
+
+namespace sod2 {
+namespace fleet {
+
+/** Consistent snapshot of the governor's ledger (health surface). */
+struct GovernorStats
+{
+    size_t budgetBytes = 0;     ///< 0 = unlimited
+    size_t committedBytes = 0;  ///< current fleet-wide total
+    size_t peakCommittedBytes = 0;
+    uint64_t denials = 0;  ///< grows denied by the hard budget
+};
+
+/** See file comment. Thread-safe; shared by every member's workers. */
+class MemoryGovernor : public ArenaArbiter
+{
+  public:
+    /** @p budgetBytes 0 = unlimited (ledger still tracked). */
+    explicit MemoryGovernor(size_t budgetBytes, size_t members = 0)
+        : budget_(budgetBytes), traffic_(members, 0.0)
+    {
+    }
+
+    // --- ArenaArbiter ---------------------------------------------------
+    bool admitArenaGrow(const void* slot, size_t currentBytes,
+                        size_t requiredBytes) override;
+    void noteArenaCapacity(const void* slot,
+                           size_t capacityBytes) override;
+
+    // --- traffic share / soft quotas ------------------------------------
+    /** Records one routed request for @p member (EWMA traffic share). */
+    void noteTraffic(size_t member);
+
+    /**
+     * @p member's soft quota: budget x its traffic share, floored at
+     * budget / (4 x members) so an idle member is not trimmed to zero
+     * headroom the moment traffic skews. 0 (no budget) = unlimited.
+     */
+    size_t softQuotaBytes(size_t member) const;
+
+    /** True when a grow was denied since the last call; clears the
+     *  flag (the governor tick's trim trigger). */
+    bool pressureAndClear();
+
+    GovernorStats stats() const;
+
+  private:
+    mutable std::mutex mu_;
+    size_t budget_;
+    /** Committed bytes per arena (keyed by RunContext address). */
+    std::map<const void*, size_t> committed_;
+    size_t total_ = 0;
+    size_t peak_ = 0;
+    uint64_t denials_ = 0;
+    bool pressure_ = false;
+    /** Per-member routed-request EWMA (the traffic-share numerator). */
+    std::vector<double> traffic_;
+};
+
+}  // namespace fleet
+}  // namespace sod2
+
+#endif  // SOD2_FLEET_MEMORY_GOVERNOR_H_

@@ -1,0 +1,104 @@
+#include "fleet/router.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace sod2 {
+namespace fleet {
+
+RoutingMode
+parseRoutingMode(const std::string& text)
+{
+    if (text.empty() || text == "cost")
+        return RoutingMode::kCost;
+    if (text == "round_robin")
+        return RoutingMode::kRoundRobin;
+    SOD2_LOG(kWarn) << "unknown fleet routing mode \"" << text
+                    << "\"; using \"cost\"";
+    return RoutingMode::kCost;
+}
+
+double
+FleetRouter::score(size_t member, uint64_t signature,
+                   double predictedUs, size_t queueDepth) const
+{
+    // A zero prediction (nothing statically shapeable) degrades to
+    // pure queue-depth balancing instead of making every member free.
+    const double base = predictedUs > 0.0 ? predictedUs : 1.0;
+    return base * correction(member, signature) *
+           (1.0 + static_cast<double>(queueDepth));
+}
+
+std::vector<size_t>
+FleetRouter::rank(const std::vector<size_t>& eligible,
+                  const std::vector<double>& predictedUs,
+                  const std::vector<size_t>& queueDepth,
+                  uint64_t signature)
+{
+    std::vector<size_t> order(eligible.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    if (eligible.empty())
+        return {};
+    if (mode_ == RoutingMode::kRoundRobin) {
+        uint64_t start;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            start = rr_++;
+        }
+        std::rotate(order.begin(),
+                    order.begin() +
+                        static_cast<long>(start % order.size()),
+                    order.end());
+    } else {
+        std::vector<double> scores(eligible.size());
+        for (size_t i = 0; i < eligible.size(); ++i)
+            scores[i] = score(eligible[i], signature, predictedUs[i],
+                              queueDepth[i]);
+        std::stable_sort(order.begin(), order.end(),
+                         [&](size_t a, size_t b) {
+                             return scores[a] < scores[b];
+                         });
+    }
+    std::vector<size_t> ranked(eligible.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        ranked[i] = eligible[order[i]];
+    return ranked;
+}
+
+void
+FleetRouter::observe(size_t member, uint64_t signature,
+                     double predictedUs, double observedUs)
+{
+    if (predictedUs <= 0.0 || observedUs <= 0.0)
+        return;
+    const double ratio = observedUs / predictedUs;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (member >= ratio_.size())
+        return;
+    auto [it, fresh] = ratio_[member].try_emplace(signature, ratio);
+    if (!fresh)
+        it->second = (1.0 - alpha_) * it->second + alpha_ * ratio;
+}
+
+double
+FleetRouter::correction(size_t member, uint64_t signature) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (member >= ratio_.size())
+        return 1.0;
+    auto it = ratio_[member].find(signature);
+    return it == ratio_[member].end() ? 1.0 : it->second;
+}
+
+void
+FleetRouter::resetMember(size_t member)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (member < ratio_.size())
+        ratio_[member].clear();
+}
+
+}  // namespace fleet
+}  // namespace sod2

@@ -1,0 +1,101 @@
+#ifndef SOD2_FLEET_ROUTER_H_
+#define SOD2_FLEET_ROUTER_H_
+
+/**
+ * @file
+ * FleetRouter — cost-model routing across fleet members
+ * (DESIGN.md §16).
+ *
+ * The paper's portability result (§5.5, Fig 13) is a CPU/GPU latency
+ * crossover: small inputs favor the CPU profile (no launch overhead),
+ * large ones the GPU (more flops). The router turns that plot into a
+ * live serving decision. For each request it scores every eligible
+ * member (same model id, breaker not open) as
+ *
+ *     score = predictedUs x correction(member, signature)
+ *                        x (1 + queueDepth)
+ *
+ * and routes ascending. predictedUs comes from the shared prediction
+ * path (CostMeter::predictRunMicros — the member engine's own device
+ * profile over its RDP-evaluated shapes); correction is an online EWMA
+ * of observed/predicted latency per member x signature, so a
+ * mispredicting cost model self-corrects after a few observations
+ * without touching the analytic model. (1 + queueDepth) is the
+ * tie-breaker: near-equal predictions spread by load instead of
+ * pile-up on the statically-cheapest member.
+ *
+ * Round-robin mode (SOD2_FLEET_ROUTING=round_robin) ignores cost and
+ * rotates — the bench baseline cost routing must beat.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sod2 {
+namespace fleet {
+
+enum class RoutingMode { kCost, kRoundRobin };
+
+/** "" / "cost" -> kCost; "round_robin" -> kRoundRobin; anything else
+ *  warns once and falls back to kCost (an env typo must not silently
+ *  change serving behavior without a word). */
+RoutingMode parseRoutingMode(const std::string& text);
+
+/** See file comment. Thread-safe. */
+class FleetRouter
+{
+  public:
+    FleetRouter(size_t members, RoutingMode mode, double ewmaAlpha)
+        : mode_(mode), alpha_(ewmaAlpha), ratio_(members)
+    {
+    }
+
+    RoutingMode mode() const { return mode_; }
+
+    /** One member's routing score (lower routes first). */
+    double score(size_t member, uint64_t signature, double predictedUs,
+                 size_t queueDepth) const;
+
+    /**
+     * Orders @p eligible (member indices) best-first. @p predictedUs
+     * and @p queueDepth are parallel to @p eligible. Cost mode sorts
+     * by score ascending (stable: ties keep fleet order); round-robin
+     * rotates a shared counter over @p eligible.
+     */
+    std::vector<size_t> rank(const std::vector<size_t>& eligible,
+                             const std::vector<double>& predictedUs,
+                             const std::vector<size_t>& queueDepth,
+                             uint64_t signature);
+
+    /** Feeds one completed run into the member x signature EWMA of
+     *  observed/predicted latency. Non-positive inputs are ignored. */
+    void observe(size_t member, uint64_t signature, double predictedUs,
+                 double observedUs);
+
+    /** Current observed/predicted correction factor (1.0 before any
+     *  observation). */
+    double correction(size_t member, uint64_t signature) const;
+
+    /** Forgets @p member's corrections (blue/green member swap: the
+     *  new engine's cost behavior is a clean slate). */
+    void resetMember(size_t member);
+
+  private:
+    const RoutingMode mode_;
+    const double alpha_;
+    mutable std::mutex mu_;
+    /** Round-robin rotor (guarded by mu_; routing is not hot enough
+     *  to justify lock-free here). */
+    uint64_t rr_ = 0;
+    /** Per-member map: signature -> EWMA(observed/predicted). */
+    std::vector<std::unordered_map<uint64_t, double>> ratio_;
+};
+
+}  // namespace fleet
+}  // namespace sod2
+
+#endif  // SOD2_FLEET_ROUTER_H_

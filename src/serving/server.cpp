@@ -1,6 +1,7 @@
 #include "serving/server.h"
 
 #include <algorithm>
+#include <climits>
 #include <utility>
 
 #include "support/env.h"
@@ -436,6 +437,17 @@ Sod2Server::workerLoop(size_t index)
     while (worker.queue.pop(&first)) {
         worker.lastProgressUs.store(nowMicros(),
                                     std::memory_order_relaxed);
+        // Maintenance item (trimArenas): run the callback on this
+        // worker's pinned context — the only thread allowed to touch
+        // it — then resolve and go back to popping. Maintenance never
+        // entered the admission counters, so none are released here.
+        if (first.maintenance) {
+            first.maintenance(worker.ctx);
+            worker.arenaBytes.store(worker.ctx.arena().capacity(),
+                                    std::memory_order_relaxed);
+            first.promise.set_value(RunResult());
+            continue;
+        }
         // Continuous batching: grow the popped request into a batch of
         // compatible queued requests (bounded straggler wait inside).
         // A solo-quarantined leader skips coalescing entirely.
@@ -784,6 +796,13 @@ Sod2Server::workerLoop(size_t index)
                     static_cast<uint64_t>(bstats.padRows);
         }
 
+        // The arena mirror must be current BEFORE any future resolves:
+        // a caller that run()s synchronously and then reads
+        // residentArenaBytes() (the fleet's governor probe) must see
+        // the capacity this batch left behind.
+        worker.arenaBytes.store(worker.ctx.arena().capacity(),
+                                std::memory_order_relaxed);
+
         // Order matters for drain()'s guarantee: counters final, then
         // the promises resolve, then inflight drops — so a waiter
         // woken by inflight==0 sees every future ready and every count
@@ -813,6 +832,11 @@ Sod2Server::workerLoop(size_t index)
             }
             if (ok)
                 metric_completed_->add();
+            // Executed-request hook (fleet EWMA feed): outside mu_,
+            // before the future resolves, so an observer that queries
+            // this server back cannot deadlock on the stats lock.
+            if (options_.completionObserver)
+                options_.completionObserver(live[i].signature, result);
             live[i].promise.set_value(std::move(result));
         }
         {
@@ -908,6 +932,13 @@ Sod2Server::swapEngine(const Sod2Engine* next, const SwapOptions& opts)
                     // Queue closed by a concurrent shutdown: fall
                     // through to the typed shed below.
                 }
+                if (p.maintenance) {
+                    // Maintenance never entered admission accounting;
+                    // just resolve it typed (trimArenas unblocks).
+                    failPending(p, ErrorCode::kShutdown,
+                                "maintenance superseded by shutdown");
+                    continue;
+                }
                 {
                     std::lock_guard<std::mutex> lock(mu_);
                     --queued_count_;
@@ -970,19 +1001,26 @@ Sod2Server::shutdown(bool drain_pending)
             std::deque<Pending> dropped = w->queue.drainNow();
             if (dropped.empty())
                 continue;
+            // Maintenance items (trimArenas) never entered admission
+            // accounting — releasing budget for them would underflow
+            // the counters; they only need their promise resolved.
+            size_t requests = 0;
             {
                 std::lock_guard<std::mutex> lock(mu_);
-                queued_count_ -= dropped.size();
-                counts_.discarded += dropped.size();
                 for (const Pending& p : dropped) {
+                    if (p.maintenance)
+                        continue;
+                    ++requests;
                     queued_bytes_ -= p.bytes;
                     releaseEpochLocked(p.epoch);
                 }
+                queued_count_ -= requests;
+                counts_.discarded += requests;
             }
-            metric_queue_depth_->add(
-                -static_cast<int64_t>(dropped.size()));
+            metric_queue_depth_->add(-static_cast<int64_t>(requests));
             for (Pending& p : dropped) {
-                metric_shed_->add();
+                if (!p.maintenance)
+                    metric_shed_->add();
                 failPending(p, ErrorCode::kShutdown,
                             "request discarded by server shutdown");
             }
@@ -1014,19 +1052,24 @@ Sod2Server::shutdown(bool drain_pending)
         std::deque<Pending> leftovers = w->queue.drainNow();
         if (leftovers.empty())
             continue;
+        // Same maintenance partition as the non-draining sweep above.
+        size_t requests = 0;
         {
             std::lock_guard<std::mutex> lock(mu_);
-            queued_count_ -= leftovers.size();
-            counts_.discarded += leftovers.size();
             for (const Pending& p : leftovers) {
+                if (p.maintenance)
+                    continue;
+                ++requests;
                 queued_bytes_ -= p.bytes;
                 releaseEpochLocked(p.epoch);
             }
+            queued_count_ -= requests;
+            counts_.discarded += requests;
         }
-        metric_queue_depth_->add(
-            -static_cast<int64_t>(leftovers.size()));
+        metric_queue_depth_->add(-static_cast<int64_t>(requests));
         for (Pending& p : leftovers) {
-            metric_shed_->add();
+            if (!p.maintenance)
+                metric_shed_->add();
             failPending(p, ErrorCode::kShutdown,
                         "request discarded by server shutdown");
         }
@@ -1053,6 +1096,67 @@ Sod2Server::stats() const
     s.queueDepth = queued_count_;
     s.inflight = inflight_;
     return s;
+}
+
+size_t
+Sod2Server::residentArenaBytes() const
+{
+    size_t total = 0;
+    for (const auto& w : workers_)
+        total += w->arenaBytes.load(std::memory_order_relaxed);
+    return total;
+}
+
+size_t
+Sod2Server::trimArenas(
+    const std::function<void(const RunContext&)>& after)
+{
+    // Snapshot the lifecycle under mu_; trimming takes the inline path
+    // whenever no worker thread could be running (paused or stopped),
+    // because a parked queue has no consumer to execute a maintenance
+    // item and a stopped one is closed to pushes.
+    bool inline_trim = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        inline_trim = !started_ || stopped_;
+    }
+    if (inline_trim) {
+        for (auto& w : workers_) {
+            w->ctx.trimArena();
+            w->arenaBytes.store(0, std::memory_order_relaxed);
+            if (after)
+                after(w->ctx);
+        }
+        return workers_.size();
+    }
+
+    // Running server: one maximum-priority maintenance item per
+    // worker, executed on the worker's own thread so the trim can
+    // never race an in-flight run on the pinned context. The epoch
+    // sentinel UINT64_MAX is outside every admission epoch, so the
+    // epoch ledger and hard-cutover re-push logic both pass it
+    // through untouched.
+    std::vector<std::future<RunResult>> done;
+    done.reserve(workers_.size());
+    size_t trimmed = 0;
+    for (auto& w : workers_) {
+        Pending p;
+        p.maintenance = [after](RunContext& ctx) {
+            ctx.trimArena();
+            if (after)
+                after(ctx);
+        };
+        p.priority = INT_MAX;
+        p.epoch = UINT64_MAX;
+        std::future<RunResult> f = p.promise.get_future();
+        if (!w->queue.push(std::move(p)))
+            continue;  // raced with shutdown; that worker keeps its arena
+        done.push_back(std::move(f));
+        ++trimmed;
+    }
+    for (auto& f : done)
+        f.wait();
+    return trimmed;
 }
 
 ServerHealth
@@ -1090,6 +1194,7 @@ Sod2Server::health() const
         if (wh.busy && deadline > 0 && now_us > deadline)
             wh.deadlineOverrunSeconds =
                 static_cast<double>(now_us - deadline) / 1e6;
+        wh.arenaBytes = w.arenaBytes.load(std::memory_order_relaxed);
         any_stuck = any_stuck || wh.stuck;
         h.workers.push_back(wh);
     }

@@ -35,6 +35,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -171,6 +172,17 @@ struct ServerOptions
     /** Grace past a run's effective deadline before the watchdog
      *  declares the worker stuck. */
     double watchdogGraceSeconds = 0.25;
+    /**
+     * Called once per resolved *executed* request, with the request's
+     * shape signature and its final RunResult, from the worker thread
+     * right before the future resolves (shed paths — QueueFull,
+     * in-queue expiry, shutdown discards — are not executions and are
+     * not observed). The fleet router hooks this to feed its
+     * observed-vs-predicted latency EWMA. Must be thread-safe and
+     * cheap; it runs on the serving hot path.
+     */
+    std::function<void(uint64_t signature, const RunResult& result)>
+        completionObserver;
 };
 
 /** Knobs of one blue/green engine swap (swapEngine). */
@@ -273,6 +285,8 @@ struct WorkerHealth
     /** Seconds past the current run's effective deadline (0 when idle,
      *  deadline-less, or not yet overdue). */
     double deadlineOverrunSeconds = 0.0;
+    /** This worker's arena capacity after its last batch (bytes). */
+    size_t arenaBytes = 0;
 };
 
 /** One consistent health/readiness snapshot (Sod2Server::health()). */
@@ -380,6 +394,30 @@ class Sod2Server
      *  also pins the assignment, exactly like a dispatch would). */
     size_t workerFor(uint64_t signature);
 
+    /**
+     * Sum of every worker arena's capacity, in bytes, as of each
+     * worker's last completed batch (a lock-free mirror — a run in
+     * flight may have grown its arena already). The fleet governor's
+     * per-member residency signal.
+     */
+    size_t residentArenaBytes() const;
+
+    /**
+     * Drops every worker arena's backing buffer (capacity -> 0); the
+     * next run on each worker re-reserves exactly what its plan needs.
+     * On a running server this enqueues one highest-priority
+     * maintenance item per worker and blocks until each has executed
+     * on its own thread — never racing an in-flight run; on a paused
+     * or stopped server the arenas are trimmed inline. @p after, when
+     * set, runs on the worker thread right after each trim (the fleet
+     * governor reconciles its ledger there). Returns the number of
+     * worker arenas trimmed. Safe to call concurrently with serving;
+     * an admission-closed server still trims (trim is maintenance,
+     * not a request).
+     */
+    size_t trimArenas(
+        const std::function<void(const RunContext&)>& after = {});
+
   private:
     struct Worker
     {
@@ -394,6 +432,9 @@ class Sod2Server
         std::atomic<bool> stuck{false};
         std::atomic<int64_t> busyDeadlineUs{0};
         std::atomic<int64_t> lastProgressUs{0};
+        /** Arena capacity after the last batch/trim on this worker
+         *  (relaxed mirror for residentArenaBytes()/health()). */
+        std::atomic<size_t> arenaBytes{0};
     };
 
     void workerLoop(size_t index);

@@ -213,6 +213,49 @@ watchdogMillis()
     return value;
 }
 
+size_t
+fleetBudgetBytes()
+{
+    static const size_t value =
+        static_cast<size_t>(readPositiveInt64("SOD2_FLEET_BUDGET", 0));
+    return value;
+}
+
+const std::string&
+fleetRouting()
+{
+    static const std::string value = readString("SOD2_FLEET_ROUTING");
+    return value;
+}
+
+int
+benchSamples()
+{
+    static const int value = readPositiveInt("SOD2_BENCH_SAMPLES", 0);
+    return value;
+}
+
+int
+benchRuns()
+{
+    static const int value = readPositiveInt("SOD2_BENCH_RUNS", 0);
+    return value;
+}
+
+int
+benchRequests()
+{
+    static const int value = readPositiveInt("SOD2_BENCH_REQUESTS", 0);
+    return value;
+}
+
+int
+soakRounds()
+{
+    static const int value = readPositiveInt("SOD2_SOAK_ROUNDS", 0);
+    return value;
+}
+
 bool
 traceEnabled()
 {

@@ -194,6 +194,55 @@ bool snapshotEnabled();
  */
 const std::string& snapshotDir();
 
+/**
+ * SOD2_FLEET_BUDGET — global arena budget, in bytes, shared by every
+ * member of a Sod2Fleet whose FleetOptions leaves
+ * globalArenaBudgetBytes at 0 (DESIGN.md §16). The MemoryGovernor
+ * denies any arena grow that would push the fleet-wide committed total
+ * past this. 0 (unset) means unlimited. Cached at first query, once
+ * per process.
+ */
+size_t fleetBudgetBytes();
+
+/**
+ * SOD2_FLEET_ROUTING — routing mode of a Sod2Fleet whose FleetOptions
+ * leaves routing empty: "cost" (default; cost-model-predicted latency
+ * with EWMA correction and queue-depth tie-breaking) or "round_robin".
+ * Empty when unset. Cached at first query, once per process.
+ */
+const std::string& fleetRouting();
+
+/**
+ * SOD2_BENCH_SAMPLES — per-point sample count of the bench harness's
+ * latency sweeps (bench/harness.h). Returns 0 when unset (the harness
+ * then uses its built-in default). Cached at first query, once per
+ * process.
+ */
+int benchSamples();
+
+/**
+ * SOD2_BENCH_RUNS — iteration count of the steady-state plan-cache
+ * bench (bench/steady_state_cache). Returns 0 when unset (the bench
+ * then uses its built-in default). Cached at first query, once per
+ * process.
+ */
+int benchRuns();
+
+/**
+ * SOD2_BENCH_REQUESTS — request count per scenario of the serving
+ * benches (bench/concurrent_serving, bench/serving_load). Returns 0
+ * when unset (each bench then uses its built-in default). Cached at
+ * first query, once per process.
+ */
+int benchRequests();
+
+/**
+ * SOD2_SOAK_ROUNDS — round count of the fault-injection soak
+ * (bench/fault_soak). Returns 0 when unset (the soak then uses its
+ * built-in default). Cached at first query, once per process.
+ */
+int soakRounds();
+
 /** Uncached low-level parse: true iff @p name is set to exactly "1". */
 bool readFlag(const char* name);
 

@@ -127,11 +127,11 @@ TEST_F(FaultInjectionTest, DefaultErrorCodeIsInternal)
 TEST_F(FaultInjectionTest, CatalogListsEverySite)
 {
     const std::vector<std::string>& sites = fault::knownSites();
-    ASSERT_EQ(sites.size(), 5u);
+    ASSERT_EQ(sites.size(), 6u);
     for (const char* site :
          {fault::kArenaAlloc, fault::kPlanInstantiate,
           fault::kKernelDispatch, fault::kCacheInsert,
-          fault::kSpecializeCompile})
+          fault::kSpecializeCompile, fault::kFleetRoute})
         EXPECT_NE(std::find(sites.begin(), sites.end(), site),
                   sites.end())
             << site;
@@ -364,6 +364,10 @@ TEST_P(FaultSiteTest, TypedErrorThenBitExactContextReuse)
         GTEST_SKIP() << "background-compile site: by contract it never "
                         "fails a serving request (specialization_test "
                         "covers its tier-0-keeps-serving semantics)";
+    if (site == fault::kFleetRoute)
+        GTEST_SKIP() << "fleet-router site: fires in Sod2Fleet::submit, "
+                        "never inside an engine run (fleet_test covers "
+                        "its failover semantics)";
     TestModel m = TestModel::cnn();
     Sod2Options opts;
     opts.rdp = m.rdp;
@@ -404,6 +408,10 @@ TEST_P(FaultSiteTest, FallbackServesFaultedRequest)
     if (site == fault::kSpecializeCompile)
         GTEST_SKIP() << "background-compile site: no serving request "
                         "fails, so there is nothing to fall back from";
+    if (site == fault::kFleetRoute)
+        GTEST_SKIP() << "fleet-router site: an engine run never passes "
+                        "through it, so there is nothing to fall back "
+                        "from";
     TestModel m = TestModel::cnn();
     Sod2Options opts;
     opts.rdp = m.rdp;
@@ -465,6 +473,9 @@ TEST_P(FaultStormTest, OneTypedFailureZeroCorruptionUnderEightThreads)
         GTEST_SKIP() << "background-compile site: serving requests "
                         "never consume it (specialization_test storms "
                         "the specializer instead)";
+    if (site == fault::kFleetRoute)
+        GTEST_SKIP() << "fleet-router site: engine runs never consume "
+                        "it (fleet_test storms the router instead)";
     TestModel m = TestModel::cnn();
     Sod2Options opts;
     opts.rdp = m.rdp;

@@ -1,0 +1,708 @@
+/** Multi-engine fleet tests (ctest label: fleet; DESIGN.md §16):
+ *  the shared cost-prediction path (CostMeter::predictRunMicros),
+ *  cost-model routing across device-profile members and its online
+ *  EWMA misprediction correction, round-robin rotation, the
+ *  MemoryGovernor's hard-budget admission + pessimistic-commit ledger,
+ *  cross-engine trim pressure (one member's burst reclaims an idle
+ *  member's arena, bit-exact afterwards), the fleet.route fault site's
+ *  typed failover, all-members-exhausted typed shedding (CircuitOpen /
+ *  QueueFull), blue/green member swap mid-stream, and an 8-thread
+ *  multi-model storm under a global budget.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/fleet.h"
+#include "graph/builder.h"
+#include "kernels/device_profile.h"
+#include "support/fault_injection.h"
+#include "support/rng.h"
+#include "support/status.h"
+
+namespace sod2 {
+namespace {
+
+using fleet::FleetHealth;
+using fleet::FleetMemberSpec;
+using fleet::FleetOptions;
+using fleet::FleetRouter;
+using fleet::MemoryGovernor;
+using fleet::RoutingMode;
+using fleet::Sod2Fleet;
+using serving::Request;
+
+/** Small dynamic CNN (symbolic n/h/w): conv -> relu -> pool -> gap ->
+ *  reshape -> matmul -> gelu. Weight seed parameterized so two
+ *  "different models" are structurally equal but numerically distinct. */
+struct TestModel
+{
+    Graph graph;
+    RdpOptions rdp;
+
+    static TestModel
+    cnn(uint64_t seed = 41)
+    {
+        TestModel m;
+        GraphBuilder b(&m.graph);
+        Rng rng(seed);
+        ValueId x = b.input("x");
+        ValueId w1 = b.weight("w1", {8, 3, 3, 3}, rng);
+        ValueId c1 = b.relu(b.conv2d(x, w1, -1, 2, 1));
+        ValueId p1 = b.maxPool(c1, 2, 2);
+        ValueId gap = b.globalAvgPool(p1);
+        ValueId flat = b.reshape(gap, {0, -1});
+        ValueId w2 = b.weight("w2", {8, 4}, rng);
+        b.output(b.gelu(b.matmul(flat, w2)));
+
+        m.rdp.inputShapes["x"] = ShapeInfo::ranked(
+            {DimValue::symbol("n"), DimValue::known(3),
+             DimValue::symbol("h"), DimValue::symbol("w")});
+        return m;
+    }
+};
+
+Tensor
+cnnInput(int64_t n, int64_t h, int64_t w, uint64_t seed)
+{
+    Rng rng(seed);
+    return Tensor::randomUniform(Shape({n, 3, h, w}), rng);
+}
+
+std::vector<std::vector<uint8_t>>
+snapshot(const std::vector<Tensor>& outputs)
+{
+    std::vector<std::vector<uint8_t>> bytes;
+    bytes.reserve(outputs.size());
+    for (const Tensor& t : outputs) {
+        const uint8_t* p = static_cast<const uint8_t*>(t.raw());
+        bytes.emplace_back(p, p + t.byteSize());
+    }
+    return bytes;
+}
+
+/** mobileCpu with the cost meter reporting (simulated), so service
+ *  time on both members is cost-model time. */
+DeviceProfile
+simCpu()
+{
+    DeviceProfile p = DeviceProfile::mobileCpu();
+    p.name = "sim-" + p.name;
+    p.simulated = true;
+    return p;
+}
+
+Sod2Options
+engineOptions(const TestModel& m, const DeviceProfile& device)
+{
+    Sod2Options opts;
+    opts.rdp = m.rdp;
+    opts.device = device;
+    return opts;
+}
+
+/** Two members ("m-cpu", "m-gpu") serving @p model over pre-built
+ *  engines. */
+std::vector<FleetMemberSpec>
+cpuGpuSpecs(const std::string& model, const Sod2Engine* cpu,
+            const Sod2Engine* gpu, int workers = 1)
+{
+    std::vector<FleetMemberSpec> specs(2);
+    specs[0].name = model + "-cpu";
+    specs[0].model = model;
+    specs[0].engine = cpu;
+    specs[1].name = model + "-gpu";
+    specs[1].model = model;
+    specs[1].engine = gpu;
+    for (auto& s : specs)
+        s.serverOptions.workers = workers;
+    return specs;
+}
+
+class FleetTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { fault::disarm(); }
+};
+
+// --- shared prediction path (CostMeter::predictRunMicros) ---------------
+
+TEST_F(FleetTest, PredictRunMicrosPositiveAndMonotone)
+{
+    TestModel m = TestModel::cnn();
+    Sod2Engine cpu(&m.graph, engineOptions(m, simCpu()));
+    Sod2Engine gpu(&m.graph,
+                   engineOptions(m, DeviceProfile::mobileGpu()));
+
+    std::vector<Tensor> small = {cnnInput(1, 8, 8, 1)};
+    std::vector<Tensor> large = {cnnInput(8, 96, 96, 2)};
+    std::vector<int64_t> vsmall, vlarge;
+    cpu.signatureFor(small, &vsmall);
+    cpu.signatureFor(large, &vlarge);
+
+    double cpu_small = CostMeter::predictRunMicros(cpu, vsmall);
+    double cpu_large = CostMeter::predictRunMicros(cpu, vlarge);
+    double gpu_small = CostMeter::predictRunMicros(gpu, vsmall);
+    double gpu_large = CostMeter::predictRunMicros(gpu, vlarge);
+
+    EXPECT_GT(cpu_small, 0.0);
+    EXPECT_GT(gpu_small, 0.0);
+    EXPECT_GT(cpu_large, cpu_small);  // more work costs more
+    EXPECT_GT(gpu_large, gpu_small);
+    // The portability crossover the router exists for: launch overhead
+    // dominates small inputs (CPU wins), flops dominate large (GPU).
+    EXPECT_LT(cpu_small, gpu_small);
+    EXPECT_GT(cpu_large, gpu_large);
+}
+
+// --- routing ------------------------------------------------------------
+
+TEST_F(FleetTest, RoutesByCostModelAcrossTheCrossover)
+{
+    TestModel m = TestModel::cnn();
+    Sod2Engine cpu(&m.graph, engineOptions(m, simCpu()));
+    Sod2Engine gpu(&m.graph,
+                   engineOptions(m, DeviceProfile::mobileGpu()));
+    FleetOptions fopts;
+    fopts.governorIntervalMillis = 0;
+    Sod2Fleet fleet(cpuGpuSpecs("cnn", &cpu, &gpu), fopts);
+
+    std::vector<Tensor> small = {cnnInput(1, 8, 8, 1)};
+    std::vector<Tensor> large = {cnnInput(8, 96, 96, 2)};
+    EXPECT_EQ(fleet.routePreview("cnn", small), 0);  // cpu member
+    EXPECT_EQ(fleet.routePreview("cnn", large), 1);  // gpu member
+    EXPECT_EQ(fleet.routePreview("nope", small), -1);
+
+    // The routed run is bit-exact vs a direct run on that member.
+    for (const auto& inputs : {small, large}) {
+        int member = fleet.routePreview("cnn", inputs);
+        ASSERT_GE(member, 0);
+        RunContext ref;
+        auto want = snapshot(
+            fleet.memberEngine(static_cast<size_t>(member))
+                .run(ref, inputs));
+        Request req;
+        req.inputs = inputs;
+        RunResult r = fleet.run("cnn", std::move(req));
+        ASSERT_TRUE(r.ok()) << r.message;
+        EXPECT_EQ(snapshot(r.outputs), want);
+    }
+    FleetHealth h = fleet.health();
+    EXPECT_TRUE(h.ready);
+    EXPECT_EQ(h.routed, 2u);
+    EXPECT_EQ(h.members[0].routed + h.members[1].routed, 2u);
+}
+
+TEST_F(FleetTest, EwmaCorrectionFlipsAMispredictedRoute)
+{
+    TestModel m = TestModel::cnn();
+    Sod2Engine cpu(&m.graph, engineOptions(m, simCpu()));
+    Sod2Engine gpu(&m.graph,
+                   engineOptions(m, DeviceProfile::mobileGpu()));
+    FleetOptions fopts;
+    fopts.governorIntervalMillis = 0;
+    Sod2Fleet fleet(cpuGpuSpecs("cnn", &cpu, &gpu), fopts);
+
+    std::vector<Tensor> small = {cnnInput(1, 8, 8, 1)};
+    std::vector<int64_t> values;
+    uint64_t sig = cpu.signatureFor(small, &values);
+    ASSERT_EQ(fleet.routePreview("cnn", small), 0);
+
+    // Pretend the cpu member consistently runs 1000x worse than its
+    // cost model claims; after a few observations the correction must
+    // outweigh the analytic prediction and flip the route.
+    double predicted = CostMeter::predictRunMicros(cpu, values);
+    for (int i = 0; i < 30; ++i)
+        fleet.router().observe(0, sig, predicted, predicted * 1000.0);
+    EXPECT_GT(fleet.router().correction(0, sig), 1.0);
+    EXPECT_EQ(fleet.routePreview("cnn", small), 1);
+
+    // Matching reality again decays the correction back toward 1.
+    for (int i = 0; i < 60; ++i)
+        fleet.router().observe(0, sig, predicted, predicted);
+    EXPECT_EQ(fleet.routePreview("cnn", small), 0);
+}
+
+TEST_F(FleetTest, RoundRobinRotatesAndCostModeSortsStable)
+{
+    FleetRouter rr(3, RoutingMode::kRoundRobin, 0.3);
+    std::vector<size_t> eligible = {4, 7, 9};
+    std::vector<double> us = {10.0, 10.0, 10.0};
+    std::vector<size_t> depth = {0, 0, 0};
+    EXPECT_EQ(rr.rank(eligible, us, depth, 1).front(), 4u);
+    EXPECT_EQ(rr.rank(eligible, us, depth, 1).front(), 7u);
+    EXPECT_EQ(rr.rank(eligible, us, depth, 1).front(), 9u);
+    EXPECT_EQ(rr.rank(eligible, us, depth, 1).front(), 4u);
+
+    FleetRouter cost(3, RoutingMode::kCost, 0.3);
+    std::vector<double> us2 = {30.0, 10.0, 20.0};
+    std::vector<size_t> ranked = cost.rank(eligible, us2, depth, 1);
+    EXPECT_EQ(ranked, (std::vector<size_t>{7, 9, 4}));
+    // Queue depth breaks ties: a loaded cheap member loses to an idle
+    // slightly-pricier one.
+    std::vector<size_t> depth2 = {0, 3, 0};
+    EXPECT_EQ(cost.rank(eligible, us2, depth2, 1).front(), 9u);
+}
+
+// --- memory governor ----------------------------------------------------
+
+TEST_F(FleetTest, GovernorLedgerPessimisticCommitAndReconcile)
+{
+    MemoryGovernor gov(1000, 2);
+    int slot_a = 0, slot_b = 0;  // addresses are the ledger keys
+
+    EXPECT_TRUE(gov.admitArenaGrow(&slot_a, 0, 600));
+    // Pessimistic commit: b sees a's reservation before a's arena
+    // actually grew.
+    EXPECT_FALSE(gov.admitArenaGrow(&slot_b, 0, 600));
+    EXPECT_TRUE(gov.pressureAndClear());
+    EXPECT_FALSE(gov.pressureAndClear());
+    EXPECT_TRUE(gov.admitArenaGrow(&slot_b, 0, 400));
+
+    // Same-slot re-admission under the reservation is free.
+    EXPECT_TRUE(gov.admitArenaGrow(&slot_a, 0, 500));
+    EXPECT_EQ(gov.stats().committedBytes, 1000u);
+    EXPECT_EQ(gov.stats().peakCommittedBytes, 1000u);
+
+    // Reconcile down (trim / failed grow) releases budget; reconcile
+    // to zero erases the slot.
+    gov.noteArenaCapacity(&slot_a, 200);
+    EXPECT_EQ(gov.stats().committedBytes, 600u);
+    gov.noteArenaCapacity(&slot_b, 0);
+    EXPECT_EQ(gov.stats().committedBytes, 200u);
+    EXPECT_TRUE(gov.admitArenaGrow(&slot_b, 0, 800));
+    EXPECT_EQ(gov.stats().peakCommittedBytes, 1000u);
+    EXPECT_EQ(gov.stats().denials, 1u);
+}
+
+TEST_F(FleetTest, GovernorHardBudgetShedsTyped)
+{
+    TestModel m = TestModel::cnn();
+    Sod2Engine cpu(&m.graph, engineOptions(m, simCpu()));
+    Sod2Engine gpu(&m.graph,
+                   engineOptions(m, DeviceProfile::mobileGpu()));
+    FleetOptions fopts;
+    fopts.globalArenaBudgetBytes = 1024;  // nothing real fits
+    fopts.governorIntervalMillis = 0;
+    Sod2Fleet fleet(cpuGpuSpecs("cnn", &cpu, &gpu), fopts);
+
+    Request req;
+    req.inputs = {cnnInput(2, 32, 32, 3)};
+    RunResult r = fleet.run("cnn", std::move(req));
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.code, ErrorCode::kArenaExhausted);
+    EXPECT_FALSE(r.message.empty());
+
+    fleet::GovernorStats g = fleet.governor().stats();
+    EXPECT_GE(g.denials, 1u);
+    EXPECT_LE(g.peakCommittedBytes, 1024u);
+
+    // With fallback the same request degrades instead of failing.
+    Request fb;
+    fb.inputs = {cnnInput(2, 32, 32, 3)};
+    fb.fallbackOnError = true;
+    RunResult r2 = fleet.run("cnn", std::move(fb));
+    ASSERT_TRUE(r2.ok()) << r2.message;
+    EXPECT_TRUE(r2.fellBack);
+}
+
+TEST_F(FleetTest, CrossEngineTrimPressureBitExact)
+{
+    TestModel m = TestModel::cnn();
+    Sod2Engine cpu(&m.graph, engineOptions(m, simCpu()));
+    Sod2Engine gpu(&m.graph,
+                   engineOptions(m, DeviceProfile::mobileGpu()));
+    std::vector<Tensor> big = {cnnInput(4, 48, 48, 5)};
+
+    // Per-member references before any budget pressure exists.
+    RunContext rc0, rc1;
+    auto want0 = snapshot(cpu.run(rc0, big));
+    auto want1 = snapshot(gpu.run(rc1, big));
+
+    // Probe each member's arena need, then budget so one fits and two
+    // do not.
+    size_t need = 0;
+    {
+        FleetOptions fopts;
+        fopts.governorIntervalMillis = 0;
+        Sod2Fleet probe(cpuGpuSpecs("cnn", &cpu, &gpu), fopts);
+        for (size_t i = 0; i < 2; ++i) {
+            Request req;
+            req.inputs = big;
+            ASSERT_TRUE(probe.memberServer(i).run(std::move(req)).ok());
+            size_t res = probe.memberServer(i).residentArenaBytes();
+            need = res > need ? res : need;
+        }
+    }
+    ASSERT_GT(need, 0u);
+
+    FleetOptions fopts;
+    fopts.globalArenaBudgetBytes = need + need / 2;
+    fopts.governorIntervalMillis = 0;
+    Sod2Fleet fleet(cpuGpuSpecs("cnn", &cpu, &gpu), fopts);
+
+    // Member 0's burst takes the bytes.
+    for (int i = 0; i < 3; ++i) {
+        Request req;
+        req.inputs = big;
+        RunResult r = fleet.memberServer(0).run(std::move(req));
+        ASSERT_TRUE(r.ok()) << r.message;
+        EXPECT_EQ(snapshot(r.outputs), want0);
+    }
+    EXPECT_GE(fleet.memberServer(0).residentArenaBytes(), need);
+
+    // Member 1's run is denied (budget held by member 0) and degrades.
+    Request denied;
+    denied.inputs = big;
+    denied.fallbackOnError = true;
+    RunResult r1 = fleet.memberServer(1).run(std::move(denied));
+    ASSERT_TRUE(r1.ok()) << r1.message;
+    EXPECT_TRUE(r1.fellBack);
+    EXPECT_EQ(snapshot(r1.outputs), want1);  // fallback is bit-exact too
+
+    // The tick converts member 0's standing bytes back into budget:
+    // its (idle) arena is trimmed to zero — below any high-water mark.
+    fleet.memberServer(0).drain();
+    fleet.memberServer(1).drain();
+    fleet.governorTick();
+    EXPECT_EQ(fleet.memberServer(0).residentArenaBytes(), 0u);
+
+    // Now member 1 runs natively and bit-exact.
+    Request native;
+    native.inputs = big;
+    RunResult r2 = fleet.memberServer(1).run(std::move(native));
+    ASSERT_TRUE(r2.ok()) << r2.message;
+    EXPECT_FALSE(r2.fellBack);
+    EXPECT_EQ(snapshot(r2.outputs), want1);
+
+    // And member 0 regrows after the next tick trims member 1 — the
+    // bytes flow both ways, bit-exact both ways.
+    fleet.memberServer(0).drain();
+    fleet.memberServer(1).drain();
+    fleet.governorTick();
+    Request back;
+    back.inputs = big;
+    RunResult r3 = fleet.memberServer(0).run(std::move(back));
+    ASSERT_TRUE(r3.ok()) << r3.message;
+    EXPECT_FALSE(r3.fellBack);
+    EXPECT_EQ(snapshot(r3.outputs), want0);
+
+    EXPECT_LE(fleet.governor().stats().peakCommittedBytes,
+              need + need / 2);
+}
+
+// --- failover / typed shedding ------------------------------------------
+
+TEST_F(FleetTest, FleetRouteFaultFailsOverWithoutDroppingTheRequest)
+{
+    TestModel m = TestModel::cnn();
+    Sod2Engine cpu(&m.graph, engineOptions(m, simCpu()));
+    Sod2Engine gpu(&m.graph,
+                   engineOptions(m, DeviceProfile::mobileGpu()));
+    FleetOptions fopts;
+    fopts.governorIntervalMillis = 0;
+    Sod2Fleet fleet(cpuGpuSpecs("cnn", &cpu, &gpu), fopts);
+
+    std::vector<Tensor> small = {cnnInput(1, 8, 8, 1)};
+    ASSERT_EQ(fleet.routePreview("cnn", small), 0);
+    RunContext ref;
+    auto want_gpu = snapshot(gpu.run(ref, small));
+
+    // The best member is fault-injected dead at routing time: the
+    // request must land on the next-best member, typed-failure-free.
+    fault::arm(fault::kFleetRoute, 1);
+    Request req;
+    req.inputs = small;
+    RunResult r = fleet.run("cnn", std::move(req));
+    ASSERT_TRUE(r.ok()) << r.message;
+    EXPECT_EQ(snapshot(r.outputs), want_gpu);
+
+    FleetHealth h = fleet.health();
+    EXPECT_EQ(h.failovers, 1u);
+    EXPECT_EQ(h.members[0].failovers, 1u);
+    EXPECT_EQ(h.members[0].routed, 0u);
+    EXPECT_EQ(h.members[1].routed, 1u);
+    EXPECT_EQ(h.shed, 0u);
+}
+
+TEST_F(FleetTest, AllBreakersOpenShedsTypedCircuitOpen)
+{
+    TestModel m = TestModel::cnn();
+    Sod2Engine cpu(&m.graph, engineOptions(m, simCpu()));
+    Sod2Engine gpu(&m.graph,
+                   engineOptions(m, DeviceProfile::mobileGpu()));
+    std::vector<FleetMemberSpec> specs =
+        cpuGpuSpecs("cnn", &cpu, &gpu);
+    for (auto& s : specs) {
+        s.serverOptions.breaker.threshold = 1;
+        s.serverOptions.breaker.cooldownMillis = 60000;
+        s.serverOptions.breaker.probesToClose = 1;
+    }
+    FleetOptions fopts;
+    fopts.governorIntervalMillis = 0;
+    Sod2Fleet fleet(std::move(specs), fopts);
+
+    std::vector<Tensor> small = {cnnInput(1, 8, 8, 1)};
+    fault::armEvery(fault::kKernelDispatch, 1);
+
+    // First request executes on the best member and fails, tripping
+    // its breaker (async failures do NOT fail over — admission never
+    // migrates a request that already ran).
+    Request r1q;
+    r1q.inputs = small;
+    RunResult r1 = fleet.run("cnn", std::move(r1q));
+    EXPECT_FALSE(r1.ok());
+    EXPECT_EQ(r1.code, ErrorCode::kKernelFailure);
+
+    // Second request: member 0's breaker sheds synchronously, the
+    // fleet fails over, member 1 executes and fails, tripping its
+    // breaker too.
+    Request r2q;
+    r2q.inputs = small;
+    RunResult r2 = fleet.run("cnn", std::move(r2q));
+    EXPECT_FALSE(r2.ok());
+    EXPECT_EQ(r2.code, ErrorCode::kKernelFailure);
+    EXPECT_EQ(fleet.health().failovers, 1u);
+
+    // Third request: every eligible member's breaker is open — the
+    // fleet sheds typed CircuitOpen without executing anything.
+    Request r3q;
+    r3q.inputs = small;
+    RunResult r3 = fleet.run("cnn", std::move(r3q));
+    EXPECT_FALSE(r3.ok());
+    EXPECT_EQ(r3.code, ErrorCode::kCircuitOpen);
+    EXPECT_FALSE(r3.message.empty());
+    EXPECT_EQ(fleet.health().shed, 1u);
+}
+
+TEST_F(FleetTest, QueueFullFailsOverThenShedsTyped)
+{
+    TestModel m = TestModel::cnn();
+    Sod2Engine cpu(&m.graph, engineOptions(m, simCpu()));
+    Sod2Engine gpu(&m.graph,
+                   engineOptions(m, DeviceProfile::mobileGpu()));
+    std::vector<FleetMemberSpec> specs =
+        cpuGpuSpecs("cnn", &cpu, &gpu);
+    for (auto& s : specs) {
+        s.serverOptions.startPaused = true;  // queues fill, nothing runs
+        s.serverOptions.queueDepth = 1;
+    }
+    FleetOptions fopts;
+    fopts.governorIntervalMillis = 0;
+    Sod2Fleet fleet(std::move(specs), fopts);
+
+    std::vector<Tensor> small = {cnnInput(1, 8, 8, 1)};
+    auto mkreq = [&] {
+        Request req;
+        req.inputs = small;
+        return req;
+    };
+    // Two admissions fill both members (queue-depth tie-breaking
+    // spreads the second to the other member); the third exhausts the
+    // fleet and sheds typed QueueFull.
+    std::future<RunResult> f1 = fleet.submit("cnn", mkreq());
+    std::future<RunResult> f2 = fleet.submit("cnn", mkreq());
+    RunResult r3 = fleet.run("cnn", mkreq());
+    EXPECT_FALSE(r3.ok());
+    EXPECT_EQ(r3.code, ErrorCode::kQueueFull);
+    EXPECT_EQ(fleet.health().shed, 1u);
+
+    fleet.memberServer(0).start();
+    fleet.memberServer(1).start();
+    RunResult r1 = f1.get();
+    RunResult r2 = f2.get();
+    ASSERT_TRUE(r1.ok()) << r1.message;
+    ASSERT_TRUE(r2.ok()) << r2.message;
+}
+
+// --- lifecycle ----------------------------------------------------------
+
+TEST_F(FleetTest, SwapMemberMidStreamStaysBitExact)
+{
+    TestModel m = TestModel::cnn();
+    Sod2Engine cpu(&m.graph, engineOptions(m, simCpu()));
+    Sod2Engine gpu(&m.graph,
+                   engineOptions(m, DeviceProfile::mobileGpu()));
+    // The replacement engine: same graph and profile, so outputs stay
+    // bit-identical across the swap.
+    Sod2Engine next(&m.graph, engineOptions(m, simCpu()));
+
+    FleetOptions fopts;
+    fopts.governorIntervalMillis = 0;
+    Sod2Fleet fleet(cpuGpuSpecs("cnn", &cpu, &gpu, /*workers=*/2),
+                    fopts);
+
+    std::vector<Tensor> small = {cnnInput(1, 8, 8, 1)};
+    RunContext ref;
+    auto want = snapshot(cpu.run(ref, small));
+
+    std::atomic<bool> stop{false};
+    std::atomic<int> bad{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&] {
+            while (!stop.load(std::memory_order_acquire)) {
+                Request req;
+                req.inputs = small;
+                RunResult r =
+                    fleet.memberServer(0).run(std::move(req));
+                if (!r.ok() || snapshot(r.outputs) != want)
+                    ++bad;
+            }
+        });
+    }
+    EXPECT_TRUE(fleet.swapMember("cnn-cpu", &next));
+    EXPECT_FALSE(fleet.swapMember("no-such-member", &next));
+    stop.store(true, std::memory_order_release);
+    for (auto& t : threads)
+        t.join();
+
+    EXPECT_EQ(bad.load(), 0);
+    EXPECT_EQ(&fleet.memberEngine(0), &next);
+    // Routing still works against the swapped engine.
+    Request req;
+    req.inputs = small;
+    RunResult r = fleet.run("cnn", std::move(req));
+    ASSERT_TRUE(r.ok()) << r.message;
+    EXPECT_EQ(snapshot(r.outputs), want);
+}
+
+// --- concurrency --------------------------------------------------------
+
+TEST_F(FleetTest, EightThreadMultiModelStormUnderGlobalBudget)
+{
+    // Two distinct models (different weights), two same-profile
+    // members each — identical engines per model, so every result has
+    // one bit-exact reference no matter which member served it.
+    TestModel ma = TestModel::cnn(41);
+    TestModel mb = TestModel::cnn(97);
+    Sod2Engine a0(&ma.graph, engineOptions(ma, simCpu()));
+    Sod2Engine a1(&ma.graph, engineOptions(ma, simCpu()));
+    Sod2Engine b0(&mb.graph, engineOptions(mb, simCpu()));
+    Sod2Engine b1(&mb.graph, engineOptions(mb, simCpu()));
+
+    std::vector<FleetMemberSpec> specs(4);
+    specs[0] = {"a-0", "model-a", nullptr, {}, {}, &a0};
+    specs[1] = {"a-1", "model-a", nullptr, {}, {}, &a1};
+    specs[2] = {"b-0", "model-b", nullptr, {}, {}, &b0};
+    specs[3] = {"b-1", "model-b", nullptr, {}, {}, &b1};
+    for (auto& s : specs) {
+        s.engineOptions = {};
+        s.serverOptions.workers = 2;
+        s.serverOptions.queueDepth = 256;
+    }
+
+    std::vector<std::vector<Tensor>> inputs = {
+        {cnnInput(1, 8, 8, 11)},
+        {cnnInput(2, 16, 16, 12)},
+        {cnnInput(4, 24, 24, 13)},
+    };
+    std::vector<std::vector<std::vector<uint8_t>>> want_a, want_b;
+    for (const auto& in : inputs) {
+        RunContext ca, cb;
+        want_a.push_back(snapshot(a0.run(ca, in)));
+        want_b.push_back(snapshot(b0.run(cb, in)));
+    }
+
+    FleetOptions fopts;
+    fopts.globalArenaBudgetBytes = 64u << 20;  // roomy; ledger still on
+    fopts.governorIntervalMillis = 1;          // background tick races
+    Sod2Fleet fleet(std::move(specs), fopts);
+
+    constexpr int kThreads = 8, kPerThread = 24;
+    std::atomic<int> bad{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                const bool is_a = (t + i) % 2 == 0;
+                const size_t sig = static_cast<size_t>(i) % 3;
+                Request req;
+                req.inputs = inputs[sig];
+                RunResult r = fleet.run(
+                    is_a ? "model-a" : "model-b", std::move(req));
+                const auto& want =
+                    is_a ? want_a[sig] : want_b[sig];
+                if (!r.ok() || snapshot(r.outputs) != want)
+                    ++bad;
+            }
+        });
+    }
+    for (auto& t : threads)
+        t.join();
+
+    EXPECT_EQ(bad.load(), 0);
+    FleetHealth h = fleet.health();
+    EXPECT_EQ(h.routed, uint64_t{kThreads * kPerThread});
+    EXPECT_EQ(h.shed, 0u);
+    EXPECT_LE(h.governor.peakCommittedBytes, 64u << 20);
+    fleet.shutdown();
+    EXPECT_EQ(fleet.run("model-a", Request{}).code,
+              ErrorCode::kShutdown);
+}
+
+TEST_F(FleetTest, GovernorInvariantHoldsUnderConcurrentPressure)
+{
+    TestModel m = TestModel::cnn();
+    Sod2Engine cpu(&m.graph, engineOptions(m, simCpu()));
+    Sod2Engine gpu(&m.graph,
+                   engineOptions(m, DeviceProfile::mobileGpu()));
+    std::vector<Tensor> big = {cnnInput(4, 48, 48, 5)};
+
+    size_t need = 0;
+    {
+        FleetOptions fopts;
+        fopts.governorIntervalMillis = 0;
+        Sod2Fleet probe(cpuGpuSpecs("cnn", &cpu, &gpu), fopts);
+        for (size_t i = 0; i < 2; ++i) {
+            Request req;
+            req.inputs = big;
+            ASSERT_TRUE(probe.memberServer(i).run(std::move(req)).ok());
+            size_t res = probe.memberServer(i).residentArenaBytes();
+            need = res > need ? res : need;
+        }
+    }
+    const size_t budget = need + need / 2;
+
+    std::vector<FleetMemberSpec> specs =
+        cpuGpuSpecs("cnn", &cpu, &gpu, /*workers=*/2);
+    for (auto& s : specs)
+        s.serverOptions.queueDepth = 256;
+    FleetOptions fopts;
+    fopts.globalArenaBudgetBytes = budget;
+    fopts.governorIntervalMillis = 1;  // tick thread trims under fire
+    Sod2Fleet fleet(std::move(specs), fopts);
+
+    constexpr int kThreads = 8, kPerThread = 12;
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < kPerThread; ++i) {
+                Request req;
+                req.inputs = big;
+                req.fallbackOnError = true;  // denials degrade
+                RunResult r = fleet.run("cnn", std::move(req));
+                if (!r.ok())
+                    ++failures;
+            }
+        });
+    }
+    for (auto& t : threads)
+        t.join();
+
+    EXPECT_EQ(failures.load(), 0);
+    // The invariant the whole subsystem exists for: with 4 worker
+    // arenas across 2 members racing grows, trims, and ticks, total
+    // committed bytes never passed the global budget.
+    EXPECT_LE(fleet.governor().stats().peakCommittedBytes, budget);
+}
+
+}  // namespace
+}  // namespace sod2
